@@ -1,0 +1,66 @@
+// Command lwe-estimator reports the minimum security level of an LWE/RLWE
+// parameter set under the uSVP, BDD and hybrid-dual cost models, and can
+// regenerate the paper's fitted linear security model f_msl(λ) (Eq. 30).
+//
+// Usage:
+//
+//	lwe-estimator [-n 32768] [-logq 880] [-sigma 3.2]
+//	lwe-estimator -fit          # regenerate Eq. (30) across {2^15..2^17}
+//	lwe-estimator -calibrate 67 # find logq reaching 67 bits at -n
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"quhe/internal/he/lwe"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lwe-estimator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lwe-estimator", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 32768, "LWE/ring dimension")
+		logq      = fs.Float64("logq", 880, "log2 of the ciphertext modulus")
+		sigma     = fs.Float64("sigma", 3.2, "error standard deviation")
+		fit       = fs.Bool("fit", false, "fit the linear f_msl model across {2^15, 2^16, 2^17}")
+		calibrate = fs.Float64("calibrate", 0, "find logq reaching this security at -n")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *calibrate > 0 {
+		found, err := lwe.CalibrateLogQ(*n, *sigma, *calibrate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("logq = %.1f reaches %.2f bits at n = %d\n", found, *calibrate, *n)
+		*logq = found
+	}
+
+	min, ests := lwe.MinSecurityLevel(*n, *logq, *sigma)
+	fmt.Printf("n = %d, logq = %.1f, sigma = %.2f\n", *n, *logq, *sigma)
+	for _, e := range ests {
+		fmt.Printf("  %-12s beta = %4d  m = %6d  guessed = %4d  security = %7.2f bits\n",
+			e.Attack, e.Beta, e.Samples, e.Guessed, e.SecurityBits)
+	}
+	fmt.Printf("minimum security level: %.2f bits\n", min)
+
+	if *fit {
+		intercept, slope, r2, err := lwe.FitLinearModel([]int{32768, 65536, 131072}, *logq, *sigma)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nfitted f_msl(lambda) = %.4f + %.6f*lambda   (R² = %.4f)\n", intercept, slope, r2)
+		fmt.Println("paper's Eq. (30):    1.4789 + 0.002000*lambda")
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+// Package quhe is the root of a from-scratch Go reproduction of
+//
+//	"QuHE: Optimizing Utility-Cost in Quantum Key Distribution and
+//	 Homomorphic Encryption Enabled Secure Edge Computing Networks"
+//	(Qian, Li, Zhao — ICDCS 2025, arXiv:2507.06086).
+//
+// The implementation lives under internal/:
+//
+//   - internal/core        — problem P1 and the QuHE algorithm (Algs. 1–4)
+//   - internal/qnet        — SURFnet QKD network model and simulator
+//   - internal/qkd         — BB84/BBM92 protocols and the key centre
+//   - internal/optimize    — barrier interior point, B&B, heuristics
+//   - internal/wireless    — uplink channel, FDMA, Shannon rates
+//   - internal/costmodel   — delay/energy/security cost functions
+//   - internal/chacha20    — RFC 8439 stream cipher
+//   - internal/he/...      — polynomial rings, CKKS, LWE security estimation
+//   - internal/transcipher — HE-friendly cipher and homomorphic decryption
+//   - internal/edge        — TCP edge runtime running the full pipeline
+//   - internal/experiments — regenerators for every table and figure in §VI
+//
+// Entry points: cmd/quhe (experiment runner), cmd/qkdsim (network
+// simulator), cmd/lwe-estimator (security estimator), and the runnable
+// walkthroughs under examples/.
+package quhe
+
+// Version identifies this reproduction's release.
+const Version = "1.0.0"

@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"quhe/internal/mathutil"
+	"quhe/internal/optimize"
+	"quhe/internal/qnet"
+)
+
+// Stage1Method selects the solver for Stage 1 (Problem P2/P3).
+type Stage1Method int
+
+const (
+	// Stage1Barrier is the QuHE Stage-1 solver: the convexified log-rate
+	// problem P3 solved by the interior-point method (Algorithm 1).
+	Stage1Barrier Stage1Method = iota + 1
+	// Stage1GD is the paper's gradient-descent baseline (learning rate
+	// 0.01, §VI-B), run directly on the rates φ.
+	Stage1GD
+	// Stage1SA is the simulated-annealing baseline (simulannealbnd).
+	Stage1SA
+	// Stage1RS is the random-selection baseline: 10⁴ uniform samples.
+	Stage1RS
+	// Stage1ProjGrad is an ablation solver: projected gradient descent
+	// with line search on the penalized rate objective (between the
+	// barrier method and the fixed-step GD baseline in sophistication).
+	Stage1ProjGrad
+)
+
+// String implements fmt.Stringer with the labels used in Fig. 5(b)/(c).
+func (m Stage1Method) String() string {
+	switch m {
+	case Stage1Barrier:
+		return "QuHE"
+	case Stage1GD:
+		return "GD"
+	case Stage1SA:
+		return "SA"
+	case Stage1RS:
+		return "RS"
+	case Stage1ProjGrad:
+		return "ProjGrad"
+	default:
+		return fmt.Sprintf("Stage1Method(%d)", int(m))
+	}
+}
+
+// Stage1Options tunes the Stage-1 solvers. The zero value uses defaults.
+type Stage1Options struct {
+	// Method selects the solver; default Stage1Barrier.
+	Method Stage1Method
+	// Seed seeds the stochastic baselines (SA, RS); 0 means fixed default.
+	Seed int64
+	// GDIters, SAIters, RSSamples override baseline budgets when positive.
+	GDIters   int
+	SAIters   int
+	RSSamples int
+}
+
+// Stage1Result reports a Stage-1 solve.
+type Stage1Result struct {
+	// Phi and W are the rate allocation and the Eq. (18) Werner point.
+	Phi, W []float64
+	// Objective is the minimized P2 objective (19):
+	// −Σ ln F_skf(̟_n) − ln α_qkd − Σ ln φ_n. Lower is better; Fig. 5(c)
+	// reports this value per method.
+	Objective float64
+	// UQKD is the resulting network utility (6).
+	UQKD float64
+	// Iters counts solver iterations; Trace is the per-iteration objective
+	// (Fig. 4(a)).
+	Iters int
+	Trace []float64
+	// Runtime is the wall-clock solve time (Fig. 5(b)).
+	Runtime time.Duration
+	// Converged reports solver-specific convergence.
+	Converged bool
+}
+
+// stage1Objective evaluates the P2 objective (19) at rates phi, returning
+// +Inf outside the feasible region. It is shared by all four solvers (the
+// baselines work on φ directly; the barrier works on ϕ = ln φ).
+func (c *Config) stage1Objective(phi []float64) float64 {
+	for i, p := range phi {
+		if p < c.PhiMin[i] || math.IsNaN(p) {
+			return math.Inf(1)
+		}
+	}
+	if !c.Net.FeasibleRates(phi) {
+		return math.Inf(1)
+	}
+	w, err := c.Net.WernerFromRates(phi)
+	if err != nil {
+		return math.Inf(1)
+	}
+	s := math.Log(c.AlphaQKD)
+	for r := range phi {
+		wr, err := c.Net.EndToEndWerner(r, w)
+		if err != nil {
+			return math.Inf(1)
+		}
+		f := qnet.SecretKeyFraction(wr)
+		if f <= 0 {
+			return math.Inf(1)
+		}
+		s += math.Log(phi[r]) + math.Log(f)
+	}
+	return -s
+}
+
+// stage1Penalized is the finite-everywhere merit function used by the
+// gradient-descent baseline: the P2 objective inside the feasible region and
+// a linear penalty outside it, so fixed-step GD can recover from infeasible
+// excursions instead of seeing an infinite cliff.
+func (c *Config) stage1Penalized(phi []float64) float64 {
+	const (
+		penaltyBase  = 1e3
+		penaltyScale = 1e3
+	)
+	viol := 0.0
+	for i, p := range phi {
+		if p < c.PhiMin[i] {
+			viol += c.PhiMin[i] - p
+		}
+	}
+	loads, err := c.Net.LinkLoads(phi)
+	if err != nil {
+		return math.Inf(1)
+	}
+	for l, load := range loads {
+		if beta := c.Net.Link(l).Beta; load >= beta {
+			viol += load/beta - 1 + 1e-6
+		}
+	}
+	if viol == 0 {
+		w, err := c.Net.WernerFromRates(phi)
+		if err != nil {
+			return math.Inf(1)
+		}
+		for r := range phi {
+			wr, err := c.Net.EndToEndWerner(r, w)
+			if err != nil {
+				return math.Inf(1)
+			}
+			if wr <= qnet.WernerZeroSKF {
+				viol += qnet.WernerZeroSKF - wr + 1e-6
+			}
+		}
+	}
+	if viol > 0 {
+		return penaltyBase + penaltyScale*viol
+	}
+	return c.stage1Objective(phi)
+}
+
+// SolveStage1 runs Algorithm 1 (or a baseline) and returns the optimal
+// (φ, w) block. The barrier path optimizes over ϕ = ln φ, in which P3 is
+// convex (Kar & Wehner), with constraints (20a)–(20c).
+func (c *Config) SolveStage1(opts Stage1Options) (Stage1Result, error) {
+	if opts.Method == 0 {
+		opts.Method = Stage1Barrier
+	}
+	start := time.Now()
+	var res Stage1Result
+	var err error
+	switch opts.Method {
+	case Stage1Barrier:
+		res, err = c.solveStage1Barrier()
+	case Stage1GD, Stage1SA, Stage1RS, Stage1ProjGrad:
+		res, err = c.solveStage1Heuristic(opts)
+	default:
+		return res, fmt.Errorf("core: unknown stage-1 method %d", int(opts.Method))
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Runtime = time.Since(start)
+	res.W, err = c.Net.WernerFromRates(res.Phi)
+	if err != nil {
+		return res, err
+	}
+	res.UQKD, err = c.Net.Utility(res.Phi, res.W)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (c *Config) solveStage1Barrier() (Stage1Result, error) {
+	var res Stage1Result
+	n := c.N()
+
+	// Objective in ϕ-space: P3 (20).
+	phiOf := func(x []float64) []float64 {
+		phi := make([]float64, n)
+		for i := range x {
+			phi[i] = math.Exp(x[i])
+		}
+		return phi
+	}
+	f0 := func(x []float64) float64 { return c.stage1Objective(phiOf(x)) }
+
+	var ineqs []optimize.Ineq
+	// (20a): ϕ_n ≥ ln φ_min — linear in ϕ-space.
+	for i := 0; i < n; i++ {
+		ineqs = append(ineqs, optimize.BoundIneq(n, i, -1, math.Log(c.PhiMin[i])))
+	}
+	// (20b): Σ a_ln e^{ϕ_n} < β_l for every used link, normalized by β_l so
+	// all barrier terms share a scale.
+	for l := 0; l < c.Net.NumLinks(); l++ {
+		used := false
+		for r := 0; r < n; r++ {
+			if c.Net.Uses(r, l) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		l := l
+		beta := c.Net.Link(l).Beta
+		ineqs = append(ineqs, optimize.FuncIneq(func(x []float64) float64 {
+			load := 0.0
+			for r := 0; r < n; r++ {
+				if c.Net.Uses(r, l) {
+					load += math.Exp(x[r])
+				}
+			}
+			return load/beta - 1
+		}))
+	}
+	// (20c): ̟_n > WernerZeroSKF for every route. A small margin keeps the
+	// objective's own log term finite strictly inside the region.
+	for r := 0; r < n; r++ {
+		r := r
+		ineqs = append(ineqs, optimize.FuncIneq(func(x []float64) float64 {
+			w, err := c.Net.WernerFromRates(phiOf(x))
+			if err != nil {
+				return 1
+			}
+			wr, err := c.Net.EndToEndWerner(r, w)
+			if err != nil {
+				return 1
+			}
+			return qnet.WernerZeroSKF*(1+1e-9) - wr
+		}))
+	}
+
+	// Strictly feasible start: φ slightly above the minimum.
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = math.Log(c.PhiMin[i] * 1.05)
+	}
+	if f0(x0) == math.Inf(1) {
+		return res, fmt.Errorf("core: stage 1 start infeasible (PhiMin too aggressive)")
+	}
+	bres, err := optimize.MinimizeBarrier(f0, ineqs, x0, optimize.BarrierOptions{Tol: 1e-7})
+	if err != nil {
+		return res, fmt.Errorf("core: stage 1 barrier: %w", err)
+	}
+	res.Phi = phiOf(bres.X)
+	res.Objective = bres.Value
+	res.Iters = bres.NewtonIters
+	res.Trace = bres.Values
+	res.Converged = bres.Converged
+	return res, nil
+}
+
+func (c *Config) solveStage1Heuristic(opts Stage1Options) (Stage1Result, error) {
+	var res Stage1Result
+	n := c.N()
+	box := c.stage1Box()
+	x0 := make([]float64, n)
+	for i := range x0 {
+		x0[i] = c.PhiMin[i] * 1.05
+	}
+	f := c.stage1Objective
+
+	switch opts.Method {
+	case Stage1GD:
+		iters := opts.GDIters
+		if iters <= 0 {
+			iters = 200000
+		}
+		r, err := optimize.GradientDescent(c.stage1Penalized, box, x0, optimize.GDOptions{LearningRate: 0.01, MaxIter: iters, Tol: 1e-12})
+		if err != nil {
+			return res, fmt.Errorf("core: stage 1 GD: %w", err)
+		}
+		res.Phi, res.Objective, res.Iters, res.Trace, res.Converged = r.X, r.Value, r.Iters, r.Values, r.Converged
+	case Stage1SA:
+		iters := opts.SAIters
+		if iters <= 0 {
+			iters = 150000
+		}
+		r, err := optimize.Anneal(f, box, x0, optimize.SAOptions{Iters: iters, Seed: opts.Seed, StepFrac: 0.05})
+		if err != nil {
+			return res, fmt.Errorf("core: stage 1 SA: %w", err)
+		}
+		res.Phi, res.Objective, res.Iters, res.Trace, res.Converged = r.X, r.Value, r.Iters, r.Values, r.Converged
+	case Stage1ProjGrad:
+		r, err := optimize.MinimizeProjGrad(c.stage1Penalized, box, x0, optimize.PGOptions{MaxIter: 2000, Tol: 1e-10})
+		if err != nil {
+			return res, fmt.Errorf("core: stage 1 projected gradient: %w", err)
+		}
+		res.Phi, res.Objective, res.Iters, res.Trace, res.Converged = r.X, r.Value, r.Iters, r.Values, r.Converged
+	case Stage1RS:
+		samples := opts.RSSamples
+		if samples <= 0 {
+			samples = 10000 // the paper's 10⁴ uniform draws
+		}
+		// The paper's RS baseline samples "uniformly from the feasible
+		// space"; use the largest axis-aligned box that is feasible at its
+		// worst corner, so every draw is admissible.
+		r, err := optimize.RandomSearch(f, c.stage1FeasibleBox(), optimize.RSOptions{Samples: samples, Seed: opts.Seed})
+		if err != nil {
+			return res, fmt.Errorf("core: stage 1 RS: %w", err)
+		}
+		res.Phi, res.Objective, res.Iters, res.Trace, res.Converged = r.X, r.Value, r.Iters, r.Values, r.Converged
+	}
+	return res, nil
+}
+
+// stage1FeasibleBox returns [φ_min, φ_min + τ] with the largest uniform
+// increment τ whose upper corner still satisfies every Stage-1 constraint.
+// The constraints are monotone in each rate (loads grow, end-to-end Werner
+// parameters shrink), so corner feasibility implies the whole box is
+// feasible — every uniform sample from it is admissible.
+func (c *Config) stage1FeasibleBox() optimize.Box {
+	n := c.N()
+	corner := func(tau float64) []float64 {
+		phi := make([]float64, n)
+		for i := range phi {
+			phi[i] = c.PhiMin[i] + tau
+		}
+		return phi
+	}
+	feasible := func(tau float64) bool {
+		return !math.IsInf(c.stage1Objective(corner(tau)), 1)
+	}
+	lo, hi := 0.0, 1.0
+	for feasible(hi) {
+		lo = hi
+		hi *= 2
+		if hi > 1e6 {
+			break
+		}
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	tau := lo * 0.999 // stay strictly inside
+	return optimize.Box{Lo: mathutil.Clone(c.PhiMin), Hi: corner(tau)}
+}
+
+// stage1Box bounds φ for the heuristic baselines: [φ_min, route bottleneck
+// capacity], the smallest β over the route's links (the rate a route could
+// sustain if it had its bottleneck to itself).
+func (c *Config) stage1Box() optimize.Box {
+	n := c.N()
+	lo := mathutil.Clone(c.PhiMin)
+	hi := make([]float64, n)
+	for r := 0; r < n; r++ {
+		bottleneck := math.Inf(1)
+		for l := 0; l < c.Net.NumLinks(); l++ {
+			if c.Net.Uses(r, l) && c.Net.Link(l).Beta < bottleneck {
+				bottleneck = c.Net.Link(l).Beta
+			}
+		}
+		hi[r] = bottleneck
+	}
+	return optimize.Box{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"quhe/internal/costmodel"
+	"quhe/internal/mathutil"
+	"quhe/internal/optimize"
+)
+
+// Stage3Options tunes Algorithm 3. The zero value uses defaults.
+type Stage3Options struct {
+	// Tol is the outer (fractional-programming) convergence tolerance on
+	// the objective. Default 1e-5.
+	Tol float64
+	// MaxOuter bounds the z-update iterations. Default 30.
+	MaxOuter int
+	// Barrier configures the inner convex solves.
+	Barrier optimize.BarrierOptions
+}
+
+func (o Stage3Options) defaults() Stage3Options {
+	if o.Tol <= 0 {
+		// The inner barrier is solved to a duality gap of ~1e-6, so the
+		// outer objective carries noise of that order; a tighter outer
+		// tolerance would never be met.
+		o.Tol = 1e-5
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 30
+	}
+	return o
+}
+
+// Stage3Result reports a Stage-3 solve (Algorithm 3).
+type Stage3Result struct {
+	// P, B, FC, FS are the optimized transmit powers, bandwidths, client
+	// clocks and server shares; T is the optimized delay bound.
+	P, B, FC, FS []float64
+	T            float64
+	// Objective is the minimized P5 cost α_e·E_total + α_t·T (the paper
+	// maximizes its negation).
+	Objective float64
+	// Outer counts fractional-programming iterations; NewtonIters the
+	// total inner Newton steps.
+	Outer       int
+	NewtonIters int
+	// POBJ is the primal objective after every Newton step across all
+	// inner solves (Fig. 4(c)); Gaps is the duality-gap trace of the
+	// first (cold-started) inner solve (Fig. 4(d)) — later re-solves are
+	// warm-started and carry no meaningful gap trajectory.
+	POBJ []float64
+	Gaps []float64
+	// Converged reports outer-loop convergence within MaxOuter.
+	Converged bool
+	// Runtime is the wall-clock solve time.
+	Runtime time.Duration
+}
+
+// stage3Space fixes the variable layout and scaling of the Stage-3 program.
+// All solver-visible quantities are O(1): powers are divided by p_max,
+// bandwidths by B_total/N, clocks by their caps, and T by a delay scale
+// taken from the starting point.
+type stage3Space struct {
+	c      *Config
+	n      int
+	cycles []float64 // C_n = server cycles for client n at the fixed λ
+	tScale float64
+}
+
+func (s stage3Space) dim() int { return 4*s.n + 1 }
+
+func (s stage3Space) unpack(x []float64) (p, b, fc, fs []float64, t float64) {
+	n := s.n
+	p = make([]float64, n)
+	b = make([]float64, n)
+	fc = make([]float64, n)
+	fs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		p[i] = x[i] * s.c.PMax[i]
+		b[i] = x[n+i] * s.c.BTotal / float64(n)
+		fc[i] = x[2*n+i] * s.c.FCMax[i]
+		fs[i] = x[3*n+i] * s.c.FSTotal / float64(n)
+	}
+	t = x[4*n] * s.tScale
+	return p, b, fc, fs, t
+}
+
+func (s stage3Space) pack(p, b, fc, fs []float64, t float64) []float64 {
+	n := s.n
+	x := make([]float64, s.dim())
+	for i := 0; i < n; i++ {
+		x[i] = p[i] / s.c.PMax[i]
+		x[n+i] = b[i] * float64(n) / s.c.BTotal
+		x[2*n+i] = fc[i] / s.c.FCMax[i]
+		x[3*n+i] = fs[i] * float64(n) / s.c.FSTotal
+	}
+	x[4*n] = t / s.tScale
+	return x
+}
+
+// delay returns client i's end-to-end delay at the scaled point x.
+func (s stage3Space) delay(x []float64, i int) float64 {
+	n := s.n
+	p := x[i] * s.c.PMax[i]
+	b := x[n+i] * s.c.BTotal / float64(n)
+	fc := x[2*n+i] * s.c.FCMax[i]
+	fs := x[3*n+i] * s.c.FSTotal / float64(n)
+	rate := s.c.Rate(i, p, b)
+	if rate <= 0 || fc <= 0 || fs <= 0 {
+		return math.Inf(1)
+	}
+	return s.c.SECycles[i]/fc + s.c.DTrBits[i]/rate + s.cycles[i]/fs
+}
+
+// SolveStage3 runs Algorithm 3: alternating quadratic-transform updates
+// (Eq. 25) and inner barrier solves of the convexified problem P6 (Eq. 28),
+// with φ, w, λ fixed at v.
+func (c *Config) SolveStage3(v Variables, opts Stage3Options) (Stage3Result, error) {
+	o := opts.defaults()
+	start := time.Now()
+	var res Stage3Result
+	n := c.N()
+	if len(v.Lambda) != n {
+		return res, fmt.Errorf("core: stage 3 needs %d lambdas, got %d", n, len(v.Lambda))
+	}
+
+	space := stage3Space{c: c, n: n, cycles: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		space.cycles[i] = costmodel.TotalServerCycles(v.Lambda[i], c.DCmpTokens[i], c.TokensPerSample[i])
+	}
+
+	// Start from v's resource block, pulled strictly inside the box.
+	p := mathutil.Clone(v.P)
+	b := mathutil.Clone(v.B)
+	fc := mathutil.Clone(v.FC)
+	fs := mathutil.Clone(v.FS)
+	const margin = 1e-3
+	for i := 0; i < n; i++ {
+		p[i] = mathutil.Clamp(p[i], margin*c.PMax[i], (1-margin)*c.PMax[i])
+		b[i] = mathutil.Clamp(b[i], margin*c.BTotal/float64(n), (1-margin)*c.BTotal/float64(n))
+		fc[i] = mathutil.Clamp(fc[i], margin*c.FCMax[i], (1-margin)*c.FCMax[i])
+		fs[i] = mathutil.Clamp(fs[i], margin*c.FSTotal/float64(n), (1-margin)*c.FSTotal/float64(n))
+	}
+	// Delay scale and a strictly feasible T.
+	maxDelay := 0.0
+	for i := 0; i < n; i++ {
+		if d := c.ClientDelay(i, v.Lambda[i], p[i], b[i], fc[i], fs[i]); d > maxDelay {
+			maxDelay = d
+		}
+	}
+	if math.IsInf(maxDelay, 1) || maxDelay <= 0 {
+		return res, errors.New("core: stage 3 start has infinite delay")
+	}
+	space.tScale = maxDelay
+	t := 1.5 * maxDelay
+
+	x := space.pack(p, b, fc, fs, t)
+	ineqs := space.constraints()
+
+	z := make([]float64, n)
+	prevObj := math.Inf(1)
+	for outer := 0; outer < o.MaxOuter; outer++ {
+		res.Outer++
+		// Quadratic-transform update (Eq. 25): z_n = 1/(2 p_n d_n r_n).
+		pc, bc, _, _, _ := space.unpack(x)
+		for i := 0; i < n; i++ {
+			rate := c.Rate(i, pc[i], bc[i])
+			z[i] = 1 / (2 * pc[i] * c.DTrBits[i] * rate)
+		}
+		f0 := space.objective(z)
+
+		// Re-center strictly inside the feasible region: the previous
+		// solution may sit numerically on its active constraints.
+		x = space.strictify(x)
+
+		// Warm start: after the first solve, x is near-optimal for the
+		// barely-changed z, so skip the early centering phases.
+		bopts := o.Barrier
+		if outer > 0 {
+			if bopts.T0 <= 0 {
+				bopts.T0 = 1e4
+			}
+		}
+		bres, err := optimize.MinimizeBarrier(f0, ineqs, x, bopts)
+		if err != nil {
+			return res, fmt.Errorf("core: stage 3 outer %d: %w", outer, err)
+		}
+		x = bres.X
+		res.NewtonIters += bres.NewtonIters
+		res.POBJ = append(res.POBJ, bres.Values...)
+		if outer == 0 {
+			res.Gaps = append(res.Gaps, bres.Gaps...)
+		}
+
+		// True (untransformed) P5 objective for convergence checking.
+		obj := space.trueObjective(x)
+		if math.Abs(prevObj-obj) < o.Tol*(1+math.Abs(obj)) {
+			res.Converged = true
+			prevObj = obj
+			break
+		}
+		prevObj = obj
+	}
+
+	res.P, res.B, res.FC, res.FS, res.T = space.unpack(x)
+	res.Objective = prevObj
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// objective builds the convexified P6 cost (Eq. 28) for fixed z:
+//
+//	α_e Σ [κ_c f_se f_c² + κ_s C_n f_s² + (p d)² z + 1/(4 r² z)] + α_t T.
+func (s stage3Space) objective(z []float64) optimize.Func {
+	c := s.c
+	n := s.n
+	return func(x []float64) float64 {
+		p, b, fc, fs, t := s.unpack(x)
+		total := c.AlphaT * t
+		for i := 0; i < n; i++ {
+			if p[i] <= 0 || b[i] <= 0 || fc[i] <= 0 || fs[i] <= 0 {
+				return math.Inf(1)
+			}
+			e := c.KappaClient[i]*c.SECycles[i]*fc[i]*fc[i] +
+				c.KappaServer*s.cycles[i]*fs[i]*fs[i]
+			rate := c.Rate(i, p[i], b[i])
+			if rate <= 0 {
+				return math.Inf(1)
+			}
+			pd := p[i] * c.DTrBits[i]
+			e += pd*pd*z[i] + 1/(4*rate*rate*z[i])
+			total += c.AlphaE * e
+		}
+		return total
+	}
+}
+
+// trueObjective is the untransformed P5 cost α_e·ΣE + α_t·T used for outer
+// convergence: identical to objective at z's fixed point.
+func (s stage3Space) trueObjective(x []float64) float64 {
+	c := s.c
+	p, b, fc, fs, t := s.unpack(x)
+	total := c.AlphaT * t
+	for i := 0; i < s.n; i++ {
+		rate := c.Rate(i, p[i], b[i])
+		if rate <= 0 {
+			return math.Inf(1)
+		}
+		e := c.KappaClient[i]*c.SECycles[i]*fc[i]*fc[i] +
+			c.KappaServer*s.cycles[i]*fs[i]*fs[i] +
+			p[i]*c.DTrBits[i]/rate
+		total += c.AlphaE * e
+	}
+	return total
+}
+
+// constraints assembles (17e)–(17i) in the scaled space.
+func (s stage3Space) constraints() []optimize.Ineq {
+	n := s.n
+	dim := s.dim()
+	const eps = 1e-5
+	var ineqs []optimize.Ineq
+	for i := 0; i < n; i++ {
+		ineqs = append(ineqs,
+			optimize.BoundIneq(dim, i, 1, -1),       // p̃ ≤ 1  (17e)
+			optimize.BoundIneq(dim, i, -1, eps),     // p̃ ≥ eps
+			optimize.BoundIneq(dim, n+i, -1, eps),   // b̃ ≥ eps
+			optimize.BoundIneq(dim, 2*n+i, 1, -1),   // f̃c ≤ 1 (17g)
+			optimize.BoundIneq(dim, 2*n+i, -1, eps), // f̃c ≥ eps
+			optimize.BoundIneq(dim, 3*n+i, -1, eps), // f̃s ≥ eps
+		)
+	}
+	// Σ b̃ ≤ N (17f) and Σ f̃s ≤ N (17h).
+	bSum := make([]float64, dim)
+	fsSum := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		bSum[n+i] = 1
+		fsSum[3*n+i] = 1
+	}
+	ineqs = append(ineqs,
+		optimize.LinearIneq(bSum, -float64(n)),
+		optimize.LinearIneq(fsSum, -float64(n)),
+		optimize.BoundIneq(dim, 4*n, -1, eps), // T̃ ≥ eps
+	)
+	// (17i): delay_i ≤ T, normalized by tScale; sparse analytic gradient
+	// plus a support-restricted finite-difference Hessian.
+	for i := 0; i < n; i++ {
+		i := i
+		support := []int{i, n + i, 2*n + i, 3*n + i, 4 * n}
+		f := func(x []float64) float64 {
+			return (s.delay(x, i) - x[4*n]*s.tScale) / s.tScale
+		}
+		ineqs = append(ineqs, optimize.Ineq{
+			F:    f,
+			Grad: s.delayGrad(i),
+			Hess: sparseHessian(f, support, dim),
+		})
+	}
+	return ineqs
+}
+
+// delayGrad returns the analytic gradient of the normalized delay
+// constraint for client i. Only the five supporting coordinates are nonzero.
+func (s stage3Space) delayGrad(i int) func([]float64) []float64 {
+	c := s.c
+	n := s.n
+	return func(x []float64) []float64 {
+		g := make([]float64, s.dim())
+		p := x[i] * c.PMax[i]
+		b := x[n+i] * c.BTotal / float64(n)
+		fc := x[2*n+i] * c.FCMax[i]
+		fs := x[3*n+i] * c.FSTotal / float64(n)
+		rate := c.Rate(i, p, b)
+		snr := p * c.Gains[i] / (c.NoisePSD * b)
+		ln2 := math.Ln2
+		// ∂r/∂p and ∂r/∂b of Shannon's formula.
+		drdp := c.Gains[i] / (c.NoisePSD * (1 + snr) * ln2)
+		drdb := (math.Log1p(snr) - snr/(1+snr)) / ln2
+		d := c.DTrBits[i]
+		g[i] = (-d / (rate * rate)) * drdp * c.PMax[i] / s.tScale
+		g[n+i] = (-d / (rate * rate)) * drdb * (c.BTotal / float64(n)) / s.tScale
+		g[2*n+i] = (-c.SECycles[i] / (fc * fc)) * c.FCMax[i] / s.tScale
+		g[3*n+i] = (-s.cycles[i] / (fs * fs)) * (c.FSTotal / float64(n)) / s.tScale
+		g[4*n] = -1
+		return g
+	}
+}
+
+// strictify pulls x off any numerically active constraint so the next
+// barrier solve starts strictly feasible: active bound constraints are
+// relaxed toward the interior, and T is raised above the current max delay.
+func (s stage3Space) strictify(x []float64) []float64 {
+	out := mathutil.Clone(x)
+	n := s.n
+	const pull = 1e-6
+	for i := 0; i < n; i++ {
+		out[i] = mathutil.Clamp(out[i], 2e-5, 1-pull)
+		out[n+i] = math.Max(out[n+i], 2e-5)
+		out[2*n+i] = mathutil.Clamp(out[2*n+i], 2e-5, 1-pull)
+		out[3*n+i] = math.Max(out[3*n+i], 2e-5)
+	}
+	// Shrink sum-constrained blocks if they brush the budget.
+	scaleBlock := func(lo, hi int) {
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += out[j]
+		}
+		if limit := float64(n) * (1 - pull); sum > limit {
+			f := limit / sum
+			for j := lo; j < hi; j++ {
+				out[j] *= f
+			}
+		}
+	}
+	scaleBlock(n, 2*n)
+	scaleBlock(3*n, 4*n)
+	// Ensure T̃ strictly dominates every delay.
+	maxDelay := 0.0
+	for i := 0; i < n; i++ {
+		if d := s.delay(out, i); d > maxDelay {
+			maxDelay = d
+		}
+	}
+	minT := maxDelay / s.tScale * (1 + 1e-4)
+	if out[4*n] < minT {
+		out[4*n] = minT
+	}
+	return out
+}
+
+// sparseHessian builds a Hess closure that finite-differences f only over
+// the given support coordinates, scattering into a dim×dim matrix. It cuts
+// the cost of constraint Hessians from O(dim²) to O(|support|²) per call.
+func sparseHessian(f optimize.Func, support []int, dim int) func([]float64) [][]float64 {
+	return func(x []float64) [][]float64 {
+		reduced := func(y []float64) float64 {
+			xx := mathutil.Clone(x)
+			for k, idx := range support {
+				xx[idx] = y[k]
+			}
+			return f(xx)
+		}
+		y := make([]float64, len(support))
+		for k, idx := range support {
+			y[k] = x[idx]
+		}
+		small := optimize.Hessian(reduced, y)
+		out := make([][]float64, dim)
+		for i := range out {
+			out[i] = make([]float64, dim)
+		}
+		for a, ia := range support {
+			for b, ib := range support {
+				v := small[a][b]
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 0
+				}
+				out[ia][ib] = v
+			}
+		}
+		return out
+	}
+}

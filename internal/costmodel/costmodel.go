@@ -1,0 +1,134 @@
+// Package costmodel implements the delay, energy and security cost functions
+// of the QuHE paper: the fitted CKKS cycle/security models (Eqs. 29–31), the
+// client encryption costs (7)–(8), the server computation costs (13)–(14),
+// the system totals (15)–(16) and the weighted security utility (9).
+//
+// λ (the CKKS polynomial degree) is carried as float64 throughout because
+// the fitted models are continuous functions evaluated at the discrete set
+// {2^15, 2^16, 2^17}.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Paper-fitted model coefficients (§VI-A). They were obtained by the authors
+// by curve-fitting CKKS microbenchmarks and LWE-estimator output from [15];
+// internal/he/lwe's estimator + fitter regenerates models of the same shape.
+const (
+	// EvalCoeff appears in f_eval(λ) = EvalCoeff·(λ + EvalShift)².
+	EvalCoeff = 0.012
+	// EvalShift is the additive shift inside the quadratic of Eq. (29).
+	EvalShift = 64500
+	// MSLSlope and MSLIntercept define f_msl(λ) = MSLSlope·λ + MSLIntercept
+	// (Eq. 30), in security bits.
+	MSLSlope     = 0.002
+	MSLIntercept = 1.4789
+	// CmpSlope and CmpIntercept define f_cmp(λ) = CmpSlope·λ + CmpIntercept
+	// (Eq. 31), in CPU cycles per sample.
+	CmpSlope     = 8917959.4
+	CmpIntercept = -51292440000
+)
+
+// EvalCycles returns f_eval(λ) of Eq. (29): CPU cycles per sample for the
+// server-side transciphering (homomorphic symmetric-decryption) step.
+func EvalCycles(lambda float64) float64 {
+	s := lambda + EvalShift
+	return EvalCoeff * s * s
+}
+
+// MinSecurityLevel returns f_msl(λ) of Eq. (30): the minimum security level
+// in bits across the uSVP, BDD and hybrid-dual attacks for the paper's fixed
+// coefficient modulus, as fitted from the LWE estimator.
+func MinSecurityLevel(lambda float64) float64 {
+	return MSLSlope*lambda + MSLIntercept
+}
+
+// CmpCycles returns f_cmp(λ) of Eq. (31): CPU cycles per sample for the
+// encrypted-prediction workload. The linear fit is only meaningful on the
+// paper's domain λ ≥ 2^15; it is clamped at zero below the fit's root so the
+// cost can never go negative.
+func CmpCycles(lambda float64) float64 {
+	c := CmpSlope*lambda + CmpIntercept
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// TotalServerCycles returns (f_cmp(λ)+f_eval(λ))·d_cmp/̺: the total CPU
+// cycles the server spends on one client's workload of dCmpTokens tokens at
+// tokensPerSample tokens per sample (the numerator of Eq. 13).
+func TotalServerCycles(lambda, dCmpTokens, tokensPerSample float64) float64 {
+	if tokensPerSample <= 0 {
+		return math.Inf(1)
+	}
+	return (CmpCycles(lambda) + EvalCycles(lambda)) * dCmpTokens / tokensPerSample
+}
+
+// EncryptionDelay returns T_enc of Eq. (7): f_se/f_c seconds, where f_se is
+// the client's symmetric-encryption CPU cycles and f_c its clock in Hz.
+func EncryptionDelay(seCycles, clientHz float64) float64 {
+	if clientHz <= 0 {
+		return math.Inf(1)
+	}
+	return seCycles / clientHz
+}
+
+// EncryptionEnergy returns E_enc of Eq. (8): κ_c·f_se·f_c² joules.
+func EncryptionEnergy(kappaClient, seCycles, clientHz float64) float64 {
+	return kappaClient * seCycles * clientHz * clientHz
+}
+
+// ComputeDelay returns T_cmp of Eq. (13): server cycles divided by the
+// server CPU share f_s allocated to the client.
+func ComputeDelay(lambda, dCmpTokens, tokensPerSample, serverHz float64) float64 {
+	if serverHz <= 0 {
+		return math.Inf(1)
+	}
+	return TotalServerCycles(lambda, dCmpTokens, tokensPerSample) / serverHz
+}
+
+// ComputeEnergy returns E_cmp of Eq. (14): κ_s·cycles·f_s² joules.
+func ComputeEnergy(kappaServer, lambda, dCmpTokens, tokensPerSample, serverHz float64) float64 {
+	return kappaServer * TotalServerCycles(lambda, dCmpTokens, tokensPerSample) * serverHz * serverHz
+}
+
+// WeightedSecurity returns U_msl of Eq. (9): Σ ς_n·f_msl(λ_n), the
+// importance-weighted sum of per-client minimum security levels.
+func WeightedSecurity(weights, lambdas []float64) (float64, error) {
+	if len(weights) != len(lambdas) {
+		return 0, fmt.Errorf("costmodel: %d weights for %d lambdas", len(weights), len(lambdas))
+	}
+	s := 0.0
+	for i := range weights {
+		s += weights[i] * MinSecurityLevel(lambdas[i])
+	}
+	return s, nil
+}
+
+// TotalDelay returns T_total of Eq. (15): the maximum over clients of
+// (encryption + transmission + computation) delay.
+func TotalDelay(perClient []float64) float64 {
+	m := math.Inf(-1)
+	for _, d := range perClient {
+		if d > m {
+			m = d
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// TotalEnergy returns E_total of Eq. (16): the sum over clients of
+// (encryption + transmission + computation) energy.
+func TotalEnergy(perClient []float64) float64 {
+	s := 0.0
+	for _, e := range perClient {
+		s += e
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	lambda15 = 32768.0
+	lambda16 = 65536.0
+	lambda17 = 131072.0
+)
+
+func TestEvalCycles(t *testing.T) {
+	// f_eval(2^15) = 0.012·(32768+64500)² — hand-computed.
+	want := 0.012 * 97268 * 97268
+	if got := EvalCycles(lambda15); math.Abs(got-want) > 1 {
+		t.Errorf("EvalCycles(2^15) = %v, want %v", got, want)
+	}
+	// Strictly increasing on the domain.
+	if !(EvalCycles(lambda15) < EvalCycles(lambda16) && EvalCycles(lambda16) < EvalCycles(lambda17)) {
+		t.Error("EvalCycles not increasing over λ set")
+	}
+}
+
+func TestMinSecurityLevel(t *testing.T) {
+	tests := []struct {
+		lambda, want float64
+	}{
+		{lambda15, 0.002*32768 + 1.4789},  // 67.0149
+		{lambda16, 0.002*65536 + 1.4789},  // 132.5509
+		{lambda17, 0.002*131072 + 1.4789}, // 263.6229
+	}
+	for _, tt := range tests {
+		if got := MinSecurityLevel(tt.lambda); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("MinSecurityLevel(%v) = %v, want %v", tt.lambda, got, tt.want)
+		}
+	}
+}
+
+func TestCmpCycles(t *testing.T) {
+	want := 8917959.4*lambda15 - 51292440000
+	if got := CmpCycles(lambda15); math.Abs(got-want) > 1 {
+		t.Errorf("CmpCycles(2^15) = %v, want %v", got, want)
+	}
+	if want <= 0 {
+		t.Fatalf("paper model should be positive at 2^15, got %v", want)
+	}
+	// Clamped at zero below the fit's root (outside the model's domain).
+	if got := CmpCycles(1000); got != 0 {
+		t.Errorf("CmpCycles(1000) = %v, want 0 (clamped)", got)
+	}
+}
+
+func TestTotalServerCycles(t *testing.T) {
+	// 160 tokens at 10 tokens/sample = 16 samples.
+	got := TotalServerCycles(lambda15, 160, 10)
+	want := (CmpCycles(lambda15) + EvalCycles(lambda15)) * 16
+	if math.Abs(got-want) > 1 {
+		t.Errorf("TotalServerCycles = %v, want %v", got, want)
+	}
+	if !math.IsInf(TotalServerCycles(lambda15, 160, 0), 1) {
+		t.Error("zero tokens/sample should give +Inf")
+	}
+}
+
+func TestEncryptionDelayEnergy(t *testing.T) {
+	// Paper values: f_se = 1e6 cycles, f_c = 3 GHz.
+	if got := EncryptionDelay(1e6, 3e9); math.Abs(got-1e6/3e9) > 1e-18 {
+		t.Errorf("EncryptionDelay = %v", got)
+	}
+	if !math.IsInf(EncryptionDelay(1e6, 0), 1) {
+		t.Error("zero clock should give +Inf delay")
+	}
+	// E_enc = κ·f_se·f_c² = 1e-28·1e6·9e18 = 9e-4 J.
+	if got := EncryptionEnergy(1e-28, 1e6, 3e9); math.Abs(got-9e-4) > 1e-15 {
+		t.Errorf("EncryptionEnergy = %v, want 9e-4", got)
+	}
+}
+
+func TestComputeDelayEnergy(t *testing.T) {
+	cycles := TotalServerCycles(lambda15, 160, 10)
+	fs := 20e9 / 6
+	if got := ComputeDelay(lambda15, 160, 10, fs); math.Abs(got-cycles/fs) > 1e-9 {
+		t.Errorf("ComputeDelay = %v, want %v", got, cycles/fs)
+	}
+	if !math.IsInf(ComputeDelay(lambda15, 160, 10, 0), 1) {
+		t.Error("zero server share should give +Inf delay")
+	}
+	wantE := 1e-28 * cycles * fs * fs
+	if got := ComputeEnergy(1e-28, lambda15, 160, 10, fs); math.Abs(got-wantE)/wantE > 1e-12 {
+		t.Errorf("ComputeEnergy = %v, want %v", got, wantE)
+	}
+}
+
+func TestWeightedSecurity(t *testing.T) {
+	// Paper weights with all clients at λ = 2^15.
+	weights := []float64{0.1, 0.1, 0.1, 0.2, 0.2, 0.3}
+	lambdas := []float64{lambda15, lambda15, lambda15, lambda15, lambda15, lambda15}
+	got, err := WeightedSecurity(weights, lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 * MinSecurityLevel(lambda15) // weights sum to 1
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WeightedSecurity = %v, want %v", got, want)
+	}
+	if _, err := WeightedSecurity(weights[:2], lambdas); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestWeightedSecurityHeterogeneous(t *testing.T) {
+	weights := []float64{0.5, 0.5}
+	lambdas := []float64{lambda15, lambda17}
+	got, err := WeightedSecurity(weights, lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*MinSecurityLevel(lambda15) + 0.5*MinSecurityLevel(lambda17)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("WeightedSecurity = %v, want %v", got, want)
+	}
+}
+
+func TestTotals(t *testing.T) {
+	delays := []float64{1, 5, 3}
+	if got := TotalDelay(delays); got != 5 {
+		t.Errorf("TotalDelay = %v, want 5", got)
+	}
+	if got := TotalDelay(nil); got != 0 {
+		t.Errorf("TotalDelay(nil) = %v, want 0", got)
+	}
+	if got := TotalEnergy(delays); got != 9 {
+		t.Errorf("TotalEnergy = %v, want 9", got)
+	}
+	if got := TotalEnergy(nil); got != 0 {
+		t.Errorf("TotalEnergy(nil) = %v, want 0", got)
+	}
+}
+
+// TestSecurityCostTradeoff documents the Stage-2 trade-off: raising λ adds
+// security (U_msl ↑) but also server cycles (cost ↑) — both must be strictly
+// monotone in λ for branch & bound's bounds to make sense.
+func TestSecurityCostTradeoff(t *testing.T) {
+	lams := []float64{lambda15, lambda16, lambda17}
+	for i := 1; i < len(lams); i++ {
+		if MinSecurityLevel(lams[i]) <= MinSecurityLevel(lams[i-1]) {
+			t.Error("security not increasing in λ")
+		}
+		if TotalServerCycles(lams[i], 160, 10) <= TotalServerCycles(lams[i-1], 160, 10) {
+			t.Error("server cycles not increasing in λ")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package edge
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+
+	"quhe/internal/he/ckks"
+	"quhe/internal/transcipher"
+)
+
+// Client is a QuHE edge client node: it owns the HE secret key, masks data
+// under the QKD-derived symmetric key, and decrypts the server's encrypted
+// results. One Client drives one TCP connection; it is not safe for
+// concurrent use (one request in flight at a time).
+type Client struct {
+	sessionID string
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+
+	ctx     *ckks.Context
+	cipher  *transcipher.Cipher
+	encoder *ckks.Encoder
+	ev      *ckks.Evaluator
+	sk      *ckks.SecretKey
+	key     []float64
+	nonce   []byte
+
+	// LastTxDelay and LastCmpDelay echo the server's modeled costs of the
+	// most recent Compute call.
+	LastTxDelay  float64
+	LastCmpDelay float64
+}
+
+// Dial connects to an edge server, generates the client's HE keys, derives
+// the transciphering key from qkdKey (e.g. material withdrawn from the
+// qkd.KeyCenter), and registers the session.
+func Dial(addr, sessionID string, qkdKey []byte, seed int64) (*Client, error) {
+	if sessionID == "" {
+		return nil, errors.New("edge: empty session id")
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	ctx, err := ckks.NewContext(DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("edge: context: %w", err)
+	}
+	cipher, err := transcipher.New(ctx, KeyLen)
+	if err != nil {
+		return nil, fmt.Errorf("edge: cipher: %w", err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, seed+1)
+
+	key, err := cipher.DeriveKey(qkdKey)
+	if err != nil {
+		return nil, fmt.Errorf("edge: derive key: %w", err)
+	}
+	encKey, err := cipher.EncryptKey(ev, pk, key)
+	if err != nil {
+		return nil, fmt.Errorf("edge: encrypt key: %w", err)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("edge: dial: %w", err)
+	}
+	c := &Client{
+		sessionID: sessionID,
+		conn:      conn,
+		enc:       gob.NewEncoder(conn),
+		dec:       gob.NewDecoder(conn),
+		ctx:       ctx,
+		cipher:    cipher,
+		encoder:   ckks.NewEncoder(ctx),
+		ev:        ev,
+		sk:        sk,
+		key:       key,
+		nonce:     []byte("edge:" + sessionID),
+	}
+	req := envelope{Setup: &SetupRequest{
+		SessionID: sessionID,
+		LogN:      ctx.Params.LogN,
+		Depth:     ctx.Params.Depth,
+		PK:        pk,
+		RLK:       rlk,
+		EncKey:    encKey,
+		Nonce:     c.nonce,
+	}}
+	if err := c.enc.Encode(&req); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("edge: setup send: %w", err)
+	}
+	var reply replyEnvelope
+	if err := c.dec.Decode(&reply); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("edge: setup recv: %w", err)
+	}
+	if reply.Setup == nil || !reply.Setup.OK {
+		conn.Close()
+		msg := "missing reply"
+		if reply.Setup != nil {
+			msg = reply.Setup.Err
+		}
+		return nil, fmt.Errorf("edge: setup rejected: %s", msg)
+	}
+	return c, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Slots returns the per-block capacity.
+func (c *Client) Slots() int { return c.cipher.Slots() }
+
+// Compute runs one full pipeline round: mask data under the symmetric key,
+// upload, let the server transcipher + infer, then decrypt the encrypted
+// result locally. block must be unique per call within a session.
+func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
+	if len(data) > c.Slots() {
+		return nil, fmt.Errorf("edge: %d values exceed %d slots", len(data), c.Slots())
+	}
+	padded := make([]float64, c.Slots())
+	copy(padded, data)
+	masked, err := c.cipher.Mask(c.key, c.nonce, block, padded)
+	if err != nil {
+		return nil, fmt.Errorf("edge: mask: %w", err)
+	}
+	req := envelope{Compute: &ComputeRequest{SessionID: c.sessionID, Block: block, Masked: masked}}
+	if err := c.enc.Encode(&req); err != nil {
+		return nil, fmt.Errorf("edge: send: %w", err)
+	}
+	var reply replyEnvelope
+	if err := c.dec.Decode(&reply); err != nil {
+		return nil, fmt.Errorf("edge: recv: %w", err)
+	}
+	if reply.Compute == nil {
+		return nil, errors.New("edge: malformed reply")
+	}
+	if reply.Compute.Err != "" {
+		return nil, fmt.Errorf("edge: server: %s", reply.Compute.Err)
+	}
+	c.LastTxDelay = reply.Compute.ModeledTxDelay
+	c.LastCmpDelay = reply.Compute.ModeledCmpDelay
+
+	pt := c.ev.Decrypt(c.sk, reply.Compute.Result)
+	out := c.encoder.DecodeReal(pt)
+	return out[:len(data)], nil
+}

@@ -1,0 +1,78 @@
+// Package edge implements a runnable distributed version of the QuHE
+// system model (Fig. 1): a TCP edge server and client nodes executing the
+// full pipeline — QKD-derived symmetric keys, client-side masking
+// (symmetric encryption), upload, server-side transciphering into CKKS, and
+// encrypted inference whose result only the client can decrypt.
+//
+// Wire format: gob-encoded request/reply structs over a single TCP
+// connection per client. Transmission and computation delays are modeled
+// (reported in replies using the paper's cost formulas) rather than slept,
+// so tests and examples run fast.
+package edge
+
+import (
+	"quhe/internal/he/ckks"
+)
+
+// DefaultParams returns the CKKS parameter set both endpoints must share:
+// depth 2 for transciphering; the affine inference model is fused into the
+// transciphering coefficients, so no extra level is needed.
+func DefaultParams() ckks.Params {
+	p, err := ckks.NewParams(10, 25, 18, 2)
+	if err != nil {
+		panic("edge: invalid default params: " + err.Error())
+	}
+	return p
+}
+
+// KeyLen is the transciphering key length used by the runtime.
+const KeyLen = 8
+
+// SetupRequest registers a client session: its public evaluation material
+// and the HE-encrypted transciphering key.
+type SetupRequest struct {
+	SessionID string
+	// LogN/Depth guard against parameter mismatches between endpoints.
+	LogN, Depth int
+	PK          *ckks.PublicKey
+	RLK         *ckks.RelinKey
+	EncKey      []*ckks.Ciphertext
+	Nonce       []byte
+}
+
+// SetupReply acknowledges session registration.
+type SetupReply struct {
+	OK  bool
+	Err string
+}
+
+// ComputeRequest uploads one symmetrically encrypted block.
+type ComputeRequest struct {
+	SessionID string
+	Block     uint32
+	Masked    []float64
+}
+
+// ComputeReply returns the encrypted inference result plus the modeled
+// costs of this request (the paper's delay decomposition).
+type ComputeReply struct {
+	Result *ckks.Ciphertext
+	Err    string
+	// ModeledTxDelay and ModeledCmpDelay report the transmission and
+	// server-computation delays (seconds) this block would incur under
+	// the configured cost model.
+	ModeledTxDelay  float64
+	ModeledCmpDelay float64
+}
+
+// envelope is the tagged union carried on the wire.
+type envelope struct {
+	Setup   *SetupRequest
+	Compute *ComputeRequest
+}
+
+// replyEnvelope mirrors envelope for responses.
+type replyEnvelope struct {
+	Setup   *SetupReply
+	Compute *ComputeReply
+}

@@ -1,0 +1,219 @@
+package edge
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"quhe/internal/costmodel"
+	"quhe/internal/he/ckks"
+	"quhe/internal/transcipher"
+)
+
+// Model is the slot-wise affine inference the server evaluates on
+// encrypted data: out[i] = Weights[i]·x[i] + Bias[i]. Weights are quantized
+// to multiples of 1/WeightScale when applied.
+type Model struct {
+	Weights []float64
+	Bias    []float64
+}
+
+// ServerConfig parameterizes the edge server.
+type ServerConfig struct {
+	// Model is the inference applied to every block.
+	Model Model
+	// UplinkRateBps models the client upload rate for delay reporting.
+	// Default 5e6.
+	UplinkRateBps float64
+	// ServerHz models the CPU share for delay reporting. Default 3.3e9.
+	ServerHz float64
+	// Logf sinks diagnostics; nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+// Server is the QuHE edge server: it accepts client sessions, transciphers
+// uploads and computes on them homomorphically. Safe for concurrent
+// clients.
+type Server struct {
+	cfg      ServerConfig
+	ctx      *ckks.Context
+	cipher   *transcipher.Cipher
+	listener net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+type session struct {
+	pk     *ckks.PublicKey
+	rlk    *ckks.RelinKey
+	encKey []*ckks.Ciphertext
+	nonce  []byte
+	ev     *ckks.Evaluator
+	blocks int
+}
+
+// NewServer builds a server over the shared parameter set and starts
+// listening on addr (use "127.0.0.1:0" for tests).
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.UplinkRateBps <= 0 {
+		cfg.UplinkRateBps = 5e6
+	}
+	if cfg.ServerHz <= 0 {
+		cfg.ServerHz = 3.3e9
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	ctx, err := ckks.NewContext(DefaultParams())
+	if err != nil {
+		return nil, fmt.Errorf("edge: context: %w", err)
+	}
+	cipher, err := transcipher.New(ctx, KeyLen)
+	if err != nil {
+		return nil, fmt.Errorf("edge: cipher: %w", err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("edge: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ctx:      ctx,
+		cipher:   cipher,
+		listener: ln,
+		sessions: make(map[string]*session),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Blocks returns the number of blocks processed for a session.
+func (s *Server) Blocks(sessionID string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[sessionID]; ok {
+		return sess.blocks
+	}
+	return 0
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.cfg.Logf("edge: decode: %v", err)
+			}
+			return
+		}
+		var reply replyEnvelope
+		switch {
+		case env.Setup != nil:
+			reply.Setup = s.handleSetup(env.Setup)
+		case env.Compute != nil:
+			reply.Compute = s.handleCompute(env.Compute)
+		default:
+			reply.Setup = &SetupReply{Err: "empty request"}
+		}
+		if err := enc.Encode(&reply); err != nil {
+			s.cfg.Logf("edge: encode: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) handleSetup(req *SetupRequest) *SetupReply {
+	if req.LogN != s.ctx.Params.LogN || req.Depth != s.ctx.Params.Depth {
+		return &SetupReply{Err: fmt.Sprintf("parameter mismatch: client logN=%d depth=%d, server logN=%d depth=%d",
+			req.LogN, req.Depth, s.ctx.Params.LogN, s.ctx.Params.Depth)}
+	}
+	if req.SessionID == "" || req.PK == nil || req.RLK == nil || len(req.EncKey) != KeyLen {
+		return &SetupReply{Err: "incomplete setup"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[req.SessionID] = &session{
+		pk:     req.PK,
+		rlk:    req.RLK,
+		encKey: req.EncKey,
+		nonce:  append([]byte(nil), req.Nonce...),
+		ev:     ckks.NewEvaluator(s.ctx, 1),
+	}
+	s.cfg.Logf("edge: session %q registered", req.SessionID)
+	return &SetupReply{OK: true}
+}
+
+func (s *Server) handleCompute(req *ComputeRequest) *ComputeReply {
+	s.mu.Lock()
+	sess, ok := s.sessions[req.SessionID]
+	s.mu.Unlock()
+	if !ok {
+		return &ComputeReply{Err: fmt.Sprintf("unknown session %q", req.SessionID)}
+	}
+	if len(req.Masked) > s.cipher.Slots() {
+		return &ComputeReply{Err: fmt.Sprintf("block of %d slots exceeds %d", len(req.Masked), s.cipher.Slots())}
+	}
+
+	// Transcipher with the affine model fused in: the server obtains
+	// Enc(w⊙m + bias) directly, never seeing m.
+	result, err := s.cipher.TranscipherAffine(
+		sess.ev, sess.rlk, sess.encKey, sess.nonce, req.Block, req.Masked,
+		s.cfg.Model.Weights, s.cfg.Model.Bias)
+	if err != nil {
+		return &ComputeReply{Err: "transcipher: " + err.Error()}
+	}
+
+	s.mu.Lock()
+	sess.blocks++
+	s.mu.Unlock()
+
+	bits := float64(len(req.Masked) * 64)
+	lambda := float64(s.ctx.Params.N())
+	return &ComputeReply{
+		Result:          result,
+		ModeledTxDelay:  bits / s.cfg.UplinkRateBps,
+		ModeledCmpDelay: (costmodel.EvalCycles(lambda) + costmodel.CmpCycles(lambda)) / s.cfg.ServerHz,
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"quhe/internal/core"
+	"quhe/internal/mathutil"
+)
+
+// Fig3Edges are the histogram bucket edges of Fig. 3(b):
+// [−25,−10), [−10,−5), [−5,0), [0,5), [5,10), [10,15).
+var Fig3Edges = []float64{-25, -10, -5, 0, 5, 10, 15}
+
+// Fig3Result is the optimality study of Fig. 3: the QuHE objective across
+// uniformly sampled initial configurations of bandwidth, power and CPU
+// frequencies.
+type Fig3Result struct {
+	// Values holds the final P1 objective per sample (Fig. 3(a)).
+	Values []float64
+	// Edges and Buckets form the histogram of Fig. 3(b).
+	Edges   []float64
+	Buckets []int
+	// Summary holds max/min/mean of the objective values.
+	Summary mathutil.Summary
+	// VeryGood is the fraction of samples in [10, 15); GoodOrBetter the
+	// fraction at or above the "good" threshold 5 (the paper reports 56%
+	// and 88% respectively).
+	VeryGood     float64
+	GoodOrBetter float64
+}
+
+// Fig3 reruns the paper's 100-sample optimality experiment: each sample
+// draws a uniform initial (b, p, f_c, f_s), runs the full QuHE procedure and
+// records the final objective.
+func Fig3(cfg *core.Config, samples int, seed int64, workers int) (Fig3Result, error) {
+	var res Fig3Result
+	if samples <= 0 {
+		samples = 100
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	// Pre-draw all starts from one seeded stream so results are
+	// reproducible regardless of scheduling.
+	rng := rand.New(rand.NewSource(seed))
+	starts := make([]core.Variables, samples)
+	for i := range starts {
+		v, err := cfg.SampleVariables(rng)
+		if err != nil {
+			return res, fmt.Errorf("experiments: fig3 sample %d: %w", i, err)
+		}
+		starts[i] = v
+	}
+
+	res.Values = make([]float64, samples)
+	err := parallelMap(samples, workers, func(i int) error {
+		v := starts[i]
+		out, err := cfg.SolveQuHE(core.QuHEOptions{Initial: &v})
+		if err != nil {
+			return fmt.Errorf("experiments: fig3 solve %d: %w", i, err)
+		}
+		res.Values[i] = out.Eval.Objective
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	res.Edges = mathutil.Clone(Fig3Edges)
+	res.Buckets = mathutil.Histogram(res.Values, res.Edges)
+	res.Summary = mathutil.Summarize(res.Values)
+	res.VeryGood = mathutil.Fraction(res.Values, func(v float64) bool { return v >= 10 && v < 15 })
+	res.GoodOrBetter = mathutil.Fraction(res.Values, func(v float64) bool { return v >= 5 })
+	return res, nil
+}

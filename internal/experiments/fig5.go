@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"quhe/internal/core"
+)
+
+// Fig5aResult reports stage call counts and runtimes for one full QuHE run
+// (Fig. 5(a): one call per stage, total ~seconds).
+type Fig5aResult struct {
+	Calls        [3]int
+	StageRuntime [3]time.Duration
+	Total        time.Duration
+	Objective    float64
+}
+
+// Fig5a runs the whole QuHE procedure and reports per-stage accounting.
+func Fig5a(cfg *core.Config) (Fig5aResult, error) {
+	var res Fig5aResult
+	out, err := cfg.SolveQuHE(core.QuHEOptions{})
+	if err != nil {
+		return res, fmt.Errorf("experiments: fig5a: %w", err)
+	}
+	res.Calls = out.StageCalls
+	res.StageRuntime = out.StageRuntime
+	res.Total = out.Runtime
+	res.Objective = out.Eval.Objective
+	return res, nil
+}
+
+// Stage1Comparison is one row of Figs. 5(b)/(c) and Tables V/VI: a Stage-1
+// method with its runtime, objective value and solution.
+type Stage1Comparison struct {
+	Method  string
+	Runtime time.Duration
+	// Objective is the minimized P2 value (Fig. 5(c); lower is better).
+	Objective float64
+	Phi       []float64
+	W         []float64
+}
+
+// Stage1Methods runs all four Stage-1 solvers (QuHE barrier, gradient
+// descent, simulated annealing, random selection) and returns one
+// comparison row per method — the data behind Figs. 5(b)/(c) and
+// Tables V/VI.
+func Stage1Methods(cfg *core.Config, seed int64) ([]Stage1Comparison, error) {
+	methods := []core.Stage1Method{
+		core.Stage1Barrier, core.Stage1GD, core.Stage1SA, core.Stage1RS,
+	}
+	out := make([]Stage1Comparison, 0, len(methods))
+	for _, m := range methods {
+		r, err := cfg.SolveStage1(core.Stage1Options{Method: m, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: stage-1 method %s: %w", m, err)
+		}
+		out = append(out, Stage1Comparison{
+			Method:    m.String(),
+			Runtime:   r.Runtime,
+			Objective: r.Objective,
+			Phi:       r.Phi,
+			W:         r.W,
+		})
+	}
+	return out, nil
+}
+
+// Fig5dRow is one bar group of Fig. 5(d): a whole-procedure method with its
+// energy, delay, security level and objective.
+type Fig5dRow struct {
+	Method    string
+	Energy    float64
+	Delay     float64
+	UMSL      float64
+	Objective float64
+}
+
+// Fig5d compares AA, OLAA, OCCR and QuHE on the four metrics of Fig. 5(d).
+func Fig5d(cfg *core.Config) ([]Fig5dRow, error) {
+	rows := make([]Fig5dRow, 0, 4)
+	for _, k := range []core.BaselineKind{core.BaselineAA, core.BaselineOLAA, core.BaselineOCCR} {
+		r, err := cfg.SolveBaseline(k)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5d %s: %w", k, err)
+		}
+		rows = append(rows, Fig5dRow{
+			Method: k.String(), Energy: r.Eval.Energy, Delay: r.Eval.Delay,
+			UMSL: r.Eval.UMSL, Objective: r.Eval.Objective,
+		})
+	}
+	q, err := cfg.SolveQuHE(core.QuHEOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig5d QuHE: %w", err)
+	}
+	rows = append(rows, Fig5dRow{
+		Method: "QuHE", Energy: q.Eval.Energy, Delay: q.Eval.Delay,
+		UMSL: q.Eval.UMSL, Objective: q.Eval.Objective,
+	})
+	return rows, nil
+}

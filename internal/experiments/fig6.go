@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"quhe/internal/core"
+)
+
+// Fig6Which selects one of the four resource sweeps of Fig. 6.
+type Fig6Which int
+
+const (
+	// Fig6Bandwidth sweeps B_total (Fig. 6(a)).
+	Fig6Bandwidth Fig6Which = iota + 1
+	// Fig6Power sweeps p_max (Fig. 6(b)).
+	Fig6Power
+	// Fig6ClientCPU sweeps f_c^max (Fig. 6(c)).
+	Fig6ClientCPU
+	// Fig6ServerCPU sweeps f_total (Fig. 6(d)).
+	Fig6ServerCPU
+)
+
+// String implements fmt.Stringer.
+func (w Fig6Which) String() string {
+	switch w {
+	case Fig6Bandwidth:
+		return "bandwidth"
+	case Fig6Power:
+		return "power"
+	case Fig6ClientCPU:
+		return "client-cpu"
+	case Fig6ServerCPU:
+		return "server-cpu"
+	default:
+		return fmt.Sprintf("Fig6Which(%d)", int(w))
+	}
+}
+
+// SweepMethods lists the methods compared in every Fig. 6 panel, in the
+// paper's legend order.
+var SweepMethods = []string{"AA", "OLAA", "OCCR", "QuHE"}
+
+// SweepResult holds one panel of Fig. 6: the objective of each method
+// across a resource budget sweep.
+type SweepResult struct {
+	Which  Fig6Which
+	XLabel string
+	Xs     []float64
+	// Series maps method name → objective values aligned with Xs.
+	Series map[string][]float64
+}
+
+// fig6Range returns the paper's x-axis for each panel.
+func fig6Range(which Fig6Which, points int) ([]float64, string, error) {
+	if points <= 1 {
+		points = 5
+	}
+	var lo, hi float64
+	var label string
+	switch which {
+	case Fig6Bandwidth:
+		lo, hi, label = 0.5e7, 1.5e7, "B_total (Hz)"
+	case Fig6Power:
+		lo, hi, label = 0.2, 1.0, "p_max (W)"
+	case Fig6ClientCPU:
+		lo, hi, label = 0.5e10, 1.5e10, "f_c^max (Hz)"
+	case Fig6ServerCPU:
+		lo, hi, label = 2e10, 3e10, "f_total (Hz)"
+	default:
+		return nil, "", fmt.Errorf("experiments: unknown sweep %d", int(which))
+	}
+	xs := make([]float64, points)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*float64(i)/float64(points-1)
+	}
+	return xs, label, nil
+}
+
+// applySweep clones cfg with the swept budget set to x.
+func applySweep(cfg *core.Config, which Fig6Which, x float64) *core.Config {
+	c := cfg.Clone()
+	switch which {
+	case Fig6Bandwidth:
+		c.BTotal = x
+	case Fig6Power:
+		for i := range c.PMax {
+			c.PMax[i] = x
+		}
+	case Fig6ClientCPU:
+		for i := range c.FCMax {
+			c.FCMax[i] = x
+		}
+	case Fig6ServerCPU:
+		c.FSTotal = x
+	}
+	return c
+}
+
+// Fig6 regenerates one panel of Fig. 6: for each budget value it solves the
+// system with AA, OLAA, OCCR and QuHE and records the P1 objective.
+// points ≤ 0 selects the paper's 5-point grid.
+func Fig6(cfg *core.Config, which Fig6Which, points, workers int) (SweepResult, error) {
+	var res SweepResult
+	xs, label, err := fig6Range(which, points)
+	if err != nil {
+		return res, err
+	}
+	res.Which = which
+	res.XLabel = label
+	res.Xs = xs
+	res.Series = make(map[string][]float64, len(SweepMethods))
+	for _, m := range SweepMethods {
+		res.Series[m] = make([]float64, len(xs))
+	}
+
+	err = parallelMap(len(xs), workers, func(i int) error {
+		c := applySweep(cfg, which, xs[i])
+		for _, kind := range []core.BaselineKind{core.BaselineAA, core.BaselineOLAA, core.BaselineOCCR} {
+			r, err := c.SolveBaseline(kind)
+			if err != nil {
+				return fmt.Errorf("experiments: fig6 %s x=%g %s: %w", which, xs[i], kind, err)
+			}
+			res.Series[kind.String()][i] = r.Eval.Objective
+		}
+		q, err := c.SolveQuHE(core.QuHEOptions{})
+		if err != nil {
+			return fmt.Errorf("experiments: fig6 %s x=%g QuHE: %w", which, xs[i], err)
+		}
+		res.Series["QuHE"][i] = q.Eval.Objective
+		return nil
+	})
+	return res, err
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Render writes the table as aligned ASCII columns.
+func (t Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// RenderSeries writes a sweep result as one row per x value with a column
+// per method, in SweepMethods order.
+func RenderSeries(w io.Writer, s SweepResult) {
+	fmt.Fprintf(w, "Fig. 6 sweep: %s\n", s.XLabel)
+	t := Table{Header: append([]string{s.XLabel}, SweepMethods...)}
+	for i, x := range s.Xs {
+		row := []string{formatSI(x)}
+		for _, m := range SweepMethods {
+			row = append(row, strconv.FormatFloat(s.Series[m][i], 'f', 3, 64))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Render(w)
+}
+
+// RenderHistogram writes the Fig. 3(b)-style bucket counts.
+func RenderHistogram(w io.Writer, edges []float64, counts []int) {
+	maxCount := 1
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range counts {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(w, "[%6.1f, %6.1f)  %4d  %s\n", edges[i], edges[i+1], c, bar)
+	}
+}
+
+// RenderTrace prints a convergence trace, sub-sampled to at most maxPoints.
+func RenderTrace(w io.Writer, name string, trace []float64, maxPoints int) {
+	if maxPoints <= 0 {
+		maxPoints = 20
+	}
+	fmt.Fprintf(w, "%s (%d iterations):\n", name, len(trace))
+	if len(trace) == 0 {
+		fmt.Fprintln(w, "  (empty)")
+		return
+	}
+	step := 1
+	if len(trace) > maxPoints {
+		step = len(trace) / maxPoints
+	}
+	for i := 0; i < len(trace); i += step {
+		fmt.Fprintf(w, "  iter %4d: %.6g\n", i, trace[i])
+	}
+	if (len(trace)-1)%step != 0 {
+		fmt.Fprintf(w, "  iter %4d: %.6g\n", len(trace)-1, trace[len(trace)-1])
+	}
+}
+
+// formatSI renders large magnitudes compactly (1.5e7 → "1.50e7"; small
+// values in plain decimal).
+func formatSI(x float64) string {
+	if x >= 1e5 || (x > 0 && x < 1e-3) {
+		return strconv.FormatFloat(x, 'e', 2, 64)
+	}
+	return strconv.FormatFloat(x, 'g', 4, 64)
+}

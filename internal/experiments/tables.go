@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"quhe/internal/core"
+	"quhe/internal/qnet"
+)
+
+// Table is a rendered-friendly table: a title, a header row and body rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Table5 regenerates Table V: the optimal φ values found by each Stage-1
+// method (QuHE Stage 1, gradient descent, simulated annealing, random
+// selection).
+func Table5(cfg *core.Config, seed int64) (Table, error) {
+	comps, err := Stage1Methods(cfg, seed)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Table V: phi values of different methods",
+		Header: []string{"phi_n", "QuHE Stage 1", "Gradient descent", "Sim. annealing", "Random select"},
+	}
+	n := cfg.N()
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprintf("phi_%d", i+1)}
+		for _, c := range comps {
+			row = append(row, strconv.FormatFloat(c.Phi[i], 'f', 4, 64))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table6 regenerates Table VI: the optimal w values per Stage-1 method.
+func Table6(cfg *core.Config, seed int64) (Table, error) {
+	comps, err := Stage1Methods(cfg, seed)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		Title:  "Table VI: w values of different methods",
+		Header: []string{"w_l", "QuHE Stage 1", "Gradient descent", "Sim. annealing", "Random select"},
+	}
+	for l := 0; l < cfg.Net.NumLinks(); l++ {
+		row := []string{fmt.Sprintf("w_%d", l+1)}
+		for _, c := range comps {
+			row = append(row, strconv.FormatFloat(c.W[l], 'f', 4, 64))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// TopologyTables regenerates the input Tables III (routes) and IV (link
+// lengths and β) from the embedded SURFnet data.
+func TopologyTables(net *qnet.Network) (routes, links Table) {
+	routes = Table{
+		Title:  "Table III: routes with end nodes and links",
+		Header: []string{"Route ID", "End nodes", "Links"},
+	}
+	for r := 0; r < net.NumRoutes(); r++ {
+		rt := net.Route(r)
+		ids := ""
+		for i, id := range rt.LinkIDs {
+			if i > 0 {
+				ids += ", "
+			}
+			ids += strconv.Itoa(id)
+		}
+		routes.Rows = append(routes.Rows, []string{
+			strconv.Itoa(rt.ID),
+			fmt.Sprintf("(%s, %s)", rt.Source, rt.Dest),
+			"(" + ids + ")",
+		})
+	}
+	links = Table{
+		Title:  "Table IV: link lengths and beta_l",
+		Header: []string{"Link ID", "Length (km)", "beta_l"},
+	}
+	for l := 0; l < net.NumLinks(); l++ {
+		lk := net.Link(l)
+		links.Rows = append(links.Rows, []string{
+			strconv.Itoa(lk.ID),
+			strconv.FormatFloat(lk.LengthKm, 'f', 1, 64),
+			strconv.FormatFloat(lk.Beta, 'f', 2, 64),
+		})
+	}
+	return routes, links
+}

@@ -1,0 +1,526 @@
+package ckks
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// testContext returns a small, fast context (N=256, depth 1).
+func testContext(t testing.TB) *Context {
+	t.Helper()
+	p, err := NewParams(8, 35, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func randomSlots(rng *rand.Rand, n int) []complex128 {
+	z := make([]complex128, n)
+	for i := range z {
+		z[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return z
+}
+
+func maxSlotError(a, b []complex128) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := NewParams(2, 35, 25, 1); err == nil {
+		t.Error("tiny logN accepted")
+	}
+	if _, err := NewParams(8, 62, 25, 1); err == nil {
+		t.Error("oversized base accepted")
+	}
+	if _, err := NewParams(8, 40, 25, 3); err == nil {
+		t.Error("overflowing chain accepted")
+	}
+	if _, err := NewParams(8, 35, 25, -1); err == nil {
+		t.Error("negative depth accepted")
+	}
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Errorf("DefaultParams invalid: %v", err)
+	}
+	if p.Slots() != p.N()/2 {
+		t.Error("slots != N/2")
+	}
+}
+
+func TestContextChain(t *testing.T) {
+	ctx := testContext(t)
+	if ctx.MaxLevel() != 1 {
+		t.Fatalf("MaxLevel = %d, want 1", ctx.MaxLevel())
+	}
+	if ctx.Mod(1).Q != ctx.Primes[0]*ctx.Primes[1] {
+		t.Error("top modulus is not the prime product")
+	}
+	if ctx.Mod(0).Q != ctx.Primes[0] {
+		t.Error("bottom modulus is not the base prime")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	rng := rand.New(rand.NewSource(1))
+	z := randomSlots(rng, ctx.Params.Slots())
+	pt, err := enc.Encode(z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc.Decode(pt)
+	if errv := maxSlotError(z, got); errv > 1e-4 {
+		t.Errorf("encode/decode error %v", errv)
+	}
+}
+
+func TestEncodeRejectsTooManyValues(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	z := make([]complex128, ctx.Params.Slots()+1)
+	if _, err := enc.Encode(z, 0); err == nil {
+		t.Error("oversized slot vector accepted")
+	}
+	if _, err := enc.EncodeAtLevel(z[:1], 0, 5); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 7)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 8)
+
+	rng := rand.New(rand.NewSource(2))
+	z := randomSlots(rng, ctx.Params.Slots())
+	pt, err := enc.Encode(z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pk, pt)
+	got := enc.Decode(ev.Decrypt(sk, ct))
+	if errv := maxSlotError(z, got); errv > 1e-3 {
+		t.Errorf("enc/dec error %v", errv)
+	}
+}
+
+func TestHomomorphicAddSub(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 3)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 4)
+
+	rng := rand.New(rand.NewSource(5))
+	a := randomSlots(rng, ctx.Params.Slots())
+	b := randomSlots(rng, ctx.Params.Slots())
+	pta, _ := enc.Encode(a, 0)
+	ptb, _ := enc.Encode(b, 0)
+	cta := ev.Encrypt(pk, pta)
+	ctb := ev.Encrypt(pk, ptb)
+
+	sum, err := ev.Add(cta, ctb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(a))
+	for i := range want {
+		want[i] = a[i] + b[i]
+	}
+	if errv := maxSlotError(want, enc.Decode(ev.Decrypt(sk, sum))); errv > 1e-3 {
+		t.Errorf("add error %v", errv)
+	}
+
+	diff, err := ev.Sub(cta, ctb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		want[i] = a[i] - b[i]
+	}
+	if errv := maxSlotError(want, enc.Decode(ev.Decrypt(sk, diff))); errv > 1e-3 {
+		t.Errorf("sub error %v", errv)
+	}
+}
+
+func TestPlaintextOps(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 3)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 4)
+
+	rng := rand.New(rand.NewSource(6))
+	a := randomSlots(rng, ctx.Params.Slots())
+	b := randomSlots(rng, ctx.Params.Slots())
+	pta, _ := enc.Encode(a, 0)
+	ptb, _ := enc.Encode(b, 0)
+	ct := ev.Encrypt(pk, pta)
+
+	added, err := ev.AddPlain(ct, ptb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(a))
+	for i := range want {
+		want[i] = a[i] + b[i]
+	}
+	if errv := maxSlotError(want, enc.Decode(ev.Decrypt(sk, added))); errv > 1e-3 {
+		t.Errorf("addplain error %v", errv)
+	}
+
+	mul, err := ev.MulPlain(ct, ptb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescaled, err := ev.Rescale(mul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		want[i] = a[i] * b[i]
+	}
+	if errv := maxSlotError(want, enc.Decode(ev.Decrypt(sk, rescaled))); errv > 0.01 {
+		t.Errorf("mulplain error %v", errv)
+	}
+	if rescaled.Level != 0 {
+		t.Errorf("rescaled level = %d, want 0", rescaled.Level)
+	}
+}
+
+func TestMulRelinRescale(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 9)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 10)
+
+	rng := rand.New(rand.NewSource(11))
+	a := randomSlots(rng, ctx.Params.Slots())
+	b := randomSlots(rng, ctx.Params.Slots())
+	pta, _ := enc.Encode(a, 0)
+	ptb, _ := enc.Encode(b, 0)
+	cta := ev.Encrypt(pk, pta)
+	ctb := ev.Encrypt(pk, ptb)
+
+	prod, err := ev.MulRelin(cta, ctb, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescaled, err := ev.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(a))
+	for i := range want {
+		want[i] = a[i] * b[i]
+	}
+	if errv := maxSlotError(want, enc.Decode(ev.Decrypt(sk, rescaled))); errv > 0.02 {
+		t.Errorf("mulrelin error %v", errv)
+	}
+	// Scale returns near Δ: within the prime-vs-power-of-two slack.
+	if ratio := rescaled.Scale / ctx.Params.Scale(); ratio < 0.9 || ratio > 1.2 {
+		t.Errorf("rescaled scale ratio %v", ratio)
+	}
+}
+
+func TestMulRelinRequiresKey(t *testing.T) {
+	ctx := testContext(t)
+	ev := NewEvaluator(ctx, 1)
+	ct := &Ciphertext{C0: ctx.Mod(1).NewPoly(), C1: ctx.Mod(1).NewPoly(), Scale: 1, Level: 1}
+	if _, err := ev.MulRelin(ct, ct, nil); err == nil {
+		t.Error("nil relin key accepted")
+	}
+}
+
+func TestLevelMismatchRejected(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 2)
+	pt, _ := enc.EncodeReal([]float64{1}, 0)
+	ct := ev.Encrypt(pk, pt)
+	dropped, err := ev.DropLevel(ct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Add(ct, dropped); err == nil {
+		t.Error("level mismatch accepted by Add")
+	}
+	_ = sk
+}
+
+func TestDropLevelPreservesMessage(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 2)
+
+	vals := []float64{0.5, -0.25, 0.125}
+	pt, err := enc.EncodeReal(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pk, pt)
+	dropped, err := ev.DropLevel(ct, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc.DecodeReal(ev.Decrypt(sk, dropped))
+	for i, want := range vals {
+		if math.Abs(got[i]-want) > 1e-3 {
+			t.Errorf("slot %d = %v, want %v", i, got[i], want)
+		}
+	}
+	if _, err := ev.DropLevel(dropped, 1); err == nil {
+		t.Error("raising level accepted")
+	}
+}
+
+func TestRescaleAtBottomRejected(t *testing.T) {
+	ctx := testContext(t)
+	ev := NewEvaluator(ctx, 1)
+	ct := &Ciphertext{C0: ctx.Mod(0).NewPoly(), C1: ctx.Mod(0).NewPoly(), Scale: 1, Level: 0}
+	if _, err := ev.Rescale(ct); err == nil {
+		t.Error("rescale below level 0 accepted")
+	}
+}
+
+func TestTrivialCiphertext(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	ev := NewEvaluator(ctx, 2)
+	vals := []float64{0.75, -0.5}
+	pt, err := enc.EncodeReal(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Trivial(pt)
+	got := enc.DecodeReal(ev.Decrypt(sk, ct))
+	for i, want := range vals {
+		if math.Abs(got[i]-want) > 1e-4 {
+			t.Errorf("slot %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestEncryptedDotProduct runs the paper's workload shape: a linear model
+// evaluated on encrypted features (MulPlain + Rescale + Add chain).
+func TestEncryptedDotProduct(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 21)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 22)
+
+	features := []float64{0.3, -0.7, 0.2, 0.9}
+	weights := []float64{0.5, 0.25, -1.0, 0.1}
+	ptF, err := enc.EncodeReal(features, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pk, ptF)
+	ptW, err := enc.EncodeReal(weights, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := ev.MulPlain(ct, ptW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescaled, err := ev.Rescale(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc.DecodeReal(ev.Decrypt(sk, rescaled))
+	for i := range features {
+		want := features[i] * weights[i]
+		if math.Abs(got[i]-want) > 0.01 {
+			t.Errorf("slot %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestNoiseBudgetAcrossDepth2(t *testing.T) {
+	p, err := NewParams(8, 30, 15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 31)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 32)
+
+	vals := []float64{0.5, -0.5, 0.25}
+	pt, err := enc.EncodeReal(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pk, pt)
+	// Square twice: x → x² → x⁴ across both levels.
+	sq, err := ev.MulRelin(ct, ct, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err = ev.Rescale(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := ev.MulRelin(sq, sq, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err = ev.Rescale(quad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc.DecodeReal(ev.Decrypt(sk, quad))
+	for i, v := range vals {
+		want := math.Pow(v, 4)
+		if math.Abs(got[i]-want) > 0.05 {
+			t.Errorf("slot %d: x⁴ = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	ctx := testContext(b)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 2)
+	pt, _ := enc.EncodeReal([]float64{0.5}, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Encrypt(pk, pt)
+	}
+}
+
+func BenchmarkMulRelin(b *testing.B) {
+	ctx := testContext(b)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 2)
+	pt, _ := enc.EncodeReal([]float64{0.5}, 0)
+	ct := ev.Encrypt(pk, pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.MulRelin(ct, ct, rlk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: encoding is linear — Decode(Encode(a) + Encode(b)) ≈ a + b.
+func TestEncoderLinearity(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	mod := ctx.Mod(ctx.MaxLevel())
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSlots(rng, ctx.Params.Slots())
+		b := randomSlots(rng, ctx.Params.Slots())
+		pa, err := enc.Encode(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := enc.Encode(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := &Plaintext{Value: mod.NewPoly(), Scale: pa.Scale, Level: pa.Level}
+		mod.Add(pa.Value, pb.Value, sum.Value)
+		got := enc.Decode(sum)
+		for i := range a {
+			if cmplx.Abs(got[i]-(a[i]+b[i])) > 1e-3 {
+				t.Fatalf("trial %d slot %d: %v != %v", trial, i, got[i], a[i]+b[i])
+			}
+		}
+	}
+}
+
+// Property: ciphertext addition commutes with plaintext addition across
+// random messages (homomorphism check via testing/quick-style loop).
+func TestAdditiveHomomorphismRandom(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 55)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 56)
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 8; trial++ {
+		a := randomSlots(rng, 16)
+		b := randomSlots(rng, 16)
+		pa, _ := enc.Encode(a, 0)
+		pb, _ := enc.Encode(b, 0)
+		sum, err := ev.Add(ev.Encrypt(pk, pa), ev.Encrypt(pk, pb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := enc.Decode(ev.Decrypt(sk, sum))
+		for i := range a {
+			if cmplx.Abs(got[i]-(a[i]+b[i])) > 5e-3 {
+				t.Fatalf("trial %d slot %d: %v vs %v", trial, i, got[i], a[i]+b[i])
+			}
+		}
+	}
+}
+
+// TestCiphertextCopyIndependence guards against aliasing bugs in Copy.
+func TestCiphertextCopyIndependence(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 2)
+	pt, _ := enc.EncodeReal([]float64{0.5}, 0)
+	ct := ev.Encrypt(pk, pt)
+	dup := ct.Copy()
+	dup.C0[0] = 12345
+	dup.Scale = 1
+	if ct.C0[0] == 12345 || ct.Scale == 1 {
+		t.Error("Copy shares state")
+	}
+	_ = sk
+}

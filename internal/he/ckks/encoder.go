@@ -1,0 +1,154 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Encoder maps complex slot vectors to ring plaintexts through the
+// canonical embedding: a message z ∈ C^{N/2} is interpolated at the
+// primitive 2N-th roots of unity ζ^{2j+1} (with conjugate symmetry so
+// coefficients come out real), scaled by Δ and rounded. Encoders are
+// immutable and safe for concurrent use.
+type Encoder struct {
+	ctx *Context
+	// twiddles for the length-N complex FFT.
+	wFwd, wInv []complex128
+	// zetaFwd[k] = ζ^k, zetaInv[k] = ζ^{−k} with ζ = exp(iπ/N).
+	zetaFwd, zetaInv []complex128
+}
+
+// NewEncoder builds an encoder for the context.
+func NewEncoder(ctx *Context) *Encoder {
+	n := ctx.Params.N()
+	e := &Encoder{
+		ctx:     ctx,
+		wFwd:    make([]complex128, n/2),
+		wInv:    make([]complex128, n/2),
+		zetaFwd: make([]complex128, n),
+		zetaInv: make([]complex128, n),
+	}
+	for i := 0; i < n/2; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		e.wFwd[i] = cmplx.Exp(complex(0, ang))
+		e.wInv[i] = cmplx.Exp(complex(0, -ang))
+	}
+	for k := 0; k < n; k++ {
+		ang := math.Pi * float64(k) / float64(n)
+		e.zetaFwd[k] = cmplx.Exp(complex(0, ang))
+		e.zetaInv[k] = cmplx.Exp(complex(0, -ang))
+	}
+	return e
+}
+
+// Encode embeds up to Slots() complex values into a top-level plaintext at
+// the given scale (≤ 0 selects the default Δ). Missing slots are zero.
+func (e *Encoder) Encode(values []complex128, scale float64) (*Plaintext, error) {
+	return e.EncodeAtLevel(values, scale, e.ctx.MaxLevel())
+}
+
+// EncodeAtLevel embeds values at an explicit level of the modulus chain.
+func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) (*Plaintext, error) {
+	n := e.ctx.Params.N()
+	slots := e.ctx.Params.Slots()
+	if len(values) > slots {
+		return nil, fmt.Errorf("ckks: %d values exceed %d slots", len(values), slots)
+	}
+	if level < 0 || level > e.ctx.MaxLevel() {
+		return nil, fmt.Errorf("ckks: level %d outside [0, %d]", level, e.ctx.MaxLevel())
+	}
+	if scale <= 0 {
+		scale = e.ctx.Params.Scale()
+	}
+	mod := e.ctx.Mod(level)
+	// Conjugate-symmetric extension: u_j = z_j, u_{N−1−j} = conj(z_j).
+	u := make([]complex128, n)
+	for j, z := range values {
+		u[j] = z
+		u[n-1-j] = cmplx.Conj(z)
+	}
+	// c_k = Δ · ζ^{−k} · IDFT(u)_k (real by symmetry).
+	fft(u, e.wInv)
+	inv := 1 / float64(n)
+	pt := &Plaintext{Value: mod.NewPoly(), Scale: scale, Level: level}
+	for k := 0; k < n; k++ {
+		c := real(u[k]*e.zetaInv[k]) * inv * scale
+		pt.Value[k] = mod.FromInt64(int64(math.Round(c)))
+	}
+	return pt, nil
+}
+
+// Decode recovers the slot vector from a plaintext, dividing by its scale.
+func (e *Encoder) Decode(pt *Plaintext) []complex128 {
+	n := e.ctx.Params.N()
+	mod := e.ctx.Mod(pt.Level)
+	u := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		u[k] = complex(float64(mod.CenteredInt64(pt.Value[k])), 0) * e.zetaFwd[k]
+	}
+	fft(u, e.wFwd)
+	out := make([]complex128, e.ctx.Params.Slots())
+	inv := complex(1/pt.Scale, 0)
+	for j := range out {
+		out[j] = u[j] * inv
+	}
+	return out
+}
+
+// EncodeReal is a convenience wrapper for real-valued slot vectors.
+func (e *Encoder) EncodeReal(values []float64, scale float64) (*Plaintext, error) {
+	z := make([]complex128, len(values))
+	for i, v := range values {
+		z[i] = complex(v, 0)
+	}
+	return e.Encode(z, scale)
+}
+
+// EncodeRealAtLevel encodes real values at an explicit level.
+func (e *Encoder) EncodeRealAtLevel(values []float64, scale float64, level int) (*Plaintext, error) {
+	z := make([]complex128, len(values))
+	for i, v := range values {
+		z[i] = complex(v, 0)
+	}
+	return e.EncodeAtLevel(z, scale, level)
+}
+
+// DecodeReal decodes and keeps the real parts.
+func (e *Encoder) DecodeReal(pt *Plaintext) []float64 {
+	z := e.Decode(pt)
+	out := make([]float64, len(z))
+	for i, v := range z {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// fft is an in-place iterative radix-2 FFT with the given twiddle table
+// (wFwd for the forward transform, wInv for the inverse without the 1/n
+// normalization).
+func fft(a []complex128, w []complex128) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		step := n / length
+		for start := 0; start < n; start += length {
+			for k := 0; k < length/2; k++ {
+				u := a[start+k]
+				v := a[start+k+length/2] * w[k*step]
+				a[start+k] = u + v
+				a[start+k+length/2] = u - v
+			}
+		}
+	}
+}

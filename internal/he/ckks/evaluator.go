@@ -1,0 +1,238 @@
+package ckks
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quhe/internal/he/ring"
+)
+
+// Evaluator performs CKKS encryption, decryption and homomorphic
+// arithmetic over one context. Methods allocate fresh outputs and never
+// mutate their operands. The internal RNG (used by Encrypt) makes one
+// evaluator unsafe for concurrent encryption; share read-only uses freely.
+type Evaluator struct {
+	ctx *Context
+	rng *rand.Rand
+}
+
+// NewEvaluator builds an evaluator. seed=0 selects a fixed default.
+func NewEvaluator(ctx *Context, seed int64) *Evaluator {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Evaluator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Context returns the evaluator's CKKS context.
+func (ev *Evaluator) Context() *Context { return ev.ctx }
+
+// Encrypt encrypts a plaintext under the public key at the plaintext's
+// level: (c0, c1) = (p0·u + e0 + m, p1·u + e1) with ternary u.
+func (ev *Evaluator) Encrypt(pk *PublicKey, pt *Plaintext) *Ciphertext {
+	mod := ev.ctx.Mod(pt.Level)
+	u := mod.TernaryPoly(ev.rng)
+	e0 := mod.GaussianPoly(ev.rng, ev.ctx.Params.Sigma)
+	e1 := mod.GaussianPoly(ev.rng, ev.ctx.Params.Sigma)
+	c0 := mod.MulPoly(pk.P0[pt.Level], u)
+	mod.Add(c0, e0, c0)
+	mod.Add(c0, pt.Value, c0)
+	c1 := mod.MulPoly(pk.P1[pt.Level], u)
+	mod.Add(c1, e1, c1)
+	return &Ciphertext{C0: c0, C1: c1, Scale: pt.Scale, Level: pt.Level}
+}
+
+// Trivial wraps a plaintext as the ciphertext (m, 0), which any key
+// decrypts. The server's transciphering path uses it to lift received
+// symmetric ciphertexts into the HE domain (Enc(c) in §III-A.4).
+func (ev *Evaluator) Trivial(pt *Plaintext) *Ciphertext {
+	return &Ciphertext{
+		C0:    pt.Value.Copy(),
+		C1:    ev.ctx.Mod(pt.Level).NewPoly(),
+		Scale: pt.Scale,
+		Level: pt.Level,
+	}
+}
+
+// Decrypt recovers the plaintext m = c0 + c1·s at the ciphertext's level.
+func (ev *Evaluator) Decrypt(sk *SecretKey, ct *Ciphertext) *Plaintext {
+	mod := ev.ctx.Mod(ct.Level)
+	m := mod.MulPoly(ct.C1, sk.S[ct.Level])
+	mod.Add(m, ct.C0, m)
+	return &Plaintext{Value: m, Scale: ct.Scale, Level: ct.Level}
+}
+
+// Add returns a + b. Levels and scales must match.
+func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.matchLevels(a, b); err != nil {
+		return nil, err
+	}
+	mod := ev.ctx.Mod(a.Level)
+	out := &Ciphertext{C0: mod.NewPoly(), C1: mod.NewPoly(), Scale: a.Scale, Level: a.Level}
+	mod.Add(a.C0, b.C0, out.C0)
+	mod.Add(a.C1, b.C1, out.C1)
+	return out, nil
+}
+
+// Sub returns a − b. Levels and scales must match.
+func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := ev.matchLevels(a, b); err != nil {
+		return nil, err
+	}
+	mod := ev.ctx.Mod(a.Level)
+	out := &Ciphertext{C0: mod.NewPoly(), C1: mod.NewPoly(), Scale: a.Scale, Level: a.Level}
+	mod.Sub(a.C0, b.C0, out.C0)
+	mod.Sub(a.C1, b.C1, out.C1)
+	return out, nil
+}
+
+// AddPlain returns ct + pt. Levels and scales must match.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if ct.Level != pt.Level {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
+	}
+	if err := matchScales(ct.Scale, pt.Scale); err != nil {
+		return nil, err
+	}
+	out := ct.Copy()
+	ev.ctx.Mod(ct.Level).Add(out.C0, pt.Value, out.C0)
+	return out, nil
+}
+
+// SubPlain returns ct − pt. Levels and scales must match.
+func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if ct.Level != pt.Level {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
+	}
+	if err := matchScales(ct.Scale, pt.Scale); err != nil {
+		return nil, err
+	}
+	out := ct.Copy()
+	ev.ctx.Mod(ct.Level).Sub(out.C0, pt.Value, out.C0)
+	return out, nil
+}
+
+// MulPlain returns ct·pt; the output scale is the product of scales
+// (rescale afterwards to come back down). Levels must match.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
+	if ct.Level != pt.Level {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
+	}
+	mod := ev.ctx.Mod(ct.Level)
+	return &Ciphertext{
+		C0:    mod.MulPoly(ct.C0, pt.Value),
+		C1:    mod.MulPoly(ct.C1, pt.Value),
+		Scale: ct.Scale * pt.Scale,
+		Level: ct.Level,
+	}, nil
+}
+
+// MulRelin multiplies two ciphertexts and relinearizes the degree-2 term
+// with rlk. The output scale is the product of the input scales; rescale
+// afterwards.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
+	if rlk == nil || len(rlk.Parts) == 0 {
+		return nil, errors.New("ckks: nil relinearization key")
+	}
+	if a.Level != b.Level {
+		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", a.Level, b.Level)
+	}
+	mod := ev.ctx.Mod(a.Level)
+	// Tensor: (d0, d1, d2) = (a0·b0, a0·b1 + a1·b0, a1·b1).
+	d0 := mod.MulPoly(a.C0, b.C0)
+	d1 := mod.MulPoly(a.C0, b.C1)
+	tmp := mod.MulPoly(a.C1, b.C0)
+	mod.Add(d1, tmp, d1)
+	d2 := mod.MulPoly(a.C1, b.C1)
+
+	// Gadget-decompose d2 in base T and fold in the relin key parts.
+	base := uint64(1) << uint(rlk.LogBase)
+	rem := d2.Copy()
+	digit := mod.NewPoly()
+	for i := 0; i < len(rlk.Parts); i++ {
+		allZero := true
+		for j := range rem {
+			digit[j] = rem[j] % base
+			rem[j] /= base
+			if digit[j] != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			continue
+		}
+		mod.Add(d0, mod.MulPoly(digit, rlk.Parts[i][0][a.Level]), d0)
+		mod.Add(d1, mod.MulPoly(digit, rlk.Parts[i][1][a.Level]), d1)
+	}
+	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: a.Level}, nil
+}
+
+// Rescale divides the ciphertext by its level's prime and switches it down
+// one level — the CKKS modulus-switching rescale. The tracked scale shrinks
+// by exactly that prime.
+func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
+	if ct.Level == 0 {
+		return nil, errors.New("ckks: cannot rescale below level 0")
+	}
+	prime := ev.ctx.Primes[ct.Level]
+	topMod := ev.ctx.Mod(ct.Level)
+	botMod := ev.ctx.Mod(ct.Level - 1)
+	out := &Ciphertext{
+		C0:    rescalePoly(topMod, botMod, ct.C0, prime),
+		C1:    rescalePoly(topMod, botMod, ct.C1, prime),
+		Scale: ct.Scale / float64(prime),
+		Level: ct.Level - 1,
+	}
+	return out, nil
+}
+
+// DropLevel reduces the ciphertext to a lower level without dividing
+// (aligning operands that took different paths). The scale is unchanged.
+func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
+	if level < 0 || level > ct.Level {
+		return nil, fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level, level)
+	}
+	if level == ct.Level {
+		return ct.Copy(), nil
+	}
+	return &Ciphertext{
+		C0:    ev.ctx.reduceTo(ct.C0, level),
+		C1:    ev.ctx.reduceTo(ct.C1, level),
+		Scale: ct.Scale,
+		Level: level,
+	}, nil
+}
+
+// rescalePoly computes round(centered(p)/prime) mod q_{ℓ−1}.
+func rescalePoly(top, bot *ring.Modulus, p ring.Poly, prime uint64) ring.Poly {
+	out := make(ring.Poly, len(p))
+	half := int64(prime) / 2
+	for i, v := range p {
+		c := top.CenteredInt64(v)
+		var r int64
+		if c >= 0 {
+			r = (c + half) / int64(prime)
+		} else {
+			r = -((-c + half) / int64(prime))
+		}
+		out[i] = bot.FromInt64(r)
+	}
+	return out
+}
+
+func (ev *Evaluator) matchLevels(a, b *Ciphertext) error {
+	if a.Level != b.Level {
+		return fmt.Errorf("ckks: level mismatch %d vs %d", a.Level, b.Level)
+	}
+	return matchScales(a.Scale, b.Scale)
+}
+
+// matchScales enforces equal scales within floating tolerance.
+func matchScales(a, b float64) error {
+	if math.Abs(a-b) > 1e-6*math.Max(a, b) {
+		return fmt.Errorf("ckks: scale mismatch %g vs %g", a, b)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package ckks
+
+import (
+	"math/rand"
+
+	"quhe/internal/he/ring"
+)
+
+// SecretKey is the RLWE secret: one ternary polynomial, stored reduced at
+// every level of the modulus chain (S[ℓ] is the secret mod q_ℓ).
+type SecretKey struct {
+	S []ring.Poly
+}
+
+// PublicKey is the RLWE encryption key (p0, p1) = (−a·s + e, a), stored per
+// level (reductions of the top-level key, which stay valid because
+// q_ℓ | q_top).
+type PublicKey struct {
+	P0, P1 []ring.Poly
+}
+
+// RelinKey relinearizes degree-2 ciphertexts. Part i encrypts T^i·s² under
+// s for gadget base T = 2^LogBase:
+//
+//	rlk_i = (−a_i·s + e_i + T^i·s², a_i),
+//
+// stored per level like the public key.
+type RelinKey struct {
+	// Parts[i][j][ℓ]: digit i, component j ∈ {0,1}, level ℓ.
+	Parts   [][2][]ring.Poly
+	LogBase int
+}
+
+// KeyGenerator derives CKKS keys from a seeded RNG. Not safe for
+// concurrent use.
+type KeyGenerator struct {
+	ctx *Context
+	rng *rand.Rand
+}
+
+// NewKeyGenerator builds a key generator over the context. seed=0 selects
+// a fixed default so tests are reproducible.
+func NewKeyGenerator(ctx *Context, seed int64) *KeyGenerator {
+	if seed == 0 {
+		seed = 1
+	}
+	return &KeyGenerator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
+}
+
+// perLevel reduces a top-level polynomial to every level.
+func (kg *KeyGenerator) perLevel(top ring.Poly) []ring.Poly {
+	out := make([]ring.Poly, len(kg.ctx.Moduli))
+	for ell := range out {
+		if ell == kg.ctx.MaxLevel() {
+			out[ell] = top.Copy()
+		} else {
+			out[ell] = kg.ctx.reduceTo(top, ell)
+		}
+	}
+	return out
+}
+
+// GenSecretKey samples a ternary secret.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	top := kg.ctx.Mod(kg.ctx.MaxLevel()).TernaryPoly(kg.rng)
+	return &SecretKey{S: kg.perLevel(top)}
+}
+
+// GenPublicKey builds (−a·s + e, a) at the top level and reduces down.
+func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
+	top := kg.ctx.Mod(kg.ctx.MaxLevel())
+	a := top.UniformPoly(kg.rng)
+	e := top.GaussianPoly(kg.rng, kg.ctx.Params.Sigma)
+	p0 := top.MulPoly(a, sk.S[kg.ctx.MaxLevel()])
+	top.Neg(p0, p0)
+	top.Add(p0, e, p0)
+	return &PublicKey{P0: kg.perLevel(p0), P1: kg.perLevel(a)}
+}
+
+// GenRelinKey builds the gadget-decomposed key for s².
+func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
+	ctx := kg.ctx
+	top := ctx.Mod(ctx.MaxLevel())
+	logBase := ctx.Params.RelinLogBase
+	digits := 0
+	for shift := 0; shift < 64 && (top.Q>>uint(shift)) > 0; shift += logBase {
+		digits++
+	}
+	s := sk.S[ctx.MaxLevel()]
+	s2 := top.MulPoly(s, s)
+	rlk := &RelinKey{Parts: make([][2][]ring.Poly, digits), LogBase: logBase}
+	power := uint64(1)
+	for i := 0; i < digits; i++ {
+		a := top.UniformPoly(kg.rng)
+		e := top.GaussianPoly(kg.rng, kg.ctx.Params.Sigma)
+		b := top.MulPoly(a, s)
+		top.Neg(b, b)
+		top.Add(b, e, b)
+		scaled := top.NewPoly()
+		top.MulScalar(s2, power, scaled)
+		top.Add(b, scaled, b)
+		rlk.Parts[i] = [2][]ring.Poly{kg.perLevel(b), kg.perLevel(a)}
+		power = ring.MulMod(power, uint64(1)<<uint(logBase), top.Q)
+	}
+	return rlk
+}

@@ -1,0 +1,188 @@
+// Package ckks implements a compact but genuine CKKS approximate
+// homomorphic encryption scheme over a true modulus chain: canonical-
+// embedding encoding, RLWE key generation (secret, public and
+// relinearization keys), encryption, decryption, homomorphic add /
+// multiply / rescale, and level management. It is the server-side
+// computation substrate of the QuHE system (§III-A.2/4): encrypted
+// inference runs on CKKS slots.
+//
+// The ciphertext modulus is a product q_0·q_1·…·q_L of NTT-friendly primes
+// held in a single uint64 (≤ 2^62 total); rescaling divides by the current
+// level's prime and switches the ciphertext down one level — the textbook
+// (non-RNS) CKKS construction. Versus production CKKS (SEAL / Lattigo /
+// OpenFHE) there are no Galois rotations and no bootstrapping; those
+// simplifications keep the package small while preserving the behaviour the
+// paper's cost model (Eqs. 29/31) abstracts: slot-wise encrypted arithmetic
+// whose cost grows with the polynomial degree λ = N.
+package ckks
+
+import (
+	"fmt"
+
+	"quhe/internal/he/ring"
+)
+
+// Params fixes a CKKS instance.
+type Params struct {
+	// LogN is log2 of the ring degree (the paper's λ is N = 2^LogN).
+	LogN int
+	// BaseBits is the size of the bottom prime q_0, which must hold the
+	// final scaled message.
+	BaseBits int
+	// ScaleBits is the size of each rescaling prime; the encoding scale Δ
+	// defaults to 2^ScaleBits.
+	ScaleBits int
+	// Depth is the number of rescaling primes (supported multiplications).
+	Depth int
+	// Sigma is the error standard deviation (3.2 by convention).
+	Sigma float64
+	// RelinLogBase is log2 of the gadget base used by relinearization
+	// keys; smaller bases mean more key parts but less noise.
+	RelinLogBase int
+}
+
+// NewParams assembles a parameter set, applying σ=3.2 and relin base 2^8.
+func NewParams(logN, baseBits, scaleBits, depth int) (Params, error) {
+	p := Params{
+		LogN: logN, BaseBits: baseBits, ScaleBits: scaleBits, Depth: depth,
+		Sigma: 3.2, RelinLogBase: 8,
+	}
+	return p, p.Validate()
+}
+
+// DefaultParams returns a depth-1 instance at ring degree 2^11 — ample for
+// the repository's encrypted-inference and transciphering workloads.
+func DefaultParams() Params {
+	p, err := NewParams(11, 35, 25, 1)
+	if err != nil {
+		panic("ckks: invalid default params: " + err.Error())
+	}
+	return p
+}
+
+// N returns the ring degree.
+func (p Params) N() int { return 1 << p.LogN }
+
+// Slots returns the number of complex slots (N/2).
+func (p Params) Slots() int { return 1 << (p.LogN - 1) }
+
+// Scale returns the default encoding scale Δ = 2^ScaleBits.
+func (p Params) Scale() float64 { return float64(uint64(1) << uint(p.ScaleBits)) }
+
+// MaxLevel is the top level index (fresh ciphertexts live here).
+func (p Params) MaxLevel() int { return p.Depth }
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	if p.LogN < 3 || p.LogN > 15 {
+		return fmt.Errorf("ckks: logN = %d outside [3, 15]", p.LogN)
+	}
+	if p.BaseBits < 20 || p.BaseBits > 61 {
+		return fmt.Errorf("ckks: baseBits = %d outside [20, 61]", p.BaseBits)
+	}
+	if p.Depth < 0 || p.Depth > 3 {
+		return fmt.Errorf("ckks: depth = %d outside [0, 3]", p.Depth)
+	}
+	if p.Depth > 0 && (p.ScaleBits < 15 || p.ScaleBits > 40) {
+		return fmt.Errorf("ckks: scaleBits = %d outside [15, 40]", p.ScaleBits)
+	}
+	if total := p.BaseBits + p.Depth*p.ScaleBits; total > 61 {
+		return fmt.Errorf("ckks: modulus chain needs %d bits > 61", total)
+	}
+	if p.Sigma <= 0 {
+		return fmt.Errorf("ckks: sigma %g must be positive", p.Sigma)
+	}
+	if p.RelinLogBase < 1 || p.RelinLogBase > 30 {
+		return fmt.Errorf("ckks: relin base 2^%d outside range", p.RelinLogBase)
+	}
+	return nil
+}
+
+// Context holds the realized modulus chain: Primes[0] is the base prime,
+// Primes[1..Depth] the rescaling primes; Moduli[ℓ] is the NTT context for
+// q_ℓ = Π_{i≤ℓ} Primes[i]. Contexts are immutable and safe to share.
+type Context struct {
+	Params Params
+	Primes []uint64
+	Moduli []*ring.Modulus
+}
+
+// NewContext searches the primes and builds per-level NTT tables.
+func NewContext(p Params) (*Context, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	base, err := ring.FindNTTPrime(p.BaseBits, n)
+	if err != nil {
+		return nil, fmt.Errorf("ckks: base prime: %w", err)
+	}
+	primes := []uint64{base}
+	if p.Depth > 0 {
+		scalePrimes, err := ring.FindNTTPrimes(p.ScaleBits, n, p.Depth)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: scale primes: %w", err)
+		}
+		primes = append(primes, scalePrimes...)
+	}
+	ctx := &Context{Params: p, Primes: primes, Moduli: make([]*ring.Modulus, len(primes))}
+
+	// Level ℓ modulus is the product of primes[0..ℓ] with a CRT-combined
+	// primitive 2N-th root.
+	q := uint64(1)
+	var psi uint64
+	for ell, prime := range primes {
+		root, err := ring.PrimitiveRoot2N(prime, n)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: root mod %d: %w", prime, err)
+		}
+		if ell == 0 {
+			q, psi = prime, root
+		} else {
+			psi = ring.CRTPair(psi, q, root, prime)
+			q *= prime
+		}
+		mod, err := ring.NewModulusWithRoot(q, n, psi)
+		if err != nil {
+			return nil, fmt.Errorf("ckks: level %d modulus: %w", ell, err)
+		}
+		ctx.Moduli[ell] = mod
+	}
+	return ctx, nil
+}
+
+// Mod returns the NTT context at the given level.
+func (c *Context) Mod(level int) *ring.Modulus { return c.Moduli[level] }
+
+// MaxLevel is the top level index.
+func (c *Context) MaxLevel() int { return len(c.Moduli) - 1 }
+
+// reduceTo maps a polynomial mod q_from to mod q_to (q_to | q_from).
+func (c *Context) reduceTo(p ring.Poly, level int) ring.Poly {
+	q := c.Moduli[level].Q
+	out := make(ring.Poly, len(p))
+	for i, v := range p {
+		out[i] = v % q
+	}
+	return out
+}
+
+// Plaintext is an encoded message: a ring polynomial at a scale and level.
+type Plaintext struct {
+	Value ring.Poly
+	Scale float64
+	Level int
+}
+
+// Ciphertext is a degree-1 RLWE ciphertext (c0, c1) at a scale and level,
+// decrypting to c0 + c1·s mod q_Level.
+type Ciphertext struct {
+	C0, C1 ring.Poly
+	Scale  float64
+	Level  int
+}
+
+// Copy returns an independent copy.
+func (ct *Ciphertext) Copy() *Ciphertext {
+	return &Ciphertext{C0: ct.C0.Copy(), C1: ct.C1.Copy(), Scale: ct.Scale, Level: ct.Level}
+}

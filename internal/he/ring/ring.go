@@ -1,0 +1,472 @@
+// Package ring implements negacyclic polynomial arithmetic in
+// R_q = Z_q[X]/(X^N + 1) for a single NTT-friendly prime q: modular
+// helpers, the negacyclic number-theoretic transform, schoolbook
+// multiplication (the testing oracle), and the uniform/ternary/Gaussian
+// samplers CKKS needs.
+//
+// N must be a power of two and q ≡ 1 (mod 2N) so a primitive 2N-th root of
+// unity exists; FindNTTPrime searches for such primes.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+	"math/rand"
+)
+
+// AddMod returns (a + b) mod q for a, b < q.
+func AddMod(a, b, q uint64) uint64 {
+	s := a + b
+	if s >= q || s < a { // s < a catches wraparound (q > 2^63 unsupported)
+		s -= q
+	}
+	return s
+}
+
+// SubMod returns (a − b) mod q for a, b < q.
+func SubMod(a, b, q uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + q - b
+}
+
+// MulMod returns (a·b) mod q using 128-bit intermediate arithmetic.
+func MulMod(a, b, q uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return bits.Rem64(hi, lo, q)
+}
+
+// PowMod returns a^e mod q by square-and-multiply.
+func PowMod(a, e, q uint64) uint64 {
+	result := uint64(1 % q)
+	base := a % q
+	for e > 0 {
+		if e&1 == 1 {
+			result = MulMod(result, base, q)
+		}
+		base = MulMod(base, base, q)
+		e >>= 1
+	}
+	return result
+}
+
+// InvMod returns a^{−1} mod q via the extended Euclidean algorithm; it
+// works for any modulus as long as gcd(a, q) = 1, and returns 0 otherwise.
+func InvMod(a, q uint64) uint64 {
+	if q == 0 {
+		return 0
+	}
+	// Signed Bézout on int128-free path: track coefficients mod q.
+	var r0, r1 = int64(q), int64(a % q)
+	var t0, t1 = int64(0), int64(1)
+	for r1 != 0 {
+		quot := r0 / r1
+		r0, r1 = r1, r0-quot*r1
+		t0, t1 = t1, t0-quot*t1
+	}
+	if r0 != 1 {
+		return 0 // not invertible
+	}
+	if t0 < 0 {
+		t0 += int64(q)
+	}
+	return uint64(t0)
+}
+
+// CRTPair combines residues r1 mod q1 and r2 mod q2 (coprime, q1·q2 <
+// 2^63) into the unique value mod q1·q2.
+func CRTPair(r1, q1, r2, q2 uint64) uint64 {
+	inv := InvMod(q1%q2, q2)
+	t := MulMod(SubMod(r2%q2, r1%q2, q2), inv, q2)
+	return r1 + q1*t
+}
+
+// FindNTTPrime returns the largest prime q < 2^bitLen with q ≡ 1 (mod 2n).
+// bitLen must be in [20, 62]; n a power of two.
+func FindNTTPrime(bitLen, n int) (uint64, error) {
+	if bitLen < 20 || bitLen > 62 {
+		return 0, fmt.Errorf("ring: bitLen %d outside [20, 62]", bitLen)
+	}
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("ring: n = %d is not a positive power of two", n)
+	}
+	step := uint64(2 * n)
+	// Largest q ≡ 1 mod 2n below 2^bitLen.
+	q := (uint64(1)<<uint(bitLen) - 1)
+	q -= (q - 1) % step
+	for ; q > step; q -= step {
+		if new(big.Int).SetUint64(q).ProbablyPrime(20) {
+			return q, nil
+		}
+	}
+	return 0, fmt.Errorf("ring: no NTT prime of %d bits for n = %d", bitLen, n)
+}
+
+// FindNTTPrimes returns count distinct primes ≡ 1 (mod 2n) descending from
+// 2^bitLen.
+func FindNTTPrimes(bitLen, n, count int) ([]uint64, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("ring: count %d must be positive", count)
+	}
+	out := make([]uint64, 0, count)
+	next := uint64(1)<<uint(bitLen) - 1
+	step := uint64(2 * n)
+	for len(out) < count {
+		q, err := findNTTPrimeBelow(next, n)
+		if err != nil {
+			return nil, fmt.Errorf("ring: only %d of %d primes of %d bits for n=%d", len(out), count, bitLen, n)
+		}
+		out = append(out, q)
+		next = q - step
+	}
+	return out, nil
+}
+
+func findNTTPrimeBelow(start uint64, n int) (uint64, error) {
+	step := uint64(2 * n)
+	q := start
+	q -= (q - 1) % step
+	for ; q > step; q -= step {
+		if new(big.Int).SetUint64(q).ProbablyPrime(20) {
+			return q, nil
+		}
+	}
+	return 0, errors.New("ring: no NTT prime found")
+}
+
+// PrimitiveRoot2N exposes the primitive 2N-th root search for prime q so a
+// CKKS modulus chain can CRT-combine per-prime roots.
+func PrimitiveRoot2N(q uint64, n int) (uint64, error) {
+	return primitiveRoot2N(q, uint64(n))
+}
+
+// Modulus bundles the prime q, the ring degree N and the precomputed
+// negacyclic NTT tables. It is immutable after construction and safe for
+// concurrent use.
+type Modulus struct {
+	Q uint64
+	N int
+
+	psiPow    []uint64 // psi^i in bit-reversed order (forward twiddles)
+	psiInvPow []uint64 // psi^{-i} in bit-reversed order (inverse twiddles)
+	nInv      uint64   // N^{-1} mod q
+}
+
+// NewModulus validates q and N and precomputes NTT tables. q must be an
+// NTT-friendly prime for degree N (q ≡ 1 mod 2N, q < 2^62).
+func NewModulus(q uint64, n int) (*Modulus, error) {
+	if err := checkModulusShape(q, n); err != nil {
+		return nil, err
+	}
+	if !new(big.Int).SetUint64(q).ProbablyPrime(20) {
+		return nil, fmt.Errorf("ring: q = %d is not prime", q)
+	}
+	psi, err := primitiveRoot2N(q, uint64(n))
+	if err != nil {
+		return nil, err
+	}
+	return newModulusWithRoot(q, n, psi)
+}
+
+// NewModulusWithRoot builds NTT tables for a possibly composite modulus q
+// from an explicitly supplied primitive 2N-th root of unity psi (e.g. the
+// CRT combination of per-prime roots for a CKKS modulus chain). It verifies
+// psi^N ≡ −1 (mod q) and that N is invertible mod q.
+func NewModulusWithRoot(q uint64, n int, psi uint64) (*Modulus, error) {
+	if err := checkModulusShape(q, n); err != nil {
+		return nil, err
+	}
+	if PowMod(psi, uint64(n), q) != q-1 {
+		return nil, fmt.Errorf("ring: psi = %d is not a primitive 2N-th root mod %d", psi, q)
+	}
+	if InvMod(uint64(n), q) == 0 {
+		return nil, fmt.Errorf("ring: N = %d not invertible mod %d", n, q)
+	}
+	return newModulusWithRoot(q, n, psi)
+}
+
+func checkModulusShape(q uint64, n int) error {
+	if n <= 1 || n&(n-1) != 0 {
+		return fmt.Errorf("ring: N = %d is not a power of two > 1", n)
+	}
+	if q >= 1<<62 {
+		return fmt.Errorf("ring: q = %d exceeds 2^62", q)
+	}
+	if q%(2*uint64(n)) != 1 {
+		return fmt.Errorf("ring: q = %d is not 1 mod 2N = %d", q, 2*n)
+	}
+	return nil
+}
+
+func newModulusWithRoot(q uint64, n int, psi uint64) (*Modulus, error) {
+	m := &Modulus{Q: q, N: n}
+	m.psiPow = make([]uint64, n)
+	m.psiInvPow = make([]uint64, n)
+	psiInv := InvMod(psi, q)
+	logN := bits.TrailingZeros(uint(n))
+	fw, inv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := reverseBits(uint32(i), logN)
+		m.psiPow[r] = fw
+		m.psiInvPow[r] = inv
+		fw = MulMod(fw, psi, q)
+		inv = MulMod(inv, psiInv, q)
+	}
+	m.nInv = InvMod(uint64(n), q)
+	return m, nil
+}
+
+// primitiveRoot2N finds a primitive 2N-th root of unity mod q.
+func primitiveRoot2N(q, n uint64) (uint64, error) {
+	// Find a generator-ish element: g^((q-1)/2N) has order dividing 2N;
+	// it has order exactly 2N iff its N-th power is −1.
+	exp := (q - 1) / (2 * n)
+	for g := uint64(2); g < 1000; g++ {
+		cand := PowMod(g, exp, q)
+		if PowMod(cand, n, q) == q-1 {
+			return cand, nil
+		}
+	}
+	return 0, errors.New("ring: no primitive 2N-th root found")
+}
+
+func reverseBits(v uint32, bits int) uint32 {
+	var r uint32
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (v & 1)
+		v >>= 1
+	}
+	return r
+}
+
+// Poly is a polynomial with coefficients in [0, q), either in coefficient
+// or NTT domain (the caller tracks which).
+type Poly []uint64
+
+// NewPoly allocates a zero polynomial of degree N.
+func (m *Modulus) NewPoly() Poly { return make(Poly, m.N) }
+
+// Copy returns an independent copy of p.
+func (p Poly) Copy() Poly {
+	out := make(Poly, len(p))
+	copy(out, p)
+	return out
+}
+
+// Add sets out = a + b (any domain). Slices may alias.
+func (m *Modulus) Add(a, b, out Poly) {
+	for i := range out {
+		out[i] = AddMod(a[i], b[i], m.Q)
+	}
+}
+
+// Sub sets out = a − b (any domain). Slices may alias.
+func (m *Modulus) Sub(a, b, out Poly) {
+	for i := range out {
+		out[i] = SubMod(a[i], b[i], m.Q)
+	}
+}
+
+// Neg sets out = −a.
+func (m *Modulus) Neg(a, out Poly) {
+	for i := range out {
+		if a[i] == 0 {
+			out[i] = 0
+		} else {
+			out[i] = m.Q - a[i]
+		}
+	}
+}
+
+// MulCoeffwise sets out = a ⊙ b (pointwise; used in the NTT domain).
+func (m *Modulus) MulCoeffwise(a, b, out Poly) {
+	for i := range out {
+		out[i] = MulMod(a[i], b[i], m.Q)
+	}
+}
+
+// MulScalar sets out = c·a.
+func (m *Modulus) MulScalar(a Poly, c uint64, out Poly) {
+	for i := range out {
+		out[i] = MulMod(a[i], c, m.Q)
+	}
+}
+
+// NTT transforms p to the NTT domain in place (negacyclic, Cooley-Tukey).
+func (m *Modulus) NTT(p Poly) {
+	n := m.N
+	t := n
+	for mm := 1; mm < n; mm <<= 1 {
+		t >>= 1
+		for i := 0; i < mm; i++ {
+			j1 := 2 * i * t
+			j2 := j1 + t
+			s := m.psiPow[mm+i]
+			for j := j1; j < j2; j++ {
+				u := p[j]
+				v := MulMod(p[j+t], s, m.Q)
+				p[j] = AddMod(u, v, m.Q)
+				p[j+t] = SubMod(u, v, m.Q)
+			}
+		}
+	}
+}
+
+// INTT transforms p back to the coefficient domain in place
+// (Gentleman-Sande).
+func (m *Modulus) INTT(p Poly) {
+	n := m.N
+	t := 1
+	for mm := n; mm > 1; mm >>= 1 {
+		j1 := 0
+		h := mm >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + t
+			s := m.psiInvPow[h+i]
+			for j := j1; j < j2; j++ {
+				u := p[j]
+				v := p[j+t]
+				p[j] = AddMod(u, v, m.Q)
+				p[j+t] = MulMod(SubMod(u, v, m.Q), s, m.Q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range p {
+		p[i] = MulMod(p[i], m.nInv, m.Q)
+	}
+}
+
+// MulPoly returns the negacyclic product a·b using the NTT. Inputs are in
+// the coefficient domain and are not modified.
+func (m *Modulus) MulPoly(a, b Poly) Poly {
+	aa, bb := a.Copy(), b.Copy()
+	m.NTT(aa)
+	m.NTT(bb)
+	m.MulCoeffwise(aa, bb, aa)
+	m.INTT(aa)
+	return aa
+}
+
+// MulPolyNaive is the O(N²) schoolbook negacyclic product, used as a
+// correctness oracle for MulPoly.
+func (m *Modulus) MulPolyNaive(a, b Poly) Poly {
+	n := m.N
+	out := m.NewPoly()
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			k := i + j
+			prod := MulMod(a[i], b[j], m.Q)
+			if k < n {
+				out[k] = AddMod(out[k], prod, m.Q)
+			} else {
+				out[k-n] = SubMod(out[k-n], prod, m.Q) // X^N = −1
+			}
+		}
+	}
+	return out
+}
+
+// CenteredInt64 returns the centered representative of coefficient v in
+// (−q/2, q/2].
+func (m *Modulus) CenteredInt64(v uint64) int64 {
+	if v > m.Q/2 {
+		return int64(v) - int64(m.Q)
+	}
+	return int64(v)
+}
+
+// FromInt64 reduces a signed value into [0, q).
+func (m *Modulus) FromInt64(v int64) uint64 {
+	r := v % int64(m.Q)
+	if r < 0 {
+		r += int64(m.Q)
+	}
+	return uint64(r)
+}
+
+// DivRound sets out[i] = round(centered(p[i]) / d) mod q — the approximate
+// rescaling step of CKKS. d must be positive.
+func (m *Modulus) DivRound(p Poly, d uint64, out Poly) {
+	half := int64(d) / 2
+	for i := range p {
+		c := m.CenteredInt64(p[i])
+		var r int64
+		if c >= 0 {
+			r = (c + half) / int64(d)
+		} else {
+			r = -((-c + half) / int64(d))
+		}
+		out[i] = m.FromInt64(r)
+	}
+}
+
+// UniformPoly samples a polynomial with uniform coefficients in [0, q).
+func (m *Modulus) UniformPoly(rng *rand.Rand) Poly {
+	p := m.NewPoly()
+	for i := range p {
+		p[i] = uniformUint64(rng, m.Q)
+	}
+	return p
+}
+
+// TernaryPoly samples coefficients from {−1, 0, 1} with equal probability
+// (the CKKS secret/ephemeral distribution).
+func (m *Modulus) TernaryPoly(rng *rand.Rand) Poly {
+	p := m.NewPoly()
+	for i := range p {
+		switch rng.Intn(3) {
+		case 0:
+			p[i] = 0
+		case 1:
+			p[i] = 1
+		default:
+			p[i] = m.Q - 1
+		}
+	}
+	return p
+}
+
+// GaussianPoly samples rounded-Gaussian error coefficients with the given
+// standard deviation (CKKS uses σ ≈ 3.2).
+func (m *Modulus) GaussianPoly(rng *rand.Rand, sigma float64) Poly {
+	p := m.NewPoly()
+	for i := range p {
+		v := int64(rng.NormFloat64()*sigma + 0.5)
+		p[i] = m.FromInt64(v)
+	}
+	return p
+}
+
+// uniformUint64 draws uniformly from [0, q) without modulo bias.
+func uniformUint64(rng *rand.Rand, q uint64) uint64 {
+	max := ^uint64(0) - ^uint64(0)%q
+	for {
+		v := rng.Uint64()
+		if v < max {
+			return v % q
+		}
+	}
+}
+
+// InfNorm returns the largest centered-absolute coefficient of p.
+func (m *Modulus) InfNorm(p Poly) uint64 {
+	var worst uint64
+	for _, v := range p {
+		c := m.CenteredInt64(v)
+		if c < 0 {
+			c = -c
+		}
+		if uint64(c) > worst {
+			worst = uint64(c)
+		}
+	}
+	return worst
+}

@@ -1,0 +1,322 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testModulus(t testing.TB, n int) *Modulus {
+	t.Helper()
+	q, err := FindNTTPrime(50, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModulus(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModArithmetic(t *testing.T) {
+	const q = 97
+	if got := AddMod(90, 10, q); got != 3 {
+		t.Errorf("AddMod = %d, want 3", got)
+	}
+	if got := SubMod(5, 10, q); got != 92 {
+		t.Errorf("SubMod = %d, want 92", got)
+	}
+	if got := MulMod(96, 96, q); got != 1 {
+		t.Errorf("MulMod = %d, want 1 ((-1)² = 1)", got)
+	}
+	if got := PowMod(3, 96, q); got != 1 {
+		t.Errorf("PowMod Fermat = %d, want 1", got)
+	}
+	if got := MulMod(InvMod(17, q), 17, q); got != 1 {
+		t.Errorf("InvMod: 17·17⁻¹ = %d, want 1", got)
+	}
+}
+
+func TestMulModLargeOperands(t *testing.T) {
+	q, err := FindNTTPrime(61, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := q-1, q-2
+	// (q-1)(q-2) mod q = 2.
+	if got := MulMod(a, b, q); got != 2 {
+		t.Errorf("MulMod large = %d, want 2", got)
+	}
+}
+
+func TestFindNTTPrime(t *testing.T) {
+	q, err := FindNTTPrime(30, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q%(2*1024) != 1 {
+		t.Errorf("q = %d not 1 mod 2N", q)
+	}
+	if q >= 1<<30 {
+		t.Errorf("q = %d too large", q)
+	}
+	if _, err := FindNTTPrime(10, 1024); err == nil {
+		t.Error("tiny bitLen accepted")
+	}
+	if _, err := FindNTTPrime(30, 1000); err == nil {
+		t.Error("non-power-of-two n accepted")
+	}
+}
+
+func TestNewModulusValidation(t *testing.T) {
+	if _, err := NewModulus(97, 1024); err == nil {
+		t.Error("q not 1 mod 2N accepted")
+	}
+	if _, err := NewModulus(2*1024*3+1, 1000); err == nil {
+		t.Error("bad N accepted")
+	}
+	// 12289 = 1 + 12·1024 is prime and ≡ 1 mod 2048.
+	if _, err := NewModulus(12289, 1024); err != nil {
+		t.Errorf("12289/1024 rejected: %v", err)
+	}
+	// Composite ≡ 1 mod 2N must be rejected.
+	if _, err := NewModulus(2048*2+1, 1024); err == nil { // 4097 = 17·241
+		t.Error("composite modulus accepted")
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	m := testModulus(t, 256)
+	rng := rand.New(rand.NewSource(1))
+	p := m.UniformPoly(rng)
+	orig := p.Copy()
+	m.NTT(p)
+	// NTT must change the representation (overwhelmingly likely).
+	same := true
+	for i := range p {
+		if p[i] != orig[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("NTT left polynomial unchanged")
+	}
+	m.INTT(p)
+	for i := range p {
+		if p[i] != orig[i] {
+			t.Fatalf("round trip failed at %d: %d != %d", i, p[i], orig[i])
+		}
+	}
+}
+
+func TestMulPolyMatchesNaive(t *testing.T) {
+	m := testModulus(t, 64)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := m.UniformPoly(rng)
+		b := m.UniformPoly(rng)
+		fast := m.MulPoly(a, b)
+		slow := m.MulPolyNaive(a, b)
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("trial %d: coeff %d: NTT %d != naive %d", trial, i, fast[i], slow[i])
+			}
+		}
+	}
+}
+
+func TestNegacyclicWraparound(t *testing.T) {
+	m := testModulus(t, 8)
+	// X^7 · X = X^8 = −1.
+	a := m.NewPoly()
+	b := m.NewPoly()
+	a[7] = 1
+	b[1] = 1
+	got := m.MulPoly(a, b)
+	want := m.NewPoly()
+	want[0] = m.Q - 1
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("X^7·X: coeff %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	m := testModulus(t, 32)
+	rng := rand.New(rand.NewSource(3))
+	a := m.UniformPoly(rng)
+	b := m.UniformPoly(rng)
+	sum := m.NewPoly()
+	m.Add(a, b, sum)
+	diff := m.NewPoly()
+	m.Sub(sum, b, diff)
+	for i := range a {
+		if diff[i] != a[i] {
+			t.Fatalf("(a+b)−b != a at %d", i)
+		}
+	}
+	neg := m.NewPoly()
+	m.Neg(a, neg)
+	zero := m.NewPoly()
+	m.Add(a, neg, zero)
+	for i := range zero {
+		if zero[i] != 0 {
+			t.Fatalf("a + (−a) != 0 at %d", i)
+		}
+	}
+}
+
+func TestCenteredLift(t *testing.T) {
+	m := testModulus(t, 32)
+	if got := m.CenteredInt64(1); got != 1 {
+		t.Errorf("CenteredInt64(1) = %d", got)
+	}
+	if got := m.CenteredInt64(m.Q - 1); got != -1 {
+		t.Errorf("CenteredInt64(q−1) = %d, want −1", got)
+	}
+	if got := m.FromInt64(-1); got != m.Q-1 {
+		t.Errorf("FromInt64(−1) = %d, want q−1", got)
+	}
+	if got := m.FromInt64(int64(m.Q) + 5); got != 5 {
+		t.Errorf("FromInt64(q+5) = %d, want 5", got)
+	}
+}
+
+func TestDivRound(t *testing.T) {
+	m := testModulus(t, 32)
+	p := m.NewPoly()
+	p[0] = 1000
+	p[1] = m.FromInt64(-1000)
+	p[2] = 1500
+	p[3] = m.FromInt64(-1500)
+	out := m.NewPoly()
+	m.DivRound(p, 1000, out)
+	if m.CenteredInt64(out[0]) != 1 || m.CenteredInt64(out[1]) != -1 {
+		t.Errorf("DivRound exact: %d, %d", m.CenteredInt64(out[0]), m.CenteredInt64(out[1]))
+	}
+	if m.CenteredInt64(out[2]) != 2 || m.CenteredInt64(out[3]) != -2 {
+		t.Errorf("DivRound rounding: %d, %d (1.5 rounds away from zero)",
+			m.CenteredInt64(out[2]), m.CenteredInt64(out[3]))
+	}
+}
+
+func TestSamplers(t *testing.T) {
+	m := testModulus(t, 1024)
+	rng := rand.New(rand.NewSource(4))
+
+	tern := m.TernaryPoly(rng)
+	for i, v := range tern {
+		if c := m.CenteredInt64(v); c < -1 || c > 1 {
+			t.Fatalf("ternary coeff %d = %d", i, c)
+		}
+	}
+
+	gauss := m.GaussianPoly(rng, 3.2)
+	var sum, count float64
+	for _, v := range gauss {
+		c := float64(m.CenteredInt64(v))
+		if c > 40 || c < -40 {
+			t.Fatalf("gaussian coeff %v implausibly large for σ=3.2", c)
+		}
+		sum += c
+		count++
+	}
+	if mean := sum / count; mean > 1 || mean < -1 {
+		t.Errorf("gaussian mean %v far from 0", mean)
+	}
+
+	uni := m.UniformPoly(rng)
+	var big int
+	for _, v := range uni {
+		if v >= m.Q {
+			t.Fatal("uniform coeff out of range")
+		}
+		if v > m.Q/2 {
+			big++
+		}
+	}
+	if frac := float64(big) / float64(len(uni)); frac < 0.4 || frac > 0.6 {
+		t.Errorf("uniform sampler skewed: %v above q/2", frac)
+	}
+}
+
+func TestInfNorm(t *testing.T) {
+	m := testModulus(t, 32)
+	p := m.NewPoly()
+	p[3] = m.FromInt64(-7)
+	p[9] = 5
+	if got := m.InfNorm(p); got != 7 {
+		t.Errorf("InfNorm = %d, want 7", got)
+	}
+}
+
+// Property: NTT is linear — NTT(a+b) = NTT(a) + NTT(b).
+func TestNTTLinearityProperty(t *testing.T) {
+	m := testModulus(t, 128)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := m.UniformPoly(rng)
+		b := m.UniformPoly(rng)
+		sum := m.NewPoly()
+		m.Add(a, b, sum)
+		m.NTT(sum)
+		m.NTT(a)
+		m.NTT(b)
+		expect := m.NewPoly()
+		m.Add(a, b, expect)
+		for i := range sum {
+			if sum[i] != expect[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiplication is commutative.
+func TestMulCommutative(t *testing.T) {
+	m := testModulus(t, 64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := m.UniformPoly(rng)
+		b := m.UniformPoly(rng)
+		ab := m.MulPoly(a, b)
+		ba := m.MulPoly(b, a)
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNTT(b *testing.B) {
+	m := testModulus(b, 4096)
+	rng := rand.New(rand.NewSource(1))
+	p := m.UniformPoly(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NTT(p)
+	}
+}
+
+func BenchmarkMulPoly(b *testing.B) {
+	m := testModulus(b, 4096)
+	rng := rand.New(rand.NewSource(1))
+	p := m.UniformPoly(rng)
+	q := m.UniformPoly(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulPoly(p, q)
+	}
+}

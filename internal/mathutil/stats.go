@@ -1,0 +1,86 @@
+package mathutil
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // population standard deviation
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics of x. It returns the zero Summary
+// for an empty sample.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(x), Min: x[0], Max: x[0]}
+	var sum float64
+	for _, v := range x {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(x))
+	var ss float64
+	for _, v := range x {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(len(x)))
+	sorted := Clone(x)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Histogram counts how many entries of x fall into each half-open bucket
+// [edges[i], edges[i+1]). Values below edges[0] or at/above the last edge are
+// not counted. len(edges) must be at least 2; the result has len(edges)-1
+// entries.
+func Histogram(x []float64, edges []float64) []int {
+	if len(edges) < 2 {
+		panic("mathutil: Histogram needs at least two edges")
+	}
+	counts := make([]int, len(edges)-1)
+	for _, v := range x {
+		// Linear scan: bucket counts in this codebase are tiny (≤10).
+		for i := 0; i+1 < len(edges); i++ {
+			if v >= edges[i] && v < edges[i+1] {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// Fraction returns the fraction of entries of x for which pred holds.
+func Fraction(x []float64, pred func(float64) bool) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range x {
+		if pred(v) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(x))
+}

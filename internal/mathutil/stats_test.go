@@ -1,0 +1,95 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if s.Std != 2 {
+		t.Errorf("Std = %v, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero value", s)
+	}
+}
+
+func TestSummarizeOddMedian(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Errorf("Median = %v, want 5", s.Median)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	// Paper Fig. 3(b) bucket edges.
+	edges := []float64{-25, -10, -5, 0, 5, 10, 15}
+	x := []float64{-20, -7, -3, 2, 2, 7, 12, 12, 12, 100}
+	got := Histogram(x, edges)
+	want := []int{1, 1, 1, 2, 1, 3} // 100 falls outside
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Histogram with one edge did not panic")
+		}
+	}()
+	Histogram([]float64{1}, []float64{0})
+}
+
+func TestFraction(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	got := Fraction(x, func(v float64) bool { return v >= 3 })
+	if got != 0.5 {
+		t.Errorf("Fraction = %v, want 0.5", got)
+	}
+	if Fraction(nil, func(float64) bool { return true }) != 0 {
+		t.Error("Fraction(nil) != 0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Median != 42 || s.Std != 0 {
+		t.Errorf("Summarize single = %+v", s)
+	}
+}
+
+func TestHistogramBoundaries(t *testing.T) {
+	edges := []float64{0, 1, 2}
+	// Left edge inclusive, right edge exclusive.
+	got := Histogram([]float64{0, 1, 2}, edges)
+	if got[0] != 1 || got[1] != 1 {
+		t.Errorf("Histogram boundaries = %v, want [1 1]", got)
+	}
+}
+
+func TestSummarizeStdNonNegative(t *testing.T) {
+	s := Summarize([]float64{1e15, 1e15, 1e15})
+	if s.Std < 0 || math.IsNaN(s.Std) {
+		t.Errorf("Std = %v", s.Std)
+	}
+}

@@ -1,0 +1,355 @@
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"quhe/internal/mathutil"
+)
+
+// Ineq is an inequality constraint F(x) ≤ 0 for the barrier method. Grad and
+// Hess are optional analytic derivatives; when nil they are estimated by
+// finite differences. Use LinearIneq for affine constraints — it supplies
+// exact constant derivatives, which dominates the cost of a barrier
+// iteration for the mostly-affine programs in this repository.
+type Ineq struct {
+	F    Func
+	Grad func(x []float64) []float64
+	Hess func(x []float64) [][]float64
+}
+
+// FuncIneq wraps a plain closure as a finite-differenced constraint.
+func FuncIneq(f Func) Ineq { return Ineq{F: f} }
+
+// LinearIneq builds the affine constraint a·x + b ≤ 0 with exact
+// derivatives (constant gradient, zero Hessian).
+func LinearIneq(a []float64, b float64) Ineq {
+	coeff := mathutil.Clone(a)
+	return Ineq{
+		F:    func(x []float64) float64 { return mathutil.Dot(coeff, x) + b },
+		Grad: func([]float64) []float64 { return coeff },
+		Hess: func(x []float64) [][]float64 {
+			h := make([][]float64, len(x))
+			for i := range h {
+				h[i] = make([]float64, len(x))
+			}
+			return h
+		},
+	}
+}
+
+// BoundIneq builds the single-coordinate constraint sign·x[i] + b ≤ 0.
+// With sign=+1 it expresses x[i] ≤ −b; with sign=−1 it expresses x[i] ≥ b.
+func BoundIneq(n, i int, sign, b float64) Ineq {
+	a := make([]float64, n)
+	a[i] = sign
+	return LinearIneq(a, b)
+}
+
+// BarrierOptions configures the log-barrier interior-point method.
+// The zero value is usable: Defaults fills in standard settings.
+type BarrierOptions struct {
+	// T0 is the initial barrier weight t. Default 1.
+	T0 float64
+	// Mu is the factor by which t grows between centering steps. Default 20.
+	Mu float64
+	// Tol is the target duality gap m/t at which the method stops.
+	// Default 1e-6.
+	Tol float64
+	// NewtonTol is the Newton-decrement tolerance of the inner solve.
+	// Default 1e-9.
+	NewtonTol float64
+	// MaxNewton bounds inner Newton iterations per centering step.
+	// Default 60.
+	MaxNewton int
+	// MaxOuter bounds the number of centering steps. Default 60.
+	MaxOuter int
+}
+
+// Defaults returns o with zero fields replaced by standard values.
+func (o BarrierOptions) Defaults() BarrierOptions {
+	if o.T0 <= 0 {
+		o.T0 = 1
+	}
+	if o.Mu <= 1 {
+		o.Mu = 20
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+	if o.NewtonTol <= 0 {
+		o.NewtonTol = 1e-9
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 60
+	}
+	if o.MaxOuter <= 0 {
+		o.MaxOuter = 60
+	}
+	return o
+}
+
+// BarrierResult reports the outcome of MinimizeBarrier.
+type BarrierResult struct {
+	// X is the best point found.
+	X []float64
+	// Value is f0(X).
+	Value float64
+	// Converged is true when the duality gap dropped below Tol.
+	Converged bool
+	// OuterIters and NewtonIters count centering steps and total inner
+	// Newton iterations.
+	OuterIters  int
+	NewtonIters int
+	// Values records f0 after every inner Newton iteration (the "POBJ"
+	// trace of Fig. 4(c)).
+	Values []float64
+	// Gaps records the duality gap m/t after every centering step
+	// (Fig. 4(d)).
+	Gaps []float64
+}
+
+// ErrInfeasibleStart is returned when x0 violates a constraint.
+var ErrInfeasibleStart = errors.New("optimize: start point is not strictly feasible")
+
+// MinimizeBarrier minimizes the smooth convex objective f0 subject to
+// ineqs[i].F(x) ≤ 0 using the classical log-barrier method with a damped
+// Newton inner loop (Boyd & Vandenberghe, ch. 11). x0 must be strictly
+// feasible: ineqs[i].F(x0) < 0 for all i.
+//
+// This routine is the repository's substitute for the CVX interior-point
+// solver the paper uses; for the smooth convex programs of Stages 1 and 3 it
+// converges to the same KKT points.
+func MinimizeBarrier(f0 Func, ineqs []Ineq, x0 []float64, opts BarrierOptions) (BarrierResult, error) {
+	o := opts.Defaults()
+	var res BarrierResult
+	if len(x0) == 0 {
+		return res, errors.New("optimize: empty start point")
+	}
+	for i, c := range ineqs {
+		if v := c.F(x0); !(v < 0) {
+			return res, fmt.Errorf("%w: constraint %d = %g", ErrInfeasibleStart, i, v)
+		}
+	}
+
+	n := len(x0)
+	m := float64(len(ineqs))
+	x := mathutil.Clone(x0)
+	t := o.T0
+
+	strictlyFeasible := func(p []float64) bool {
+		for _, c := range ineqs {
+			if !(c.F(p) < 0) {
+				return false
+			}
+		}
+		return true
+	}
+	// ftVal evaluates t·f0 + φ, φ(x) = Σ −log(−fi(x)); +Inf off-domain.
+	ftVal := func(tt float64, p []float64) float64 {
+		v := tt * f0(p)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		for _, c := range ineqs {
+			ci := c.F(p)
+			if ci >= 0 {
+				return math.Inf(1)
+			}
+			v -= math.Log(-ci)
+		}
+		return v
+	}
+
+	for outer := 0; outer < o.MaxOuter; outer++ {
+		res.OuterIters++
+		for iter := 0; iter < o.MaxNewton; iter++ {
+			g, hess, err := barrierDerivatives(f0, ineqs, x, t)
+			if err != nil {
+				return res, fmt.Errorf("optimize: outer %d: %w", outer, err)
+			}
+			dir, ok := solveNewton(hess, g, n)
+			if !ok {
+				dir = mathutil.Scale(-1, g)
+			}
+			// Newton decrement: λ² = −gᵀd; stop when the quadratic model
+			// predicts negligible improvement.
+			decrement := -mathutil.Dot(g, dir) / 2
+			if decrement < o.NewtonTol && mathutil.Norm2(g) < 1e-4*(1+math.Abs(ftVal(t, x))) {
+				break
+			}
+			fx := ftVal(t, x)
+			ftFunc := func(p []float64) float64 { return ftVal(t, p) }
+			step := backtrack(ftFunc, x, dir, g, fx, 1, 1e-4, 0.5, strictlyFeasible)
+			if step == 0 {
+				break
+			}
+			mathutil.AXPYInPlace(step, dir, x)
+			res.NewtonIters++
+			res.Values = append(res.Values, f0(x))
+		}
+		gap := m / t
+		res.Gaps = append(res.Gaps, gap)
+		if gap < o.Tol {
+			res.Converged = true
+			break
+		}
+		t *= o.Mu
+	}
+	res.X = x
+	res.Value = f0(x)
+	return res, nil
+}
+
+// barrierDerivatives assembles the gradient and Hessian of
+// t·f0 + Σ −log(−fi) from per-function derivatives:
+//
+//	∇  = t∇f0 + Σ ∇fi/(−fi)
+//	∇² = t∇²f0 + Σ [ ∇fi∇fiᵀ/fi² + ∇²fi/(−fi) ]
+//
+// Derivatives of f0 and non-analytic constraints come from safe finite
+// differences, which never evaluate the logarithm off-domain.
+func barrierDerivatives(f0 Func, ineqs []Ineq, x []float64, t float64) ([]float64, [][]float64, error) {
+	n := len(x)
+	g := safeGradient(f0, x)
+	if !mathutil.AllFinite(g) {
+		return nil, nil, errors.New("non-finite objective gradient")
+	}
+	for i := range g {
+		g[i] *= t
+	}
+	hess := safeHessian(f0, x)
+	for i := range hess {
+		for j := range hess[i] {
+			hess[i][j] *= t
+			if math.IsNaN(hess[i][j]) || math.IsInf(hess[i][j], 0) {
+				hess[i][j] = 0
+			}
+		}
+	}
+	for k, c := range ineqs {
+		ci := c.F(x)
+		if ci >= 0 {
+			return nil, nil, fmt.Errorf("constraint %d non-negative (%g) at interior point", k, ci)
+		}
+		var gc []float64
+		if c.Grad != nil {
+			gc = c.Grad(x)
+		} else {
+			gc = safeGradient(c.F, x)
+		}
+		inv := 1 / (-ci)
+		inv2 := inv * inv
+		for i := 0; i < n; i++ {
+			g[i] += gc[i] * inv
+			row := hess[i]
+			gci := gc[i]
+			for j := 0; j < n; j++ {
+				row[j] += gci * gc[j] * inv2
+			}
+		}
+		if c.Hess != nil {
+			hc := c.Hess(x)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					hess[i][j] += hc[i][j] * inv
+				}
+			}
+		} else {
+			hc := safeHessian(c.F, x)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v := hc[i][j] * inv
+					if !math.IsNaN(v) && !math.IsInf(v, 0) {
+						hess[i][j] += v
+					}
+				}
+			}
+		}
+	}
+	if !mathutil.AllFinite(g) {
+		return nil, nil, errors.New("non-finite barrier gradient")
+	}
+	return g, hess, nil
+}
+
+// solveNewton solves H d = −g with growing ridge regularization and reports
+// whether a descent direction was obtained.
+func solveNewton(hess [][]float64, g []float64, n int) ([]float64, bool) {
+	for _, ridge := range []float64{0, 1e-10, 1e-6, 1e-2, 1} {
+		aug := make([][]float64, n)
+		for i := range aug {
+			aug[i] = make([]float64, n+1)
+			copy(aug[i], hess[i])
+			aug[i][i] += ridge * (1 + math.Abs(hess[i][i]))
+			aug[i][n] = -g[i]
+		}
+		d, err := mathutil.SolveLinear(aug)
+		if err != nil || !mathutil.AllFinite(d) {
+			continue
+		}
+		if mathutil.Dot(d, g) < 0 {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// safeGradient is Gradient with one-sided fallbacks when an evaluation is
+// non-finite (e.g. a log-domain objective probed just past its boundary).
+func safeGradient(f Func, x []float64) []float64 {
+	g := make([]float64, len(x))
+	xx := mathutil.Clone(x)
+	var f0 float64
+	f0Known := false
+	for i := range x {
+		h := derivStep(x[i])
+		var gi float64
+		found := false
+		for attempt := 0; attempt < 6 && !found; attempt++ {
+			xx[i] = x[i] + h
+			fp := f(xx)
+			xx[i] = x[i] - h
+			fm := f(xx)
+			xx[i] = x[i]
+			pOK := !math.IsNaN(fp) && !math.IsInf(fp, 0)
+			mOK := !math.IsNaN(fm) && !math.IsInf(fm, 0)
+			switch {
+			case pOK && mOK:
+				gi = (fp - fm) / (2 * h)
+				found = true
+			case pOK || mOK:
+				if !f0Known {
+					f0 = f(x)
+					f0Known = true
+				}
+				if !math.IsNaN(f0) && !math.IsInf(f0, 0) {
+					if pOK {
+						gi = (fp - f0) / h
+					} else {
+						gi = (f0 - fm) / h
+					}
+					found = true
+				}
+			}
+			h /= 8
+		}
+		g[i] = gi
+	}
+	return g
+}
+
+// safeHessian is Hessian with non-finite entries replaced by zero; the ridge
+// regularization in solveNewton absorbs the resulting model error.
+func safeHessian(f Func, x []float64) [][]float64 {
+	h := Hessian(f, x)
+	for i := range h {
+		for j := range h[i] {
+			if math.IsNaN(h[i][j]) || math.IsInf(h[i][j], 0) {
+				h[i][j] = 0
+			}
+		}
+	}
+	return h
+}

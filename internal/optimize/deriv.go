@@ -1,0 +1,89 @@
+// Package optimize is a self-contained convex/heuristic optimization toolkit
+// built only on the standard library. It stands in for the "common convex
+// tools" (Matlab CVX) the QuHE paper relies on:
+//
+//   - MinimizeBarrier: log-barrier damped-Newton interior-point method for
+//     smooth convex programs with inequality constraints (Stages 1 and 3).
+//   - MinimizeProjGrad: projected gradient descent over box constraints.
+//   - GradientDescent, Anneal, RandomSearch: the Stage-1 baselines from the
+//     paper (§VI-B).
+//   - MaximizeBnB / MaximizeExhaustive: branch & bound over small discrete
+//     assignment spaces (Stage 2, Algorithm 2).
+//
+// Problems are expressed as plain closures over []float64; derivatives are
+// obtained by central finite differences, which is accurate and cheap at the
+// dimensions this repository works at (≤ ~30 variables).
+package optimize
+
+import "math"
+
+// Func is a scalar-valued objective or constraint function. Implementations
+// may return +Inf to signal an infeasible or undefined point.
+type Func func(x []float64) float64
+
+// derivStep returns the central-difference step for coordinate value v.
+func derivStep(v float64) float64 {
+	// cbrt(machine eps) scaling balances truncation vs rounding error.
+	const base = 6.055454452393343e-06 // cbrt(2^-52)
+	return base * math.Max(1, math.Abs(v))
+}
+
+// Gradient estimates ∇f(x) by central differences. x is not modified.
+func Gradient(f Func, x []float64) []float64 {
+	g := make([]float64, len(x))
+	xx := make([]float64, len(x))
+	copy(xx, x)
+	for i := range x {
+		h := derivStep(x[i])
+		xx[i] = x[i] + h
+		fp := f(xx)
+		xx[i] = x[i] - h
+		fm := f(xx)
+		xx[i] = x[i]
+		g[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// Hessian estimates ∇²f(x) by central second differences. The result is
+// symmetrized. x is not modified.
+func Hessian(f Func, x []float64) [][]float64 {
+	n := len(x)
+	h := make([]float64, n)
+	for i := range x {
+		// Slightly larger step for second derivatives (eps^(1/4) scaling).
+		h[i] = 1.2207e-4 * math.Max(1, math.Abs(x[i]))
+	}
+	xx := make([]float64, n)
+	copy(xx, x)
+	f0 := f(xx)
+	hess := make([][]float64, n)
+	for i := range hess {
+		hess[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		// Diagonal: (f(x+h) - 2f(x) + f(x-h)) / h².
+		xx[i] = x[i] + h[i]
+		fp := f(xx)
+		xx[i] = x[i] - h[i]
+		fm := f(xx)
+		xx[i] = x[i]
+		hess[i][i] = (fp - 2*f0 + fm) / (h[i] * h[i])
+		for j := i + 1; j < n; j++ {
+			// Off-diagonal: four-point formula.
+			xx[i], xx[j] = x[i]+h[i], x[j]+h[j]
+			fpp := f(xx)
+			xx[i], xx[j] = x[i]+h[i], x[j]-h[j]
+			fpm := f(xx)
+			xx[i], xx[j] = x[i]-h[i], x[j]+h[j]
+			fmp := f(xx)
+			xx[i], xx[j] = x[i]-h[i], x[j]-h[j]
+			fmm := f(xx)
+			xx[i], xx[j] = x[i], x[j]
+			v := (fpp - fpm - fmp + fmm) / (4 * h[i] * h[j])
+			hess[i][j] = v
+			hess[j][i] = v
+		}
+	}
+	return hess
+}

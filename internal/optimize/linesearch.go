@@ -1,0 +1,36 @@
+package optimize
+
+import (
+	"quhe/internal/mathutil"
+)
+
+// backtrack performs an Armijo backtracking line search for minimization.
+// It returns the accepted step length t such that
+//
+//	f(x + t·dir) ≤ fx + c1·t·⟨g, dir⟩   and   accept(x + t·dir) == true,
+//
+// halving (well, multiplying by beta) from t0 until both hold or the step
+// underflows. If no acceptable step is found it returns 0.
+//
+// accept may be nil, in which case only the Armijo condition is enforced.
+// It is used by the barrier method to keep iterates strictly feasible.
+func backtrack(f Func, x, dir, g []float64, fx, t0, c1, beta float64, accept func([]float64) bool) float64 {
+	if t0 <= 0 {
+		t0 = 1
+	}
+	slope := mathutil.Dot(g, dir)
+	t := t0
+	trial := make([]float64, len(x))
+	for t > 1e-16 {
+		for i := range x {
+			trial[i] = x[i] + t*dir[i]
+		}
+		if accept == nil || accept(trial) {
+			if fv := f(trial); fv <= fx+c1*t*slope {
+				return t
+			}
+		}
+		t *= beta
+	}
+	return 0
+}

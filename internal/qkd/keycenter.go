@@ -1,0 +1,155 @@
+package qkd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"quhe/internal/qnet"
+)
+
+// ErrUnknownClient is returned for operations on unprovisioned clients.
+var ErrUnknownClient = errors.New("qkd: unknown client")
+
+// ErrInsufficientKey is returned when a pool cannot satisfy a withdrawal.
+var ErrInsufficientKey = errors.New("qkd: insufficient key material")
+
+// KeyCenter manages per-client symmetric key pools, standing in for the
+// paper's central key centre (Hilversum in the SURFnet topology). QKD
+// exchanges deposit key material; clients withdraw it for symmetric
+// encryption. Safe for concurrent use.
+type KeyCenter struct {
+	mu    sync.Mutex
+	pools map[string]*keyPool
+}
+
+type keyPool struct {
+	buf []byte
+	// ratePerSec is the provisioned secret-key rate in bits/s
+	// (informational; deposits are driven by the simulation).
+	ratePerSec float64
+}
+
+// NewKeyCenter creates an empty key centre.
+func NewKeyCenter() *KeyCenter {
+	return &KeyCenter{pools: make(map[string]*keyPool)}
+}
+
+// Provision registers a client with a secret-key rate in bits/second.
+// Re-provisioning updates the rate and keeps buffered material.
+func (kc *KeyCenter) Provision(clientID string, ratePerSec float64) error {
+	if clientID == "" {
+		return errors.New("qkd: empty client id")
+	}
+	if ratePerSec < 0 {
+		return fmt.Errorf("qkd: negative rate %g", ratePerSec)
+	}
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
+	if p, ok := kc.pools[clientID]; ok {
+		p.ratePerSec = ratePerSec
+		return nil
+	}
+	kc.pools[clientID] = &keyPool{ratePerSec: ratePerSec}
+	return nil
+}
+
+// Rate returns the provisioned secret-key rate for a client.
+func (kc *KeyCenter) Rate(clientID string) (float64, error) {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
+	p, ok := kc.pools[clientID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	return p.ratePerSec, nil
+}
+
+// Deposit adds key material to a client's pool (called after a successful
+// Exchange).
+func (kc *KeyCenter) Deposit(clientID string, key []byte) error {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
+	p, ok := kc.pools[clientID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	p.buf = append(p.buf, key...)
+	return nil
+}
+
+// Available returns the buffered key bytes for a client.
+func (kc *KeyCenter) Available(clientID string) (int, error) {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
+	p, ok := kc.pools[clientID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	return len(p.buf), nil
+}
+
+// Withdraw removes and returns n key bytes for a client, failing without
+// side effects when the pool is short (keys are never reused).
+func (kc *KeyCenter) Withdraw(clientID string, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("qkd: withdrawal of %d bytes", n)
+	}
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
+	p, ok := kc.pools[clientID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
+	}
+	if len(p.buf) < n {
+		return nil, fmt.Errorf("%w: want %d bytes, have %d", ErrInsufficientKey, n, len(p.buf))
+	}
+	out := make([]byte, n)
+	copy(out, p.buf[:n])
+	p.buf = p.buf[n:]
+	return out, nil
+}
+
+// ProvisionFromAllocation registers every route's client with the
+// secret-key rate its Stage-1 allocation sustains:
+//
+//	rate_n = φ_n · F_skf(̟_n)   [secret pairs ≈ bits per second],
+//
+// tying the key centre directly to the QuHE optimizer's output.
+func (kc *KeyCenter) ProvisionFromAllocation(net *qnet.Network, phi, w []float64, clientID func(route int) string) error {
+	if clientID == nil {
+		clientID = func(route int) string { return fmt.Sprintf("client-%d", route+1) }
+	}
+	if len(phi) != net.NumRoutes() {
+		return fmt.Errorf("qkd: %d rates for %d routes", len(phi), net.NumRoutes())
+	}
+	for r := 0; r < net.NumRoutes(); r++ {
+		ew, err := net.EndToEndWerner(r, w)
+		if err != nil {
+			return err
+		}
+		rate := phi[r] * qnet.SecretKeyFraction(ew)
+		if err := kc.Provision(clientID(r), rate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunExchange performs a simulated BBM92 exchange for a client over a
+// route with the given end-to-end Werner parameter and deposits the result.
+func (kc *KeyCenter) RunExchange(clientID string, werner float64, rawBits int, seed int64) (ExchangeResult, error) {
+	res, err := Exchange(ExchangeConfig{
+		Protocol: BBM92,
+		Werner:   werner,
+		RawBits:  rawBits,
+		Seed:     seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := kc.Deposit(clientID, res.Key); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,43 @@
+package qnet
+
+// SURFnet returns the quantum network evaluated in the paper (§VI-A):
+// the Dutch SURFnet research backbone [31,32] with L=18 links (lengths and
+// β from Table IV) and N=6 routes rooted at the Hilversum key centre
+// (Table III).
+func SURFnet() *Network {
+	links := []Link{
+		{ID: 1, LengthKm: 30.6, Beta: 89.84},
+		{ID: 2, LengthKm: 60.4, Beta: 53.79},
+		{ID: 3, LengthKm: 38.9, Beta: 77.47},
+		{ID: 4, LengthKm: 44.2, Beta: 69.44},
+		{ID: 5, LengthKm: 47.7, Beta: 65.12},
+		{ID: 6, LengthKm: 78.7, Beta: 40.76},
+		{ID: 7, LengthKm: 60.0, Beta: 54.17},
+		{ID: 8, LengthKm: 58.1, Beta: 56.25},
+		{ID: 9, LengthKm: 25.7, Beta: 99.02},
+		{ID: 10, LengthKm: 24.4, Beta: 100.98},
+		{ID: 11, LengthKm: 44.7, Beta: 68.75},
+		{ID: 12, LengthKm: 66.3, Beta: 49.35},
+		{ID: 13, LengthKm: 62.5, Beta: 52.40},
+		{ID: 14, LengthKm: 33.8, Beta: 84.63},
+		{ID: 15, LengthKm: 36.7, Beta: 80.54},
+		{ID: 16, LengthKm: 35.4, Beta: 82.41},
+		{ID: 17, LengthKm: 30.2, Beta: 90.52},
+		{ID: 18, LengthKm: 70.0, Beta: 46.82},
+	}
+	routes := []Route{
+		{ID: 1, Source: "Hilversum", Dest: "Delft", LinkIDs: []int{17, 2, 1}},
+		{ID: 2, Source: "Hilversum", Dest: "Zwolle", LinkIDs: []int{17, 3, 4, 5}},
+		{ID: 3, Source: "Hilversum", Dest: "Apeldoorn", LinkIDs: []int{16, 4, 5, 11, 10}},
+		{ID: 4, Source: "Hilversum", Dest: "Rotterdam", LinkIDs: []int{15, 18}},
+		{ID: 5, Source: "Hilversum", Dest: "Arnherm", LinkIDs: []int{15, 14, 13, 12, 9}},
+		{ID: 6, Source: "Hilversum", Dest: "Enschede", LinkIDs: []int{15, 14, 13, 12, 8, 7}},
+	}
+	n, err := New(links, routes)
+	if err != nil {
+		// The embedded data is a compile-time constant; a failure here is
+		// a programming error, not a runtime condition.
+		panic("qnet: invalid embedded SURFnet data: " + err.Error())
+	}
+	return n
+}

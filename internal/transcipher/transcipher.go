@@ -1,0 +1,347 @@
+// Package transcipher implements the transciphering bridge of the QuHE
+// system (§III-A.4): the client encrypts data with a cheap symmetric
+// cipher; the server — holding only an HE encryption of the symmetric key —
+// homomorphically evaluates the cipher's decryption and obtains a CKKS
+// ciphertext of the data, without ever seeing the plaintext.
+//
+// The paper cites the CKKS transciphering framework of Cho et al. [17]
+// applied to ChaCha20. Evaluating a boolean cipher like ChaCha20 under CKKS
+// is a multi-year engineering artifact, so this package substitutes the
+// HE-friendly construction that modern transciphering actually uses
+// (Rubato/HERA-style): an additive stream cipher over the CKKS plaintext
+// space whose keystream is a low-degree polynomial of the key,
+//
+//	ks = A·k + (B·k) ⊙ (C·k),
+//
+// with public per-block coefficient vectors A, B, C expanded from ChaCha20
+// (so the symmetric side really is keyed by the QKD key). The client adds
+// ks to its data slot-wise (cheap); the server evaluates the same
+// polynomial on slot-replicated encryptions of the key coordinates —
+// plaintext multiplications plus one ciphertext multiplication, no
+// rotations — and subtracts. The substitution preserves exactly the
+// behaviour the paper's cost hook f_eval(λ) (Eq. 29) models: the server
+// pays HE work per transciphered block, the client pays symmetric work.
+//
+// The toy cipher's concrete security is NOT argued here; it is a
+// structural stand-in (see DESIGN.md §3).
+package transcipher
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"quhe/internal/chacha20"
+	"quhe/internal/he/ckks"
+)
+
+// Cipher binds a CKKS context to the transciphering construction.
+// It is immutable and safe for concurrent use.
+type Cipher struct {
+	ctx     *ckks.Context
+	encoder *ckks.Encoder
+	keyLen  int
+}
+
+// New builds a transciphering cipher. The context needs depth ≥ 2 (one
+// level for the linear layer, one for the quadratic), and the encoding
+// scale must equal the top rescaling prime so the linear and quadratic
+// paths land on identical scales.
+func New(ctx *ckks.Context, keyLen int) (*Cipher, error) {
+	if ctx.Params.Depth < 2 {
+		return nil, fmt.Errorf("transcipher: need CKKS depth ≥ 2, got %d", ctx.Params.Depth)
+	}
+	if keyLen < 2 || keyLen > 64 {
+		return nil, fmt.Errorf("transcipher: keyLen %d outside [2, 64]", keyLen)
+	}
+	return &Cipher{ctx: ctx, encoder: ckks.NewEncoder(ctx), keyLen: keyLen}, nil
+}
+
+// Params returns a depth-2 CKKS parameter set sized for transciphering.
+func Params() ckks.Params {
+	p, err := ckks.NewParams(10, 24, 18, 2)
+	if err != nil {
+		panic("transcipher: invalid built-in params: " + err.Error())
+	}
+	return p
+}
+
+// scale returns the encoding scale: exactly the top rescaling prime.
+func (c *Cipher) scale() float64 { return float64(c.ctx.Primes[c.ctx.MaxLevel()]) }
+
+// KeyLen returns the number of key coordinates.
+func (c *Cipher) KeyLen() int { return c.keyLen }
+
+// Slots returns the block size in plaintext slots.
+func (c *Cipher) Slots() int { return c.ctx.Params.Slots() }
+
+// DeriveKey maps raw QKD key material to the cipher's key coordinates in
+// [−1, 1] by expanding it through ChaCha20.
+func (c *Cipher) DeriveKey(qkdKey []byte) ([]float64, error) {
+	if len(qkdKey) == 0 {
+		return nil, errors.New("transcipher: empty key material")
+	}
+	seed := make([]byte, chacha20.KeySize)
+	copy(seed, qkdKey) // truncate/zero-pad to 32 bytes
+	stream, err := chacha20.New(seed, make([]byte, chacha20.NonceSize), 0)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, 2*c.keyLen)
+	stream.Keystream(raw)
+	key := make([]float64, c.keyLen)
+	for j := range key {
+		v := int16(binary.LittleEndian.Uint16(raw[2*j:]))
+		key[j] = float64(v) / 32768
+	}
+	return key, nil
+}
+
+// coeffBlock expands the public per-block coefficient vectors A, B, C
+// (each keyLen × slots) from ChaCha20 keyed by the public nonce. Both ends
+// compute it identically.
+func (c *Cipher) coeffBlock(nonce []byte, block uint32) (a, b, cc [][]float64, err error) {
+	pub := make([]byte, chacha20.KeySize)
+	copy(pub, "quhe-transcipher-public-expand-1") // public constant, 32 bytes
+	nn := make([]byte, chacha20.NonceSize)
+	copy(nn, nonce)
+	stream, err := chacha20.New(pub, nn, block*3)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	slots := c.Slots()
+	raw := make([]byte, 3*c.keyLen*slots*2)
+	stream.Keystream(raw)
+	// Entries are normalized by keyLen so |A·k|, |B·k|, |C·k| ≤ 1: the
+	// homomorphic evaluation then stays well inside the modulus headroom.
+	norm := 32768 * float64(c.keyLen)
+	next := func(off int) [][]float64 {
+		m := make([][]float64, c.keyLen)
+		for j := 0; j < c.keyLen; j++ {
+			m[j] = make([]float64, slots)
+			for s := 0; s < slots; s++ {
+				v := int16(binary.LittleEndian.Uint16(raw[off+2*(j*slots+s):]))
+				m[j][s] = float64(v) / norm
+			}
+		}
+		return m
+	}
+	stride := c.keyLen * slots * 2
+	return next(0), next(stride), next(2 * stride), nil
+}
+
+// Keystream computes the plaintext keystream block: the client-side (and
+// test-oracle) evaluation of ks = A·k + (B·k)⊙(C·k).
+func (c *Cipher) Keystream(key []float64, nonce []byte, block uint32) ([]float64, error) {
+	if len(key) != c.keyLen {
+		return nil, fmt.Errorf("transcipher: key has %d coordinates, want %d", len(key), c.keyLen)
+	}
+	a, b, cc, err := c.coeffBlock(nonce, block)
+	if err != nil {
+		return nil, err
+	}
+	slots := c.Slots()
+	ks := make([]float64, slots)
+	for s := 0; s < slots; s++ {
+		var lin, u, v float64
+		for j := 0; j < c.keyLen; j++ {
+			lin += a[j][s] * key[j]
+			u += b[j][s] * key[j]
+			v += cc[j][s] * key[j]
+		}
+		ks[s] = lin + u*v
+	}
+	return ks, nil
+}
+
+// Mask encrypts data symmetrically: out = data + ks (slot-wise). The
+// client sends the result in the clear alongside the HE-encrypted key.
+func (c *Cipher) Mask(key []float64, nonce []byte, block uint32, data []float64) ([]float64, error) {
+	if len(data) > c.Slots() {
+		return nil, fmt.Errorf("transcipher: %d values exceed %d slots", len(data), c.Slots())
+	}
+	ks, err := c.Keystream(key, nonce, block)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(data))
+	for i := range data {
+		out[i] = data[i] + ks[i]
+	}
+	return out, nil
+}
+
+// Unmask inverts Mask given the key (client-side decryption; the server
+// uses Transcipher instead).
+func (c *Cipher) Unmask(key []float64, nonce []byte, block uint32, masked []float64) ([]float64, error) {
+	ks, err := c.Keystream(key, nonce, block)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(masked))
+	for i := range masked {
+		out[i] = masked[i] - ks[i]
+	}
+	return out, nil
+}
+
+// EncryptKey produces the HE encryption of the key the client uploads:
+// one ciphertext per key coordinate, slot-replicated (avoiding rotations).
+func (c *Cipher) EncryptKey(ev *ckks.Evaluator, pk *ckks.PublicKey, key []float64) ([]*ckks.Ciphertext, error) {
+	if len(key) != c.keyLen {
+		return nil, fmt.Errorf("transcipher: key has %d coordinates, want %d", len(key), c.keyLen)
+	}
+	out := make([]*ckks.Ciphertext, c.keyLen)
+	slots := c.Slots()
+	for j, kj := range key {
+		rep := make([]float64, slots)
+		for s := range rep {
+			rep[s] = kj
+		}
+		pt, err := c.encoder.EncodeReal(rep, c.scale())
+		if err != nil {
+			return nil, err
+		}
+		out[j] = ev.Encrypt(pk, pt)
+	}
+	return out, nil
+}
+
+// HomomorphicKeystream evaluates the keystream block on the encrypted key:
+// the server-side core of transciphering. The result sits at level 0.
+func (c *Cipher) HomomorphicKeystream(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte, block uint32) (*ckks.Ciphertext, error) {
+	if len(encKey) != c.keyLen {
+		return nil, fmt.Errorf("transcipher: %d key ciphertexts, want %d", len(encKey), c.keyLen)
+	}
+	a, b, cc, err := c.coeffBlock(nonce, block)
+	if err != nil {
+		return nil, err
+	}
+	return c.evalKeystream(ev, rlk, encKey, a, b, cc)
+}
+
+// evalKeystream evaluates A·k + (B·k)⊙(C·k) homomorphically for arbitrary
+// public coefficient matrices.
+func (c *Cipher) evalKeystream(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, a, b, cc [][]float64) (*ckks.Ciphertext, error) {
+	top := c.ctx.MaxLevel()
+
+	// linearForm computes Rescale(Σ_j coeff_j ⊙ encKey_j) at level `at`.
+	linearForm := func(coeff [][]float64, at int) (*ckks.Ciphertext, error) {
+		var acc *ckks.Ciphertext
+		for j := 0; j < c.keyLen; j++ {
+			pt, err := c.encoder.EncodeRealAtLevel(coeff[j], c.scale(), at)
+			if err != nil {
+				return nil, err
+			}
+			ctj := encKey[j]
+			if ctj.Level != at {
+				if ctj, err = ev.DropLevel(ctj, at); err != nil {
+					return nil, err
+				}
+			}
+			term, err := ev.MulPlain(ctj, pt)
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = term
+				continue
+			}
+			if acc, err = ev.Add(acc, term); err != nil {
+				return nil, err
+			}
+		}
+		return ev.Rescale(acc)
+	}
+
+	// Quadratic part: (B·k)⊙(C·k) at level top−1, one MulRelin, rescale.
+	u, err := linearForm(b, top)
+	if err != nil {
+		return nil, err
+	}
+	v, err := linearForm(cc, top)
+	if err != nil {
+		return nil, err
+	}
+	quad, err := ev.MulRelin(u, v, rlk)
+	if err != nil {
+		return nil, err
+	}
+	if quad, err = ev.Rescale(quad); err != nil {
+		return nil, err
+	}
+	// Linear part evaluated one level down so both paths end at level
+	// top−2 with identical scale Δ²/p (Δ equals the top prime).
+	lin, err := linearForm(a, top-1)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Add(lin, quad)
+}
+
+// Transcipher converts a masked (symmetrically encrypted) block into a
+// CKKS ciphertext of the underlying data: Enc(m) = Trivial(masked) − Enc(ks).
+func (c *Cipher) Transcipher(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte, block uint32, masked []float64) (*ckks.Ciphertext, error) {
+	ks, err := c.HomomorphicKeystream(ev, rlk, encKey, nonce, block)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := c.encoder.EncodeRealAtLevel(masked, ks.Scale, ks.Level)
+	if err != nil {
+		return nil, err
+	}
+	trivial := ev.Trivial(pt)
+	return ev.Sub(trivial, ks)
+}
+
+// TranscipherAffine fuses a slot-wise affine model into transciphering,
+// producing Enc(w⊙m + bias) at no extra homomorphic depth: the public
+// keystream coefficients are scaled by w before evaluation (so the server
+// computes Enc(w⊙ks)), while w⊙masked + bias is computed in plaintext —
+//
+//	Enc(w⊙m + bias) = Trivial(w⊙masked + bias) − Enc(w⊙ks).
+//
+// This is the linear-layer fusion used by RtF-style pipelines. |w| should
+// stay ≤ ~2 to preserve the evaluation's modulus headroom.
+func (c *Cipher) TranscipherAffine(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte, block uint32, masked, weights, bias []float64) (*ckks.Ciphertext, error) {
+	slots := c.Slots()
+	if len(masked) > slots || len(weights) > slots || len(bias) > slots {
+		return nil, fmt.Errorf("transcipher: affine inputs exceed %d slots", slots)
+	}
+	a, b, cc, err := c.coeffBlock(nonce, block)
+	if err != nil {
+		return nil, err
+	}
+	wAt := func(s int) float64 {
+		if s < len(weights) {
+			return weights[s]
+		}
+		return 1
+	}
+	// Fold w into the linear layer and one factor of the quadratic.
+	for j := 0; j < c.keyLen; j++ {
+		for s := 0; s < slots; s++ {
+			w := wAt(s)
+			a[j][s] *= w
+			b[j][s] *= w
+		}
+	}
+	ks, err := c.evalKeystream(ev, rlk, encKey, a, b, cc)
+	if err != nil {
+		return nil, err
+	}
+	plain := make([]float64, slots)
+	for s := 0; s < slots; s++ {
+		if s < len(masked) {
+			plain[s] = wAt(s) * masked[s]
+		}
+		if s < len(bias) {
+			plain[s] += bias[s]
+		}
+	}
+	pt, err := c.encoder.EncodeRealAtLevel(plain, ks.Scale, ks.Level)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Sub(ev.Trivial(pt), ks)
+}

@@ -1,0 +1,334 @@
+package transcipher
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"quhe/internal/he/ckks"
+)
+
+func testCipher(t testing.TB) (*Cipher, *ckks.Context) {
+	t.Helper()
+	p, err := ckks.NewParams(8, 24, 18, 2) // small ring for fast tests
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(ctx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ctx
+}
+
+func TestNewValidation(t *testing.T) {
+	p, err := ckks.NewParams(8, 35, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := ckks.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(shallow, 8); err == nil {
+		t.Error("depth-1 context accepted")
+	}
+	_, ctx := testCipher(t)
+	if _, err := New(ctx, 1); err == nil {
+		t.Error("keyLen 1 accepted")
+	}
+	if _, err := New(ctx, 100); err == nil {
+		t.Error("keyLen 100 accepted")
+	}
+}
+
+func TestDeriveKeyDeterministic(t *testing.T) {
+	c, _ := testCipher(t)
+	k1, err := c.DeriveKey([]byte("qkd key material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c.DeriveKey([]byte("qkd key material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := c.DeriveKey([]byte("different material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != c.KeyLen() {
+		t.Fatalf("key has %d coords", len(k1))
+	}
+	same, diff := true, false
+	for j := range k1 {
+		if k1[j] != k2[j] {
+			same = false
+		}
+		if k1[j] != k3[j] {
+			diff = true
+		}
+		if k1[j] < -1 || k1[j] > 1 {
+			t.Errorf("coord %d = %v outside [-1,1]", j, k1[j])
+		}
+	}
+	if !same {
+		t.Error("same material gave different keys")
+	}
+	if !diff {
+		t.Error("different material gave identical keys")
+	}
+	if _, err := c.DeriveKey(nil); err == nil {
+		t.Error("empty material accepted")
+	}
+}
+
+func TestMaskUnmaskRoundTrip(t *testing.T) {
+	c, _ := testCipher(t)
+	key, err := c.DeriveKey([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, c.Slots())
+	for i := range data {
+		data[i] = rng.Float64()*2 - 1
+	}
+	nonce := []byte("session-1")
+	masked, err := c.Mask(key, nonce, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Masked data must differ from plaintext (keystream nonzero).
+	movedCount := 0
+	for i := range data {
+		if math.Abs(masked[i]-data[i]) > 1e-9 {
+			movedCount++
+		}
+	}
+	if movedCount < len(data)/2 {
+		t.Errorf("only %d of %d slots masked", movedCount, len(data))
+	}
+	got, err := c.Unmask(key, nonce, 0, masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(got[i]-data[i]) > 1e-12 {
+			t.Fatalf("slot %d: %v != %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestKeystreamBlockAndNonceSeparation(t *testing.T) {
+	c, _ := testCipher(t)
+	key, _ := c.DeriveKey([]byte("k"))
+	ks0, err := c.Keystream(key, []byte("n1"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks1, err := c.Keystream(key, []byte("n1"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksN, err := c.Keystream(key, []byte("n2"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if identical(ks0, ks1) {
+		t.Error("blocks 0 and 1 share a keystream")
+	}
+	if identical(ks0, ksN) {
+		t.Error("different nonces share a keystream")
+	}
+}
+
+// TestHomomorphicKeystreamMatchesPlain is the core transciphering
+// correctness property: the server's homomorphically computed keystream
+// decrypts to the client's plaintext keystream.
+func TestHomomorphicKeystreamMatchesPlain(t *testing.T) {
+	c, ctx := testCipher(t)
+	kg := ckks.NewKeyGenerator(ctx, 5)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, 6)
+	enc := ckks.NewEncoder(ctx)
+
+	key, err := c.DeriveKey([]byte("qkd-derived"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encKey, err := c.EncryptKey(ev, pk, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("n")
+	want, err := c.Keystream(key, nonce, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksCt, err := c.HomomorphicKeystream(ev, rlk, encKey, nonce, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksCt.Level != 0 {
+		t.Errorf("keystream ciphertext at level %d, want 0", ksCt.Level)
+	}
+	got := enc.DecodeReal(ev.Decrypt(sk, ksCt))
+	worst := 0.0
+	for i := range want {
+		if d := math.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("homomorphic keystream error %v", worst)
+	}
+}
+
+// TestTranscipherEndToEnd replays §III-A: client masks data under the QKD
+// key, server transciphers, result decrypts to the original data.
+func TestTranscipherEndToEnd(t *testing.T) {
+	c, ctx := testCipher(t)
+	kg := ckks.NewKeyGenerator(ctx, 7)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, 8)
+	enc := ckks.NewEncoder(ctx)
+
+	key, err := c.DeriveKey([]byte("shared-qkd-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, c.Slots())
+	for i := range data {
+		data[i] = rng.Float64()*2 - 1
+	}
+	nonce := []byte("uplink-7")
+	masked, err := c.Mask(key, nonce, 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encKey, err := c.EncryptKey(ev, pk, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := c.Transcipher(ev, rlk, encKey, nonce, 3, masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc.DecodeReal(ev.Decrypt(sk, ct))
+	worst := 0.0
+	for i := range data {
+		if d := math.Abs(got[i] - data[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Errorf("transciphering error %v", worst)
+	}
+}
+
+// TestTranscipheredComputation goes one step further: after transciphering
+// the server computes on the recovered ciphertext (an encrypted weighted
+// sum), matching the paper's encrypted-prediction workload.
+func TestTranscipheredComputation(t *testing.T) {
+	c, ctx := testCipher(t)
+	kg := ckks.NewKeyGenerator(ctx, 11)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, 12)
+	enc := ckks.NewEncoder(ctx)
+
+	key, err := c.DeriveKey([]byte("k2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []float64{0.5, -0.25, 0.75, 0.1}
+	padded := make([]float64, c.Slots())
+	copy(padded, data)
+	masked, err := c.Mask(key, []byte("n"), 0, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encKey, err := c.EncryptKey(ev, pk, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := c.Transcipher(ev, rlk, encKey, []byte("n"), 0, masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Additive encrypted computation at the bottom level: ct + ct − bias
+	// (a multiplicative step would exceed the small base modulus of this
+	// test's 24-bit chain; the securenlp example runs one with room).
+	doubled, err := ev.Add(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bias := make([]float64, c.Slots())
+	for i := range bias {
+		bias[i] = 0.1
+	}
+	biasPt, err := ckks.NewEncoder(ctx).EncodeRealAtLevel(bias, doubled.Scale, doubled.Level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outCt, err := ev.SubPlain(doubled, biasPt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := enc.DecodeReal(ev.Decrypt(sk, outCt))
+	for i, d := range data {
+		want := 2*d - 0.1
+		if math.Abs(got[i]-want) > 0.03 {
+			t.Errorf("slot %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestParamsBuiltIn(t *testing.T) {
+	p := Params()
+	if p.Depth < 2 {
+		t.Errorf("built-in depth %d < 2", p.Depth)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("built-in params invalid: %v", err)
+	}
+}
+
+func BenchmarkHomomorphicKeystream(b *testing.B) {
+	c, ctx := testCipher(b)
+	kg := ckks.NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, 2)
+	key, _ := c.DeriveKey([]byte("k"))
+	encKey, err := c.EncryptKey(ev, pk, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.HomomorphicKeystream(ev, rlk, encKey, []byte("n"), uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sk
+}
