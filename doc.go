@@ -13,7 +13,14 @@
 //   - internal/wireless    — uplink channel, FDMA, Shannon rates
 //   - internal/costmodel   — delay/energy/security cost functions
 //   - internal/chacha20    — RFC 8439 stream cipher
-//   - internal/he/...      — polynomial rings, CKKS, LWE security estimation
+//   - internal/he/...      — polynomial rings, CKKS, LWE security estimation.
+//     The ring arithmetic core is division-free: Montgomery/Barrett
+//     reduction with precomputed per-modulus constants, lazy-reduction
+//     NTT/INTT with Montgomery-form twiddle tables, and zero-allocation
+//     Into variants of the hot polynomial and evaluator operations (see
+//     internal/he/ring's package comment for the reduction design).
+//     CKKS key material is stored in the NTT domain so evaluator hot
+//     paths never transform keys per operation.
 //   - internal/transcipher — HE-friendly cipher and homomorphic decryption
 //   - internal/edge        — TCP edge runtime running the full pipeline
 //   - internal/experiments — regenerators for every table and figure in §VI

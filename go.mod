@@ -1,0 +1,3 @@
+module quhe
+
+go 1.24

@@ -54,6 +54,10 @@ type session struct {
 	rlk    *ckks.RelinKey
 	encKey []*ckks.Ciphertext
 	nonce  []byte
+	// mu serializes homomorphic evaluation: the evaluator's scratch
+	// buffers make it unsafe for concurrent use, and two connections may
+	// share a session ID.
+	mu     sync.Mutex
 	ev     *ckks.Evaluator
 	blocks int
 }
@@ -198,9 +202,11 @@ func (s *Server) handleCompute(req *ComputeRequest) *ComputeReply {
 
 	// Transcipher with the affine model fused in: the server obtains
 	// Enc(w⊙m + bias) directly, never seeing m.
+	sess.mu.Lock()
 	result, err := s.cipher.TranscipherAffine(
 		sess.ev, sess.rlk, sess.encKey, sess.nonce, req.Block, req.Masked,
 		s.cfg.Model.Weights, s.cfg.Model.Bias)
+	sess.mu.Unlock()
 	if err != nil {
 		return &ComputeReply{Err: "transcipher: " + err.Error()}
 	}

@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"math/rand"
 	"testing"
+
+	"quhe/internal/he/ring"
 )
 
 // testContext returns a small, fast context (N=256, depth 1).
@@ -523,4 +525,233 @@ func TestCiphertextCopyIndependence(t *testing.T) {
 		t.Error("Copy shares state")
 	}
 	_ = sk
+}
+
+// TestIntoVariantsMatchAllocating checks the zero-allocation Into APIs
+// against their allocating counterparts, including aliasing the output
+// with an operand.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 41)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 42)
+
+	rng := rand.New(rand.NewSource(43))
+	a := randomSlots(rng, ctx.Params.Slots())
+	b := randomSlots(rng, ctx.Params.Slots())
+	pta, _ := enc.Encode(a, 0)
+	ptb, _ := enc.Encode(b, 0)
+	cta := ev.Encrypt(pk, pta)
+	ctb := ev.Encrypt(pk, ptb)
+
+	eq := func(name string, x, y *Ciphertext) {
+		t.Helper()
+		if x.Level != y.Level || x.Scale != y.Scale {
+			t.Fatalf("%s: level/scale mismatch", name)
+		}
+		for i := range x.C0 {
+			if x.C0[i] != y.C0[i] || x.C1[i] != y.C1[i] {
+				t.Fatalf("%s: coeff %d differs", name, i)
+			}
+		}
+	}
+
+	want, err := ev.Add(cta, ctb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ctx.NewCiphertext(cta.Level)
+	if err := ev.AddInto(cta, ctb, got); err != nil {
+		t.Fatal(err)
+	}
+	eq("AddInto", got, want)
+
+	want, err = ev.MulPlain(cta, ptb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MulPlainInto(cta, ptb, got); err != nil {
+		t.Fatal(err)
+	}
+	eq("MulPlainInto", got, want)
+	aliased := cta.Copy()
+	if err := ev.MulPlainInto(aliased, ptb, aliased); err != nil {
+		t.Fatal(err)
+	}
+	eq("MulPlainInto aliased", aliased, want)
+
+	want, err = ev.MulRelin(cta, ctb, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MulRelinInto(cta, ctb, rlk, got); err != nil {
+		t.Fatal(err)
+	}
+	eq("MulRelinInto", got, want)
+	aliased = cta.Copy()
+	if err := ev.MulRelinInto(aliased, ctb, rlk, aliased); err != nil {
+		t.Fatal(err)
+	}
+	eq("MulRelinInto aliased", aliased, want)
+
+	want, err = ev.Rescale(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.RescaleInto(got, got); err != nil {
+		t.Fatal(err)
+	}
+	eq("RescaleInto aliased", got, want)
+
+	want, err = ev.DropLevel(cta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := ctx.NewCiphertext(0)
+	if err := ev.DropLevelInto(cta, 0, dropped); err != nil {
+		t.Fatal(err)
+	}
+	eq("DropLevelInto", dropped, want)
+}
+
+// TestMulRelinSquareAliasing covers squaring with both operands and the
+// output all aliased — the self-multiply pattern evaluator users hit.
+func TestMulRelinSquareAliasing(t *testing.T) {
+	ctx := testContext(t)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 44)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 45)
+
+	vals := []float64{0.5, -0.25, 0.75}
+	pt, err := enc.EncodeReal(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pk, pt)
+	want, err := ev.MulRelin(ct, ct, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MulRelinInto(ct, ct, rlk, ct); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct.C0 {
+		if ct.C0[i] != want.C0[i] || ct.C1[i] != want.C1[i] {
+			t.Fatalf("self-square aliased coeff %d differs", i)
+		}
+	}
+}
+
+func BenchmarkMulRelinInto(b *testing.B) {
+	ctx := testContext(b)
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 2)
+	pt, _ := enc.EncodeReal([]float64{0.5}, 0)
+	ct := ev.Encrypt(pk, pt)
+	out := ctx.NewCiphertext(ct.Level)
+	_ = sk
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ev.MulRelinInto(ct, ct, rlk, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKeySwitch measures the gadget decomposition + key fold alone
+// (the dominant cost of MulRelin beyond the tensor product).
+func BenchmarkKeySwitch(b *testing.B) {
+	ctx := testContext(b)
+	kg := NewKeyGenerator(ctx, 1)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 2)
+	level := ctx.MaxLevel()
+	mod := ctx.Mod(level)
+	rng := rand.New(rand.NewSource(3))
+	d2 := mod.UniformPoly(rng)
+	scratch := mod.NewPoly()
+	acc0 := mod.NewPoly()
+	acc1 := mod.NewPoly()
+	digit := mod.NewPoly()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, d2)
+		ev.keySwitch(scratch, rlk, level, acc0, acc1, digit)
+	}
+}
+
+// TestParallelPathsLargeRing runs the full evaluator pipeline at N = 4096,
+// above ring.ParallelMinN, so the goroutine fan-out branches in keygen,
+// Encrypt, MulPlainInto and MulRelinInto execute (the small-ring tests
+// never reach them). Run with -race to check the scratch-buffer
+// disjointness of the parallel sections.
+func TestParallelPathsLargeRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-ring keygen in -short mode")
+	}
+	p, err := NewParams(12, 35, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() < ring.ParallelMinN {
+		t.Fatalf("test ring N=%d below ParallelMinN=%d: parallel paths not covered", p.N(), ring.ParallelMinN)
+	}
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewEncoder(ctx)
+	kg := NewKeyGenerator(ctx, 61)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 62)
+
+	vals := []float64{0.5, -0.25, 0.75, 0.1}
+	pt, err := enc.EncodeReal(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pk, pt)
+
+	scaled, err := ev.MulPlain(ct, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled, err = ev.Rescale(scaled); err != nil {
+		t.Fatal(err)
+	}
+	got := enc.DecodeReal(ev.Decrypt(sk, scaled))
+	for i, v := range vals {
+		if math.Abs(got[i]-v*v) > 0.01 {
+			t.Errorf("MulPlain slot %d = %v, want %v", i, got[i], v*v)
+		}
+	}
+
+	sq, err := ev.MulRelin(ct, ct, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq, err = ev.Rescale(sq); err != nil {
+		t.Fatal(err)
+	}
+	got = enc.DecodeReal(ev.Decrypt(sk, sq))
+	for i, v := range vals {
+		if math.Abs(got[i]-v*v) > 0.01 {
+			t.Errorf("MulRelin slot %d = %v, want %v", i, got[i], v*v)
+		}
+	}
 }

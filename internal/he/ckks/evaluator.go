@@ -10,12 +10,19 @@ import (
 )
 
 // Evaluator performs CKKS encryption, decryption and homomorphic
-// arithmetic over one context. Methods allocate fresh outputs and never
-// mutate their operands. The internal RNG (used by Encrypt) makes one
-// evaluator unsafe for concurrent encryption; share read-only uses freely.
+// arithmetic over one context. The allocating methods (Encrypt, Add,
+// MulRelin, ...) return fresh outputs and never mutate their operands; the
+// Into variants write into caller-provided ciphertexts and allocate
+// nothing. All methods share the evaluator's internal scratch buffers (and
+// Encrypt its RNG), so an evaluator must not be used from multiple
+// goroutines concurrently; create one evaluator per goroutine instead —
+// contexts and keys are shared safely.
 type Evaluator struct {
 	ctx *Context
 	rng *rand.Rand
+	// Scratch polynomials sized N, reused by every operation. MulRelinInto
+	// is the worst case and needs all six.
+	t0, t1, t2, t3, t4, t5 ring.Poly
 }
 
 // NewEvaluator builds an evaluator. seed=0 selects a fixed default.
@@ -23,25 +30,62 @@ func NewEvaluator(ctx *Context, seed int64) *Evaluator {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Evaluator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
+	n := ctx.Params.N()
+	return &Evaluator{
+		ctx: ctx,
+		rng: rand.New(rand.NewSource(seed)),
+		t0:  make(ring.Poly, n), t1: make(ring.Poly, n), t2: make(ring.Poly, n),
+		t3: make(ring.Poly, n), t4: make(ring.Poly, n), t5: make(ring.Poly, n),
+	}
 }
 
 // Context returns the evaluator's CKKS context.
 func (ev *Evaluator) Context() *Context { return ev.ctx }
 
+// parallel reports whether independent transforms should fan out across
+// goroutines for this context's ring degree.
+func (ev *Evaluator) parallel() bool { return ev.ctx.Params.N() >= ring.ParallelMinN }
+
 // Encrypt encrypts a plaintext under the public key at the plaintext's
-// level: (c0, c1) = (p0·u + e0 + m, p1·u + e1) with ternary u.
+// level: (c0, c1) = (p0·u + e0 + m, p1·u + e1) with ternary u. The public
+// key is stored in the NTT domain, so encryption costs one forward and two
+// inverse transforms.
 func (ev *Evaluator) Encrypt(pk *PublicKey, pt *Plaintext) *Ciphertext {
 	mod := ev.ctx.Mod(pt.Level)
-	u := mod.TernaryPoly(ev.rng)
-	e0 := mod.GaussianPoly(ev.rng, ev.ctx.Params.Sigma)
-	e1 := mod.GaussianPoly(ev.rng, ev.ctx.Params.Sigma)
-	c0 := mod.MulPoly(pk.P0[pt.Level], u)
-	mod.Add(c0, e0, c0)
-	mod.Add(c0, pt.Value, c0)
-	c1 := mod.MulPoly(pk.P1[pt.Level], u)
-	mod.Add(c1, e1, c1)
-	return &Ciphertext{C0: c0, C1: c1, Scale: pt.Scale, Level: pt.Level}
+	out := ev.ctx.NewCiphertext(pt.Level)
+	// Sampling happens before any transform so the RNG stream order is
+	// fixed regardless of the execution strategy below.
+	mod.TernaryPolyInto(ev.rng, ev.t0)                       // u
+	mod.GaussianPolyInto(ev.rng, ev.ctx.Params.Sigma, ev.t1) // e0
+	mod.GaussianPolyInto(ev.rng, ev.ctx.Params.Sigma, ev.t2) // e1
+	mod.NTT(ev.t0)
+	// The two components are independent; closures are only materialized on
+	// the parallel path so the serial path stays allocation-free.
+	if ev.parallel() {
+		ring.Parallel(
+			func() {
+				mod.MulCoeffwiseMontgomery(ev.t0, pk.P0[pt.Level], ev.t3)
+				mod.INTT(ev.t3)
+				mod.Add(ev.t3, ev.t1, out.C0)
+				mod.Add(out.C0, pt.Value, out.C0)
+			},
+			func() {
+				mod.MulCoeffwiseMontgomery(ev.t0, pk.P1[pt.Level], ev.t4)
+				mod.INTT(ev.t4)
+				mod.Add(ev.t4, ev.t2, out.C1)
+			},
+		)
+	} else {
+		mod.MulCoeffwiseMontgomery(ev.t0, pk.P0[pt.Level], ev.t3)
+		mod.INTT(ev.t3)
+		mod.Add(ev.t3, ev.t1, out.C0)
+		mod.Add(out.C0, pt.Value, out.C0)
+		mod.MulCoeffwiseMontgomery(ev.t0, pk.P1[pt.Level], ev.t4)
+		mod.INTT(ev.t4)
+		mod.Add(ev.t4, ev.t2, out.C1)
+	}
+	out.Scale = pt.Scale
+	return out
 }
 
 // Trivial wraps a plaintext as the ciphertext (m, 0), which any key
@@ -59,9 +103,26 @@ func (ev *Evaluator) Trivial(pt *Plaintext) *Ciphertext {
 // Decrypt recovers the plaintext m = c0 + c1·s at the ciphertext's level.
 func (ev *Evaluator) Decrypt(sk *SecretKey, ct *Ciphertext) *Plaintext {
 	mod := ev.ctx.Mod(ct.Level)
-	m := mod.MulPoly(ct.C1, sk.S[ct.Level])
-	mod.Add(m, ct.C0, m)
+	copy(ev.t0, ct.C1)
+	mod.NTT(ev.t0)
+	mod.MulCoeffwiseMontgomery(ev.t0, sk.S[ct.Level], ev.t0)
+	mod.INTT(ev.t0)
+	m := mod.NewPoly()
+	mod.Add(ev.t0, ct.C0, m)
 	return &Plaintext{Value: m, Scale: ct.Scale, Level: ct.Level}
+}
+
+// AddInto sets out = a + b without allocating. Levels and scales must
+// match; out may alias a or b.
+func (ev *Evaluator) AddInto(a, b, out *Ciphertext) error {
+	if err := ev.matchLevels(a, b); err != nil {
+		return err
+	}
+	mod := ev.ctx.Mod(a.Level)
+	mod.Add(a.C0, b.C0, out.C0)
+	mod.Add(a.C1, b.C1, out.C1)
+	out.Scale, out.Level = a.Scale, a.Level
+	return nil
 }
 
 // Add returns a + b. Levels and scales must match.
@@ -69,11 +130,24 @@ func (ev *Evaluator) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := ev.matchLevels(a, b); err != nil {
 		return nil, err
 	}
-	mod := ev.ctx.Mod(a.Level)
-	out := &Ciphertext{C0: mod.NewPoly(), C1: mod.NewPoly(), Scale: a.Scale, Level: a.Level}
-	mod.Add(a.C0, b.C0, out.C0)
-	mod.Add(a.C1, b.C1, out.C1)
+	out := ev.ctx.NewCiphertext(a.Level)
+	if err := ev.AddInto(a, b, out); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// SubInto sets out = a − b without allocating. Levels and scales must
+// match; out may alias a or b.
+func (ev *Evaluator) SubInto(a, b, out *Ciphertext) error {
+	if err := ev.matchLevels(a, b); err != nil {
+		return err
+	}
+	mod := ev.ctx.Mod(a.Level)
+	mod.Sub(a.C0, b.C0, out.C0)
+	mod.Sub(a.C1, b.C1, out.C1)
+	out.Scale, out.Level = a.Scale, a.Level
+	return nil
 }
 
 // Sub returns a − b. Levels and scales must match.
@@ -81,10 +155,10 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) (*Ciphertext, error) {
 	if err := ev.matchLevels(a, b); err != nil {
 		return nil, err
 	}
-	mod := ev.ctx.Mod(a.Level)
-	out := &Ciphertext{C0: mod.NewPoly(), C1: mod.NewPoly(), Scale: a.Scale, Level: a.Level}
-	mod.Sub(a.C0, b.C0, out.C0)
-	mod.Sub(a.C1, b.C1, out.C1)
+	out := ev.ctx.NewCiphertext(a.Level)
+	if err := ev.SubInto(a, b, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -114,19 +188,110 @@ func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 	return out, nil
 }
 
-// MulPlain returns ct·pt; the output scale is the product of scales
-// (rescale afterwards to come back down). Levels must match.
+// MulPlainInto sets out = ct·pt without allocating; the output scale is
+// the product of scales (rescale afterwards to come back down). Levels must
+// match; out may alias ct.
+func (ev *Evaluator) MulPlainInto(ct *Ciphertext, pt *Plaintext, out *Ciphertext) error {
+	if ct.Level != pt.Level {
+		return fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
+	}
+	mod := ev.ctx.Mod(ct.Level)
+	copy(ev.t0, pt.Value)
+	mod.NTT(ev.t0)
+	if ev.parallel() {
+		ring.Parallel(
+			func() {
+				copy(out.C0, ct.C0)
+				mod.NTT(out.C0)
+				mod.MulCoeffwise(out.C0, ev.t0, out.C0)
+				mod.INTT(out.C0)
+			},
+			func() {
+				copy(out.C1, ct.C1)
+				mod.NTT(out.C1)
+				mod.MulCoeffwise(out.C1, ev.t0, out.C1)
+				mod.INTT(out.C1)
+			},
+		)
+	} else {
+		copy(out.C0, ct.C0)
+		mod.NTT(out.C0)
+		mod.MulCoeffwise(out.C0, ev.t0, out.C0)
+		mod.INTT(out.C0)
+		copy(out.C1, ct.C1)
+		mod.NTT(out.C1)
+		mod.MulCoeffwise(out.C1, ev.t0, out.C1)
+		mod.INTT(out.C1)
+	}
+	out.Scale, out.Level = ct.Scale*pt.Scale, ct.Level
+	return nil
+}
+
+// MulPlain returns ct·pt; see MulPlainInto.
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error) {
 	if ct.Level != pt.Level {
 		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
 	}
-	mod := ev.ctx.Mod(ct.Level)
-	return &Ciphertext{
-		C0:    mod.MulPoly(ct.C0, pt.Value),
-		C1:    mod.MulPoly(ct.C1, pt.Value),
-		Scale: ct.Scale * pt.Scale,
-		Level: ct.Level,
-	}, nil
+	out := ev.ctx.NewCiphertext(ct.Level)
+	if err := ev.MulPlainInto(ct, pt, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulRelinInto multiplies two ciphertexts and relinearizes the degree-2
+// term with rlk, writing into out without allocating (out may alias a or
+// b). The whole tensor-and-key-switch pipeline runs in the NTT domain:
+// four forward transforms for the operands, one inverse for the degree-2
+// term, one forward per nonzero gadget digit, and two final inverses.
+func (ev *Evaluator) MulRelinInto(a, b *Ciphertext, rlk *RelinKey, out *Ciphertext) error {
+	if rlk == nil || len(rlk.Parts) == 0 {
+		return errors.New("ckks: nil relinearization key")
+	}
+	if a.Level != b.Level {
+		return fmt.Errorf("ckks: level mismatch %d vs %d", a.Level, b.Level)
+	}
+	mod := ev.ctx.Mod(a.Level)
+
+	// Forward transforms of all four operand components.
+	copy(ev.t0, a.C0)
+	copy(ev.t1, a.C1)
+	copy(ev.t2, b.C0)
+	copy(ev.t3, b.C1)
+	if ev.parallel() {
+		ring.Parallel(
+			func() { mod.NTT(ev.t0) },
+			func() { mod.NTT(ev.t1) },
+			func() { mod.NTT(ev.t2) },
+			func() { mod.NTT(ev.t3) },
+		)
+	} else {
+		mod.NTT(ev.t0)
+		mod.NTT(ev.t1)
+		mod.NTT(ev.t2)
+		mod.NTT(ev.t3)
+	}
+
+	// Tensor in the NTT domain: (d0, d1, d2) = (a0·b0, a0·b1 + a1·b0, a1·b1).
+	mod.MulCoeffwise(ev.t0, ev.t2, ev.t4)        // d̂0
+	mod.MulCoeffwise(ev.t0, ev.t3, ev.t5)        // d̂1
+	mod.MulCoeffwiseThenAdd(ev.t1, ev.t2, ev.t5) // d̂1 += â1·b̂0
+	mod.MulCoeffwise(ev.t1, ev.t3, ev.t0)        // d̂2
+	mod.INTT(ev.t0)                              // d2 back to coefficients for digit extraction
+
+	// Key switch: fold the gadget decomposition of d2 into d̂0/d̂1.
+	ev.keySwitch(ev.t0, rlk, a.Level, ev.t4, ev.t5, ev.t1)
+
+	if ev.parallel() {
+		ring.Parallel(func() { mod.INTT(ev.t4) }, func() { mod.INTT(ev.t5) })
+	} else {
+		mod.INTT(ev.t4)
+		mod.INTT(ev.t5)
+	}
+	copy(out.C0, ev.t4)
+	copy(out.C1, ev.t5)
+	out.Scale, out.Level = a.Scale*b.Scale, a.Level
+	return nil
 }
 
 // MulRelin multiplies two ciphertexts and relinearizes the degree-2 term
@@ -139,34 +304,53 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, err
 	if a.Level != b.Level {
 		return nil, fmt.Errorf("ckks: level mismatch %d vs %d", a.Level, b.Level)
 	}
-	mod := ev.ctx.Mod(a.Level)
-	// Tensor: (d0, d1, d2) = (a0·b0, a0·b1 + a1·b0, a1·b1).
-	d0 := mod.MulPoly(a.C0, b.C0)
-	d1 := mod.MulPoly(a.C0, b.C1)
-	tmp := mod.MulPoly(a.C1, b.C0)
-	mod.Add(d1, tmp, d1)
-	d2 := mod.MulPoly(a.C1, b.C1)
+	out := ev.ctx.NewCiphertext(a.Level)
+	if err := ev.MulRelinInto(a, b, rlk, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
-	// Gadget-decompose d2 in base T and fold in the relin key parts.
-	base := uint64(1) << uint(rlk.LogBase)
-	rem := d2.Copy()
-	digit := mod.NewPoly()
+// keySwitch decomposes d2 (coefficient domain; clobbered) in the gadget
+// base and accumulates digit·rlk_i into the NTT-domain accumulators
+// acc0/acc1 at the given level. digitBuf is scratch for one digit. The
+// relin key parts are stored in the NTT domain and Montgomery form, so each
+// digit costs one forward transform plus two fused multiply-accumulates.
+func (ev *Evaluator) keySwitch(d2 ring.Poly, rlk *RelinKey, level int, acc0, acc1, digitBuf ring.Poly) {
+	mod := ev.ctx.Mod(level)
+	mask := uint64(1)<<uint(rlk.LogBase) - 1
 	for i := 0; i < len(rlk.Parts); i++ {
 		allZero := true
-		for j := range rem {
-			digit[j] = rem[j] % base
-			rem[j] /= base
-			if digit[j] != 0 {
+		for j := range d2 {
+			d := d2[j] & mask
+			d2[j] >>= uint(rlk.LogBase)
+			digitBuf[j] = d
+			if d != 0 {
 				allZero = false
 			}
 		}
 		if allZero {
 			continue
 		}
-		mod.Add(d0, mod.MulPoly(digit, rlk.Parts[i][0][a.Level]), d0)
-		mod.Add(d1, mod.MulPoly(digit, rlk.Parts[i][1][a.Level]), d1)
+		mod.NTT(digitBuf)
+		mod.MulCoeffwiseMontgomeryThenAdd(digitBuf, rlk.Parts[i][0][level], acc0)
+		mod.MulCoeffwiseMontgomeryThenAdd(digitBuf, rlk.Parts[i][1][level], acc1)
 	}
-	return &Ciphertext{C0: d0, C1: d1, Scale: a.Scale * b.Scale, Level: a.Level}, nil
+}
+
+// RescaleInto divides the ciphertext by its level's prime and switches it
+// down one level, writing into out without allocating (out may alias ct).
+func (ev *Evaluator) RescaleInto(ct, out *Ciphertext) error {
+	if ct.Level == 0 {
+		return errors.New("ckks: cannot rescale below level 0")
+	}
+	prime := ev.ctx.Primes[ct.Level]
+	topMod := ev.ctx.Mod(ct.Level)
+	botMod := ev.ctx.Mod(ct.Level - 1)
+	rescalePolyInto(topMod, botMod, ct.C0, prime, out.C0)
+	rescalePolyInto(topMod, botMod, ct.C1, prime, out.C1)
+	out.Scale, out.Level = ct.Scale/float64(prime), ct.Level-1
+	return nil
 }
 
 // Rescale divides the ciphertext by its level's prime and switches it down
@@ -176,16 +360,25 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 	if ct.Level == 0 {
 		return nil, errors.New("ckks: cannot rescale below level 0")
 	}
-	prime := ev.ctx.Primes[ct.Level]
-	topMod := ev.ctx.Mod(ct.Level)
-	botMod := ev.ctx.Mod(ct.Level - 1)
-	out := &Ciphertext{
-		C0:    rescalePoly(topMod, botMod, ct.C0, prime),
-		C1:    rescalePoly(topMod, botMod, ct.C1, prime),
-		Scale: ct.Scale / float64(prime),
-		Level: ct.Level - 1,
+	out := ev.ctx.NewCiphertext(ct.Level - 1)
+	if err := ev.RescaleInto(ct, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DropLevelInto reduces the ciphertext to a lower level without dividing,
+// writing into out without allocating (out may alias ct). The scale is
+// unchanged.
+func (ev *Evaluator) DropLevelInto(ct *Ciphertext, level int, out *Ciphertext) error {
+	if level < 0 || level > ct.Level {
+		return fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level, level)
+	}
+	mod := ev.ctx.Moduli[level]
+	mod.ReduceInto(ct.C0, out.C0)
+	mod.ReduceInto(ct.C1, out.C1)
+	out.Scale, out.Level = ct.Scale, level
+	return nil
 }
 
 // DropLevel reduces the ciphertext to a lower level without dividing
@@ -197,17 +390,15 @@ func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
 	if level == ct.Level {
 		return ct.Copy(), nil
 	}
-	return &Ciphertext{
-		C0:    ev.ctx.reduceTo(ct.C0, level),
-		C1:    ev.ctx.reduceTo(ct.C1, level),
-		Scale: ct.Scale,
-		Level: level,
-	}, nil
+	out := ev.ctx.NewCiphertext(level)
+	if err := ev.DropLevelInto(ct, level, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-// rescalePoly computes round(centered(p)/prime) mod q_{ℓ−1}.
-func rescalePoly(top, bot *ring.Modulus, p ring.Poly, prime uint64) ring.Poly {
-	out := make(ring.Poly, len(p))
+// rescalePolyInto computes round(centered(p)/prime) mod q_{ℓ−1} into out.
+func rescalePolyInto(top, bot *ring.Modulus, p ring.Poly, prime uint64, out ring.Poly) {
 	half := int64(prime) / 2
 	for i, v := range p {
 		c := top.CenteredInt64(v)
@@ -219,7 +410,6 @@ func rescalePoly(top, bot *ring.Modulus, p ring.Poly, prime uint64) ring.Poly {
 		}
 		out[i] = bot.FromInt64(r)
 	}
-	return out
 }
 
 func (ev *Evaluator) matchLevels(a, b *Ciphertext) error {

@@ -6,15 +6,23 @@ import (
 	"quhe/internal/he/ring"
 )
 
+// Key material is stored in the NTT domain and Montgomery form: evaluator
+// hot paths (Encrypt, Decrypt, MulRelin key switching) then consume keys
+// with a single fused Montgomery multiply-accumulate per coefficient and
+// never transform key polynomials per operation. Both endpoints of the edge
+// protocol run this package, so the wire (gob) representation changes with
+// it transparently.
+
 // SecretKey is the RLWE secret: one ternary polynomial, stored reduced at
-// every level of the modulus chain (S[ℓ] is the secret mod q_ℓ).
+// every level of the modulus chain (S[ℓ] is the secret mod q_ℓ, NTT
+// domain, Montgomery form).
 type SecretKey struct {
 	S []ring.Poly
 }
 
 // PublicKey is the RLWE encryption key (p0, p1) = (−a·s + e, a), stored per
 // level (reductions of the top-level key, which stay valid because
-// q_ℓ | q_top).
+// q_ℓ | q_top), NTT domain, Montgomery form.
 type PublicKey struct {
 	P0, P1 []ring.Poly
 }
@@ -24,7 +32,7 @@ type PublicKey struct {
 //
 //	rlk_i = (−a_i·s + e_i + T^i·s², a_i),
 //
-// stored per level like the public key.
+// stored per level like the public key (NTT domain, Montgomery form).
 type RelinKey struct {
 	// Parts[i][j][ℓ]: digit i, component j ∈ {0,1}, level ℓ.
 	Parts   [][2][]ring.Poly
@@ -47,16 +55,26 @@ func NewKeyGenerator(ctx *Context, seed int64) *KeyGenerator {
 	return &KeyGenerator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
 }
 
-// perLevel reduces a top-level polynomial to every level.
+// perLevel reduces a top-level coefficient-domain polynomial to every
+// level and stores each reduction in the NTT domain and Montgomery form.
+// For large rings the per-level transforms run in parallel (no RNG here).
 func (kg *KeyGenerator) perLevel(top ring.Poly) []ring.Poly {
 	out := make([]ring.Poly, len(kg.ctx.Moduli))
-	for ell := range out {
-		if ell == kg.ctx.MaxLevel() {
-			out[ell] = top.Copy()
-		} else {
-			out[ell] = kg.ctx.reduceTo(top, ell)
+	level := func(ell int) func() {
+		return func() {
+			mod := kg.ctx.Mod(ell)
+			p := make(ring.Poly, len(top))
+			mod.ReduceInto(top, p)
+			mod.NTT(p)
+			mod.MForm(p, p)
+			out[ell] = p
 		}
 	}
+	tasks := make([]func(), len(out))
+	for ell := range out {
+		tasks[ell] = level(ell)
+	}
+	ring.ParallelIf(kg.ctx.Params.N(), tasks...)
 	return out
 }
 
@@ -66,18 +84,32 @@ func (kg *KeyGenerator) GenSecretKey() *SecretKey {
 	return &SecretKey{S: kg.perLevel(top)}
 }
 
+// mulSecret returns a·s in the coefficient domain at the top level, for
+// coefficient-domain a and the NTT/Montgomery-form secret sHatM.
+func (kg *KeyGenerator) mulSecret(a, sHatM ring.Poly) ring.Poly {
+	top := kg.ctx.Mod(kg.ctx.MaxLevel())
+	p := a.Copy()
+	top.NTT(p)
+	top.MulCoeffwiseMontgomery(p, sHatM, p)
+	top.INTT(p)
+	return p
+}
+
 // GenPublicKey builds (−a·s + e, a) at the top level and reduces down.
 func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 	top := kg.ctx.Mod(kg.ctx.MaxLevel())
 	a := top.UniformPoly(kg.rng)
 	e := top.GaussianPoly(kg.rng, kg.ctx.Params.Sigma)
-	p0 := top.MulPoly(a, sk.S[kg.ctx.MaxLevel()])
+	p0 := kg.mulSecret(a, sk.S[kg.ctx.MaxLevel()])
 	top.Neg(p0, p0)
 	top.Add(p0, e, p0)
 	return &PublicKey{P0: kg.perLevel(p0), P1: kg.perLevel(a)}
 }
 
-// GenRelinKey builds the gadget-decomposed key for s².
+// GenRelinKey builds the gadget-decomposed key for s². All randomness is
+// drawn up front (digit order, a before e — the same stream order as the
+// serial construction); for large rings the per-digit arithmetic and
+// transforms then fan out across goroutines deterministically.
 func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
 	ctx := kg.ctx
 	top := ctx.Mod(ctx.MaxLevel())
@@ -86,21 +118,44 @@ func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
 	for shift := 0; shift < 64 && (top.Q>>uint(shift)) > 0; shift += logBase {
 		digits++
 	}
-	s := sk.S[ctx.MaxLevel()]
-	s2 := top.MulPoly(s, s)
-	rlk := &RelinKey{Parts: make([][2][]ring.Poly, digits), LogBase: logBase}
-	power := uint64(1)
+	sHatM := sk.S[ctx.MaxLevel()]
+	// s² in the coefficient domain: square pointwise in the NTT domain
+	// (Montgomery-form · Montgomery-form keeps Montgomery form), strip the
+	// form, and transform back.
+	s2 := top.NewPoly()
+	top.MulCoeffwiseMontgomery(sHatM, sHatM, s2)
+	top.InvMForm(s2, s2)
+	top.INTT(s2)
+
+	as := make([]ring.Poly, digits)
+	es := make([]ring.Poly, digits)
 	for i := 0; i < digits; i++ {
-		a := top.UniformPoly(kg.rng)
-		e := top.GaussianPoly(kg.rng, kg.ctx.Params.Sigma)
-		b := top.MulPoly(a, s)
-		top.Neg(b, b)
-		top.Add(b, e, b)
-		scaled := top.NewPoly()
-		top.MulScalar(s2, power, scaled)
-		top.Add(b, scaled, b)
-		rlk.Parts[i] = [2][]ring.Poly{kg.perLevel(b), kg.perLevel(a)}
+		as[i] = top.UniformPoly(kg.rng)
+		es[i] = top.GaussianPoly(kg.rng, kg.ctx.Params.Sigma)
+	}
+
+	rlk := &RelinKey{Parts: make([][2][]ring.Poly, digits), LogBase: logBase}
+	powers := make([]uint64, digits)
+	power := uint64(1)
+	for i := range powers {
+		powers[i] = power
 		power = ring.MulMod(power, uint64(1)<<uint(logBase), top.Q)
 	}
+	digit := func(i int) func() {
+		return func() {
+			b := kg.mulSecret(as[i], sHatM)
+			top.Neg(b, b)
+			top.Add(b, es[i], b)
+			scaled := top.NewPoly()
+			top.MulScalar(s2, powers[i], scaled)
+			top.Add(b, scaled, b)
+			rlk.Parts[i] = [2][]ring.Poly{kg.perLevel(b), kg.perLevel(as[i])}
+		}
+	}
+	tasks := make([]func(), digits)
+	for i := range tasks {
+		tasks[i] = digit(i)
+	}
+	ring.ParallelIf(ctx.Params.N(), tasks...)
 	return rlk
 }

@@ -14,6 +14,12 @@
 // simplifications keep the package small while preserving the behaviour the
 // paper's cost model (Eqs. 29/31) abstracts: slot-wise encrypted arithmetic
 // whose cost grows with the polynomial degree λ = N.
+//
+// Performance conventions: key material lives in the NTT domain and
+// Montgomery form (see keys.go), the evaluator keeps per-instance scratch
+// buffers and offers allocation-free Into variants of every hot operation,
+// and independent transforms fan out across goroutines for ring degrees
+// ≥ ring.ParallelMinN.
 package ckks
 
 import (
@@ -157,14 +163,11 @@ func (c *Context) Mod(level int) *ring.Modulus { return c.Moduli[level] }
 // MaxLevel is the top level index.
 func (c *Context) MaxLevel() int { return len(c.Moduli) - 1 }
 
-// reduceTo maps a polynomial mod q_from to mod q_to (q_to | q_from).
-func (c *Context) reduceTo(p ring.Poly, level int) ring.Poly {
-	q := c.Moduli[level].Q
-	out := make(ring.Poly, len(p))
-	for i, v := range p {
-		out[i] = v % q
-	}
-	return out
+// NewCiphertext allocates a zero ciphertext at the given level (scale 0;
+// callers set it).
+func (c *Context) NewCiphertext(level int) *Ciphertext {
+	n := c.Params.N()
+	return &Ciphertext{C0: make(ring.Poly, n), C1: make(ring.Poly, n), Level: level}
 }
 
 // Plaintext is an encoded message: a ring polynomial at a scale and level.

@@ -1,0 +1,100 @@
+// Negacyclic NTT/INTT with Montgomery-form twiddles and lazy reduction
+// (Longa–Naehrig style, as in Lattigo's ring package). Twiddle tables are
+// stored as ψ^i·2⁶⁴ mod q so each butterfly costs one MRedLazy (two 64×64
+// multiplies) instead of a 128÷64 hardware division.
+//
+// Coefficient ranges inside the loops are lazy:
+//
+//   - forward: inputs to each butterfly stay in [0, 4q); the Cooley–Tukey
+//     butterfly conditionally subtracts 2q from u, computes
+//     v' = MRedLazy(v, ψ̃) ∈ [0, 2q) and outputs u+v', u+2q−v' ∈ [0, 4q);
+//   - inverse: coefficients stay in [0, 2q); the Gentleman–Sande butterfly
+//     outputs u+v (reduced to [0, 2q)) and MRedLazy(u+2q−v, ψ̃⁻¹) ∈ [0, 2q).
+//
+// Both transforms reduce to the strict [0, q) domain exactly once at the
+// end — the inverse by folding N⁻¹ (and N⁻¹·ψ̃⁻¹ for the odd halves) into
+// its final stage with strict MRed, dropping the seed implementation's
+// full-array MulMod pass. The 4q < 2⁶⁴ headroom these ranges need is
+// guaranteed by the package-wide q < 2⁶² bound. Outputs are bit-identical
+// to the strict schoolbook/NTT reference (see TestNTTMatchesReference).
+package ring
+
+// NTT transforms p to the NTT domain in place (negacyclic, Cooley–Tukey,
+// lazy reduction with a final strict pass). Output coefficients are in
+// [0, q).
+func (m *Modulus) NTT(p Poly) {
+	q, qInv := m.Q, m.qInv
+	twoQ := 2 * q
+	psi := m.psiMont
+	n := m.N
+	t := n
+	for mm := 1; mm < n; mm <<= 1 {
+		t >>= 1
+		for i := 0; i < mm; i++ {
+			s := psi[mm+i]
+			j1 := 2 * i * t
+			x := p[j1 : j1+t]
+			y := p[j1+t : j1+2*t]
+			for j := range x {
+				u := x[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := MRedLazy(y[j], s, q, qInv)
+				x[j] = u + v
+				y[j] = u + twoQ - v
+			}
+		}
+	}
+	for i, v := range p {
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		p[i] = v
+	}
+}
+
+// INTT transforms p back to the coefficient domain in place
+// (Gentleman–Sande, lazy reduction). N⁻¹ is folded into the last stage, so
+// outputs land directly in [0, q).
+func (m *Modulus) INTT(p Poly) {
+	q, qInv := m.Q, m.qInv
+	twoQ := 2 * q
+	psiInv := m.psiInvMont
+	n := m.N
+	t := 1
+	for mm := n; mm > 2; mm >>= 1 {
+		h := mm >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			s := psiInv[h+i]
+			x := p[j1 : j1+t]
+			y := p[j1+t : j1+2*t]
+			for j := range x {
+				u := x[j]
+				v := y[j]
+				sum := u + v
+				if sum >= twoQ {
+					sum -= twoQ
+				}
+				x[j] = sum
+				y[j] = MRedLazy(u+twoQ-v, s, q, qInv)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	// Last stage (mm = 2) with N⁻¹ folded into strict Montgomery products.
+	nInvM, sNInvM := m.nInvMont, m.psiInvNInvMont
+	half := n >> 1
+	x := p[:half]
+	y := p[half:]
+	for j := range x {
+		u, v := x[j], y[j]
+		x[j] = MRed(u+v, nInvM, q, qInv)
+		y[j] = MRed(u+twoQ-v, sNInvM, q, qInv)
+	}
+}

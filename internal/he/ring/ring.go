@@ -1,11 +1,40 @@
 // Package ring implements negacyclic polynomial arithmetic in
-// R_q = Z_q[X]/(X^N + 1) for a single NTT-friendly prime q: modular
-// helpers, the negacyclic number-theoretic transform, schoolbook
-// multiplication (the testing oracle), and the uniform/ternary/Gaussian
-// samplers CKKS needs.
+// R_q = Z_q[X]/(X^N + 1) for a single NTT-friendly modulus q: division-free
+// modular helpers (Montgomery and Barrett reduction, see reduction.go), the
+// negacyclic number-theoretic transform with lazy reduction (see ntt.go),
+// schoolbook multiplication (the testing oracle), and the
+// uniform/ternary/Gaussian samplers CKKS needs.
 //
 // N must be a power of two and q ≡ 1 (mod 2N) so a primitive 2N-th root of
-// unity exists; FindNTTPrime searches for such primes.
+// unity exists; FindNTTPrime searches for such primes. q < 2⁶² (enforced at
+// construction) leaves the 4q < 2⁶⁴ headroom the lazy NTT needs.
+//
+// # Reduction design
+//
+// A Modulus precomputes three constant sets at construction:
+//
+//   - qInv = q⁻¹ mod 2⁶⁴ — Montgomery constant, used by MRed/MRedLazy for
+//     products where one operand is stored in Montgomery form (·2⁶⁴ mod q):
+//     the ψ/ψ⁻¹ twiddle tables, scalar multipliers, and CKKS key material.
+//   - brc = ⌊2¹²⁸/q⌋ — Barrett constant, used by BRed for plain-domain
+//     products (MulCoeffwise) and BRedAdd for single-word reductions.
+//   - Twiddle tables psiMont/psiInvMont in bit-reversed order and
+//     Montgomery form, plus N⁻¹ (and N⁻¹·ψ⁻¹ for the folded last INTT
+//     stage) in Montgomery form.
+//
+// Hot loops therefore never execute a hardware division; bits.Rem64 remains
+// only in the stateless helpers (MulMod, PowMod) used at construction time
+// and as the property-test oracle.
+//
+// # Zero-allocation conventions
+//
+// Methods suffixed Into write into caller-provided (or internally pooled)
+// buffers and perform no allocation in steady state: MulPolyInto draws its
+// single scratch buffer from a per-Modulus sync.Pool. NTT-domain fused ops
+// (MulCoeffwiseMontgomery, MulCoeffwiseMontgomeryThenAdd) let callers keep
+// ciphertext material in the transform domain across an operation chain and
+// reduce transform counts. The allocating variants (MulPoly, UniformPoly,
+// ...) remain as convenience wrappers.
 package ring
 
 import (
@@ -14,6 +43,7 @@ import (
 	"math/big"
 	"math/bits"
 	"math/rand"
+	"sync"
 )
 
 // AddMod returns (a + b) mod q for a, b < q.
@@ -33,7 +63,9 @@ func SubMod(a, b, q uint64) uint64 {
 	return a + q - b
 }
 
-// MulMod returns (a·b) mod q using 128-bit intermediate arithmetic.
+// MulMod returns (a·b) mod q using 128-bit intermediate arithmetic. It is
+// the division-based reference; hot paths use the precomputed
+// Montgomery/Barrett routines on Modulus instead.
 func MulMod(a, b, q uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)
 	return bits.Rem64(hi, lo, q)
@@ -76,9 +108,14 @@ func InvMod(a, q uint64) uint64 {
 	return uint64(t0)
 }
 
-// CRTPair combines residues r1 mod q1 and r2 mod q2 (coprime, q1·q2 <
-// 2^63) into the unique value mod q1·q2.
+// CRTPair combines residues r1 mod q1 and r2 mod q2 (coprime) into the
+// unique value mod q1·q2. The product q1·q2 must stay below 2⁶³ so the
+// final lift r1 + q1·t cannot wrap; CRTPair panics if it does not, rather
+// than silently returning a wrapped value.
 func CRTPair(r1, q1, r2, q2 uint64) uint64 {
+	if hi, lo := bits.Mul64(q1, q2); hi != 0 || lo >= 1<<63 {
+		panic(fmt.Sprintf("ring: CRTPair modulus product %d·%d exceeds 2^63", q1, q2))
+	}
 	inv := InvMod(q1%q2, q2)
 	t := MulMod(SubMod(r2%q2, r1%q2, q2), inv, q2)
 	return r1 + q1*t
@@ -143,20 +180,38 @@ func PrimitiveRoot2N(q uint64, n int) (uint64, error) {
 	return primitiveRoot2N(q, uint64(n))
 }
 
-// Modulus bundles the prime q, the ring degree N and the precomputed
-// negacyclic NTT tables. It is immutable after construction and safe for
-// concurrent use.
+// Modulus bundles the modulus q, the ring degree N, the precomputed
+// Montgomery/Barrett reduction constants and the negacyclic NTT tables
+// (twiddles in bit-reversed order and Montgomery form). It is immutable
+// after construction and safe for concurrent use.
 type Modulus struct {
 	Q uint64
 	N int
 
-	psiPow    []uint64 // psi^i in bit-reversed order (forward twiddles)
-	psiInvPow []uint64 // psi^{-i} in bit-reversed order (inverse twiddles)
-	nInv      uint64   // N^{-1} mod q
+	qInv uint64    // q⁻¹ mod 2⁶⁴ (Montgomery constant)
+	brc  [2]uint64 // ⌊2¹²⁸/q⌋ (Barrett constant)
+
+	psiMont        []uint64 // ψ^i·2⁶⁴, bit-reversed (forward twiddles)
+	psiInvMont     []uint64 // ψ^{−i}·2⁶⁴, bit-reversed (inverse twiddles)
+	nInvMont       uint64   // N⁻¹·2⁶⁴ mod q (folded into the last INTT stage)
+	psiInvNInvMont uint64   // ψ^{−N/2}·N⁻¹·2⁶⁴ mod q (last-stage odd halves)
+
+	scratch sync.Pool // *Poly buffers for MulPolyInto
 }
 
-// NewModulus validates q and N and precomputes NTT tables. q must be an
-// NTT-friendly prime for degree N (q ≡ 1 mod 2N, q < 2^62).
+// ReduceInto reduces foreign residues (values mod any multiple of q, or
+// plain uint64s) into [0, q) via BRedAdd — the CKKS level-drop primitive.
+// Slices may alias.
+func (m *Modulus) ReduceInto(a, out Poly) {
+	q, brc := m.Q, m.brc
+	for i, v := range a {
+		out[i] = BRedAdd(v, q, brc)
+	}
+}
+
+// NewModulus validates q and N and precomputes reduction constants and NTT
+// tables. q must be an NTT-friendly prime for degree N (q ≡ 1 mod 2N,
+// q < 2^62).
 func NewModulus(q uint64, n int) (*Modulus, error) {
 	if err := checkModulusShape(q, n); err != nil {
 		return nil, err
@@ -203,19 +258,30 @@ func checkModulusShape(q uint64, n int) error {
 
 func newModulusWithRoot(q uint64, n int, psi uint64) (*Modulus, error) {
 	m := &Modulus{Q: q, N: n}
-	m.psiPow = make([]uint64, n)
-	m.psiInvPow = make([]uint64, n)
+	m.qInv = MRedConstant(q) // q is odd: q ≡ 1 mod 2N
+	m.brc = BRedConstant(q)
+	m.psiMont = make([]uint64, n)
+	m.psiInvMont = make([]uint64, n)
 	psiInv := InvMod(psi, q)
 	logN := bits.TrailingZeros(uint(n))
 	fw, inv := uint64(1), uint64(1)
 	for i := 0; i < n; i++ {
 		r := reverseBits(uint32(i), logN)
-		m.psiPow[r] = fw
-		m.psiInvPow[r] = inv
+		m.psiMont[r] = MForm(fw, q, m.brc)
+		m.psiInvMont[r] = MForm(inv, q, m.brc)
 		fw = MulMod(fw, psi, q)
 		inv = MulMod(inv, psiInv, q)
 	}
-	m.nInv = InvMod(uint64(n), q)
+	nInv := InvMod(uint64(n), q)
+	m.nInvMont = MForm(nInv, q, m.brc)
+	// The last INTT stage's single twiddle is ψ^{−rev(1)} = ψ^{−N/2};
+	// fold N⁻¹ into it so the final full-array normalization pass is free.
+	lastPsi := InvMForm(m.psiInvMont[1], q, m.qInv)
+	m.psiInvNInvMont = MForm(MulMod(lastPsi, nInv, q), q, m.brc)
+	m.scratch.New = func() any {
+		p := make(Poly, n)
+		return &p
+	}
 	return m, nil
 }
 
@@ -281,75 +347,92 @@ func (m *Modulus) Neg(a, out Poly) {
 	}
 }
 
-// MulCoeffwise sets out = a ⊙ b (pointwise; used in the NTT domain).
+// MulCoeffwise sets out = a ⊙ b (pointwise Barrett product; used in the
+// NTT domain). Slices may alias.
 func (m *Modulus) MulCoeffwise(a, b, out Poly) {
+	q, brc := m.Q, m.brc
 	for i := range out {
-		out[i] = MulMod(a[i], b[i], m.Q)
+		out[i] = BRed(a[i], b[i], q, brc)
 	}
 }
 
-// MulScalar sets out = c·a.
+// MulCoeffwiseThenAdd sets out += a ⊙ b (pointwise Barrett product, plain
+// domain). Slices may alias.
+func (m *Modulus) MulCoeffwiseThenAdd(a, b, out Poly) {
+	q, brc := m.Q, m.brc
+	for i := range out {
+		out[i] = AddMod(out[i], BRed(a[i], b[i], q, brc), q)
+	}
+}
+
+// MulCoeffwiseMontgomery sets out = a ⊙ bMont ⊙ 2⁻⁶⁴, i.e. the plain-domain
+// pointwise product of a with the Montgomery-form polynomial bMont. Slices
+// may alias.
+func (m *Modulus) MulCoeffwiseMontgomery(a, bMont, out Poly) {
+	q, qInv := m.Q, m.qInv
+	for i := range out {
+		out[i] = MRed(a[i], bMont[i], q, qInv)
+	}
+}
+
+// MulCoeffwiseMontgomeryThenAdd sets out += a ⊙ bMont ⊙ 2⁻⁶⁴ — the fused
+// multiply-accumulate used to fold key-switch digits without intermediate
+// buffers.
+func (m *Modulus) MulCoeffwiseMontgomeryThenAdd(a, bMont, out Poly) {
+	q, qInv := m.Q, m.qInv
+	for i := range out {
+		out[i] = AddMod(out[i], MRed(a[i], bMont[i], q, qInv), q)
+	}
+}
+
+// MForm converts a to Montgomery form: out = a·2⁶⁴ mod q. Slices may alias.
+func (m *Modulus) MForm(a, out Poly) {
+	q, brc := m.Q, m.brc
+	for i := range out {
+		out[i] = MForm(a[i], q, brc)
+	}
+}
+
+// InvMForm takes a polynomial out of Montgomery form: out = a ⊙ 2⁻⁶⁴.
+// Slices may alias.
+func (m *Modulus) InvMForm(a, out Poly) {
+	q, qInv := m.Q, m.qInv
+	for i := range out {
+		out[i] = InvMForm(a[i], q, qInv)
+	}
+}
+
+// MulScalar sets out = c·a via one MForm of the scalar and per-coefficient
+// Montgomery products.
 func (m *Modulus) MulScalar(a Poly, c uint64, out Poly) {
+	q, qInv := m.Q, m.qInv
+	cM := MForm(c%q, q, m.brc)
 	for i := range out {
-		out[i] = MulMod(a[i], c, m.Q)
-	}
-}
-
-// NTT transforms p to the NTT domain in place (negacyclic, Cooley-Tukey).
-func (m *Modulus) NTT(p Poly) {
-	n := m.N
-	t := n
-	for mm := 1; mm < n; mm <<= 1 {
-		t >>= 1
-		for i := 0; i < mm; i++ {
-			j1 := 2 * i * t
-			j2 := j1 + t
-			s := m.psiPow[mm+i]
-			for j := j1; j < j2; j++ {
-				u := p[j]
-				v := MulMod(p[j+t], s, m.Q)
-				p[j] = AddMod(u, v, m.Q)
-				p[j+t] = SubMod(u, v, m.Q)
-			}
-		}
-	}
-}
-
-// INTT transforms p back to the coefficient domain in place
-// (Gentleman-Sande).
-func (m *Modulus) INTT(p Poly) {
-	n := m.N
-	t := 1
-	for mm := n; mm > 1; mm >>= 1 {
-		j1 := 0
-		h := mm >> 1
-		for i := 0; i < h; i++ {
-			j2 := j1 + t
-			s := m.psiInvPow[h+i]
-			for j := j1; j < j2; j++ {
-				u := p[j]
-				v := p[j+t]
-				p[j] = AddMod(u, v, m.Q)
-				p[j+t] = MulMod(SubMod(u, v, m.Q), s, m.Q)
-			}
-			j1 += 2 * t
-		}
-		t <<= 1
-	}
-	for i := range p {
-		p[i] = MulMod(p[i], m.nInv, m.Q)
+		out[i] = MRed(a[i], cM, q, qInv)
 	}
 }
 
 // MulPoly returns the negacyclic product a·b using the NTT. Inputs are in
 // the coefficient domain and are not modified.
 func (m *Modulus) MulPoly(a, b Poly) Poly {
-	aa, bb := a.Copy(), b.Copy()
-	m.NTT(aa)
+	out := m.NewPoly()
+	m.MulPolyInto(a, b, out)
+	return out
+}
+
+// MulPolyInto sets out = a·b (negacyclic, coefficient domain) without
+// allocating: the single internal scratch buffer comes from a per-Modulus
+// pool. out may alias a or b; a and b are not modified.
+func (m *Modulus) MulPolyInto(a, b, out Poly) {
+	buf := m.scratch.Get().(*Poly)
+	bb := *buf
+	copy(bb, b)
+	copy(out, a)
+	m.NTT(out)
 	m.NTT(bb)
-	m.MulCoeffwise(aa, bb, aa)
-	m.INTT(aa)
-	return aa
+	m.MulCoeffwise(out, bb, out)
+	m.INTT(out)
+	m.scratch.Put(buf)
 }
 
 // MulPolyNaive is the O(N²) schoolbook negacyclic product, used as a
@@ -411,16 +494,27 @@ func (m *Modulus) DivRound(p Poly, d uint64, out Poly) {
 // UniformPoly samples a polynomial with uniform coefficients in [0, q).
 func (m *Modulus) UniformPoly(rng *rand.Rand) Poly {
 	p := m.NewPoly()
+	m.UniformPolyInto(rng, p)
+	return p
+}
+
+// UniformPolyInto fills p with uniform coefficients in [0, q).
+func (m *Modulus) UniformPolyInto(rng *rand.Rand, p Poly) {
 	for i := range p {
 		p[i] = uniformUint64(rng, m.Q)
 	}
-	return p
 }
 
 // TernaryPoly samples coefficients from {−1, 0, 1} with equal probability
 // (the CKKS secret/ephemeral distribution).
 func (m *Modulus) TernaryPoly(rng *rand.Rand) Poly {
 	p := m.NewPoly()
+	m.TernaryPolyInto(rng, p)
+	return p
+}
+
+// TernaryPolyInto fills p with coefficients from {−1, 0, 1}.
+func (m *Modulus) TernaryPolyInto(rng *rand.Rand, p Poly) {
 	for i := range p {
 		switch rng.Intn(3) {
 		case 0:
@@ -431,18 +525,22 @@ func (m *Modulus) TernaryPoly(rng *rand.Rand) Poly {
 			p[i] = m.Q - 1
 		}
 	}
-	return p
 }
 
 // GaussianPoly samples rounded-Gaussian error coefficients with the given
 // standard deviation (CKKS uses σ ≈ 3.2).
 func (m *Modulus) GaussianPoly(rng *rand.Rand, sigma float64) Poly {
 	p := m.NewPoly()
+	m.GaussianPolyInto(rng, sigma, p)
+	return p
+}
+
+// GaussianPolyInto fills p with rounded-Gaussian error coefficients.
+func (m *Modulus) GaussianPolyInto(rng *rand.Rand, sigma float64, p Poly) {
 	for i := range p {
 		v := int64(rng.NormFloat64()*sigma + 0.5)
 		p[i] = m.FromInt64(v)
 	}
-	return p
 }
 
 // uniformUint64 draws uniformly from [0, q) without modulo bias.

@@ -1,6 +1,8 @@
 package ring
 
 import (
+	"fmt"
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -300,23 +302,285 @@ func TestMulCommutative(t *testing.T) {
 	}
 }
 
+// referenceNTT/referenceINTT are the strict-domain textbook transforms (the
+// pre-Montgomery seed implementation, one division per butterfly), kept as
+// the bit-exactness oracle for the lazy rewrites.
+type referenceTables struct {
+	q         uint64
+	n         int
+	psiPow    []uint64
+	psiInvPow []uint64
+	nInv      uint64
+}
+
+func newReferenceTables(t *testing.T, q uint64, n int) *referenceTables {
+	t.Helper()
+	psi, err := PrimitiveRoot2N(q, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &referenceTables{q: q, n: n, psiPow: make([]uint64, n), psiInvPow: make([]uint64, n)}
+	psiInv := InvMod(psi, q)
+	logN := bits.TrailingZeros(uint(n))
+	fw, inv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		rev := reverseBits(uint32(i), logN)
+		r.psiPow[rev] = fw
+		r.psiInvPow[rev] = inv
+		fw = MulMod(fw, psi, q)
+		inv = MulMod(inv, psiInv, q)
+	}
+	r.nInv = InvMod(uint64(n), q)
+	return r
+}
+
+func (r *referenceTables) ntt(p Poly) {
+	t := r.n
+	for mm := 1; mm < r.n; mm <<= 1 {
+		t >>= 1
+		for i := 0; i < mm; i++ {
+			j1 := 2 * i * t
+			s := r.psiPow[mm+i]
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				v := MulMod(p[j+t], s, r.q)
+				p[j] = AddMod(u, v, r.q)
+				p[j+t] = SubMod(u, v, r.q)
+			}
+		}
+	}
+}
+
+func (r *referenceTables) intt(p Poly) {
+	t := 1
+	for mm := r.n; mm > 1; mm >>= 1 {
+		j1 := 0
+		h := mm >> 1
+		for i := 0; i < h; i++ {
+			s := r.psiInvPow[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				v := p[j+t]
+				p[j] = AddMod(u, v, r.q)
+				p[j+t] = MulMod(SubMod(u, v, r.q), s, r.q)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range p {
+		p[i] = MulMod(p[i], r.nInv, r.q)
+	}
+}
+
+// testSizes returns the ring degrees exercised by the sweep tests; -short
+// keeps only the small ones.
+func testSizes() []int {
+	if testing.Short() {
+		return []int{2, 8, 64, 256}
+	}
+	return []int{2, 8, 64, 256, 1024, 4096}
+}
+
+// TestNTTMatchesReference verifies the lazy Montgomery NTT/INTT produce
+// outputs bit-identical to the strict division-based reference across
+// primes and sizes.
+func TestNTTMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range testSizes() {
+		for _, bitLen := range []int{30, 50, 61} {
+			q, err := FindNTTPrime(bitLen, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewModulus(q, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newReferenceTables(t, q, n)
+			p := m.UniformPoly(rng)
+			want := p.Copy()
+			m.NTT(p)
+			ref.ntt(want)
+			for i := range p {
+				if p[i] != want[i] {
+					t.Fatalf("N=%d q=%d: NTT[%d] = %d, want %d", n, q, i, p[i], want[i])
+				}
+			}
+			m.INTT(p)
+			ref.intt(want)
+			for i := range p {
+				if p[i] != want[i] {
+					t.Fatalf("N=%d q=%d: INTT[%d] = %d, want %d", n, q, i, p[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNTTRoundTripSweep checks NTT∘INTT = id and MulPoly against the
+// schoolbook oracle across primes and all supported sizes.
+func TestNTTRoundTripSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range testSizes() {
+		for _, bitLen := range []int{30, 61} {
+			q, err := FindNTTPrime(bitLen, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := NewModulus(q, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := m.UniformPoly(rng)
+			orig := p.Copy()
+			m.NTT(p)
+			m.INTT(p)
+			for i := range p {
+				if p[i] != orig[i] {
+					t.Fatalf("N=%d q=%d: round trip[%d] = %d, want %d", n, q, i, p[i], orig[i])
+				}
+			}
+			if n > 512 {
+				continue // schoolbook oracle too slow beyond this
+			}
+			a := m.UniformPoly(rng)
+			b := m.UniformPoly(rng)
+			fast := m.MulPoly(a, b)
+			slow := m.MulPolyNaive(a, b)
+			for i := range fast {
+				if fast[i] != slow[i] {
+					t.Fatalf("N=%d q=%d: MulPoly[%d] = %d, want %d", n, q, i, fast[i], slow[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulPolyInto checks the allocation-free variant, including aliasing.
+func TestMulPolyInto(t *testing.T) {
+	m := testModulus(t, 64)
+	rng := rand.New(rand.NewSource(12))
+	a := m.UniformPoly(rng)
+	b := m.UniformPoly(rng)
+	want := m.MulPolyNaive(a, b)
+
+	out := m.NewPoly()
+	m.MulPolyInto(a, b, out)
+	for i := range out {
+		if out[i] != want[i] {
+			t.Fatalf("MulPolyInto[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+
+	// out aliasing a, then b.
+	aa := a.Copy()
+	m.MulPolyInto(aa, b, aa)
+	bb := b.Copy()
+	m.MulPolyInto(a, bb, bb)
+	for i := range want {
+		if aa[i] != want[i] {
+			t.Fatalf("MulPolyInto(out=a)[%d] = %d, want %d", i, aa[i], want[i])
+		}
+		if bb[i] != want[i] {
+			t.Fatalf("MulPolyInto(out=b)[%d] = %d, want %d", i, bb[i], want[i])
+		}
+	}
+}
+
+func TestCRTPair(t *testing.T) {
+	const q1, q2 = 12289, 40961 // both prime
+	r1, r2 := uint64(777), uint64(123)
+	v := CRTPair(r1, q1, r2, q2)
+	if v%q1 != r1 || v%q2 != r2 {
+		t.Errorf("CRTPair = %d: residues %d, %d, want %d, %d", v, v%q1, v%q2, r1, r2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CRTPair accepted modulus product ≥ 2^63")
+		}
+	}()
+	CRTPair(1, 1<<32, 1, 1<<32) // product 2^64 wraps: must panic
+}
+
+func TestParallel(t *testing.T) {
+	done := make([]bool, 8)
+	tasks := make([]func(), len(done))
+	for i := range tasks {
+		i := i
+		tasks[i] = func() { done[i] = true }
+	}
+	Parallel(tasks...)
+	for i, d := range done {
+		if !d {
+			t.Errorf("task %d not executed", i)
+		}
+	}
+	Parallel()          // no tasks: no-op
+	Parallel(func() {}) // single task: runs inline
+}
+
+func benchSizes() []int { return []int{1024, 2048, 4096, 8192} }
+
 func BenchmarkNTT(b *testing.B) {
-	m := testModulus(b, 4096)
-	rng := rand.New(rand.NewSource(1))
-	p := m.UniformPoly(rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.NTT(p)
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			m := testModulus(b, n)
+			rng := rand.New(rand.NewSource(1))
+			p := m.UniformPoly(rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.NTT(p)
+			}
+		})
+	}
+}
+
+func BenchmarkINTT(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			m := testModulus(b, n)
+			rng := rand.New(rand.NewSource(1))
+			p := m.UniformPoly(rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.INTT(p)
+			}
+		})
 	}
 }
 
 func BenchmarkMulPoly(b *testing.B) {
-	m := testModulus(b, 4096)
-	rng := rand.New(rand.NewSource(1))
-	p := m.UniformPoly(rng)
-	q := m.UniformPoly(rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.MulPoly(p, q)
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			m := testModulus(b, n)
+			rng := rand.New(rand.NewSource(1))
+			p := m.UniformPoly(rng)
+			q := m.UniformPoly(rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MulPoly(p, q)
+			}
+		})
+	}
+}
+
+func BenchmarkMulPolyInto(b *testing.B) {
+	for _, n := range benchSizes() {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			m := testModulus(b, n)
+			rng := rand.New(rand.NewSource(1))
+			p := m.UniformPoly(rng)
+			q := m.UniformPoly(rng)
+			out := m.NewPoly()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MulPolyInto(p, q, out)
+			}
+		})
 	}
 }

@@ -1,0 +1,47 @@
+package ring
+
+import "sync"
+
+// ParallelMinN is the ring degree at or above which fanning independent
+// transforms out across goroutines pays for the scheduling overhead.
+// Callers gate on it explicitly so small-ring paths stay allocation-free
+// (spawning goroutines heap-allocates the closures).
+const ParallelMinN = 4096
+
+// Parallel runs the given independent tasks concurrently and waits for all
+// of them, executing the first on the calling goroutine. Tasks must not
+// share mutable state (in particular, no RNG use — keep sampling outside
+// parallel sections so results stay deterministic).
+func Parallel(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks) - 1)
+	for _, task := range tasks[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(task)
+	}
+	tasks[0]()
+	wg.Wait()
+}
+
+// ParallelIf runs the tasks via Parallel when the ring degree n warrants it
+// (n ≥ ParallelMinN) and serially in order otherwise. Note the variadic
+// call materializes the task closures either way; allocation-sensitive
+// callers should branch on ParallelMinN themselves.
+func ParallelIf(n int, tasks ...func()) {
+	if n >= ParallelMinN {
+		Parallel(tasks...)
+		return
+	}
+	for _, t := range tasks {
+		t()
+	}
+}

@@ -225,9 +225,13 @@ func (c *Cipher) HomomorphicKeystream(ev *ckks.Evaluator, rlk *ckks.RelinKey, en
 func (c *Cipher) evalKeystream(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, a, b, cc [][]float64) (*ckks.Ciphertext, error) {
 	top := c.ctx.MaxLevel()
 
-	// linearForm computes Rescale(Σ_j coeff_j ⊙ encKey_j) at level `at`.
+	// linearForm computes Rescale(Σ_j coeff_j ⊙ encKey_j) at level `at`,
+	// reusing one accumulator, one term and one level-drop ciphertext
+	// across the whole sum instead of allocating per coordinate.
 	linearForm := func(coeff [][]float64, at int) (*ckks.Ciphertext, error) {
-		var acc *ckks.Ciphertext
+		acc := c.ctx.NewCiphertext(at)
+		term := c.ctx.NewCiphertext(at)
+		dropped := c.ctx.NewCiphertext(at)
 		for j := 0; j < c.keyLen; j++ {
 			pt, err := c.encoder.EncodeRealAtLevel(coeff[j], c.scale(), at)
 			if err != nil {
@@ -235,23 +239,28 @@ func (c *Cipher) evalKeystream(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []
 			}
 			ctj := encKey[j]
 			if ctj.Level != at {
-				if ctj, err = ev.DropLevel(ctj, at); err != nil {
+				if err := ev.DropLevelInto(ctj, at, dropped); err != nil {
 					return nil, err
 				}
+				ctj = dropped
 			}
-			term, err := ev.MulPlain(ctj, pt)
-			if err != nil {
-				return nil, err
-			}
-			if acc == nil {
-				acc = term
+			if j == 0 {
+				if err := ev.MulPlainInto(ctj, pt, acc); err != nil {
+					return nil, err
+				}
 				continue
 			}
-			if acc, err = ev.Add(acc, term); err != nil {
+			if err := ev.MulPlainInto(ctj, pt, term); err != nil {
+				return nil, err
+			}
+			if err := ev.AddInto(acc, term, acc); err != nil {
 				return nil, err
 			}
 		}
-		return ev.Rescale(acc)
+		if err := ev.RescaleInto(acc, acc); err != nil {
+			return nil, err
+		}
+		return acc, nil
 	}
 
 	// Quadratic part: (B·k)⊙(C·k) at level top−1, one MulRelin, rescale.
