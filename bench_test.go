@@ -6,13 +6,21 @@
 package quhe_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"quhe/internal/core"
+	"quhe/internal/edge"
 	"quhe/internal/experiments"
+	"quhe/internal/he/ckks"
+	"quhe/internal/serve"
+	"quhe/internal/transcipher"
 )
 
 var (
@@ -271,6 +279,139 @@ func BenchmarkAblationStatedAlphaMSL(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Serving runtime: worker-pool scaling (internal/serve) -----------------
+
+type serveSweepPoint struct {
+	Workers      int     `json:"workers"`
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	P50Ms        float64 `json:"latency_ms_p50"`
+	P99Ms        float64 `json:"latency_ms_p99"`
+	SpeedupVs1   float64 `json:"speedup_vs_1_worker"`
+}
+
+type serveSweepReport struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Blocks     int               `json:"blocks_per_run"`
+	Sweep      []serveSweepPoint `json:"sweep"`
+}
+
+// BenchmarkServeWorkerSweep measures the pooled serving path — session
+// snapshot → scheduler → evaluator pool → transciphering — at increasing
+// worker counts, the aggregate-throughput claim of the serving runtime.
+// Evaluator memory is bounded by the pool, so the sweep also demonstrates
+// N workers serving one session's stream without per-session evaluators.
+// The sweep is written to BENCH_serve.json so serving-throughput
+// trajectories can be compared across PRs. Scaling beyond 1× requires
+// GOMAXPROCS > 1 (the report records it).
+func BenchmarkServeWorkerSweep(b *testing.B) {
+	ctx, err := ckks.NewContext(edge.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cipher, err := transcipher.New(ctx, edge.KeyLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 3)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	clientEv := ckks.NewEvaluator(ctx, 4)
+	key, err := cipher.DeriveKey([]byte("bench-material"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	encKey, err := cipher.EncryptKey(clientEv, pk, key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := []byte("bench-serve")
+	sess := serve.NewSession("bench", pk, rlk, encKey, nonce)
+	weights := []float64{0.5}
+	bias := []float64{0.1}
+
+	const blocks = 32
+	masked := make([][]float64, blocks)
+	data := make([]float64, cipher.Slots())
+	for i := range data {
+		data[i] = 0.25
+	}
+	for i := range masked {
+		m, err := cipher.Mask(key, nonce, uint32(i), data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		masked[i] = m
+	}
+
+	workerCounts := []int{1, 2, 4, 8}
+	report := serveSweepReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Blocks: blocks}
+	for i := 0; i < b.N; i++ {
+		report.Sweep = report.Sweep[:0]
+		for _, workers := range workerCounts {
+			pool := serve.NewEvalPool(ctx, workers, 1, func(int) any { return cipher.NewScratch() })
+			sched := serve.NewScheduler(pool, blocks)
+			lats := make([]float64, blocks)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for j := 0; j < blocks; j++ {
+				j := j
+				wg.Add(1)
+				submitted := time.Now()
+				err := sched.Submit(func(w *serve.Worker) {
+					defer wg.Done()
+					ek, nn, _ := sess.Keys()
+					sc, _ := w.Scratch.(*transcipher.Scratch)
+					if _, err := cipher.TranscipherAffineWith(sc, w.Ev, sess.RLK, ek, nn,
+						uint32(j), masked[j], weights, bias); err != nil {
+						b.Error(err)
+						return
+					}
+					sess.RecordBlock(int64(8 * len(masked[j])))
+					lats[j] = float64(time.Since(submitted)) / float64(time.Millisecond)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			sched.Close()
+			sort.Float64s(lats)
+			pt := serveSweepPoint{
+				Workers:      workers,
+				BlocksPerSec: blocks / elapsed.Seconds(),
+				P50Ms:        lats[blocks/2],
+				P99Ms:        lats[blocks-1],
+			}
+			if len(report.Sweep) > 0 {
+				pt.SpeedupVs1 = pt.BlocksPerSec / report.Sweep[0].BlocksPerSec
+			} else {
+				pt.SpeedupVs1 = 1
+			}
+			report.Sweep = append(report.Sweep, pt)
+		}
+	}
+	last := report.Sweep[len(report.Sweep)-1]
+	b.ReportMetric(last.BlocksPerSec, "blocks/s@8w")
+	b.ReportMetric(last.SpeedupVs1, "speedup@8w")
+	printOnce("serve-sweep", func() {
+		fmt.Printf("\nServing worker sweep (GOMAXPROCS=%d, %d blocks):\n", report.GOMAXPROCS, blocks)
+		for _, pt := range report.Sweep {
+			fmt.Printf("  %d workers: %8.1f blocks/s  p50 %6.2fms  p99 %6.2fms  %.2fx\n",
+				pt.Workers, pt.BlocksPerSec, pt.P50Ms, pt.P99Ms, pt.SpeedupVs1)
+		}
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Printf("serve-sweep: marshal: %v\n", err)
+			return
+		}
+		if err := os.WriteFile("BENCH_serve.json", append(blob, '\n'), 0o644); err != nil {
+			fmt.Printf("serve-sweep: write: %v\n", err)
+		}
+	})
 }
 
 func stage1Vars(b *testing.B, cfg *core.Config) core.Variables {

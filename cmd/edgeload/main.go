@@ -1,0 +1,342 @@
+// Command edgeload is a load generator for the QuHE edge serving runtime.
+// It drives many QKD-provisioned clients against an edge server — its own
+// in-process server by default, or a live one via -addr — with open-loop
+// arrivals (requests fire at the configured rate regardless of
+// completions, so queueing delay is visible) or closed-loop streams
+// (-rate 0: each client keeps one request in flight). It reports a JSON
+// summary with aggregate throughput, a latency histogram and quantiles:
+//
+//	edgeload -clients 4 -rate 200 -duration 5s
+//	edgeload -addr 10.0.0.7:9000 -clients 16 -rate 1000 -duration 30s
+//
+// Each client's key material flows through the QKD plane: a simulated
+// BBM92 exchange deposits key bits at the key centre, DialQKD withdraws
+// them, and -rekey-bytes exercises the rekeying path under load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quhe/internal/edge"
+	"quhe/internal/qkd"
+	"quhe/internal/serve"
+)
+
+type config struct {
+	Addr       string        `json:"addr"`
+	Clients    int           `json:"clients"`
+	Rate       float64       `json:"rate_rps"`
+	Duration   time.Duration `json:"-"`
+	Slots      int           `json:"slots_per_block"`
+	Workers    int           `json:"workers"`
+	QueueDepth int           `json:"queue_depth"`
+	RekeyBytes int64         `json:"rekey_bytes"`
+}
+
+type bucket struct {
+	LeMs  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+type summary struct {
+	Config     config   `json:"config"`
+	DurationS  float64  `json:"duration_s"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Requests   int64    `json:"requests"`
+	Served     int64    `json:"served"`
+	Shed       int64    `json:"shed_overloaded"`
+	Errors     int64    `json:"errors"`
+	Rekeys     int64    `json:"rekeys"`
+	Throughput float64  `json:"throughput_blocks_per_s"`
+	P50Ms      float64  `json:"latency_ms_p50"`
+	P90Ms      float64  `json:"latency_ms_p90"`
+	P99Ms      float64  `json:"latency_ms_p99"`
+	MaxMs      float64  `json:"latency_ms_max"`
+	Histogram  []bucket `json:"latency_histogram"`
+}
+
+type recorder struct {
+	mu        sync.Mutex
+	latencies []float64 // milliseconds, served requests only
+	served    atomic.Int64
+	shed      atomic.Int64
+	errs      atomic.Int64
+}
+
+func (r *recorder) record(lat time.Duration, err error) {
+	switch {
+	case err == nil:
+		r.served.Add(1)
+		ms := float64(lat) / float64(time.Millisecond)
+		r.mu.Lock()
+		r.latencies = append(r.latencies, ms)
+		r.mu.Unlock()
+	case isOverloaded(err):
+		r.shed.Add(1)
+	default:
+		r.errs.Add(1)
+		fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
+	}
+}
+
+func isOverloaded(err error) bool {
+	return err != nil && serve.CodeOf(err) == serve.CodeOverloaded
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// histogram buckets latencies into powers of two of a millisecond.
+func histogram(latencies []float64) []bucket {
+	if len(latencies) == 0 {
+		return nil
+	}
+	var out []bucket
+	le := 0.5
+	rest := int64(len(latencies))
+	for rest > 0 && len(out) < 24 {
+		var n int64
+		for _, l := range latencies {
+			if l <= le && (len(out) == 0 || l > out[len(out)-1].LeMs) {
+				n++
+			}
+		}
+		out = append(out, bucket{LeMs: le, Count: n})
+		rest -= n
+		le *= 2
+	}
+	return out
+}
+
+// provision runs simulated BBM92 exchanges until the client's pool can
+// cover the initial key plus headroom for rekeys.
+func provision(kc *qkd.KeyCenter, id string, seed int64, need int) error {
+	if err := kc.Provision(id, 1000); err != nil {
+		return err
+	}
+	for round := 0; round < 32; round++ {
+		have, err := kc.Available(id)
+		if err != nil {
+			return err
+		}
+		if have >= need {
+			return nil
+		}
+		if _, err := kc.RunExchange(id, 0.97, 8192, seed+int64(round)); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("edgeload: QKD pool for %s never reached %d bytes", id, need)
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.Addr, "addr", "", "edge server address (empty: start an in-process server)")
+	flag.IntVar(&cfg.Clients, "clients", 4, "concurrent client sessions")
+	flag.Float64Var(&cfg.Rate, "rate", 200, "total open-loop arrival rate, blocks/s (0: closed loop)")
+	flag.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement duration")
+	flag.IntVar(&cfg.Slots, "slots", 16, "values per block")
+	flag.IntVar(&cfg.Workers, "workers", 0, "server evaluator-pool size (in-process server only; 0: GOMAXPROCS)")
+	flag.IntVar(&cfg.QueueDepth, "queue", 0, "server queue depth (in-process server only; 0: 4×workers)")
+	flag.Int64Var(&cfg.RekeyBytes, "rekey-bytes", 0, "per-key byte budget (in-process server only; 0: no rekeying)")
+	jsonOut := flag.String("json", "-", "write the JSON summary to this file (\"-\": stdout, \"\": suppress)")
+	flag.Parse()
+
+	if cfg.Clients < 1 || cfg.Slots < 1 || cfg.Duration <= 0 {
+		fmt.Fprintln(os.Stderr, "edgeload: -clients, -slots and -duration must be positive")
+		os.Exit(2)
+	}
+
+	addr := cfg.Addr
+	var srv *edge.Server
+	if addr == "" {
+		var err error
+		srv, err = edge.NewServer("127.0.0.1:0", edge.ServerConfig{
+			Model:      edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			RekeyBytes: cfg.RekeyBytes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgeload: server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		addr = srv.Addr()
+	}
+
+	// QKD plane: one key centre feeds every client session.
+	kc := qkd.NewKeyCenter()
+	clients := make([]*edge.Client, cfg.Clients)
+	for i := range clients {
+		id := fmt.Sprintf("load-%d", i)
+		// Initial key + generous rekey headroom.
+		if err := provision(kc, id, int64(1000+i), 16*edge.RekeyWithdrawBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
+			os.Exit(1)
+		}
+		c, err := edge.DialQKD(addr, id, kc, int64(7+i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgeload: dial %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	rec := &recorder{}
+	var requests atomic.Int64
+	blockCounters := make([]atomic.Uint32, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	payload := func() []float64 {
+		v := make([]float64, cfg.Slots)
+		for i := range v {
+			v[i] = 0.25
+		}
+		return v
+	}
+	vec := payload()
+
+	fire := func(ci int) {
+		defer wg.Done()
+		block := blockCounters[ci].Add(1)
+		t0 := time.Now()
+		var err error
+		for attempt := 0; attempt < 2; attempt++ {
+			var p *edge.Pending
+			p, err = clients[ci].ComputeAsync(block, vec)
+			if err != nil {
+				break
+			}
+			_, err = p.Wait()
+			// Budget exhaustion triggers one epoch-guarded rekey + retry;
+			// concurrent failures collapse into a single rotation.
+			if err != nil && serve.CodeOf(err) == serve.CodeRekeyRequired && attempt == 0 {
+				if rkErr := clients[ci].RekeyIfEpoch(p.Epoch()); rkErr == nil {
+					continue
+				}
+			}
+			break
+		}
+		rec.record(time.Since(t0), err)
+	}
+
+	if cfg.Rate > 0 {
+		// Open loop: arrivals at the configured rate, independent of
+		// completions — queueing and shedding show up in the numbers.
+		const maxOutstanding = 4096
+		sem := make(chan struct{}, maxOutstanding)
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		ci := 0
+		for now := range ticker.C {
+			if now.After(deadline) {
+				break
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				rec.shed.Add(1) // generator saturated; count as shed
+				requests.Add(1)
+				continue
+			}
+			requests.Add(1)
+			wg.Add(1)
+			go func(ci int) {
+				defer func() { <-sem }()
+				fire(ci)
+			}(ci)
+			ci = (ci + 1) % cfg.Clients
+		}
+	} else {
+		// Closed loop: one outstanding request per client.
+		for ci := 0; ci < cfg.Clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					requests.Add(1)
+					wg.Add(1)
+					fire(ci)
+				}
+			}(ci)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rec.mu.Lock()
+	lat := append([]float64(nil), rec.latencies...)
+	rec.mu.Unlock()
+	sort.Float64s(lat)
+
+	var rekeys int64
+	if srv != nil {
+		for i := 0; i < cfg.Clients; i++ {
+			if st, ok := srv.SessionStats(fmt.Sprintf("load-%d", i)); ok {
+				rekeys += st.Rekeys
+			}
+		}
+	}
+
+	sum := summary{
+		Config:     cfg,
+		DurationS:  elapsed.Seconds(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Requests:   requests.Load(),
+		Served:     rec.served.Load(),
+		Shed:       rec.shed.Load(),
+		Errors:     rec.errs.Load(),
+		Rekeys:     rekeys,
+		Throughput: float64(rec.served.Load()) / elapsed.Seconds(),
+		P50Ms:      quantile(lat, 0.50),
+		P90Ms:      quantile(lat, 0.90),
+		P99Ms:      quantile(lat, 0.99),
+		Histogram:  histogram(lat),
+	}
+	if len(lat) > 0 {
+		sum.MaxMs = lat[len(lat)-1]
+	}
+
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(&sum, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgeload: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "edgeload: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+	}
+	if sum.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -21,13 +21,19 @@
 //     internal/he/ring's package comment for the reduction design).
 //     CKKS key material is stored in the NTT domain so evaluator hot
 //     paths never transform keys per operation.
-//   - internal/transcipher — HE-friendly cipher and homomorphic decryption
+//   - internal/transcipher — HE-friendly cipher and homomorphic decryption,
+//     with per-worker Scratch buffers for the serving hot path
+//   - internal/serve       — multi-tenant serving runtime: sharded LRU
+//     session store, shared evaluator pool, bounded scheduler with
+//     typed backpressure, QKD-epoch session state
 //   - internal/edge        — TCP edge runtime running the full pipeline
+//     over internal/serve: pipelined v2 protocol (request IDs, batches,
+//     rekeying, typed error codes) with v1 wire compatibility
 //   - internal/experiments — regenerators for every table and figure in §VI
 //
 // Entry points: cmd/quhe (experiment runner), cmd/qkdsim (network
-// simulator), cmd/lwe-estimator (security estimator), and the runnable
-// walkthroughs under examples/.
+// simulator), cmd/lwe-estimator (security estimator), cmd/edgeload (edge
+// serving load generator), and the runnable walkthroughs under examples/.
 package quhe
 
 // Version identifies this reproduction's release.

@@ -1,35 +1,74 @@
 package edge
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
+	"sync"
+	"sync/atomic"
 
 	"quhe/internal/he/ckks"
+	"quhe/internal/qkd"
+	"quhe/internal/serve"
 	"quhe/internal/transcipher"
 )
 
+// RekeyWithdrawBytes is the QKD key material drawn from the key centre
+// per transciphering key (initial setup and every rekey).
+const RekeyWithdrawBytes = 32
+
 // Client is a QuHE edge client node: it owns the HE secret key, masks data
 // under the QKD-derived symmetric key, and decrypts the server's encrypted
-// results. One Client drives one TCP connection; it is not safe for
-// concurrent use (one request in flight at a time).
+// results. One Client drives one TCP connection using the pipelined v2
+// protocol: ComputeAsync/ComputeBatch keep multiple requests in flight and
+// a reader goroutine matches out-of-order replies by request ID. Safe for
+// concurrent use.
 type Client struct {
 	sessionID string
 	conn      net.Conn
-	enc       *gob.Encoder
-	dec       *gob.Decoder
+
+	writeMu sync.Mutex
+	enc     *gob.Encoder
 
 	ctx     *ckks.Context
 	cipher  *transcipher.Cipher
 	encoder *ckks.Encoder
-	ev      *ckks.Evaluator
-	sk      *ckks.SecretKey
-	key     []float64
-	nonce   []byte
+
+	// evMu guards the evaluator (shared scratch buffers and RNG): key
+	// encryption on dial/rekey and result decryption on Wait.
+	evMu sync.Mutex
+	ev   *ckks.Evaluator
+	sk   *ckks.SecretKey
+	pk   *ckks.PublicKey
+
+	// kc, when attached via DialQKD, sources rekey withdrawals.
+	kc      *qkd.KeyCenter
+	rekeyMu sync.Mutex
+
+	keyMu sync.Mutex
+	key   []float64
+	nonce []byte
+	epoch uint64
+
+	nextID  atomic.Uint64
+	pendMu  sync.Mutex
+	pending map[uint64]chan *replyEnvelope
+	readErr error
+
+	// statMu guards the modeled-delay echoes and the rekey advice.
+	// rekeyAdvisedEpoch is the key epoch the server's advice applied to
+	// (0 = none): tagging the advice with its epoch keeps a stale reply —
+	// one that raced a completed rekey — from triggering a second,
+	// wasteful rotation.
+	statMu            sync.Mutex
+	rekeyAdvisedEpoch uint64
 
 	// LastTxDelay and LastCmpDelay echo the server's modeled costs of the
-	// most recent Compute call.
+	// most recently completed Compute call. They are only meaningful when
+	// read with no request in flight.
 	LastTxDelay  float64
 	LastCmpDelay float64
 }
@@ -38,6 +77,25 @@ type Client struct {
 // the transciphering key from qkdKey (e.g. material withdrawn from the
 // qkd.KeyCenter), and registers the session.
 func Dial(addr, sessionID string, qkdKey []byte, seed int64) (*Client, error) {
+	return dial(addr, sessionID, qkdKey, nil, seed)
+}
+
+// DialQKD is Dial with the key plane attached: the initial transciphering
+// key is withdrawn from the key centre's pool for sessionID, and the key
+// centre stays attached so Rekey (and the automatic rekey on
+// serve.ErrRekeyRequired) can draw fresh material.
+func DialQKD(addr, sessionID string, kc *qkd.KeyCenter, seed int64) (*Client, error) {
+	if kc == nil {
+		return nil, errors.New("edge: nil key centre")
+	}
+	material, err := kc.Withdraw(sessionID, RekeyWithdrawBytes)
+	if err != nil {
+		return nil, fmt.Errorf("edge: qkd withdraw: %w", err)
+	}
+	return dial(addr, sessionID, material, kc, seed)
+}
+
+func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64) (*Client, error) {
 	if sessionID == "" {
 		return nil, errors.New("edge: empty session id")
 	}
@@ -75,16 +133,21 @@ func Dial(addr, sessionID string, qkdKey []byte, seed int64) (*Client, error) {
 		sessionID: sessionID,
 		conn:      conn,
 		enc:       gob.NewEncoder(conn),
-		dec:       gob.NewDecoder(conn),
 		ctx:       ctx,
 		cipher:    cipher,
 		encoder:   ckks.NewEncoder(ctx),
 		ev:        ev,
 		sk:        sk,
+		pk:        pk,
+		kc:        kc,
 		key:       key,
-		nonce:     []byte("edge:" + sessionID),
+		nonce:     nonceFor(sessionID, 1),
+		epoch:     1,
+		pending:   make(map[uint64]chan *replyEnvelope),
 	}
-	req := envelope{Setup: &SetupRequest{
+	go c.readLoop()
+
+	reply, err := c.roundTrip(&envelope{Setup: &SetupRequest{
 		SessionID: sessionID,
 		LogN:      ctx.Params.LogN,
 		Depth:     ctx.Params.Depth,
@@ -92,64 +155,413 @@ func Dial(addr, sessionID string, qkdKey []byte, seed int64) (*Client, error) {
 		RLK:       rlk,
 		EncKey:    encKey,
 		Nonce:     c.nonce,
-	}}
-	if err := c.enc.Encode(&req); err != nil {
+	}})
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("edge: setup send: %w", err)
+		return nil, fmt.Errorf("edge: setup: %w", err)
 	}
-	var reply replyEnvelope
-	if err := c.dec.Decode(&reply); err != nil {
+	if reply.Setup == nil {
 		conn.Close()
-		return nil, fmt.Errorf("edge: setup recv: %w", err)
+		return nil, errors.New("edge: setup rejected: missing reply")
 	}
-	if reply.Setup == nil || !reply.Setup.OK {
+	if !reply.Setup.OK {
 		conn.Close()
-		msg := "missing reply"
-		if reply.Setup != nil {
-			msg = reply.Setup.Err
-		}
-		return nil, fmt.Errorf("edge: setup rejected: %s", msg)
+		return nil, fmt.Errorf("edge: setup rejected: %w", replyError(reply.Setup.Code, reply.Setup.Err))
 	}
 	return c, nil
 }
 
-// Close tears down the connection.
+// nonceFor derives the per-epoch masking nonce: epoch and a session-ID
+// hash packed into the cipher's 12-byte nonce space, so rekeys never
+// reuse a (key, nonce) pair even for long session IDs.
+func nonceFor(sessionID string, epoch uint64) []byte {
+	h := fnv.New32a()
+	h.Write([]byte(sessionID))
+	nonce := make([]byte, 12)
+	binary.LittleEndian.PutUint64(nonce[:8], epoch)
+	binary.LittleEndian.PutUint32(nonce[8:], h.Sum32())
+	return nonce
+}
+
+// replyError reconstructs a typed error from a wire code and detail, so
+// callers can branch with errors.Is against the serve sentinels.
+func replyError(code serve.Code, detail string) error {
+	sentinel := code.Err()
+	if sentinel == nil {
+		if detail == "" {
+			return nil
+		}
+		return fmt.Errorf("edge: server: %s", detail)
+	}
+	if detail == "" {
+		return fmt.Errorf("edge: server: %w", sentinel)
+	}
+	return fmt.Errorf("edge: server: %w: %s", sentinel, detail)
+}
+
+// readLoop dispatches replies to their waiting requests by ID. On
+// connection error it fails every pending request.
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		reply := new(replyEnvelope)
+		if err := dec.Decode(reply); err != nil {
+			c.pendMu.Lock()
+			if c.readErr == nil {
+				c.readErr = fmt.Errorf("edge: recv: %w", err)
+			}
+			for id, ch := range c.pending {
+				delete(c.pending, id)
+				close(ch)
+			}
+			c.pendMu.Unlock()
+			return
+		}
+		c.pendMu.Lock()
+		ch := c.pending[reply.ID]
+		delete(c.pending, reply.ID)
+		c.pendMu.Unlock()
+		if ch != nil {
+			ch <- reply
+		}
+	}
+}
+
+// send registers a fresh request ID, stamps and encodes the envelope, and
+// returns the channel its reply will arrive on.
+func (c *Client) send(env *envelope) (chan *replyEnvelope, error) {
+	id := c.nextID.Add(1)
+	env.ID = id
+	ch := make(chan *replyEnvelope, 1)
+	c.pendMu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.pendMu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.pendMu.Unlock()
+
+	c.writeMu.Lock()
+	err := c.enc.Encode(env)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.pendMu.Lock()
+		delete(c.pending, id)
+		c.pendMu.Unlock()
+		return nil, fmt.Errorf("edge: send: %w", err)
+	}
+	return ch, nil
+}
+
+func (c *Client) wait(ch chan *replyEnvelope) (*replyEnvelope, error) {
+	reply, ok := <-ch
+	if !ok {
+		c.pendMu.Lock()
+		err := c.readErr
+		c.pendMu.Unlock()
+		if err == nil {
+			err = errors.New("edge: connection closed")
+		}
+		return nil, err
+	}
+	return reply, nil
+}
+
+func (c *Client) roundTrip(env *envelope) (*replyEnvelope, error) {
+	ch, err := c.send(env)
+	if err != nil {
+		return nil, err
+	}
+	return c.wait(ch)
+}
+
+// Close tears down the connection; pending requests fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Slots returns the per-block capacity.
 func (c *Client) Slots() int { return c.cipher.Slots() }
 
-// Compute runs one full pipeline round: mask data under the symmetric key,
-// upload, let the server transcipher + infer, then decrypt the encrypted
-// result locally. block must be unique per call within a session.
-func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
+// SessionID returns the session this client registered.
+func (c *Client) SessionID() string { return c.sessionID }
+
+// Epoch returns the client's current key epoch.
+func (c *Client) Epoch() uint64 {
+	c.keyMu.Lock()
+	defer c.keyMu.Unlock()
+	return c.epoch
+}
+
+// mask pads and masks one block under a consistent snapshot of the
+// current key material, returning the epoch it was masked under.
+func (c *Client) mask(block uint32, data []float64) ([]float64, uint64, error) {
+	padded := make([]float64, c.Slots())
+	copy(padded, data)
+	c.keyMu.Lock()
+	key, nonce, epoch := c.key, c.nonce, c.epoch
+	c.keyMu.Unlock()
+	masked, err := c.cipher.Mask(key, nonce, block, padded)
+	if err != nil {
+		return nil, 0, fmt.Errorf("edge: mask: %w", err)
+	}
+	return masked, epoch, nil
+}
+
+// decrypt recovers the slot values of an encrypted result.
+func (c *Client) decrypt(ct *ckks.Ciphertext) []float64 {
+	c.evMu.Lock()
+	pt := c.ev.Decrypt(c.sk, ct)
+	c.evMu.Unlock()
+	return c.encoder.DecodeReal(pt)
+}
+
+func (c *Client) noteReply(tx, cmp float64, rekeyNeeded bool, epoch uint64) {
+	c.statMu.Lock()
+	c.LastTxDelay, c.LastCmpDelay = tx, cmp
+	if rekeyNeeded {
+		c.rekeyAdvisedEpoch = epoch
+	}
+	c.statMu.Unlock()
+}
+
+// RekeyAdvised reports whether the server has flagged the key byte budget
+// as nearly exhausted for the client's current key epoch.
+func (c *Client) RekeyAdvised() bool {
+	c.statMu.Lock()
+	advised := c.rekeyAdvisedEpoch
+	c.statMu.Unlock()
+	return advised != 0 && advised == c.Epoch()
+}
+
+// Pending is one in-flight Compute request.
+type Pending struct {
+	c     *Client
+	ch    chan *replyEnvelope
+	n     int
+	block uint32
+	epoch uint64
+}
+
+// Epoch returns the key epoch the request's block was masked under — pass
+// it to RekeyIfEpoch when Wait fails with serve.ErrRekeyRequired.
+func (p *Pending) Epoch() uint64 { return p.epoch }
+
+// ComputeAsync masks one block and sends it without waiting: multiple
+// requests may be in flight on the connection, and the server fans them
+// out across its worker pool. block must be unique per call within a
+// session and key epoch.
+func (c *Client) ComputeAsync(block uint32, data []float64) (*Pending, error) {
 	if len(data) > c.Slots() {
 		return nil, fmt.Errorf("edge: %d values exceed %d slots", len(data), c.Slots())
 	}
-	padded := make([]float64, c.Slots())
-	copy(padded, data)
-	masked, err := c.cipher.Mask(c.key, c.nonce, block, padded)
+	masked, epoch, err := c.mask(block, data)
 	if err != nil {
-		return nil, fmt.Errorf("edge: mask: %w", err)
+		return nil, err
 	}
-	req := envelope{Compute: &ComputeRequest{SessionID: c.sessionID, Block: block, Masked: masked}}
-	if err := c.enc.Encode(&req); err != nil {
-		return nil, fmt.Errorf("edge: send: %w", err)
+	ch, err := c.send(&envelope{Compute: &ComputeRequest{
+		SessionID: c.sessionID, Block: block, Masked: masked, Epoch: epoch,
+	}})
+	if err != nil {
+		return nil, err
 	}
-	var reply replyEnvelope
-	if err := c.dec.Decode(&reply); err != nil {
-		return nil, fmt.Errorf("edge: recv: %w", err)
+	return &Pending{c: c, ch: ch, n: len(data), block: block, epoch: epoch}, nil
+}
+
+// Wait blocks for the reply and decrypts the result. Server-side
+// failures carry typed codes: errors.Is against serve.ErrOverloaded,
+// serve.ErrRekeyRequired, serve.ErrUnknownSession, ... selects the class.
+func (p *Pending) Wait() ([]float64, error) {
+	reply, err := p.c.wait(p.ch)
+	if err != nil {
+		return nil, err
 	}
-	if reply.Compute == nil {
+	rep := reply.Compute
+	if rep == nil {
 		return nil, errors.New("edge: malformed reply")
 	}
-	if reply.Compute.Err != "" {
-		return nil, fmt.Errorf("edge: server: %s", reply.Compute.Err)
+	p.c.noteReply(rep.ModeledTxDelay, rep.ModeledCmpDelay, rep.RekeyNeeded, p.epoch)
+	if rep.Code != serve.CodeOK || rep.Err != "" {
+		return nil, replyError(rep.Code, rep.Err)
 	}
-	c.LastTxDelay = reply.Compute.ModeledTxDelay
-	c.LastCmpDelay = reply.Compute.ModeledCmpDelay
+	if rep.Result == nil {
+		return nil, errors.New("edge: malformed reply: missing result")
+	}
+	out := p.c.decrypt(rep.Result)
+	return out[:p.n], nil
+}
 
-	pt := c.ev.Decrypt(c.sk, reply.Compute.Result)
-	out := c.encoder.DecodeReal(pt)
-	return out[:len(data)], nil
+// Compute runs one full pipeline round: mask data under the symmetric key,
+// upload, let the server transcipher + infer, then decrypt the encrypted
+// result locally. block must be unique per call within a session and key
+// epoch. With a key centre attached (DialQKD), Compute rekeys
+// transparently: proactively when the server advises the byte budget is
+// nearly spent, and with one retry when the server demands it.
+func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
+	for attempt := 0; ; attempt++ {
+		p, err := c.ComputeAsync(block, data)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Wait()
+		if err != nil {
+			if errors.Is(err, serve.ErrRekeyRequired) && attempt == 0 && c.kc != nil {
+				if rkErr := c.RekeyIfEpoch(p.Epoch()); rkErr == nil {
+					continue
+				}
+			}
+			return nil, err
+		}
+		if c.RekeyAdvised() && c.kc != nil {
+			// Best-effort proactive rotation; a failure (e.g. depleted
+			// pool) surfaces on the next hard budget rejection.
+			_ = c.RekeyIfEpoch(p.Epoch())
+		}
+		return out, nil
+	}
+}
+
+// ComputeBatch masks blocks start..start+len(data)-1 and uploads them as
+// one BatchRequest the server fans out across its pool. Results arrive in
+// input order; items can fail independently (e.g. shed with
+// serve.ErrOverloaded), in which case their slots are nil and the first
+// failure is returned as a typed error alongside the partial results.
+func (c *Client) ComputeBatch(start uint32, data [][]float64) ([][]float64, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > MaxBatch {
+		return nil, fmt.Errorf("edge: batch of %d blocks exceeds %d", n, MaxBatch)
+	}
+	blocks := make([]uint32, n)
+	masked := make([][]float64, n)
+	var epoch uint64
+	for i, d := range data {
+		if len(d) > c.Slots() {
+			return nil, fmt.Errorf("edge: %d values exceed %d slots", len(d), c.Slots())
+		}
+		m, e, err := c.mask(start+uint32(i), d)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			epoch = e
+		} else if e != epoch {
+			return nil, errors.New("edge: key rotated mid-batch; retry")
+		}
+		blocks[i], masked[i] = start+uint32(i), m
+	}
+	reply, err := c.roundTrip(&envelope{Batch: &BatchRequest{
+		SessionID: c.sessionID, Epoch: epoch, Blocks: blocks, Masked: masked,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	rep := reply.Batch
+	if rep == nil {
+		return nil, errors.New("edge: malformed reply")
+	}
+	if rep.Code != serve.CodeOK {
+		return nil, replyError(rep.Code, rep.Err)
+	}
+	if len(rep.Items) != n {
+		return nil, fmt.Errorf("edge: batch reply with %d items, want %d", len(rep.Items), n)
+	}
+	c.noteReply(rep.ModeledTxDelay, rep.ModeledCmpDelay, rep.RekeyNeeded, epoch)
+	out := make([][]float64, n)
+	var firstErr error
+	for i := range rep.Items {
+		item := &rep.Items[i]
+		if item.Code != serve.CodeOK || item.Result == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("edge: batch item %d: %w", i, replyError(item.Code, item.Err))
+			}
+			continue
+		}
+		vals := c.decrypt(item.Result)
+		out[i] = vals[:len(data[i])]
+	}
+	return out, firstErr
+}
+
+// Rekey withdraws fresh QKD material from the attached key centre and
+// rotates the session's transciphering key. Requires DialQKD.
+func (c *Client) Rekey() error {
+	c.rekeyMu.Lock()
+	defer c.rekeyMu.Unlock()
+	return c.rekeyLocked()
+}
+
+// RekeyIfEpoch rotates the key only if the client is still at the given
+// epoch, collapsing the rekey attempts of many concurrently failed
+// in-flight requests into a single withdrawal: the first failure rotates,
+// the rest see the bumped epoch and simply retry under the new key.
+// Requires DialQKD.
+func (c *Client) RekeyIfEpoch(epoch uint64) error {
+	c.rekeyMu.Lock()
+	defer c.rekeyMu.Unlock()
+	if c.Epoch() != epoch {
+		return nil // another request already rotated past this epoch
+	}
+	return c.rekeyLocked()
+}
+
+// rekeyLocked draws fresh material and rotates; callers hold rekeyMu.
+func (c *Client) rekeyLocked() error {
+	if c.kc == nil {
+		return errors.New("edge: rekey: no key centre attached (use DialQKD)")
+	}
+	material, err := c.kc.Withdraw(c.sessionID, RekeyWithdrawBytes)
+	if err != nil {
+		return fmt.Errorf("edge: rekey withdraw: %w", err)
+	}
+	return c.rekeyWith(material)
+}
+
+// RekeyWith rotates the session's transciphering key using explicit fresh
+// QKD material: the new key is derived, HE-encrypted and installed on the
+// server, which bumps the session's key epoch and resets its byte budget.
+// Requests already in flight under the old epoch are rejected by the
+// server with serve.ErrRekeyRequired rather than mis-transciphered.
+func (c *Client) RekeyWith(qkdKey []byte) error {
+	c.rekeyMu.Lock()
+	defer c.rekeyMu.Unlock()
+	return c.rekeyWith(qkdKey)
+}
+
+func (c *Client) rekeyWith(qkdKey []byte) error {
+	key, err := c.cipher.DeriveKey(qkdKey)
+	if err != nil {
+		return fmt.Errorf("edge: rekey derive: %w", err)
+	}
+	c.keyMu.Lock()
+	nextEpoch := c.epoch + 1
+	c.keyMu.Unlock()
+	nonce := nonceFor(c.sessionID, nextEpoch)
+	c.evMu.Lock()
+	encKey, err := c.cipher.EncryptKey(c.ev, c.pk, key)
+	c.evMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("edge: rekey encrypt: %w", err)
+	}
+	reply, err := c.roundTrip(&envelope{Rekey: &RekeyRequest{
+		SessionID: c.sessionID, EncKey: encKey, Nonce: nonce,
+	}})
+	if err != nil {
+		return err
+	}
+	rep := reply.Rekey
+	if rep == nil {
+		return errors.New("edge: malformed reply")
+	}
+	if !rep.OK {
+		return fmt.Errorf("edge: rekey rejected: %w", replyError(rep.Code, rep.Err))
+	}
+	c.keyMu.Lock()
+	c.key, c.nonce, c.epoch = key, nonce, rep.Epoch
+	c.keyMu.Unlock()
+	c.statMu.Lock()
+	c.rekeyAdvisedEpoch = 0
+	c.statMu.Unlock()
+	return nil
 }

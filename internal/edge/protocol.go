@@ -4,14 +4,48 @@
 // (symmetric encryption), upload, server-side transciphering into CKKS, and
 // encrypted inference whose result only the client can decrypt.
 //
-// Wire format: gob-encoded request/reply structs over a single TCP
-// connection per client. Transmission and computation delays are modeled
-// (reported in replies using the paper's cost formulas) rather than slept,
-// so tests and examples run fast.
+// # Serving architecture
+//
+// The server is a thin protocol shell over the multi-tenant serving
+// runtime in internal/serve. A request flows
+//
+//	connection → serve.Store (sharded sessions, LRU-capped)
+//	           → serve.Scheduler (bounded queue, ErrOverloaded backpressure)
+//	           → serve.EvalPool (per-worker evaluator + transcipher scratch)
+//	           → transcipher/ckks core
+//
+// so N sessions cost key material only, while evaluator memory and
+// compute parallelism are bounded by the worker pool.
+//
+// # Wire protocol
+//
+// Gob-encoded envelopes over a single TCP connection per client. Two
+// generations share the wire:
+//
+//   - v1 (seed protocol): envelope ID 0, Setup/Compute only, one
+//     synchronous request per round trip, replies in order. Still
+//     accepted — v1 requests run on the shared pool with blocking
+//     checkout and are never shed.
+//   - v2: nonzero request IDs allow multiple in-flight requests per
+//     connection with out-of-order replies matched by ID; BatchCompute
+//     fans a group of blocks out across the worker pool; Rekey installs
+//     fresh QKD-derived key material after the configured byte budget;
+//     replies carry typed serve.Code values next to the human-readable
+//     Err detail so clients can branch on failures (errors.Is against the
+//     serve sentinels).
+//
+// Gob matches struct fields by name and ignores unknown fields, which is
+// what makes the two generations interoperable: v1 peers simply never set
+// (or see) the v2 fields.
+//
+// Transmission and computation delays are modeled (reported in replies
+// using the paper's cost formulas) rather than slept, so tests and
+// examples run fast.
 package edge
 
 import (
 	"quhe/internal/he/ckks"
+	"quhe/internal/serve"
 )
 
 // DefaultParams returns the CKKS parameter set both endpoints must share:
@@ -28,8 +62,13 @@ func DefaultParams() ckks.Params {
 // KeyLen is the transciphering key length used by the runtime.
 const KeyLen = 8
 
+// MaxBatch bounds the blocks one BatchRequest may carry.
+const MaxBatch = 256
+
 // SetupRequest registers a client session: its public evaluation material
-// and the HE-encrypted transciphering key.
+// and the HE-encrypted transciphering key. Registering an ID that is
+// already live fails with serve.CodeDuplicateSession — key rotation must
+// use the explicit Rekey message instead.
 type SetupRequest struct {
 	SessionID string
 	// LogN/Depth guard against parameter mismatches between endpoints.
@@ -44,6 +83,8 @@ type SetupRequest struct {
 type SetupReply struct {
 	OK  bool
 	Err string
+	// Code types the failure (v2; zero for v1 peers means success).
+	Code serve.Code
 }
 
 // ComputeRequest uploads one symmetrically encrypted block.
@@ -51,6 +92,11 @@ type ComputeRequest struct {
 	SessionID string
 	Block     uint32
 	Masked    []float64
+	// Epoch is the key epoch the block was masked under (v2). Zero skips
+	// the check (v1 clients never rekey); a stale nonzero epoch is
+	// rejected with serve.CodeRekeyRequired rather than transciphered
+	// into garbage.
+	Epoch uint64
 }
 
 // ComputeReply returns the encrypted inference result plus the modeled
@@ -58,6 +104,11 @@ type ComputeRequest struct {
 type ComputeReply struct {
 	Result *ckks.Ciphertext
 	Err    string
+	// Code types the failure (v2).
+	Code serve.Code
+	// RekeyNeeded advises the client that the session's key byte budget
+	// is nearly exhausted and a Rekey should be scheduled.
+	RekeyNeeded bool
 	// ModeledTxDelay and ModeledCmpDelay report the transmission and
 	// server-computation delays (seconds) this block would incur under
 	// the configured cost model.
@@ -65,14 +116,69 @@ type ComputeReply struct {
 	ModeledCmpDelay float64
 }
 
-// envelope is the tagged union carried on the wire.
+// BatchRequest uploads many blocks at once (v2); the server fans them out
+// across the worker pool and replies once all finish.
+type BatchRequest struct {
+	SessionID string
+	Epoch     uint64
+	Blocks    []uint32
+	Masked    [][]float64
+}
+
+// BatchItem is one block's result within a BatchReply. Items fail
+// independently: a batch overflowing the scheduler queue sheds the excess
+// items with serve.CodeOverloaded while the admitted ones complete.
+type BatchItem struct {
+	Result *ckks.Ciphertext
+	Code   serve.Code
+	Err    string
+}
+
+// BatchReply carries the per-item results plus batch-level modeled costs.
+type BatchReply struct {
+	Code        serve.Code
+	Err         string
+	Items       []BatchItem
+	RekeyNeeded bool
+	// Modeled delays aggregate over the whole batch: transmission of all
+	// uploaded bits, computation of every successfully served block.
+	ModeledTxDelay  float64
+	ModeledCmpDelay float64
+}
+
+// RekeyRequest installs fresh HE-encrypted transciphering key material
+// (drawn from a new qkd.KeyCenter withdrawal) for a live session,
+// bumping its key epoch and resetting the byte budget.
+type RekeyRequest struct {
+	SessionID string
+	EncKey    []*ckks.Ciphertext
+	Nonce     []byte
+}
+
+// RekeyReply acknowledges a rekey with the session's new epoch.
+type RekeyReply struct {
+	OK    bool
+	Err   string
+	Code  serve.Code
+	Epoch uint64
+}
+
+// envelope is the tagged union carried on the wire. ID 0 requests are
+// served synchronously in connection order (v1); nonzero IDs may be
+// answered out of order.
 type envelope struct {
+	ID      uint64
 	Setup   *SetupRequest
 	Compute *ComputeRequest
+	Batch   *BatchRequest
+	Rekey   *RekeyRequest
 }
 
 // replyEnvelope mirrors envelope for responses.
 type replyEnvelope struct {
+	ID      uint64
 	Setup   *SetupReply
 	Compute *ComputeReply
+	Batch   *BatchReply
+	Rekey   *RekeyReply
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 
 	"quhe/internal/costmodel"
 	"quhe/internal/he/ckks"
+	"quhe/internal/serve"
 	"quhe/internal/transcipher"
 )
 
@@ -32,34 +34,39 @@ type ServerConfig struct {
 	ServerHz float64
 	// Logf sinks diagnostics; nil discards them.
 	Logf func(format string, args ...interface{})
+	// Workers sizes the shared evaluator pool (and scheduler
+	// parallelism). Default GOMAXPROCS. Evaluator memory is bounded by
+	// this, never by the session count.
+	Workers int
+	// QueueDepth bounds the scheduler backlog; pipelined requests beyond
+	// it are shed with serve.CodeOverloaded. Default 4×Workers.
+	QueueDepth int
+	// MaxSessions caps resident sessions; registering past the cap
+	// evicts the least recently used. Default 1024; negative = unbounded.
+	MaxSessions int
+	// RekeyBytes is the per-key byte budget: once a session has served
+	// this many masked bytes under one key, computes fail with
+	// serve.CodeRekeyRequired until the client rekeys. 0 disables
+	// enforcement.
+	RekeyBytes int64
 }
 
 // Server is the QuHE edge server: it accepts client sessions, transciphers
 // uploads and computes on them homomorphically. Safe for concurrent
-// clients.
+// clients; see the package comment for the serving architecture.
 type Server struct {
 	cfg      ServerConfig
 	ctx      *ckks.Context
 	cipher   *transcipher.Cipher
 	listener net.Listener
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	wg       sync.WaitGroup
-	closed   bool
-}
+	store *serve.Store
+	pool  *serve.EvalPool
+	sched *serve.Scheduler
 
-type session struct {
-	pk     *ckks.PublicKey
-	rlk    *ckks.RelinKey
-	encKey []*ckks.Ciphertext
-	nonce  []byte
-	// mu serializes homomorphic evaluation: the evaluator's scratch
-	// buffers make it unsafe for concurrent use, and two connections may
-	// share a session ID.
 	mu     sync.Mutex
-	ev     *ckks.Evaluator
-	blocks int
+	wg     sync.WaitGroup
+	closed bool
 }
 
 // NewServer builds a server over the shared parameter set and starts
@@ -74,6 +81,17 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 1024
+	} else if cfg.MaxSessions < 0 {
+		cfg.MaxSessions = 0 // unbounded
+	}
 	ctx, err := ckks.NewContext(DefaultParams())
 	if err != nil {
 		return nil, fmt.Errorf("edge: context: %w", err)
@@ -86,12 +104,15 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edge: listen: %w", err)
 	}
+	pool := serve.NewEvalPool(ctx, cfg.Workers, 1, func(int) any { return cipher.NewScratch() })
 	s := &Server{
 		cfg:      cfg,
 		ctx:      ctx,
 		cipher:   cipher,
 		listener: ln,
-		sessions: make(map[string]*session),
+		store:    serve.NewStore(cfg.MaxSessions),
+		pool:     pool,
+		sched:    serve.NewScheduler(pool, cfg.QueueDepth),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -101,7 +122,8 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, waits for in-flight connections to finish and
+// drains the scheduler.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -112,18 +134,35 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.listener.Close()
 	s.wg.Wait()
+	s.sched.Close()
 	return err
 }
 
-// Blocks returns the number of blocks processed for a session.
+// Blocks returns the number of blocks processed for a session. Read-only:
+// it does not refresh the session's LRU position.
 func (s *Server) Blocks(sessionID string) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sess, ok := s.sessions[sessionID]; ok {
-		return sess.blocks
+	if sess, ok := s.store.Peek(sessionID); ok {
+		return int(sess.Stats().Blocks)
 	}
 	return 0
 }
+
+// SessionStats snapshots a session's usage counters. Read-only: it does
+// not refresh the session's LRU position, so stats polling never protects
+// an idle session from eviction.
+func (s *Server) SessionStats(sessionID string) (serve.Stats, bool) {
+	sess, ok := s.store.Peek(sessionID)
+	if !ok {
+		return serve.Stats{}, false
+	}
+	return sess.Stats(), true
+}
+
+// Sessions counts resident sessions.
+func (s *Server) Sessions() int { return s.store.Len() }
+
+// Evictions counts sessions displaced by the MaxSessions cap.
+func (s *Server) Evictions() int64 { return s.store.Evictions() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -140,10 +179,40 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// connWriter serializes reply encoding: with pipelined requests, worker
+// goroutines and the decode loop reply concurrently on one connection. An
+// encode failure poisons the gob stream, so the writer tears the
+// connection down — the client's pending requests then fail with a
+// connection error instead of hanging on replies that will never arrive.
+type connWriter struct {
+	mu     sync.Mutex
+	enc    *gob.Encoder
+	conn   net.Conn
+	failed bool
+	logf   func(string, ...interface{})
+}
+
+func (w *connWriter) send(reply *replyEnvelope) {
+	w.mu.Lock()
+	if w.failed {
+		w.mu.Unlock()
+		return
+	}
+	err := w.enc.Encode(reply)
+	if err != nil {
+		w.failed = true
+	}
+	w.mu.Unlock()
+	if err != nil {
+		w.logf("edge: encode: %v", err)
+		w.conn.Close()
+	}
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	cw := &connWriter{enc: gob.NewEncoder(conn), conn: conn, logf: s.cfg.Logf}
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -152,74 +221,198 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		var reply replyEnvelope
 		switch {
 		case env.Setup != nil:
-			reply.Setup = s.handleSetup(env.Setup)
+			cw.send(&replyEnvelope{ID: env.ID, Setup: s.handleSetup(env.Setup)})
+		case env.Rekey != nil:
+			cw.send(&replyEnvelope{ID: env.ID, Rekey: s.handleRekey(env.Rekey)})
 		case env.Compute != nil:
-			reply.Compute = s.handleCompute(env.Compute)
+			s.handleCompute(cw, env.ID, env.Compute)
+		case env.Batch != nil:
+			s.handleBatch(cw, env.ID, env.Batch)
 		default:
-			reply.Setup = &SetupReply{Err: "empty request"}
-		}
-		if err := enc.Encode(&reply); err != nil {
-			s.cfg.Logf("edge: encode: %v", err)
-			return
+			cw.send(&replyEnvelope{ID: env.ID,
+				Setup: &SetupReply{Err: "empty request", Code: serve.CodeBadRequest}})
 		}
 	}
 }
 
 func (s *Server) handleSetup(req *SetupRequest) *SetupReply {
 	if req.LogN != s.ctx.Params.LogN || req.Depth != s.ctx.Params.Depth {
-		return &SetupReply{Err: fmt.Sprintf("parameter mismatch: client logN=%d depth=%d, server logN=%d depth=%d",
-			req.LogN, req.Depth, s.ctx.Params.LogN, s.ctx.Params.Depth)}
+		return &SetupReply{
+			Code: serve.CodeParamMismatch,
+			Err: fmt.Sprintf("parameter mismatch: client logN=%d depth=%d, server logN=%d depth=%d",
+				req.LogN, req.Depth, s.ctx.Params.LogN, s.ctx.Params.Depth),
+		}
 	}
 	if req.SessionID == "" || req.PK == nil || req.RLK == nil || len(req.EncKey) != KeyLen {
-		return &SetupReply{Err: "incomplete setup"}
+		return &SetupReply{Err: "incomplete setup", Code: serve.CodeBadRequest}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sessions[req.SessionID] = &session{
-		pk:     req.PK,
-		rlk:    req.RLK,
-		encKey: req.EncKey,
-		nonce:  append([]byte(nil), req.Nonce...),
-		ev:     ckks.NewEvaluator(s.ctx, 1),
+	sess := serve.NewSession(req.SessionID, req.PK, req.RLK, req.EncKey, req.Nonce)
+	if err := s.store.Register(sess); err != nil {
+		return &SetupReply{
+			Code: serve.CodeOf(err),
+			Err:  fmt.Sprintf("session %q already registered (rekey instead of re-registering)", req.SessionID),
+		}
 	}
-	s.cfg.Logf("edge: session %q registered", req.SessionID)
+	s.cfg.Logf("edge: session %q registered (%d resident)", req.SessionID, s.store.Len())
 	return &SetupReply{OK: true}
 }
 
-func (s *Server) handleCompute(req *ComputeRequest) *ComputeReply {
-	s.mu.Lock()
-	sess, ok := s.sessions[req.SessionID]
-	s.mu.Unlock()
+func (s *Server) handleRekey(req *RekeyRequest) *RekeyReply {
+	sess, ok := s.store.Get(req.SessionID)
 	if !ok {
-		return &ComputeReply{Err: fmt.Sprintf("unknown session %q", req.SessionID)}
+		return &RekeyReply{Code: serve.CodeUnknownSession,
+			Err: fmt.Sprintf("unknown session %q", req.SessionID)}
 	}
-	if len(req.Masked) > s.cipher.Slots() {
-		return &ComputeReply{Err: fmt.Sprintf("block of %d slots exceeds %d", len(req.Masked), s.cipher.Slots())}
+	if len(req.EncKey) != KeyLen || len(req.Nonce) == 0 {
+		return &RekeyReply{Code: serve.CodeBadRequest, Err: "incomplete rekey"}
 	}
+	epoch := sess.Rekey(req.EncKey, req.Nonce)
+	s.cfg.Logf("edge: session %q rekeyed to epoch %d", req.SessionID, epoch)
+	return &RekeyReply{OK: true, Epoch: epoch}
+}
 
-	// Transcipher with the affine model fused in: the server obtains
-	// Enc(w⊙m + bias) directly, never seeing m.
-	sess.mu.Lock()
-	result, err := s.cipher.TranscipherAffine(
-		sess.ev, sess.rlk, sess.encKey, sess.nonce, req.Block, req.Masked,
-		s.cfg.Model.Weights, s.cfg.Model.Bias)
-	sess.mu.Unlock()
-	if err != nil {
-		return &ComputeReply{Err: "transcipher: " + err.Error()}
+// handleCompute serves one block. ID 0 (v1) runs synchronously on the
+// shared pool — blocking checkout, never shed — preserving the v1
+// in-order contract. Nonzero IDs go through the bounded scheduler and may
+// be shed with CodeOverloaded.
+func (s *Server) handleCompute(cw *connWriter, id uint64, req *ComputeRequest) {
+	if id == 0 {
+		var rep *ComputeReply
+		_ = s.pool.Do(func(w *serve.Worker) error {
+			rep = s.compute(w, req)
+			return nil
+		})
+		cw.send(&replyEnvelope{Compute: rep})
+		return
 	}
+	if err := s.sched.Submit(func(w *serve.Worker) {
+		cw.send(&replyEnvelope{ID: id, Compute: s.compute(w, req)})
+	}); err != nil {
+		cw.send(&replyEnvelope{ID: id, Compute: &ComputeReply{
+			Code: serve.CodeOf(err),
+			Err:  fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth),
+		}})
+	}
+}
 
-	s.mu.Lock()
-	sess.blocks++
-	s.mu.Unlock()
-
+func (s *Server) compute(w *serve.Worker, req *ComputeRequest) *ComputeReply {
+	sess, ok := s.store.Get(req.SessionID)
+	if !ok {
+		return &ComputeReply{Code: serve.CodeUnknownSession,
+			Err: fmt.Sprintf("unknown session %q", req.SessionID)}
+	}
+	result, code, detail := s.computeBlock(w, sess, req.Epoch, req.Block, req.Masked)
+	if code != serve.CodeOK {
+		return &ComputeReply{Code: code, Err: detail, RekeyNeeded: s.rekeyNeeded(sess)}
+	}
 	bits := float64(len(req.Masked) * 64)
 	lambda := float64(s.ctx.Params.N())
 	return &ComputeReply{
 		Result:          result,
+		RekeyNeeded:     s.rekeyNeeded(sess),
 		ModeledTxDelay:  bits / s.cfg.UplinkRateBps,
 		ModeledCmpDelay: (costmodel.EvalCycles(lambda) + costmodel.CmpCycles(lambda)) / s.cfg.ServerHz,
 	}
+}
+
+// computeBlock transciphers one block on an exclusively held worker,
+// enforcing slot bounds, the key epoch and the rekey byte budget.
+func (s *Server) computeBlock(w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (*ckks.Ciphertext, serve.Code, string) {
+	if len(masked) > s.cipher.Slots() {
+		return nil, serve.CodeOversized,
+			fmt.Sprintf("block of %d slots exceeds %d", len(masked), s.cipher.Slots())
+	}
+	encKey, nonce, epoch := sess.Keys()
+	if reqEpoch != 0 && reqEpoch != epoch {
+		return nil, serve.CodeRekeyRequired,
+			fmt.Sprintf("block masked under key epoch %d, session at %d", reqEpoch, epoch)
+	}
+	if s.cfg.RekeyBytes > 0 && sess.BytesSinceRekey() >= s.cfg.RekeyBytes {
+		return nil, serve.CodeRekeyRequired,
+			fmt.Sprintf("key byte budget exhausted (%d of %d)", sess.BytesSinceRekey(), s.cfg.RekeyBytes)
+	}
+	scratch, _ := w.Scratch.(*transcipher.Scratch)
+	result, err := s.cipher.TranscipherAffineWith(
+		scratch, w.Ev, sess.RLK, encKey, nonce, block, masked,
+		s.cfg.Model.Weights, s.cfg.Model.Bias)
+	if err != nil {
+		return nil, serve.CodeInternal, "transcipher: " + err.Error()
+	}
+	sess.RecordBlock(int64(8 * len(masked)))
+	return result, serve.CodeOK, ""
+}
+
+// rekeyNeeded advises clients once ≥ 3/4 of the key byte budget is spent.
+func (s *Server) rekeyNeeded(sess *serve.Session) bool {
+	return s.cfg.RekeyBytes > 0 && 4*sess.BytesSinceRekey() >= 3*s.cfg.RekeyBytes
+}
+
+// handleBatch fans one BatchRequest's blocks out across the scheduler,
+// replying once every admitted item finishes. Items shed by a full queue
+// fail individually with CodeOverloaded.
+func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
+	fail := func(code serve.Code, detail string) {
+		cw.send(&replyEnvelope{ID: id, Batch: &BatchReply{Code: code, Err: detail}})
+	}
+	n := len(req.Blocks)
+	if n == 0 || n != len(req.Masked) {
+		fail(serve.CodeBadRequest, fmt.Sprintf("batch with %d blocks, %d payloads", n, len(req.Masked)))
+		return
+	}
+	if n > MaxBatch {
+		fail(serve.CodeBadRequest, fmt.Sprintf("batch of %d blocks exceeds %d", n, MaxBatch))
+		return
+	}
+	sess, ok := s.store.Get(req.SessionID)
+	if !ok {
+		fail(serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", req.SessionID))
+		return
+	}
+	items := make([]BatchItem, n)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// The batch bounds its own in-flight items to the queue depth:
+		// earlier items finish before later ones are submitted, so a batch
+		// larger than the queue never sheds itself on an idle server.
+		// Submit still fails — and the item is shed — under genuine
+		// cross-client contention. Running off the decode loop keeps
+		// pipelined requests on the same connection flowing meanwhile.
+		window := make(chan struct{}, s.cfg.QueueDepth)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			i := i
+			window <- struct{}{}
+			wg.Add(1)
+			err := s.sched.Submit(func(w *serve.Worker) {
+				defer func() { <-window; wg.Done() }()
+				result, code, detail := s.computeBlock(w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
+				items[i] = BatchItem{Result: result, Code: code, Err: detail}
+			})
+			if err != nil {
+				items[i] = BatchItem{Code: serve.CodeOf(err),
+					Err: fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth)}
+				<-window
+				wg.Done()
+			}
+		}
+		wg.Wait()
+		var bits float64
+		served := 0
+		for i := range items {
+			if items[i].Code == serve.CodeOK {
+				bits += float64(len(req.Masked[i]) * 64)
+				served++
+			}
+		}
+		lambda := float64(s.ctx.Params.N())
+		cw.send(&replyEnvelope{ID: id, Batch: &BatchReply{
+			Items:           items,
+			RekeyNeeded:     s.rekeyNeeded(sess),
+			ModeledTxDelay:  bits / s.cfg.UplinkRateBps,
+			ModeledCmpDelay: float64(served) * (costmodel.EvalCycles(lambda) + costmodel.CmpCycles(lambda)) / s.cfg.ServerHz,
+		}})
+	}()
 }

@@ -1,0 +1,599 @@
+package edge
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"quhe/internal/he/ckks"
+	"quhe/internal/qkd"
+	"quhe/internal/serve"
+	"quhe/internal/transcipher"
+)
+
+// --- duplicate registration & typed codes ----------------------------------
+
+func TestDuplicateSetupRejected(t *testing.T) {
+	srv := startServer(t, Model{Weights: []float64{1}})
+	c1, err := Dial(srv.Addr(), "dup", []byte("k1"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	_, err = Dial(srv.Addr(), "dup", []byte("k2"), 4)
+	if err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if !errors.Is(err, serve.ErrDuplicateSession) {
+		t.Errorf("duplicate registration err = %v, want serve.ErrDuplicateSession", err)
+	}
+	// The original session keeps working with its original keys.
+	got, err := c1.Compute(0, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.5) > 0.05 {
+		t.Errorf("original session corrupted: got %v", got[0])
+	}
+}
+
+func TestTypedErrorCodesOnWire(t *testing.T) {
+	srv := startServer(t, Model{})
+	client, err := Dial(srv.Addr(), "typed", []byte("k"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.sessionID = "forged"
+	_, err = client.Compute(0, []float64{1})
+	if !errors.Is(err, serve.ErrUnknownSession) {
+		t.Errorf("forged session err = %v, want serve.ErrUnknownSession", err)
+	}
+}
+
+// --- pipelining -------------------------------------------------------------
+
+func TestPipelinedComputes(t *testing.T) {
+	model := Model{Weights: []float64{2, -1}, Bias: []float64{0, 0.5}}
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Model: model, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), "pipe", []byte("k"), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const inFlight = 8
+	pendings := make([]*Pending, inFlight)
+	for i := 0; i < inFlight; i++ {
+		p, err := client.ComputeAsync(uint32(i), []float64{float64(i) * 0.1, 0.25})
+		if err != nil {
+			t.Fatalf("async %d: %v", i, err)
+		}
+		pendings[i] = p
+	}
+	for i, p := range pendings {
+		got, err := p.Wait()
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		want0 := 2 * float64(i) * 0.1
+		want1 := -0.25 + 0.5
+		if math.Abs(got[0]-want0) > 0.05 || math.Abs(got[1]-want1) > 0.05 {
+			t.Errorf("block %d = %v, want [%v %v]", i, got, want0, want1)
+		}
+	}
+	if n := srv.Blocks("pipe"); n != inFlight {
+		t.Errorf("server processed %d blocks, want %d", n, inFlight)
+	}
+}
+
+// TestConcurrentClientsPipelined exercises the sharded store and shared
+// pool under many clients × many in-flight blocks (run with -race in CI).
+func TestConcurrentClientsPipelined(t *testing.T) {
+	model := Model{Weights: []float64{3}}
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Model: model, Workers: 2, QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients, perClient = 3, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			name := fmt.Sprintf("mt-%d", id)
+			client, err := Dial(srv.Addr(), name, []byte(name), int64(40+id))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			pendings := make([]*Pending, perClient)
+			for b := 0; b < perClient; b++ {
+				p, err := client.ComputeAsync(uint32(b), []float64{0.2})
+				if err != nil {
+					errs <- err
+					return
+				}
+				pendings[b] = p
+			}
+			for b, p := range pendings {
+				got, err := p.Wait()
+				if err != nil {
+					errs <- fmt.Errorf("%s block %d: %w", name, b, err)
+					return
+				}
+				if math.Abs(got[0]-0.6) > 0.05 {
+					errs <- fmt.Errorf("%s block %d: got %v, want 0.6", name, b, got[0])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for i := 0; i < clients; i++ {
+		if n := srv.Blocks(fmt.Sprintf("mt-%d", i)); n != perClient {
+			t.Errorf("client %d: %d blocks, want %d", i, n, perClient)
+		}
+	}
+}
+
+// --- batch ------------------------------------------------------------------
+
+func TestBatchCompute(t *testing.T) {
+	model := Model{Weights: []float64{1, 2}, Bias: []float64{0.1, -0.1}}
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{Model: model, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), "batch", []byte("k"), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	data := [][]float64{{0.1, 0.2}, {0.3, -0.4}, {-0.5, 0.6}, {0.7, 0.8}, {0.9, -0.1}}
+	got, err := client.ComputeBatch(100, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range data {
+		want0 := d[0] + 0.1
+		want1 := 2*d[1] - 0.1
+		if math.Abs(got[i][0]-want0) > 0.05 || math.Abs(got[i][1]-want1) > 0.05 {
+			t.Errorf("item %d = %v, want [%v %v]", i, got[i], want0, want1)
+		}
+	}
+	if n := srv.Blocks("batch"); n != len(data) {
+		t.Errorf("server processed %d blocks, want %d", n, len(data))
+	}
+	if client.LastTxDelay <= 0 || client.LastCmpDelay <= 0 {
+		t.Errorf("batch delays not reported: tx %v cmp %v", client.LastTxDelay, client.LastCmpDelay)
+	}
+}
+
+// --- backpressure -----------------------------------------------------------
+
+func TestBackpressureShedsPipelinedLoad(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model: Model{Weights: []float64{1}}, Workers: 1, QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), "burst", []byte("k"), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const burst = 32
+	pendings := make([]*Pending, burst)
+	for i := 0; i < burst; i++ {
+		p, err := client.ComputeAsync(uint32(i), []float64{0.5})
+		if err != nil {
+			t.Fatalf("async %d: %v", i, err)
+		}
+		pendings[i] = p
+	}
+	served, shed := 0, 0
+	for i, p := range pendings {
+		_, err := p.Wait()
+		switch {
+		case err == nil:
+			served++
+		case errors.Is(err, serve.ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("block %d: unexpected error %v", i, err)
+		}
+	}
+	if served == 0 {
+		t.Error("no requests served under burst")
+	}
+	if shed == 0 {
+		t.Error("no requests shed: backpressure not engaged")
+	}
+	t.Logf("burst of %d: %d served, %d shed", burst, served, shed)
+
+	// The connection and session survive shedding.
+	if _, err := client.Compute(1000, []float64{0.5}); err != nil {
+		t.Errorf("compute after burst: %v", err)
+	}
+}
+
+// TestBatchLargerThanQueueServedWhenIdle pins the batch admission
+// contract: a batch submits its own items through a queue-depth-bounded
+// window, so on an otherwise idle server a batch far larger than the
+// queue completes fully — items are shed with serve.CodeOverloaded only
+// under genuine cross-client contention.
+func TestBatchLargerThanQueueServedWhenIdle(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model: Model{Weights: []float64{1}}, Workers: 1, QueueDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), "bigbatch", []byte("k"), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	data := make([][]float64, 12)
+	for i := range data {
+		data[i] = []float64{0.25}
+	}
+	got, err := client.ComputeBatch(0, data)
+	if err != nil {
+		t.Fatalf("idle server shed batch items: %v", err)
+	}
+	for i := range got {
+		if got[i] == nil {
+			t.Fatalf("item %d missing", i)
+		}
+		if math.Abs(got[i][0]-0.25) > 0.05 {
+			t.Errorf("item %d = %v, want 0.25", i, got[i][0])
+		}
+	}
+	if n := srv.Blocks("bigbatch"); n != len(data) {
+		t.Errorf("server processed %d blocks, want %d", n, len(data))
+	}
+}
+
+// --- QKD-backed rekeying ----------------------------------------------------
+
+// provisionedKeyCenter returns a key centre whose pool for id holds
+// enough material for the initial key plus several rekeys.
+func provisionedKeyCenter(t *testing.T, id string) *qkd.KeyCenter {
+	t.Helper()
+	kc := qkd.NewKeyCenter()
+	if err := kc.Provision(id, 1000); err != nil {
+		t.Fatal(err)
+	}
+	material := make([]byte, 8*RekeyWithdrawBytes)
+	for i := range material {
+		material[i] = byte(i*31 + 7)
+	}
+	if err := kc.Deposit(id, material); err != nil {
+		t.Fatal(err)
+	}
+	return kc
+}
+
+func TestRekeyAfterByteBudget(t *testing.T) {
+	blockBytes := int64(8 * DefaultParams().Slots())
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model:      Model{Weights: []float64{1}},
+		RekeyBytes: blockBytes, // budget spent after one block
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	kc := provisionedKeyCenter(t, "rk")
+	client, err := DialQKD(srv.Addr(), "rk", kc, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Three computes: the attached key centre absorbs the budget
+	// rejections via automatic rekeys.
+	for b := uint32(0); b < 3; b++ {
+		got, err := client.Compute(b, []float64{0.5})
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		if math.Abs(got[0]-0.5) > 0.05 {
+			t.Errorf("block %d = %v, want 0.5", b, got[0])
+		}
+	}
+	stats, ok := srv.SessionStats("rk")
+	if !ok {
+		t.Fatal("session missing")
+	}
+	if stats.Blocks != 3 {
+		t.Errorf("blocks = %d, want 3", stats.Blocks)
+	}
+	if stats.Rekeys == 0 {
+		t.Error("no rekeys recorded despite exhausted byte budget")
+	}
+	if stats.Epoch != uint64(stats.Rekeys)+1 {
+		t.Errorf("epoch %d inconsistent with %d rekeys", stats.Epoch, stats.Rekeys)
+	}
+	if client.Epoch() != stats.Epoch {
+		t.Errorf("client epoch %d != server epoch %d", client.Epoch(), stats.Epoch)
+	}
+}
+
+func TestManualRekeyWithoutKeyCenter(t *testing.T) {
+	blockBytes := int64(8 * DefaultParams().Slots())
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model:      Model{Weights: []float64{1}},
+		RekeyBytes: blockBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), "manual", []byte("initial-material"), 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.Compute(0, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if !client.RekeyAdvised() {
+		t.Error("server did not advise rekey at a spent budget")
+	}
+	// Budget is now exhausted and no key centre is attached: typed error.
+	_, err = client.Compute(1, []float64{0.5})
+	if !errors.Is(err, serve.ErrRekeyRequired) {
+		t.Fatalf("budget-exhausted err = %v, want serve.ErrRekeyRequired", err)
+	}
+	if err := client.RekeyWith([]byte("fresh-material")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Compute(1, []float64{0.5})
+	if err != nil {
+		t.Fatalf("compute after manual rekey: %v", err)
+	}
+	if math.Abs(got[0]-0.5) > 0.05 {
+		t.Errorf("post-rekey result %v, want 0.5", got[0])
+	}
+	if client.Epoch() != 2 {
+		t.Errorf("client epoch = %d, want 2", client.Epoch())
+	}
+}
+
+// --- session eviction -------------------------------------------------------
+
+func TestSessionEvictionUnderCap(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model: Model{Weights: []float64{1}}, MaxSessions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var clients []*Client
+	for i := 0; i < 3; i++ {
+		c, err := Dial(srv.Addr(), fmt.Sprintf("ev-%d", i), []byte("k"), int64(60+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	if n := srv.Sessions(); n != 2 {
+		t.Errorf("resident sessions = %d, want 2", n)
+	}
+	if n := srv.Evictions(); n != 1 {
+		t.Errorf("evictions = %d, want 1", n)
+	}
+	// The oldest session was displaced; its computes now fail typed.
+	_, err = clients[0].Compute(0, []float64{1})
+	if !errors.Is(err, serve.ErrUnknownSession) {
+		t.Errorf("evicted session err = %v, want serve.ErrUnknownSession", err)
+	}
+	// Surviving sessions still serve.
+	for _, i := range []int{1, 2} {
+		if _, err := clients[i].Compute(0, []float64{1}); err != nil {
+			t.Errorf("survivor %d: %v", i, err)
+		}
+	}
+}
+
+// --- v1 wire compatibility --------------------------------------------------
+
+// The v1 envelope/reply shapes as the seed protocol defined them: no
+// request IDs, no batch/rekey arms, stringly-typed errors only. Gob
+// matches fields by name, so these hand-rolled shapes prove a v1 binary
+// still talks to the v2 server.
+type v1SetupRequest struct {
+	SessionID   string
+	LogN, Depth int
+	PK          *ckks.PublicKey
+	RLK         *ckks.RelinKey
+	EncKey      []*ckks.Ciphertext
+	Nonce       []byte
+}
+
+type v1ComputeRequest struct {
+	SessionID string
+	Block     uint32
+	Masked    []float64
+}
+
+type v1Envelope struct {
+	Setup   *v1SetupRequest
+	Compute *v1ComputeRequest
+}
+
+type v1SetupReply struct {
+	OK  bool
+	Err string
+}
+
+type v1ComputeReply struct {
+	Result          *ckks.Ciphertext
+	Err             string
+	ModeledTxDelay  float64
+	ModeledCmpDelay float64
+}
+
+type v1ReplyEnvelope struct {
+	Setup   *v1SetupReply
+	Compute *v1ComputeReply
+}
+
+func TestV1ProtocolCompat(t *testing.T) {
+	model := Model{Weights: []float64{0.5, 1}, Bias: []float64{0.1, 0}}
+	srv := startServer(t, model)
+
+	// Hand-rolled v1 client: same crypto, seed wire shapes.
+	ctx, err := ckks.NewContext(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher, err := transcipher.New(ctx, KeyLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 71)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, 72)
+	key, err := cipher.DeriveKey([]byte("v1-material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encKey, err := cipher.EncryptKey(ev, pk, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("edge:v1-compat")
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	if err := enc.Encode(&v1Envelope{Setup: &v1SetupRequest{
+		SessionID: "v1-compat",
+		LogN:      ctx.Params.LogN,
+		Depth:     ctx.Params.Depth,
+		PK:        pk, RLK: rlk, EncKey: encKey, Nonce: nonce,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	var setupReply v1ReplyEnvelope
+	if err := dec.Decode(&setupReply); err != nil {
+		t.Fatal(err)
+	}
+	if setupReply.Setup == nil || !setupReply.Setup.OK {
+		t.Fatalf("v1 setup rejected: %+v", setupReply.Setup)
+	}
+
+	// Two sequential v1 computes must come back in order, synchronously.
+	for block := uint32(0); block < 2; block++ {
+		data := []float64{0.4, -0.2}
+		padded := make([]float64, cipher.Slots())
+		copy(padded, data)
+		masked, err := cipher.Mask(key, nonce, block, padded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(&v1Envelope{Compute: &v1ComputeRequest{
+			SessionID: "v1-compat", Block: block, Masked: masked,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		var reply v1ReplyEnvelope
+		if err := dec.Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		if reply.Compute == nil {
+			t.Fatal("missing v1 compute reply")
+		}
+		if reply.Compute.Err != "" {
+			t.Fatalf("v1 compute error: %s", reply.Compute.Err)
+		}
+		if reply.Compute.ModeledTxDelay <= 0 {
+			t.Error("v1 reply missing modeled delays")
+		}
+		got := ckks.NewEncoder(ctx).DecodeReal(ev.Decrypt(sk, reply.Compute.Result))
+		for i, x := range data {
+			want := model.Weights[i]*x + model.Bias[i]
+			if math.Abs(got[i]-want) > 0.05 {
+				t.Errorf("v1 block %d slot %d = %v, want %v", block, i, got[i], want)
+			}
+		}
+	}
+	if n := srv.Blocks("v1-compat"); n != 2 {
+		t.Errorf("server processed %d v1 blocks, want 2", n)
+	}
+}
+
+// TestV1ErrorStringsPreserved pins the stringly-typed contract v1 clients
+// parse: unknown sessions must still mention "unknown session".
+func TestV1ErrorStringsPreserved(t *testing.T) {
+	srv := startServer(t, Model{})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&v1Envelope{Compute: &v1ComputeRequest{
+		SessionID: "ghost", Block: 0, Masked: []float64{1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	var reply v1ReplyEnvelope
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Compute == nil || reply.Compute.Err == "" {
+		t.Fatal("expected a v1 error reply")
+	}
+	if want := "unknown session"; !contains(reply.Compute.Err, want) {
+		t.Errorf("v1 error %q does not mention %q", reply.Compute.Err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

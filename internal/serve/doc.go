@@ -1,0 +1,37 @@
+// Package serve is the multi-tenant serving runtime of the QuHE edge
+// server: the layer between the wire protocol (internal/edge) and the CKKS
+// core (internal/he/ckks, internal/transcipher) that turns fast single-op
+// primitives into fast aggregate throughput under many concurrent
+// QKD-secured clients (the system model of Fig. 1 at serving scale).
+//
+// The runtime decomposes into three pieces a request flows through:
+//
+//	connection → Store (sharded sessions) → Scheduler (bounded queue)
+//	           → EvalPool (per-worker evaluators) → transcipher/ckks core
+//
+// Store is a hash-sharded session table with per-shard locks, LRU
+// eviction under a configurable session cap, and per-session usage
+// counters. Registering N sessions costs key material only — not
+// evaluators — so memory grows with sessions, compute state with workers.
+//
+// EvalPool owns a fixed number of Workers, each pairing a *ckks.Evaluator
+// (whose scratch buffers make it single-goroutine) with optional
+// caller-attached per-worker scratch (the edge server attaches
+// *transcipher.Scratch). Compute parallelism — and evaluator memory — is
+// bounded by the pool size, never by the session count.
+//
+// Scheduler fans jobs out across the pool through a bounded queue. When
+// the queue is full, Submit fails fast with ErrOverloaded instead of
+// buffering without limit: explicit backpressure the protocol layer maps
+// onto typed replies so clients can shed or retry.
+//
+// Failures are identified by Code values that travel on the wire next to
+// a human-readable detail string; each code maps to a sentinel error
+// (ErrUnknownSession, ErrOverloaded, ...) so both server internals and
+// remote clients can branch with errors.Is.
+//
+// Sessions tie the serving plane to the key plane: each Session tracks a
+// transciphering key epoch and the bytes processed under the current key,
+// supporting QKD-backed rekeying (fresh qkd.KeyCenter withdrawals) after a
+// configurable byte budget — see the Rekey flow in internal/edge.
+package serve

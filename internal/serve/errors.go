@@ -1,0 +1,110 @@
+package serve
+
+import "errors"
+
+// Code identifies a serving-plane failure class. Codes travel on the wire
+// (protocol replies carry the Code next to a human-readable detail string)
+// so clients can branch on failures without parsing strings. CodeOK is the
+// zero value, so v1 peers that never set a code report success.
+type Code int
+
+const (
+	// CodeOK reports success.
+	CodeOK Code = iota
+	// CodeBadRequest rejects malformed or incomplete requests.
+	CodeBadRequest
+	// CodeParamMismatch rejects sessions whose CKKS parameters differ from
+	// the server's.
+	CodeParamMismatch
+	// CodeUnknownSession rejects operations on unregistered (or evicted)
+	// sessions.
+	CodeUnknownSession
+	// CodeDuplicateSession rejects re-registration of a live session ID.
+	CodeDuplicateSession
+	// CodeOversized rejects blocks exceeding the slot capacity.
+	CodeOversized
+	// CodeOverloaded sheds load when the scheduler queue is full.
+	CodeOverloaded
+	// CodeRekeyRequired rejects blocks once the session's key byte budget
+	// is exhausted (or the block was masked under a stale key epoch).
+	CodeRekeyRequired
+	// CodeInternal reports a server-side evaluation failure.
+	CodeInternal
+)
+
+// Sentinel errors, one per failure code. Server components return these
+// directly; clients reconstruct them from wire codes, so
+// errors.Is(err, serve.ErrOverloaded) works on both sides of the
+// connection.
+var (
+	ErrBadRequest       = errors.New("serve: bad request")
+	ErrParamMismatch    = errors.New("serve: parameter mismatch")
+	ErrUnknownSession   = errors.New("serve: unknown session")
+	ErrDuplicateSession = errors.New("serve: duplicate session")
+	ErrOversized        = errors.New("serve: block exceeds slot capacity")
+	ErrOverloaded       = errors.New("serve: overloaded")
+	ErrRekeyRequired    = errors.New("serve: rekey required")
+	ErrInternal         = errors.New("serve: internal error")
+)
+
+var codeToErr = map[Code]error{
+	CodeBadRequest:       ErrBadRequest,
+	CodeParamMismatch:    ErrParamMismatch,
+	CodeUnknownSession:   ErrUnknownSession,
+	CodeDuplicateSession: ErrDuplicateSession,
+	CodeOversized:        ErrOversized,
+	CodeOverloaded:       ErrOverloaded,
+	CodeRekeyRequired:    ErrRekeyRequired,
+	CodeInternal:         ErrInternal,
+}
+
+// Err returns the sentinel error for the code, or nil for CodeOK.
+// Unrecognized codes (a newer peer) map to ErrInternal.
+func (c Code) Err() error {
+	if c == CodeOK {
+		return nil
+	}
+	if err, ok := codeToErr[c]; ok {
+		return err
+	}
+	return ErrInternal
+}
+
+// CodeOf maps an error back to its wire code: nil reports CodeOK and
+// errors outside the sentinel set report CodeInternal.
+func CodeOf(err error) Code {
+	if err == nil {
+		return CodeOK
+	}
+	for code, sentinel := range codeToErr {
+		if errors.Is(err, sentinel) {
+			return code
+		}
+	}
+	return CodeInternal
+}
+
+// String names the code for logs and metrics.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeParamMismatch:
+		return "param-mismatch"
+	case CodeUnknownSession:
+		return "unknown-session"
+	case CodeDuplicateSession:
+		return "duplicate-session"
+	case CodeOversized:
+		return "oversized"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeRekeyRequired:
+		return "rekey-required"
+	case CodeInternal:
+		return "internal"
+	}
+	return "unknown"
+}

@@ -1,0 +1,59 @@
+package serve
+
+import "quhe/internal/he/ckks"
+
+// Worker is one checkout unit of the evaluator pool: a CKKS evaluator
+// (whose internal scratch buffers make it single-goroutine) plus optional
+// per-worker state the pool's owner attached at construction — the edge
+// server attaches a *transcipher.Scratch so coefficient expansion reuses
+// buffers across blocks. A Worker is exclusively owned between Get and
+// Put.
+type Worker struct {
+	Ev *ckks.Evaluator
+	// Scratch is caller-defined per-worker state (may be nil).
+	Scratch any
+}
+
+// EvalPool is a fixed-size pool of Workers over one shared CKKS context.
+// It replaces the evaluator-per-session design: N sessions share
+// Size() evaluators, so evaluator memory and compute parallelism are
+// bounded by the pool, not by the session count. Get blocks until a
+// worker is free, which is the pool's implicit backpressure for callers
+// that bypass the Scheduler (the synchronous v1 protocol path).
+type EvalPool struct {
+	ch chan *Worker
+}
+
+// NewEvalPool builds size workers over ctx. Each worker's evaluator is
+// seeded with seed+i (evaluator RNG streams stay distinct); scratch, when
+// non-nil, is invoked once per worker to attach per-worker state.
+func NewEvalPool(ctx *ckks.Context, size int, seed int64, scratch func(i int) any) *EvalPool {
+	if size < 1 {
+		size = 1
+	}
+	p := &EvalPool{ch: make(chan *Worker, size)}
+	for i := 0; i < size; i++ {
+		w := &Worker{Ev: ckks.NewEvaluator(ctx, seed+int64(i))}
+		if scratch != nil {
+			w.Scratch = scratch(i)
+		}
+		p.ch <- w
+	}
+	return p
+}
+
+// Size returns the fixed number of workers.
+func (p *EvalPool) Size() int { return cap(p.ch) }
+
+// Get checks a worker out, blocking until one is free.
+func (p *EvalPool) Get() *Worker { return <-p.ch }
+
+// Put returns a worker obtained from Get.
+func (p *EvalPool) Put(w *Worker) { p.ch <- w }
+
+// Do runs f with an exclusively held worker, blocking for checkout.
+func (p *EvalPool) Do(f func(*Worker) error) error {
+	w := p.Get()
+	defer p.Put(w)
+	return f(w)
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one unit of homomorphic work. The scheduler hands it an
+// exclusively held worker; the job owns reply delivery (it typically
+// captures the connection writer).
+type Job func(*Worker)
+
+// Scheduler fans jobs out across the evaluator pool through a bounded
+// queue: one goroutine per pool worker drains the queue, checking an
+// evaluator out per job so the pool is shared fairly with synchronous
+// callers. When the queue is full, Submit fails fast with ErrOverloaded —
+// the explicit backpressure signal the protocol layer forwards to clients
+// instead of buffering requests without limit.
+type Scheduler struct {
+	pool  *EvalPool
+	queue chan Job
+	depth atomic.Int64
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler starts one drain goroutine per pool worker over a queue of
+// the given depth (≤ 0 selects 4× the pool size).
+func NewScheduler(pool *EvalPool, queueDepth int) *Scheduler {
+	if queueDepth <= 0 {
+		queueDepth = 4 * pool.Size()
+	}
+	s := &Scheduler{pool: pool, queue: make(chan Job, queueDepth)}
+	for i := 0; i < pool.Size(); i++ {
+		s.wg.Add(1)
+		go s.drain()
+	}
+	return s
+}
+
+func (s *Scheduler) drain() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.depth.Add(-1)
+		w := s.pool.Get()
+		job(w)
+		s.pool.Put(w)
+	}
+}
+
+// Submit enqueues a job without blocking. It returns ErrOverloaded when
+// the queue is full (or the scheduler is closed); the job then never runs.
+func (s *Scheduler) Submit(job Job) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrOverloaded
+	}
+	select {
+	case s.queue <- job:
+		s.depth.Add(1)
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// QueueDepth reports the jobs currently waiting (not yet picked up).
+func (s *Scheduler) QueueDepth() int { return int(s.depth.Load()) }
+
+// Close stops intake, runs the jobs already queued to completion and
+// waits for the drain goroutines to exit. Safe to call more than once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"quhe/internal/he/ckks"
+)
+
+func testContext(t testing.TB) *ckks.Context {
+	t.Helper()
+	p, err := ckks.NewParams(8, 25, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	codes := []Code{CodeBadRequest, CodeParamMismatch, CodeUnknownSession,
+		CodeDuplicateSession, CodeOversized, CodeOverloaded, CodeRekeyRequired, CodeInternal}
+	for _, c := range codes {
+		if got := CodeOf(c.Err()); got != c {
+			t.Errorf("CodeOf(%v.Err()) = %v", c, got)
+		}
+		if c.String() == "unknown" {
+			t.Errorf("code %d has no name", c)
+		}
+	}
+	if CodeOf(nil) != CodeOK {
+		t.Error("CodeOf(nil) != CodeOK")
+	}
+	if CodeOK.Err() != nil {
+		t.Error("CodeOK.Err() != nil")
+	}
+	// Wrapped sentinels still map, and foreign errors degrade to internal.
+	if CodeOf(fmt.Errorf("ctx: %w", ErrOverloaded)) != CodeOverloaded {
+		t.Error("wrapped sentinel lost its code")
+	}
+	if CodeOf(errors.New("other")) != CodeInternal {
+		t.Error("foreign error should map to CodeInternal")
+	}
+	if Code(999).Err() != ErrInternal {
+		t.Error("unknown code should map to ErrInternal")
+	}
+}
+
+func TestStoreRegisterAndDuplicate(t *testing.T) {
+	st := NewStore(0)
+	if err := st.Register(NewSession("a", nil, nil, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	err := st.Register(NewSession("a", nil, nil, nil, nil))
+	if !errors.Is(err, ErrDuplicateSession) {
+		t.Fatalf("duplicate register err = %v", err)
+	}
+	if _, ok := st.Get("a"); !ok {
+		t.Fatal("session lost")
+	}
+	if !st.Remove("a") || st.Remove("a") {
+		t.Fatal("remove semantics broken")
+	}
+	if err := st.Register(NewSession("a", nil, nil, nil, nil)); err != nil {
+		t.Fatalf("re-register after remove: %v", err)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	st := NewStoreShards(1, 2)
+	for _, id := range []string{"a", "b"} {
+		if err := st.Register(NewSession(id, nil, nil, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := st.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if err := st.Register(NewSession("c", nil, nil, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := st.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := st.Get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	if st.Len() != 2 {
+		t.Errorf("Len = %d, want 2", st.Len())
+	}
+	if st.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions())
+	}
+}
+
+func TestStorePeekDoesNotTouchLRU(t *testing.T) {
+	st := NewStoreShards(1, 2)
+	for _, id := range []string{"a", "b"} {
+		if err := st.Register(NewSession(id, nil, nil, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Peek "a": unlike Get, this must leave "a" as the LRU victim.
+	if _, ok := st.Peek("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if _, ok := st.Peek("ghost"); ok {
+		t.Fatal("phantom session")
+	}
+	if err := st.Register(NewSession("c", nil, nil, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Peek("a"); ok {
+		t.Error("a survived eviction despite being LRU (Peek touched the list)")
+	}
+	if _, ok := st.Peek("b"); !ok {
+		t.Error("b should have survived")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	st := NewStore(0)
+	const goroutines, perG = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := fmt.Sprintf("s-%d-%d", g, i)
+				sess := NewSession(id, nil, nil, nil, []byte(id))
+				if err := st.Register(sess); err != nil {
+					t.Errorf("register %s: %v", id, err)
+					return
+				}
+				got, ok := st.Get(id)
+				if !ok || got.ID != id {
+					t.Errorf("get %s failed", id)
+					return
+				}
+				got.RecordBlock(64)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() != goroutines*perG {
+		t.Errorf("Len = %d, want %d", st.Len(), goroutines*perG)
+	}
+}
+
+func TestSessionRekeyAndStats(t *testing.T) {
+	sess := NewSession("s", nil, nil, nil, []byte("n1"))
+	if sess.RecordBlock(100) != 100 {
+		t.Error("RecordBlock accounting off")
+	}
+	sess.RecordBlock(50)
+	if got := sess.BytesSinceRekey(); got != 150 {
+		t.Errorf("BytesSinceRekey = %d, want 150", got)
+	}
+	if epoch := sess.Rekey(nil, []byte("n2")); epoch != 2 {
+		t.Errorf("epoch after rekey = %d, want 2", epoch)
+	}
+	if got := sess.BytesSinceRekey(); got != 0 {
+		t.Errorf("BytesSinceRekey after rekey = %d, want 0", got)
+	}
+	st := sess.Stats()
+	if st.Blocks != 2 || st.Bytes != 150 || st.Rekeys != 1 || st.Epoch != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	_, nonce, _ := sess.Keys()
+	if string(nonce) != "n2" {
+		t.Errorf("nonce = %q, want n2", nonce)
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	ctx := testContext(t)
+	const size = 2
+	pool := NewEvalPool(ctx, size, 1, nil)
+	if pool.Size() != size {
+		t.Fatalf("Size = %d", pool.Size())
+	}
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = pool.Do(func(w *Worker) error {
+				if w.Ev == nil {
+					t.Error("worker without evaluator")
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > size {
+		t.Errorf("peak concurrency %d exceeds pool size %d", p, size)
+	}
+}
+
+func TestPoolScratchAttachment(t *testing.T) {
+	ctx := testContext(t)
+	pool := NewEvalPool(ctx, 2, 1, func(i int) any { return i })
+	seen := map[int]bool{}
+	for i := 0; i < 2; i++ {
+		w := pool.Get()
+		seen[w.Scratch.(int)] = true
+		defer pool.Put(w)
+	}
+	if len(seen) != 2 {
+		t.Errorf("scratch not distinct per worker: %v", seen)
+	}
+}
+
+func TestSchedulerBackpressure(t *testing.T) {
+	ctx := testContext(t)
+	pool := NewEvalPool(ctx, 1, 1, nil)
+	sched := NewScheduler(pool, 1)
+	defer sched.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// First job occupies the single worker...
+	if err := sched.Submit(func(*Worker) { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...second fills the queue...
+	if err := sched.Submit(func(*Worker) {}); err != nil {
+		t.Fatal(err)
+	}
+	// ...third must be shed.
+	err := sched.Submit(func(*Worker) {})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expected ErrOverloaded, got %v", err)
+	}
+	if d := sched.QueueDepth(); d != 1 {
+		t.Errorf("QueueDepth = %d, want 1", d)
+	}
+	close(release)
+}
+
+func TestSchedulerDrainsOnClose(t *testing.T) {
+	ctx := testContext(t)
+	pool := NewEvalPool(ctx, 2, 1, nil)
+	sched := NewScheduler(pool, 32)
+	var done atomic.Int64
+	const jobs = 20
+	for i := 0; i < jobs; i++ {
+		if err := sched.Submit(func(*Worker) { done.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.Close()
+	if done.Load() != jobs {
+		t.Errorf("ran %d of %d queued jobs before Close returned", done.Load(), jobs)
+	}
+	if err := sched.Submit(func(*Worker) {}); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("Submit after Close = %v, want ErrOverloaded", err)
+	}
+	sched.Close() // idempotent
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"quhe/internal/he/ckks"
+)
+
+// Session is one client's serving state: the HE evaluation material it
+// registered, the current transciphering key (HE-encrypted, with its
+// nonce and epoch), and usage counters. Key material is swapped atomically
+// by Rekey while computes running on old snapshots finish consistently —
+// the epoch lets the protocol layer reject blocks masked under a stale
+// key instead of transciphering them into garbage.
+type Session struct {
+	// ID names the session; immutable.
+	ID string
+	// PK and RLK are the client's HE evaluation material; immutable.
+	PK  *ckks.PublicKey
+	RLK *ckks.RelinKey
+
+	mu     sync.RWMutex
+	encKey []*ckks.Ciphertext
+	nonce  []byte
+	epoch  uint64
+
+	blocks          atomic.Int64
+	bytes           atomic.Int64
+	bytesSinceRekey atomic.Int64
+	rekeys          atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a session's usage counters.
+type Stats struct {
+	// Blocks and Bytes count all work since registration.
+	Blocks int64
+	Bytes  int64
+	// BytesSinceRekey counts work under the current key (the rekey byte
+	// budget compares against this).
+	BytesSinceRekey int64
+	// Rekeys counts completed key rotations.
+	Rekeys int64
+	// Epoch is the current key epoch (1 on registration, +1 per rekey).
+	Epoch uint64
+}
+
+// NewSession builds a session at epoch 1 holding the given key material.
+func NewSession(id string, pk *ckks.PublicKey, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte) *Session {
+	return &Session{
+		ID: id, PK: pk, RLK: rlk,
+		encKey: encKey,
+		nonce:  append([]byte(nil), nonce...),
+		epoch:  1,
+	}
+}
+
+// Keys returns a consistent snapshot of the current transciphering key
+// material. The returned slices must not be mutated.
+func (s *Session) Keys() (encKey []*ckks.Ciphertext, nonce []byte, epoch uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.encKey, s.nonce, s.epoch
+}
+
+// Rekey installs fresh key material, bumps the epoch and resets the
+// per-key byte counter. Computes that already snapshotted the old keys
+// finish under them; new snapshots see only the new epoch. Returns the
+// new epoch.
+func (s *Session) Rekey(encKey []*ckks.Ciphertext, nonce []byte) uint64 {
+	s.mu.Lock()
+	s.encKey = encKey
+	s.nonce = append([]byte(nil), nonce...)
+	s.epoch++
+	epoch := s.epoch
+	s.mu.Unlock()
+	s.bytesSinceRekey.Store(0)
+	s.rekeys.Add(1)
+	return epoch
+}
+
+// RecordBlock accounts one processed block of the given byte size and
+// returns the bytes served under the current key.
+func (s *Session) RecordBlock(bytes int64) int64 {
+	s.blocks.Add(1)
+	s.bytes.Add(bytes)
+	return s.bytesSinceRekey.Add(bytes)
+}
+
+// BytesSinceRekey returns the bytes served under the current key.
+func (s *Session) BytesSinceRekey() int64 { return s.bytesSinceRekey.Load() }
+
+// Epoch returns the current key epoch.
+func (s *Session) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// Stats snapshots the usage counters.
+func (s *Session) Stats() Stats {
+	return Stats{
+		Blocks:          s.blocks.Load(),
+		Bytes:           s.bytes.Load(),
+		BytesSinceRekey: s.bytesSinceRekey.Load(),
+		Rekeys:          s.rekeys.Load(),
+		Epoch:           s.Epoch(),
+	}
+}

@@ -97,37 +97,85 @@ func (c *Cipher) DeriveKey(qkdKey []byte) ([]float64, error) {
 	return key, nil
 }
 
-// coeffBlock expands the public per-block coefficient vectors A, B, C
-// (each keyLen × slots) from ChaCha20 keyed by the public nonce. Both ends
-// compute it identically.
-func (c *Cipher) coeffBlock(nonce []byte, block uint32) (a, b, cc [][]float64, err error) {
+// Scratch holds the buffers one transciphering evaluation fills per
+// block: the raw ChaCha20 expansion, the three coefficient matrices and
+// the plaintext staging vector. A serving worker reuses one Scratch
+// across every block it processes instead of allocating ~3·keyLen·slots
+// floats per request. Not safe for concurrent use — pair one Scratch with
+// one evaluator (see serve.Worker).
+type Scratch struct {
+	raw       []byte
+	a, b, cc  [][]float64
+	plain     []float64
+	keyLen    int
+	slotCount int
+}
+
+// NewScratch allocates per-worker transciphering buffers for this cipher.
+func (c *Cipher) NewScratch() *Scratch {
+	slots := c.Slots()
+	alloc := func() [][]float64 {
+		m := make([][]float64, c.keyLen)
+		for j := range m {
+			m[j] = make([]float64, slots)
+		}
+		return m
+	}
+	return &Scratch{
+		raw:       make([]byte, 3*c.keyLen*slots*2),
+		a:         alloc(),
+		b:         alloc(),
+		cc:        alloc(),
+		plain:     make([]float64, slots),
+		keyLen:    c.keyLen,
+		slotCount: slots,
+	}
+}
+
+// coeffBlockInto expands the public per-block coefficient vectors A, B, C
+// (each keyLen × slots) from ChaCha20 keyed by the public nonce into the
+// scratch buffers. Both ends compute it identically.
+func (c *Cipher) coeffBlockInto(nonce []byte, block uint32, sc *Scratch) error {
+	if sc.keyLen != c.keyLen || sc.slotCount != c.Slots() {
+		return fmt.Errorf("transcipher: scratch sized %d×%d, cipher needs %d×%d",
+			sc.keyLen, sc.slotCount, c.keyLen, c.Slots())
+	}
 	pub := make([]byte, chacha20.KeySize)
 	copy(pub, "quhe-transcipher-public-expand-1") // public constant, 32 bytes
 	nn := make([]byte, chacha20.NonceSize)
 	copy(nn, nonce)
 	stream, err := chacha20.New(pub, nn, block*3)
 	if err != nil {
-		return nil, nil, nil, err
+		return err
 	}
 	slots := c.Slots()
-	raw := make([]byte, 3*c.keyLen*slots*2)
-	stream.Keystream(raw)
+	stream.Keystream(sc.raw)
 	// Entries are normalized by keyLen so |A·k|, |B·k|, |C·k| ≤ 1: the
 	// homomorphic evaluation then stays well inside the modulus headroom.
 	norm := 32768 * float64(c.keyLen)
-	next := func(off int) [][]float64 {
-		m := make([][]float64, c.keyLen)
+	fill := func(m [][]float64, off int) {
 		for j := 0; j < c.keyLen; j++ {
-			m[j] = make([]float64, slots)
 			for s := 0; s < slots; s++ {
-				v := int16(binary.LittleEndian.Uint16(raw[off+2*(j*slots+s):]))
+				v := int16(binary.LittleEndian.Uint16(sc.raw[off+2*(j*slots+s):]))
 				m[j][s] = float64(v) / norm
 			}
 		}
-		return m
 	}
 	stride := c.keyLen * slots * 2
-	return next(0), next(stride), next(2 * stride), nil
+	fill(sc.a, 0)
+	fill(sc.b, stride)
+	fill(sc.cc, 2*stride)
+	return nil
+}
+
+// coeffBlock is the allocating form of coeffBlockInto for one-shot
+// callers (client-side masking, tests).
+func (c *Cipher) coeffBlock(nonce []byte, block uint32) (a, b, cc [][]float64, err error) {
+	sc := c.NewScratch()
+	if err := c.coeffBlockInto(nonce, block, sc); err != nil {
+		return nil, nil, nil, err
+	}
+	return sc.a, sc.b, sc.cc, nil
 }
 
 // Keystream computes the plaintext keystream block: the client-side (and
@@ -313,12 +361,22 @@ func (c *Cipher) Transcipher(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*c
 // This is the linear-layer fusion used by RtF-style pipelines. |w| should
 // stay ≤ ~2 to preserve the evaluation's modulus headroom.
 func (c *Cipher) TranscipherAffine(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte, block uint32, masked, weights, bias []float64) (*ckks.Ciphertext, error) {
+	return c.TranscipherAffineWith(nil, ev, rlk, encKey, nonce, block, masked, weights, bias)
+}
+
+// TranscipherAffineWith is TranscipherAffine with caller-provided scratch
+// buffers — the serving hot path, where each pool worker reuses one
+// Scratch across every block it processes. A nil scratch allocates a
+// fresh one (equivalent to TranscipherAffine).
+func (c *Cipher) TranscipherAffineWith(sc *Scratch, ev *ckks.Evaluator, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte, block uint32, masked, weights, bias []float64) (*ckks.Ciphertext, error) {
 	slots := c.Slots()
 	if len(masked) > slots || len(weights) > slots || len(bias) > slots {
 		return nil, fmt.Errorf("transcipher: affine inputs exceed %d slots", slots)
 	}
-	a, b, cc, err := c.coeffBlock(nonce, block)
-	if err != nil {
+	if sc == nil {
+		sc = c.NewScratch()
+	}
+	if err := c.coeffBlockInto(nonce, block, sc); err != nil {
 		return nil, err
 	}
 	wAt := func(s int) float64 {
@@ -331,24 +389,27 @@ func (c *Cipher) TranscipherAffine(ev *ckks.Evaluator, rlk *ckks.RelinKey, encKe
 	for j := 0; j < c.keyLen; j++ {
 		for s := 0; s < slots; s++ {
 			w := wAt(s)
-			a[j][s] *= w
-			b[j][s] *= w
+			sc.a[j][s] *= w
+			sc.b[j][s] *= w
 		}
 	}
-	ks, err := c.evalKeystream(ev, rlk, encKey, a, b, cc)
+	ks, err := c.evalKeystream(ev, rlk, encKey, sc.a, sc.b, sc.cc)
 	if err != nil {
 		return nil, err
 	}
-	plain := make([]float64, slots)
+	// Every slot is assigned (not just the covered prefix) so reused
+	// scratch never leaks a previous block's staging values.
 	for s := 0; s < slots; s++ {
+		v := 0.0
 		if s < len(masked) {
-			plain[s] = wAt(s) * masked[s]
+			v = wAt(s) * masked[s]
 		}
 		if s < len(bias) {
-			plain[s] += bias[s]
+			v += bias[s]
 		}
+		sc.plain[s] = v
 	}
-	pt, err := c.encoder.EncodeRealAtLevel(plain, ks.Scale, ks.Level)
+	pt, err := c.encoder.EncodeRealAtLevel(sc.plain, ks.Scale, ks.Level)
 	if err != nil {
 		return nil, err
 	}

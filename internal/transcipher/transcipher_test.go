@@ -302,6 +302,78 @@ func TestTranscipheredComputation(t *testing.T) {
 	}
 }
 
+// TestScratchReuseMatchesAllocating drives the serving hot path: one
+// Scratch reused across several blocks must produce bit-identical
+// ciphertexts to the allocating TranscipherAffine, including blocks that
+// cover only a prefix of the slots (stale staging data must not leak).
+func TestScratchReuseMatchesAllocating(t *testing.T) {
+	c, ctx := testCipher(t)
+	kg := ckks.NewKeyGenerator(ctx, 21)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	enc := ckks.NewEncoder(ctx)
+
+	key, err := c.DeriveKey([]byte("scratch-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evA := ckks.NewEvaluator(ctx, 22)
+	encKey, err := c.EncryptKey(evA, pk, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evB := ckks.NewEvaluator(ctx, 23)
+
+	weights := []float64{0.5, -1, 0.25, 2}
+	bias := []float64{0.1, 0, -0.1, 0.2}
+	nonce := []byte("scratch-nonce")
+	sc := c.NewScratch()
+	rng := rand.New(rand.NewSource(24))
+	for block := uint32(0); block < 3; block++ {
+		// Vary the covered prefix so scratch reuse is exercised on
+		// partially filled blocks too.
+		n := c.Slots() >> block
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()*2 - 1
+		}
+		masked, err := c.Mask(key, nonce, block, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.TranscipherAffine(evA, rlk, encKey, nonce, block, masked, weights, bias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.TranscipherAffineWith(sc, evB, rlk, encKey, nonce, block, masked, weights, bias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Level != want.Level || got.Scale != want.Scale {
+			t.Fatalf("block %d: level/scale mismatch", block)
+		}
+		for i := range want.C0 {
+			if got.C0[i] != want.C0[i] || got.C1[i] != want.C1[i] {
+				t.Fatalf("block %d: ciphertext differs at coeff %d", block, i)
+			}
+		}
+		_ = enc
+	}
+	_ = sk
+}
+
+func TestScratchSizeMismatchRejected(t *testing.T) {
+	c, ctx := testCipher(t)
+	other, err := New(ctx, 4) // different keyLen → differently sized scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.coeffBlockInto([]byte("n"), 0, other.NewScratch()); err == nil {
+		t.Error("foreign scratch accepted")
+	}
+}
+
 func TestParamsBuiltIn(t *testing.T) {
 	p := Params()
 	if p.Depth < 2 {
