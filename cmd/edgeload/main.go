@@ -40,6 +40,7 @@ type config struct {
 	Workers    int           `json:"workers"`
 	QueueDepth int           `json:"queue_depth"`
 	RekeyBytes int64         `json:"rekey_bytes"`
+	Proto      string        `json:"proto"`
 }
 
 type bucket struct {
@@ -51,6 +52,8 @@ type summary struct {
 	Config     config   `json:"config"`
 	DurationS  float64  `json:"duration_s"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"numcpu"`
+	Protocol   string   `json:"protocol"`
 	Requests   int64    `json:"requests"`
 	Served     int64    `json:"served"`
 	Shed       int64    `json:"shed_overloaded"`
@@ -159,11 +162,24 @@ func main() {
 	flag.IntVar(&cfg.Workers, "workers", 0, "server evaluator-pool size (in-process server only; 0: GOMAXPROCS)")
 	flag.IntVar(&cfg.QueueDepth, "queue", 0, "server queue depth (in-process server only; 0: 4×workers)")
 	flag.Int64Var(&cfg.RekeyBytes, "rekey-bytes", 0, "per-key byte budget (in-process server only; 0: no rekeying)")
+	flag.StringVar(&cfg.Proto, "proto", "auto", "wire protocol: auto (v3 with gob fallback), v3 (required), gob (forced legacy)")
 	jsonOut := flag.String("json", "-", "write the JSON summary to this file (\"-\": stdout, \"\": suppress)")
 	flag.Parse()
 
 	if cfg.Clients < 1 || cfg.Slots < 1 || cfg.Duration <= 0 {
 		fmt.Fprintln(os.Stderr, "edgeload: -clients, -slots and -duration must be positive")
+		os.Exit(2)
+	}
+	var proto edge.Protocol
+	switch cfg.Proto {
+	case "auto":
+		proto = edge.ProtoAuto
+	case "v3":
+		proto = edge.ProtoV3
+	case "gob":
+		proto = edge.ProtoGob
+	default:
+		fmt.Fprintf(os.Stderr, "edgeload: unknown -proto %q (want auto, v3 or gob)\n", cfg.Proto)
 		os.Exit(2)
 	}
 
@@ -195,7 +211,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
 			os.Exit(1)
 		}
-		c, err := edge.DialQKD(addr, id, kc, int64(7+i))
+		c, err := edge.DialQKDWith(addr, id, kc, int64(7+i), edge.DialConfig{Protocol: proto})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgeload: dial %s: %v\n", id, err)
 			os.Exit(1)
@@ -307,6 +323,8 @@ func main() {
 		Config:     cfg,
 		DurationS:  elapsed.Seconds(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Protocol:   clients[0].Protocol(),
 		Requests:   requests.Load(),
 		Served:     rec.served.Load(),
 		Shed:       rec.shed.Load(),

@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"quhe/internal/he/ckks"
 	"quhe/internal/qkd"
@@ -20,18 +22,54 @@ import (
 // per transciphering key (initial setup and every rekey).
 const RekeyWithdrawBytes = 32
 
+// Protocol selects the wire protocol a Client dials with.
+type Protocol int
+
+const (
+	// ProtoAuto negotiates the framed v3 protocol and falls back to gob
+	// (v2) when the server predates it. The default.
+	ProtoAuto Protocol = iota
+	// ProtoV3 requires protocol v3: dialing an older server fails with
+	// ErrProtocolMismatch instead of falling back.
+	ProtoV3
+	// ProtoGob forces the legacy gob (v2) protocol even against a v3
+	// server.
+	ProtoGob
+)
+
+// DialConfig carries optional Dial knobs.
+type DialConfig struct {
+	// Protocol selects the wire protocol; zero value is ProtoAuto.
+	Protocol Protocol
+}
+
+// negotiateTimeout bounds the wait for the server's v3 hello ack. Legacy
+// servers close the connection as soon as the hello fails to gob-decode,
+// so the deadline only bites against a hung peer.
+const negotiateTimeout = 5 * time.Second
+
 // Client is a QuHE edge client node: it owns the HE secret key, masks data
 // under the QKD-derived symmetric key, and decrypts the server's encrypted
-// results. One Client drives one TCP connection using the pipelined v2
-// protocol: ComputeAsync/ComputeBatch keep multiple requests in flight and
+// results. One Client drives one TCP connection, by default over the
+// framed v3 protocol (falling back to pipelined gob v2 against older
+// servers): ComputeAsync/ComputeBatch keep multiple requests in flight and
 // a reader goroutine matches out-of-order replies by request ID. Safe for
 // concurrent use.
 type Client struct {
 	sessionID string
 	conn      net.Conn
 
+	// proto is "v3" or "gob" once negotiated.
+	proto string
+	// v3 transport: framed writes through fw, framed reads off br.
+	fw *frameWriter
+	br *bufio.Reader
+	// gob transport: writeMu serializes enc.
 	writeMu sync.Mutex
 	enc     *gob.Encoder
+
+	closeOnce sync.Once
+	closeErr  error
 
 	ctx     *ckks.Context
 	cipher  *transcipher.Cipher
@@ -56,7 +94,10 @@ type Client struct {
 	nextID  atomic.Uint64
 	pendMu  sync.Mutex
 	pending map[uint64]chan *replyEnvelope
-	readErr error
+	// batchAsm assembles streamed v3 batch items by request ID until the
+	// batch trailer arrives.
+	batchAsm map[uint64]*BatchReply
+	readErr  error
 
 	// statMu guards the modeled-delay echoes and the rekey advice.
 	// rekeyAdvisedEpoch is the key epoch the server's advice applied to
@@ -77,7 +118,13 @@ type Client struct {
 // the transciphering key from qkdKey (e.g. material withdrawn from the
 // qkd.KeyCenter), and registers the session.
 func Dial(addr, sessionID string, qkdKey []byte, seed int64) (*Client, error) {
-	return dial(addr, sessionID, qkdKey, nil, seed)
+	return dial(addr, sessionID, qkdKey, nil, seed, DialConfig{})
+}
+
+// DialWith is Dial with explicit configuration (e.g. a forced wire
+// protocol).
+func DialWith(addr, sessionID string, qkdKey []byte, seed int64, cfg DialConfig) (*Client, error) {
+	return dial(addr, sessionID, qkdKey, nil, seed, cfg)
 }
 
 // DialQKD is Dial with the key plane attached: the initial transciphering
@@ -85,6 +132,11 @@ func Dial(addr, sessionID string, qkdKey []byte, seed int64) (*Client, error) {
 // centre stays attached so Rekey (and the automatic rekey on
 // serve.ErrRekeyRequired) can draw fresh material.
 func DialQKD(addr, sessionID string, kc *qkd.KeyCenter, seed int64) (*Client, error) {
+	return DialQKDWith(addr, sessionID, kc, seed, DialConfig{})
+}
+
+// DialQKDWith is DialQKD with explicit configuration.
+func DialQKDWith(addr, sessionID string, kc *qkd.KeyCenter, seed int64, cfg DialConfig) (*Client, error) {
 	if kc == nil {
 		return nil, errors.New("edge: nil key centre")
 	}
@@ -92,10 +144,10 @@ func DialQKD(addr, sessionID string, kc *qkd.KeyCenter, seed int64) (*Client, er
 	if err != nil {
 		return nil, fmt.Errorf("edge: qkd withdraw: %w", err)
 	}
-	return dial(addr, sessionID, material, kc, seed)
+	return dial(addr, sessionID, material, kc, seed, cfg)
 }
 
-func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64) (*Client, error) {
+func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, dcfg DialConfig) (*Client, error) {
 	if sessionID == "" {
 		return nil, errors.New("edge: empty session id")
 	}
@@ -125,14 +177,14 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64) 
 		return nil, fmt.Errorf("edge: encrypt key: %w", err)
 	}
 
-	conn, err := net.Dial("tcp", addr)
+	conn, br, proto, err := negotiate(addr, dcfg.Protocol)
 	if err != nil {
-		return nil, fmt.Errorf("edge: dial: %w", err)
+		return nil, err
 	}
 	c := &Client{
 		sessionID: sessionID,
 		conn:      conn,
-		enc:       gob.NewEncoder(conn),
+		proto:     proto,
 		ctx:       ctx,
 		cipher:    cipher,
 		encoder:   ckks.NewEncoder(ctx),
@@ -144,6 +196,13 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64) 
 		nonce:     nonceFor(sessionID, 1),
 		epoch:     1,
 		pending:   make(map[uint64]chan *replyEnvelope),
+	}
+	if proto == "v3" {
+		c.fw = newFrameWriter(conn, c.teardown, nil)
+		c.br = br
+		c.batchAsm = make(map[uint64]*BatchReply)
+	} else {
+		c.enc = gob.NewEncoder(conn)
 	}
 	go c.readLoop()
 
@@ -157,18 +216,61 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64) 
 		Nonce:     c.nonce,
 	}})
 	if err != nil {
-		conn.Close()
+		c.teardown()
 		return nil, fmt.Errorf("edge: setup: %w", err)
 	}
 	if reply.Setup == nil {
-		conn.Close()
+		c.teardown()
 		return nil, errors.New("edge: setup rejected: missing reply")
 	}
 	if !reply.Setup.OK {
-		conn.Close()
+		c.teardown()
 		return nil, fmt.Errorf("edge: setup rejected: %w", replyError(reply.Setup.Code, reply.Setup.Err))
 	}
 	return c, nil
+}
+
+// negotiate establishes the transport for the requested protocol. For v3
+// it performs the hello handshake: a server that acks speaks v3; one that
+// kills the connection (a gob-era server choking on the frame magic)
+// triggers a redial on the gob path under ProtoAuto, or
+// ErrProtocolMismatch under ProtoV3.
+func negotiate(addr string, p Protocol) (net.Conn, *bufio.Reader, string, error) {
+	dialGob := func() (net.Conn, *bufio.Reader, string, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("edge: dial: %w", err)
+		}
+		return conn, nil, "gob", nil
+	}
+	if p == ProtoGob {
+		return dialGob()
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("edge: dial: %w", err)
+	}
+	hello := beginFrame(nil, frameHello, 0)
+	hello, _ = finishFrame(hello, 0)
+	var ftype byte
+	_, werr := conn.Write(hello)
+	err = werr
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	if err == nil {
+		conn.SetReadDeadline(time.Now().Add(negotiateTimeout))
+		buf := getFrameBuf()
+		ftype, _, _, err = readFrame(br, buf)
+		putFrameBuf(buf)
+		conn.SetReadDeadline(time.Time{})
+	}
+	if err == nil && ftype == frameHello {
+		return conn, br, "v3", nil
+	}
+	conn.Close()
+	if p == ProtoV3 {
+		return nil, nil, "", fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
+	}
+	return dialGob()
 }
 
 // nonceFor derives the per-epoch masking nonce: epoch and a session-ID
@@ -199,32 +301,124 @@ func replyError(code serve.Code, detail string) error {
 	return fmt.Errorf("edge: server: %w: %s", sentinel, detail)
 }
 
+// teardown closes the connection exactly once; the writer's failure path,
+// the read loop and Close all funnel through it, so there is no
+// double-close race between them.
+func (c *Client) teardown() {
+	c.closeOnce.Do(func() { c.closeErr = c.conn.Close() })
+}
+
+// failPending fails every in-flight request with err (the first failure
+// wins) and drops any half-assembled batches.
+func (c *Client) failPending(err error) {
+	c.pendMu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	for id := range c.batchAsm {
+		delete(c.batchAsm, id)
+	}
+	c.pendMu.Unlock()
+}
+
+// deliver hands a reply to the request waiting on its ID.
+func (c *Client) deliver(reply *replyEnvelope) {
+	c.pendMu.Lock()
+	ch := c.pending[reply.ID]
+	delete(c.pending, reply.ID)
+	c.pendMu.Unlock()
+	if ch != nil {
+		ch <- reply
+	}
+}
+
 // readLoop dispatches replies to their waiting requests by ID. On
-// connection error it fails every pending request.
+// connection error it fails every pending request with an error wrapping
+// serve.ErrConnClosed, so callers can branch on the failure class.
 func (c *Client) readLoop() {
+	if c.proto == "v3" {
+		c.readLoopV3()
+		return
+	}
 	dec := gob.NewDecoder(c.conn)
 	for {
 		reply := new(replyEnvelope)
 		if err := dec.Decode(reply); err != nil {
-			c.pendMu.Lock()
-			if c.readErr == nil {
-				c.readErr = fmt.Errorf("edge: recv: %w", err)
-			}
-			for id, ch := range c.pending {
-				delete(c.pending, id)
-				close(ch)
-			}
-			c.pendMu.Unlock()
+			c.failPending(fmt.Errorf("edge: recv: %w: %v", serve.ErrConnClosed, err))
+			c.teardown()
 			return
 		}
-		c.pendMu.Lock()
-		ch := c.pending[reply.ID]
-		delete(c.pending, reply.ID)
-		c.pendMu.Unlock()
-		if ch != nil {
-			ch <- reply
+		c.deliver(reply)
+	}
+}
+
+func (c *Client) readLoopV3() {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	for {
+		ftype, id, payload, err := readFrame(c.br, buf)
+		if err == nil {
+			err = c.handleFrameV3(ftype, id, payload)
+		}
+		if err != nil {
+			c.failPending(fmt.Errorf("edge: recv: %w: %v", serve.ErrConnClosed, err))
+			c.teardown()
+			return
 		}
 	}
+}
+
+func (c *Client) handleFrameV3(ftype byte, id uint64, payload []byte) error {
+	switch ftype {
+	case frameSetupReply:
+		rep, err := decodeSetupReply(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(&replyEnvelope{ID: id, Setup: rep})
+	case frameComputeReply:
+		rep, err := decodeComputeReply(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(&replyEnvelope{ID: id, Compute: rep})
+	case frameRekeyReply:
+		rep, err := decodeRekeyReply(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(&replyEnvelope{ID: id, Rekey: rep})
+	case frameBatchItem:
+		idx, item, err := decodeBatchItem(payload)
+		if err != nil {
+			return err
+		}
+		c.pendMu.Lock()
+		if asm := c.batchAsm[id]; asm != nil && idx >= 0 && idx < len(asm.Items) {
+			asm.Items[idx] = item
+		}
+		c.pendMu.Unlock()
+	case frameBatchDone:
+		rep, err := decodeBatchDone(payload)
+		if err != nil {
+			return err
+		}
+		c.pendMu.Lock()
+		asm := c.batchAsm[id]
+		delete(c.batchAsm, id)
+		c.pendMu.Unlock()
+		if asm != nil {
+			rep.Items = asm.Items
+		}
+		c.deliver(&replyEnvelope{ID: id, Batch: rep})
+	default:
+		return fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, ftype)
+	}
+	return nil
 }
 
 // send registers a fresh request ID, stamps and encodes the envelope, and
@@ -240,18 +434,42 @@ func (c *Client) send(env *envelope) (chan *replyEnvelope, error) {
 		return nil, err
 	}
 	c.pending[id] = ch
+	if c.proto == "v3" && env.Batch != nil {
+		// Pre-size the assembly buffer so streamed items have a slot.
+		c.batchAsm[id] = &BatchReply{Items: make([]BatchItem, len(env.Batch.Blocks))}
+	}
 	c.pendMu.Unlock()
 
-	c.writeMu.Lock()
-	err := c.enc.Encode(env)
-	c.writeMu.Unlock()
+	var err error
+	if c.proto == "v3" {
+		err = c.sendV3(id, env)
+	} else {
+		c.writeMu.Lock()
+		err = c.enc.Encode(env)
+		c.writeMu.Unlock()
+	}
 	if err != nil {
 		c.pendMu.Lock()
 		delete(c.pending, id)
+		delete(c.batchAsm, id)
 		c.pendMu.Unlock()
 		return nil, fmt.Errorf("edge: send: %w", err)
 	}
 	return ch, nil
+}
+
+func (c *Client) sendV3(id uint64, env *envelope) error {
+	switch {
+	case env.Setup != nil:
+		return c.fw.sendFrame(frameSetup, id, func(b []byte) []byte { return appendSetupRequest(b, env.Setup) })
+	case env.Compute != nil:
+		return c.fw.sendFrame(frameCompute, id, func(b []byte) []byte { return appendComputeRequest(b, env.Compute) })
+	case env.Batch != nil:
+		return c.fw.sendFrame(frameBatch, id, func(b []byte) []byte { return appendBatchRequest(b, env.Batch) })
+	case env.Rekey != nil:
+		return c.fw.sendFrame(frameRekey, id, func(b []byte) []byte { return appendRekeyRequest(b, env.Rekey) })
+	}
+	return errors.New("edge: empty envelope")
 }
 
 func (c *Client) wait(ch chan *replyEnvelope) (*replyEnvelope, error) {
@@ -276,8 +494,15 @@ func (c *Client) roundTrip(env *envelope) (*replyEnvelope, error) {
 	return c.wait(ch)
 }
 
-// Close tears down the connection; pending requests fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears down the connection; pending requests fail with an error
+// wrapping serve.ErrConnClosed.
+func (c *Client) Close() error {
+	c.teardown()
+	return c.closeErr
+}
+
+// Protocol reports the negotiated wire protocol: "v3" or "gob".
+func (c *Client) Protocol() string { return c.proto }
 
 // Slots returns the per-block capacity.
 func (c *Client) Slots() int { return c.cipher.Slots() }
@@ -421,10 +646,13 @@ func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
 }
 
 // ComputeBatch masks blocks start..start+len(data)-1 and uploads them as
-// one BatchRequest the server fans out across its pool. Results arrive in
-// input order; items can fail independently (e.g. shed with
-// serve.ErrOverloaded), in which case their slots are nil and the first
-// failure is returned as a typed error alongside the partial results.
+// one BatchRequest the server fans out across its pool. On the v3
+// protocol the per-item results stream back as each worker finishes (the
+// call still returns once the whole batch completes); on gob the reply
+// arrives as one buffered message. Results are in input order; items can
+// fail independently (e.g. shed with serve.ErrOverloaded), in which case
+// their slots are nil and the first failure is returned as a typed error
+// alongside the partial results.
 func (c *Client) ComputeBatch(start uint32, data [][]float64) ([][]float64, error) {
 	n := len(data)
 	if n == 0 {
@@ -474,7 +702,11 @@ func (c *Client) ComputeBatch(start uint32, data [][]float64) ([][]float64, erro
 		item := &rep.Items[i]
 		if item.Code != serve.CodeOK || item.Result == nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("edge: batch item %d: %w", i, replyError(item.Code, item.Err))
+				itemErr := replyError(item.Code, item.Err)
+				if itemErr == nil {
+					itemErr = errors.New("missing result")
+				}
+				firstErr = fmt.Errorf("edge: batch item %d: %w", i, itemErr)
 			}
 			continue
 		}

@@ -1,0 +1,84 @@
+// Package edge implements a runnable distributed version of the QuHE
+// system model (Fig. 1): a TCP edge server and client nodes executing the
+// full pipeline — QKD-derived symmetric keys, client-side masking
+// (symmetric encryption), upload, server-side transciphering into CKKS, and
+// encrypted inference whose result only the client can decrypt.
+//
+// # Serving architecture
+//
+// The server is a thin protocol shell over the multi-tenant serving
+// runtime in internal/serve. A request flows
+//
+//	connection → serve.Store (sharded sessions, LRU-capped)
+//	           → serve.Scheduler (bounded queue, ErrOverloaded backpressure)
+//	           → serve.EvalPool (per-worker evaluator + transcipher scratch)
+//	           → transcipher/ckks core
+//
+// so N sessions cost key material only, while evaluator memory and
+// compute parallelism are bounded by the worker pool.
+//
+// # Wire protocol
+//
+// Three generations share one listen port. The server sniffs the
+// generation from a connection's first bytes: protocol v3 opens with the
+// frame magic 0xAD 0x51 — a byte pair gob never emits at stream start —
+// and everything else is served on the legacy gob path.
+//
+//   - v1 (seed protocol): gob envelopes, ID 0, Setup/Compute only, one
+//     synchronous request per round trip, replies in order. Still
+//     accepted — v1 requests run on the shared pool with blocking
+//     checkout and are never shed.
+//
+//   - v2: gob envelopes with nonzero request IDs allowing multiple
+//     in-flight requests per connection and out-of-order replies matched
+//     by ID; BatchCompute fans a group of blocks out across the worker
+//     pool (one buffered reply); Rekey installs fresh QKD-derived key
+//     material; replies carry typed serve.Code values next to the
+//     human-readable Err detail. Gob matches struct fields by name and
+//     ignores unknown fields, which is what keeps v1 and v2 peers
+//     interoperable on one decoder.
+//
+//   - v3: a hand-rolled, length-prefixed binary framing that removes
+//     gob's reflection and per-coefficient varint encoding from the hot
+//     path. Every frame is
+//
+//     offset 0   magic    0xAD 0x51
+//     offset 2   version  0x03
+//     offset 3   type     hello, setup, compute, batch item, ...
+//     offset 4   reqID    uint64, little-endian
+//     offset 12  length   uint32 payload byte count
+//     offset 16  payload
+//
+//     HE payloads (ciphertexts, keys) travel as raw little-endian uint64
+//     coefficient runs via the ckks/ring AppendBinary/DecodeFrom codecs:
+//     encode and decode are reflection-free, allocation-free in steady
+//     state, and bit-identical to the gob representation. A v3 connection
+//     opens with a client hello frame and a server ack; a client dialing
+//     an older server (ProtoAuto) detects the dead hello and redials on
+//     the gob path.
+//
+// v3 BatchCompute is streaming: the server frames and flushes each
+// block's reply the moment its worker finishes (frameBatchItem, out of
+// order) and closes the batch with a frameBatchDone trailer carrying the
+// aggregate modeled costs, so giant batches never buffer whole replies.
+// A per-connection write mutex interleaves concurrent senders at frame
+// granularity, keeping one batch from starving pipelined requests on the
+// same connection.
+//
+// # Pooled buffers and ownership
+//
+// Frames are built in and read into sync.Pool buffers. The rule: a
+// decoded value that aliases a pooled buffer is valid only until the next
+// frame touches that buffer, so everything the payload decoders return —
+// strings, nonces, masked slices, coefficients — is copied out, and
+// ciphertexts or keys destined for retention (session key material,
+// results handed to callers) are decoded into fresh storage. Symmetric
+// rule on the ckks side: Ciphertext.DecodeFrom reuses its receiver's
+// coefficient storage, so a caller decoding into a pooled receiver must
+// not retain the result past the receiver's reuse — see the wire
+// conventions in internal/he/ckks/wire.go.
+//
+// Transmission and computation delays are modeled (reported in replies
+// using the paper's cost formulas) rather than slept, so tests and
+// examples run fast.
+package edge

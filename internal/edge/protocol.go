@@ -1,47 +1,9 @@
-// Package edge implements a runnable distributed version of the QuHE
-// system model (Fig. 1): a TCP edge server and client nodes executing the
-// full pipeline — QKD-derived symmetric keys, client-side masking
-// (symmetric encryption), upload, server-side transciphering into CKKS, and
-// encrypted inference whose result only the client can decrypt.
-//
-// # Serving architecture
-//
-// The server is a thin protocol shell over the multi-tenant serving
-// runtime in internal/serve. A request flows
-//
-//	connection → serve.Store (sharded sessions, LRU-capped)
-//	           → serve.Scheduler (bounded queue, ErrOverloaded backpressure)
-//	           → serve.EvalPool (per-worker evaluator + transcipher scratch)
-//	           → transcipher/ckks core
-//
-// so N sessions cost key material only, while evaluator memory and
-// compute parallelism are bounded by the worker pool.
-//
-// # Wire protocol
-//
-// Gob-encoded envelopes over a single TCP connection per client. Two
-// generations share the wire:
-//
-//   - v1 (seed protocol): envelope ID 0, Setup/Compute only, one
-//     synchronous request per round trip, replies in order. Still
-//     accepted — v1 requests run on the shared pool with blocking
-//     checkout and are never shed.
-//   - v2: nonzero request IDs allow multiple in-flight requests per
-//     connection with out-of-order replies matched by ID; BatchCompute
-//     fans a group of blocks out across the worker pool; Rekey installs
-//     fresh QKD-derived key material after the configured byte budget;
-//     replies carry typed serve.Code values next to the human-readable
-//     Err detail so clients can branch on failures (errors.Is against the
-//     serve sentinels).
-//
-// Gob matches struct fields by name and ignores unknown fields, which is
-// what makes the two generations interoperable: v1 peers simply never set
-// (or see) the v2 fields.
-//
-// Transmission and computation delays are modeled (reported in replies
-// using the paper's cost formulas) rather than slept, so tests and
-// examples run fast.
 package edge
+
+// This file holds the message types shared by every protocol generation.
+// On the gob (v1/v2) path these structs are the wire format; on the
+// framed v3 path they are marshalled by the hand-rolled codecs in
+// wire.go. See doc.go for the protocol generations and the frame layout.
 
 import (
 	"quhe/internal/he/ckks"

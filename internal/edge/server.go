@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"quhe/internal/costmodel"
 	"quhe/internal/he/ckks"
@@ -49,6 +51,11 @@ type ServerConfig struct {
 	// serve.CodeRekeyRequired until the client rekeys. 0 disables
 	// enforcement.
 	RekeyBytes int64
+	// LegacyGobOnly disables the framed v3 protocol, emulating a pre-v3
+	// server: every connection is served on the gob path, and v3 hellos
+	// fail to gob-decode so v3 clients fall back. Exists for
+	// compatibility testing; leave false in production.
+	LegacyGobOnly bool
 }
 
 // Server is the QuHE edge server: it accepts client sessions, transciphers
@@ -179,17 +186,19 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// connWriter serializes reply encoding: with pipelined requests, worker
-// goroutines and the decode loop reply concurrently on one connection. An
-// encode failure poisons the gob stream, so the writer tears the
-// connection down — the client's pending requests then fail with a
-// connection error instead of hanging on replies that will never arrive.
+// connWriter serializes gob reply encoding: with pipelined requests,
+// worker goroutines and the decode loop reply concurrently on one
+// connection. An encode failure poisons the gob stream, so the writer
+// tears the connection down — exactly once, through the teardown closure
+// shared with the read loop — and the client's pending requests then fail
+// with a connection error instead of hanging on replies that will never
+// arrive.
 type connWriter struct {
-	mu     sync.Mutex
-	enc    *gob.Encoder
-	conn   net.Conn
-	failed bool
-	logf   func(string, ...interface{})
+	mu       sync.Mutex
+	enc      *gob.Encoder
+	failed   bool
+	teardown func()
+	logf     func(string, ...interface{})
 }
 
 func (w *connWriter) send(reply *replyEnvelope) {
@@ -205,14 +214,33 @@ func (w *connWriter) send(reply *replyEnvelope) {
 	w.mu.Unlock()
 	if err != nil {
 		w.logf("edge: encode: %v", err)
-		w.conn.Close()
+		w.teardown()
 	}
 }
 
+// serveConn sniffs the protocol generation from the connection's first
+// bytes: v3 clients lead with the frame magic (bytes gob never emits at
+// stream start), everything else is a gob v1/v2 peer. Both paths share
+// one close-once teardown so a writer-side failure and the read loop's
+// exit cannot double-close the connection.
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	cw := &connWriter{enc: gob.NewEncoder(conn), conn: conn, logf: s.cfg.Logf}
+	var once sync.Once
+	teardown := func() { once.Do(func() { conn.Close() }) }
+	defer teardown()
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	if !s.cfg.LegacyGobOnly {
+		if first, err := br.Peek(2); err == nil &&
+			first[0] == frameMagic0 && first[1] == frameMagic1 {
+			s.serveV3(conn, br, teardown)
+			return
+		}
+	}
+	s.serveGob(br, conn, teardown)
+}
+
+func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
+	dec := gob.NewDecoder(br)
+	cw := &connWriter{enc: gob.NewEncoder(conn), teardown: teardown, logf: s.cfg.Logf}
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
@@ -234,6 +262,89 @@ func (s *Server) serveConn(conn net.Conn) {
 			cw.send(&replyEnvelope{ID: env.ID,
 				Setup: &SetupReply{Err: "empty request", Code: serve.CodeBadRequest}})
 		}
+	}
+}
+
+// serveV3 drives one framed v3 connection: hello handshake, then a decode
+// loop dispatching request frames. Replies go through one frameWriter per
+// connection; batch items stream back as soon as each worker finishes.
+func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	ftype, _, _, err := readFrame(br, buf)
+	if err != nil || ftype != frameHello {
+		s.cfg.Logf("edge: v3 handshake: type %d err %v", ftype, err)
+		return
+	}
+	fw := newFrameWriter(conn, teardown, s.cfg.Logf)
+	if fw.sendFrame(frameHello, 0, nil) != nil {
+		return
+	}
+	for {
+		ftype, id, payload, err := readFrame(br, buf)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.cfg.Logf("edge: v3 decode: %v", err)
+			}
+			return
+		}
+		if err := s.dispatchV3(fw, ftype, id, payload); err != nil {
+			// A payload that fails to decode is a protocol violation, not
+			// a request we can answer: kill the connection.
+			s.cfg.Logf("edge: v3 payload (type %d): %v", ftype, err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []byte) error {
+	switch ftype {
+	case frameSetup:
+		req, err := decodeSetupRequest(payload)
+		if err != nil {
+			return err
+		}
+		rep := s.handleSetup(req)
+		fw.sendFrame(frameSetupReply, id, func(b []byte) []byte { return appendSetupReply(b, rep) })
+	case frameRekey:
+		req, err := decodeRekeyRequest(payload)
+		if err != nil {
+			return err
+		}
+		rep := s.handleRekey(req)
+		fw.sendFrame(frameRekeyReply, id, func(b []byte) []byte { return appendRekeyReply(b, rep) })
+	case frameCompute:
+		req, err := decodeComputeRequest(payload)
+		if err != nil {
+			return err
+		}
+		s.handleComputeV3(fw, id, req)
+	case frameBatch:
+		req, err := decodeBatchRequest(payload)
+		if err != nil {
+			return err
+		}
+		s.handleBatchV3(fw, id, req)
+	default:
+		return fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, ftype)
+	}
+	return nil
+}
+
+func (s *Server) sendComputeReplyV3(fw *frameWriter, id uint64, rep *ComputeReply) {
+	fw.sendFrame(frameComputeReply, id, func(b []byte) []byte { return appendComputeReply(b, rep) })
+}
+
+// handleComputeV3 mirrors handleCompute on the framed path: requests go
+// through the bounded scheduler and may be shed with CodeOverloaded.
+func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest) {
+	if err := s.sched.Submit(func(w *serve.Worker) {
+		s.sendComputeReplyV3(fw, id, s.compute(w, req))
+	}); err != nil {
+		s.sendComputeReplyV3(fw, id, &ComputeReply{
+			Code: serve.CodeOf(err),
+			Err:  fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth),
+		})
 	}
 }
 
@@ -414,5 +525,78 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 			ModeledTxDelay:  bits / s.cfg.UplinkRateBps,
 			ModeledCmpDelay: float64(served) * (costmodel.EvalCycles(lambda) + costmodel.CmpCycles(lambda)) / s.cfg.ServerHz,
 		}})
+	}()
+}
+
+// handleBatchV3 is the streaming batch path: instead of buffering the
+// whole reply, each item is framed and flushed the moment its worker
+// finishes (frameBatchItem, out of order), and a frameBatchDone trailer
+// carries the aggregate modeled costs once every item has been answered.
+// The frameWriter's per-connection mutex interleaves item frames with
+// other replies at frame granularity, so one giant batch cannot starve
+// pipelined requests on the same connection of the socket.
+func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
+	fail := func(code serve.Code, detail string) {
+		fw.sendFrame(frameBatchDone, id, func(b []byte) []byte {
+			return appendBatchDone(b, &BatchReply{Code: code, Err: detail})
+		})
+	}
+	n := len(req.Blocks)
+	if n == 0 || n != len(req.Masked) {
+		fail(serve.CodeBadRequest, fmt.Sprintf("batch with %d blocks, %d payloads", n, len(req.Masked)))
+		return
+	}
+	if n > MaxBatch {
+		fail(serve.CodeBadRequest, fmt.Sprintf("batch of %d blocks exceeds %d", n, MaxBatch))
+		return
+	}
+	sess, ok := s.store.Get(req.SessionID)
+	if !ok {
+		fail(serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", req.SessionID))
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// Same admission contract as the buffered path: the batch bounds
+		// its own in-flight items to the queue depth, so an idle server
+		// never sheds a batch merely for being larger than the queue.
+		window := make(chan struct{}, s.cfg.QueueDepth)
+		var wg sync.WaitGroup
+		var servedBits, served atomic.Int64
+		sendItem := func(i int, item *BatchItem) {
+			fw.sendFrame(frameBatchItem, id, func(b []byte) []byte {
+				return appendBatchItem(b, i, item)
+			})
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			window <- struct{}{}
+			wg.Add(1)
+			err := s.sched.Submit(func(w *serve.Worker) {
+				defer func() { <-window; wg.Done() }()
+				result, code, detail := s.computeBlock(w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
+				if code == serve.CodeOK {
+					served.Add(1)
+					servedBits.Add(int64(len(req.Masked[i]) * 64))
+				}
+				sendItem(i, &BatchItem{Result: result, Code: code, Err: detail})
+			})
+			if err != nil {
+				sendItem(i, &BatchItem{Code: serve.CodeOf(err),
+					Err: fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth)})
+				<-window
+				wg.Done()
+			}
+		}
+		wg.Wait()
+		lambda := float64(s.ctx.Params.N())
+		fw.sendFrame(frameBatchDone, id, func(b []byte) []byte {
+			return appendBatchDone(b, &BatchReply{
+				RekeyNeeded:     s.rekeyNeeded(sess),
+				ModeledTxDelay:  float64(servedBits.Load()) / s.cfg.UplinkRateBps,
+				ModeledCmpDelay: float64(served.Load()) * (costmodel.EvalCycles(lambda) + costmodel.CmpCycles(lambda)) / s.cfg.ServerHz,
+			})
+		})
 	}()
 }

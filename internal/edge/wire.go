@@ -1,0 +1,617 @@
+package edge
+
+// Protocol v3 framing and payload codecs. See doc.go for the protocol
+// generations and the frame layout; the short version:
+//
+//	offset 0   magic    0xAD 0x51 (bytes gob never emits at stream start)
+//	offset 2   version  0x03
+//	offset 3   type     frameHello, frameSetup, ...
+//	offset 4   reqID    uint64, little-endian
+//	offset 12  length   uint32 payload byte count, little-endian
+//	offset 16  payload
+//
+// Frames are built into pooled buffers and written through one
+// bufio.Writer per connection under a mutex, so a frame (header +
+// payload) reaches the socket as a single coalesced write and concurrent
+// senders (worker goroutines streaming batch items, the decode loop
+// answering setups) interleave at frame granularity — the per-connection
+// fairness point. Payload decoding copies everything it returns, so the
+// read buffer is reused for the next frame immediately.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"quhe/internal/he/ckks"
+	"quhe/internal/serve"
+)
+
+const (
+	frameMagic0  = 0xAD
+	frameMagic1  = 0x51
+	frameVersion = 3
+
+	frameHeaderLen = 16
+
+	// maxFramePayload bounds a frame so a corrupt or hostile length field
+	// cannot force a huge allocation. The largest legitimate frame is a
+	// Setup (relin key dominates): ~18 MiB at LogN 15.
+	maxFramePayload = 64 << 20
+
+	// wireBufSize sizes the per-connection bufio reader/writer.
+	wireBufSize = 64 << 10
+)
+
+// Frame types. Requests and replies are distinct so a corrupted direction
+// bit cannot alias a decode.
+const (
+	frameHello byte = iota + 1
+	frameSetup
+	frameSetupReply
+	frameCompute
+	frameComputeReply
+	frameBatch
+	frameBatchItem
+	frameBatchDone
+	frameRekey
+	frameRekeyReply
+)
+
+// Typed frame errors: fuzzing and tests assert corrupt input maps to
+// these instead of panicking.
+var (
+	// ErrBadFrame reports a malformed frame or payload (wrong magic or
+	// version, unknown type, truncated or trailing payload bytes).
+	ErrBadFrame = errors.New("edge: malformed frame")
+	// ErrFrameTooLarge reports a frame whose length field exceeds
+	// maxFramePayload.
+	ErrFrameTooLarge = errors.New("edge: frame exceeds size limit")
+	// ErrProtocolMismatch reports a peer that does not speak protocol v3
+	// (returned by DialWith when ProtoV3 is forced against an older
+	// server).
+	ErrProtocolMismatch = errors.New("edge: peer does not speak protocol v3")
+)
+
+// frameBufs pools frame build/read buffers. Buffers that grew past the
+// retention cap (a giant Setup) are dropped rather than pinned forever.
+var frameBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const frameBufRetain = 4 << 20
+
+func getFrameBuf() *[]byte { return frameBufs.Get().(*[]byte) }
+
+func putFrameBuf(pb *[]byte) {
+	if cap(*pb) > frameBufRetain {
+		return
+	}
+	*pb = (*pb)[:0]
+	frameBufs.Put(pb)
+}
+
+// beginFrame appends a frame header with a zero length field; finishFrame
+// patches the length once the payload is in place. The frame must start
+// at offset start in b (senders build one frame per buffer, start 0).
+func beginFrame(b []byte, ftype byte, id uint64) []byte {
+	b = append(b, frameMagic0, frameMagic1, frameVersion, ftype)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	return binary.LittleEndian.AppendUint32(b, 0)
+}
+
+func finishFrame(b []byte, start int) ([]byte, error) {
+	n := len(b) - start - frameHeaderLen
+	if n < 0 {
+		return nil, ErrBadFrame
+	}
+	if n > maxFramePayload {
+		return nil, ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(b[start+12:start+16], uint32(n))
+	return b, nil
+}
+
+// readFrame reads one frame from br, growing *buf (pooled) to hold the
+// payload. The returned payload aliases *buf and is valid until the next
+// readFrame with the same buffer; decoders copy what they keep.
+func readFrame(br *bufio.Reader, buf *[]byte) (ftype byte, id uint64, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err = io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 || hdr[2] != frameVersion {
+		return 0, 0, nil, ErrBadFrame
+	}
+	ftype = hdr[3]
+	if ftype < frameHello || ftype > frameRekeyReply {
+		return 0, 0, nil, ErrBadFrame
+	}
+	id = binary.LittleEndian.Uint64(hdr[4:12])
+	n := int(binary.LittleEndian.Uint32(hdr[12:16]))
+	if n > maxFramePayload {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+	if _, err = io.ReadFull(br, *buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, err
+	}
+	return ftype, id, *buf, nil
+}
+
+// frameWriter serializes v3 frame writes on one connection. With
+// pipelined requests and streaming batches, worker goroutines and the
+// decode loop send concurrently; the mutex interleaves them at frame
+// granularity. A write error tears the connection down exactly once via
+// the teardown closure shared with the read side (no double-close race)
+// and drops every later frame — the peer's pending requests then fail
+// with a typed connection error instead of hanging.
+type frameWriter struct {
+	mu       sync.Mutex
+	bw       *bufio.Writer
+	failed   bool
+	teardown func()
+	logf     func(string, ...interface{})
+}
+
+func newFrameWriter(conn net.Conn, teardown func(), logf func(string, ...interface{})) *frameWriter {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	return &frameWriter{bw: bufio.NewWriterSize(conn, wireBufSize), teardown: teardown, logf: logf}
+}
+
+// send writes one complete frame (header already finished) and flushes.
+func (w *frameWriter) send(frame []byte) error {
+	w.mu.Lock()
+	if w.failed {
+		w.mu.Unlock()
+		return serve.ErrConnClosed
+	}
+	_, err := w.bw.Write(frame)
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	if err != nil {
+		w.failed = true
+	}
+	w.mu.Unlock()
+	if err != nil {
+		w.logf("edge: v3 write: %v", err)
+		w.teardown()
+		return fmt.Errorf("%w: %v", serve.ErrConnClosed, err)
+	}
+	return nil
+}
+
+// sendFrame builds a frame from a payload-appending closure in a pooled
+// buffer and sends it. build may be nil for empty payloads.
+func (w *frameWriter) sendFrame(ftype byte, id uint64, build func(b []byte) []byte) error {
+	pb := getFrameBuf()
+	b := beginFrame((*pb)[:0], ftype, id)
+	if build != nil {
+		b = build(b)
+	}
+	b, err := finishFrame(b, 0)
+	if err == nil {
+		*pb = b
+		err = w.send(b)
+	} else {
+		w.logf("edge: v3 frame build: %v", err)
+	}
+	putFrameBuf(pb)
+	return err
+}
+
+// --- payload primitives -----------------------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func appendFloat64s(b []byte, v []float64) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(v)))
+	for _, f := range v {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// wireReader decodes payload primitives with sticky-error semantics: the
+// first failure latches and every later read returns zero values, so
+// message decoders read fields linearly and check once at the end.
+// Everything returned is copied out of the underlying buffer.
+type wireReader struct {
+	b   []byte
+	err error
+}
+
+func (r *wireReader) fail() { r.err = ErrBadFrame }
+
+func (r *wireReader) u8() byte {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *wireReader) bool() bool { return r.u8() != 0 }
+
+func (r *wireReader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *wireReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || len(r.b) < n {
+		r.fail()
+		return ""
+	}
+	v := string(r.b[:n])
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	v := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *wireReader) float64s() []float64 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || len(r.b) < 8*n {
+		r.fail()
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[8*i:]))
+	}
+	r.b = r.b[8*n:]
+	return v
+}
+
+// ciphertext decodes one ciphertext into fresh storage (candidates for
+// retention — key material, results handed to callers — must not alias
+// the frame buffer).
+func (r *wireReader) ciphertext() *ckks.Ciphertext {
+	if r.err != nil {
+		return nil
+	}
+	ct := new(ckks.Ciphertext)
+	n, err := ct.DecodeFrom(r.b)
+	if err != nil {
+		r.fail()
+		return nil
+	}
+	r.b = r.b[n:]
+	return ct
+}
+
+// finish returns the latched error, or ErrBadFrame when payload bytes
+// remain unconsumed (a frame carries exactly one message).
+func (r *wireReader) finish() error {
+	if r.err == nil && len(r.b) != 0 {
+		r.fail()
+	}
+	return r.err
+}
+
+// --- message codecs ---------------------------------------------------------
+//
+// One append/decode pair per message. Limits beyond what wireReader
+// enforces structurally: encrypted-key vectors are capped at 4×KeyLen and
+// batch fan-out at MaxBatch, so a hostile peer cannot request unbounded
+// allocation from a single frame.
+
+const maxWireEncKey = 4 * KeyLen
+
+func appendCiphertexts(b []byte, cts []*ckks.Ciphertext) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cts)))
+	for _, ct := range cts {
+		b = ct.AppendBinary(b)
+	}
+	return b
+}
+
+func (r *wireReader) ciphertexts(max int) []*ckks.Ciphertext {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > max {
+		r.fail()
+		return nil
+	}
+	cts := make([]*ckks.Ciphertext, n)
+	for i := range cts {
+		cts[i] = r.ciphertext()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return cts
+}
+
+func appendSetupRequest(b []byte, req *SetupRequest) []byte {
+	b = appendString(b, req.SessionID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(req.LogN))
+	b = binary.LittleEndian.AppendUint32(b, uint32(req.Depth))
+	b = req.PK.AppendBinary(b)
+	b = req.RLK.AppendBinary(b)
+	b = appendCiphertexts(b, req.EncKey)
+	return appendBytes(b, req.Nonce)
+}
+
+func decodeSetupRequest(p []byte) (*SetupRequest, error) {
+	r := &wireReader{b: p}
+	req := &SetupRequest{
+		SessionID: r.str(),
+		LogN:      int(r.u32()),
+		Depth:     int(r.u32()),
+		PK:        new(ckks.PublicKey),
+		RLK:       new(ckks.RelinKey),
+	}
+	if r.err == nil {
+		if n, err := req.PK.DecodeFrom(r.b); err != nil {
+			r.fail()
+		} else {
+			r.b = r.b[n:]
+		}
+	}
+	if r.err == nil {
+		if n, err := req.RLK.DecodeFrom(r.b); err != nil {
+			r.fail()
+		} else {
+			r.b = r.b[n:]
+		}
+	}
+	req.EncKey = r.ciphertexts(maxWireEncKey)
+	req.Nonce = r.bytes()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func appendSetupReply(b []byte, rep *SetupReply) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
+	return appendString(b, rep.Err)
+}
+
+func decodeSetupReply(p []byte) (*SetupReply, error) {
+	r := &wireReader{b: p}
+	rep := &SetupReply{Code: serve.Code(r.u32()), Err: r.str()}
+	rep.OK = rep.Code == serve.CodeOK && rep.Err == ""
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func appendComputeRequest(b []byte, req *ComputeRequest) []byte {
+	b = appendString(b, req.SessionID)
+	b = binary.LittleEndian.AppendUint32(b, req.Block)
+	b = binary.LittleEndian.AppendUint64(b, req.Epoch)
+	return appendFloat64s(b, req.Masked)
+}
+
+func decodeComputeRequest(p []byte) (*ComputeRequest, error) {
+	r := &wireReader{b: p}
+	req := &ComputeRequest{
+		SessionID: r.str(),
+		Block:     r.u32(),
+		Epoch:     r.u64(),
+		Masked:    r.float64s(),
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func appendComputeReply(b []byte, rep *ComputeReply) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
+	b = appendString(b, rep.Err)
+	b = appendBool(b, rep.RekeyNeeded)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rep.ModeledTxDelay))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rep.ModeledCmpDelay))
+	b = appendBool(b, rep.Result != nil)
+	if rep.Result != nil {
+		b = rep.Result.AppendBinary(b)
+	}
+	return b
+}
+
+func decodeComputeReply(p []byte) (*ComputeReply, error) {
+	r := &wireReader{b: p}
+	rep := &ComputeReply{
+		Code:            serve.Code(r.u32()),
+		Err:             r.str(),
+		RekeyNeeded:     r.bool(),
+		ModeledTxDelay:  r.f64(),
+		ModeledCmpDelay: r.f64(),
+	}
+	if r.bool() {
+		rep.Result = r.ciphertext()
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func appendBatchRequest(b []byte, req *BatchRequest) []byte {
+	b = appendString(b, req.SessionID)
+	b = binary.LittleEndian.AppendUint64(b, req.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.Blocks)))
+	for _, blk := range req.Blocks {
+		b = binary.LittleEndian.AppendUint32(b, blk)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.Masked)))
+	for _, m := range req.Masked {
+		b = appendFloat64s(b, m)
+	}
+	return b
+}
+
+func decodeBatchRequest(p []byte) (*BatchRequest, error) {
+	r := &wireReader{b: p}
+	req := &BatchRequest{SessionID: r.str(), Epoch: r.u64()}
+	nb := int(r.u32())
+	if r.err != nil || nb < 0 || nb > MaxBatch || len(r.b) < 4*nb {
+		return nil, ErrBadFrame
+	}
+	req.Blocks = make([]uint32, nb)
+	for i := range req.Blocks {
+		req.Blocks[i] = r.u32()
+	}
+	nm := int(r.u32())
+	if r.err != nil || nm < 0 || nm > MaxBatch {
+		return nil, ErrBadFrame
+	}
+	req.Masked = make([][]float64, nm)
+	for i := range req.Masked {
+		req.Masked[i] = r.float64s()
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// appendBatchItem encodes one streamed batch result: the item index
+// followed by the BatchItem fields.
+func appendBatchItem(b []byte, index int, item *BatchItem) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(index))
+	b = binary.LittleEndian.AppendUint32(b, uint32(item.Code))
+	b = appendString(b, item.Err)
+	b = appendBool(b, item.Result != nil)
+	if item.Result != nil {
+		b = item.Result.AppendBinary(b)
+	}
+	return b
+}
+
+func decodeBatchItem(p []byte) (index int, item BatchItem, err error) {
+	r := &wireReader{b: p}
+	index = int(r.u32())
+	item.Code = serve.Code(r.u32())
+	item.Err = r.str()
+	if r.bool() {
+		item.Result = r.ciphertext()
+	}
+	if err := r.finish(); err != nil {
+		return 0, BatchItem{}, err
+	}
+	return index, item, nil
+}
+
+// appendBatchDone encodes the batch trailer (aggregates only; items were
+// streamed as frameBatchItem frames).
+func appendBatchDone(b []byte, rep *BatchReply) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
+	b = appendString(b, rep.Err)
+	b = appendBool(b, rep.RekeyNeeded)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rep.ModeledTxDelay))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(rep.ModeledCmpDelay))
+}
+
+func decodeBatchDone(p []byte) (*BatchReply, error) {
+	r := &wireReader{b: p}
+	rep := &BatchReply{
+		Code:            serve.Code(r.u32()),
+		Err:             r.str(),
+		RekeyNeeded:     r.bool(),
+		ModeledTxDelay:  r.f64(),
+		ModeledCmpDelay: r.f64(),
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func appendRekeyRequest(b []byte, req *RekeyRequest) []byte {
+	b = appendString(b, req.SessionID)
+	b = appendCiphertexts(b, req.EncKey)
+	return appendBytes(b, req.Nonce)
+}
+
+func decodeRekeyRequest(p []byte) (*RekeyRequest, error) {
+	r := &wireReader{b: p}
+	req := &RekeyRequest{
+		SessionID: r.str(),
+		EncKey:    r.ciphertexts(maxWireEncKey),
+		Nonce:     r.bytes(),
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func appendRekeyReply(b []byte, rep *RekeyReply) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
+	b = appendString(b, rep.Err)
+	return binary.LittleEndian.AppendUint64(b, rep.Epoch)
+}
+
+func decodeRekeyReply(p []byte) (*RekeyReply, error) {
+	r := &wireReader{b: p}
+	rep := &RekeyReply{Code: serve.Code(r.u32()), Err: r.str(), Epoch: r.u64()}
+	rep.OK = rep.Code == serve.CodeOK && rep.Err == ""
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

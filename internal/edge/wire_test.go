@@ -1,0 +1,295 @@
+package edge
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quhe/internal/serve"
+)
+
+func buildFrame(t testing.TB, ftype byte, id uint64, build func(b []byte) []byte) []byte {
+	t.Helper()
+	b := beginFrame(nil, ftype, id)
+	if build != nil {
+		b = build(b)
+	}
+	b, err := finishFrame(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	req := &ComputeRequest{SessionID: "sess", Block: 42, Epoch: 7, Masked: []float64{0.25, -1.5, 3.75}}
+	frame := buildFrame(t, frameCompute, 99, func(b []byte) []byte { return appendComputeRequest(b, req) })
+
+	var buf []byte
+	ftype, id, payload, err := readFrame(bufio.NewReader(bytes.NewReader(frame)), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ftype != frameCompute || id != 99 {
+		t.Fatalf("header: type=%d id=%d", ftype, id)
+	}
+	got, err := decodeComputeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SessionID != req.SessionID || got.Block != req.Block || got.Epoch != req.Epoch ||
+		len(got.Masked) != len(req.Masked) {
+		t.Fatalf("decoded %+v", got)
+	}
+	for i := range req.Masked {
+		if got.Masked[i] != req.Masked[i] {
+			t.Fatalf("masked[%d] = %v, want %v", i, got.Masked[i], req.Masked[i])
+		}
+	}
+}
+
+func TestFrameDecodeTypedErrors(t *testing.T) {
+	valid := buildFrame(t, frameCompute, 1, func(b []byte) []byte {
+		return appendComputeRequest(b, &ComputeRequest{SessionID: "s", Masked: []float64{1}})
+	})
+	read := func(b []byte) error {
+		var buf []byte
+		_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(b)), &buf)
+		return err
+	}
+
+	if err := read(valid); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'Z'
+	if err := read(badMagic); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad magic: err = %v, want ErrBadFrame", err)
+	}
+	badVersion := append([]byte(nil), valid...)
+	badVersion[2] = 9
+	if err := read(badVersion); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad version: err = %v, want ErrBadFrame", err)
+	}
+	badType := append([]byte(nil), valid...)
+	badType[3] = 200
+	if err := read(badType); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad type: err = %v, want ErrBadFrame", err)
+	}
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[12:16], maxFramePayload+1)
+	if err := read(huge); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized: err = %v, want ErrFrameTooLarge", err)
+	}
+	// Truncations: header cut → EOF/unexpected EOF; payload cut →
+	// unexpected EOF. Never a panic, never an untyped success.
+	for cut := 0; cut < len(valid); cut++ {
+		err := read(valid[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d: err = %v", cut, err)
+		}
+	}
+}
+
+// TestPayloadCodecsRoundTrip exercises every v3 message codec pair.
+func TestPayloadCodecsRoundTrip(t *testing.T) {
+	setupRep := &SetupReply{Code: serve.CodeParamMismatch, Err: "logN"}
+	gotSetupRep, err := decodeSetupReply(appendSetupReply(nil, setupRep))
+	if err != nil || gotSetupRep.Code != setupRep.Code || gotSetupRep.Err != setupRep.Err || gotSetupRep.OK {
+		t.Fatalf("setup reply: %+v err %v", gotSetupRep, err)
+	}
+	okRep, err := decodeSetupReply(appendSetupReply(nil, &SetupReply{OK: true}))
+	if err != nil || !okRep.OK {
+		t.Fatalf("setup ok reply: %+v err %v", okRep, err)
+	}
+
+	compRep := &ComputeReply{Code: serve.CodeRekeyRequired, Err: "budget",
+		RekeyNeeded: true, ModeledTxDelay: 0.5, ModeledCmpDelay: 0.25}
+	gotCompRep, err := decodeComputeReply(appendComputeReply(nil, compRep))
+	if err != nil || *gotCompRep != *compRep {
+		t.Fatalf("compute reply: %+v err %v", gotCompRep, err)
+	}
+
+	batch := &BatchRequest{SessionID: "b", Epoch: 3, Blocks: []uint32{5, 6},
+		Masked: [][]float64{{1, 2}, {3}}}
+	gotBatch, err := decodeBatchRequest(appendBatchRequest(nil, batch))
+	if err != nil || gotBatch.SessionID != batch.SessionID || gotBatch.Epoch != batch.Epoch ||
+		len(gotBatch.Blocks) != 2 || gotBatch.Blocks[1] != 6 ||
+		len(gotBatch.Masked) != 2 || gotBatch.Masked[0][1] != 2 || gotBatch.Masked[1][0] != 3 {
+		t.Fatalf("batch request: %+v err %v", gotBatch, err)
+	}
+
+	idx, item, err := decodeBatchItem(appendBatchItem(nil, 7, &BatchItem{Code: serve.CodeOverloaded, Err: "full"}))
+	if err != nil || idx != 7 || item.Code != serve.CodeOverloaded || item.Err != "full" || item.Result != nil {
+		t.Fatalf("batch item: idx=%d %+v err %v", idx, item, err)
+	}
+
+	done := &BatchReply{RekeyNeeded: true, ModeledTxDelay: 1.5, ModeledCmpDelay: 2.5}
+	gotDone, err := decodeBatchDone(appendBatchDone(nil, done))
+	if err != nil || gotDone.Code != serve.CodeOK || !gotDone.RekeyNeeded ||
+		gotDone.ModeledTxDelay != 1.5 || gotDone.ModeledCmpDelay != 2.5 {
+		t.Fatalf("batch done: %+v err %v", gotDone, err)
+	}
+
+	rkRep, err := decodeRekeyReply(appendRekeyReply(nil, &RekeyReply{OK: true, Epoch: 4}))
+	if err != nil || !rkRep.OK || rkRep.Epoch != 4 {
+		t.Fatalf("rekey reply: %+v err %v", rkRep, err)
+	}
+
+	// Trailing garbage after a well-formed message is a protocol error.
+	withTrailer := append(appendBatchDone(nil, done), 0xFF)
+	if _, err := decodeBatchDone(withTrailer); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("trailing bytes: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// countingConn is a net.Conn stub whose writes fail after failAfter
+// successful calls and whose Close calls are counted — the double-close
+// detector for the teardown regression test.
+type countingConn struct {
+	mu        sync.Mutex
+	writes    int
+	failAfter int
+	closes    atomic.Int32
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writes++
+	if c.writes > c.failAfter {
+		return 0, errors.New("injected write failure")
+	}
+	return len(p), nil
+}
+
+func (c *countingConn) Close() error {
+	c.closes.Add(1)
+	return nil
+}
+
+func (c *countingConn) Read([]byte) (int, error)         { return 0, io.EOF }
+func (c *countingConn) LocalAddr() net.Addr              { return nil }
+func (c *countingConn) RemoteAddr() net.Addr             { return nil }
+func (c *countingConn) SetDeadline(time.Time) error      { return nil }
+func (c *countingConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *countingConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestFrameWriterTearsDownOnce is the regression test for the connWriter
+// teardown contract: concurrent v3 write failures and a racing reader
+// exit must close the connection exactly once, and every failed or
+// subsequent send must surface an error wrapping serve.ErrConnClosed.
+// Run under -race in CI.
+func TestFrameWriterTearsDownOnce(t *testing.T) {
+	conn := &countingConn{failAfter: 1}
+	var once sync.Once
+	teardown := func() { once.Do(func() { conn.Close() }) }
+	fw := newFrameWriter(conn, teardown, nil)
+
+	const senders = 8
+	errs := make([]error, senders)
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = fw.sendFrame(frameComputeReply, uint64(i), func(b []byte) []byte {
+				return appendComputeReply(b, &ComputeReply{Code: serve.CodeOK})
+			})
+		}()
+	}
+	// The reader goroutine races its own teardown, as serveConn's deferred
+	// teardown does when the decode loop exits.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		teardown()
+	}()
+	wg.Wait()
+
+	if got := conn.closes.Load(); got != 1 {
+		t.Fatalf("connection closed %d times, want exactly 1", got)
+	}
+	failures := 0
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		failures++
+		if !errors.Is(err, serve.ErrConnClosed) {
+			t.Errorf("sender %d: err = %v, want wrapping serve.ErrConnClosed", i, err)
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no send failed despite the injected write error")
+	}
+	// The writer stays dead: later sends fail typed without touching conn.
+	if err := fw.sendFrame(frameHello, 0, nil); !errors.Is(err, serve.ErrConnClosed) {
+		t.Errorf("post-teardown send err = %v, want serve.ErrConnClosed", err)
+	}
+	if got := conn.closes.Load(); got != 1 {
+		t.Fatalf("post-teardown send closed again (%d closes)", got)
+	}
+}
+
+// FuzzFrameDecode asserts the frame reader and every payload decoder
+// return typed errors on truncated or corrupt input and never panic.
+func FuzzFrameDecode(f *testing.F) {
+	valid := beginFrame(nil, frameCompute, 7)
+	valid = appendComputeRequest(valid, &ComputeRequest{SessionID: "s", Block: 1, Epoch: 1, Masked: []float64{0.5}})
+	valid, _ = finishFrame(valid, 0)
+	f.Add(valid)
+	f.Add(valid[:frameHeaderLen])
+	f.Add([]byte{frameMagic0, frameMagic1, frameVersion, frameBatch})
+	itemFrame := beginFrame(nil, frameBatchItem, 9)
+	itemFrame = appendBatchItem(itemFrame, 0, &BatchItem{Code: serve.CodeOK})
+	itemFrame, _ = finishFrame(itemFrame, 0)
+	f.Add(itemFrame)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var buf []byte
+		ftype, _, payload, err := readFrame(bufio.NewReader(bytes.NewReader(data)), &buf)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameTooLarge) &&
+				!errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("untyped frame error: %v", err)
+			}
+			return
+		}
+		var derr error
+		switch ftype {
+		case frameSetup:
+			_, derr = decodeSetupRequest(payload)
+		case frameSetupReply:
+			_, derr = decodeSetupReply(payload)
+		case frameCompute:
+			_, derr = decodeComputeRequest(payload)
+		case frameComputeReply:
+			_, derr = decodeComputeReply(payload)
+		case frameBatch:
+			_, derr = decodeBatchRequest(payload)
+		case frameBatchItem:
+			_, _, derr = decodeBatchItem(payload)
+		case frameBatchDone:
+			_, derr = decodeBatchDone(payload)
+		case frameRekey:
+			_, derr = decodeRekeyRequest(payload)
+		case frameRekeyReply:
+			_, derr = decodeRekeyReply(payload)
+		}
+		if derr != nil && !errors.Is(derr, ErrBadFrame) {
+			t.Fatalf("untyped payload error for frame type %d: %v", ftype, derr)
+		}
+	})
+}

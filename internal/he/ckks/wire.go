@@ -1,0 +1,266 @@
+package ckks
+
+// Wire codecs for CKKS objects: hand-rolled, length-prefixed binary
+// layouts built on ring.Poly's raw little-endian coefficient runs. They
+// exist for the edge protocol's framed v3 path, where gob's reflective,
+// per-coefficient varint encoding was the serving hot path's dominant
+// cost. Conventions:
+//
+//   - AppendBinary appends the value's encoding to a caller-provided
+//     buffer and returns the extended slice. With a buffer of sufficient
+//     capacity (e.g. one drawn from a frame pool) it performs zero
+//     allocations.
+//   - DecodeFrom consumes one value from the front of a buffer and
+//     returns the byte count consumed. Ciphertext and Plaintext decode
+//     into their receiver, reusing existing coefficient storage when its
+//     capacity suffices — a decode loop over a pre-sized receiver is
+//     allocation-free in steady state.
+//   - Ownership: everything DecodeFrom produces is copied out of the
+//     input buffer; callers may reuse the buffer immediately. The inverse
+//     does not hold for receivers — a Ciphertext decoded into a pooled
+//     receiver aliases that receiver's polynomials, so anyone retaining
+//     the value past the receiver's reuse (session key material, caches)
+//     must decode into a fresh receiver or Copy first.
+//   - Errors are typed: ErrShortBuffer for truncation, ErrMalformed for
+//     structurally invalid data (absurd degrees, level out of range).
+//     Decoders never panic on hostile input and never allocate
+//     attacker-chosen sizes beyond the structural caps below.
+//
+// All integers are little-endian; float64s travel as IEEE 754 bits, so
+// round-trips are bit-exact and match the gob path bit-for-bit.
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"quhe/internal/he/ring"
+)
+
+var (
+	// ErrShortBuffer reports a truncated wire buffer.
+	ErrShortBuffer = errors.New("ckks: short buffer")
+	// ErrMalformed reports structurally invalid wire data.
+	ErrMalformed = errors.New("ckks: malformed wire data")
+)
+
+// Structural caps on decoded sizes: Params.Validate bounds LogN to 15 and
+// Depth to 3; the relin key's digit count is bounded by 64 bits / LogBase.
+const (
+	maxWireN      = 1 << 15
+	maxWireLevels = 8
+	maxWireDigits = 64
+)
+
+// polyHeader is the fixed prefix shared by Ciphertext and Plaintext:
+// level (u8) | scale bits (u64) | degree (u32).
+const polyHeaderLen = 1 + 8 + 4
+
+func appendPolyHeader(b []byte, level int, scale float64, n int) []byte {
+	b = append(b, byte(level))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(scale))
+	return binary.LittleEndian.AppendUint32(b, uint32(n))
+}
+
+func decodePolyHeader(b []byte) (level int, scale float64, n int, err error) {
+	if len(b) < polyHeaderLen {
+		return 0, 0, 0, ErrShortBuffer
+	}
+	level = int(b[0])
+	scale = math.Float64frombits(binary.LittleEndian.Uint64(b[1:9]))
+	n = int(binary.LittleEndian.Uint32(b[9:13]))
+	if level >= maxWireLevels || n == 0 || n > maxWireN || n&(n-1) != 0 {
+		return 0, 0, 0, ErrMalformed
+	}
+	return level, scale, n, nil
+}
+
+// reusePoly returns p resized to n coefficients, reusing its storage when
+// capacity allows.
+func reusePoly(p ring.Poly, n int) ring.Poly {
+	if cap(p) >= n {
+		return p[:n]
+	}
+	return make(ring.Poly, n)
+}
+
+// AppendBinary appends ct's wire encoding to b: the poly header followed
+// by the raw c0 and c1 coefficient runs (16·N bytes of payload).
+func (ct *Ciphertext) AppendBinary(b []byte) []byte {
+	b = appendPolyHeader(b, ct.Level, ct.Scale, len(ct.C0))
+	b = ct.C0.AppendBinary(b)
+	return ct.C1.AppendBinary(b)
+}
+
+// DecodeFrom decodes one ciphertext from the front of b into ct, reusing
+// ct's coefficient storage when possible, and returns the bytes consumed.
+// See the package wire conventions for ownership of the decoded value.
+func (ct *Ciphertext) DecodeFrom(b []byte) (int, error) {
+	level, scale, n, err := decodePolyHeader(b)
+	if err != nil {
+		return 0, err
+	}
+	off := polyHeaderLen
+	if len(b)-off < 16*n {
+		return 0, ErrShortBuffer
+	}
+	ct.C0 = reusePoly(ct.C0, n)
+	ct.C1 = reusePoly(ct.C1, n)
+	k, err := ct.C0.DecodeFrom(b[off:])
+	if err != nil {
+		return 0, err
+	}
+	off += k
+	k, err = ct.C1.DecodeFrom(b[off:])
+	if err != nil {
+		return 0, err
+	}
+	ct.Level, ct.Scale = level, scale
+	return off + k, nil
+}
+
+// AppendBinary appends pt's wire encoding to b (poly header + one
+// coefficient run).
+func (pt *Plaintext) AppendBinary(b []byte) []byte {
+	b = appendPolyHeader(b, pt.Level, pt.Scale, len(pt.Value))
+	return pt.Value.AppendBinary(b)
+}
+
+// DecodeFrom decodes one plaintext from the front of b into pt, reusing
+// pt's coefficient storage when possible, and returns the bytes consumed.
+func (pt *Plaintext) DecodeFrom(b []byte) (int, error) {
+	level, scale, n, err := decodePolyHeader(b)
+	if err != nil {
+		return 0, err
+	}
+	off := polyHeaderLen
+	if len(b)-off < 8*n {
+		return 0, ErrShortBuffer
+	}
+	pt.Value = reusePoly(pt.Value, n)
+	k, err := pt.Value.DecodeFrom(b[off:])
+	if err != nil {
+		return 0, err
+	}
+	pt.Level, pt.Scale = level, scale
+	return off + k, nil
+}
+
+// appendPolyVec appends a per-level polynomial vector (degrees already
+// encoded by the container header).
+func appendPolyVec(b []byte, ps []ring.Poly) []byte {
+	for _, p := range ps {
+		b = p.AppendBinary(b)
+	}
+	return b
+}
+
+// decodePolyVec decodes levels polynomials of degree n, allocating fresh
+// storage: key material is retained for a session's lifetime, so it never
+// aliases a transient decode buffer.
+func decodePolyVec(b []byte, levels, n int) ([]ring.Poly, int, error) {
+	if len(b) < levels*8*n {
+		return nil, 0, ErrShortBuffer
+	}
+	out := make([]ring.Poly, levels)
+	off := 0
+	for i := range out {
+		out[i] = make(ring.Poly, n)
+		k, err := out[i].DecodeFrom(b[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += k
+	}
+	return out, off, nil
+}
+
+// AppendBinary appends pk's wire encoding: levels (u8) | degree (u32) |
+// P0 polys | P1 polys.
+func (pk *PublicKey) AppendBinary(b []byte) []byte {
+	b = append(b, byte(len(pk.P0)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(polyDegree(pk.P0)))
+	b = appendPolyVec(b, pk.P0)
+	return appendPolyVec(b, pk.P1)
+}
+
+// DecodeFrom decodes a public key from the front of b into pk (fresh
+// storage; see decodePolyVec) and returns the bytes consumed.
+func (pk *PublicKey) DecodeFrom(b []byte) (int, error) {
+	if len(b) < 5 {
+		return 0, ErrShortBuffer
+	}
+	levels := int(b[0])
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	if levels == 0 || levels > maxWireLevels || n == 0 || n > maxWireN || n&(n-1) != 0 {
+		return 0, ErrMalformed
+	}
+	off := 5
+	p0, k, err := decodePolyVec(b[off:], levels, n)
+	if err != nil {
+		return 0, err
+	}
+	off += k
+	p1, k, err := decodePolyVec(b[off:], levels, n)
+	if err != nil {
+		return 0, err
+	}
+	pk.P0, pk.P1 = p0, p1
+	return off + k, nil
+}
+
+// AppendBinary appends rlk's wire encoding: log base (u8) | digits (u8) |
+// levels (u8) | degree (u32) | per digit, the component-0 then
+// component-1 per-level polys.
+func (rlk *RelinKey) AppendBinary(b []byte) []byte {
+	levels := 0
+	if len(rlk.Parts) > 0 {
+		levels = len(rlk.Parts[0][0])
+	}
+	n := 0
+	if levels > 0 {
+		n = polyDegree(rlk.Parts[0][0])
+	}
+	b = append(b, byte(rlk.LogBase), byte(len(rlk.Parts)), byte(levels))
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	for _, part := range rlk.Parts {
+		b = appendPolyVec(b, part[0])
+		b = appendPolyVec(b, part[1])
+	}
+	return b
+}
+
+// DecodeFrom decodes a relinearization key from the front of b into rlk
+// (fresh storage) and returns the bytes consumed.
+func (rlk *RelinKey) DecodeFrom(b []byte) (int, error) {
+	if len(b) < 7 {
+		return 0, ErrShortBuffer
+	}
+	logBase, digits, levels := int(b[0]), int(b[1]), int(b[2])
+	n := int(binary.LittleEndian.Uint32(b[3:7]))
+	if logBase < 1 || logBase > 30 || digits == 0 || digits > maxWireDigits ||
+		levels == 0 || levels > maxWireLevels || n == 0 || n > maxWireN || n&(n-1) != 0 {
+		return 0, ErrMalformed
+	}
+	off := 7
+	parts := make([][2][]ring.Poly, digits)
+	for i := range parts {
+		for j := 0; j < 2; j++ {
+			ps, k, err := decodePolyVec(b[off:], levels, n)
+			if err != nil {
+				return 0, err
+			}
+			parts[i][j] = ps
+			off += k
+		}
+	}
+	rlk.Parts, rlk.LogBase = parts, logBase
+	return off, nil
+}
+
+func polyDegree(ps []ring.Poly) int {
+	if len(ps) == 0 {
+		return 0
+	}
+	return len(ps[0])
+}

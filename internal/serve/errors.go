@@ -30,6 +30,11 @@ const (
 	CodeRekeyRequired
 	// CodeInternal reports a server-side evaluation failure.
 	CodeInternal
+	// CodeConnClosed reports a torn-down transport: in-flight requests
+	// fail with it when the connection dies before their reply arrives.
+	// It is surfaced locally by protocol clients rather than carried on
+	// the wire (the wire is gone).
+	CodeConnClosed
 )
 
 // Sentinel errors, one per failure code. Server components return these
@@ -45,6 +50,7 @@ var (
 	ErrOverloaded       = errors.New("serve: overloaded")
 	ErrRekeyRequired    = errors.New("serve: rekey required")
 	ErrInternal         = errors.New("serve: internal error")
+	ErrConnClosed       = errors.New("serve: connection closed")
 )
 
 var codeToErr = map[Code]error{
@@ -56,6 +62,7 @@ var codeToErr = map[Code]error{
 	CodeOverloaded:       ErrOverloaded,
 	CodeRekeyRequired:    ErrRekeyRequired,
 	CodeInternal:         ErrInternal,
+	CodeConnClosed:       ErrConnClosed,
 }
 
 // Err returns the sentinel error for the code, or nil for CodeOK.
@@ -105,6 +112,8 @@ func (c Code) String() string {
 		return "rekey-required"
 	case CodeInternal:
 		return "internal"
+	case CodeConnClosed:
+		return "conn-closed"
 	}
 	return "unknown"
 }

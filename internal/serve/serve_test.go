@@ -25,7 +25,8 @@ func testContext(t testing.TB) *ckks.Context {
 
 func TestCodeRoundTrip(t *testing.T) {
 	codes := []Code{CodeBadRequest, CodeParamMismatch, CodeUnknownSession,
-		CodeDuplicateSession, CodeOversized, CodeOverloaded, CodeRekeyRequired, CodeInternal}
+		CodeDuplicateSession, CodeOversized, CodeOverloaded, CodeRekeyRequired,
+		CodeInternal, CodeConnClosed}
 	for _, c := range codes {
 		if got := CodeOf(c.Err()); got != c {
 			t.Errorf("CodeOf(%v.Err()) = %v", c, got)
