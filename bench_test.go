@@ -683,3 +683,52 @@ func BenchmarkAblationStage1SimAnnealing(b *testing.B) {
 		}
 	}
 }
+
+// --- Closed-loop control plane: dynamic vs static budgets -------------------
+
+type controlLoopReport struct {
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"numcpu"`
+	Multicore  bool `json:"multicore"`
+	experiments.ControlLoopResult
+}
+
+// BenchmarkControlLoop runs the closed-loop serving experiment — the same
+// finite-key workload under the static per-key budget constant and under
+// internal/control's online re-planning — and writes the comparison to
+// BENCH_control.json, so the utility gain of dynamic budgets is measured
+// across PRs rather than asserted. See experiments.ControlLoop for the
+// scenario and the utility score (Eq. 17's security and delay terms).
+func BenchmarkControlLoop(b *testing.B) {
+	report := controlLoopReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Multicore:  runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() > 1,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ControlLoop(experiments.ControlLoopOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report.ControlLoopResult = res
+	}
+	b.ReportMetric(float64(report.Dynamic.Served), "served-dynamic")
+	b.ReportMetric(float64(report.Static.Served), "served-static")
+	b.ReportMetric(report.UtilityGain, "utility-gain")
+	printOnce("control-loop", func() {
+		fmt.Printf("\nClosed-loop control (finite key stock):\n")
+		for _, sc := range []experiments.ControlScenario{report.Static, report.Dynamic} {
+			fmt.Printf("  %-8s served %3d  stranded %3d  denied %3d  rekeys %2d  stock-left %4dB  budget %9dB  utility %8.2f\n",
+				sc.Name, sc.Served, sc.Stranded, sc.Denied, sc.Rekeys, sc.KeyBytesLeft, sc.RekeyBudget, sc.Utility)
+		}
+		fmt.Printf("  utility gain (dynamic − static): %.2f over %d plans\n", report.UtilityGain, report.PlanSeq)
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "control report: %v\n", err)
+			return
+		}
+		if err := os.WriteFile("BENCH_control.json", append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "control report: %v\n", err)
+		}
+	})
+}

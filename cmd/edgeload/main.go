@@ -26,8 +26,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quhe/internal/control"
 	"quhe/internal/edge"
 	"quhe/internal/qkd"
+	"quhe/internal/qnet"
 	"quhe/internal/serve"
 )
 
@@ -41,6 +43,17 @@ type config struct {
 	QueueDepth int           `json:"queue_depth"`
 	RekeyBytes int64         `json:"rekey_bytes"`
 	Proto      string        `json:"proto"`
+	Control    bool          `json:"control"`
+	StockBytes int           `json:"stock_bytes"`
+}
+
+// planInfo echoes the controller's final plan in the JSON summary.
+type planInfo struct {
+	Seq           uint64  `json:"seq"`
+	Lambda        float64 `json:"lambda"`
+	MSL           float64 `json:"msl"`
+	DefaultBudget int64   `json:"default_rekey_budget"`
+	AdmitCapacity int     `json:"admit_capacity"`
 }
 
 type bucket struct {
@@ -49,22 +62,24 @@ type bucket struct {
 }
 
 type summary struct {
-	Config     config   `json:"config"`
-	DurationS  float64  `json:"duration_s"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	NumCPU     int      `json:"numcpu"`
-	Protocol   string   `json:"protocol"`
-	Requests   int64    `json:"requests"`
-	Served     int64    `json:"served"`
-	Shed       int64    `json:"shed_overloaded"`
-	Errors     int64    `json:"errors"`
-	Rekeys     int64    `json:"rekeys"`
-	Throughput float64  `json:"throughput_blocks_per_s"`
-	P50Ms      float64  `json:"latency_ms_p50"`
-	P90Ms      float64  `json:"latency_ms_p90"`
-	P99Ms      float64  `json:"latency_ms_p99"`
-	MaxMs      float64  `json:"latency_ms_max"`
-	Histogram  []bucket `json:"latency_histogram"`
+	Config     config    `json:"config"`
+	DurationS  float64   `json:"duration_s"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"numcpu"`
+	Protocol   string    `json:"protocol"`
+	Requests   int64     `json:"requests"`
+	Served     int64     `json:"served"`
+	Shed       int64     `json:"shed_overloaded"`
+	Denied     int64     `json:"shed_admission"`
+	Errors     int64     `json:"errors"`
+	Rekeys     int64     `json:"rekeys"`
+	Plan       *planInfo `json:"control_plan,omitempty"`
+	Throughput float64   `json:"throughput_blocks_per_s"`
+	P50Ms      float64   `json:"latency_ms_p50"`
+	P90Ms      float64   `json:"latency_ms_p90"`
+	P99Ms      float64   `json:"latency_ms_p99"`
+	MaxMs      float64   `json:"latency_ms_max"`
+	Histogram  []bucket  `json:"latency_histogram"`
 }
 
 type recorder struct {
@@ -72,6 +87,7 @@ type recorder struct {
 	latencies []float64 // milliseconds, served requests only
 	served    atomic.Int64
 	shed      atomic.Int64
+	denied    atomic.Int64
 	errs      atomic.Int64
 }
 
@@ -85,6 +101,10 @@ func (r *recorder) record(lat time.Duration, err error) {
 		r.mu.Unlock()
 	case isOverloaded(err):
 		r.shed.Add(1)
+	case isDenied(err):
+		// The control plane shed this request by policy (projected key
+		// consumption or queue occupancy over plan): typed, not an error.
+		r.denied.Add(1)
 	default:
 		r.errs.Add(1)
 		fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
@@ -93,6 +113,10 @@ func (r *recorder) record(lat time.Duration, err error) {
 
 func isOverloaded(err error) bool {
 	return err != nil && serve.CodeOf(err) == serve.CodeOverloaded
+}
+
+func isDenied(err error) bool {
+	return err != nil && serve.CodeOf(err) == serve.CodeAdmissionDenied
 }
 
 func quantile(sorted []float64, q float64) float64 {
@@ -131,9 +155,43 @@ func histogram(latencies []float64) []bucket {
 	return out
 }
 
+// starNetwork builds one QKD route per client — a star rooted at the key
+// centre with SURFnet-scale link capacities — so the controller's Stage-1
+// allocation has a route (and a provisioned rate) per load client.
+func starNetwork(clients int) (*qnet.Network, error) {
+	links := make([]qnet.Link, clients)
+	routes := make([]qnet.Route, clients)
+	for i := 0; i < clients; i++ {
+		links[i] = qnet.Link{ID: i + 1, LengthKm: 30, Beta: 80}
+		routes[i] = qnet.Route{ID: i + 1, Source: "kc", Dest: clientID(i), LinkIDs: []int{i + 1}}
+	}
+	return qnet.New(links, routes)
+}
+
+func clientID(i int) string { return fmt.Sprintf("load-%d", i) }
+
+// routeOf maps session IDs back to their star route ("load-3" → 3).
+func routeOf(clients int) func(sessionID string) int {
+	return func(sessionID string) int {
+		var i int
+		if _, err := fmt.Sscanf(sessionID, "load-%d", &i); err != nil || i < 0 || i >= clients {
+			return 0
+		}
+		return i
+	}
+}
+
 // provision runs simulated BBM92 exchanges until the client's pool can
-// cover the initial key plus headroom for rekeys.
-func provision(kc *qkd.KeyCenter, id string, seed int64, need int) error {
+// cover the initial key plus headroom for rekeys. A positive stock
+// instead deposits exactly that many bytes — the finite-stock mode the
+// -control runs use to demonstrate admission shedding on key exhaustion.
+func provision(kc *qkd.KeyCenter, id string, seed int64, need, stock int) error {
+	if stock > 0 {
+		if err := kc.Provision(id, 1000); err != nil {
+			return err
+		}
+		return kc.Deposit(id, make([]byte, stock))
+	}
 	if err := kc.Provision(id, 1000); err != nil {
 		return err
 	}
@@ -161,8 +219,10 @@ func main() {
 	flag.IntVar(&cfg.Slots, "slots", 16, "values per block")
 	flag.IntVar(&cfg.Workers, "workers", 0, "server evaluator-pool size (in-process server only; 0: GOMAXPROCS)")
 	flag.IntVar(&cfg.QueueDepth, "queue", 0, "server queue depth (in-process server only; 0: 4×workers)")
-	flag.Int64Var(&cfg.RekeyBytes, "rekey-bytes", 0, "per-key byte budget (in-process server only; 0: no rekeying)")
+	flag.Int64Var(&cfg.RekeyBytes, "rekey-bytes", 0, "per-key byte budget (in-process server only; 0: no rekeying; with -control: the controller's base budget at λ_ref)")
 	flag.StringVar(&cfg.Proto, "proto", "auto", "wire protocol: auto (v3 with gob fallback), v3 (required), gob (forced legacy)")
+	flag.BoolVar(&cfg.Control, "control", false, "attach the closed-loop control plane (in-process server only): online admission, U_msl-derived rekey budgets, QKD provisioning from the live allocation")
+	flag.IntVar(&cfg.StockBytes, "stock", 0, "finite per-client QKD key stock in bytes (0: replenish generously); with -control, exhaustion sheds typed admission denials")
 	jsonOut := flag.String("json", "-", "write the JSON summary to this file (\"-\": stdout, \"\": suppress)")
 	flag.Parse()
 
@@ -183,16 +243,66 @@ func main() {
 		os.Exit(2)
 	}
 
+	if cfg.StockBytes > 0 && cfg.StockBytes < edge.RekeyWithdrawBytes {
+		fmt.Fprintf(os.Stderr, "edgeload: -stock %d is below the %d-byte initial withdrawal\n",
+			cfg.StockBytes, edge.RekeyWithdrawBytes)
+		os.Exit(2)
+	}
+	if cfg.Control && cfg.Addr != "" {
+		fmt.Fprintln(os.Stderr, "edgeload: -control drives the in-process server only (drop -addr)")
+		os.Exit(2)
+	}
+
+	// QKD plane: one key centre feeds every client session (and, with
+	// -control, the controller's provisioning actuator). Pools are funded
+	// before the controller exists so its very first plan — the one
+	// Setup admissions are judged against — sees the real key stock.
+	kc := qkd.NewKeyCenter()
+	for i := 0; i < cfg.Clients; i++ {
+		// Initial key + rekey headroom (or the exact -stock). Headroom is
+		// sized for a fast closed loop: a 2 s run on a quick core can burn
+		// ~50 rotations per client at small budgets, which the previous
+		// 16-withdrawal headroom underfunded.
+		if err := provision(kc, clientID(i), int64(1000+i), 64*edge.RekeyWithdrawBytes, cfg.StockBytes); err != nil {
+			fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	addr := cfg.Addr
 	var srv *edge.Server
+	var ctl *control.Controller
 	if addr == "" {
-		var err error
-		srv, err = edge.NewServer("127.0.0.1:0", edge.ServerConfig{
+		scfg := edge.ServerConfig{
 			Model:      edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
 			Workers:    cfg.Workers,
 			QueueDepth: cfg.QueueDepth,
 			RekeyBytes: cfg.RekeyBytes,
-		})
+		}
+		if cfg.Control {
+			network, err := starNetwork(cfg.Clients)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edgeload: network: %v\n", err)
+				os.Exit(1)
+			}
+			ctl, err = control.New(control.Config{
+				Network:        network,
+				KeyCenter:      kc,
+				ClientID:       clientID,
+				RouteOf:        routeOf(cfg.Clients),
+				BaseRekeyBytes: cfg.RekeyBytes,
+				Interval:       250 * time.Millisecond,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "edgeload: control: %v\n", err)
+				os.Exit(1)
+			}
+			ctl.Start()
+			defer ctl.Stop()
+			scfg.Control = ctl
+		}
+		var err error
+		srv, err = edge.NewServer("127.0.0.1:0", scfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgeload: server: %v\n", err)
 			os.Exit(1)
@@ -201,16 +311,9 @@ func main() {
 		addr = srv.Addr()
 	}
 
-	// QKD plane: one key centre feeds every client session.
-	kc := qkd.NewKeyCenter()
 	clients := make([]*edge.Client, cfg.Clients)
 	for i := range clients {
-		id := fmt.Sprintf("load-%d", i)
-		// Initial key + generous rekey headroom.
-		if err := provision(kc, id, int64(1000+i), 16*edge.RekeyWithdrawBytes); err != nil {
-			fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
-			os.Exit(1)
-		}
+		id := clientID(i)
 		c, err := edge.DialQKDWith(addr, id, kc, int64(7+i), edge.DialConfig{Protocol: proto})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgeload: dial %s: %v\n", id, err)
@@ -328,6 +431,7 @@ func main() {
 		Requests:   requests.Load(),
 		Served:     rec.served.Load(),
 		Shed:       rec.shed.Load(),
+		Denied:     rec.denied.Load(),
 		Errors:     rec.errs.Load(),
 		Rekeys:     rekeys,
 		Throughput: float64(rec.served.Load()) / elapsed.Seconds(),
@@ -338,6 +442,16 @@ func main() {
 	}
 	if len(lat) > 0 {
 		sum.MaxMs = lat[len(lat)-1]
+	}
+	if ctl != nil {
+		p := ctl.Plan()
+		sum.Plan = &planInfo{
+			Seq:           p.Seq,
+			Lambda:        p.Lambda,
+			MSL:           p.MSL,
+			DefaultBudget: p.DefaultRekeyBudget,
+			AdmitCapacity: p.AdmitCapacity,
+		}
 	}
 
 	if *jsonOut != "" {

@@ -1,0 +1,473 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quhe/internal/costmodel"
+	"quhe/internal/optimize"
+	"quhe/internal/qkd"
+	"quhe/internal/qnet"
+	"quhe/internal/serve"
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Network is the QKD topology whose routes the allocation is solved
+	// over. Required.
+	Network *qnet.Network
+	// KeyCenter, when set, is actuated on every replan
+	// (ProvisionFromAllocation) and consulted for projected key
+	// consumption at admission time.
+	KeyCenter *qkd.KeyCenter
+	// ClientID maps a 0-based route index to its key-centre client ID.
+	// Default "client-<route+1>", matching qkd.ProvisionFromAllocation.
+	ClientID func(route int) string
+	// RouteOf maps a session ID to the 0-based route serving it. Default:
+	// FNV-1a hash of the ID modulo the route count.
+	RouteOf func(sessionID string) int
+	// SecurityWeights is ς_n per route (Eq. 9). Default: all 1.
+	SecurityWeights []float64
+	// LambdaSet is the ascending CKKS degree choice set (17d). Default
+	// {2^15, 2^16, 2^17}.
+	LambdaSet []float64
+	// AlphaMSL and AlphaT weight the security utility against the modeled
+	// compute delay when choosing λ. Defaults 5e-2 (the §VI-A calibrated
+	// α_msl, see internal/core) and 0.4.
+	AlphaMSL, AlphaT float64
+	// BaseRekeyBytes is the per-key byte budget at λ = LambdaRef; budgets
+	// scale from it via DeriveRekeyBudget. Default 1 MiB.
+	BaseRekeyBytes int64
+	// WithdrawBytes is the QKD material one key rotation consumes
+	// (edge.RekeyWithdrawBytes on the serving side). Default 32.
+	WithdrawBytes int
+	// MaxSessions caps AdmitCapacity regardless of key stock
+	// (0 = no cap beyond what the key plane sustains).
+	MaxSessions int
+	// ServerHz and TokensPerSample parameterize the compute-cost side of
+	// the λ choice (Eq. 13). Defaults 3.3e9 and 64.
+	ServerHz        float64
+	TokensPerSample float64
+	// PhiMin is the minimum per-route rate (17a). Default 1e-2.
+	PhiMin float64
+	// Interval is the replanning period of Start. Default 1s.
+	Interval time.Duration
+	// Logf sinks diagnostics; nil discards them.
+	Logf func(format string, args ...interface{})
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClientID == nil {
+		c.ClientID = func(route int) string { return fmt.Sprintf("client-%d", route+1) }
+	}
+	if c.RouteOf == nil {
+		routes := uint32(c.Network.NumRoutes())
+		c.RouteOf = func(sessionID string) int {
+			h := fnv.New32a()
+			h.Write([]byte(sessionID))
+			return int(h.Sum32() % routes)
+		}
+	}
+	if len(c.LambdaSet) == 0 {
+		c.LambdaSet = []float64{32768, 65536, 131072}
+	}
+	if c.AlphaMSL <= 0 {
+		c.AlphaMSL = 5e-2
+	}
+	if c.AlphaT <= 0 {
+		c.AlphaT = 0.4
+	}
+	if c.BaseRekeyBytes <= 0 {
+		c.BaseRekeyBytes = 1 << 20
+	}
+	if c.WithdrawBytes <= 0 {
+		c.WithdrawBytes = 32
+	}
+	if c.ServerHz <= 0 {
+		c.ServerHz = 3.3e9
+	}
+	if c.TokensPerSample <= 0 {
+		c.TokensPerSample = 64
+	}
+	if c.PhiMin <= 0 {
+		c.PhiMin = 1e-2
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...interface{}) {}
+	}
+	return c
+}
+
+// Controller closes the loop between serving telemetry and the paper's
+// optimization program: it periodically re-solves the utility-cost
+// allocation over the live Snapshot and publishes a Plan that the edge
+// server's admission and rekey-budget hooks read lock-free. It implements
+// the edge server's control-plane interface (BindServe / AdmitSession /
+// AdmitCompute / RekeyBudget / ObserveCompute).
+type Controller struct {
+	cfg Config
+	tel *Telemetry
+
+	plan   atomic.Pointer[Plan]
+	seq    atomic.Uint64
+	planMu sync.Mutex // serializes Replan (snapshot deltas + actuation)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	started  atomic.Bool
+}
+
+// New validates the configuration and builds a Controller with one initial
+// plan already solved (cold-start telemetry), so admission and budget
+// queries work before the first Start tick.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("control: nil network")
+	}
+	cfg = cfg.withDefaults()
+	if len(cfg.SecurityWeights) == 0 {
+		cfg.SecurityWeights = make([]float64, cfg.Network.NumRoutes())
+		for i := range cfg.SecurityWeights {
+			cfg.SecurityWeights[i] = 1
+		}
+	}
+	if len(cfg.SecurityWeights) != cfg.Network.NumRoutes() {
+		return nil, fmt.Errorf("control: %d security weights for %d routes",
+			len(cfg.SecurityWeights), cfg.Network.NumRoutes())
+	}
+	c := &Controller{cfg: cfg, tel: NewTelemetry(), stop: make(chan struct{})}
+	if _, err := c.Replan(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Telemetry returns the registry the serving plane publishes into.
+func (c *Controller) Telemetry() *Telemetry { return c.tel }
+
+// Plan returns the current plan (never nil after New).
+func (c *Controller) Plan() *Plan { return c.plan.Load() }
+
+// Start launches the periodic replanning loop. Idempotent.
+func (c *Controller) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(c.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				if _, err := c.Replan(); err != nil {
+					c.cfg.Logf("control: replan: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the replanning loop and waits for it to exit. Safe to call
+// more than once, and without a prior Start.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// Replan runs one control iteration: snapshot telemetry, re-solve the
+// allocation and λ choice, derive budgets and capacity, actuate the key
+// centre, and publish the new plan atomically. Serialized internally; safe
+// to call concurrently with the Start loop and with the admission hooks.
+func (c *Controller) Replan() (*Plan, error) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+
+	snap := c.tel.Snapshot()
+
+	phi, w, logU, err := c.solveAllocation()
+	if err != nil {
+		return nil, err
+	}
+	lambda := c.chooseLambda(snap)
+	msl := costmodel.MinSecurityLevel(lambda)
+
+	plan := &Plan{
+		Seq:               c.seq.Add(1),
+		At:                snap.At,
+		Lambda:            lambda,
+		MSL:               msl,
+		Phi:               phi,
+		Werner:            w,
+		LogUtility:        logU,
+		RekeyBudget:       make(map[string]int64, len(snap.Sessions)),
+		DemandBytesPerSec: snap.DemandBytesPerSec,
+	}
+	plan.DefaultRekeyBudget = DeriveRekeyBudget(c.cfg.BaseRekeyBytes, lambda)
+	for _, s := range snap.Sessions {
+		plan.RekeyBudget[s.ID] = c.sessionBudget(plan, s, phi, w)
+	}
+	plan.AdmitCapacity = c.admitCapacity()
+	// Shed by admission at 3/4 occupancy of whatever backlog the
+	// scheduler was sized for, leaving the last quarter to absorb
+	// in-flight bursts before the hard CodeOverloaded boundary.
+	if sched := c.tel.sched.Load(); sched != nil {
+		plan.QueueHighWater = 3 * sched.Capacity() / 4
+	}
+
+	// Actuation: provision every route's client with the secret-key rate
+	// its allocation sustains (rate_n = φ_n·F_skf(̟_n), Eq. 4).
+	if c.cfg.KeyCenter != nil {
+		if err := c.cfg.KeyCenter.ProvisionFromAllocation(c.cfg.Network, phi, w, c.cfg.ClientID); err != nil {
+			return nil, fmt.Errorf("control: provision: %w", err)
+		}
+	}
+
+	c.plan.Store(plan)
+	c.cfg.Logf("control: plan %d: λ=%g msl=%.1f lnU=%.3f budget=%d capacity=%d demand=%.0fB/s sessions=%d",
+		plan.Seq, plan.Lambda, plan.MSL, plan.LogUtility, plan.DefaultRekeyBudget,
+		plan.AdmitCapacity, plan.DemandBytesPerSec, len(snap.Sessions))
+	return plan, nil
+}
+
+// solveAllocation maximizes ln U_qkd (Eq. 6) over the per-route rate
+// allocation by projected gradient over the box [PhiMin, φ_max], with
+// infeasible points (link capacity or SKF threshold violations, 19a/20c)
+// rejected through an infinite objective — the Stage-1 program P2/P3 in
+// its projected-gradient form.
+func (c *Controller) solveAllocation() (phi, w []float64, logU float64, err error) {
+	net := c.cfg.Network
+	n := net.NumRoutes()
+
+	// Per-route upper bounds: a route may use at most its bottleneck
+	// link's capacity share (capacity / routes sharing the link), so any
+	// box point keeps every link load strictly below β_l.
+	fanout := make([]int, net.NumLinks())
+	for l := 0; l < net.NumLinks(); l++ {
+		for r := 0; r < n; r++ {
+			if net.Uses(r, l) {
+				fanout[l]++
+			}
+		}
+	}
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	x0 := make([]float64, n)
+	for r := 0; r < n; r++ {
+		lo[r] = c.cfg.PhiMin
+		hi[r] = math.Inf(1)
+		for l := 0; l < net.NumLinks(); l++ {
+			if net.Uses(r, l) {
+				share := 0.95 * net.Link(l).Beta / float64(fanout[l])
+				if share < hi[r] {
+					hi[r] = share
+				}
+			}
+		}
+		if hi[r] < lo[r] {
+			hi[r] = lo[r]
+		}
+		x0[r] = lo[r]
+	}
+
+	f := func(p []float64) float64 {
+		if !net.FeasibleRates(p) {
+			return math.Inf(1)
+		}
+		wr, werr := net.WernerFromRates(p)
+		if werr != nil {
+			return math.Inf(1)
+		}
+		lu, uerr := net.LogUtility(p, wr)
+		if uerr != nil || math.IsInf(lu, -1) {
+			return math.Inf(1)
+		}
+		return -lu
+	}
+	if math.IsInf(f(x0), 1) {
+		return nil, nil, 0, errors.New("control: PhiMin allocation infeasible")
+	}
+	res, err := optimize.MinimizeProjGrad(f, optimize.Box{Lo: lo, Hi: hi}, x0,
+		optimize.PGOptions{MaxIter: 200, Tol: 1e-7})
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("control: stage-1 solve: %w", err)
+	}
+	phi = res.X
+	w, err = net.WernerFromRates(phi)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return phi, w, -res.Value, nil
+}
+
+// chooseLambda picks the CKKS degree from the discrete set by the
+// utility-cost tradeoff of Eq. (17)'s security and delay terms: the
+// importance-weighted security utility α_msl·Σς·f_msl(λ) (Eq. 9) against
+// the modeled compute delay of the telemetry-predicted demand (Eqs. 13,
+// 29, 31). At zero load the highest security level wins; as demand grows
+// the quadratic/linear cycle models pull λ down.
+func (c *Controller) chooseLambda(snap Snapshot) float64 {
+	weight := 0.0
+	for _, s := range snap.Sessions {
+		// Guard the user-supplied RouteOf like sessionBudget does: an
+		// out-of-range route contributes no weight instead of panicking
+		// inside the replanning goroutine.
+		if route := c.cfg.RouteOf(s.ID); route >= 0 && route < len(c.cfg.SecurityWeights) {
+			weight += c.cfg.SecurityWeights[route]
+		}
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	// Demand in tokens/s: one float64 slot per token.
+	demandTokens := snap.DemandBytesPerSec / 8
+	best := c.cfg.LambdaSet[0]
+	bestScore := math.Inf(-1)
+	for _, lambda := range c.cfg.LambdaSet {
+		score := c.cfg.AlphaMSL*weight*costmodel.MinSecurityLevel(lambda) -
+			c.cfg.AlphaT*costmodel.ComputeDelay(lambda, demandTokens, c.cfg.TokensPerSample, c.cfg.ServerHz)
+		if score > bestScore {
+			best, bestScore = lambda, score
+		}
+	}
+	return best
+}
+
+// sessionBudget derives one session's rekey byte budget: the U_msl-scaled
+// default, stretched where the session's demand would imply a rekey
+// cadence its route's secret-key rate cannot fund (each rotation draws
+// WithdrawBytes of pool material).
+func (c *Controller) sessionBudget(plan *Plan, s SessionSnapshot, phi, w []float64) int64 {
+	budget := plan.DefaultRekeyBudget
+	route := c.cfg.RouteOf(s.ID)
+	if route < 0 || route >= len(phi) || s.BytesPerSec <= 0 {
+		return budget
+	}
+	ew, err := c.cfg.Network.EndToEndWerner(route, w)
+	if err != nil {
+		return budget
+	}
+	rateBits := phi[route] * qnet.SecretKeyFraction(ew)
+	if rateBits <= 0 {
+		return budget
+	}
+	// Sustainable cadence: demand/budget rekeys per second must cost no
+	// more than rateBits/8 bytes per second of fresh key material.
+	minBudget := int64(math.Ceil(s.BytesPerSec * float64(c.cfg.WithdrawBytes) * 8 / rateBits))
+	if minBudget > budget {
+		budget = minBudget
+	}
+	return budget
+}
+
+// admitCapacity targets the session count whose next key rotations the
+// current key stock can fund (pools only grow via explicit deposits, so
+// no projected replenishment is credited). Without a key centre the only
+// bound is MaxSessions; -1 means unbounded and 0 genuinely admits
+// nothing new.
+func (c *Controller) admitCapacity() int {
+	capacity := -1
+	if c.cfg.KeyCenter != nil {
+		bytes := 0
+		for _, p := range c.cfg.KeyCenter.PoolStats() {
+			bytes += p.AvailableBytes
+		}
+		capacity = bytes / c.cfg.WithdrawBytes
+	}
+	if c.cfg.MaxSessions > 0 && (capacity < 0 || capacity > c.cfg.MaxSessions) {
+		capacity = c.cfg.MaxSessions
+	}
+	return capacity
+}
+
+// --- edge control-plane hooks ----------------------------------------------
+
+// BindServe attaches the serving plane's gauges to the telemetry registry
+// (called by the edge server at construction).
+func (c *Controller) BindServe(pool *serve.EvalPool, sched *serve.Scheduler) {
+	c.tel.BindServe(pool, sched)
+}
+
+// AdmitSession decides whether a new session may register. resident is the
+// server's current session count. Denials are typed
+// serve.ErrAdmissionDenied so they cross the wire as CodeAdmissionDenied.
+func (c *Controller) AdmitSession(sessionID string, resident int) error {
+	p := c.plan.Load()
+	if p == nil {
+		return nil
+	}
+	if p.AdmitCapacity >= 0 && resident >= p.AdmitCapacity {
+		c.tel.ObserveAdmission(false)
+		return fmt.Errorf("%w: %d sessions at plan capacity %d",
+			serve.ErrAdmissionDenied, resident, p.AdmitCapacity)
+	}
+	if kc := c.cfg.KeyCenter; kc != nil {
+		// Projected key consumption: an admitted session must be able to
+		// fund its next rotation from its own pool.
+		if avail, err := kc.Available(sessionID); err == nil && avail < c.cfg.WithdrawBytes {
+			c.tel.ObserveAdmission(false)
+			return fmt.Errorf("%w: key pool for %q holds %d of %d bytes the next rekey needs",
+				serve.ErrAdmissionDenied, sessionID, avail, c.cfg.WithdrawBytes)
+		}
+	}
+	c.tel.ObserveAdmission(true)
+	return nil
+}
+
+// AdmitCompute decides whether one block (or batch) of pendingBytes may be
+// served for a session that has already used usedBytes of its current
+// key's budget. It sheds when the scheduler occupancy exceeds the plan's
+// high-water mark, and when serving would demand a key rotation the
+// session's depleted QKD pool cannot fund — the case that otherwise
+// leaves clients bouncing between CodeRekeyRequired and failed
+// withdrawals.
+func (c *Controller) AdmitCompute(sessionID string, usedBytes, pendingBytes int64) error {
+	p := c.plan.Load()
+	if p == nil {
+		return nil
+	}
+	if p.QueueHighWater > 0 {
+		if sched := c.tel.sched.Load(); sched != nil && sched.QueueDepth() >= p.QueueHighWater {
+			c.tel.ObserveAdmission(false)
+			return fmt.Errorf("%w: queue occupancy %d at plan high-water %d",
+				serve.ErrAdmissionDenied, sched.QueueDepth(), p.QueueHighWater)
+		}
+	}
+	if kc := c.cfg.KeyCenter; kc != nil {
+		if budget := p.BudgetFor(sessionID); budget > 0 && usedBytes+pendingBytes >= budget {
+			if avail, err := kc.Available(sessionID); err == nil && avail < c.cfg.WithdrawBytes {
+				c.tel.ObserveAdmission(false)
+				return fmt.Errorf("%w: key budget exhausted and pool for %q holds %d of %d bytes a rekey needs",
+					serve.ErrAdmissionDenied, sessionID, avail, c.cfg.WithdrawBytes)
+			}
+		}
+	}
+	return nil
+}
+
+// RekeyBudget returns the plan's per-key byte budget for a session
+// (0 only when the controller has no plan, which New precludes).
+func (c *Controller) RekeyBudget(sessionID string) int64 {
+	p := c.plan.Load()
+	if p == nil {
+		return 0
+	}
+	return p.BudgetFor(sessionID)
+}
+
+// ObserveCompute publishes one served block into the telemetry registry.
+func (c *Controller) ObserveCompute(sessionID string, bytes int64, latency time.Duration, code serve.Code) {
+	c.tel.ObserveCompute(sessionID, bytes, latency, code)
+}

@@ -1,0 +1,57 @@
+// Package control is the closed-loop control plane of the QuHE serving
+// stack: it connects the live serving runtime (internal/serve,
+// internal/edge, internal/qkd) to the paper's utility-cost optimization
+// program (internal/optimize, internal/costmodel, internal/qnet), so the
+// resource knobs the runtime used to hard-code — the per-key rekey byte
+// budget, the QKD provisioning rates, how much work to admit — are
+// re-derived online from telemetry instead.
+//
+// # The loop: telemetry → plan → actuation
+//
+// Sense. Telemetry is the lock-cheap registry the serving plane publishes
+// into. The edge server pushes one observation per served block
+// (per-session byte counts and latency/payload EWMAs, a sync.Map load plus
+// a few atomics on the hot path); the serve.Scheduler and serve.EvalPool
+// are bound once at server construction and their queue-depth, shed-count
+// and utilization gauges are read atomically at snapshot time; the
+// qkd.KeyCenter contributes per-client key stock and provisioned rates
+// (PoolStats). Telemetry.Snapshot folds all of it into one consistent view
+// and derives per-session demand rates from byte deltas between snapshots.
+//
+// Plan. Controller.Replan re-solves the paper's program over the snapshot
+// and publishes an immutable Plan through an atomic pointer:
+//
+//   - Plan.Phi / Plan.Werner — the Stage-1 entanglement-rate allocation:
+//     projected gradient ascent on ln U_qkd (Eq. 6) over the box
+//     [φ_min, φ_max] with link-capacity and SKF-threshold violations
+//     (Eqs. 19a, 20c) rejected as infeasible; Werner parameters are the
+//     capacity-saturating point w* of Eq. (18).
+//   - Plan.Lambda / Plan.MSL — the CKKS degree chosen from the discrete
+//     set (17d) by trading the importance-weighted security utility
+//     α_msl·Σ ς_n·f_msl(λ) (Eqs. 9, 30) against the modeled compute delay
+//     of the telemetry-predicted demand (Eqs. 13, 29, 31): highest
+//     security at idle, stepping down as demand grows.
+//   - Plan.DefaultRekeyBudget / Plan.RekeyBudget — per-session rekey byte
+//     budgets derived from the security level via DeriveRekeyBudget
+//     (budget scales with f_msl(λ), Eq. 30, relative to λ_ref = 2^15) and
+//     stretched per session where the route's secret-key rate
+//     φ_n·F_skf(̟_n) (Eq. 4) cannot fund the default's rekey cadence.
+//   - Plan.AdmitCapacity / Plan.QueueHighWater — the admission envelope:
+//     the session count whose next rotations the current key stock can
+//     fund, and the scheduler occupancy above which work is shed before
+//     the hard queue boundary.
+//
+// Actuate. Each replan provisions the key centre from the fresh allocation
+// (qkd.KeyCenter.ProvisionFromAllocation, rate_n = φ_n·F_skf(̟_n)), and
+// the edge server reads the plan on its hot paths: Setup consults
+// AdmitSession (capacity + projected key consumption), compute and batch
+// paths consult AdmitCompute (queue occupancy + whether an imminent rekey
+// is fundable) and RekeyBudget (replacing the static
+// edge.ServerConfig.RekeyBytes constant). Denials are typed
+// serve.ErrAdmissionDenied / serve.CodeAdmissionDenied on the wire, so
+// clients distinguish a policy shed from transient overload.
+//
+// A nil controller on edge.ServerConfig.Control disables the whole loop
+// and restores the static pre-control behavior bit-for-bit; the compat
+// tests in internal/edge pin that.
+package control

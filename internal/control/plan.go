@@ -1,0 +1,90 @@
+package control
+
+import (
+	"time"
+
+	"quhe/internal/costmodel"
+)
+
+// LambdaRef is the reference CKKS degree (2^15, the smallest of the paper's
+// λ set): DeriveRekeyBudget scales budgets relative to the security level
+// f_msl(LambdaRef).
+const LambdaRef = 32768
+
+// Plan is one output of the control loop: the resource allocation the
+// admission controller and the edge server actuate until the next replan.
+// Fields map back to the paper's program P1 (Eq. 17): Phi/Werner are the
+// Stage-1 key-rate block (Eqs. 18–20), Lambda the security-level choice
+// weighed by U_msl (Eq. 9) against the server cost model (Eqs. 29, 31),
+// and the rekey budgets tie the per-key byte exposure to f_msl (Eq. 30).
+type Plan struct {
+	// Seq increments per replan; At stamps when the plan was computed.
+	Seq uint64
+	At  time.Time
+
+	// Lambda is the chosen CKKS polynomial degree; MSL = f_msl(Lambda).
+	Lambda float64
+	MSL    float64
+
+	// Phi is the per-route entanglement-rate allocation and Werner the
+	// capacity-saturating link Werner parameters of Eq. (18); LogUtility
+	// is ln U_qkd (Eq. 6) at that point.
+	Phi        []float64
+	Werner     []float64
+	LogUtility float64
+
+	// DefaultRekeyBudget is the per-key byte budget for sessions without a
+	// per-session override; RekeyBudget holds the per-session budgets
+	// (stretched where the route's secret-key rate cannot sustain the
+	// default's rekey cadence).
+	DefaultRekeyBudget int64
+	RekeyBudget        map[string]int64
+
+	// AdmitCapacity is the target number of concurrent sessions the key
+	// plane can fund (negative = unbounded; 0 admits nothing new, e.g.
+	// every pool dry); QueueHighWater is the scheduler occupancy above
+	// which new work is shed by admission.
+	AdmitCapacity  int
+	QueueHighWater int
+
+	// DemandBytesPerSec echoes the telemetry demand the plan was solved
+	// against.
+	DemandBytesPerSec float64
+}
+
+// BudgetFor returns the rekey byte budget the plan assigns to a session:
+// its per-session entry when present, the plan default otherwise. Always
+// positive for a plan built by Controller.Replan — re-planning never drops
+// a live session's budget to zero.
+func (p *Plan) BudgetFor(sessionID string) int64 {
+	if b, ok := p.RekeyBudget[sessionID]; ok {
+		return b
+	}
+	return p.DefaultRekeyBudget
+}
+
+// DeriveRekeyBudget maps the plan's security level to a per-key byte
+// budget:
+//
+//	budget(λ) = base · f_msl(λ) / f_msl(LambdaRef)
+//
+// with f_msl from Eq. (30). A transciphering key is exposed through
+// CKKS-encrypted material, so the byte volume one key may safely cover
+// scales with the HE security level protecting it: at λ = 2^15 the budget
+// is exactly base, and it grows monotonically in f_msl(λ) — the property
+// the control tests assert. Budgets never derive to zero: any positive
+// base yields a budget of at least one byte.
+func DeriveRekeyBudget(base int64, lambda float64) int64 {
+	if base <= 0 {
+		return 0
+	}
+	scale := costmodel.MinSecurityLevel(lambda) / costmodel.MinSecurityLevel(LambdaRef)
+	if scale <= 0 {
+		return 1
+	}
+	b := int64(float64(base) * scale)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

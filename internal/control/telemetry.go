@@ -1,0 +1,206 @@
+package control
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"quhe/internal/serve"
+)
+
+// ewmaAlpha is the smoothing factor of the per-session EWMAs: light enough
+// that a plan interval of traffic dominates, heavy enough to ride out
+// single-block jitter.
+const ewmaAlpha = 0.2
+
+// ewma is a lock-free exponentially weighted moving average. Observations
+// CAS the float64 bits, so concurrent workers publish without a mutex; a
+// lost race only drops one observation's weight. All-zero bits mean
+// "never observed", so a computed 0.0 is stored as negative zero (same
+// arithmetic value, distinct bits) and a legitimate zero observation
+// cannot reset the history.
+type ewma struct{ bits atomic.Uint64 }
+
+func (e *ewma) Observe(v float64) {
+	for {
+		old := e.bits.Load()
+		next := v
+		if old != 0 {
+			next = (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*v
+		}
+		enc := math.Float64bits(next)
+		if enc == 0 {
+			enc = math.Float64bits(math.Copysign(0, -1))
+		}
+		if e.bits.CompareAndSwap(old, enc) {
+			return
+		}
+	}
+}
+
+// Load returns the current average (+0 folds the stored -0.0 back to 0).
+func (e *ewma) Load() float64 { return math.Float64frombits(e.bits.Load()) + 0 }
+
+// SessionTelemetry accumulates one session's serving counters. All fields
+// are updated atomically on the compute hot path — the registry adds one
+// sync.Map load and a handful of atomic ops per block.
+type SessionTelemetry struct {
+	bytes    atomic.Int64
+	blocks   atomic.Int64
+	failures atomic.Int64
+	lastSeen atomic.Int64 // unix nanos
+	latMs    ewma         // per-block serving latency, milliseconds
+	blkBytes ewma         // per-block masked payload bytes
+
+	// Snapshot bookkeeping, touched only under the controller's plan lock.
+	prevBytes int64
+	prevAt    time.Time
+}
+
+// SessionSnapshot is a point-in-time view of one session's telemetry.
+type SessionSnapshot struct {
+	ID            string
+	Bytes, Blocks int64
+	Failures      int64
+	// LatencyEWMAMs is the smoothed per-block serving latency.
+	LatencyEWMAMs float64
+	// BlockBytesEWMA is the smoothed masked-payload size per block.
+	BlockBytesEWMA float64
+	// BytesPerSec is the demand rate observed since the previous snapshot.
+	BytesPerSec float64
+}
+
+// Snapshot is the registry view a Controller plans against.
+type Snapshot struct {
+	At       time.Time
+	Sessions []SessionSnapshot
+	// DemandBytesPerSec aggregates the per-session demand rates.
+	DemandBytesPerSec float64
+	// QueueDepth / QueueSheds / PoolInUse / PoolSize mirror the bound
+	// serve.Scheduler and serve.EvalPool gauges (zero when unbound).
+	QueueDepth int
+	QueueSheds int64
+	PoolInUse  int
+	PoolSize   int
+	// Admitted / Denied count the admission controller's decisions.
+	Admitted, Denied int64
+}
+
+// sessionTTL prunes telemetry for sessions with no traffic (evicted or
+// abandoned) so the registry cannot grow without bound.
+const sessionTTL = 5 * time.Minute
+
+// Telemetry is the lock-cheap registry the serving plane publishes into:
+// per-session byte counts and latency EWMAs pushed by the edge server on
+// every block, and scheduler/evaluator-pool gauges read straight off the
+// bound serve components (which already expose them atomically). It is the
+// sensing half of the control loop; Controller.Replan consumes Snapshot.
+type Telemetry struct {
+	sessions sync.Map // string -> *SessionTelemetry
+	admitted atomic.Int64
+	denied   atomic.Int64
+
+	// pool and sched are write-once at BindServe and read lock-free on
+	// the admission hot path and at snapshot time.
+	pool  atomic.Pointer[serve.EvalPool]
+	sched atomic.Pointer[serve.Scheduler]
+}
+
+// NewTelemetry builds an empty registry.
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+// BindServe attaches the serving plane's pool and scheduler so snapshots
+// include queue depth, shed count and evaluator utilization. Called by the
+// edge server at construction; either may be nil.
+func (t *Telemetry) BindServe(pool *serve.EvalPool, sched *serve.Scheduler) {
+	if pool != nil {
+		t.pool.Store(pool)
+	}
+	if sched != nil {
+		t.sched.Store(sched)
+	}
+}
+
+func (t *Telemetry) session(id string) *SessionTelemetry {
+	if st, ok := t.sessions.Load(id); ok {
+		return st.(*SessionTelemetry)
+	}
+	st, _ := t.sessions.LoadOrStore(id, &SessionTelemetry{})
+	return st.(*SessionTelemetry)
+}
+
+// ObserveCompute records one served (or failed) block for a session.
+func (t *Telemetry) ObserveCompute(sessionID string, bytes int64, latency time.Duration, code serve.Code) {
+	st := t.session(sessionID)
+	st.lastSeen.Store(time.Now().UnixNano())
+	if code != serve.CodeOK {
+		st.failures.Add(1)
+		return
+	}
+	st.blocks.Add(1)
+	st.bytes.Add(bytes)
+	st.latMs.Observe(float64(latency) / float64(time.Millisecond))
+	st.blkBytes.Observe(float64(bytes))
+}
+
+// ObserveAdmission records one admission decision.
+func (t *Telemetry) ObserveAdmission(admitted bool) {
+	if admitted {
+		t.admitted.Add(1)
+	} else {
+		t.denied.Add(1)
+	}
+}
+
+// Admitted and Denied report the admission decision counters.
+func (t *Telemetry) Admitted() int64 { return t.admitted.Load() }
+func (t *Telemetry) Denied() int64   { return t.denied.Load() }
+
+// Snapshot captures the registry for one planning round, computing
+// per-session demand rates from the byte deltas since the previous call
+// and pruning sessions idle past the TTL. It is called by the Controller
+// under its plan lock; the hot-path publishers never block on it.
+func (t *Telemetry) Snapshot() Snapshot {
+	now := time.Now()
+	snap := Snapshot{At: now, Admitted: t.admitted.Load(), Denied: t.denied.Load()}
+	pool, sched := t.pool.Load(), t.sched.Load()
+	if pool != nil {
+		snap.PoolSize, snap.PoolInUse = pool.Size(), pool.InUse()
+	}
+	if sched != nil {
+		snap.QueueDepth, snap.QueueSheds = sched.QueueDepth(), sched.Sheds()
+	}
+	t.sessions.Range(func(k, v any) bool {
+		id, st := k.(string), v.(*SessionTelemetry)
+		if last := st.lastSeen.Load(); last != 0 && now.Sub(time.Unix(0, last)) > sessionTTL {
+			t.sessions.Delete(k)
+			return true
+		}
+		s := SessionSnapshot{
+			ID:             id,
+			Bytes:          st.bytes.Load(),
+			Blocks:         st.blocks.Load(),
+			Failures:       st.failures.Load(),
+			LatencyEWMAMs:  st.latMs.Load(),
+			BlockBytesEWMA: st.blkBytes.Load(),
+		}
+		if !st.prevAt.IsZero() {
+			if dt := now.Sub(st.prevAt).Seconds(); dt > 0 {
+				s.BytesPerSec = float64(s.Bytes-st.prevBytes) / dt
+			}
+		}
+		st.prevBytes, st.prevAt = s.Bytes, now
+		snap.Sessions = append(snap.Sessions, s)
+		snap.DemandBytesPerSec += s.BytesPerSec
+		return true
+	})
+	sortSessions(snap.Sessions)
+	return snap
+}
+
+// sortSessions orders snapshots by ID so plans and logs are deterministic.
+func sortSessions(s []SessionSnapshot) {
+	sort.Slice(s, func(i, j int) bool { return s[i].ID < s[j].ID })
+}

@@ -1,0 +1,150 @@
+package edge
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"quhe/internal/he/ckks"
+	"quhe/internal/transcipher"
+)
+
+// TestStalledBatchReaderDoesNotPinWorkers is the windowing regression
+// test: a v3 client that submits a large streaming batch and then stops
+// reading must not pin eval-pool workers on its socket. With one worker
+// and a stalled batch in flight, an unrelated client's compute must still
+// complete — pre-windowing, the worker blocked inside sendFrame on the
+// stalled connection and the second client hung forever.
+func TestStalledBatchReaderDoesNotPinWorkers(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model: Model{Weights: []float64{1}}, Workers: 1, QueueDepth: 4, BatchWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Raw v3 client so the read side can be deliberately stalled.
+	ctx, err := ckks.NewContext(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher, err := transcipher.New(ctx, KeyLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 201)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, 202)
+	key, err := cipher.DeriveKey([]byte("stall-material"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	encKey, err := cipher.EncryptKey(ev, pk, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("edge:stall")
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed before srv.Close (LIFO), unblocking the server's stalled
+	// batch writer so shutdown can drain.
+	defer conn.Close()
+	// A tiny receive buffer keeps the advertised TCP window small, so the
+	// server's item-frame writes hit backpressure after a few frames
+	// instead of disappearing into autotuned kernel buffers.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4 << 10)
+	}
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	var buf []byte
+	send := func(ftype byte, id uint64, build func(b []byte) []byte) {
+		t.Helper()
+		frame := buildFrame(t, ftype, id, build)
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(frameHello, 0, nil)
+	if ftype, _, _, err := readFrame(br, &buf); err != nil || ftype != frameHello {
+		t.Fatalf("hello ack: type %d err %v", ftype, err)
+	}
+	send(frameSetup, 1, func(b []byte) []byte {
+		return appendSetupRequest(b, &SetupRequest{
+			SessionID: "staller", LogN: ctx.Params.LogN, Depth: ctx.Params.Depth,
+			PK: pk, RLK: rlk, EncKey: encKey, Nonce: nonce,
+		})
+	})
+	if ftype, _, _, err := readFrame(br, &buf); err != nil || ftype != frameSetupReply {
+		t.Fatalf("setup reply: type %d err %v", ftype, err)
+	}
+
+	// A batch large enough that its item frames overflow both the window
+	// and the kernel socket buffers, then never read a byte again.
+	const n = MaxBatch
+	blocks := make([]uint32, n)
+	masked := make([][]float64, n)
+	data := make([]float64, cipher.Slots())
+	for i := range data {
+		data[i] = 0.25
+	}
+	for i := range blocks {
+		blocks[i] = uint32(i)
+		m, err := cipher.Mask(key, nonce, uint32(i), data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masked[i] = m
+	}
+	send(frameBatch, 2, func(b []byte) []byte {
+		return appendBatchRequest(b, &BatchRequest{SessionID: "staller", Blocks: blocks, Masked: masked})
+	})
+
+	// Give the batch time to reach the stalled state: items computed,
+	// writer blocked, window full.
+	time.Sleep(300 * time.Millisecond)
+
+	// The single worker must be free to serve an unrelated client.
+	type result struct {
+		out []float64
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		client, err := Dial(srv.Addr(), "bystander", []byte("bystander-key"), 17)
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		defer client.Close()
+		out, err := client.Compute(0, []float64{0.5})
+		done <- result{out, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("bystander compute failed: %v", r.err)
+		}
+		if len(r.out) != 1 {
+			t.Fatalf("bystander got %d values", len(r.out))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("bystander compute hung: stalled batch reader is pinning the eval worker")
+	}
+
+	// Shutdown must not be pinned either: Close tears live connections
+	// down, so it returns even though the batch peer is still stalled.
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Server.Close hung on the stalled batch connection")
+	}
+}

@@ -41,6 +41,12 @@ const (
 type DialConfig struct {
 	// Protocol selects the wire protocol; zero value is ProtoAuto.
 	Protocol Protocol
+	// Checksum requests per-frame CRC32C trailers at the v3 handshake
+	// (integrity on untrusted links). Effective only when the server
+	// accepts (ServerConfig.FrameChecksums); against older servers the
+	// request is silently ignored and the connection runs un-trailed —
+	// Client.Checksums reports the negotiated state.
+	Checksum bool
 }
 
 // negotiateTimeout bounds the wait for the server's v3 hello ack. Legacy
@@ -61,6 +67,8 @@ type Client struct {
 
 	// proto is "v3" or "gob" once negotiated.
 	proto string
+	// crc reports that per-frame CRC32C trailers were negotiated.
+	crc bool
 	// v3 transport: framed writes through fw, framed reads off br.
 	fw *frameWriter
 	br *bufio.Reader
@@ -177,7 +185,7 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 		return nil, fmt.Errorf("edge: encrypt key: %w", err)
 	}
 
-	conn, br, proto, err := negotiate(addr, dcfg.Protocol)
+	conn, br, proto, crc, err := negotiate(addr, dcfg.Protocol, dcfg.Checksum)
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +193,7 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 		sessionID: sessionID,
 		conn:      conn,
 		proto:     proto,
+		crc:       crc,
 		ctx:       ctx,
 		cipher:    cipher,
 		encoder:   ckks.NewEncoder(ctx),
@@ -199,6 +208,7 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 	}
 	if proto == "v3" {
 		c.fw = newFrameWriter(conn, c.teardown, nil)
+		c.fw.crc = crc
 		c.br = br
 		c.batchAsm = make(map[uint64]*BatchReply)
 	} else {
@@ -234,41 +244,54 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 // it performs the hello handshake: a server that acks speaks v3; one that
 // kills the connection (a gob-era server choking on the frame magic)
 // triggers a redial on the gob path under ProtoAuto, or
-// ErrProtocolMismatch under ProtoV3.
-func negotiate(addr string, p Protocol) (net.Conn, *bufio.Reader, string, error) {
-	dialGob := func() (net.Conn, *bufio.Reader, string, error) {
+// ErrProtocolMismatch under ProtoV3. wantCRC requests per-frame CRC32C
+// trailers in the hello flags; crc reports whether the server granted
+// them (pre-checksum servers ack with an empty payload, read as "no").
+func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.Reader, proto string, crc bool, err error) {
+	dialGob := func() (net.Conn, *bufio.Reader, string, bool, error) {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			return nil, nil, "", fmt.Errorf("edge: dial: %w", err)
+			return nil, nil, "", false, fmt.Errorf("edge: dial: %w", err)
 		}
-		return conn, nil, "gob", nil
+		return conn, nil, "gob", false, nil
 	}
 	if p == ProtoGob {
 		return dialGob()
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err = net.Dial("tcp", addr)
 	if err != nil {
-		return nil, nil, "", fmt.Errorf("edge: dial: %w", err)
+		return nil, nil, "", false, fmt.Errorf("edge: dial: %w", err)
+	}
+	var helloBuild func(b []byte) []byte
+	if wantCRC {
+		helloBuild = func(b []byte) []byte { return append(b, helloFlagCRC) }
 	}
 	hello := beginFrame(nil, frameHello, 0)
+	if helloBuild != nil {
+		hello = helloBuild(hello)
+	}
 	hello, _ = finishFrame(hello, 0)
 	var ftype byte
+	var ackPayload []byte
 	_, werr := conn.Write(hello)
 	err = werr
-	br := bufio.NewReaderSize(conn, wireBufSize)
+	br = bufio.NewReaderSize(conn, wireBufSize)
 	if err == nil {
 		conn.SetReadDeadline(time.Now().Add(negotiateTimeout))
 		buf := getFrameBuf()
-		ftype, _, _, err = readFrame(br, buf)
+		ftype, _, ackPayload, err = readFrame(br, buf)
+		if err == nil && len(ackPayload) >= 1 {
+			crc = wantCRC && ackPayload[0]&helloFlagCRC != 0
+		}
 		putFrameBuf(buf)
 		conn.SetReadDeadline(time.Time{})
 	}
 	if err == nil && ftype == frameHello {
-		return conn, br, "v3", nil
+		return conn, br, "v3", crc, nil
 	}
 	conn.Close()
 	if p == ProtoV3 {
-		return nil, nil, "", fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
+		return nil, nil, "", false, fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
 	}
 	return dialGob()
 }
@@ -360,7 +383,7 @@ func (c *Client) readLoopV3() {
 	buf := getFrameBuf()
 	defer putFrameBuf(buf)
 	for {
-		ftype, id, payload, err := readFrame(c.br, buf)
+		ftype, id, payload, err := readFrameCRC(c.br, buf, c.crc)
 		if err == nil {
 			err = c.handleFrameV3(ftype, id, payload)
 		}
@@ -503,6 +526,9 @@ func (c *Client) Close() error {
 
 // Protocol reports the negotiated wire protocol: "v3" or "gob".
 func (c *Client) Protocol() string { return c.proto }
+
+// Checksums reports whether per-frame CRC32C trailers were negotiated.
+func (c *Client) Checksums() bool { return c.crc }
 
 // Slots returns the per-block capacity.
 func (c *Client) Slots() int { return c.cipher.Slots() }

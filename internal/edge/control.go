@@ -1,0 +1,49 @@
+package edge
+
+import (
+	"strings"
+	"time"
+
+	"quhe/internal/serve"
+)
+
+// Controller is the serving-side hook for a control plane
+// (internal/control implements it). The server consults it on every Setup
+// and compute admission decision, reads per-session rekey byte budgets
+// from it in place of the static ServerConfig.RekeyBytes constant, and
+// publishes per-block telemetry back into it. A nil
+// ServerConfig.Control disables all of this and preserves the static
+// pre-control behavior exactly.
+//
+// Implementations must be safe for concurrent use from the serving hot
+// path and must not call back into the Server.
+type Controller interface {
+	// BindServe attaches the server's evaluator pool and scheduler so the
+	// control plane can read their utilization gauges. Called once from
+	// NewServer before any traffic.
+	BindServe(pool *serve.EvalPool, sched *serve.Scheduler)
+	// AdmitSession decides whether a new session may register; resident
+	// is the current resident-session count. Return an error wrapping
+	// serve.ErrAdmissionDenied to shed the Setup.
+	AdmitSession(sessionID string, resident int) error
+	// AdmitCompute decides whether pendingBytes of new work may be served
+	// for a session that has used usedBytes of its current key budget.
+	AdmitCompute(sessionID string, usedBytes, pendingBytes int64) error
+	// RekeyBudget returns the session's per-key byte budget
+	// (0 = fall back to ServerConfig.RekeyBytes).
+	RekeyBudget(sessionID string) int64
+	// ObserveCompute records one block's outcome: masked payload bytes,
+	// evaluation latency and the resulting code.
+	ObserveCompute(sessionID string, bytes int64, latency time.Duration, code serve.Code)
+}
+
+// controlDetail extracts the human-readable detail of a typed control
+// error for the wire's Err field, dropping the sentinel prefix the Code
+// already carries (clients rebuild the sentinel from the code).
+func controlDetail(err error) string {
+	msg := err.Error()
+	if sentinel := serve.CodeOf(err).Err(); sentinel != nil {
+		msg = strings.TrimPrefix(msg, sentinel.Error()+": ")
+	}
+	return msg
+}

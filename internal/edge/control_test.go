@@ -1,0 +1,196 @@
+package edge
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"quhe/internal/serve"
+)
+
+// fakeControl is a scriptable control plane for wiring tests.
+type fakeControl struct {
+	denySetup   atomic.Bool
+	denyCompute atomic.Bool
+	budget      atomic.Int64
+
+	bound    atomic.Bool
+	admits   atomic.Int64
+	observed atomic.Int64
+}
+
+func (f *fakeControl) BindServe(pool *serve.EvalPool, sched *serve.Scheduler) {
+	if pool != nil && sched != nil {
+		f.bound.Store(true)
+	}
+}
+
+func (f *fakeControl) AdmitSession(sessionID string, resident int) error {
+	if f.denySetup.Load() {
+		return serve.ErrAdmissionDenied
+	}
+	f.admits.Add(1)
+	return nil
+}
+
+func (f *fakeControl) AdmitCompute(sessionID string, usedBytes, pendingBytes int64) error {
+	if f.denyCompute.Load() {
+		return serve.ErrAdmissionDenied
+	}
+	return nil
+}
+
+func (f *fakeControl) RekeyBudget(sessionID string) int64 { return f.budget.Load() }
+
+func (f *fakeControl) ObserveCompute(sessionID string, bytes int64, latency time.Duration, code serve.Code) {
+	f.observed.Add(1)
+}
+
+func startControlledServer(t *testing.T, ctl Controller, cfg ServerConfig) *Server {
+	t.Helper()
+	cfg.Control = ctl
+	if cfg.Model.Weights == nil {
+		cfg.Model = Model{Weights: []float64{1}}
+	}
+	srv, err := NewServer("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return srv
+}
+
+func TestControlSetupAdmission(t *testing.T) {
+	ctl := &fakeControl{}
+	srv := startControlledServer(t, ctl, ServerConfig{})
+	if !ctl.bound.Load() {
+		t.Fatal("controller not bound to the serving plane at construction")
+	}
+
+	ctl.denySetup.Store(true)
+	if _, err := Dial(srv.Addr(), "shed-me", []byte("k"), 3); !errors.Is(err, serve.ErrAdmissionDenied) {
+		t.Fatalf("denied setup err = %v, want serve.ErrAdmissionDenied", err)
+	}
+	if srv.Sessions() != 0 {
+		t.Fatalf("%d sessions resident after denied setup", srv.Sessions())
+	}
+
+	ctl.denySetup.Store(false)
+	c, err := Dial(srv.Addr(), "admit-me", []byte("k"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if ctl.admits.Load() == 0 {
+		t.Error("admission hook never consulted")
+	}
+}
+
+func TestControlComputeAdmission(t *testing.T) {
+	ctl := &fakeControl{}
+	srv := startControlledServer(t, ctl, ServerConfig{})
+	c, err := Dial(srv.Addr(), "compute-admit", []byte("k"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Compute(0, []float64{0.5}); err != nil {
+		t.Fatalf("admitted compute failed: %v", err)
+	}
+	if ctl.observed.Load() == 0 {
+		t.Error("telemetry hook never observed the served block")
+	}
+
+	ctl.denyCompute.Store(true)
+	if _, err := c.Compute(1, []float64{0.5}); !errors.Is(err, serve.ErrAdmissionDenied) {
+		t.Errorf("denied compute err = %v, want serve.ErrAdmissionDenied", err)
+	}
+	// Batch requests are admitted as a whole, then per item.
+	if _, err := c.ComputeBatch(2, [][]float64{{0.1}, {0.2}}); !errors.Is(err, serve.ErrAdmissionDenied) {
+		t.Errorf("denied batch err = %v, want serve.ErrAdmissionDenied", err)
+	}
+}
+
+// TestControlDynamicBudgetOverridesStatic pins the tentpole's budget
+// plumbing: the plan's per-session budget governs the rekey demand, not
+// the static RekeyBytes constant.
+func TestControlDynamicBudgetOverridesStatic(t *testing.T) {
+	ctl := &fakeControl{}
+	// Static budget generous, dynamic budget smaller than one padded
+	// block: the first compute is served, the second must demand a rekey.
+	ctl.budget.Store(1000)
+	srv := startControlledServer(t, ctl, ServerConfig{RekeyBytes: 1 << 30})
+	c, err := Dial(srv.Addr(), "dyn-budget", []byte("k"), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Compute(0, []float64{0.5}); err != nil {
+		t.Fatalf("first compute: %v", err)
+	}
+	if _, err := c.Compute(1, []float64{0.5}); !errors.Is(err, serve.ErrRekeyRequired) {
+		t.Fatalf("second compute err = %v, want serve.ErrRekeyRequired under dynamic budget", err)
+	}
+	// Raising the plan budget re-admits the session without a rekey.
+	ctl.budget.Store(1 << 30)
+	if _, err := c.Compute(2, []float64{0.5}); err != nil {
+		t.Errorf("compute after budget raise: %v", err)
+	}
+}
+
+// TestNilControlStaticCompat pins the compat requirement: with no
+// controller the serving path behaves exactly as before the control
+// plane existed — static budget enforcement, admit-until-evicted, and a
+// v3 hello ack with an empty payload for a legacy (empty) hello.
+func TestNilControlStaticCompat(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model: Model{Weights: []float64{1}}, RekeyBytes: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Legacy hello: empty payload in, empty payload back (bit-compatible
+	// with the PR 3 handshake).
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := beginFrame(nil, frameHello, 0)
+	hello, _ = finishFrame(hello, 0)
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	ftype, _, payload, err := readFrame(bufio.NewReaderSize(conn, wireBufSize), &buf)
+	if err != nil || ftype != frameHello {
+		t.Fatalf("hello ack: type %d err %v", ftype, err)
+	}
+	if len(payload) != 0 {
+		t.Fatalf("hello ack payload %d bytes, want 0 (PR 3 compatible)", len(payload))
+	}
+
+	// Static budget still enforced the old way.
+	c, err := Dial(srv.Addr(), "static", []byte("k"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Compute(0, []float64{0.5}); err != nil {
+		t.Fatalf("first compute: %v", err)
+	}
+	if _, err := c.Compute(1, []float64{0.5}); !errors.Is(err, serve.ErrRekeyRequired) {
+		t.Errorf("static budget err = %v, want serve.ErrRekeyRequired", err)
+	}
+}

@@ -17,6 +17,19 @@
 // so N sessions cost key material only, while evaluator memory and
 // compute parallelism are bounded by the worker pool.
 //
+// # Control plane
+//
+// ServerConfig.Control optionally attaches a closed-loop control plane
+// (the Controller interface, implemented by internal/control). With it,
+// Setup and compute admission become plan decisions — denials cross the
+// wire as serve.CodeAdmissionDenied — per-session rekey byte budgets are
+// derived online from the paper's security-level utility U_msl instead of
+// the static RekeyBytes constant, and the server publishes per-block
+// telemetry (bytes, latency, outcome) back into the plane. A nil Control
+// preserves the static admit-until-evicted behavior exactly; see
+// internal/control's package comment for the telemetry → plan → actuation
+// loop.
+//
 // # Wire protocol
 //
 // Three generations share one listen port. The server sniffs the
@@ -57,13 +70,27 @@
 //     an older server (ProtoAuto) detects the dead hello and redials on
 //     the gob path.
 //
+// The hello pair doubles as a feature handshake: a client may carry a
+// flags byte in its hello payload requesting per-frame CRC32C trailers
+// (DialConfig.Checksum), which the ack confirms when the server opted in
+// (ServerConfig.FrameChecksums). Once negotiated, every subsequent frame
+// in both directions carries a 4-byte Castagnoli checksum over header and
+// payload, excluded from the header's length field; a mismatch fails with
+// the typed ErrFrameChecksum instead of a garbage decode. Empty hello
+// payloads — every pre-checksum peer — negotiate nothing and stay
+// bit-compatible.
+//
 // v3 BatchCompute is streaming: the server frames and flushes each
 // block's reply the moment its worker finishes (frameBatchItem, out of
 // order) and closes the batch with a frameBatchDone trailer carrying the
 // aggregate modeled costs, so giant batches never buffer whole replies.
 // A per-connection write mutex interleaves concurrent senders at frame
 // granularity, keeping one batch from starving pipelined requests on the
-// same connection.
+// same connection. Item frames are windowed (ServerConfig.BatchWindow): a
+// window token is held from an item's submission until its frame reaches
+// the socket, and eval workers only hand finished items to a per-batch
+// writer goroutine, so a slow client reading a batch stalls its own
+// window — never an eval-pool worker.
 //
 // # Pooled buffers and ownership
 //

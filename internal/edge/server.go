@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"quhe/internal/costmodel"
 	"quhe/internal/he/ckks"
@@ -49,13 +50,33 @@ type ServerConfig struct {
 	// RekeyBytes is the per-key byte budget: once a session has served
 	// this many masked bytes under one key, computes fail with
 	// serve.CodeRekeyRequired until the client rekeys. 0 disables
-	// enforcement.
+	// enforcement. With a Control plane attached, the plan's per-session
+	// budgets (derived from the paper's security-level utility) take
+	// precedence and RekeyBytes is only the fallback.
 	RekeyBytes int64
+	// Control, when non-nil, closes the loop with a control plane
+	// (internal/control): Setup and compute admission are delegated to
+	// it, rekey budgets come from its plan, and per-block telemetry is
+	// published back. Nil preserves the static admit-until-evicted
+	// behavior exactly.
+	Control Controller
+	// BatchWindow bounds the in-flight item frames of one streaming (v3)
+	// batch: an item is not submitted to the scheduler until an earlier
+	// item's reply frame has reached the socket once the window is full,
+	// so a slow client reading item frames stalls only its own batch,
+	// never an eval-pool worker. Default QueueDepth (capped at that, too:
+	// larger windows could let one batch shed itself on an idle server).
+	BatchWindow int
 	// LegacyGobOnly disables the framed v3 protocol, emulating a pre-v3
 	// server: every connection is served on the gob path, and v3 hellos
 	// fail to gob-decode so v3 clients fall back. Exists for
 	// compatibility testing; leave false in production.
 	LegacyGobOnly bool
+	// FrameChecksums accepts per-frame CRC32C trailers from v3 clients
+	// that request them at the handshake (integrity on untrusted links).
+	// Clients that do not ask — including every pre-checksum client —
+	// are served without trailers, so enabling this is always safe.
+	FrameChecksums bool
 }
 
 // Server is the QuHE edge server: it accepts client sessions, transciphers
@@ -74,6 +95,10 @@ type Server struct {
 	mu     sync.Mutex
 	wg     sync.WaitGroup
 	closed bool
+	// conns tracks live connections so Close can tear them down: without
+	// it, a peer that stalls mid-read (batch writer blocked on its
+	// socket) would pin Close in wg.Wait forever.
+	conns map[net.Conn]struct{}
 }
 
 // NewServer builds a server over the shared parameter set and starts
@@ -99,6 +124,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	} else if cfg.MaxSessions < 0 {
 		cfg.MaxSessions = 0 // unbounded
 	}
+	if cfg.BatchWindow <= 0 || cfg.BatchWindow > cfg.QueueDepth {
+		cfg.BatchWindow = cfg.QueueDepth
+	}
 	ctx, err := ckks.NewContext(DefaultParams())
 	if err != nil {
 		return nil, fmt.Errorf("edge: context: %w", err)
@@ -121,6 +149,10 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		pool:     pool,
 		sched:    serve.NewScheduler(pool, cfg.QueueDepth),
 	}
+	s.conns = make(map[net.Conn]struct{})
+	if cfg.Control != nil {
+		cfg.Control.BindServe(s.pool, s.sched)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -129,8 +161,9 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting, waits for in-flight connections to finish and
-// drains the scheduler.
+// Close stops accepting, tears down live connections (so a stalled peer
+// cannot pin shutdown), waits for in-flight handlers to finish and drains
+// the scheduler.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -138,11 +171,38 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	err := s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	s.sched.Close()
 	return err
+}
+
+// trackConn registers a live connection for Close-time teardown; it
+// reports false (and closes the connection) when the server is already
+// closing.
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) forgetConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 // Blocks returns the number of blocks processed for a session. Read-only:
@@ -224,8 +284,16 @@ func (w *connWriter) send(reply *replyEnvelope) {
 // one close-once teardown so a writer-side failure and the read loop's
 // exit cannot double-close the connection.
 func (s *Server) serveConn(conn net.Conn) {
+	if !s.trackConn(conn) {
+		return
+	}
 	var once sync.Once
-	teardown := func() { once.Do(func() { conn.Close() }) }
+	teardown := func() {
+		once.Do(func() {
+			conn.Close()
+			s.forgetConn(conn)
+		})
+	}
 	defer teardown()
 	br := bufio.NewReaderSize(conn, wireBufSize)
 	if !s.cfg.LegacyGobOnly {
@@ -244,7 +312,7 @@ func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
-			if !errors.Is(err, io.EOF) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.cfg.Logf("edge: decode: %v", err)
 			}
 			return
@@ -265,25 +333,43 @@ func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
 	}
 }
 
-// serveV3 drives one framed v3 connection: hello handshake, then a decode
-// loop dispatching request frames. Replies go through one frameWriter per
-// connection; batch items stream back as soon as each worker finishes.
+// serveV3 drives one framed v3 connection: hello handshake (including the
+// optional checksum negotiation), then a decode loop dispatching request
+// frames. Replies go through one frameWriter per connection; batch items
+// stream back as soon as each worker finishes.
 func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 	buf := getFrameBuf()
 	defer putFrameBuf(buf)
-	ftype, _, _, err := readFrame(br, buf)
+	ftype, _, payload, err := readFrame(br, buf)
 	if err != nil || ftype != frameHello {
 		s.cfg.Logf("edge: v3 handshake: type %d err %v", ftype, err)
 		return
 	}
+	// Checksum negotiation: a client that wants CRC32C trailers sets the
+	// flag in its hello payload; the ack echoes what the server accepts.
+	// Pre-checksum clients send empty hellos and get the empty ack they
+	// expect. The hello pair itself is always un-trailed; crc flips
+	// before the loop, while this goroutine is still the only sender.
+	crc := s.cfg.FrameChecksums && len(payload) >= 1 && payload[0]&helloFlagCRC != 0
+	var ack func(b []byte) []byte
+	if len(payload) >= 1 {
+		flags := byte(0)
+		if crc {
+			flags |= helloFlagCRC
+		}
+		ack = func(b []byte) []byte { return append(b, flags) }
+	}
 	fw := newFrameWriter(conn, teardown, s.cfg.Logf)
-	if fw.sendFrame(frameHello, 0, nil) != nil {
+	if fw.sendFrame(frameHello, 0, ack) != nil {
 		return
 	}
+	fw.crc = crc
 	for {
-		ftype, id, payload, err := readFrame(br, buf)
+		ftype, id, payload, err := readFrameCRC(br, buf, crc)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			// EOF is a normal goodbye; net.ErrClosed is our own Close
+			// tearing the connection down.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.cfg.Logf("edge: v3 decode: %v", err)
 			}
 			return
@@ -359,6 +445,12 @@ func (s *Server) handleSetup(req *SetupRequest) *SetupReply {
 	if req.SessionID == "" || req.PK == nil || req.RLK == nil || len(req.EncKey) != KeyLen {
 		return &SetupReply{Err: "incomplete setup", Code: serve.CodeBadRequest}
 	}
+	if ctl := s.cfg.Control; ctl != nil {
+		if err := ctl.AdmitSession(req.SessionID, s.store.Len()); err != nil {
+			s.cfg.Logf("edge: session %q not admitted: %v", req.SessionID, err)
+			return &SetupReply{Code: serve.CodeOf(err), Err: controlDetail(err)}
+		}
+	}
 	sess := serve.NewSession(req.SessionID, req.PK, req.RLK, req.EncKey, req.Nonce)
 	if err := s.store.Register(sess); err != nil {
 		return &SetupReply{
@@ -428,8 +520,21 @@ func (s *Server) compute(w *serve.Worker, req *ComputeRequest) *ComputeReply {
 	}
 }
 
+// rekeyBudget resolves a session's per-key byte budget: the control
+// plane's plan when one is attached (budgets derived from the paper's
+// security-level utility), the static RekeyBytes constant otherwise.
+func (s *Server) rekeyBudget(sess *serve.Session) int64 {
+	if ctl := s.cfg.Control; ctl != nil {
+		if b := ctl.RekeyBudget(sess.ID); b > 0 {
+			return b
+		}
+	}
+	return s.cfg.RekeyBytes
+}
+
 // computeBlock transciphers one block on an exclusively held worker,
-// enforcing slot bounds, the key epoch and the rekey byte budget.
+// enforcing slot bounds, the key epoch, control-plane admission and the
+// rekey byte budget.
 func (s *Server) computeBlock(w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (*ckks.Ciphertext, serve.Code, string) {
 	if len(masked) > s.cipher.Slots() {
 		return nil, serve.CodeOversized,
@@ -440,24 +545,46 @@ func (s *Server) computeBlock(w *serve.Worker, sess *serve.Session, reqEpoch uin
 		return nil, serve.CodeRekeyRequired,
 			fmt.Sprintf("block masked under key epoch %d, session at %d", reqEpoch, epoch)
 	}
-	if s.cfg.RekeyBytes > 0 && sess.BytesSinceRekey() >= s.cfg.RekeyBytes {
+	pending := int64(8 * len(masked))
+	// One snapshot of the per-key byte usage serves the admission check,
+	// the budget comparison and the error message, so they cannot
+	// disagree when concurrent traffic moves the counter between reads.
+	used := sess.BytesSinceRekey()
+	ctl := s.cfg.Control
+	if ctl != nil {
+		if err := ctl.AdmitCompute(sess.ID, used, pending); err != nil {
+			return nil, serve.CodeOf(err), controlDetail(err)
+		}
+	}
+	if budget := s.rekeyBudget(sess); budget > 0 && used >= budget {
 		return nil, serve.CodeRekeyRequired,
-			fmt.Sprintf("key byte budget exhausted (%d of %d)", sess.BytesSinceRekey(), s.cfg.RekeyBytes)
+			fmt.Sprintf("key byte budget exhausted (%d of %d)", used, budget)
+	}
+	var start time.Time
+	if ctl != nil {
+		start = time.Now()
 	}
 	scratch, _ := w.Scratch.(*transcipher.Scratch)
 	result, err := s.cipher.TranscipherAffineWith(
 		scratch, w.Ev, sess.RLK, encKey, nonce, block, masked,
 		s.cfg.Model.Weights, s.cfg.Model.Bias)
 	if err != nil {
+		if ctl != nil {
+			ctl.ObserveCompute(sess.ID, pending, time.Since(start), serve.CodeInternal)
+		}
 		return nil, serve.CodeInternal, "transcipher: " + err.Error()
 	}
-	sess.RecordBlock(int64(8 * len(masked)))
+	sess.RecordBlock(pending)
+	if ctl != nil {
+		ctl.ObserveCompute(sess.ID, pending, time.Since(start), serve.CodeOK)
+	}
 	return result, serve.CodeOK, ""
 }
 
 // rekeyNeeded advises clients once ≥ 3/4 of the key byte budget is spent.
 func (s *Server) rekeyNeeded(sess *serve.Session) bool {
-	return s.cfg.RekeyBytes > 0 && 4*sess.BytesSinceRekey() >= 3*s.cfg.RekeyBytes
+	budget := s.rekeyBudget(sess)
+	return budget > 0 && 4*sess.BytesSinceRekey() >= 3*budget
 }
 
 // handleBatch fans one BatchRequest's blocks out across the scheduler,
@@ -479,6 +606,10 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 	sess, ok := s.store.Get(req.SessionID)
 	if !ok {
 		fail(serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", req.SessionID))
+		return
+	}
+	if code, detail := s.admitBatch(sess, req); code != serve.CodeOK {
+		fail(code, detail)
 		return
 	}
 	items := make([]BatchItem, n)
@@ -555,41 +686,63 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 		fail(serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", req.SessionID))
 		return
 	}
+	if code, detail := s.admitBatch(sess, req); code != serve.CodeOK {
+		fail(code, detail)
+		return
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		// Same admission contract as the buffered path: the batch bounds
-		// its own in-flight items to the queue depth, so an idle server
-		// never sheds a batch merely for being larger than the queue.
-		window := make(chan struct{}, s.cfg.QueueDepth)
+		// Same admission contract as the buffered path — the batch bounds
+		// its own in-flight items, so an idle server never sheds a batch
+		// merely for being larger than the queue — but here a window
+		// token is held from submission until the item's reply frame has
+		// reached the socket. Eval workers only compute and hand the
+		// finished item to the per-batch writer goroutine below (the
+		// handoff channel never blocks: tokens cap its occupancy), so a
+		// slow or stalled client reading item frames stalls this batch's
+		// window, never an eval-pool worker.
+		type emitItem struct {
+			idx  int
+			item BatchItem
+		}
+		tokens := make(chan struct{}, s.cfg.BatchWindow)
+		emit := make(chan emitItem, s.cfg.BatchWindow)
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for e := range emit {
+				e := e
+				fw.sendFrame(frameBatchItem, id, func(b []byte) []byte {
+					return appendBatchItem(b, e.idx, &e.item)
+				})
+				<-tokens
+			}
+		}()
 		var wg sync.WaitGroup
 		var servedBits, served atomic.Int64
-		sendItem := func(i int, item *BatchItem) {
-			fw.sendFrame(frameBatchItem, id, func(b []byte) []byte {
-				return appendBatchItem(b, i, item)
-			})
-		}
 		for i := 0; i < n; i++ {
 			i := i
-			window <- struct{}{}
+			tokens <- struct{}{}
 			wg.Add(1)
 			err := s.sched.Submit(func(w *serve.Worker) {
-				defer func() { <-window; wg.Done() }()
+				defer wg.Done()
 				result, code, detail := s.computeBlock(w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
 				if code == serve.CodeOK {
 					served.Add(1)
 					servedBits.Add(int64(len(req.Masked[i]) * 64))
 				}
-				sendItem(i, &BatchItem{Result: result, Code: code, Err: detail})
+				emit <- emitItem{idx: i, item: BatchItem{Result: result, Code: code, Err: detail}}
 			})
 			if err != nil {
-				sendItem(i, &BatchItem{Code: serve.CodeOf(err),
-					Err: fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth)})
-				<-window
 				wg.Done()
+				emit <- emitItem{idx: i, item: BatchItem{Code: serve.CodeOf(err),
+					Err: fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth)}}
 			}
 		}
 		wg.Wait()
+		close(emit)
+		<-writerDone
 		lambda := float64(s.ctx.Params.N())
 		fw.sendFrame(frameBatchDone, id, func(b []byte) []byte {
 			return appendBatchDone(b, &BatchReply{
@@ -599,4 +752,22 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 			})
 		})
 	}()
+}
+
+// admitBatch runs the control plane's batch-level admission: the whole
+// request's projected byte consumption is checked once before fan-out
+// (per-item admission still applies inside computeBlock).
+func (s *Server) admitBatch(sess *serve.Session, req *BatchRequest) (serve.Code, string) {
+	ctl := s.cfg.Control
+	if ctl == nil {
+		return serve.CodeOK, ""
+	}
+	var pending int64
+	for _, m := range req.Masked {
+		pending += int64(8 * len(m))
+	}
+	if err := ctl.AdmitCompute(sess.ID, sess.BytesSinceRekey(), pending); err != nil {
+		return serve.CodeOf(err), controlDetail(err)
+	}
+	return serve.CodeOK, ""
 }

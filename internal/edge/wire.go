@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
@@ -46,7 +47,25 @@ const (
 
 	// wireBufSize sizes the per-connection bufio reader/writer.
 	wireBufSize = 64 << 10
+
+	// helloFlagCRC, set in the hello frame's optional flags payload,
+	// negotiates per-frame CRC32C trailers: the client requests them and
+	// the server's hello ack confirms. Both hello frames themselves are
+	// always un-trailed; checksums apply to every frame after the
+	// handshake, in both directions. Peers that predate the extension
+	// send (and ack with) empty hello payloads, which reads as "no
+	// checksums" on the other side.
+	helloFlagCRC = 0x01
+
+	// crcTrailerLen is the CRC32C (Castagnoli) trailer size. The trailer
+	// covers header and payload and is excluded from the header's length
+	// field, so a checksumming reader and a length-driven frame skipper
+	// agree on frame boundaries.
+	crcTrailerLen = 4
 )
+
+// crcTable is the Castagnoli polynomial table shared by both directions.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Frame types. Requests and replies are distinct so a corrupted direction
 // bit cannot alias a decode.
@@ -76,6 +95,10 @@ var (
 	// (returned by DialWith when ProtoV3 is forced against an older
 	// server).
 	ErrProtocolMismatch = errors.New("edge: peer does not speak protocol v3")
+	// ErrFrameChecksum reports a frame whose negotiated CRC32C trailer
+	// does not match its contents: corruption on an untrusted link,
+	// surfaced as a typed error instead of a garbage decode.
+	ErrFrameChecksum = errors.New("edge: frame checksum mismatch")
 )
 
 // frameBufs pools frame build/read buffers. Buffers that grew past the
@@ -122,6 +145,14 @@ func finishFrame(b []byte, start int) ([]byte, error) {
 // payload. The returned payload aliases *buf and is valid until the next
 // readFrame with the same buffer; decoders copy what they keep.
 func readFrame(br *bufio.Reader, buf *[]byte) (ftype byte, id uint64, payload []byte, err error) {
+	return readFrameCRC(br, buf, false)
+}
+
+// readFrameCRC is readFrame with the connection's negotiated checksum
+// mode: when withCRC is set, every frame carries a 4-byte CRC32C trailer
+// over header and payload, and a mismatch fails with the typed
+// ErrFrameChecksum instead of handing a corrupt payload to a decoder.
+func readFrameCRC(br *bufio.Reader, buf *[]byte, withCRC bool) (ftype byte, id uint64, payload []byte, err error) {
 	var hdr [frameHeaderLen]byte
 	if _, err = io.ReadFull(br, hdr[:]); err != nil {
 		return 0, 0, nil, err
@@ -148,6 +179,19 @@ func readFrame(br *bufio.Reader, buf *[]byte) (ftype byte, id uint64, payload []
 		}
 		return 0, 0, nil, err
 	}
+	if withCRC {
+		var trailer [crcTrailerLen]byte
+		if _, err = io.ReadFull(br, trailer[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, 0, nil, err
+		}
+		sum := crc32.Update(crc32.Checksum(hdr[:], crcTable), crcTable, *buf)
+		if sum != binary.LittleEndian.Uint32(trailer[:]) {
+			return 0, 0, nil, ErrFrameChecksum
+		}
+	}
 	return ftype, id, *buf, nil
 }
 
@@ -164,6 +208,10 @@ type frameWriter struct {
 	failed   bool
 	teardown func()
 	logf     func(string, ...interface{})
+	// crc appends a CRC32C trailer to every frame. It is flipped at most
+	// once, during the hello handshake, strictly before any concurrent
+	// senders exist on the connection.
+	crc bool
 }
 
 func newFrameWriter(conn net.Conn, teardown func(), logf func(string, ...interface{})) *frameWriter {
@@ -206,6 +254,9 @@ func (w *frameWriter) sendFrame(ftype byte, id uint64, build func(b []byte) []by
 	}
 	b, err := finishFrame(b, 0)
 	if err == nil {
+		if w.crc {
+			b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+		}
 		*pb = b
 		err = w.send(b)
 	} else {

@@ -110,6 +110,28 @@ func (kc *KeyCenter) Withdraw(clientID string, n int) ([]byte, error) {
 	return out, nil
 }
 
+// PoolStat is a point-in-time snapshot of one client's key pool.
+type PoolStat struct {
+	// ClientID names the pool.
+	ClientID string
+	// AvailableBytes is the buffered key material.
+	AvailableBytes int
+	// RatePerSec is the provisioned secret-key rate in bits/s.
+	RatePerSec float64
+}
+
+// PoolStats snapshots every client pool's stock and provisioned rate — the
+// key-plane telemetry the control plane folds into its resource plans.
+func (kc *KeyCenter) PoolStats() []PoolStat {
+	kc.mu.Lock()
+	defer kc.mu.Unlock()
+	out := make([]PoolStat, 0, len(kc.pools))
+	for id, p := range kc.pools {
+		out = append(out, PoolStat{ClientID: id, AvailableBytes: len(p.buf), RatePerSec: p.ratePerSec})
+	}
+	return out
+}
+
 // ProvisionFromAllocation registers every route's client with the
 // secret-key rate its Stage-1 allocation sustains:
 //

@@ -28,7 +28,14 @@
 // Failures are identified by Code values that travel on the wire next to
 // a human-readable detail string; each code maps to a sentinel error
 // (ErrUnknownSession, ErrOverloaded, ...) so both server internals and
-// remote clients can branch with errors.Is.
+// remote clients can branch with errors.Is. CodeOverloaded is the
+// queue's own fail-fast signal; CodeAdmissionDenied is its policy
+// sibling, raised by the control plane (internal/control) when a plan —
+// not the queue — refuses the work.
+//
+// The Scheduler and EvalPool also expose cheap gauges (QueueDepth, Sheds,
+// InUse) that the control plane's telemetry snapshots to drive those
+// plans.
 //
 // Sessions tie the serving plane to the key plane: each Session tracks a
 // transciphering key epoch and the bytes processed under the current key,

@@ -35,6 +35,13 @@ const (
 	// It is surfaced locally by protocol clients rather than carried on
 	// the wire (the wire is gone).
 	CodeConnClosed
+	// CodeAdmissionDenied sheds work the control plane refuses to admit:
+	// the projected QKD key consumption or queue occupancy exceeds the
+	// current resource plan. Unlike CodeOverloaded (a full queue right
+	// now) or CodeRekeyRequired (retry after rotating), admission denial
+	// is a policy decision — clients should back off or route elsewhere
+	// rather than retry immediately.
+	CodeAdmissionDenied
 )
 
 // Sentinel errors, one per failure code. Server components return these
@@ -51,6 +58,7 @@ var (
 	ErrRekeyRequired    = errors.New("serve: rekey required")
 	ErrInternal         = errors.New("serve: internal error")
 	ErrConnClosed       = errors.New("serve: connection closed")
+	ErrAdmissionDenied  = errors.New("serve: admission denied")
 )
 
 var codeToErr = map[Code]error{
@@ -63,6 +71,7 @@ var codeToErr = map[Code]error{
 	CodeRekeyRequired:    ErrRekeyRequired,
 	CodeInternal:         ErrInternal,
 	CodeConnClosed:       ErrConnClosed,
+	CodeAdmissionDenied:  ErrAdmissionDenied,
 }
 
 // Err returns the sentinel error for the code, or nil for CodeOK.
@@ -114,6 +123,8 @@ func (c Code) String() string {
 		return "internal"
 	case CodeConnClosed:
 		return "conn-closed"
+	case CodeAdmissionDenied:
+		return "admission-denied"
 	}
 	return "unknown"
 }

@@ -45,6 +45,10 @@ func NewEvalPool(ctx *ckks.Context, size int, seed int64, scratch func(i int) an
 // Size returns the fixed number of workers.
 func (p *EvalPool) Size() int { return cap(p.ch) }
 
+// InUse reports the workers currently checked out — the evaluator-pool
+// utilization gauge the control plane's telemetry snapshots.
+func (p *EvalPool) InUse() int { return cap(p.ch) - len(p.ch) }
+
 // Get checks a worker out, blocking until one is free.
 func (p *EvalPool) Get() *Worker { return <-p.ch }
 

@@ -20,6 +20,7 @@ type Scheduler struct {
 	pool  *EvalPool
 	queue chan Job
 	depth atomic.Int64
+	sheds atomic.Int64
 
 	mu     sync.RWMutex
 	closed bool
@@ -56,6 +57,7 @@ func (s *Scheduler) Submit(job Job) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
+		s.sheds.Add(1)
 		return ErrOverloaded
 	}
 	select {
@@ -63,12 +65,20 @@ func (s *Scheduler) Submit(job Job) error {
 		s.depth.Add(1)
 		return nil
 	default:
+		s.sheds.Add(1)
 		return ErrOverloaded
 	}
 }
 
 // QueueDepth reports the jobs currently waiting (not yet picked up).
 func (s *Scheduler) QueueDepth() int { return int(s.depth.Load()) }
+
+// Capacity reports the queue depth the scheduler was built with.
+func (s *Scheduler) Capacity() int { return cap(s.queue) }
+
+// Sheds counts submissions rejected with ErrOverloaded since construction —
+// a telemetry input for the control plane's admission decisions.
+func (s *Scheduler) Sheds() int64 { return s.sheds.Load() }
 
 // Close stops intake, runs the jobs already queued to completion and
 // waits for the drain goroutines to exit. Safe to call more than once.
