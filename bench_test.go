@@ -336,7 +336,7 @@ func BenchmarkServeWorkerSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	nonce := []byte("bench-serve")
-	sess := serve.NewSession("bench", pk, rlk, encKey, nonce)
+	sess := serve.NewSession("bench", "", pk, rlk, encKey, nonce)
 	weights := []float64{0.5}
 	bias := []float64{0.1}
 
@@ -644,6 +644,64 @@ func BenchmarkWireCodec(b *testing.B) {
 		}
 		if err := os.WriteFile("BENCH_wire.json", append(blob, '\n'), 0o644); err != nil {
 			fmt.Printf("wire-codec: write: %v\n", err)
+		}
+	})
+}
+
+// --- Security-profile mix: per-profile latency/utility under mixed λ --------
+
+type profileMixReport struct {
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"numcpu"`
+	Multicore  bool `json:"multicore"`
+	experiments.ProfileMixResult
+}
+
+// BenchmarkProfileMix serves a mixed-security workload — sessions on
+// every registry profile side by side, each on its own per-profile
+// evaluator pool and independently keyed context — and writes the
+// per-profile latency, utility and cost-coefficient comparison to
+// BENCH_profile.json. The coefficient check is the actuation contract:
+// the per-op cost the controller plans with (calibrated registry
+// coefficients) must track measured per-op latency within 2x.
+func BenchmarkProfileMix(b *testing.B) {
+	report := profileMixReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Multicore:  runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() > 1,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ProfileMix(experiments.ProfileMixOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report.ProfileMixResult = res
+	}
+	for _, p := range report.Profiles {
+		if p.Errors > 0 {
+			b.Fatalf("profile %s served wrong results (%d errors)", p.Profile, p.Errors)
+		}
+	}
+	last := report.Profiles[len(report.Profiles)-1]
+	b.ReportMetric(last.MeanMs, "ms/op@maxλ")
+	b.ReportMetric(report.TotalUtility, "mix-utility")
+	if !report.CoeffWithin2x {
+		b.Logf("WARNING: a planning coefficient fell outside the 2x band of measured latency; see BENCH_profile.json")
+	}
+	printOnce("profile-mix", func() {
+		fmt.Printf("\nSecurity-profile mix (per-profile pools, one server):\n")
+		for _, p := range report.Profiles {
+			fmt.Printf("  %-12s λ=%6.0fk msl %6.1f  served %2d  mean %7.2fms  coeff %7.2fms (%.2fx measured)  utility %7.2f\n",
+				p.Profile, p.Lambda/1024, p.MSL, p.Served, p.MeanMs, p.CoeffMs, p.CoeffOverMeasured, p.Utility)
+		}
+		fmt.Printf("  coefficients within 2x of measured: %v\n", report.CoeffWithin2x)
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile report: %v\n", err)
+			return
+		}
+		if err := os.WriteFile("BENCH_profile.json", append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "profile report: %v\n", err)
 		}
 	})
 }

@@ -28,6 +28,7 @@ import (
 
 	"quhe/internal/control"
 	"quhe/internal/edge"
+	"quhe/internal/he/profile"
 	"quhe/internal/qkd"
 	"quhe/internal/qnet"
 	"quhe/internal/serve"
@@ -43,6 +44,7 @@ type config struct {
 	QueueDepth int           `json:"queue_depth"`
 	RekeyBytes int64         `json:"rekey_bytes"`
 	Proto      string        `json:"proto"`
+	Profile    string        `json:"profile"`
 	Control    bool          `json:"control"`
 	StockBytes int           `json:"stock_bytes"`
 }
@@ -62,39 +64,44 @@ type bucket struct {
 }
 
 type summary struct {
-	Config     config    `json:"config"`
-	DurationS  float64   `json:"duration_s"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	NumCPU     int       `json:"numcpu"`
-	Protocol   string    `json:"protocol"`
-	Requests   int64     `json:"requests"`
-	Served     int64     `json:"served"`
-	Shed       int64     `json:"shed_overloaded"`
-	Denied     int64     `json:"shed_admission"`
-	Errors     int64     `json:"errors"`
-	Rekeys     int64     `json:"rekeys"`
-	Plan       *planInfo `json:"control_plan,omitempty"`
-	Throughput float64   `json:"throughput_blocks_per_s"`
-	P50Ms      float64   `json:"latency_ms_p50"`
-	P90Ms      float64   `json:"latency_ms_p90"`
-	P99Ms      float64   `json:"latency_ms_p99"`
-	MaxMs      float64   `json:"latency_ms_max"`
-	Histogram  []bucket  `json:"latency_histogram"`
+	Config     config  `json:"config"`
+	DurationS  float64 `json:"duration_s"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"numcpu"`
+	Protocol   string  `json:"protocol"`
+	// Profiles maps each negotiated security profile to the blocks its
+	// clients served — the mixed-λ view under -profile mix.
+	Profiles   map[string]int64 `json:"profiles,omitempty"`
+	Requests   int64            `json:"requests"`
+	Served     int64            `json:"served"`
+	Shed       int64            `json:"shed_overloaded"`
+	Denied     int64            `json:"shed_admission"`
+	Errors     int64            `json:"errors"`
+	Rekeys     int64            `json:"rekeys"`
+	Plan       *planInfo        `json:"control_plan,omitempty"`
+	Throughput float64          `json:"throughput_blocks_per_s"`
+	P50Ms      float64          `json:"latency_ms_p50"`
+	P90Ms      float64          `json:"latency_ms_p90"`
+	P99Ms      float64          `json:"latency_ms_p99"`
+	MaxMs      float64          `json:"latency_ms_max"`
+	Histogram  []bucket         `json:"latency_histogram"`
 }
 
 type recorder struct {
 	mu        sync.Mutex
 	latencies []float64 // milliseconds, served requests only
 	served    atomic.Int64
+	servedBy  []atomic.Int64 // per-client, for the per-profile rollup
 	shed      atomic.Int64
 	denied    atomic.Int64
 	errs      atomic.Int64
 }
 
-func (r *recorder) record(lat time.Duration, err error) {
+func (r *recorder) record(ci int, lat time.Duration, err error) {
 	switch {
 	case err == nil:
 		r.served.Add(1)
+		r.servedBy[ci].Add(1)
 		ms := float64(lat) / float64(time.Millisecond)
 		r.mu.Lock()
 		r.latencies = append(r.latencies, ms)
@@ -221,6 +228,7 @@ func main() {
 	flag.IntVar(&cfg.QueueDepth, "queue", 0, "server queue depth (in-process server only; 0: 4×workers)")
 	flag.Int64Var(&cfg.RekeyBytes, "rekey-bytes", 0, "per-key byte budget (in-process server only; 0: no rekeying; with -control: the controller's base budget at λ_ref)")
 	flag.StringVar(&cfg.Proto, "proto", "auto", "wire protocol: auto (v3 with gob fallback), v3 (required), gob (forced legacy)")
+	flag.StringVar(&cfg.Profile, "profile", "", "security profile for every client: a registry ID, \"mix\" (spread clients across the registry), or empty (server/plan steering)")
 	flag.BoolVar(&cfg.Control, "control", false, "attach the closed-loop control plane (in-process server only): online admission, U_msl-derived rekey budgets, QKD provisioning from the live allocation")
 	flag.IntVar(&cfg.StockBytes, "stock", 0, "finite per-client QKD key stock in bytes (0: replenish generously); with -control, exhaustion sheds typed admission denials")
 	jsonOut := flag.String("json", "-", "write the JSON summary to this file (\"-\": stdout, \"\": suppress)")
@@ -241,6 +249,27 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "edgeload: unknown -proto %q (want auto, v3 or gob)\n", cfg.Proto)
 		os.Exit(2)
+	}
+
+	reg := profile.Default()
+	profileFor := func(i int) string { return cfg.Profile }
+	switch cfg.Profile {
+	case "", reg.DefaultID():
+	case "mix":
+		ids := reg.IDs()
+		profileFor = func(i int) string { return ids[i%len(ids)] }
+		fallthrough
+	default:
+		if cfg.Proto == "gob" {
+			fmt.Fprintln(os.Stderr, "edgeload: -profile needs profile negotiation; drop -proto gob")
+			os.Exit(2)
+		}
+		if cfg.Profile != "mix" {
+			if _, ok := reg.Get(cfg.Profile); !ok {
+				fmt.Fprintf(os.Stderr, "edgeload: unknown -profile %q (have %v or \"mix\")\n", cfg.Profile, reg.IDs())
+				os.Exit(2)
+			}
+		}
 	}
 
 	if cfg.StockBytes > 0 && cfg.StockBytes < edge.RekeyWithdrawBytes {
@@ -314,7 +343,8 @@ func main() {
 	clients := make([]*edge.Client, cfg.Clients)
 	for i := range clients {
 		id := clientID(i)
-		c, err := edge.DialQKDWith(addr, id, kc, int64(7+i), edge.DialConfig{Protocol: proto})
+		c, err := edge.DialQKDWith(addr, id, kc, int64(7+i),
+			edge.DialConfig{Protocol: proto, Profile: profileFor(i)})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgeload: dial %s: %v\n", id, err)
 			os.Exit(1)
@@ -323,7 +353,7 @@ func main() {
 		clients[i] = c
 	}
 
-	rec := &recorder{}
+	rec := &recorder{servedBy: make([]atomic.Int64, cfg.Clients)}
 	var requests atomic.Int64
 	blockCounters := make([]atomic.Uint32, cfg.Clients)
 	var wg sync.WaitGroup
@@ -360,7 +390,7 @@ func main() {
 			}
 			break
 		}
-		rec.record(time.Since(t0), err)
+		rec.record(ci, time.Since(t0), err)
 	}
 
 	if cfg.Rate > 0 {
@@ -422,12 +452,18 @@ func main() {
 		}
 	}
 
+	profiles := make(map[string]int64)
+	for i, c := range clients {
+		profiles[c.Profile()] += rec.servedBy[i].Load()
+	}
+
 	sum := summary{
 		Config:     cfg,
 		DurationS:  elapsed.Seconds(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Protocol:   clients[0].Protocol(),
+		Profiles:   profiles,
 		Requests:   requests.Load(),
 		Served:     rec.served.Load(),
 		Shed:       rec.shed.Load(),

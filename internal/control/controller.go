@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"quhe/internal/costmodel"
+	"quhe/internal/he/profile"
 	"quhe/internal/optimize"
 	"quhe/internal/qkd"
 	"quhe/internal/qnet"
@@ -36,6 +37,14 @@ type Config struct {
 	// LambdaSet is the ascending CKKS degree choice set (17d). Default
 	// {2^15, 2^16, 2^17}.
 	LambdaSet []float64
+	// Profiles is the security-profile registry the per-route λ choice is
+	// actuated through: each route's planned λ resolves to a registry
+	// profile and new sessions on the route are steered to it at
+	// negotiation time. Only registry members whose λ is in LambdaSet are
+	// candidates, so pinning LambdaSet pins the actuation too. Nil
+	// selects profile.Default(), which must then match the edge server's
+	// registry.
+	Profiles *profile.Registry
 	// AlphaMSL and AlphaT weight the security utility against the modeled
 	// compute delay when choosing λ. Defaults 5e-2 (the §VI-A calibrated
 	// α_msl, see internal/core) and 0.4.
@@ -75,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.LambdaSet) == 0 {
 		c.LambdaSet = []float64{32768, 65536, 131072}
+	}
+	if c.Profiles == nil {
+		c.Profiles = profile.Default()
 	}
 	if c.AlphaMSL <= 0 {
 		c.AlphaMSL = 5e-2
@@ -119,6 +131,12 @@ type Controller struct {
 	plan   atomic.Pointer[Plan]
 	seq    atomic.Uint64
 	planMu sync.Mutex // serializes Replan (snapshot deltas + actuation)
+
+	// store is the bound session store (actuated for live MaxSessions
+	// resizing); storeCeiling is its built cap at bind time — the bound
+	// resizing never raises the cap above what the server was built with.
+	store        atomic.Pointer[serve.Store]
+	storeCeiling atomic.Int64
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -215,30 +233,53 @@ func (c *Controller) Replan() (*Plan, error) {
 		RekeyBudget:       make(map[string]int64, len(snap.Sessions)),
 		DemandBytesPerSec: snap.DemandBytesPerSec,
 	}
+	plan.RouteLambda, plan.RouteProfile = c.chooseRouteProfiles(snap)
 	plan.DefaultRekeyBudget = DeriveRekeyBudget(c.cfg.BaseRekeyBytes, lambda)
 	for _, s := range snap.Sessions {
 		plan.RekeyBudget[s.ID] = c.sessionBudget(plan, s, phi, w)
 	}
 	plan.AdmitCapacity = c.admitCapacity()
-	// Shed by admission at 3/4 occupancy of whatever backlog the
-	// scheduler was sized for, leaving the last quarter to absorb
-	// in-flight bursts before the hard CodeOverloaded boundary.
+	// The queue envelope is 3/4 of the backlog the scheduler was built
+	// for. Since the plan now *actuates* this bound (Resize below), it is
+	// both the admission shed point (typed CodeAdmissionDenied, checked
+	// first on the control path) and the hard enqueue boundary — only
+	// submissions racing past a same-instant admission check see
+	// CodeOverloaded there.
 	if sched := c.tel.sched.Load(); sched != nil {
-		plan.QueueHighWater = 3 * sched.Capacity() / 4
+		plan.QueueHighWater = 3 * sched.MaxCapacity() / 4
 	}
 
 	// Actuation: provision every route's client with the secret-key rate
-	// its allocation sustains (rate_n = φ_n·F_skf(̟_n), Eq. 4).
+	// its allocation sustains (rate_n = φ_n·F_skf(̟_n), Eq. 4), and apply
+	// the plan's envelope to the live serving plane — the queue's depth
+	// bound moves to the high-water and the session cap follows the
+	// admission capacity (never above the built ceiling), so the plan is
+	// enforced by the runtime itself, not only advised at admission time.
 	if c.cfg.KeyCenter != nil {
 		if err := c.cfg.KeyCenter.ProvisionFromAllocation(c.cfg.Network, phi, w, c.cfg.ClientID); err != nil {
 			return nil, fmt.Errorf("control: provision: %w", err)
 		}
 	}
+	if sched := c.tel.sched.Load(); sched != nil && plan.QueueHighWater > 0 {
+		sched.Resize(plan.QueueHighWater)
+	}
+	if store := c.store.Load(); store != nil {
+		if ceiling := int(c.storeCeiling.Load()); ceiling > 0 {
+			target := ceiling
+			if plan.AdmitCapacity >= 0 && plan.AdmitCapacity < ceiling {
+				target = plan.AdmitCapacity
+			}
+			if target < 1 {
+				target = 1 // a zero cap would evict every resident session
+			}
+			store.SetMaxSessions(target)
+		}
+	}
 
 	c.plan.Store(plan)
-	c.cfg.Logf("control: plan %d: λ=%g msl=%.1f lnU=%.3f budget=%d capacity=%d demand=%.0fB/s sessions=%d",
+	c.cfg.Logf("control: plan %d: λ=%g msl=%.1f lnU=%.3f budget=%d capacity=%d demand=%.0fB/s sessions=%d routes=%v",
 		plan.Seq, plan.Lambda, plan.MSL, plan.LogUtility, plan.DefaultRekeyBudget,
-		plan.AdmitCapacity, plan.DemandBytesPerSec, len(snap.Sessions))
+		plan.AdmitCapacity, plan.DemandBytesPerSec, len(snap.Sessions), plan.RouteProfile)
 	return plan, nil
 }
 
@@ -345,12 +386,72 @@ func (c *Controller) chooseLambda(snap Snapshot) float64 {
 	return best
 }
 
+// routeCandidates returns the profiles the per-route λ choice may
+// actuate: registry members whose λ is in LambdaSet (so pinning the set
+// pins the actuation), falling back to the registry default when the set
+// and the registry are disjoint.
+func (c *Controller) routeCandidates() []*profile.Profile {
+	var cands []*profile.Profile
+	for _, lambda := range c.cfg.LambdaSet {
+		if p, ok := c.cfg.Profiles.ByLambda(lambda); ok {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) == 0 {
+		cands = []*profile.Profile{c.cfg.Profiles.Default()}
+	}
+	return cands
+}
+
+// chooseRouteProfiles solves the per-route λ choice: for each route, the
+// candidate profile maximizing α_msl·ς_r·f_msl(λ) − α_T·T_cmp of the
+// route's own predicted demand, with T_cmp computed from the profile's
+// per-block cost coefficient (calibrated when available). At idle every
+// route runs the highest security level; a route whose sessions push
+// heavy demand is stepped down independently of its neighbours — the
+// heterogeneous-security serving the single global λ could not express.
+func (c *Controller) chooseRouteProfiles(snap Snapshot) (lambdas []float64, profiles []string) {
+	n := c.cfg.Network.NumRoutes()
+	cands := c.routeCandidates()
+	demand := make([]float64, n)
+	for _, s := range snap.Sessions {
+		if route := c.cfg.RouteOf(s.ID); route >= 0 && route < n {
+			demand[route] += s.BytesPerSec
+		}
+	}
+	lambdas = make([]float64, n)
+	profiles = make([]string, n)
+	for r := 0; r < n; r++ {
+		weight := 1.0
+		if r < len(c.cfg.SecurityWeights) {
+			weight = c.cfg.SecurityWeights[r]
+		}
+		best := cands[0]
+		bestScore := math.Inf(-1)
+		for _, p := range cands {
+			score := c.cfg.AlphaMSL*weight*p.MSL() -
+				c.cfg.AlphaT*p.ComputeDelaySec(demand[r], c.cfg.ServerHz)
+			if score > bestScore {
+				best, bestScore = p, score
+			}
+		}
+		lambdas[r], profiles[r] = best.Lambda, best.ID
+	}
+	return lambdas, profiles
+}
+
 // sessionBudget derives one session's rekey byte budget: the U_msl-scaled
-// default, stretched where the session's demand would imply a rekey
-// cadence its route's secret-key rate cannot fund (each rotation draws
-// WithdrawBytes of pool material).
+// default at the session's actual profile λ (not the global aggregate),
+// stretched where the session's demand would imply a rekey cadence its
+// route's secret-key rate cannot fund (each rotation draws WithdrawBytes
+// of pool material).
 func (c *Controller) sessionBudget(plan *Plan, s SessionSnapshot, phi, w []float64) int64 {
 	budget := plan.DefaultRekeyBudget
+	if s.Profile != "" {
+		if p, ok := c.cfg.Profiles.Get(s.Profile); ok {
+			budget = DeriveRekeyBudget(c.cfg.BaseRekeyBytes, p.Lambda)
+		}
+	}
 	route := c.cfg.RouteOf(s.ID)
 	if route < 0 || route >= len(phi) || s.BytesPerSec <= 0 {
 		return budget
@@ -395,9 +496,51 @@ func (c *Controller) admitCapacity() int {
 // --- edge control-plane hooks ----------------------------------------------
 
 // BindServe attaches the serving plane's gauges to the telemetry registry
-// (called by the edge server at construction).
-func (c *Controller) BindServe(pool *serve.EvalPool, sched *serve.Scheduler) {
-	c.tel.BindServe(pool, sched)
+// and captures the store for live session-cap actuation (called by the
+// edge server at construction).
+func (c *Controller) BindServe(pools *serve.PoolSet, sched *serve.Scheduler, store *serve.Store) {
+	c.tel.BindServe(pools, sched)
+	if store != nil {
+		c.store.Store(store)
+		c.storeCeiling.Store(int64(store.MaxSessions()))
+	}
+}
+
+// NegotiateProfile resolves the security profile a new session should
+// run. An empty request is steered to the plan's profile for the
+// session's route; a concrete request is granted as asked, downgraded to
+// the route's planned profile when it demands a higher λ than the plan
+// allows, and denied (typed serve.ErrProfileDenied) when the registry
+// does not know it.
+func (c *Controller) NegotiateProfile(sessionID, requested string) (string, error) {
+	reg := c.cfg.Profiles
+	planned := reg.DefaultID()
+	if p := c.plan.Load(); p != nil {
+		if route := c.cfg.RouteOf(sessionID); route >= 0 {
+			if rp := p.ProfileForRoute(route); rp != "" {
+				planned = rp
+			}
+		}
+	}
+	if requested == "" {
+		return planned, nil
+	}
+	req, ok := reg.Get(requested)
+	if !ok {
+		return "", fmt.Errorf("%w: unknown profile %q", serve.ErrProfileDenied, requested)
+	}
+	if plannedProf, ok := reg.Get(planned); ok && req.Lambda > plannedProf.Lambda {
+		// The plan refuses the requested level on this route: downgrade.
+		return planned, nil
+	}
+	return requested, nil
+}
+
+// ObserveSession records a successful registration and its profile in the
+// telemetry registry, so the very next replan derives the session's
+// budget from its actual λ.
+func (c *Controller) ObserveSession(sessionID, profileID string) {
+	c.tel.ObserveSession(sessionID, profileID)
 }
 
 // AdmitSession decides whether a new session may register. resident is the
@@ -441,6 +584,7 @@ func (c *Controller) AdmitCompute(sessionID string, usedBytes, pendingBytes int6
 	if p.QueueHighWater > 0 {
 		if sched := c.tel.sched.Load(); sched != nil && sched.QueueDepth() >= p.QueueHighWater {
 			c.tel.ObserveAdmission(false)
+			c.tel.ObserveShed(sessionID, pendingBytes)
 			return fmt.Errorf("%w: queue occupancy %d at plan high-water %d",
 				serve.ErrAdmissionDenied, sched.QueueDepth(), p.QueueHighWater)
 		}
@@ -449,6 +593,11 @@ func (c *Controller) AdmitCompute(sessionID string, usedBytes, pendingBytes int6
 		if budget := p.BudgetFor(sessionID); budget > 0 && usedBytes+pendingBytes >= budget {
 			if avail, err := kc.Available(sessionID); err == nil && avail < c.cfg.WithdrawBytes {
 				c.tel.ObserveAdmission(false)
+				// Denied bytes still count as demand: a fully shed session
+				// must keep registering load with the predictor, or its
+				// budget collapses to the idle default and it can never
+				// recover.
+				c.tel.ObserveShed(sessionID, pendingBytes)
 				return fmt.Errorf("%w: key budget exhausted and pool for %q holds %d of %d bytes a rekey needs",
 					serve.ErrAdmissionDenied, sessionID, avail, c.cfg.WithdrawBytes)
 			}

@@ -26,11 +26,19 @@
 //     [φ_min, φ_max] with link-capacity and SKF-threshold violations
 //     (Eqs. 19a, 20c) rejected as infeasible; Werner parameters are the
 //     capacity-saturating point w* of Eq. (18).
-//   - Plan.Lambda / Plan.MSL — the CKKS degree chosen from the discrete
-//     set (17d) by trading the importance-weighted security utility
-//     α_msl·Σ ς_n·f_msl(λ) (Eqs. 9, 30) against the modeled compute delay
-//     of the telemetry-predicted demand (Eqs. 13, 29, 31): highest
-//     security at idle, stepping down as demand grows.
+//   - Plan.Lambda / Plan.MSL — the aggregate CKKS degree chosen from the
+//     discrete set (17d) by trading the importance-weighted security
+//     utility α_msl·Σ ς_n·f_msl(λ) (Eqs. 9, 30) against the modeled
+//     compute delay of the telemetry-predicted demand (Eqs. 13, 29, 31):
+//     highest security at idle, stepping down as demand grows.
+//   - Plan.RouteLambda / Plan.RouteProfile — the same tradeoff solved per
+//     route against the route's own security weight and demand, actuated
+//     through the security-profile registry (internal/he/profile): each
+//     planned λ resolves to a runnable CKKS parameter set, and
+//     NegotiateProfile steers every new session on the route to it. The
+//     per-profile compute-delay term uses the registry's cost
+//     coefficients, which calibration (profile.Calibrate) replaces with
+//     live per-op measurements.
 //   - Plan.DefaultRekeyBudget / Plan.RekeyBudget — per-session rekey byte
 //     budgets derived from the security level via DeriveRekeyBudget
 //     (budget scales with f_msl(λ), Eq. 30, relative to λ_ref = 2^15) and
@@ -42,14 +50,22 @@
 //     the hard queue boundary.
 //
 // Actuate. Each replan provisions the key centre from the fresh allocation
-// (qkd.KeyCenter.ProvisionFromAllocation, rate_n = φ_n·F_skf(̟_n)), and
-// the edge server reads the plan on its hot paths: Setup consults
-// AdmitSession (capacity + projected key consumption), compute and batch
-// paths consult AdmitCompute (queue occupancy + whether an imminent rekey
-// is fundable) and RekeyBudget (replacing the static
-// edge.ServerConfig.RekeyBytes constant). Denials are typed
-// serve.ErrAdmissionDenied / serve.CodeAdmissionDenied on the wire, so
-// clients distinguish a policy shed from transient overload.
+// (qkd.KeyCenter.ProvisionFromAllocation, rate_n = φ_n·F_skf(̟_n)),
+// applies the plan's queue high-water to the scheduler's live depth bound
+// (serve.Scheduler.Resize) and its admission capacity to the session
+// store's live cap (serve.Store.SetMaxSessions, never above the built
+// ceiling), and the edge server reads the plan on its hot paths: profile
+// negotiation consults NegotiateProfile (the per-route λ steering, with
+// downgrade of requests above the plan), Setup consults AdmitSession
+// (capacity + projected key consumption), compute and batch paths consult
+// AdmitCompute (queue occupancy + whether an imminent rekey is fundable)
+// and RekeyBudget (replacing the static edge.ServerConfig.RekeyBytes
+// constant, derived from each session's actual profile λ). Denials are
+// typed serve.ErrAdmissionDenied / serve.CodeAdmissionDenied on the wire,
+// so clients distinguish a policy shed from transient overload — and the
+// denied bytes still feed the demand EWMAs (Telemetry.ObserveShed), so a
+// fully shed session keeps registering load instead of collapsing to the
+// idle default budget.
 //
 // A nil controller on edge.ServerConfig.Control disables the whole loop
 // and restores the static pre-control behavior bit-for-bit; the compat

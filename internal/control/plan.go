@@ -22,9 +22,19 @@ type Plan struct {
 	Seq uint64
 	At  time.Time
 
-	// Lambda is the chosen CKKS polynomial degree; MSL = f_msl(Lambda).
+	// Lambda is the chosen aggregate CKKS polynomial degree (the
+	// single-λ view legacy consumers read); MSL = f_msl(Lambda).
 	Lambda float64
 	MSL    float64
+
+	// RouteLambda is the per-route λ choice (17d solved per route against
+	// the route's own security weight and predicted demand), and
+	// RouteProfile the security-profile ID actuating it: new sessions on
+	// a route are steered to RouteProfile[route] at negotiation time.
+	// Both are indexed by the 0-based route index; nil when the
+	// controller has no profile registry.
+	RouteLambda  []float64
+	RouteProfile []string
 
 	// Phi is the per-route entanglement-rate allocation and Werner the
 	// capacity-saturating link Werner parameters of Eq. (18); LogUtility
@@ -50,6 +60,15 @@ type Plan struct {
 	// DemandBytesPerSec echoes the telemetry demand the plan was solved
 	// against.
 	DemandBytesPerSec float64
+}
+
+// ProfileForRoute returns the profile the plan steers a route's new
+// sessions to ("" when the plan carries no per-route actuation).
+func (p *Plan) ProfileForRoute(route int) string {
+	if route < 0 || route >= len(p.RouteProfile) {
+		return ""
+	}
+	return p.RouteProfile[route]
 }
 
 // BudgetFor returns the rekey byte budget the plan assigns to a session:

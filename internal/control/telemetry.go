@@ -50,13 +50,23 @@ type SessionTelemetry struct {
 	bytes    atomic.Int64
 	blocks   atomic.Int64
 	failures atomic.Int64
-	lastSeen atomic.Int64 // unix nanos
-	latMs    ewma         // per-block serving latency, milliseconds
-	blkBytes ewma         // per-block masked payload bytes
+	// demand counts every byte the session *asked* to have served —
+	// completed blocks, failed blocks and admission-denied traffic alike.
+	// The demand predictor reads this instead of the served-bytes
+	// counter, so a fully shed session still registers load and its
+	// budget does not collapse to the idle default.
+	demand    atomic.Int64
+	shedBytes atomic.Int64
+	lastSeen  atomic.Int64 // unix nanos
+	latMs     ewma         // per-block serving latency, milliseconds
+	blkBytes  ewma         // per-block masked payload bytes
+	// profile is the session's security profile (set once at
+	// registration; atomic.Value of string).
+	profile atomic.Value
 
 	// Snapshot bookkeeping, touched only under the controller's plan lock.
-	prevBytes int64
-	prevAt    time.Time
+	prevDemand int64
+	prevAt     time.Time
 }
 
 // SessionSnapshot is a point-in-time view of one session's telemetry.
@@ -64,22 +74,51 @@ type SessionSnapshot struct {
 	ID            string
 	Bytes, Blocks int64
 	Failures      int64
+	// Profile is the security profile the session registered on ("" when
+	// the serving plane never reported one).
+	Profile string
+	// ShedBytes counts traffic denied by admission since registration.
+	ShedBytes int64
 	// LatencyEWMAMs is the smoothed per-block serving latency.
 	LatencyEWMAMs float64
 	// BlockBytesEWMA is the smoothed masked-payload size per block.
 	BlockBytesEWMA float64
-	// BytesPerSec is the demand rate observed since the previous snapshot.
+	// BytesPerSec is the demand rate observed since the previous
+	// snapshot — served and shed traffic both count, so shedding a
+	// session does not erase its demand signal.
 	BytesPerSec float64
+}
+
+// ProfileSnapshot aggregates one security profile's serving state for a
+// planning round.
+type ProfileSnapshot struct {
+	// Sessions counts sessions registered on the profile.
+	Sessions int
+	// BytesPerSec is the aggregate demand rate of those sessions.
+	BytesPerSec float64
+	// Blocks and Bytes total the served work.
+	Blocks, Bytes int64
+	// LatencyEWMAMs averages the member sessions' latency EWMAs.
+	LatencyEWMAMs float64
+	// PoolSize / PoolInUse mirror the profile's evaluator-pool gauges
+	// (zero when the pool was never built).
+	PoolSize, PoolInUse int
 }
 
 // Snapshot is the registry view a Controller plans against.
 type Snapshot struct {
 	At       time.Time
 	Sessions []SessionSnapshot
-	// DemandBytesPerSec aggregates the per-session demand rates.
+	// DemandBytesPerSec aggregates the per-session demand rates (served
+	// and shed traffic).
 	DemandBytesPerSec float64
+	// Profiles aggregates sessions and pool gauges per security profile —
+	// the per-profile telemetry export of the profile-aware serving
+	// plane.
+	Profiles map[string]ProfileSnapshot
 	// QueueDepth / QueueSheds / PoolInUse / PoolSize mirror the bound
-	// serve.Scheduler and serve.EvalPool gauges (zero when unbound).
+	// serve.Scheduler and per-profile serve.PoolSet gauges (zero when
+	// unbound). PoolSize/PoolInUse aggregate across built pools.
 	QueueDepth int
 	QueueSheds int64
 	PoolInUse  int
@@ -94,29 +133,31 @@ const sessionTTL = 5 * time.Minute
 
 // Telemetry is the lock-cheap registry the serving plane publishes into:
 // per-session byte counts and latency EWMAs pushed by the edge server on
-// every block, and scheduler/evaluator-pool gauges read straight off the
-// bound serve components (which already expose them atomically). It is the
-// sensing half of the control loop; Controller.Replan consumes Snapshot.
+// every block, per-session profiles reported at registration, and
+// scheduler/evaluator-pool gauges read straight off the bound serve
+// components (which already expose them atomically). It is the sensing
+// half of the control loop; Controller.Replan consumes Snapshot.
 type Telemetry struct {
 	sessions sync.Map // string -> *SessionTelemetry
 	admitted atomic.Int64
 	denied   atomic.Int64
 
-	// pool and sched are write-once at BindServe and read lock-free on
+	// pools and sched are write-once at BindServe and read lock-free on
 	// the admission hot path and at snapshot time.
-	pool  atomic.Pointer[serve.EvalPool]
+	pools atomic.Pointer[serve.PoolSet]
 	sched atomic.Pointer[serve.Scheduler]
 }
 
 // NewTelemetry builds an empty registry.
 func NewTelemetry() *Telemetry { return &Telemetry{} }
 
-// BindServe attaches the serving plane's pool and scheduler so snapshots
-// include queue depth, shed count and evaluator utilization. Called by the
-// edge server at construction; either may be nil.
-func (t *Telemetry) BindServe(pool *serve.EvalPool, sched *serve.Scheduler) {
-	if pool != nil {
-		t.pool.Store(pool)
+// BindServe attaches the serving plane's per-profile pool set and
+// scheduler so snapshots include queue depth, shed count and per-profile
+// evaluator utilization. Called by the edge server at construction;
+// either may be nil.
+func (t *Telemetry) BindServe(pools *serve.PoolSet, sched *serve.Scheduler) {
+	if pools != nil {
+		t.pools.Store(pools)
 	}
 	if sched != nil {
 		t.sched.Store(sched)
@@ -131,10 +172,20 @@ func (t *Telemetry) session(id string) *SessionTelemetry {
 	return st.(*SessionTelemetry)
 }
 
-// ObserveCompute records one served (or failed) block for a session.
+// ObserveSession records a registration and the security profile the
+// session landed on.
+func (t *Telemetry) ObserveSession(sessionID, profileID string) {
+	st := t.session(sessionID)
+	st.lastSeen.Store(time.Now().UnixNano())
+	st.profile.Store(profileID)
+}
+
+// ObserveCompute records one served (or failed) block for a session. The
+// attempted bytes count as demand regardless of outcome.
 func (t *Telemetry) ObserveCompute(sessionID string, bytes int64, latency time.Duration, code serve.Code) {
 	st := t.session(sessionID)
 	st.lastSeen.Store(time.Now().UnixNano())
+	st.demand.Add(bytes)
 	if code != serve.CodeOK {
 		st.failures.Add(1)
 		return
@@ -143,6 +194,19 @@ func (t *Telemetry) ObserveCompute(sessionID string, bytes int64, latency time.D
 	st.bytes.Add(bytes)
 	st.latMs.Observe(float64(latency) / float64(time.Millisecond))
 	st.blkBytes.Observe(float64(bytes))
+}
+
+// ObserveShed records traffic the admission controller refused for a
+// session: the bytes feed the demand signal (a fully shed session must
+// not look idle to the planner) without counting as served work.
+func (t *Telemetry) ObserveShed(sessionID string, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	st := t.session(sessionID)
+	st.lastSeen.Store(time.Now().UnixNano())
+	st.demand.Add(bytes)
+	st.shedBytes.Add(bytes)
 }
 
 // ObserveAdmission records one admission decision.
@@ -158,16 +222,39 @@ func (t *Telemetry) ObserveAdmission(admitted bool) {
 func (t *Telemetry) Admitted() int64 { return t.admitted.Load() }
 func (t *Telemetry) Denied() int64   { return t.denied.Load() }
 
+// SessionProfile reports the profile a session registered on ("" if the
+// serving plane never told us).
+func (t *Telemetry) SessionProfile(sessionID string) string {
+	if st, ok := t.sessions.Load(sessionID); ok {
+		if p, ok := st.(*SessionTelemetry).profile.Load().(string); ok {
+			return p
+		}
+	}
+	return ""
+}
+
 // Snapshot captures the registry for one planning round, computing
-// per-session demand rates from the byte deltas since the previous call
-// and pruning sessions idle past the TTL. It is called by the Controller
-// under its plan lock; the hot-path publishers never block on it.
+// per-session demand rates from the demand-byte deltas since the previous
+// call and pruning sessions idle past the TTL. It is called by the
+// Controller under its plan lock; the hot-path publishers never block on
+// it.
 func (t *Telemetry) Snapshot() Snapshot {
 	now := time.Now()
-	snap := Snapshot{At: now, Admitted: t.admitted.Load(), Denied: t.denied.Load()}
-	pool, sched := t.pool.Load(), t.sched.Load()
-	if pool != nil {
-		snap.PoolSize, snap.PoolInUse = pool.Size(), pool.InUse()
+	snap := Snapshot{
+		At:       now,
+		Admitted: t.admitted.Load(),
+		Denied:   t.denied.Load(),
+		Profiles: make(map[string]ProfileSnapshot),
+	}
+	pools, sched := t.pools.Load(), t.sched.Load()
+	if pools != nil {
+		pools.Each(func(id string, p *serve.EvalPool) {
+			ps := snap.Profiles[id]
+			ps.PoolSize, ps.PoolInUse = p.Size(), p.InUse()
+			snap.Profiles[id] = ps
+			snap.PoolSize += ps.PoolSize
+			snap.PoolInUse += ps.PoolInUse
+		})
 	}
 	if sched != nil {
 		snap.QueueDepth, snap.QueueSheds = sched.QueueDepth(), sched.Sheds()
@@ -183,17 +270,32 @@ func (t *Telemetry) Snapshot() Snapshot {
 			Bytes:          st.bytes.Load(),
 			Blocks:         st.blocks.Load(),
 			Failures:       st.failures.Load(),
+			ShedBytes:      st.shedBytes.Load(),
 			LatencyEWMAMs:  st.latMs.Load(),
 			BlockBytesEWMA: st.blkBytes.Load(),
 		}
+		if p, ok := st.profile.Load().(string); ok {
+			s.Profile = p
+		}
+		demand := st.demand.Load()
 		if !st.prevAt.IsZero() {
 			if dt := now.Sub(st.prevAt).Seconds(); dt > 0 {
-				s.BytesPerSec = float64(s.Bytes-st.prevBytes) / dt
+				s.BytesPerSec = float64(demand-st.prevDemand) / dt
 			}
 		}
-		st.prevBytes, st.prevAt = s.Bytes, now
+		st.prevDemand, st.prevAt = demand, now
 		snap.Sessions = append(snap.Sessions, s)
 		snap.DemandBytesPerSec += s.BytesPerSec
+		if s.Profile != "" {
+			ps := snap.Profiles[s.Profile]
+			ps.Sessions++
+			ps.BytesPerSec += s.BytesPerSec
+			ps.Blocks += s.Blocks
+			ps.Bytes += s.Bytes
+			// Incremental mean over the member sessions seen so far.
+			ps.LatencyEWMAMs += (s.LatencyEWMAMs - ps.LatencyEWMAMs) / float64(ps.Sessions)
+			snap.Profiles[s.Profile] = ps
+		}
 		return true
 	})
 	sortSessions(snap.Sessions)

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"net"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"quhe/internal/he/ckks"
+	"quhe/internal/he/profile"
 	"quhe/internal/qkd"
 	"quhe/internal/serve"
 	"quhe/internal/transcipher"
@@ -47,6 +49,18 @@ type DialConfig struct {
 	// request is silently ignored and the connection runs un-trailed —
 	// Client.Checksums reports the negotiated state.
 	Checksum bool
+	// Profile requests a security profile for the session. Empty lets
+	// the server (its control plane's per-route λ plan) steer; a concrete
+	// ID is granted or downgraded per the active plan — Client.Profile
+	// reports what the session actually runs. Against peers that predate
+	// profile negotiation (gob servers, pre-profile v3 servers) only the
+	// empty or default request succeeds; anything else fails with an
+	// error wrapping serve.ErrProfileDenied rather than silently running
+	// at the wrong security level.
+	Profile string
+	// Profiles overrides the profile registry (nil = profile.Default()).
+	// It must agree with the server's registry for non-default profiles.
+	Profiles *profile.Registry
 }
 
 // negotiateTimeout bounds the wait for the server's v3 hello ack. Legacy
@@ -69,6 +83,11 @@ type Client struct {
 	proto string
 	// crc reports that per-frame CRC32C trailers were negotiated.
 	crc bool
+	// prof is the security profile the session runs on; wireProfile is
+	// the profile ID carried in Setup ("" on legacy paths, where the
+	// server pins the session to its default).
+	prof        *profile.Profile
+	wireProfile string
 	// v3 transport: framed writes through fw, framed reads off br.
 	fw *frameWriter
 	br *bufio.Reader
@@ -156,18 +175,62 @@ func DialQKDWith(addr, sessionID string, kc *qkd.KeyCenter, seed int64, cfg Dial
 }
 
 func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, dcfg DialConfig) (*Client, error) {
+	return dialAttempt(addr, sessionID, qkdKey, kc, seed, dcfg, 0)
+}
+
+func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, dcfg DialConfig, attempt int) (*Client, error) {
 	if sessionID == "" {
 		return nil, errors.New("edge: empty session id")
 	}
 	if seed == 0 {
 		seed = 1
 	}
-	ctx, err := ckks.NewContext(DefaultParams())
+	reg := dcfg.Profiles
+	if reg == nil {
+		reg = profile.Default()
+	}
+	if dcfg.Profile != "" {
+		if _, ok := reg.Get(dcfg.Profile); !ok {
+			return nil, fmt.Errorf("edge: %w: unknown profile %q", serve.ErrProfileDenied, dcfg.Profile)
+		}
+	}
+
+	conn, br, proto, crc, profiles, err := negotiate(addr, dcfg.Protocol, dcfg.Checksum)
 	if err != nil {
+		return nil, err
+	}
+	// Profile resolution happens before key generation so a plan-steered
+	// or downgraded profile never costs a wasted keygen. Peers that do
+	// not negotiate pin the session to the default profile; an explicit
+	// non-default request against them is a hard typed failure.
+	prof := reg.Default()
+	wireProfile := ""
+	if proto == "v3" && profiles {
+		granted, err := queryProfile(conn, br, crc, sessionID, dcfg.Profile)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		p, ok := reg.Get(granted)
+		if !ok {
+			conn.Close()
+			return nil, fmt.Errorf("edge: %w: server granted unknown profile %q", serve.ErrProfileDenied, granted)
+		}
+		prof, wireProfile = p, granted
+	} else if dcfg.Profile != "" && dcfg.Profile != reg.DefaultID() {
+		conn.Close()
+		return nil, fmt.Errorf("edge: %w: peer does not negotiate profiles (requested %q)",
+			serve.ErrProfileDenied, dcfg.Profile)
+	}
+
+	ctx, err := prof.Context()
+	if err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("edge: context: %w", err)
 	}
 	cipher, err := transcipher.New(ctx, KeyLen)
 	if err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("edge: cipher: %w", err)
 	}
 	kg := ckks.NewKeyGenerator(ctx, seed)
@@ -178,33 +241,33 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 
 	key, err := cipher.DeriveKey(qkdKey)
 	if err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("edge: derive key: %w", err)
 	}
 	encKey, err := cipher.EncryptKey(ev, pk, key)
 	if err != nil {
+		conn.Close()
 		return nil, fmt.Errorf("edge: encrypt key: %w", err)
 	}
 
-	conn, br, proto, crc, err := negotiate(addr, dcfg.Protocol, dcfg.Checksum)
-	if err != nil {
-		return nil, err
-	}
 	c := &Client{
-		sessionID: sessionID,
-		conn:      conn,
-		proto:     proto,
-		crc:       crc,
-		ctx:       ctx,
-		cipher:    cipher,
-		encoder:   ckks.NewEncoder(ctx),
-		ev:        ev,
-		sk:        sk,
-		pk:        pk,
-		kc:        kc,
-		key:       key,
-		nonce:     nonceFor(sessionID, 1),
-		epoch:     1,
-		pending:   make(map[uint64]chan *replyEnvelope),
+		sessionID:   sessionID,
+		conn:        conn,
+		proto:       proto,
+		crc:         crc,
+		prof:        prof,
+		wireProfile: wireProfile,
+		ctx:         ctx,
+		cipher:      cipher,
+		encoder:     ckks.NewEncoder(ctx),
+		ev:          ev,
+		sk:          sk,
+		pk:          pk,
+		kc:          kc,
+		key:         key,
+		nonce:       nonceFor(sessionID, 1),
+		epoch:       1,
+		pending:     make(map[uint64]chan *replyEnvelope),
 	}
 	if proto == "v3" {
 		c.fw = newFrameWriter(conn, c.teardown, nil)
@@ -224,6 +287,7 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 		RLK:       rlk,
 		EncKey:    encKey,
 		Nonce:     c.nonce,
+		Profile:   wireProfile,
 	}})
 	if err != nil {
 		c.teardown()
@@ -235,9 +299,62 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 	}
 	if !reply.Setup.OK {
 		c.teardown()
-		return nil, fmt.Errorf("edge: setup rejected: %w", replyError(reply.Setup.Code, reply.Setup.Err))
+		setupErr := replyError(reply.Setup.Code, reply.Setup.Err)
+		// A profile grant can go stale between the query and Setup when a
+		// replan moves the route's λ mid-dial: renegotiate from scratch
+		// (fresh connection, fresh grant, fresh keys) a bounded number of
+		// times before surfacing the typed denial.
+		if errors.Is(setupErr, serve.ErrProfileDenied) && proto == "v3" && profiles && attempt < 2 {
+			return dialAttempt(addr, sessionID, qkdKey, kc, seed, dcfg, attempt+1)
+		}
+		return nil, fmt.Errorf("edge: setup rejected: %w", setupErr)
+	}
+	if reply.Setup.Profile != "" && reply.Setup.Profile != wireProfile {
+		c.teardown()
+		return nil, fmt.Errorf("edge: %w: registered on %q, granted %q",
+			serve.ErrProfileDenied, reply.Setup.Profile, wireProfile)
 	}
 	return c, nil
+}
+
+// queryProfile runs the synchronous pre-Setup profile negotiation on a
+// freshly handshaken v3 connection (the read loop is not running yet, so
+// the reply is consumed inline like the hello ack).
+func queryProfile(conn net.Conn, br *bufio.Reader, crc bool, sessionID, requested string) (string, error) {
+	f := beginFrame(nil, frameProfile, 0)
+	f = appendProfileRequest(f, &ProfileRequest{SessionID: sessionID, Requested: requested})
+	f, err := finishFrame(f, 0)
+	if err != nil {
+		return "", err
+	}
+	if crc {
+		f = binary.LittleEndian.AppendUint32(f, crc32.Checksum(f, crcTable))
+	}
+	if _, err := conn.Write(f); err != nil {
+		return "", fmt.Errorf("edge: profile query: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(negotiateTimeout))
+	defer conn.SetReadDeadline(time.Time{})
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	ftype, _, payload, err := readFrameCRC(br, buf, crc)
+	if err != nil {
+		return "", fmt.Errorf("edge: profile query: %w", err)
+	}
+	if ftype != frameProfileReply {
+		return "", fmt.Errorf("%w: unexpected frame type %d in profile negotiation", ErrBadFrame, ftype)
+	}
+	rep, err := decodeProfileReply(payload)
+	if err != nil {
+		return "", err
+	}
+	if rep.Code != serve.CodeOK {
+		return "", fmt.Errorf("edge: profile rejected: %w", replyError(rep.Code, rep.Err))
+	}
+	if rep.Granted == "" {
+		return "", errors.New("edge: profile negotiation granted nothing")
+	}
+	return rep.Granted, nil
 }
 
 // negotiate establishes the transport for the requested protocol. For v3
@@ -247,29 +364,32 @@ func dial(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed int64, 
 // ErrProtocolMismatch under ProtoV3. wantCRC requests per-frame CRC32C
 // trailers in the hello flags; crc reports whether the server granted
 // them (pre-checksum servers ack with an empty payload, read as "no").
-func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.Reader, proto string, crc bool, err error) {
-	dialGob := func() (net.Conn, *bufio.Reader, string, bool, error) {
+// profiles reports whether the server advertised security-profile
+// negotiation in its ack flags.
+func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.Reader, proto string, crc, profiles bool, err error) {
+	dialGob := func() (net.Conn, *bufio.Reader, string, bool, bool, error) {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			return nil, nil, "", false, fmt.Errorf("edge: dial: %w", err)
+			return nil, nil, "", false, false, fmt.Errorf("edge: dial: %w", err)
 		}
-		return conn, nil, "gob", false, nil
+		return conn, nil, "gob", false, false, nil
 	}
 	if p == ProtoGob {
 		return dialGob()
 	}
 	conn, err = net.Dial("tcp", addr)
 	if err != nil {
-		return nil, nil, "", false, fmt.Errorf("edge: dial: %w", err)
+		return nil, nil, "", false, false, fmt.Errorf("edge: dial: %w", err)
 	}
-	var helloBuild func(b []byte) []byte
+	// The hello always carries a flags byte: profile support is
+	// advertised unconditionally (servers that predate it ignore unknown
+	// bits and ack without the profile flag), CRC only on request.
+	flags := byte(helloFlagProfiles)
 	if wantCRC {
-		helloBuild = func(b []byte) []byte { return append(b, helloFlagCRC) }
+		flags |= helloFlagCRC
 	}
 	hello := beginFrame(nil, frameHello, 0)
-	if helloBuild != nil {
-		hello = helloBuild(hello)
-	}
+	hello = append(hello, flags)
 	hello, _ = finishFrame(hello, 0)
 	var ftype byte
 	var ackPayload []byte
@@ -282,16 +402,17 @@ func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.
 		ftype, _, ackPayload, err = readFrame(br, buf)
 		if err == nil && len(ackPayload) >= 1 {
 			crc = wantCRC && ackPayload[0]&helloFlagCRC != 0
+			profiles = ackPayload[0]&helloFlagProfiles != 0
 		}
 		putFrameBuf(buf)
 		conn.SetReadDeadline(time.Time{})
 	}
 	if err == nil && ftype == frameHello {
-		return conn, br, "v3", crc, nil
+		return conn, br, "v3", crc, profiles, nil
 	}
 	conn.Close()
 	if p == ProtoV3 {
-		return nil, nil, "", false, fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
+		return nil, nil, "", false, false, fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
 	}
 	return dialGob()
 }
@@ -529,6 +650,11 @@ func (c *Client) Protocol() string { return c.proto }
 
 // Checksums reports whether per-frame CRC32C trailers were negotiated.
 func (c *Client) Checksums() bool { return c.crc }
+
+// Profile reports the security profile the session runs on. On legacy
+// paths (gob, pre-profile servers) this is the registry default the
+// server pins such sessions to.
+func (c *Client) Profile() string { return c.prof.ID }
 
 // Slots returns the per-block capacity.
 func (c *Client) Slots() int { return c.cipher.Slots() }

@@ -18,16 +18,30 @@ import (
 // Implementations must be safe for concurrent use from the serving hot
 // path and must not call back into the Server.
 type Controller interface {
-	// BindServe attaches the server's evaluator pool and scheduler so the
-	// control plane can read their utilization gauges. Called once from
-	// NewServer before any traffic.
-	BindServe(pool *serve.EvalPool, sched *serve.Scheduler)
+	// BindServe attaches the server's per-profile evaluator pools,
+	// scheduler and session store so the control plane can read their
+	// utilization gauges and actuate its plan (live queue-depth and
+	// session-cap resizing). Called once from NewServer before any
+	// traffic; store may be consulted for its built capacity ceiling.
+	BindServe(pools *serve.PoolSet, sched *serve.Scheduler, store *serve.Store)
+	// NegotiateProfile resolves the security profile a new session should
+	// run: requested "" lets the active plan steer (the per-route λ
+	// choice); a concrete ID is granted, downgraded to the plan's profile
+	// for the session's route when it demands a higher λ than planned, or
+	// denied with an error wrapping serve.ErrProfileDenied when unknown.
+	NegotiateProfile(sessionID, requested string) (string, error)
 	// AdmitSession decides whether a new session may register; resident
 	// is the current resident-session count. Return an error wrapping
 	// serve.ErrAdmissionDenied to shed the Setup.
 	AdmitSession(sessionID string, resident int) error
+	// ObserveSession records a successful registration and the profile it
+	// landed on, so per-profile telemetry and profile-aware budgets see
+	// the session before its first block.
+	ObserveSession(sessionID, profileID string)
 	// AdmitCompute decides whether pendingBytes of new work may be served
 	// for a session that has used usedBytes of its current key budget.
+	// Implementations should count denied bytes as demand: a fully shed
+	// session must still register load with the demand predictor.
 	AdmitCompute(sessionID string, usedBytes, pendingBytes int64) error
 	// RekeyBudget returns the session's per-key byte budget
 	// (0 = fall back to ServerConfig.RekeyBytes).

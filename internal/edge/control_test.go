@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"quhe/internal/he/profile"
 	"quhe/internal/serve"
 )
 
@@ -16,16 +18,45 @@ type fakeControl struct {
 	denySetup   atomic.Bool
 	denyCompute atomic.Bool
 	budget      atomic.Int64
+	// steer, when non-empty, is the profile granted to every empty
+	// negotiation (a scripted per-route plan).
+	steer atomic.Value
 
-	bound    atomic.Bool
-	admits   atomic.Int64
-	observed atomic.Int64
+	bound      atomic.Bool
+	admits     atomic.Int64
+	observed   atomic.Int64
+	negotiated atomic.Int64
+	sessions   sync.Map // sessionID -> profileID from ObserveSession
 }
 
-func (f *fakeControl) BindServe(pool *serve.EvalPool, sched *serve.Scheduler) {
-	if pool != nil && sched != nil {
+func (f *fakeControl) BindServe(pools *serve.PoolSet, sched *serve.Scheduler, store *serve.Store) {
+	if pools != nil && sched != nil && store != nil {
 		f.bound.Store(true)
 	}
+}
+
+func (f *fakeControl) NegotiateProfile(sessionID, requested string) (string, error) {
+	f.negotiated.Add(1)
+	reg := profile.Default()
+	planned, _ := f.steer.Load().(string)
+	if planned == "" {
+		planned = reg.DefaultID()
+	}
+	if requested == "" {
+		return planned, nil
+	}
+	req, ok := reg.Get(requested)
+	if !ok {
+		return "", serve.ErrProfileDenied
+	}
+	if plannedProf, ok := reg.Get(planned); ok && req.Lambda > plannedProf.Lambda {
+		return planned, nil // downgrade, like the real controller
+	}
+	return requested, nil
+}
+
+func (f *fakeControl) ObserveSession(sessionID, profileID string) {
+	f.sessions.Store(sessionID, profileID)
 }
 
 func (f *fakeControl) AdmitSession(sessionID string, resident int) error {

@@ -11,11 +11,50 @@
 //
 //	connection → serve.Store (sharded sessions, LRU-capped)
 //	           → serve.Scheduler (bounded queue, ErrOverloaded backpressure)
-//	           → serve.EvalPool (per-worker evaluator + transcipher scratch)
-//	           → transcipher/ckks core
+//	           → serve.PoolSet (per-profile EvalPools, lazily built workers)
+//	           → transcipher/ckks core (per-profile context + cipher)
 //
 // so N sessions cost key material only, while evaluator memory and
-// compute parallelism are bounded by the worker pool.
+// compute parallelism are bounded by the worker pools of the security
+// profiles actually in use.
+//
+// # Security profiles
+//
+// Every session runs on a security profile (internal/he/profile): one of
+// the paper's λ levels actuated as a real CKKS parameter set. The server
+// keeps one context, transciphering cipher and evaluator pool per live
+// profile, so sessions at different security levels — different ring
+// degrees, independently keyed contexts — serve side by side on one
+// listener.
+//
+// Profile negotiation is a v3 feature gated by the hello handshake: the
+// server advertises support with a flags bit in its hello ack, and a
+// capable client then sends a frameProfile query (session ID + requested
+// profile, possibly empty for "let the plan steer") before generating any
+// keys. The server — its control plane's per-route λ plan, when one is
+// attached — answers with the granted profile: the request itself, the
+// plan's choice for an empty request, a *downgrade* to the route's
+// planned profile when the request demands a higher λ than the plan
+// allows, or a typed serve.CodeProfileDenied for profiles the registry
+// does not know. The client builds its context and keys for the granted
+// profile and carries it in Setup (an optional trailing field of the v3
+// payload); Setup enforces that the declared parameters match the
+// profile's.
+//
+// Downgrade rule: requests at or below the plan pass as asked; requests
+// above it are granted the planned profile instead, and Setup re-checks
+// the declared profile against the current plan so the advisory query
+// cannot be bypassed (a grant the plan moved below mid-dial is denied
+// typed; the client renegotiates and redials). Gob (v1/v2) peers and
+// pre-profile v3 peers negotiate nothing and are pinned to the default
+// profile, whose parameters are exactly the pre-registry runtime's fixed
+// set — their wire format and protocol behavior are unchanged. (One
+// advisory delta: the modeled-delay reply fields now evaluate the cost
+// model at the session profile's paper-scale λ, as the paper intends,
+// where they previously used the runnable ring degree.) A client that
+// explicitly requests a non-default profile against a peer that cannot
+// negotiate fails typed (serve.ErrProfileDenied) rather than silently
+// running at the wrong security level.
 //
 // # Control plane
 //

@@ -1,0 +1,292 @@
+package edge
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"quhe/internal/he/ckks"
+	"quhe/internal/he/profile"
+	"quhe/internal/serve"
+)
+
+// TestMixedProfileSessions is the acceptance-criterion test: two
+// concurrent sessions on different security profiles — independently
+// keyed contexts at different ring degrees — compute correct results on
+// one server, interleaved.
+func TestMixedProfileSessions(t *testing.T) {
+	model := Model{Weights: []float64{0.5, -0.25}, Bias: []float64{0.1, 0.2}}
+	srv := startServer(t, model)
+
+	profiles := []string{profile.IDLambda32k, profile.IDLambda64k}
+	clients := make([]*Client, len(profiles))
+	for i, id := range profiles {
+		c, err := DialWith(srv.Addr(), "mixed-"+id, []byte("k-"+id), int64(11+i),
+			DialConfig{Profile: id})
+		if err != nil {
+			t.Fatalf("dial %s: %v", id, err)
+		}
+		defer c.Close()
+		clients[i] = c
+		if got := c.Profile(); got != id {
+			t.Fatalf("client %d negotiated %q, want %q", i, got, id)
+		}
+		if got, ok := srv.SessionProfile(c.SessionID()); !ok || got != id {
+			t.Fatalf("server records profile %q (ok=%v) for %s, want %q", got, ok, c.SessionID(), id)
+		}
+	}
+	// The two sessions run at genuinely different ring degrees.
+	if clients[0].Slots() >= clients[1].Slots() {
+		t.Fatalf("slot capacities %d/%d not increasing across profiles",
+			clients[0].Slots(), clients[1].Slots())
+	}
+
+	data := []float64{0.8, -0.4}
+	var wg sync.WaitGroup
+	for ci, c := range clients {
+		ci, c := ci, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := uint32(0); blk < 4; blk++ {
+				got, err := c.Compute(blk, data)
+				if err != nil {
+					t.Errorf("client %d block %d: %v", ci, blk, err)
+					return
+				}
+				for i, x := range data {
+					want := model.Weights[i]*x + model.Bias[i]
+					if math.Abs(got[i]-want) > 0.05 {
+						t.Errorf("client %d block %d slot %d: got %g, want %g", ci, blk, i, got[i], want)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if srv.Sessions() != 2 {
+		t.Errorf("%d sessions resident, want 2", srv.Sessions())
+	}
+}
+
+// TestControllerSteersEmptyRequest: a client that does not ask for a
+// profile is steered to the control plane's choice, and the controller
+// observes the registration with that profile.
+func TestControllerSteersEmptyRequest(t *testing.T) {
+	ctl := &fakeControl{}
+	ctl.steer.Store(profile.IDLambda64k)
+	srv := startControlledServer(t, ctl, ServerConfig{})
+	c, err := Dial(srv.Addr(), "steer-me", []byte("k"), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Profile(); got != profile.IDLambda64k {
+		t.Errorf("steered profile = %q, want %q", got, profile.IDLambda64k)
+	}
+	if ctl.negotiated.Load() == 0 {
+		t.Error("NegotiateProfile never consulted")
+	}
+	if p, ok := ctl.sessions.Load("steer-me"); !ok || p.(string) != profile.IDLambda64k {
+		t.Errorf("ObserveSession recorded %v (ok=%v)", p, ok)
+	}
+	// The steered session computes correctly at the steered degree.
+	got, err := c.Compute(0, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.5) > 0.05 {
+		t.Errorf("steered compute = %g, want 0.5", got[0])
+	}
+}
+
+// TestProfileDowngradePerPlan: an explicit request above the plan's
+// profile for the route is downgraded end to end — the client ends up
+// on the planned profile, not the requested one.
+func TestProfileDowngradePerPlan(t *testing.T) {
+	ctl := &fakeControl{}
+	ctl.steer.Store(profile.IDLambda32k)
+	srv := startControlledServer(t, ctl, ServerConfig{})
+	c, err := DialWith(srv.Addr(), "downgrade-me", []byte("k"), 61,
+		DialConfig{Profile: profile.IDLambda128k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Profile(); got != profile.IDLambda32k {
+		t.Errorf("downgraded profile = %q, want %q", got, profile.IDLambda32k)
+	}
+	if got, _ := srv.SessionProfile("downgrade-me"); got != profile.IDLambda32k {
+		t.Errorf("server registered %q, want the downgrade", got)
+	}
+}
+
+// TestSetupEnforcesPlanProfile: a Setup that declares a profile above the
+// plan — a client bypassing (or ignoring) the advisory negotiation — is
+// denied typed at registration, so the per-route λ policy cannot be
+// sidestepped.
+func TestSetupEnforcesPlanProfile(t *testing.T) {
+	ctl := &fakeControl{}
+	ctl.steer.Store(profile.IDLambda32k)
+	srv := startControlledServer(t, ctl, ServerConfig{})
+	prof, _ := profile.Default().Get(profile.IDLambda128k)
+	rep := srv.handleSetup(&SetupRequest{
+		SessionID: "bypass",
+		LogN:      prof.Params.LogN,
+		Depth:     prof.Params.Depth,
+		PK:        &ckks.PublicKey{},
+		RLK:       &ckks.RelinKey{},
+		EncKey:    make([]*ckks.Ciphertext, KeyLen),
+		Profile:   profile.IDLambda128k,
+	})
+	if rep.OK || rep.Code != serve.CodeProfileDenied {
+		t.Fatalf("bypass setup reply = %+v, want CodeProfileDenied", rep)
+	}
+	if srv.Sessions() != 0 {
+		t.Errorf("%d sessions resident after denied bypass", srv.Sessions())
+	}
+}
+
+// TestGobPinnedToDefaultProfile: gob peers cannot negotiate, so they run
+// the default profile; an explicit non-default request over gob (or via
+// auto-fallback to a legacy server) fails typed instead of silently
+// running at the wrong security level.
+func TestGobPinnedToDefaultProfile(t *testing.T) {
+	srv := startServer(t, Model{Weights: []float64{1}})
+	c, err := DialWith(srv.Addr(), "gob-default", []byte("k"), 21, DialConfig{Protocol: ProtoGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Protocol() != "gob" {
+		t.Fatalf("protocol %q, want gob", c.Protocol())
+	}
+	if got := c.Profile(); got != profile.IDDefault {
+		t.Errorf("gob profile = %q, want default %q", got, profile.IDDefault)
+	}
+	if got, ok := srv.SessionProfile("gob-default"); !ok || got != profile.IDDefault {
+		t.Errorf("server pinned gob session to %q (ok=%v)", got, ok)
+	}
+	if _, err := c.Compute(0, []float64{0.25}); err != nil {
+		t.Errorf("gob compute on default profile: %v", err)
+	}
+
+	// Non-default profile over forced gob: typed denial.
+	_, err = DialWith(srv.Addr(), "gob-hi", []byte("k"), 22,
+		DialConfig{Protocol: ProtoGob, Profile: profile.IDLambda64k})
+	if !errors.Is(err, serve.ErrProfileDenied) {
+		t.Errorf("gob non-default dial err = %v, want serve.ErrProfileDenied", err)
+	}
+	// Auto-negotiation against a legacy (pre-v3) server falls back to gob
+	// and must refuse the non-default request the same way.
+	legacy, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model: Model{Weights: []float64{1}}, LegacyGobOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	_, err = DialWith(legacy.Addr(), "auto-hi", []byte("k"), 23,
+		DialConfig{Profile: profile.IDLambda64k})
+	if !errors.Is(err, serve.ErrProfileDenied) {
+		t.Errorf("legacy-fallback non-default dial err = %v, want serve.ErrProfileDenied", err)
+	}
+	// An explicit *default* request is harmless everywhere.
+	c2, err := DialWith(legacy.Addr(), "auto-def", []byte("k"), 24,
+		DialConfig{Profile: profile.IDDefault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+}
+
+// TestUnknownProfileDenied: requesting a profile the registry does not
+// know fails locally; a server-side denial is typed on the wire.
+func TestUnknownProfileDenied(t *testing.T) {
+	srv := startServer(t, Model{Weights: []float64{1}})
+	if _, err := DialWith(srv.Addr(), "nope", []byte("k"), 31,
+		DialConfig{Profile: "no-such-profile"}); !errors.Is(err, serve.ErrProfileDenied) {
+		t.Errorf("unknown profile err = %v, want serve.ErrProfileDenied", err)
+	}
+}
+
+// TestGobComputeAdmissionParity is the ROADMAP satellite: v2/gob peers
+// must pass through exactly the same AdmitCompute and dynamic-budget
+// checks as v3 peers — single computes, batches, and the plan-budget
+// override alike.
+func TestGobComputeAdmissionParity(t *testing.T) {
+	ctl := &fakeControl{}
+	srv := startControlledServer(t, ctl, ServerConfig{})
+	c, err := DialWith(srv.Addr(), "gob-parity", []byte("k"), 41, DialConfig{Protocol: ProtoGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Protocol() != "gob" {
+		t.Fatalf("protocol %q, want gob", c.Protocol())
+	}
+
+	if _, err := c.Compute(0, []float64{0.5}); err != nil {
+		t.Fatalf("admitted gob compute: %v", err)
+	}
+	if ctl.observed.Load() == 0 {
+		t.Error("gob compute bypassed the telemetry hook")
+	}
+
+	ctl.denyCompute.Store(true)
+	if _, err := c.Compute(1, []float64{0.5}); !errors.Is(err, serve.ErrAdmissionDenied) {
+		t.Errorf("denied gob compute err = %v, want serve.ErrAdmissionDenied", err)
+	}
+	if _, err := c.ComputeBatch(2, [][]float64{{0.1}, {0.2}}); !errors.Is(err, serve.ErrAdmissionDenied) {
+		t.Errorf("denied gob batch err = %v, want serve.ErrAdmissionDenied", err)
+	}
+	ctl.denyCompute.Store(false)
+
+	// Dynamic plan budgets govern gob sessions too: shrink the budget
+	// below one padded block and the next compute demands a rekey even
+	// though the static RekeyBytes is unset (disabled).
+	ctl.budget.Store(100)
+	if _, err := c.Compute(3, []float64{0.5}); !errors.Is(err, serve.ErrRekeyRequired) {
+		t.Errorf("gob compute under tiny plan budget err = %v, want serve.ErrRekeyRequired", err)
+	}
+	ctl.budget.Store(1 << 30)
+	if _, err := c.Compute(4, []float64{0.5}); err != nil {
+		t.Errorf("gob compute after budget raise: %v", err)
+	}
+}
+
+// TestSetupWireOptionalProfileField pins the v3 codec compatibility rule:
+// a Setup payload without the trailing profile field (a pre-profile v3
+// peer) decodes to an empty profile, and the round trip preserves a
+// non-empty one.
+func TestSetupWireOptionalProfileField(t *testing.T) {
+	repOld := appendSetupReply(nil, &SetupReply{Code: serve.CodeOK})
+	dec, err := decodeSetupReply(repOld)
+	if err != nil {
+		t.Fatalf("pre-profile reply: %v", err)
+	}
+	if dec.Profile != "" || !dec.OK {
+		t.Errorf("pre-profile reply decoded %+v", dec)
+	}
+	repNew := appendSetupReply(nil, &SetupReply{Code: serve.CodeOK, Profile: profile.IDLambda64k})
+	dec, err = decodeSetupReply(repNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Profile != profile.IDLambda64k {
+		t.Errorf("profile round trip = %q", dec.Profile)
+	}
+	// Profile query codec round trip.
+	q := appendProfileRequest(nil, &ProfileRequest{SessionID: "s", Requested: "r"})
+	qr, err := decodeProfileRequest(q)
+	if err != nil || qr.SessionID != "s" || qr.Requested != "r" {
+		t.Errorf("profile request round trip = %+v, %v", qr, err)
+	}
+	pr := appendProfileReply(nil, &ProfileReply{Granted: "g"})
+	prd, err := decodeProfileReply(pr)
+	if err != nil || prd.Granted != "g" || prd.Code != serve.CodeOK {
+		t.Errorf("profile reply round trip = %+v, %v", prd, err)
+	}
+}

@@ -7,18 +7,18 @@ package edge
 
 import (
 	"quhe/internal/he/ckks"
+	"quhe/internal/he/profile"
 	"quhe/internal/serve"
 )
 
-// DefaultParams returns the CKKS parameter set both endpoints must share:
-// depth 2 for transciphering; the affine inference model is fused into the
-// transciphering coefficients, so no extra level is needed.
+// DefaultParams returns the default security profile's CKKS parameter set
+// (depth 2 for transciphering; the affine inference model is fused into
+// the transciphering coefficients, so no extra level is needed). It is
+// the set every pre-profile peer — gob v1/v2 clients and v3 clients that
+// skip profile negotiation — runs on, and is identical to the fixed
+// parameter set of the pre-registry runtime.
 func DefaultParams() ckks.Params {
-	p, err := ckks.NewParams(10, 25, 18, 2)
-	if err != nil {
-		panic("edge: invalid default params: " + err.Error())
-	}
-	return p
+	return profile.Default().Default().Params
 }
 
 // KeyLen is the transciphering key length used by the runtime.
@@ -39,6 +39,13 @@ type SetupRequest struct {
 	RLK         *ckks.RelinKey
 	EncKey      []*ckks.Ciphertext
 	Nonce       []byte
+	// Profile is the security profile the session's key material was
+	// built for. Empty — every gob peer and every pre-profile v3 client —
+	// pins the session to the server's default profile; a non-empty ID
+	// must be known to the server's registry and match LogN/Depth. On the
+	// v3 wire this travels as an optional trailing field, so pre-profile
+	// frames decode unchanged.
+	Profile string
 }
 
 // SetupReply acknowledges session registration.
@@ -47,6 +54,29 @@ type SetupReply struct {
 	Err string
 	// Code types the failure (v2; zero for v1 peers means success).
 	Code serve.Code
+	// Profile echoes the profile the session was registered on. Only sent
+	// when the request carried one (pre-profile peers get the reply
+	// layout they expect).
+	Profile string
+}
+
+// ProfileRequest asks the server which security profile a new session
+// should run (v3 only, gated by the hello handshake's profile flag). The
+// client sends it before generating keys, so a plan-steered or downgraded
+// profile costs no wasted key generation. Requested may be empty — "let
+// the plan steer" — or a concrete profile ID the client wants.
+type ProfileRequest struct {
+	SessionID string
+	Requested string
+}
+
+// ProfileReply carries the granted profile (which may be a downgrade of
+// the request when the active plan refuses the requested level) or a
+// typed denial.
+type ProfileReply struct {
+	Granted string
+	Err     string
+	Code    serve.Code
 }
 
 // ComputeRequest uploads one symmetrically encrypted block.

@@ -14,6 +14,7 @@ import (
 
 	"quhe/internal/costmodel"
 	"quhe/internal/he/ckks"
+	"quhe/internal/he/profile"
 	"quhe/internal/serve"
 	"quhe/internal/transcipher"
 )
@@ -37,15 +38,19 @@ type ServerConfig struct {
 	ServerHz float64
 	// Logf sinks diagnostics; nil discards them.
 	Logf func(format string, args ...interface{})
-	// Workers sizes the shared evaluator pool (and scheduler
-	// parallelism). Default GOMAXPROCS. Evaluator memory is bounded by
-	// this, never by the session count.
+	// Workers sizes each security profile's evaluator pool (and the
+	// scheduler parallelism). Default GOMAXPROCS. Workers are built
+	// lazily, so profiles without traffic cost nothing; evaluator memory
+	// is bounded by Workers × live profiles, never by the session count.
 	Workers int
 	// QueueDepth bounds the scheduler backlog; pipelined requests beyond
-	// it are shed with serve.CodeOverloaded. Default 4×Workers.
+	// it are shed with serve.CodeOverloaded. Default 4×Workers. With a
+	// Control plane attached this is the built ceiling — the plan may
+	// shrink the live depth below it.
 	QueueDepth int
 	// MaxSessions caps resident sessions; registering past the cap
 	// evicts the least recently used. Default 1024; negative = unbounded.
+	// A Control plane may shrink the live cap below this built ceiling.
 	MaxSessions int
 	// RekeyBytes is the per-key byte budget: once a session has served
 	// this many masked bytes under one key, computes fail with
@@ -54,11 +59,17 @@ type ServerConfig struct {
 	// budgets (derived from the paper's security-level utility) take
 	// precedence and RekeyBytes is only the fallback.
 	RekeyBytes int64
+	// Profiles is the security-profile registry sessions may register on:
+	// the paper's λ choice actuated as real CKKS parameter sets. Nil
+	// selects the shared built-in registry (profile.Default()); its
+	// default member carries the historical fixed parameter set, so
+	// legacy peers are unaffected.
+	Profiles *profile.Registry
 	// Control, when non-nil, closes the loop with a control plane
 	// (internal/control): Setup and compute admission are delegated to
-	// it, rekey budgets come from its plan, and per-block telemetry is
-	// published back. Nil preserves the static admit-until-evicted
-	// behavior exactly.
+	// it, profile negotiation follows its per-route λ plan, rekey budgets
+	// come from its plan, and per-block telemetry is published back. Nil
+	// preserves the static admit-until-evicted behavior exactly.
 	Control Controller
 	// BatchWindow bounds the in-flight item frames of one streaming (v3)
 	// batch: an item is not submitted to the scheduler until an earlier
@@ -79,17 +90,35 @@ type ServerConfig struct {
 	FrameChecksums bool
 }
 
-// Server is the QuHE edge server: it accepts client sessions, transciphers
-// uploads and computes on them homomorphically. Safe for concurrent
-// clients; see the package comment for the serving architecture.
+// profileRuntime is one security profile's serving substrate: the shared
+// CKKS context and the transciphering cipher over it. Runtimes are built
+// lazily per profile and cached for the server's lifetime; the matching
+// evaluator pool lives in the per-profile PoolSet.
+type profileRuntime struct {
+	prof   *profile.Profile
+	ctx    *ckks.Context
+	cipher *transcipher.Cipher
+}
+
+// Server is the QuHE edge server: it accepts client sessions — each on a
+// negotiated security profile — transciphers uploads and computes on them
+// homomorphically. Safe for concurrent clients; see the package comment
+// for the serving architecture.
 type Server struct {
-	cfg      ServerConfig
-	ctx      *ckks.Context
-	cipher   *transcipher.Cipher
+	cfg ServerConfig
+	reg *profile.Registry
+	def *profileRuntime
+
+	// runtimes maps profile ID → *profileRuntime. Reads on the compute
+	// hot path are lock-free (sync.Map, plus the def fast path); rtMu
+	// only serializes first-use builds.
+	rtMu     sync.Mutex
+	runtimes sync.Map
+
 	listener net.Listener
 
 	store *serve.Store
-	pool  *serve.EvalPool
+	pools *serve.PoolSet
 	sched *serve.Scheduler
 
 	mu     sync.Mutex
@@ -101,8 +130,10 @@ type Server struct {
 	conns map[net.Conn]struct{}
 }
 
-// NewServer builds a server over the shared parameter set and starts
-// listening on addr (use "127.0.0.1:0" for tests).
+// NewServer builds a server over the profile registry and starts
+// listening on addr (use "127.0.0.1:0" for tests). The default profile's
+// runtime is built eagerly so configuration errors fail here, not on the
+// first Setup.
 func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.UplinkRateBps <= 0 {
 		cfg.UplinkRateBps = 5e6
@@ -127,35 +158,98 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.BatchWindow <= 0 || cfg.BatchWindow > cfg.QueueDepth {
 		cfg.BatchWindow = cfg.QueueDepth
 	}
-	ctx, err := ckks.NewContext(DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("edge: context: %w", err)
+	if cfg.Profiles == nil {
+		cfg.Profiles = profile.Default()
 	}
-	cipher, err := transcipher.New(ctx, KeyLen)
-	if err != nil {
-		return nil, fmt.Errorf("edge: cipher: %w", err)
+	s := &Server{
+		cfg:   cfg,
+		reg:   cfg.Profiles,
+		store: serve.NewStore(cfg.MaxSessions),
 	}
+	def, err := s.runtime(s.reg.DefaultID())
+	if err != nil {
+		return nil, fmt.Errorf("edge: default profile: %w", err)
+	}
+	s.def = def
+	s.pools = serve.NewPoolSet(func(profileID string) (*serve.EvalPool, error) {
+		rt, err := s.runtime(profileID)
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewEvalPool(rt.ctx, cfg.Workers, 1, func(int) any { return rt.cipher.NewScratch() }), nil
+	})
+	defPool, err := s.pools.Get(s.reg.DefaultID())
+	if err != nil {
+		return nil, fmt.Errorf("edge: default pool: %w", err)
+	}
+	s.sched = serve.NewScheduler(defPool, cfg.QueueDepth)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		s.sched.Close()
 		return nil, fmt.Errorf("edge: listen: %w", err)
 	}
-	pool := serve.NewEvalPool(ctx, cfg.Workers, 1, func(int) any { return cipher.NewScratch() })
-	s := &Server{
-		cfg:      cfg,
-		ctx:      ctx,
-		cipher:   cipher,
-		listener: ln,
-		store:    serve.NewStore(cfg.MaxSessions),
-		pool:     pool,
-		sched:    serve.NewScheduler(pool, cfg.QueueDepth),
-	}
+	s.listener = ln
 	s.conns = make(map[net.Conn]struct{})
 	if cfg.Control != nil {
-		cfg.Control.BindServe(s.pool, s.sched)
+		cfg.Control.BindServe(s.pools, s.sched, s.store)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// runtime returns the profile's serving substrate, building and caching
+// it on first use. The default profile and already-built profiles
+// resolve without taking a lock (the per-request hot path); rtMu only
+// serializes first-use builds, and context construction is shared
+// process-wide through the profile registry, so only the cipher binding
+// is per server.
+func (s *Server) runtime(profileID string) (*profileRuntime, error) {
+	if def := s.def; def != nil && profileID == def.prof.ID {
+		return def, nil
+	}
+	if rt, ok := s.runtimes.Load(profileID); ok {
+		return rt.(*profileRuntime), nil
+	}
+	s.rtMu.Lock()
+	defer s.rtMu.Unlock()
+	if rt, ok := s.runtimes.Load(profileID); ok {
+		return rt.(*profileRuntime), nil
+	}
+	prof, ok := s.reg.Get(profileID)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown profile %q", serve.ErrProfileDenied, profileID)
+	}
+	ctx, err := prof.Context()
+	if err != nil {
+		return nil, fmt.Errorf("edge: context for %s: %w", profileID, err)
+	}
+	cipher, err := transcipher.New(ctx, KeyLen)
+	if err != nil {
+		return nil, fmt.Errorf("edge: cipher for %s: %w", profileID, err)
+	}
+	rt := &profileRuntime{prof: prof, ctx: ctx, cipher: cipher}
+	s.runtimes.Store(profileID, rt)
+	return rt, nil
+}
+
+// sessionRuntime resolves a session's profile to its runtime and
+// evaluator pool (sessions registered before the profile era carry an
+// empty profile and run on the default).
+func (s *Server) sessionRuntime(sess *serve.Session) (*profileRuntime, *serve.EvalPool, error) {
+	profID := sess.Profile
+	if profID == "" {
+		profID = s.reg.DefaultID()
+	}
+	rt, err := s.runtime(profID)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool, err := s.pools.Get(profID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rt, pool, nil
 }
 
 // Addr returns the bound listen address.
@@ -223,6 +317,19 @@ func (s *Server) SessionStats(sessionID string) (serve.Stats, bool) {
 		return serve.Stats{}, false
 	}
 	return sess.Stats(), true
+}
+
+// SessionProfile reports the security profile a session was registered
+// on. Read-only, like SessionStats.
+func (s *Server) SessionProfile(sessionID string) (string, bool) {
+	sess, ok := s.store.Peek(sessionID)
+	if !ok {
+		return "", false
+	}
+	if sess.Profile == "" {
+		return s.reg.DefaultID(), true
+	}
+	return sess.Profile, true
 }
 
 // Sessions counts resident sessions.
@@ -333,10 +440,10 @@ func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
 	}
 }
 
-// serveV3 drives one framed v3 connection: hello handshake (including the
-// optional checksum negotiation), then a decode loop dispatching request
-// frames. Replies go through one frameWriter per connection; batch items
-// stream back as soon as each worker finishes.
+// serveV3 drives one framed v3 connection: hello handshake (checksum
+// negotiation plus the profile-support advertisement), then a decode loop
+// dispatching request frames. Replies go through one frameWriter per
+// connection; batch items stream back as soon as each worker finishes.
 func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 	buf := getFrameBuf()
 	defer putFrameBuf(buf)
@@ -345,15 +452,16 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 		s.cfg.Logf("edge: v3 handshake: type %d err %v", ftype, err)
 		return
 	}
-	// Checksum negotiation: a client that wants CRC32C trailers sets the
-	// flag in its hello payload; the ack echoes what the server accepts.
-	// Pre-checksum clients send empty hellos and get the empty ack they
-	// expect. The hello pair itself is always un-trailed; crc flips
-	// before the loop, while this goroutine is still the only sender.
+	// Feature negotiation: a client that wants CRC32C trailers sets the
+	// flag in its hello payload; the ack echoes what the server accepts
+	// and always advertises profile negotiation. Pre-checksum clients
+	// send empty hellos and get the empty ack they expect. The hello pair
+	// itself is always un-trailed; crc flips before the loop, while this
+	// goroutine is still the only sender.
 	crc := s.cfg.FrameChecksums && len(payload) >= 1 && payload[0]&helloFlagCRC != 0
 	var ack func(b []byte) []byte
 	if len(payload) >= 1 {
-		flags := byte(0)
+		flags := byte(helloFlagProfiles)
 		if crc {
 			flags |= helloFlagCRC
 		}
@@ -385,6 +493,13 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 
 func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []byte) error {
 	switch ftype {
+	case frameProfile:
+		req, err := decodeProfileRequest(payload)
+		if err != nil {
+			return err
+		}
+		rep := s.handleProfile(req)
+		fw.sendFrame(frameProfileReply, id, func(b []byte) []byte { return appendProfileReply(b, rep) })
 	case frameSetup:
 		req, err := decodeSetupRequest(payload)
 		if err != nil {
@@ -417,49 +532,139 @@ func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []by
 	return nil
 }
 
+// handleProfile resolves a pre-Setup profile query: the control plane's
+// per-route λ plan steers empty requests and may downgrade or deny
+// concrete ones; without a controller the server grants any profile its
+// registry knows (empty resolving to the default).
+func (s *Server) handleProfile(req *ProfileRequest) *ProfileReply {
+	granted := req.Requested
+	if ctl := s.cfg.Control; ctl != nil {
+		g, err := ctl.NegotiateProfile(req.SessionID, req.Requested)
+		if err != nil {
+			s.cfg.Logf("edge: profile for %q denied: %v", req.SessionID, err)
+			return &ProfileReply{Code: serve.CodeOf(err), Err: controlDetail(err)}
+		}
+		granted = g
+	} else if granted == "" {
+		granted = s.reg.DefaultID()
+	}
+	if _, ok := s.reg.Get(granted); !ok {
+		return &ProfileReply{Code: serve.CodeProfileDenied,
+			Err: fmt.Sprintf("security profile %q not served here", granted)}
+	}
+	if granted != req.Requested && req.Requested != "" {
+		s.cfg.Logf("edge: session %q profile %q downgraded to %q per plan",
+			req.SessionID, req.Requested, granted)
+	}
+	return &ProfileReply{Granted: granted}
+}
+
 func (s *Server) sendComputeReplyV3(fw *frameWriter, id uint64, rep *ComputeReply) {
 	fw.sendFrame(frameComputeReply, id, func(b []byte) []byte { return appendComputeReply(b, rep) })
 }
 
 // handleComputeV3 mirrors handleCompute on the framed path: requests go
-// through the bounded scheduler and may be shed with CodeOverloaded.
+// through the bounded scheduler — onto the session profile's evaluator
+// pool — and may be shed with CodeOverloaded.
 func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest) {
-	if err := s.sched.Submit(func(w *serve.Worker) {
-		s.sendComputeReplyV3(fw, id, s.compute(w, req))
+	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
+	if code != serve.CodeOK {
+		s.sendComputeReplyV3(fw, id, &ComputeReply{Code: code, Err: detail})
+		return
+	}
+	if err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
+		s.sendComputeReplyV3(fw, id, s.compute(rt, w, sess, req))
 	}); err != nil {
 		s.sendComputeReplyV3(fw, id, &ComputeReply{
 			Code: serve.CodeOf(err),
-			Err:  fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth),
+			Err:  fmt.Sprintf("queue full (depth %d)", s.sched.Capacity()),
 		})
 	}
 }
 
+// lookupCompute resolves a compute request's session and its profile
+// runtime before the job is queued, so the scheduler can route it to the
+// right per-profile pool.
+func (s *Server) lookupCompute(sessionID string) (*serve.Session, *profileRuntime, *serve.EvalPool, serve.Code, string) {
+	sess, ok := s.store.Get(sessionID)
+	if !ok {
+		return nil, nil, nil, serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", sessionID)
+	}
+	rt, pool, err := s.sessionRuntime(sess)
+	if err != nil {
+		return nil, nil, nil, serve.CodeInternal, "profile runtime: " + err.Error()
+	}
+	return sess, rt, pool, serve.CodeOK, ""
+}
+
 func (s *Server) handleSetup(req *SetupRequest) *SetupReply {
-	if req.LogN != s.ctx.Params.LogN || req.Depth != s.ctx.Params.Depth {
+	profID := req.Profile
+	if profID == "" {
+		// Gob peers and pre-profile v3 clients are pinned to the default
+		// profile — the historical fixed parameter set.
+		profID = s.reg.DefaultID()
+	}
+	prof, ok := s.reg.Get(profID)
+	if !ok {
+		return &SetupReply{Code: serve.CodeProfileDenied,
+			Err: fmt.Sprintf("security profile %q not served here", profID)}
+	}
+	if req.LogN != prof.Params.LogN || req.Depth != prof.Params.Depth {
 		return &SetupReply{
 			Code: serve.CodeParamMismatch,
-			Err: fmt.Sprintf("parameter mismatch: client logN=%d depth=%d, server logN=%d depth=%d",
-				req.LogN, req.Depth, s.ctx.Params.LogN, s.ctx.Params.Depth),
+			Err: fmt.Sprintf("parameter mismatch: client logN=%d depth=%d, profile %s logN=%d depth=%d",
+				req.LogN, req.Depth, profID, prof.Params.LogN, prof.Params.Depth),
 		}
 	}
 	if req.SessionID == "" || req.PK == nil || req.RLK == nil || len(req.EncKey) != KeyLen {
 		return &SetupReply{Err: "incomplete setup", Code: serve.CodeBadRequest}
 	}
-	if ctl := s.cfg.Control; ctl != nil {
+	ctl := s.cfg.Control
+	if ctl != nil && req.Profile != "" {
+		// Re-check the declared profile against the *current* plan: the
+		// pre-Setup query is advisory, so without this a client could
+		// skip (or ignore) the negotiation and register above the
+		// route's planned λ. A grant that the plan has since moved below
+		// is denied typed; the client renegotiates and redials.
+		granted, err := ctl.NegotiateProfile(req.SessionID, req.Profile)
+		if err != nil {
+			return &SetupReply{Code: serve.CodeOf(err), Err: controlDetail(err)}
+		}
+		if granted != req.Profile {
+			return &SetupReply{Code: serve.CodeProfileDenied,
+				Err: fmt.Sprintf("profile %q not allowed on this route (plan wants %q); renegotiate",
+					req.Profile, granted)}
+		}
+	}
+	if ctl != nil {
 		if err := ctl.AdmitSession(req.SessionID, s.store.Len()); err != nil {
 			s.cfg.Logf("edge: session %q not admitted: %v", req.SessionID, err)
 			return &SetupReply{Code: serve.CodeOf(err), Err: controlDetail(err)}
 		}
 	}
-	sess := serve.NewSession(req.SessionID, req.PK, req.RLK, req.EncKey, req.Nonce)
+	// Materialize the profile's runtime before registering, so the first
+	// compute never pays context construction on the hot path.
+	if _, err := s.runtime(profID); err != nil {
+		return &SetupReply{Code: serve.CodeInternal, Err: "profile runtime: " + err.Error()}
+	}
+	sess := serve.NewSession(req.SessionID, profID, req.PK, req.RLK, req.EncKey, req.Nonce)
 	if err := s.store.Register(sess); err != nil {
 		return &SetupReply{
 			Code: serve.CodeOf(err),
 			Err:  fmt.Sprintf("session %q already registered (rekey instead of re-registering)", req.SessionID),
 		}
 	}
-	s.cfg.Logf("edge: session %q registered (%d resident)", req.SessionID, s.store.Len())
-	return &SetupReply{OK: true}
+	if ctl != nil {
+		ctl.ObserveSession(req.SessionID, profID)
+	}
+	s.cfg.Logf("edge: session %q registered on %s (%d resident)", req.SessionID, profID, s.store.Len())
+	rep := &SetupReply{OK: true}
+	if req.Profile != "" {
+		// Echo the profile only to peers that speak it: pre-profile v3
+		// clients keep the reply layout they expect.
+		rep.Profile = profID
+	}
+	return rep
 }
 
 func (s *Server) handleRekey(req *RekeyRequest) *RekeyReply {
@@ -477,41 +682,46 @@ func (s *Server) handleRekey(req *RekeyRequest) *RekeyReply {
 }
 
 // handleCompute serves one block. ID 0 (v1) runs synchronously on the
-// shared pool — blocking checkout, never shed — preserving the v1
-// in-order contract. Nonzero IDs go through the bounded scheduler and may
-// be shed with CodeOverloaded.
+// session profile's pool — blocking checkout, never shed — preserving the
+// v1 in-order contract. Nonzero IDs go through the bounded scheduler and
+// may be shed with CodeOverloaded.
 func (s *Server) handleCompute(cw *connWriter, id uint64, req *ComputeRequest) {
+	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
+	if code != serve.CodeOK {
+		rep := &ComputeReply{Code: code, Err: detail}
+		if id == 0 {
+			cw.send(&replyEnvelope{Compute: rep})
+		} else {
+			cw.send(&replyEnvelope{ID: id, Compute: rep})
+		}
+		return
+	}
 	if id == 0 {
 		var rep *ComputeReply
-		_ = s.pool.Do(func(w *serve.Worker) error {
-			rep = s.compute(w, req)
+		_ = pool.Do(func(w *serve.Worker) error {
+			rep = s.compute(rt, w, sess, req)
 			return nil
 		})
 		cw.send(&replyEnvelope{Compute: rep})
 		return
 	}
-	if err := s.sched.Submit(func(w *serve.Worker) {
-		cw.send(&replyEnvelope{ID: id, Compute: s.compute(w, req)})
+	if err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
+		cw.send(&replyEnvelope{ID: id, Compute: s.compute(rt, w, sess, req)})
 	}); err != nil {
 		cw.send(&replyEnvelope{ID: id, Compute: &ComputeReply{
 			Code: serve.CodeOf(err),
-			Err:  fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth),
+			Err:  fmt.Sprintf("queue full (depth %d)", s.sched.Capacity()),
 		}})
 	}
 }
 
-func (s *Server) compute(w *serve.Worker, req *ComputeRequest) *ComputeReply {
-	sess, ok := s.store.Get(req.SessionID)
-	if !ok {
-		return &ComputeReply{Code: serve.CodeUnknownSession,
-			Err: fmt.Sprintf("unknown session %q", req.SessionID)}
-	}
-	result, code, detail := s.computeBlock(w, sess, req.Epoch, req.Block, req.Masked)
+func (s *Server) compute(rt *profileRuntime, w *serve.Worker, sess *serve.Session, req *ComputeRequest) *ComputeReply {
+	result, code, detail := s.computeBlock(rt, w, sess, req.Epoch, req.Block, req.Masked)
 	if code != serve.CodeOK {
 		return &ComputeReply{Code: code, Err: detail, RekeyNeeded: s.rekeyNeeded(sess)}
 	}
 	bits := float64(len(req.Masked) * 64)
-	lambda := float64(s.ctx.Params.N())
+	lambda := rt.prof.Lambda
 	return &ComputeReply{
 		Result:          result,
 		RekeyNeeded:     s.rekeyNeeded(sess),
@@ -522,7 +732,8 @@ func (s *Server) compute(w *serve.Worker, req *ComputeRequest) *ComputeReply {
 
 // rekeyBudget resolves a session's per-key byte budget: the control
 // plane's plan when one is attached (budgets derived from the paper's
-// security-level utility), the static RekeyBytes constant otherwise.
+// security-level utility at the session's profile λ), the static
+// RekeyBytes constant otherwise.
 func (s *Server) rekeyBudget(sess *serve.Session) int64 {
 	if ctl := s.cfg.Control; ctl != nil {
 		if b := ctl.RekeyBudget(sess.ID); b > 0 {
@@ -532,13 +743,13 @@ func (s *Server) rekeyBudget(sess *serve.Session) int64 {
 	return s.cfg.RekeyBytes
 }
 
-// computeBlock transciphers one block on an exclusively held worker,
-// enforcing slot bounds, the key epoch, control-plane admission and the
-// rekey byte budget.
-func (s *Server) computeBlock(w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (*ckks.Ciphertext, serve.Code, string) {
-	if len(masked) > s.cipher.Slots() {
+// computeBlock transciphers one block on an exclusively held worker of
+// the session profile's pool, enforcing slot bounds, the key epoch,
+// control-plane admission and the rekey byte budget.
+func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (*ckks.Ciphertext, serve.Code, string) {
+	if len(masked) > rt.cipher.Slots() {
 		return nil, serve.CodeOversized,
-			fmt.Sprintf("block of %d slots exceeds %d", len(masked), s.cipher.Slots())
+			fmt.Sprintf("block of %d slots exceeds %d", len(masked), rt.cipher.Slots())
 	}
 	encKey, nonce, epoch := sess.Keys()
 	if reqEpoch != 0 && reqEpoch != epoch {
@@ -565,7 +776,7 @@ func (s *Server) computeBlock(w *serve.Worker, sess *serve.Session, reqEpoch uin
 		start = time.Now()
 	}
 	scratch, _ := w.Scratch.(*transcipher.Scratch)
-	result, err := s.cipher.TranscipherAffineWith(
+	result, err := rt.cipher.TranscipherAffineWith(
 		scratch, w.Ev, sess.RLK, encKey, nonce, block, masked,
 		s.cfg.Model.Weights, s.cfg.Model.Bias)
 	if err != nil {
@@ -587,9 +798,10 @@ func (s *Server) rekeyNeeded(sess *serve.Session) bool {
 	return budget > 0 && 4*sess.BytesSinceRekey() >= 3*budget
 }
 
-// handleBatch fans one BatchRequest's blocks out across the scheduler,
-// replying once every admitted item finishes. Items shed by a full queue
-// fail individually with CodeOverloaded.
+// handleBatch fans one BatchRequest's blocks out across the scheduler
+// onto the session profile's pool, replying once every admitted item
+// finishes. Items shed by a full queue fail individually with
+// CodeOverloaded.
 func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 	fail := func(code serve.Code, detail string) {
 		cw.send(&replyEnvelope{ID: id, Batch: &BatchReply{Code: code, Err: detail}})
@@ -603,9 +815,9 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 		fail(serve.CodeBadRequest, fmt.Sprintf("batch of %d blocks exceeds %d", n, MaxBatch))
 		return
 	}
-	sess, ok := s.store.Get(req.SessionID)
-	if !ok {
-		fail(serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", req.SessionID))
+	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
+	if code != serve.CodeOK {
+		fail(code, detail)
 		return
 	}
 	if code, detail := s.admitBatch(sess, req); code != serve.CodeOK {
@@ -616,26 +828,28 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		// The batch bounds its own in-flight items to the queue depth:
-		// earlier items finish before later ones are submitted, so a batch
-		// larger than the queue never sheds itself on an idle server.
-		// Submit still fails — and the item is shed — under genuine
-		// cross-client contention. Running off the decode loop keeps
-		// pipelined requests on the same connection flowing meanwhile.
-		window := make(chan struct{}, s.cfg.QueueDepth)
+		// The batch bounds its own in-flight items to the live queue
+		// depth (which a control plane may have resized below the built
+		// QueueDepth): earlier items finish before later ones are
+		// submitted, so a batch larger than the queue never sheds itself
+		// on an idle server. Submit still fails — and the item is shed —
+		// under genuine cross-client contention. Running off the decode
+		// loop keeps pipelined requests on the same connection flowing
+		// meanwhile.
+		window := make(chan struct{}, s.sched.Capacity())
 		var wg sync.WaitGroup
 		for i := 0; i < n; i++ {
 			i := i
 			window <- struct{}{}
 			wg.Add(1)
-			err := s.sched.Submit(func(w *serve.Worker) {
+			err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
 				defer func() { <-window; wg.Done() }()
-				result, code, detail := s.computeBlock(w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
+				result, code, detail := s.computeBlock(rt, w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
 				items[i] = BatchItem{Result: result, Code: code, Err: detail}
 			})
 			if err != nil {
 				items[i] = BatchItem{Code: serve.CodeOf(err),
-					Err: fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth)}
+					Err: fmt.Sprintf("queue full (depth %d)", s.sched.Capacity())}
 				<-window
 				wg.Done()
 			}
@@ -649,7 +863,7 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 				served++
 			}
 		}
-		lambda := float64(s.ctx.Params.N())
+		lambda := rt.prof.Lambda
 		cw.send(&replyEnvelope{ID: id, Batch: &BatchReply{
 			Items:           items,
 			RekeyNeeded:     s.rekeyNeeded(sess),
@@ -681,9 +895,9 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 		fail(serve.CodeBadRequest, fmt.Sprintf("batch of %d blocks exceeds %d", n, MaxBatch))
 		return
 	}
-	sess, ok := s.store.Get(req.SessionID)
-	if !ok {
-		fail(serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", req.SessionID))
+	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
+	if code != serve.CodeOK {
+		fail(code, detail)
 		return
 	}
 	if code, detail := s.admitBatch(sess, req); code != serve.CodeOK {
@@ -706,8 +920,15 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 			idx  int
 			item BatchItem
 		}
-		tokens := make(chan struct{}, s.cfg.BatchWindow)
-		emit := make(chan emitItem, s.cfg.BatchWindow)
+		// The streaming window is additionally capped at the live queue
+		// depth, so a plan that shrank the scheduler cannot make a batch
+		// shed itself on an idle server.
+		win := s.cfg.BatchWindow
+		if live := s.sched.Capacity(); live < win {
+			win = live
+		}
+		tokens := make(chan struct{}, win)
+		emit := make(chan emitItem, win)
 		writerDone := make(chan struct{})
 		go func() {
 			defer close(writerDone)
@@ -725,9 +946,9 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 			i := i
 			tokens <- struct{}{}
 			wg.Add(1)
-			err := s.sched.Submit(func(w *serve.Worker) {
+			err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
 				defer wg.Done()
-				result, code, detail := s.computeBlock(w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
+				result, code, detail := s.computeBlock(rt, w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
 				if code == serve.CodeOK {
 					served.Add(1)
 					servedBits.Add(int64(len(req.Masked[i]) * 64))
@@ -737,13 +958,13 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 			if err != nil {
 				wg.Done()
 				emit <- emitItem{idx: i, item: BatchItem{Code: serve.CodeOf(err),
-					Err: fmt.Sprintf("queue full (depth %d)", s.cfg.QueueDepth)}}
+					Err: fmt.Sprintf("queue full (depth %d)", s.sched.Capacity())}}
 			}
 		}
 		wg.Wait()
 		close(emit)
 		<-writerDone
-		lambda := float64(s.ctx.Params.N())
+		lambda := rt.prof.Lambda
 		fw.sendFrame(frameBatchDone, id, func(b []byte) []byte {
 			return appendBatchDone(b, &BatchReply{
 				RekeyNeeded:     s.rekeyNeeded(sess),

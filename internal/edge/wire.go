@@ -57,6 +57,14 @@ const (
 	// checksums" on the other side.
 	helloFlagCRC = 0x01
 
+	// helloFlagProfiles advertises security-profile negotiation: a server
+	// that sets it in its hello ack accepts frameProfile queries and the
+	// optional Profile field on Setup. Clients only send profile frames
+	// after seeing the flag, so pre-profile servers (which would kill the
+	// connection on an unknown frame type) are never exposed to them;
+	// pre-profile clients ignore the bit and stay on the default profile.
+	helloFlagProfiles = 0x02
+
 	// crcTrailerLen is the CRC32C (Castagnoli) trailer size. The trailer
 	// covers header and payload and is excluded from the header's length
 	// field, so a checksumming reader and a length-driven frame skipper
@@ -80,6 +88,8 @@ const (
 	frameBatchDone
 	frameRekey
 	frameRekeyReply
+	frameProfile
+	frameProfileReply
 )
 
 // Typed frame errors: fuzzing and tests assert corrupt input maps to
@@ -161,7 +171,7 @@ func readFrameCRC(br *bufio.Reader, buf *[]byte, withCRC bool) (ftype byte, id u
 		return 0, 0, nil, ErrBadFrame
 	}
 	ftype = hdr[3]
-	if ftype < frameHello || ftype > frameRekeyReply {
+	if ftype < frameHello || ftype > frameProfileReply {
 		return 0, 0, nil, ErrBadFrame
 	}
 	id = binary.LittleEndian.Uint64(hdr[4:12])
@@ -440,7 +450,13 @@ func appendSetupRequest(b []byte, req *SetupRequest) []byte {
 	b = req.PK.AppendBinary(b)
 	b = req.RLK.AppendBinary(b)
 	b = appendCiphertexts(b, req.EncKey)
-	return appendBytes(b, req.Nonce)
+	b = appendBytes(b, req.Nonce)
+	// The profile travels as an optional trailing field: omitted when
+	// empty, so pre-profile peers see (and send) exactly the old layout.
+	if req.Profile != "" {
+		b = appendString(b, req.Profile)
+	}
+	return b
 }
 
 func decodeSetupRequest(p []byte) (*SetupRequest, error) {
@@ -468,6 +484,9 @@ func decodeSetupRequest(p []byte) (*SetupRequest, error) {
 	}
 	req.EncKey = r.ciphertexts(maxWireEncKey)
 	req.Nonce = r.bytes()
+	if r.err == nil && len(r.b) > 0 {
+		req.Profile = r.str()
+	}
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -476,13 +495,49 @@ func decodeSetupRequest(p []byte) (*SetupRequest, error) {
 
 func appendSetupReply(b []byte, rep *SetupReply) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
-	return appendString(b, rep.Err)
+	b = appendString(b, rep.Err)
+	if rep.Profile != "" {
+		b = appendString(b, rep.Profile)
+	}
+	return b
 }
 
 func decodeSetupReply(p []byte) (*SetupReply, error) {
 	r := &wireReader{b: p}
 	rep := &SetupReply{Code: serve.Code(r.u32()), Err: r.str()}
+	if r.err == nil && len(r.b) > 0 {
+		rep.Profile = r.str()
+	}
 	rep.OK = rep.Code == serve.CodeOK && rep.Err == ""
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func appendProfileRequest(b []byte, req *ProfileRequest) []byte {
+	b = appendString(b, req.SessionID)
+	return appendString(b, req.Requested)
+}
+
+func decodeProfileRequest(p []byte) (*ProfileRequest, error) {
+	r := &wireReader{b: p}
+	req := &ProfileRequest{SessionID: r.str(), Requested: r.str()}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func appendProfileReply(b []byte, rep *ProfileReply) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
+	b = appendString(b, rep.Err)
+	return appendString(b, rep.Granted)
+}
+
+func decodeProfileReply(p []byte) (*ProfileReply, error) {
+	r := &wireReader{b: p}
+	rep := &ProfileReply{Code: serve.Code(r.u32()), Err: r.str(), Granted: r.str()}
 	if err := r.finish(); err != nil {
 		return nil, err
 	}

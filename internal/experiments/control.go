@@ -8,6 +8,7 @@ import (
 	"quhe/internal/control"
 	"quhe/internal/costmodel"
 	"quhe/internal/edge"
+	"quhe/internal/he/profile"
 	"quhe/internal/qkd"
 	"quhe/internal/qnet"
 	"quhe/internal/serve"
@@ -184,7 +185,13 @@ func runControlScenario(name string, dynamic bool, opts ControlLoopOptions) (Con
 
 	clients := make([]*edge.Client, opts.Clients)
 	for i, id := range ids {
-		c, err := edge.DialQKD(srv.Addr(), id, kc, int64(100+i))
+		// Both scenarios pin the default security profile: this
+		// experiment isolates the budget/admission loop, so the λ
+		// actuation (which would otherwise steer the dynamic run to the
+		// plan's higher-λ profile and change its compute cost) is held
+		// fixed — experiments.ProfileMix covers the mixed-λ axis.
+		c, err := edge.DialQKDWith(srv.Addr(), id, kc, int64(100+i),
+			edge.DialConfig{Profile: profile.Default().DefaultID()})
 		if err != nil {
 			return sc, 0, fmt.Errorf("dial %s: %w", id, err)
 		}

@@ -1,0 +1,273 @@
+// Package profile is the security-profile registry of the QuHE serving
+// stack: it maps the paper's discrete CKKS degree set λ ∈ {2^15, 2^16,
+// 2^17} (Eq. 17d) to validated, runnable CKKS parameter sets with
+// per-operation cost coefficients, so the control plane's λ choice can be
+// actuated as real ciphertext parameters instead of only feeding the cost
+// model.
+//
+// Each Profile pairs the paper-scale λ it models (the value f_msl and the
+// fitted cost curves of Eqs. 29–31 are evaluated at) with a scaled-down
+// ckks.Params the repository can actually run (LogN 10–12 instead of
+// 15–17, preserving the relative ordering of security level and compute
+// cost). Contexts are built lazily and cached per profile — prime search
+// and NTT-table construction happen once per process, and every server,
+// client and worker pool over the same profile shares one immutable
+// context.
+//
+// Cost coefficients come in two flavors. ModeledCyclesPerBlock is an
+// a·N·log2(N) model of the dominant transciphering work (NTT-bound), with
+// the constant fitted to the repository's own evaluator; Calibrate
+// replaces it with a measured value by running the real
+// transcipher-and-infer operation on the profile's parameters. The
+// controller's per-route λ choice consumes CyclesPerBlock — measured when
+// calibrated, modeled otherwise — and experiments.ProfileMix verifies the
+// coefficients against live per-op latency.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"quhe/internal/costmodel"
+	"quhe/internal/he/ckks"
+)
+
+// Built-in profile IDs, ordered by ascending security level. IDDefault is
+// the profile every pre-profile peer is pinned to: its parameters are
+// exactly the edge runtime's historical fixed parameter set, so a gob
+// (v1/v2) client and a profile-aware server interoperate bit-for-bit.
+const (
+	IDLambda32k  = "lambda-32k"
+	IDLambda64k  = "lambda-64k"
+	IDLambda128k = "lambda-128k"
+
+	IDDefault = IDLambda32k
+)
+
+// modeledCyclesPerNLogN is the fitted constant of the a·N·log2(N) per-block
+// cost model, in CPU cycles at the reference 3.3 GHz clock of the paper's
+// cost model. Fitted against this repository's transcipher-and-infer
+// operation (8 plaintext muls, one ciphertext mul-relin, one rescale) at
+// LogN 10–12; Calibrate supersedes it with a live measurement.
+const modeledCyclesPerNLogN = 1100.0
+
+// RefHz is the reference server clock the cost coefficients are expressed
+// against (the paper's 3.3 GHz, matching costmodel and the edge server
+// default).
+const RefHz = 3.3e9
+
+// depth2 is the rescaling depth every built-in profile runs at: one level
+// for the transcipher's linear keystream layer, one for the quadratic.
+const depth2 = 2
+
+// Profile binds one of the paper's λ security levels to a runnable CKKS
+// parameter set. Profiles are immutable after registration except for the
+// calibrated cost coefficient, which is updated atomically.
+type Profile struct {
+	// ID names the profile on the wire and in plans.
+	ID string
+	// Lambda is the paper-scale CKKS degree this profile models: f_msl and
+	// the fitted cost curves are evaluated at it.
+	Lambda float64
+	// Params is the runnable parameter set sessions on this profile use.
+	Params ckks.Params
+
+	ctxOnce sync.Once
+	ctx     *ckks.Context
+	ctxErr  error
+
+	// measuredCycles holds the calibrated per-block cost in cycles at
+	// RefHz as float64 bits (0 = not calibrated).
+	measuredCycles atomic.Uint64
+}
+
+// MSL returns f_msl(Lambda), the profile's security level in bits (Eq. 30).
+func (p *Profile) MSL() float64 { return costmodel.MinSecurityLevel(p.Lambda) }
+
+// Slots returns the per-block slot capacity of the runnable parameters.
+func (p *Profile) Slots() int { return p.Params.Slots() }
+
+// Context returns the profile's CKKS context, building it on first use and
+// caching it for every later caller. Contexts are immutable and safe to
+// share across servers, clients and pools.
+func (p *Profile) Context() (*ckks.Context, error) {
+	p.ctxOnce.Do(func() {
+		p.ctx, p.ctxErr = ckks.NewContext(p.Params)
+	})
+	return p.ctx, p.ctxErr
+}
+
+// ModeledCyclesPerBlock returns the uncalibrated a·N·log2(N) cost model
+// for one transcipher-and-infer block on this profile's parameters, in
+// cycles at RefHz.
+func (p *Profile) ModeledCyclesPerBlock() float64 {
+	n := float64(p.Params.N())
+	return modeledCyclesPerNLogN * n * math.Log2(n)
+}
+
+// CyclesPerBlock returns the per-block cost coefficient the control plane
+// should plan with: the calibrated measurement when one exists, the
+// modeled value otherwise.
+func (p *Profile) CyclesPerBlock() float64 {
+	if bits := p.measuredCycles.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return p.ModeledCyclesPerBlock()
+}
+
+// Calibrated reports whether a measured coefficient has been installed.
+func (p *Profile) Calibrated() bool { return p.measuredCycles.Load() != 0 }
+
+// SetMeasuredCyclesPerBlock installs a calibrated per-block cost (cycles
+// at RefHz); non-positive values are ignored.
+func (p *Profile) SetMeasuredCyclesPerBlock(cycles float64) {
+	if cycles > 0 {
+		p.measuredCycles.Store(math.Float64bits(cycles))
+	}
+}
+
+// ComputeDelaySec models the serving delay of demandBytesPerSec of masked
+// traffic on this profile: blocks are demand/(8·slots) per second, each
+// costing CyclesPerBlock at serverHz.
+func (p *Profile) ComputeDelaySec(demandBytesPerSec, serverHz float64) float64 {
+	if serverHz <= 0 {
+		return math.Inf(1)
+	}
+	blocksPerSec := demandBytesPerSec / (8 * float64(p.Slots()))
+	return blocksPerSec * p.CyclesPerBlock() / serverHz
+}
+
+// Registry is an ordered, immutable set of profiles keyed by ID. The
+// zero-cost reads on the serving hot path (Get) are map lookups on a map
+// that is never mutated after construction.
+type Registry struct {
+	byID      map[string]*Profile
+	order     []*Profile // ascending Lambda
+	defaultID string
+}
+
+// NewRegistry assembles a registry from validated profiles; the first
+// profile (after sorting by ascending λ) with the lowest λ becomes the
+// default unless defaultID names another member.
+func NewRegistry(defaultID string, profiles ...*Profile) (*Registry, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("profile: empty registry")
+	}
+	r := &Registry{byID: make(map[string]*Profile, len(profiles))}
+	for _, p := range profiles {
+		if p.ID == "" {
+			return nil, fmt.Errorf("profile: profile with empty ID")
+		}
+		if p.Lambda <= 0 {
+			return nil, fmt.Errorf("profile: %s: non-positive λ %g", p.ID, p.Lambda)
+		}
+		if err := p.Params.Validate(); err != nil {
+			return nil, fmt.Errorf("profile: %s: %w", p.ID, err)
+		}
+		if _, dup := r.byID[p.ID]; dup {
+			return nil, fmt.Errorf("profile: duplicate ID %q", p.ID)
+		}
+		r.byID[p.ID] = p
+		r.order = append(r.order, p)
+	}
+	sort.Slice(r.order, func(i, j int) bool { return r.order[i].Lambda < r.order[j].Lambda })
+	if defaultID == "" {
+		defaultID = r.order[0].ID
+	}
+	if _, ok := r.byID[defaultID]; !ok {
+		return nil, fmt.Errorf("profile: default %q not in registry", defaultID)
+	}
+	r.defaultID = defaultID
+	return r, nil
+}
+
+// Get looks a profile up by ID.
+func (r *Registry) Get(id string) (*Profile, bool) {
+	p, ok := r.byID[id]
+	return p, ok
+}
+
+// DefaultID returns the default profile's ID (what empty negotiations and
+// legacy peers resolve to).
+func (r *Registry) DefaultID() string { return r.defaultID }
+
+// Default returns the default profile.
+func (r *Registry) Default() *Profile { return r.byID[r.defaultID] }
+
+// Profiles returns the members in ascending-λ order. The slice is shared;
+// callers must not mutate it.
+func (r *Registry) Profiles() []*Profile { return r.order }
+
+// IDs returns the member IDs in ascending-λ order.
+func (r *Registry) IDs() []string {
+	ids := make([]string, len(r.order))
+	for i, p := range r.order {
+		ids[i] = p.ID
+	}
+	return ids
+}
+
+// ByLambda returns the profile whose paper-scale λ matches exactly.
+func (r *Registry) ByLambda(lambda float64) (*Profile, bool) {
+	for _, p := range r.order {
+		if p.Lambda == lambda {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// ForLambda resolves a planned λ to the best actuatable profile: the
+// largest member whose λ does not exceed the plan's, falling back to the
+// smallest member when the plan sits below the whole set.
+func (r *Registry) ForLambda(lambda float64) *Profile {
+	best := r.order[0]
+	for _, p := range r.order {
+		if p.Lambda <= lambda {
+			best = p
+		}
+	}
+	return best
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-wide built-in registry: the paper's three λ
+// levels scaled to runnable ring degrees, sharing one cached context per
+// profile across every caller. The default member (IDDefault) carries the
+// edge runtime's historical parameter set, keeping legacy peers
+// bit-compatible.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		mk := func(id string, lambda float64, logN, baseBits, scaleBits int) *Profile {
+			// Depth 2 for transciphering (linear + quadratic keystream
+			// layers); every chain stays within the 61-bit modulus bound.
+			params, err := ckks.NewParams(logN, baseBits, scaleBits, depth2)
+			if err != nil {
+				panic("profile: invalid built-in params for " + id + ": " + err.Error())
+			}
+			return &Profile{ID: id, Lambda: lambda, Params: params}
+		}
+		reg, err := NewRegistry(IDDefault,
+			// The default keeps the pre-registry runtime's exact set so
+			// legacy peers stay bit-compatible; the larger degrees take a
+			// 20-bit scale (base shrunk to fit the chain) because CKKS
+			// noise grows with N and an 18-bit scale no longer clears the
+			// serving-accuracy bar at LogN ≥ 11.
+			mk(IDLambda32k, 32768, 10, 25, 18),
+			mk(IDLambda64k, 65536, 11, 21, 20),
+			mk(IDLambda128k, 131072, 12, 21, 20),
+		)
+		if err != nil {
+			panic("profile: built-in registry: " + err.Error())
+		}
+		defaultReg = reg
+	})
+	return defaultReg
+}

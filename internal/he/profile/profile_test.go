@@ -1,0 +1,146 @@
+package profile_test
+
+import (
+	"testing"
+
+	"quhe/internal/he/ckks"
+	"quhe/internal/he/profile"
+)
+
+func TestDefaultRegistryShape(t *testing.T) {
+	reg := profile.Default()
+	ids := reg.IDs()
+	want := []string{profile.IDLambda32k, profile.IDLambda64k, profile.IDLambda128k}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d profiles, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %q, want %q (ascending λ order)", i, ids[i], id)
+		}
+	}
+	if reg.DefaultID() != profile.IDDefault {
+		t.Errorf("default = %q, want %q", reg.DefaultID(), profile.IDDefault)
+	}
+	// The default profile must carry the edge runtime's historical
+	// parameter set so legacy (gob, pre-profile) peers stay compatible.
+	def := reg.Default()
+	if def.Params.LogN != 10 || def.Params.Depth != 2 {
+		t.Errorf("default params LogN=%d Depth=%d, want 10/2 (legacy-compatible)",
+			def.Params.LogN, def.Params.Depth)
+	}
+	// λ, MSL and cost coefficients are strictly increasing in the order.
+	profs := reg.Profiles()
+	for i := 1; i < len(profs); i++ {
+		if profs[i].Lambda <= profs[i-1].Lambda {
+			t.Errorf("λ not increasing: %g after %g", profs[i].Lambda, profs[i-1].Lambda)
+		}
+		if profs[i].MSL() <= profs[i-1].MSL() {
+			t.Errorf("MSL not increasing: %g after %g", profs[i].MSL(), profs[i-1].MSL())
+		}
+		if profs[i].ModeledCyclesPerBlock() <= profs[i-1].ModeledCyclesPerBlock() {
+			t.Errorf("modeled cost not increasing: %g after %g",
+				profs[i].ModeledCyclesPerBlock(), profs[i-1].ModeledCyclesPerBlock())
+		}
+	}
+}
+
+func TestContextCachedAndShared(t *testing.T) {
+	p := profile.Default().Default()
+	c1, err := p.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Context()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("Context() rebuilt instead of returning the cached instance")
+	}
+	if c1.Params.N() != p.Params.N() {
+		t.Errorf("context N=%d, profile N=%d", c1.Params.N(), p.Params.N())
+	}
+}
+
+func TestForLambdaResolution(t *testing.T) {
+	reg := profile.Default()
+	cases := []struct {
+		lambda float64
+		want   string
+	}{
+		{1024, profile.IDLambda32k},   // below the set: smallest member
+		{32768, profile.IDLambda32k},  // exact
+		{65536, profile.IDLambda64k},  // exact
+		{100000, profile.IDLambda64k}, // between members: round down
+		{131072, profile.IDLambda128k},
+		{1 << 20, profile.IDLambda128k}, // above the set: largest member
+	}
+	for _, c := range cases {
+		if got := reg.ForLambda(c.lambda).ID; got != c.want {
+			t.Errorf("ForLambda(%g) = %q, want %q", c.lambda, got, c.want)
+		}
+	}
+	if _, ok := reg.ByLambda(12345); ok {
+		t.Error("ByLambda matched a λ outside the set")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	good, err := ckks.NewParams(10, 25, 18, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := profile.NewRegistry(""); err == nil {
+		t.Error("empty registry accepted")
+	}
+	if _, err := profile.NewRegistry("",
+		&profile.Profile{ID: "a", Lambda: 1, Params: good},
+		&profile.Profile{ID: "a", Lambda: 2, Params: good}); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if _, err := profile.NewRegistry("missing",
+		&profile.Profile{ID: "a", Lambda: 1, Params: good}); err == nil {
+		t.Error("unknown default accepted")
+	}
+	bad := good
+	bad.LogN = 99
+	if _, err := profile.NewRegistry("",
+		&profile.Profile{ID: "bad", Lambda: 1, Params: bad}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestCalibrateInstallsCoefficient runs the real per-block measurement on
+// the smallest profile and checks the registry serves it back through
+// CyclesPerBlock.
+func TestCalibrateInstallsCoefficient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs a key generation")
+	}
+	p := profile.Default().Default()
+	if p.Calibrated() {
+		t.Log("profile already calibrated by another test; re-measuring")
+	}
+	d, err := p.Calibrate(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("calibration measured %v", d)
+	}
+	if !p.Calibrated() {
+		t.Fatal("Calibrated() false after Calibrate")
+	}
+	got := p.CyclesPerBlock()
+	want := d.Seconds() * profile.RefHz
+	if got <= 0 || got > 2*want || got < want/2 {
+		t.Errorf("CyclesPerBlock = %g, want ≈ %g (measured)", got, want)
+	}
+	// The modeled fallback should be in the same decade as the
+	// measurement — it is what uncalibrated controllers plan with.
+	modeled := p.ModeledCyclesPerBlock()
+	if ratio := modeled / got; ratio < 0.1 || ratio > 10 {
+		t.Logf("modeled/measured coefficient ratio %.2f drifting; consider refitting modeledCyclesPerNLogN", ratio)
+	}
+}

@@ -7,23 +7,32 @@
 // The runtime decomposes into three pieces a request flows through:
 //
 //	connection → Store (sharded sessions) → Scheduler (bounded queue)
-//	           → EvalPool (per-worker evaluators) → transcipher/ckks core
+//	           → PoolSet/EvalPool (per-profile evaluators) → transcipher/ckks core
 //
 // Store is a hash-sharded session table with per-shard locks, LRU
 // eviction under a configurable session cap, and per-session usage
 // counters. Registering N sessions costs key material only — not
 // evaluators — so memory grows with sessions, compute state with workers.
+// Each Session carries the security profile it registered on, and the
+// live session cap is resizable (SetMaxSessions) so a control plane can
+// actuate its admission capacity instead of only advising it.
 //
 // EvalPool owns a fixed number of Workers, each pairing a *ckks.Evaluator
 // (whose scratch buffers make it single-goroutine) with optional
 // caller-attached per-worker scratch (the edge server attaches
-// *transcipher.Scratch). Compute parallelism — and evaluator memory — is
-// bounded by the pool size, never by the session count.
+// *transcipher.Scratch). Workers are built lazily on first checkout.
+// PoolSet keys one EvalPool per security profile, built on demand through
+// a factory, so compute parallelism — and evaluator memory — is bounded
+// by pool size × live profiles, never by the session count, and profiles
+// without traffic cost nothing.
 //
-// Scheduler fans jobs out across the pool through a bounded queue. When
-// the queue is full, Submit fails fast with ErrOverloaded instead of
-// buffering without limit: explicit backpressure the protocol layer maps
-// onto typed replies so clients can shed or retry.
+// Scheduler fans jobs out across the pools through one bounded queue:
+// Submit targets the default pool, SubmitTo any profile's pool. When the
+// queue is at its live depth bound, Submit fails fast with ErrOverloaded
+// instead of buffering without limit: explicit backpressure the protocol
+// layer maps onto typed replies so clients can shed or retry. The live
+// bound is resizable within the built capacity (Resize) — the control
+// plane applies its plan's queue high-water to it every replan.
 //
 // Failures are identified by Code values that travel on the wire next to
 // a human-readable detail string; each code maps to a sentinel error

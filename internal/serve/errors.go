@@ -42,6 +42,11 @@ const (
 	// is a policy decision — clients should back off or route elsewhere
 	// rather than retry immediately.
 	CodeAdmissionDenied
+	// CodeProfileDenied rejects a session whose requested security
+	// profile the server does not serve (unknown ID) or the active plan
+	// refuses. Distinct from CodeParamMismatch: the parameters may be
+	// perfectly valid, the policy just does not allow them here.
+	CodeProfileDenied
 )
 
 // Sentinel errors, one per failure code. Server components return these
@@ -59,6 +64,7 @@ var (
 	ErrInternal         = errors.New("serve: internal error")
 	ErrConnClosed       = errors.New("serve: connection closed")
 	ErrAdmissionDenied  = errors.New("serve: admission denied")
+	ErrProfileDenied    = errors.New("serve: security profile denied")
 )
 
 var codeToErr = map[Code]error{
@@ -72,6 +78,7 @@ var codeToErr = map[Code]error{
 	CodeInternal:         ErrInternal,
 	CodeConnClosed:       ErrConnClosed,
 	CodeAdmissionDenied:  ErrAdmissionDenied,
+	CodeProfileDenied:    ErrProfileDenied,
 }
 
 // Err returns the sentinel error for the code, or nil for CodeOK.
@@ -125,6 +132,8 @@ func (c Code) String() string {
 		return "conn-closed"
 	case CodeAdmissionDenied:
 		return "admission-denied"
+	case CodeProfileDenied:
+		return "profile-denied"
 	}
 	return "unknown"
 }

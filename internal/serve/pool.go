@@ -1,6 +1,11 @@
 package serve
 
-import "quhe/internal/he/ckks"
+import (
+	"sync"
+	"sync/atomic"
+
+	"quhe/internal/he/ckks"
+)
 
 // Worker is one checkout unit of the evaluator pool: a CKKS evaluator
 // (whose internal scratch buffers make it single-goroutine) plus optional
@@ -20,37 +25,71 @@ type Worker struct {
 // bounded by the pool, not by the session count. Get blocks until a
 // worker is free, which is the pool's implicit backpressure for callers
 // that bypass the Scheduler (the synchronous v1 protocol path).
+//
+// Workers are built lazily: construction registers a build function and
+// the pool's capacity, and each worker's evaluator and scratch come into
+// existence on its first checkout. A pool for a security profile no
+// session ever uses therefore costs a struct, not Size() evaluators —
+// the property the per-profile PoolSet depends on.
 type EvalPool struct {
-	ch chan *Worker
+	ch    chan *Worker
+	build func(i int) *Worker
+	next  atomic.Int32
+	size  int32
 }
 
-// NewEvalPool builds size workers over ctx. Each worker's evaluator is
-// seeded with seed+i (evaluator RNG streams stay distinct); scratch, when
-// non-nil, is invoked once per worker to attach per-worker state.
+// NewEvalPool builds a pool of size workers over ctx. Each worker's
+// evaluator is seeded with seed+i (evaluator RNG streams stay distinct);
+// scratch, when non-nil, is invoked once per worker to attach per-worker
+// state. Workers materialize on first checkout.
 func NewEvalPool(ctx *ckks.Context, size int, seed int64, scratch func(i int) any) *EvalPool {
-	if size < 1 {
-		size = 1
-	}
-	p := &EvalPool{ch: make(chan *Worker, size)}
-	for i := 0; i < size; i++ {
+	return NewEvalPoolFunc(size, func(i int) *Worker {
 		w := &Worker{Ev: ckks.NewEvaluator(ctx, seed+int64(i))}
 		if scratch != nil {
 			w.Scratch = scratch(i)
 		}
-		p.ch <- w
+		return w
+	})
+}
+
+// NewEvalPoolFunc builds a pool of size workers materialized lazily by
+// build (which must be safe for concurrent calls with distinct indices).
+func NewEvalPoolFunc(size int, build func(i int) *Worker) *EvalPool {
+	if size < 1 {
+		size = 1
 	}
-	return p
+	return &EvalPool{ch: make(chan *Worker, size), build: build, size: int32(size)}
 }
 
 // Size returns the fixed number of workers.
-func (p *EvalPool) Size() int { return cap(p.ch) }
+func (p *EvalPool) Size() int { return int(p.size) }
+
+// Built reports how many workers have been materialized so far.
+func (p *EvalPool) Built() int { return int(p.next.Load()) }
 
 // InUse reports the workers currently checked out — the evaluator-pool
 // utilization gauge the control plane's telemetry snapshots.
-func (p *EvalPool) InUse() int { return cap(p.ch) - len(p.ch) }
+func (p *EvalPool) InUse() int { return int(p.next.Load()) - len(p.ch) }
 
-// Get checks a worker out, blocking until one is free.
-func (p *EvalPool) Get() *Worker { return <-p.ch }
+// Get checks a worker out, blocking until one is free. While unbuilt
+// capacity remains, a fresh worker is constructed instead of waiting.
+func (p *EvalPool) Get() *Worker {
+	select {
+	case w := <-p.ch:
+		return w
+	default:
+	}
+	for {
+		n := p.next.Load()
+		if n >= p.size {
+			break
+		}
+		if p.next.CompareAndSwap(n, n+1) {
+			return p.build(int(n))
+		}
+	}
+	return <-p.ch
+}
 
 // Put returns a worker obtained from Get.
 func (p *EvalPool) Put(w *Worker) { p.ch <- w }
@@ -60,4 +99,79 @@ func (p *EvalPool) Do(f func(*Worker) error) error {
 	w := p.Get()
 	defer p.Put(w)
 	return f(w)
+}
+
+// PoolSet is a lazily populated registry of EvalPools keyed on security
+// profile ID: the serving layer asks for a profile's pool and the set
+// builds it on first use through the factory, so only profiles with live
+// traffic cost worker capacity. Safe for concurrent use.
+type PoolSet struct {
+	mu      sync.RWMutex
+	pools   map[string]*EvalPool
+	factory func(profileID string) (*EvalPool, error)
+}
+
+// NewPoolSet builds an empty set over a pool factory.
+func NewPoolSet(factory func(profileID string) (*EvalPool, error)) *PoolSet {
+	return &PoolSet{pools: make(map[string]*EvalPool), factory: factory}
+}
+
+// Get returns the profile's pool, building it on first use. Concurrent
+// first gets for the same profile serialize on the set's lock; a factory
+// failure is returned to every caller and not cached.
+func (s *PoolSet) Get(profileID string) (*EvalPool, error) {
+	s.mu.RLock()
+	p := s.pools[profileID]
+	s.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.pools[profileID]; p != nil {
+		return p, nil
+	}
+	p, err := s.factory(profileID)
+	if err != nil {
+		return nil, err
+	}
+	s.pools[profileID] = p
+	return p, nil
+}
+
+// Peek returns the profile's pool only if it already exists.
+func (s *PoolSet) Peek(profileID string) (*EvalPool, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.pools[profileID]
+	return p, ok
+}
+
+// Each calls f for every built pool (iteration order unspecified).
+func (s *PoolSet) Each(f func(profileID string, p *EvalPool)) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.pools))
+	pools := make([]*EvalPool, 0, len(s.pools))
+	for id, p := range s.pools {
+		ids = append(ids, id)
+		pools = append(pools, p)
+	}
+	s.mu.RUnlock()
+	for i := range ids {
+		f(ids[i], pools[i])
+	}
+}
+
+// Size aggregates the worker capacity of every built pool.
+func (s *PoolSet) Size() int {
+	total := 0
+	s.Each(func(_ string, p *EvalPool) { total += p.Size() })
+	return total
+}
+
+// InUse aggregates the checked-out workers across every built pool.
+func (s *PoolSet) InUse() int {
+	total := 0
+	s.Each(func(_ string, p *EvalPool) { total += p.InUse() })
+	return total
 }

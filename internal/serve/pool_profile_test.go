@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolBuildsWorkersLazily(t *testing.T) {
+	ctx := testContext(t)
+	var built atomic.Int64
+	pool := NewEvalPool(ctx, 4, 1, func(i int) any { built.Add(1); return i })
+	if got := built.Load(); got != 0 {
+		t.Fatalf("%d workers built at construction, want 0 (lazy)", got)
+	}
+	if pool.Built() != 0 {
+		t.Fatalf("Built = %d at construction", pool.Built())
+	}
+	w := pool.Get()
+	if built.Load() != 1 || pool.Built() != 1 {
+		t.Errorf("first checkout built %d workers (gauge %d), want 1", built.Load(), pool.Built())
+	}
+	if pool.InUse() != 1 {
+		t.Errorf("InUse = %d with one worker out", pool.InUse())
+	}
+	pool.Put(w)
+	if pool.InUse() != 0 {
+		t.Errorf("InUse = %d after Put", pool.InUse())
+	}
+	// A recycled worker is reused before new capacity materializes.
+	w2 := pool.Get()
+	if built.Load() != 1 {
+		t.Errorf("checkout with a free worker built another (%d total)", built.Load())
+	}
+	pool.Put(w2)
+}
+
+func TestPoolSetKeysPoolsByProfile(t *testing.T) {
+	ctx := testContext(t)
+	var factoryCalls atomic.Int64
+	set := NewPoolSet(func(profileID string) (*EvalPool, error) {
+		if profileID == "broken" {
+			return nil, errors.New("no such profile")
+		}
+		factoryCalls.Add(1)
+		return NewEvalPool(ctx, 2, 1, nil), nil
+	})
+	a1, err := set.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := set.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("same profile resolved to distinct pools")
+	}
+	b, err := set.Get("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b == a1 {
+		t.Error("distinct profiles share a pool")
+	}
+	if factoryCalls.Load() != 2 {
+		t.Errorf("factory ran %d times, want 2", factoryCalls.Load())
+	}
+	if _, err := set.Get("broken"); err == nil {
+		t.Error("factory failure not surfaced")
+	}
+	if _, ok := set.Peek("broken"); ok {
+		t.Error("failed pool cached")
+	}
+	if set.Size() != 4 {
+		t.Errorf("aggregate Size = %d, want 4", set.Size())
+	}
+	w := a1.Get()
+	if set.InUse() != 1 {
+		t.Errorf("aggregate InUse = %d, want 1", set.InUse())
+	}
+	a1.Put(w)
+	ids := map[string]bool{}
+	set.Each(func(id string, _ *EvalPool) { ids[id] = true })
+	if !ids["a"] || !ids["b"] || len(ids) != 2 {
+		t.Errorf("Each visited %v", ids)
+	}
+}
+
+func TestSchedulerSubmitToRoutesPools(t *testing.T) {
+	ctx := testContext(t)
+	def := NewEvalPool(ctx, 1, 1, func(i int) any { return "default" })
+	alt := NewEvalPool(ctx, 1, 100, func(i int) any { return "alt" })
+	sched := NewScheduler(def, 8)
+	defer sched.Close()
+
+	got := make(chan string, 2)
+	if err := sched.Submit(func(w *Worker) { got <- w.Scratch.(string) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.SubmitTo(alt, func(w *Worker) { got <- w.Scratch.(string) }); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{<-got: true, <-got: true}
+	if !seen["default"] || !seen["alt"] {
+		t.Errorf("jobs ran on %v, want both pools", seen)
+	}
+}
+
+// TestSchedulerResizeConcurrent is the satellite -race test: live resizes
+// racing a submission hammer must respect the shrinking bound (sheds
+// happen), never lose a job that was accepted, and never exceed the built
+// capacity.
+func TestSchedulerResizeConcurrent(t *testing.T) {
+	ctx := testContext(t)
+	pool := NewEvalPool(ctx, 2, 1, nil)
+	sched := NewScheduler(pool, 16)
+	if sched.MaxCapacity() != 16 || sched.Capacity() != 16 {
+		t.Fatalf("capacity %d/%d, want 16/16", sched.Capacity(), sched.MaxCapacity())
+	}
+
+	var accepted, ran, shed atomic.Int64
+	stop := make(chan struct{})
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() { // resize hammer
+		defer resizer.Done()
+		sizes := []int{1, 4, 16, 2, 8, 0, 64} // clamped to [1, 16]
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sched.Resize(sizes[i%len(sizes)])
+			if c := sched.Capacity(); c < 1 || c > 16 {
+				t.Errorf("live capacity %d outside [1, 16]", c)
+				return
+			}
+		}
+	}()
+	var submitters sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		submitters.Add(1)
+		go func() {
+			defer submitters.Done()
+			for i := 0; i < 500; i++ {
+				err := sched.Submit(func(*Worker) { ran.Add(1) })
+				if err == nil {
+					accepted.Add(1)
+				} else if errors.Is(err, ErrOverloaded) {
+					shed.Add(1)
+				} else {
+					t.Errorf("submit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	submitters.Wait()
+	close(stop)
+	resizer.Wait()
+	sched.Close()
+	if ran.Load() != accepted.Load() {
+		t.Errorf("accepted %d jobs but ran %d", accepted.Load(), ran.Load())
+	}
+	if accepted.Load() == 0 {
+		t.Error("no job was ever accepted")
+	}
+	t.Logf("accepted %d, shed %d under live resizing", accepted.Load(), shed.Load())
+}
+
+func TestStoreSetMaxSessionsShrinksLive(t *testing.T) {
+	st := NewStoreShards(1, 8)
+	if st.MaxSessions() != 8 {
+		t.Fatalf("MaxSessions = %d, want 8", st.MaxSessions())
+	}
+	for i := 0; i < 4; i++ {
+		if err := st.Register(NewSession(fmt.Sprintf("s%d", i), "", nil, nil, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Shrink below the resident count: the next registration evicts down
+	// to the new cap (s0 and s1 are LRU), leaving cap sessions resident.
+	st.SetMaxSessions(3)
+	if err := st.Register(NewSession("s4", "", nil, nil, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 3 {
+		t.Errorf("Len = %d after shrink to 3", st.Len())
+	}
+	if _, ok := st.Peek("s0"); ok {
+		t.Error("LRU session survived the shrink")
+	}
+	if _, ok := st.Peek("s4"); !ok {
+		t.Error("fresh session missing")
+	}
+	// Unbounded again: no more evictions.
+	st.SetMaxSessions(0)
+	for i := 5; i < 20; i++ {
+		if err := st.Register(NewSession(fmt.Sprintf("s%d", i), "", nil, nil, nil, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 18 {
+		t.Errorf("Len = %d unbounded, want 18", st.Len())
+	}
+}
+
+func TestSessionCarriesProfile(t *testing.T) {
+	sess := NewSession("s", "lambda-64k", nil, nil, nil, nil)
+	if sess.Profile != "lambda-64k" {
+		t.Errorf("Profile = %q", sess.Profile)
+	}
+}

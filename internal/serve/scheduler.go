@@ -10,15 +10,24 @@ import (
 // captures the connection writer).
 type Job func(*Worker)
 
-// Scheduler fans jobs out across the evaluator pool through a bounded
-// queue: one goroutine per pool worker drains the queue, checking an
-// evaluator out per job so the pool is shared fairly with synchronous
-// callers. When the queue is full, Submit fails fast with ErrOverloaded —
-// the explicit backpressure signal the protocol layer forwards to clients
-// instead of buffering requests without limit.
+// Scheduler fans jobs out across evaluator pools through a bounded
+// queue: one drain goroutine per default-pool worker picks jobs off the
+// queue and checks a worker out of the job's pool — by default the pool
+// the scheduler was built over, or a per-profile pool passed to SubmitTo —
+// so pools are shared fairly with synchronous callers. When the queue is
+// full, Submit fails fast with ErrOverloaded — the explicit backpressure
+// signal the protocol layer forwards to clients instead of buffering
+// requests without limit.
+//
+// The queue's live depth is resizable within the capacity it was built
+// with (Resize): the control plane applies its plan's queue high-water to
+// the live boundary instead of only recording it, so a shrinking plan
+// turns into real CodeOverloaded backpressure, not just advisory
+// admission sheds.
 type Scheduler struct {
 	pool  *EvalPool
-	queue chan Job
+	queue chan poolJob
+	limit atomic.Int64 // live depth bound, ≤ cap(queue)
 	depth atomic.Int64
 	sheds atomic.Int64
 
@@ -27,13 +36,20 @@ type Scheduler struct {
 	wg     sync.WaitGroup
 }
 
+type poolJob struct {
+	pool *EvalPool
+	job  Job
+}
+
 // NewScheduler starts one drain goroutine per pool worker over a queue of
-// the given depth (≤ 0 selects 4× the pool size).
+// the given depth (≤ 0 selects 4× the pool size). The built depth is the
+// ceiling Resize can never exceed.
 func NewScheduler(pool *EvalPool, queueDepth int) *Scheduler {
 	if queueDepth <= 0 {
 		queueDepth = 4 * pool.Size()
 	}
-	s := &Scheduler{pool: pool, queue: make(chan Job, queueDepth)}
+	s := &Scheduler{pool: pool, queue: make(chan poolJob, queueDepth)}
+	s.limit.Store(int64(queueDepth))
 	for i := 0; i < pool.Size(); i++ {
 		s.wg.Add(1)
 		go s.drain()
@@ -43,38 +59,72 @@ func NewScheduler(pool *EvalPool, queueDepth int) *Scheduler {
 
 func (s *Scheduler) drain() {
 	defer s.wg.Done()
-	for job := range s.queue {
+	for pj := range s.queue {
 		s.depth.Add(-1)
-		w := s.pool.Get()
-		job(w)
-		s.pool.Put(w)
+		w := pj.pool.Get()
+		pj.job(w)
+		pj.pool.Put(w)
 	}
 }
 
-// Submit enqueues a job without blocking. It returns ErrOverloaded when
-// the queue is full (or the scheduler is closed); the job then never runs.
-func (s *Scheduler) Submit(job Job) error {
+// Submit enqueues a job for the scheduler's default pool. It returns
+// ErrOverloaded when the queue is at its live depth bound (or the
+// scheduler is closed); the job then never runs.
+func (s *Scheduler) Submit(job Job) error { return s.SubmitTo(nil, job) }
+
+// SubmitTo enqueues a job to run on a worker of the given pool (nil
+// selects the default pool) without blocking. It returns ErrOverloaded
+// when the queue is at its live depth bound or the scheduler is closed.
+func (s *Scheduler) SubmitTo(pool *EvalPool, job Job) error {
+	if pool == nil {
+		pool = s.pool
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		s.sheds.Add(1)
 		return ErrOverloaded
 	}
-	select {
-	case s.queue <- job:
-		s.depth.Add(1)
-		return nil
-	default:
-		s.sheds.Add(1)
-		return ErrOverloaded
+	// Reserve a depth slot under the live limit before touching the
+	// channel: at most limit ≤ cap(queue) reservations exist at once, so
+	// the send below never blocks.
+	for {
+		d := s.depth.Load()
+		if d >= s.limit.Load() {
+			s.sheds.Add(1)
+			return ErrOverloaded
+		}
+		if s.depth.CompareAndSwap(d, d+1) {
+			break
+		}
 	}
+	s.queue <- poolJob{pool: pool, job: job}
+	return nil
 }
 
 // QueueDepth reports the jobs currently waiting (not yet picked up).
 func (s *Scheduler) QueueDepth() int { return int(s.depth.Load()) }
 
-// Capacity reports the queue depth the scheduler was built with.
-func (s *Scheduler) Capacity() int { return cap(s.queue) }
+// Capacity reports the live queue depth bound (Resize moves it).
+func (s *Scheduler) Capacity() int { return int(s.limit.Load()) }
+
+// MaxCapacity reports the depth the scheduler was built with — the
+// ceiling Resize clamps to.
+func (s *Scheduler) MaxCapacity() int { return cap(s.queue) }
+
+// Resize moves the live queue depth bound, clamped to [1, MaxCapacity].
+// Shrinking never drops queued jobs: entries beyond the new bound drain
+// normally while new submissions shed until occupancy falls below it.
+// Safe to call concurrently with Submit.
+func (s *Scheduler) Resize(depth int) {
+	if depth < 1 {
+		depth = 1
+	}
+	if max := cap(s.queue); depth > max {
+		depth = max
+	}
+	s.limit.Store(int64(depth))
+}
 
 // Sheds counts submissions rejected with ErrOverloaded since construction —
 // a telemetry input for the control plane's admission decisions.

@@ -55,10 +55,10 @@ func TestCodeRoundTrip(t *testing.T) {
 
 func TestStoreRegisterAndDuplicate(t *testing.T) {
 	st := NewStore(0)
-	if err := st.Register(NewSession("a", nil, nil, nil, nil)); err != nil {
+	if err := st.Register(NewSession("a", "", nil, nil, nil, nil)); err != nil {
 		t.Fatal(err)
 	}
-	err := st.Register(NewSession("a", nil, nil, nil, nil))
+	err := st.Register(NewSession("a", "", nil, nil, nil, nil))
 	if !errors.Is(err, ErrDuplicateSession) {
 		t.Fatalf("duplicate register err = %v", err)
 	}
@@ -68,7 +68,7 @@ func TestStoreRegisterAndDuplicate(t *testing.T) {
 	if !st.Remove("a") || st.Remove("a") {
 		t.Fatal("remove semantics broken")
 	}
-	if err := st.Register(NewSession("a", nil, nil, nil, nil)); err != nil {
+	if err := st.Register(NewSession("a", "", nil, nil, nil, nil)); err != nil {
 		t.Fatalf("re-register after remove: %v", err)
 	}
 }
@@ -76,7 +76,7 @@ func TestStoreRegisterAndDuplicate(t *testing.T) {
 func TestStoreLRUEviction(t *testing.T) {
 	st := NewStoreShards(1, 2)
 	for _, id := range []string{"a", "b"} {
-		if err := st.Register(NewSession(id, nil, nil, nil, nil)); err != nil {
+		if err := st.Register(NewSession(id, "", nil, nil, nil, nil)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,7 +84,7 @@ func TestStoreLRUEviction(t *testing.T) {
 	if _, ok := st.Get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	if err := st.Register(NewSession("c", nil, nil, nil, nil)); err != nil {
+	if err := st.Register(NewSession("c", "", nil, nil, nil, nil)); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := st.Get("b"); ok {
@@ -107,7 +107,7 @@ func TestStoreLRUEviction(t *testing.T) {
 func TestStorePeekDoesNotTouchLRU(t *testing.T) {
 	st := NewStoreShards(1, 2)
 	for _, id := range []string{"a", "b"} {
-		if err := st.Register(NewSession(id, nil, nil, nil, nil)); err != nil {
+		if err := st.Register(NewSession(id, "", nil, nil, nil, nil)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -118,7 +118,7 @@ func TestStorePeekDoesNotTouchLRU(t *testing.T) {
 	if _, ok := st.Peek("ghost"); ok {
 		t.Fatal("phantom session")
 	}
-	if err := st.Register(NewSession("c", nil, nil, nil, nil)); err != nil {
+	if err := st.Register(NewSession("c", "", nil, nil, nil, nil)); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := st.Peek("a"); ok {
@@ -139,7 +139,7 @@ func TestStoreConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				id := fmt.Sprintf("s-%d-%d", g, i)
-				sess := NewSession(id, nil, nil, nil, []byte(id))
+				sess := NewSession(id, "", nil, nil, nil, []byte(id))
 				if err := st.Register(sess); err != nil {
 					t.Errorf("register %s: %v", id, err)
 					return
@@ -160,7 +160,7 @@ func TestStoreConcurrent(t *testing.T) {
 }
 
 func TestSessionRekeyAndStats(t *testing.T) {
-	sess := NewSession("s", nil, nil, nil, []byte("n1"))
+	sess := NewSession("s", "", nil, nil, nil, []byte("n1"))
 	if sess.RecordBlock(100) != 100 {
 		t.Error("RecordBlock accounting off")
 	}

@@ -16,6 +16,12 @@ import (
 type Session struct {
 	// ID names the session; immutable.
 	ID string
+	// Profile is the security profile the session was registered on
+	// (empty = the server's default profile); immutable. Every compute
+	// for the session runs on the profile's evaluator pool against its
+	// CKKS context, and the control plane derives the session's rekey
+	// budget from the profile's λ.
+	Profile string
 	// PK and RLK are the client's HE evaluation material; immutable.
 	PK  *ckks.PublicKey
 	RLK *ckks.RelinKey
@@ -45,10 +51,11 @@ type Stats struct {
 	Epoch uint64
 }
 
-// NewSession builds a session at epoch 1 holding the given key material.
-func NewSession(id string, pk *ckks.PublicKey, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte) *Session {
+// NewSession builds a session at epoch 1 holding the given key material,
+// registered on the given security profile ("" = server default).
+func NewSession(id, profile string, pk *ckks.PublicKey, rlk *ckks.RelinKey, encKey []*ckks.Ciphertext, nonce []byte) *Session {
 	return &Session{
-		ID: id, PK: pk, RLK: rlk,
+		ID: id, Profile: profile, PK: pk, RLK: rlk,
 		encKey: encKey,
 		nonce:  append([]byte(nil), nonce...),
 		epoch:  1,

@@ -18,10 +18,14 @@ const DefaultShards = 16
 // within one shard's worth of slack). Small caps select a single shard so
 // eviction order is exact.
 type Store struct {
-	shards    []storeShard
-	mask      uint32
-	shardCap  int // 0 = unbounded
-	evictions atomic.Int64
+	shards []storeShard
+	mask   uint32
+	// maxSessions and shardCap are resizable at runtime (the control
+	// plane applies its plan's admission capacity to the live cap);
+	// 0 = unbounded.
+	maxSessions atomic.Int64
+	shardCap    atomic.Int64
+	evictions   atomic.Int64
 }
 
 type storeShard struct {
@@ -51,16 +55,33 @@ func NewStoreShards(shards, maxSessions int) *Store {
 	for n < shards {
 		n <<= 1
 	}
-	cap := 0
-	if maxSessions > 0 {
-		cap = (maxSessions + n - 1) / n
-	}
-	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1), shardCap: cap}
+	s := &Store{shards: make([]storeShard, n), mask: uint32(n - 1)}
+	s.SetMaxSessions(maxSessions)
 	for i := range s.shards {
 		s.shards[i] = storeShard{byID: make(map[string]*list.Element), lru: list.New()}
 	}
 	return s
 }
+
+// SetMaxSessions moves the live session cap (≤ 0 = unbounded). The shard
+// count is fixed at construction, so the cap is redistributed across the
+// existing shards. Shrinking does not evict immediately: overfull shards
+// evict their LRU down to the new cap as registrations arrive.
+func (s *Store) SetMaxSessions(maxSessions int) {
+	if maxSessions < 0 {
+		maxSessions = 0
+	}
+	cap := 0
+	if maxSessions > 0 {
+		n := len(s.shards)
+		cap = (maxSessions + n - 1) / n
+	}
+	s.maxSessions.Store(int64(maxSessions))
+	s.shardCap.Store(int64(cap))
+}
+
+// MaxSessions reports the live session cap (0 = unbounded).
+func (s *Store) MaxSessions() int { return int(s.maxSessions.Load()) }
 
 // shard picks the shard for an ID by FNV-1a hash.
 func (s *Store) shard(id string) *storeShard {
@@ -88,7 +109,7 @@ func (s *Store) Register(sess *Session) error {
 	if _, ok := sh.byID[sess.ID]; ok {
 		return ErrDuplicateSession
 	}
-	if s.shardCap > 0 && len(sh.byID) >= s.shardCap {
+	for cap := int(s.shardCap.Load()); cap > 0 && len(sh.byID) >= cap; {
 		back := sh.lru.Back()
 		old := back.Value.(*Session)
 		sh.lru.Remove(back)
