@@ -22,6 +22,7 @@ import (
 	"quhe/internal/edge"
 	"quhe/internal/experiments"
 	"quhe/internal/he/ckks"
+	"quhe/internal/he/ring"
 	"quhe/internal/serve"
 	"quhe/internal/transcipher"
 )
@@ -490,8 +491,13 @@ func ciphertextsBitIdentical(a, b *ckks.Ciphertext) bool {
 		return false
 	}
 	for i := range a.C0 {
-		if a.C0[i] != b.C0[i] || a.C1[i] != b.C1[i] {
+		if len(a.C0[i]) != len(b.C0[i]) || len(a.C1[i]) != len(b.C1[i]) {
 			return false
+		}
+		for j := range a.C0[i] {
+			if a.C0[i][j] != b.C0[i][j] || a.C1[i][j] != b.C1[i][j] {
+				return false
+			}
 		}
 	}
 	return true
@@ -644,6 +650,150 @@ func BenchmarkWireCodec(b *testing.B) {
 		}
 		if err := os.WriteFile("BENCH_wire.json", append(blob, '\n'), 0o644); err != nil {
 			fmt.Printf("wire-codec: write: %v\n", err)
+		}
+	})
+}
+
+// --- RNS residue tower: limb × worker sweep (internal/he/ring, ckks) --------
+
+type rnsSweepPoint struct {
+	Level      int     `json:"level"`
+	Limbs      int     `json:"limbs"`
+	Workers    int     `json:"workers"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	SpeedupVs1 float64 `json:"speedup_vs_1_worker"`
+}
+
+type rnsSweepReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	// Multicore records whether the runner could exhibit per-limb NTT
+	// scaling at all: a 1-core sweep is necessarily flat and its speedup
+	// column is not evidence against the residue tower.
+	Multicore bool            `json:"multicore"`
+	LogN      int             `json:"logn"`
+	Sweep     []rnsSweepPoint `json:"sweep"`
+}
+
+// BenchmarkRNS sweeps MulRelin+Rescale over chain length (limbs) and ring
+// worker-pool size — the residue tower's per-limb parallelism claim. Each
+// point is one homomorphic multiply at the given level: per-limb NTTs,
+// hybrid key switch over Q·P, exact RNS rescale. The matrix lands in
+// BENCH_rns.json so limb-scaling trajectories are comparable across PRs.
+// Scaling beyond 1x requires GOMAXPROCS > 1 (the report records it).
+func BenchmarkRNS(b *testing.B) {
+	params, err := ckks.NewParams(12, 60, 50, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := ckks.NewContext(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, 17)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := ckks.NewEvaluator(ctx, 18)
+	enc := ckks.NewEncoder(ctx)
+	vals := make([]float64, ctx.Params.Slots())
+	for i := range vals {
+		vals[i] = 0.9 - 0.001*float64(i%5)
+	}
+	pt, err := enc.EncodeReal(vals, ctx.Params.Scale())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// A ladder of ciphertexts, one per level ≥ 1, built by squaring down
+	// from a fresh encryption; each sweep point re-multiplies its rung.
+	cts := make(map[int]*ckks.Ciphertext)
+	cur := ev.Encrypt(pk, pt)
+	cts[cur.Level] = cur
+	for cur.Level > 1 {
+		sq, err := ev.MulRelin(cur, cur, rlk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur, err = ev.Rescale(sq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[cur.Level] = cur
+	}
+
+	report := rnsSweepReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Multicore:  runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() > 1,
+		LogN:       params.LogN,
+	}
+	prevPar := ring.Parallelism()
+	defer ring.SetParallelism(prevPar)
+	workerCounts := []int{1, 2, 4, 8}
+	const opsPerPoint = 4
+	var speedupL4 float64
+	for i := 0; i < b.N; i++ {
+		report.Sweep = report.Sweep[:0]
+		for level := ctx.MaxLevel(); level >= 1; level-- {
+			var ns1 float64
+			for _, workers := range workerCounts {
+				ring.SetParallelism(workers)
+				ct := cts[level]
+				start := time.Now()
+				for op := 0; op < opsPerPoint; op++ {
+					sq, err := ev.MulRelin(ct, ct, rlk)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := ev.Rescale(sq); err != nil {
+						b.Fatal(err)
+					}
+				}
+				pt := rnsSweepPoint{
+					Level:   level,
+					Limbs:   level + 1,
+					Workers: workers,
+					NsPerOp: float64(time.Since(start).Nanoseconds()) / opsPerPoint,
+				}
+				if workers == 1 {
+					ns1 = pt.NsPerOp
+				}
+				pt.SpeedupVs1 = ns1 / pt.NsPerOp
+				report.Sweep = append(report.Sweep, pt)
+				if level == 4 && workers == 4 {
+					speedupL4 = pt.SpeedupVs1
+				}
+			}
+		}
+	}
+	ring.SetParallelism(prevPar)
+	b.ReportMetric(speedupL4, "speedup-L4@4w")
+	if !report.Multicore {
+		// A flat sweep on a single-core runner is expected, not a
+		// regression: log it so readers of the bench output and
+		// BENCH_rns.json know the speedup column is meaningless here.
+		b.Logf("per-limb scaling is flat by construction on a single-core runner "+
+			"(GOMAXPROCS=%d, NumCPU=%d); see the multicore flag in BENCH_rns.json",
+			report.GOMAXPROCS, report.NumCPU)
+	} else if speedupL4 < 2.5 {
+		b.Logf("WARNING: MulRelin+Rescale at level 4 scaled %.2fx from 1 to 4 workers, "+
+			"below the 2.5x target (GOMAXPROCS=%d, NumCPU=%d)",
+			speedupL4, report.GOMAXPROCS, report.NumCPU)
+	}
+	printOnce("rns-sweep", func() {
+		fmt.Printf("\nRNS limb × worker sweep (logN=%d, GOMAXPROCS=%d):\n", params.LogN, report.GOMAXPROCS)
+		for _, pt := range report.Sweep {
+			fmt.Printf("  L=%d (%d limbs) %d workers: %9.0fns/op  %.2fx\n",
+				pt.Level, pt.Limbs, pt.Workers, pt.NsPerOp, pt.SpeedupVs1)
+		}
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Printf("rns-sweep: marshal: %v\n", err)
+			return
+		}
+		if err := os.WriteFile("BENCH_rns.json", append(blob, '\n'), 0o644); err != nil {
+			fmt.Printf("rns-sweep: write: %v\n", err)
 		}
 	})
 }

@@ -67,6 +67,12 @@ type SessionTelemetry struct {
 	// Snapshot bookkeeping, touched only under the controller's plan lock.
 	prevDemand int64
 	prevAt     time.Time
+	// rateBps smooths the per-window demand rate across planning rounds:
+	// when blocks arrive slower than the replan interval, individual
+	// windows alternate between bursts and zero bytes, and an unsmoothed
+	// rate would make every rate-derived plan term (budget stretch, λ
+	// choice) flap plan-to-plan.
+	rateBps ewma
 }
 
 // SessionSnapshot is a point-in-time view of one session's telemetry.
@@ -83,9 +89,11 @@ type SessionSnapshot struct {
 	LatencyEWMAMs float64
 	// BlockBytesEWMA is the smoothed masked-payload size per block.
 	BlockBytesEWMA float64
-	// BytesPerSec is the demand rate observed since the previous
-	// snapshot — served and shed traffic both count, so shedding a
-	// session does not erase its demand signal.
+	// BytesPerSec is the session's demand rate: an EWMA of the per-window
+	// rates observed between snapshots — served and shed traffic both
+	// count, so shedding a session does not erase its demand signal, and
+	// a window that happens to catch no block (blocks slower than the
+	// replan interval) decays the rate instead of zeroing it.
 	BytesPerSec float64
 }
 
@@ -280,9 +288,10 @@ func (t *Telemetry) Snapshot() Snapshot {
 		demand := st.demand.Load()
 		if !st.prevAt.IsZero() {
 			if dt := now.Sub(st.prevAt).Seconds(); dt > 0 {
-				s.BytesPerSec = float64(demand-st.prevDemand) / dt
+				st.rateBps.Observe(float64(demand-st.prevDemand) / dt)
 			}
 		}
+		s.BytesPerSec = st.rateBps.Load()
 		st.prevDemand, st.prevAt = demand, now
 		snap.Sessions = append(snap.Sessions, s)
 		snap.DemandBytesPerSec += s.BytesPerSec

@@ -71,7 +71,7 @@ func TestStalledBatchReaderDoesNotPinWorkers(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	send(frameHello, 0, nil)
+	send(frameHello, 0, func(b []byte) []byte { return append(b, helloFlagRNSWire) })
 	if ftype, _, _, err := readFrame(br, &buf); err != nil || ftype != frameHello {
 		t.Fatalf("hello ack: type %d err %v", ftype, err)
 	}

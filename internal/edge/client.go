@@ -195,9 +195,16 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		}
 	}
 
-	conn, br, proto, crc, profiles, err := negotiate(addr, dcfg.Protocol, dcfg.Checksum)
+	conn, br, proto, crc, profiles, rnsWire, err := negotiate(addr, dcfg.Protocol, dcfg.Checksum)
 	if err != nil {
 		return nil, err
+	}
+	if proto == "v3" && !rnsWire {
+		// A v3 server that does not ack the residue-tower wire format
+		// predates the limb layout: its frames would misparse ours and vice
+		// versa, so fail typed instead of exchanging garbage.
+		conn.Close()
+		return nil, fmt.Errorf("edge: %w: server lacks residue-tower wire support", serve.ErrWireFormat)
 	}
 	// Profile resolution happens before key generation so a plan-steered
 	// or downgraded profile never costs a wasted keygen. Peers that do
@@ -364,27 +371,29 @@ func queryProfile(conn net.Conn, br *bufio.Reader, crc bool, sessionID, requeste
 // ErrProtocolMismatch under ProtoV3. wantCRC requests per-frame CRC32C
 // trailers in the hello flags; crc reports whether the server granted
 // them (pre-checksum servers ack with an empty payload, read as "no").
-// profiles reports whether the server advertised security-profile
-// negotiation in its ack flags.
-func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.Reader, proto string, crc, profiles bool, err error) {
-	dialGob := func() (net.Conn, *bufio.Reader, string, bool, bool, error) {
+// profiles and rnsWire report whether the server advertised
+// security-profile negotiation and the residue-tower ciphertext wire
+// format in its ack flags.
+func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.Reader, proto string, crc, profiles, rnsWire bool, err error) {
+	dialGob := func() (net.Conn, *bufio.Reader, string, bool, bool, bool, error) {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
-			return nil, nil, "", false, false, fmt.Errorf("edge: dial: %w", err)
+			return nil, nil, "", false, false, false, fmt.Errorf("edge: dial: %w", err)
 		}
-		return conn, nil, "gob", false, false, nil
+		return conn, nil, "gob", false, false, false, nil
 	}
 	if p == ProtoGob {
 		return dialGob()
 	}
 	conn, err = net.Dial("tcp", addr)
 	if err != nil {
-		return nil, nil, "", false, false, fmt.Errorf("edge: dial: %w", err)
+		return nil, nil, "", false, false, false, fmt.Errorf("edge: dial: %w", err)
 	}
-	// The hello always carries a flags byte: profile support is
-	// advertised unconditionally (servers that predate it ignore unknown
-	// bits and ack without the profile flag), CRC only on request.
-	flags := byte(helloFlagProfiles)
+	// The hello always carries a flags byte: profile support and the
+	// residue-tower wire format are advertised unconditionally (servers
+	// that predate them ignore unknown bits and ack without the flags),
+	// CRC only on request.
+	flags := byte(helloFlagProfiles | helloFlagRNSWire)
 	if wantCRC {
 		flags |= helloFlagCRC
 	}
@@ -403,16 +412,17 @@ func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.
 		if err == nil && len(ackPayload) >= 1 {
 			crc = wantCRC && ackPayload[0]&helloFlagCRC != 0
 			profiles = ackPayload[0]&helloFlagProfiles != 0
+			rnsWire = ackPayload[0]&helloFlagRNSWire != 0
 		}
 		putFrameBuf(buf)
 		conn.SetReadDeadline(time.Time{})
 	}
 	if err == nil && ftype == frameHello {
-		return conn, br, "v3", crc, profiles, nil
+		return conn, br, "v3", crc, profiles, rnsWire, nil
 	}
 	conn.Close()
 	if p == ProtoV3 {
-		return nil, nil, "", false, false, fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
+		return nil, nil, "", false, false, false, fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
 	}
 	return dialGob()
 }

@@ -290,3 +290,32 @@ func TestSetupWireOptionalProfileField(t *testing.T) {
 		t.Errorf("profile reply round trip = %+v, %v", prd, err)
 	}
 }
+
+// TestCalibrateProfilesAtStartup opts a server into startup calibration
+// over a one-profile registry and checks the measured coefficient lands
+// before the first connection is accepted.
+func TestCalibrateProfilesAtStartup(t *testing.T) {
+	params, err := ckks.NewParams(8, 60, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := &profile.Profile{ID: "cal-test", Lambda: 1024, Params: params}
+	reg, err := profile.NewRegistry("", prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Model: Model{Weights: []float64{1}}, Workers: 1, QueueDepth: 2,
+		Profiles: reg, CalibrateProfiles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !prof.Calibrated() {
+		t.Fatal("CalibrateProfiles did not install a measured coefficient")
+	}
+	if c := prof.CyclesPerBlock(); c <= 0 || math.IsInf(c, 0) {
+		t.Fatalf("calibrated CyclesPerBlock = %g", c)
+	}
+}

@@ -12,11 +12,11 @@ import (
 )
 
 // DefaultParams returns the default security profile's CKKS parameter set
-// (depth 2 for transciphering; the affine inference model is fused into
-// the transciphering coefficients, so no extra level is needed). It is
-// the set every pre-profile peer — gob v1/v2 clients and v3 clients that
-// skip profile negotiation — runs on, and is identical to the fixed
-// parameter set of the pre-registry runtime.
+// — a depth-4 residue tower; the transcipher consumes two of its levels
+// and the rest are inference headroom. It is the set every pre-profile
+// peer — gob v1/v2 clients and v3 clients that skip profile negotiation —
+// runs on; both endpoints derive it from the same registry, so key
+// material lines up without carrying parameters on the wire.
 func DefaultParams() ckks.Params {
 	return profile.Default().Default().Params
 }

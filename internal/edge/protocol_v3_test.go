@@ -274,7 +274,7 @@ func TestBatchComputeStreamsIncrementally(t *testing.T) {
 		return ftype, id, payload
 	}
 
-	sendFrame(frameHello, 0, nil)
+	sendFrame(frameHello, 0, func(b []byte) []byte { return append(b, helloFlagRNSWire) })
 	if ftype, _, _ := readReply(); ftype != frameHello {
 		t.Fatalf("no hello ack (frame type %d)", ftype)
 	}
@@ -383,6 +383,7 @@ func TestPendingFailTypedOnConnClose(t *testing.T) {
 			return
 		}
 		ack := beginFrame(nil, frameHello, 0)
+		ack = append(ack, helloFlagRNSWire)
 		ack, _ = finishFrame(ack, 0)
 		conn.Write(ack)
 		readFrame(br, &buf) // the Setup request — drop it on the floor
@@ -414,5 +415,90 @@ func TestClientCloseFailsPendingTyped(t *testing.T) {
 		t.Fatal("compute on closed client succeeded")
 	} else if !errors.Is(err, serve.ErrConnClosed) {
 		t.Errorf("compute after Close: err = %v, want wrapping serve.ErrConnClosed", err)
+	}
+}
+
+// --- residue-tower wire-format negotiation -----------------------------------
+
+// TestSetupRejectedWithoutRNSWireFlag runs a raw v3 client that never sets
+// the residue-tower wire flag in its hello: the server must answer its
+// Setup with a typed serve.CodeWireFormat rejection instead of decoding
+// the (old-layout) payload.
+func TestSetupRejectedWithoutRNSWireFlag(t *testing.T) {
+	srv := startServer(t, Model{Weights: []float64{1}})
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	var buf []byte
+	// Hello with the profile flag only — a pre-RNS v3 peer.
+	frame := buildFrame(t, frameHello, 0, func(b []byte) []byte { return append(b, helloFlagProfiles) })
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	ftype, _, payload, err := readFrame(br, &buf)
+	if err != nil || ftype != frameHello {
+		t.Fatalf("hello ack: type %d err %v", ftype, err)
+	}
+	if len(payload) < 1 || payload[0]&helloFlagRNSWire == 0 {
+		t.Fatalf("server ack flags %v do not advertise the RNS wire format", payload)
+	}
+	// The Setup payload never gets decoded, so its contents are irrelevant
+	// — what matters is that garbage does not kill the connection before
+	// the typed reply.
+	frame = buildFrame(t, frameSetup, 1, func(b []byte) []byte {
+		return append(b, 0xde, 0xad, 0xbe, 0xef)
+	})
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	ftype, id, payload, err := readFrame(br, &buf)
+	if err != nil || ftype != frameSetupReply || id != 1 {
+		t.Fatalf("setup reply: type %d id %d err %v", ftype, id, err)
+	}
+	rep, err := decodeSetupReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Code != serve.CodeWireFormat {
+		t.Fatalf("setup reply %+v, want CodeWireFormat rejection", rep)
+	}
+}
+
+// TestDialFailsTypedAgainstPreRNSServer dials a stub v3 server whose hello
+// ack carries no residue-tower flag: the client must fail the dial with an
+// error wrapping serve.ErrWireFormat before sending any key material.
+func TestDialFailsTypedAgainstPreRNSServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		var buf []byte
+		if ftype, _, _, err := readFrame(br, &buf); err != nil || ftype != frameHello {
+			return
+		}
+		// Ack with profile support but no RNS wire bit — a pre-RNS server.
+		ack := beginFrame(nil, frameHello, 0)
+		ack = append(ack, helloFlagProfiles)
+		ack, _ = finishFrame(ack, 0)
+		conn.Write(ack)
+		readFrame(br, &buf) // nothing should arrive; wait for close
+	}()
+	_, err = DialWith(ln.Addr().String(), "pre-rns", []byte("k"), 99, DialConfig{Protocol: ProtoV3})
+	if err == nil {
+		t.Fatal("dial against pre-RNS server succeeded")
+	}
+	if !errors.Is(err, serve.ErrWireFormat) {
+		t.Errorf("dial err = %v, want wrapping serve.ErrWireFormat", err)
 	}
 }

@@ -65,6 +65,13 @@ type ServerConfig struct {
 	// default member carries the historical fixed parameter set, so
 	// legacy peers are unaffected.
 	Profiles *profile.Registry
+	// CalibrateProfiles measures every registry profile's real per-block
+	// cost at server startup (profile.Registry.CalibrateAll) and installs
+	// the results as the cost coefficients the control plane plans with,
+	// replacing the modeled a·L·N·log2N values. Startup pays one key
+	// generation and a few transcipher rounds per profile, so it is opt-in;
+	// leave false for tests and latency-sensitive restarts.
+	CalibrateProfiles bool
 	// Control, when non-nil, closes the loop with a control plane
 	// (internal/control): Setup and compute admission are delegated to
 	// it, profile negotiation follows its per-route λ plan, rekey budgets
@@ -160,6 +167,11 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.Profiles == nil {
 		cfg.Profiles = profile.Default()
+	}
+	if cfg.CalibrateProfiles {
+		if err := cfg.Profiles.CalibrateAll(KeyLen, 3); err != nil {
+			return nil, fmt.Errorf("edge: profile calibration: %w", err)
+		}
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -459,9 +471,10 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 	// itself is always un-trailed; crc flips before the loop, while this
 	// goroutine is still the only sender.
 	crc := s.cfg.FrameChecksums && len(payload) >= 1 && payload[0]&helloFlagCRC != 0
+	rnsWire := len(payload) >= 1 && payload[0]&helloFlagRNSWire != 0
 	var ack func(b []byte) []byte
 	if len(payload) >= 1 {
-		flags := byte(helloFlagProfiles)
+		flags := byte(helloFlagProfiles | helloFlagRNSWire)
 		if crc {
 			flags |= helloFlagCRC
 		}
@@ -482,7 +495,7 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 			}
 			return
 		}
-		if err := s.dispatchV3(fw, ftype, id, payload); err != nil {
+		if err := s.dispatchV3(fw, ftype, id, payload, rnsWire); err != nil {
 			// A payload that fails to decode is a protocol violation, not
 			// a request we can answer: kill the connection.
 			s.cfg.Logf("edge: v3 payload (type %d): %v", ftype, err)
@@ -491,7 +504,7 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 	}
 }
 
-func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []byte) error {
+func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []byte, rnsWire bool) error {
 	switch ftype {
 	case frameProfile:
 		req, err := decodeProfileRequest(payload)
@@ -501,6 +514,15 @@ func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []by
 		rep := s.handleProfile(req)
 		fw.sendFrame(frameProfileReply, id, func(b []byte) []byte { return appendProfileReply(b, rep) })
 	case frameSetup:
+		if !rnsWire {
+			// The client never negotiated the residue-tower wire format,
+			// so its Setup payload is in the old flat layout: decoding it
+			// as limbs would misparse. Reject typed before touching it.
+			rep := &SetupReply{Code: serve.CodeWireFormat,
+				Err: "residue-tower wire format not negotiated at hello"}
+			fw.sendFrame(frameSetupReply, id, func(b []byte) []byte { return appendSetupReply(b, rep) })
+			return nil
+		}
 		req, err := decodeSetupRequest(payload)
 		if err != nil {
 			return err

@@ -65,6 +65,17 @@ const (
 	// pre-profile clients ignore the bit and stay on the default profile.
 	helloFlagProfiles = 0x02
 
+	// helloFlagRNSWire advertises the residue-tower ciphertext wire
+	// format: limb-per-prime polynomial layouts in every v3 payload
+	// carrying CKKS material (Setup keys, EncKey and result ciphertexts).
+	// Clients set it unconditionally; a server that acks without it
+	// predates the format and the client fails the dial with a typed
+	// serve.ErrWireFormat instead of misparsing frames. Symmetrically the
+	// server refuses frameSetup from a client that did not set the bit
+	// (serve.CodeWireFormat) rather than decoding flat-layout payloads as
+	// limbs. The gob paths are unaffected: gob is self-describing.
+	helloFlagRNSWire = 0x04
+
 	// crcTrailerLen is the CRC32C (Castagnoli) trailer size. The trailer
 	// covers header and payload and is excluded from the header's length
 	// field, so a checksumming reader and a length-driven frame skipper

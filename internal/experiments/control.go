@@ -36,6 +36,11 @@ type ControlLoopOptions struct {
 	Pace time.Duration
 	// Workers sizes the server pool. Default 2.
 	Workers int
+	// Network is the quantum network the controller plans over. Default
+	// qnet.SURFnet(). Tests pass a scaled-down topology to pin the
+	// key-scarcity regime independently of how fast the serving plane
+	// happens to drain blocks.
+	Network *qnet.Network
 }
 
 func (o ControlLoopOptions) withDefaults() ControlLoopOptions {
@@ -59,6 +64,9 @@ func (o ControlLoopOptions) withDefaults() ControlLoopOptions {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 2
+	}
+	if o.Network == nil {
+		o.Network = qnet.SURFnet()
 	}
 	return o
 }
@@ -142,7 +150,7 @@ func ControlLoop(opts ControlLoopOptions) (ControlLoopResult, error) {
 
 func runControlScenario(name string, dynamic bool, opts ControlLoopOptions) (ControlScenario, uint64, error) {
 	sc := ControlScenario{Name: name, Lambda: control.LambdaRef}
-	network := qnet.SURFnet()
+	network := opts.Network
 	kc := qkd.NewKeyCenter()
 	ids := make([]string, opts.Clients)
 	for i := range ids {

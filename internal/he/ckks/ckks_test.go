@@ -48,11 +48,17 @@ func TestParamsValidation(t *testing.T) {
 	if _, err := NewParams(8, 62, 25, 1); err == nil {
 		t.Error("oversized base accepted")
 	}
-	if _, err := NewParams(8, 40, 25, 3); err == nil {
-		t.Error("overflowing chain accepted")
+	if _, err := NewParams(8, 35, 40, 3); err == nil {
+		t.Error("scale primes above the base accepted")
+	}
+	if _, err := NewParams(8, 35, 25, 9); err == nil {
+		t.Error("oversized depth accepted")
 	}
 	if _, err := NewParams(8, 35, 25, -1); err == nil {
 		t.Error("negative depth accepted")
+	}
+	if _, err := NewParams(8, 40, 25, 4); err != nil {
+		t.Error("deep multi-limb chain rejected:", err)
 	}
 	p := DefaultParams()
 	if err := p.Validate(); err != nil {
@@ -68,11 +74,21 @@ func TestContextChain(t *testing.T) {
 	if ctx.MaxLevel() != 1 {
 		t.Fatalf("MaxLevel = %d, want 1", ctx.MaxLevel())
 	}
-	if ctx.Mod(1).Q != ctx.Primes[0]*ctx.Primes[1] {
-		t.Error("top modulus is not the prime product")
+	if ctx.Tower.Limbs() != len(ctx.Primes) {
+		t.Error("tower limb count differs from the prime chain")
 	}
-	if ctx.Mod(0).Q != ctx.Primes[0] {
-		t.Error("bottom modulus is not the base prime")
+	for i, q := range ctx.Primes {
+		if ctx.Limb(i).Q != q {
+			t.Errorf("limb %d modulus %d != prime %d", i, ctx.Limb(i).Q, q)
+		}
+	}
+	if ctx.Special == 0 || ctx.Tower.P == nil || ctx.Tower.P.Q != ctx.Special {
+		t.Error("special prime missing from the tower")
+	}
+	for _, q := range ctx.Primes {
+		if ctx.Special < q {
+			t.Errorf("special prime %d below chain prime %d", ctx.Special, q)
+		}
 	}
 }
 
@@ -251,7 +267,7 @@ func TestMulRelinRescale(t *testing.T) {
 func TestMulRelinRequiresKey(t *testing.T) {
 	ctx := testContext(t)
 	ev := NewEvaluator(ctx, 1)
-	ct := &Ciphertext{C0: ctx.Mod(1).NewPoly(), C1: ctx.Mod(1).NewPoly(), Scale: 1, Level: 1}
+	ct := &Ciphertext{C0: ctx.Tower.NewPoly(2), C1: ctx.Tower.NewPoly(2), Scale: 1, Level: 1}
 	if _, err := ev.MulRelin(ct, ct, nil); err == nil {
 		t.Error("nil relin key accepted")
 	}
@@ -308,7 +324,7 @@ func TestDropLevelPreservesMessage(t *testing.T) {
 func TestRescaleAtBottomRejected(t *testing.T) {
 	ctx := testContext(t)
 	ev := NewEvaluator(ctx, 1)
-	ct := &Ciphertext{C0: ctx.Mod(0).NewPoly(), C1: ctx.Mod(0).NewPoly(), Scale: 1, Level: 0}
+	ct := &Ciphertext{C0: ctx.Tower.NewPoly(1), C1: ctx.Tower.NewPoly(1), Scale: 1, Level: 0}
 	if _, err := ev.Rescale(ct); err == nil {
 		t.Error("rescale below level 0 accepted")
 	}
@@ -456,7 +472,6 @@ func BenchmarkMulRelin(b *testing.B) {
 func TestEncoderLinearity(t *testing.T) {
 	ctx := testContext(t)
 	enc := NewEncoder(ctx)
-	mod := ctx.Mod(ctx.MaxLevel())
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 10; trial++ {
 		a := randomSlots(rng, ctx.Params.Slots())
@@ -469,8 +484,10 @@ func TestEncoderLinearity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum := &Plaintext{Value: mod.NewPoly(), Scale: pa.Scale, Level: pa.Level}
-		mod.Add(pa.Value, pb.Value, sum.Value)
+		sum := &Plaintext{Value: ctx.Tower.NewPoly(pa.Level + 1), Scale: pa.Scale, Level: pa.Level}
+		for i := range sum.Value {
+			ctx.Limb(i).Add(pa.Value[i], pb.Value[i], sum.Value[i])
+		}
 		got := enc.Decode(sum)
 		for i := range a {
 			if cmplx.Abs(got[i]-(a[i]+b[i])) > 1e-3 {
@@ -519,9 +536,9 @@ func TestCiphertextCopyIndependence(t *testing.T) {
 	pt, _ := enc.EncodeReal([]float64{0.5}, 0)
 	ct := ev.Encrypt(pk, pt)
 	dup := ct.Copy()
-	dup.C0[0] = 12345
+	dup.C0[0][0] = 12345
 	dup.Scale = 1
-	if ct.C0[0] == 12345 || ct.Scale == 1 {
+	if ct.C0[0][0] == 12345 || ct.Scale == 1 {
 		t.Error("Copy shares state")
 	}
 	_ = sk
@@ -552,9 +569,11 @@ func TestIntoVariantsMatchAllocating(t *testing.T) {
 		if x.Level != y.Level || x.Scale != y.Scale {
 			t.Fatalf("%s: level/scale mismatch", name)
 		}
-		for i := range x.C0 {
-			if x.C0[i] != y.C0[i] || x.C1[i] != y.C1[i] {
-				t.Fatalf("%s: coeff %d differs", name, i)
+		for i := 0; i <= x.Level; i++ {
+			for j := range x.C0[i] {
+				if x.C0[i][j] != y.C0[i][j] || x.C1[i][j] != y.C1[i][j] {
+					t.Fatalf("%s: limb %d coeff %d differs", name, i, j)
+				}
 			}
 		}
 	}
@@ -641,9 +660,11 @@ func TestMulRelinSquareAliasing(t *testing.T) {
 	if err := ev.MulRelinInto(ct, ct, rlk, ct); err != nil {
 		t.Fatal(err)
 	}
-	for i := range ct.C0 {
-		if ct.C0[i] != want.C0[i] || ct.C1[i] != want.C1[i] {
-			t.Fatalf("self-square aliased coeff %d differs", i)
+	for i := 0; i <= ct.Level; i++ {
+		for j := range ct.C0[i] {
+			if ct.C0[i][j] != want.C0[i][j] || ct.C1[i][j] != want.C1[i][j] {
+				t.Fatalf("self-square aliased limb %d coeff %d differs", i, j)
+			}
 		}
 	}
 }
@@ -678,18 +699,15 @@ func BenchmarkKeySwitch(b *testing.B) {
 	rlk := kg.GenRelinKey(sk)
 	ev := NewEvaluator(ctx, 2)
 	level := ctx.MaxLevel()
-	mod := ctx.Mod(level)
 	rng := rand.New(rand.NewSource(3))
-	d2 := mod.UniformPoly(rng)
-	scratch := mod.NewPoly()
-	acc0 := mod.NewPoly()
-	acc1 := mod.NewPoly()
-	digit := mod.NewPoly()
+	d2 := ctx.Tower.NewPoly(level + 1)
+	for i := range d2 {
+		ctx.Limb(i).UniformPolyInto(rng, d2[i])
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		copy(scratch, d2)
-		ev.keySwitch(scratch, rlk, level, acc0, acc1, digit)
+		ev.keySwitch(d2, rlk, level)
 	}
 }
 
@@ -753,5 +771,64 @@ func TestParallelPathsLargeRing(t *testing.T) {
 		if math.Abs(got[i]-v*v) > 0.01 {
 			t.Errorf("MulRelin slot %d = %v, want %v", i, got[i], v*v)
 		}
+	}
+}
+
+// TestDepth4SquareChain exercises the full RNS pipeline at depth 4: four
+// MulRelin+Rescale squarings walk the ciphertext from level 4 to level 0,
+// crossing every rescale and hybrid key-switch path.
+func TestDepth4SquareChain(t *testing.T) {
+	p, err := NewParams(10, 60, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := NewKeyGenerator(ctx, 7)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinKey(sk)
+	ev := NewEvaluator(ctx, 9)
+	enc := NewEncoder(ctx)
+	// Values whose 16th powers stay far below q_0/Δ ≈ 2^10, so the final
+	// level-0 decode cannot wrap.
+	vals := []float64{0.9, -1.1, 1.05, 0.5}
+	pt, err := enc.EncodeReal(vals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ev.Encrypt(pk, pt)
+	dec := enc.DecodeReal(ev.Decrypt(sk, ct))
+	for i, v := range vals {
+		if math.Abs(dec[i]-v) > 1e-4 {
+			t.Fatalf("enc/dec slot %d: got %g want %g", i, dec[i], v)
+		}
+	}
+	cur := ct
+	want := make([]float64, len(vals))
+	copy(want, vals)
+	for d := 0; d < 4; d++ {
+		m, err := ev.MulRelin(cur, cur, rlk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err = ev.Rescale(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			want[i] *= want[i]
+		}
+		got := enc.DecodeReal(ev.Decrypt(sk, cur))
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-2*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("depth %d slot %d: got %g want %g (level %d scale %g)", d, i, got[i], want[i], cur.Level, cur.Scale)
+			}
+		}
+	}
+	if cur.Level != 0 {
+		t.Fatalf("chain ended at level %d, want 0", cur.Level)
 	}
 }

@@ -1,0 +1,49 @@
+// Package ckks implements a compact but genuine RNS-CKKS approximate
+// homomorphic encryption scheme: canonical-embedding encoding, RLWE key
+// generation (secret, public and hybrid relinearization keys),
+// encryption, decryption, homomorphic add / multiply / rescale, and level
+// management. It is the server-side computation substrate of the QuHE
+// system (§III-A.2/4): encrypted inference runs on CKKS slots.
+//
+// # Residue-tower representation
+//
+// The ciphertext modulus is a chain Q = q_0·q_1·…·q_L of NTT-friendly
+// primes, and every polynomial is a ring.RNSPoly — one uint64 limb per
+// prime, CRT views of the same integer coefficients. Q can therefore be
+// hundreds of bits wide while all arithmetic stays in 64-bit words: a
+// level-ℓ object carries limbs 0..ℓ, operations apply per limb with that
+// limb's NTT context, and the independent limbs fan out across the
+// bounded ring.Parallel worker pool — the multiplication pipeline's
+// parallelism grows with the chain length instead of being capped at the
+// two ciphertext components.
+//
+// Rescaling is the exact RNS rescale (ring.Tower.RescaleInto): dropping
+// the top limb divides by q_ℓ with a centered-remainder correction folded
+// into every remaining limb, no big-integer arithmetic anywhere.
+//
+// # Hybrid key switching
+//
+// Relinearization uses the special-prime hybrid construction instead of
+// digit decomposition: the key generator draws one key part per chain
+// limb over the extended basis QP (P a prime ≥ every q_i), part j
+// carrying P·s² on limb j only. MulRelin decomposes the degree-2 term
+// into its RNS digits D_j = [d2]_{q_j}, folds each digit through part j
+// on every target limb (O(L²) per-limb NTTs, parallel over targets), and
+// divides the accumulated product by P (ring.Tower.ModDownInto), which
+// scales the key-switch noise down by P ≈ 2⁶¹. Versus production CKKS
+// (SEAL / Lattigo / OpenFHE) there are no Galois rotations and no
+// bootstrapping; those simplifications keep the package small while
+// preserving the behaviour the paper's cost model (Eqs. 29/31) abstracts:
+// slot-wise encrypted arithmetic whose cost grows with the limb count L,
+// the polynomial degree λ = N, and log₂N.
+//
+// # Performance conventions
+//
+// Key material lives per limb in the NTT domain and Montgomery form (see
+// keys.go), the evaluator keeps per-instance scratch towers and offers
+// allocation-free Into variants of every hot operation, and per-limb work
+// fans out through the bounded worker pool for ring degrees ≥
+// ring.ParallelMinN. Secrets and errors are sampled as small integers
+// once per coefficient and reduced into every limb, so RNG stream order
+// is independent of both the limb count and the execution strategy.
+package ckks

@@ -61,31 +61,35 @@ func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) (
 	if scale <= 0 {
 		scale = e.ctx.Params.Scale()
 	}
-	mod := e.ctx.Mod(level)
 	// Conjugate-symmetric extension: u_j = z_j, u_{N−1−j} = conj(z_j).
 	u := make([]complex128, n)
 	for j, z := range values {
 		u[j] = z
 		u[n-1-j] = cmplx.Conj(z)
 	}
-	// c_k = Δ · ζ^{−k} · IDFT(u)_k (real by symmetry).
+	// c_k = Δ · ζ^{−k} · IDFT(u)_k (real by symmetry), rounded to integers
+	// once and spread across the level's limbs.
 	fft(u, e.wInv)
 	inv := 1 / float64(n)
-	pt := &Plaintext{Value: mod.NewPoly(), Scale: scale, Level: level}
+	coeffs := make([]int64, n)
 	for k := 0; k < n; k++ {
 		c := real(u[k]*e.zetaInv[k]) * inv * scale
-		pt.Value[k] = mod.FromInt64(int64(math.Round(c)))
+		coeffs[k] = int64(math.Round(c))
 	}
+	pt := &Plaintext{Value: e.ctx.Tower.NewPoly(level + 1), Scale: scale, Level: level}
+	e.ctx.Tower.FromInt64Into(coeffs, pt.Value)
 	return pt, nil
 }
 
 // Decode recovers the slot vector from a plaintext, dividing by its scale.
+// Coefficients come back through the tower's centered CRT reconstruction
+// (exact up to q_0·q_1/2 ≈ 2¹⁰⁹, far beyond any plaintext magnitude).
 func (e *Encoder) Decode(pt *Plaintext) []complex128 {
 	n := e.ctx.Params.N()
-	mod := e.ctx.Mod(pt.Level)
+	tower := e.ctx.Tower
 	u := make([]complex128, n)
 	for k := 0; k < n; k++ {
-		u[k] = complex(float64(mod.CenteredInt64(pt.Value[k])), 0) * e.zetaFwd[k]
+		u[k] = complex(tower.CenteredFloat(pt.Value, k), 0) * e.zetaFwd[k]
 	}
 	fft(u, e.wFwd)
 	out := make([]complex128, e.ctx.Params.Slots())

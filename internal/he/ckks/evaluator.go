@@ -16,13 +16,19 @@ import (
 // nothing. All methods share the evaluator's internal scratch buffers (and
 // Encrypt its RNG), so an evaluator must not be used from multiple
 // goroutines concurrently; create one evaluator per goroutine instead —
-// contexts and keys are shared safely.
+// contexts and keys are shared safely. Per-limb work inside one operation
+// fans out through the bounded ring.Parallel pool.
 type Evaluator struct {
 	ctx *Context
 	rng *rand.Rand
-	// Scratch polynomials sized N, reused by every operation. MulRelinInto
-	// is the worst case and needs all six.
-	t0, t1, t2, t3, t4, t5 ring.Poly
+	// Scratch towers with Depth+2 rows (the extended basis QP), reused by
+	// every operation. MulRelinInto is the worst case: four operand
+	// transforms, three tensor terms, two key-switch accumulators and the
+	// per-target digit buffers.
+	s0, s1, s2, s3, s4, s5, s6 ring.RNSPoly
+	acc0, acc1, dig            ring.RNSPoly
+	// Integer sampling buffers (one draw per coefficient, spread to limbs).
+	iu, ie0, ie1 []int64
 }
 
 // NewEvaluator builds an evaluator. seed=0 selects a fixed default.
@@ -31,59 +37,79 @@ func NewEvaluator(ctx *Context, seed int64) *Evaluator {
 		seed = 1
 	}
 	n := ctx.Params.N()
+	qp := len(ctx.Primes) + 1
+	alloc := func() ring.RNSPoly {
+		p := make(ring.RNSPoly, qp)
+		for i := range p {
+			p[i] = make(ring.Poly, n)
+		}
+		return p
+	}
 	return &Evaluator{
 		ctx: ctx,
 		rng: rand.New(rand.NewSource(seed)),
-		t0:  make(ring.Poly, n), t1: make(ring.Poly, n), t2: make(ring.Poly, n),
-		t3: make(ring.Poly, n), t4: make(ring.Poly, n), t5: make(ring.Poly, n),
+		s0:  alloc(), s1: alloc(), s2: alloc(), s3: alloc(),
+		s4: alloc(), s5: alloc(), s6: alloc(),
+		acc0: alloc(), acc1: alloc(), dig: alloc(),
+		iu: make([]int64, n), ie0: make([]int64, n), ie1: make([]int64, n),
 	}
 }
 
 // Context returns the evaluator's CKKS context.
 func (ev *Evaluator) Context() *Context { return ev.ctx }
 
-// parallel reports whether independent transforms should fan out across
-// goroutines for this context's ring degree.
-func (ev *Evaluator) parallel() bool { return ev.ctx.Params.N() >= ring.ParallelMinN }
+// ternaryInts and gaussianInts sample with the same draw order as the
+// ring samplers, independent of limb count.
+func (ev *Evaluator) ternaryInts(out []int64) {
+	for i := range out {
+		switch ev.rng.Intn(3) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = 1
+		default:
+			out[i] = -1
+		}
+	}
+}
+
+func (ev *Evaluator) gaussianInts(out []int64) {
+	sigma := ev.ctx.Params.Sigma
+	for i := range out {
+		out[i] = int64(ev.rng.NormFloat64()*sigma + 0.5)
+	}
+}
 
 // Encrypt encrypts a plaintext under the public key at the plaintext's
 // level: (c0, c1) = (p0·u + e0 + m, p1·u + e1) with ternary u. The public
-// key is stored in the NTT domain, so encryption costs one forward and two
-// inverse transforms.
+// key is stored in the NTT domain, so each limb costs one forward and two
+// inverse transforms; limbs run in parallel.
 func (ev *Evaluator) Encrypt(pk *PublicKey, pt *Plaintext) *Ciphertext {
-	mod := ev.ctx.Mod(pt.Level)
 	out := ev.ctx.NewCiphertext(pt.Level)
-	// Sampling happens before any transform so the RNG stream order is
-	// fixed regardless of the execution strategy below.
-	mod.TernaryPolyInto(ev.rng, ev.t0)                       // u
-	mod.GaussianPolyInto(ev.rng, ev.ctx.Params.Sigma, ev.t1) // e0
-	mod.GaussianPolyInto(ev.rng, ev.ctx.Params.Sigma, ev.t2) // e1
-	mod.NTT(ev.t0)
-	// The two components are independent; closures are only materialized on
-	// the parallel path so the serial path stays allocation-free.
-	if ev.parallel() {
-		ring.Parallel(
-			func() {
-				mod.MulCoeffwiseMontgomery(ev.t0, pk.P0[pt.Level], ev.t3)
-				mod.INTT(ev.t3)
-				mod.Add(ev.t3, ev.t1, out.C0)
-				mod.Add(out.C0, pt.Value, out.C0)
-			},
-			func() {
-				mod.MulCoeffwiseMontgomery(ev.t0, pk.P1[pt.Level], ev.t4)
-				mod.INTT(ev.t4)
-				mod.Add(ev.t4, ev.t2, out.C1)
-			},
-		)
-	} else {
-		mod.MulCoeffwiseMontgomery(ev.t0, pk.P0[pt.Level], ev.t3)
-		mod.INTT(ev.t3)
-		mod.Add(ev.t3, ev.t1, out.C0)
-		mod.Add(out.C0, pt.Value, out.C0)
-		mod.MulCoeffwiseMontgomery(ev.t0, pk.P1[pt.Level], ev.t4)
-		mod.INTT(ev.t4)
-		mod.Add(ev.t4, ev.t2, out.C1)
-	}
+	// Sampling happens before any fan-out so the RNG stream order is fixed
+	// regardless of the execution strategy.
+	ev.ternaryInts(ev.iu)
+	ev.gaussianInts(ev.ie0)
+	ev.gaussianInts(ev.ie1)
+	ev.ctx.Tower.ForEachLimb(pt.Level+1, func(i int) {
+		mod := ev.ctx.Tower.Qi[i]
+		u, t0, t1 := ev.s0[i], ev.s1[i], ev.s2[i]
+		for j, v := range ev.iu {
+			u[j] = mod.FromInt64(v)
+		}
+		mod.NTT(u)
+		mod.MulCoeffwiseMontgomery(u, pk.P0[i], t0)
+		mod.INTT(t0)
+		for j, v := range ev.ie0 {
+			t0[j] = ring.AddMod(t0[j], mod.FromInt64(v), mod.Q)
+		}
+		mod.Add(t0, pt.Value[i], out.C0[i])
+		mod.MulCoeffwiseMontgomery(u, pk.P1[i], t1)
+		mod.INTT(t1)
+		for j, v := range ev.ie1 {
+			out.C1[i][j] = ring.AddMod(t1[j], mod.FromInt64(v), mod.Q)
+		}
+	})
 	out.Scale = pt.Scale
 	return out
 }
@@ -94,7 +120,7 @@ func (ev *Evaluator) Encrypt(pk *PublicKey, pt *Plaintext) *Ciphertext {
 func (ev *Evaluator) Trivial(pt *Plaintext) *Ciphertext {
 	return &Ciphertext{
 		C0:    pt.Value.Copy(),
-		C1:    ev.ctx.Mod(pt.Level).NewPoly(),
+		C1:    ev.ctx.Tower.NewPoly(pt.Level + 1),
 		Scale: pt.Scale,
 		Level: pt.Level,
 	}
@@ -102,13 +128,16 @@ func (ev *Evaluator) Trivial(pt *Plaintext) *Ciphertext {
 
 // Decrypt recovers the plaintext m = c0 + c1·s at the ciphertext's level.
 func (ev *Evaluator) Decrypt(sk *SecretKey, ct *Ciphertext) *Plaintext {
-	mod := ev.ctx.Mod(ct.Level)
-	copy(ev.t0, ct.C1)
-	mod.NTT(ev.t0)
-	mod.MulCoeffwiseMontgomery(ev.t0, sk.S[ct.Level], ev.t0)
-	mod.INTT(ev.t0)
-	m := mod.NewPoly()
-	mod.Add(ev.t0, ct.C0, m)
+	m := ev.ctx.Tower.NewPoly(ct.Level + 1)
+	ev.ctx.Tower.ForEachLimb(ct.Level+1, func(i int) {
+		mod := ev.ctx.Tower.Qi[i]
+		t := ev.s0[i]
+		copy(t, ct.C1[i])
+		mod.NTT(t)
+		mod.MulCoeffwiseMontgomery(t, sk.S[i], t)
+		mod.INTT(t)
+		mod.Add(t, ct.C0[i], m[i])
+	})
 	return &Plaintext{Value: m, Scale: ct.Scale, Level: ct.Level}
 }
 
@@ -118,9 +147,11 @@ func (ev *Evaluator) AddInto(a, b, out *Ciphertext) error {
 	if err := ev.matchLevels(a, b); err != nil {
 		return err
 	}
-	mod := ev.ctx.Mod(a.Level)
-	mod.Add(a.C0, b.C0, out.C0)
-	mod.Add(a.C1, b.C1, out.C1)
+	ev.ctx.Tower.ForEachLimb(a.Level+1, func(i int) {
+		mod := ev.ctx.Tower.Qi[i]
+		mod.Add(a.C0[i], b.C0[i], out.C0[i])
+		mod.Add(a.C1[i], b.C1[i], out.C1[i])
+	})
 	out.Scale, out.Level = a.Scale, a.Level
 	return nil
 }
@@ -143,9 +174,11 @@ func (ev *Evaluator) SubInto(a, b, out *Ciphertext) error {
 	if err := ev.matchLevels(a, b); err != nil {
 		return err
 	}
-	mod := ev.ctx.Mod(a.Level)
-	mod.Sub(a.C0, b.C0, out.C0)
-	mod.Sub(a.C1, b.C1, out.C1)
+	ev.ctx.Tower.ForEachLimb(a.Level+1, func(i int) {
+		mod := ev.ctx.Tower.Qi[i]
+		mod.Sub(a.C0[i], b.C0[i], out.C0[i])
+		mod.Sub(a.C1[i], b.C1[i], out.C1[i])
+	})
 	out.Scale, out.Level = a.Scale, a.Level
 	return nil
 }
@@ -171,7 +204,9 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 		return nil, err
 	}
 	out := ct.Copy()
-	ev.ctx.Mod(ct.Level).Add(out.C0, pt.Value, out.C0)
+	for i := 0; i <= ct.Level; i++ {
+		ev.ctx.Tower.Qi[i].Add(out.C0[i], pt.Value[i], out.C0[i])
+	}
 	return out, nil
 }
 
@@ -184,7 +219,9 @@ func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 		return nil, err
 	}
 	out := ct.Copy()
-	ev.ctx.Mod(ct.Level).Sub(out.C0, pt.Value, out.C0)
+	for i := 0; i <= ct.Level; i++ {
+		ev.ctx.Tower.Qi[i].Sub(out.C0[i], pt.Value[i], out.C0[i])
+	}
 	return out, nil
 }
 
@@ -195,34 +232,20 @@ func (ev *Evaluator) MulPlainInto(ct *Ciphertext, pt *Plaintext, out *Ciphertext
 	if ct.Level != pt.Level {
 		return fmt.Errorf("ckks: level mismatch %d vs %d", ct.Level, pt.Level)
 	}
-	mod := ev.ctx.Mod(ct.Level)
-	copy(ev.t0, pt.Value)
-	mod.NTT(ev.t0)
-	if ev.parallel() {
-		ring.Parallel(
-			func() {
-				copy(out.C0, ct.C0)
-				mod.NTT(out.C0)
-				mod.MulCoeffwise(out.C0, ev.t0, out.C0)
-				mod.INTT(out.C0)
-			},
-			func() {
-				copy(out.C1, ct.C1)
-				mod.NTT(out.C1)
-				mod.MulCoeffwise(out.C1, ev.t0, out.C1)
-				mod.INTT(out.C1)
-			},
-		)
-	} else {
-		copy(out.C0, ct.C0)
-		mod.NTT(out.C0)
-		mod.MulCoeffwise(out.C0, ev.t0, out.C0)
-		mod.INTT(out.C0)
-		copy(out.C1, ct.C1)
-		mod.NTT(out.C1)
-		mod.MulCoeffwise(out.C1, ev.t0, out.C1)
-		mod.INTT(out.C1)
-	}
+	ev.ctx.Tower.ForEachLimb(ct.Level+1, func(i int) {
+		mod := ev.ctx.Tower.Qi[i]
+		m := ev.s0[i]
+		copy(m, pt.Value[i])
+		mod.NTT(m)
+		copy(out.C0[i], ct.C0[i])
+		mod.NTT(out.C0[i])
+		mod.MulCoeffwise(out.C0[i], m, out.C0[i])
+		mod.INTT(out.C0[i])
+		copy(out.C1[i], ct.C1[i])
+		mod.NTT(out.C1[i])
+		mod.MulCoeffwise(out.C1[i], m, out.C1[i])
+		mod.INTT(out.C1[i])
+	})
 	out.Scale, out.Level = ct.Scale*pt.Scale, ct.Level
 	return nil
 }
@@ -241,9 +264,10 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) (*Ciphertext, error
 
 // MulRelinInto multiplies two ciphertexts and relinearizes the degree-2
 // term with rlk, writing into out without allocating (out may alias a or
-// b). The whole tensor-and-key-switch pipeline runs in the NTT domain:
-// four forward transforms for the operands, one inverse for the degree-2
-// term, one forward per nonzero gadget digit, and two final inverses.
+// b). The pipeline is per-limb throughout: one forward-transform fan-out
+// for all four operand components, pointwise tensoring, hybrid key
+// switching of the degree-2 term over the extended basis QP, ModDown back
+// to the chain and the final inverse transforms.
 func (ev *Evaluator) MulRelinInto(a, b *Ciphertext, rlk *RelinKey, out *Ciphertext) error {
 	if rlk == nil || len(rlk.Parts) == 0 {
 		return errors.New("ckks: nil relinearization key")
@@ -251,45 +275,62 @@ func (ev *Evaluator) MulRelinInto(a, b *Ciphertext, rlk *RelinKey, out *Cipherte
 	if a.Level != b.Level {
 		return fmt.Errorf("ckks: level mismatch %d vs %d", a.Level, b.Level)
 	}
-	mod := ev.ctx.Mod(a.Level)
+	tower := ev.ctx.Tower
+	limbs := a.Level + 1
+	n := ev.ctx.Params.N()
 
-	// Forward transforms of all four operand components.
-	copy(ev.t0, a.C0)
-	copy(ev.t1, a.C1)
-	copy(ev.t2, b.C0)
-	copy(ev.t3, b.C1)
-	if ev.parallel() {
-		ring.Parallel(
-			func() { mod.NTT(ev.t0) },
-			func() { mod.NTT(ev.t1) },
-			func() { mod.NTT(ev.t2) },
-			func() { mod.NTT(ev.t3) },
-		)
-	} else {
-		mod.NTT(ev.t0)
-		mod.NTT(ev.t1)
-		mod.NTT(ev.t2)
-		mod.NTT(ev.t3)
+	// Forward transforms of all four operand components, 4·limbs
+	// independent tasks in one fan-out.
+	pairs := [4][2]ring.RNSPoly{{ev.s0, a.C0}, {ev.s1, a.C1}, {ev.s2, b.C0}, {ev.s3, b.C1}}
+	nttTasks := make([]func(), 0, 4*limbs)
+	for i := 0; i < limbs; i++ {
+		mod := tower.Qi[i]
+		for _, pr := range pairs {
+			m, dst, in := mod, pr[0][i], pr[1][i]
+			nttTasks = append(nttTasks, func() {
+				copy(dst, in)
+				m.NTT(dst)
+			})
+		}
 	}
+	ring.ParallelIf(n, nttTasks...)
 
-	// Tensor in the NTT domain: (d0, d1, d2) = (a0·b0, a0·b1 + a1·b0, a1·b1).
-	mod.MulCoeffwise(ev.t0, ev.t2, ev.t4)        // d̂0
-	mod.MulCoeffwise(ev.t0, ev.t3, ev.t5)        // d̂1
-	mod.MulCoeffwiseThenAdd(ev.t1, ev.t2, ev.t5) // d̂1 += â1·b̂0
-	mod.MulCoeffwise(ev.t1, ev.t3, ev.t0)        // d̂2
-	mod.INTT(ev.t0)                              // d2 back to coefficients for digit extraction
+	// Tensor per limb: (d̂0, d̂1, d̂2) = (â0·b̂0, â0·b̂1 + â1·b̂0, â1·b̂1);
+	// d2 returns to the coefficient domain for digit decomposition.
+	tower.ForEachLimb(limbs, func(i int) {
+		mod := tower.Qi[i]
+		mod.MulCoeffwise(ev.s0[i], ev.s2[i], ev.s4[i])        // d̂0
+		mod.MulCoeffwise(ev.s0[i], ev.s3[i], ev.s5[i])        // d̂1
+		mod.MulCoeffwiseThenAdd(ev.s1[i], ev.s2[i], ev.s5[i]) // d̂1 += â1·b̂0
+		mod.MulCoeffwise(ev.s1[i], ev.s3[i], ev.s6[i])        // d̂2
+		mod.INTT(ev.s6[i])
+	})
 
-	// Key switch: fold the gadget decomposition of d2 into d̂0/d̂1.
-	ev.keySwitch(ev.t0, rlk, a.Level, ev.t4, ev.t5, ev.t1)
-
-	if ev.parallel() {
-		ring.Parallel(func() { mod.INTT(ev.t4) }, func() { mod.INTT(ev.t5) })
-	} else {
-		mod.INTT(ev.t4)
-		mod.INTT(ev.t5)
+	// Hybrid key switch of d2 into acc0/acc1 (NTT domain, limbs 0..ℓ plus
+	// the special limb at index ℓ+1), then back to the coefficient domain
+	// and down from QP to Q.
+	ev.keySwitch(ev.s6, rlk, a.Level)
+	inttTasks := make([]func(), 0, 2*(limbs+1))
+	for t := 0; t <= limbs; t++ {
+		mod := tower.P
+		if t < limbs {
+			mod = tower.Qi[t]
+		}
+		m, a0, a1 := mod, ev.acc0[t], ev.acc1[t]
+		inttTasks = append(inttTasks, func() { m.INTT(a0) }, func() { m.INTT(a1) })
 	}
-	copy(out.C0, ev.t4)
-	copy(out.C1, ev.t5)
+	ring.ParallelIf(n, inttTasks...)
+	tower.ModDownInto(ev.acc0[:limbs], ev.acc0[limbs], ev.acc0[:limbs])
+	tower.ModDownInto(ev.acc1[:limbs], ev.acc1[limbs], ev.acc1[:limbs])
+
+	// out = (INTT(d̂0) + acc0, INTT(d̂1) + acc1).
+	tower.ForEachLimb(limbs, func(i int) {
+		mod := tower.Qi[i]
+		mod.INTT(ev.s4[i])
+		mod.Add(ev.s4[i], ev.acc0[i], out.C0[i])
+		mod.INTT(ev.s5[i])
+		mod.Add(ev.s5[i], ev.acc1[i], out.C1[i])
+	})
 	out.Scale, out.Level = a.Scale*b.Scale, a.Level
 	return nil
 }
@@ -311,45 +352,50 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, err
 	return out, nil
 }
 
-// keySwitch decomposes d2 (coefficient domain; clobbered) in the gadget
-// base and accumulates digit·rlk_i into the NTT-domain accumulators
-// acc0/acc1 at the given level. digitBuf is scratch for one digit. The
-// relin key parts are stored in the NTT domain and Montgomery form, so each
-// digit costs one forward transform plus two fused multiply-accumulates.
-func (ev *Evaluator) keySwitch(d2 ring.Poly, rlk *RelinKey, level int, acc0, acc1, digitBuf ring.Poly) {
-	mod := ev.ctx.Mod(level)
-	mask := uint64(1)<<uint(rlk.LogBase) - 1
-	for i := 0; i < len(rlk.Parts); i++ {
-		allZero := true
-		for j := range d2 {
-			d := d2[j] & mask
-			d2[j] >>= uint(rlk.LogBase)
-			digitBuf[j] = d
-			if d != 0 {
-				allZero = false
+// keySwitch folds the RNS digits of d2 (coefficient domain, limbs
+// 0..level; not modified) through the relin key parts into ev.acc0/ev.acc1
+// over the extended basis: chain limbs 0..level plus the special limb at
+// index level+1, all in the NTT domain. The fan-out is over target limbs —
+// each target reduces every digit into its modulus, transforms it, and
+// runs two fused multiply-accumulates against the key's limb; targets are
+// independent, so the O(L²) digit transforms parallelize across limbs.
+func (ev *Evaluator) keySwitch(d2 ring.RNSPoly, rlk *RelinKey, level int) {
+	tower := ev.ctx.Tower
+	limbs := level + 1
+	spIdx := tower.Limbs() // index of the special limb inside key parts
+	ev.ctx.Tower.ForEachLimb(limbs+1, func(t int) {
+		mod, partIdx := tower.P, spIdx
+		if t < limbs {
+			mod, partIdx = tower.Qi[t], t
+		}
+		acc0, acc1, dig := ev.acc0[t], ev.acc1[t], ev.dig[t]
+		for j := range acc0 {
+			acc0[j], acc1[j] = 0, 0
+		}
+		for j := 0; j < limbs; j++ {
+			if partIdx == j {
+				copy(dig, d2[j])
+			} else {
+				mod.ReduceInto(d2[j], dig)
 			}
+			mod.NTT(dig)
+			mod.MulCoeffwiseMontgomeryThenAdd(dig, rlk.Parts[j][0][partIdx], acc0)
+			mod.MulCoeffwiseMontgomeryThenAdd(dig, rlk.Parts[j][1][partIdx], acc1)
 		}
-		if allZero {
-			continue
-		}
-		mod.NTT(digitBuf)
-		mod.MulCoeffwiseMontgomeryThenAdd(digitBuf, rlk.Parts[i][0][level], acc0)
-		mod.MulCoeffwiseMontgomeryThenAdd(digitBuf, rlk.Parts[i][1][level], acc1)
-	}
+	})
 }
 
 // RescaleInto divides the ciphertext by its level's prime and switches it
-// down one level, writing into out without allocating (out may alias ct).
+// down one level — the exact RNS rescale dropping the top limb — writing
+// into out without allocating (out may alias ct).
 func (ev *Evaluator) RescaleInto(ct, out *Ciphertext) error {
 	if ct.Level == 0 {
 		return errors.New("ckks: cannot rescale below level 0")
 	}
-	prime := ev.ctx.Primes[ct.Level]
-	topMod := ev.ctx.Mod(ct.Level)
-	botMod := ev.ctx.Mod(ct.Level - 1)
-	rescalePolyInto(topMod, botMod, ct.C0, prime, out.C0)
-	rescalePolyInto(topMod, botMod, ct.C1, prime, out.C1)
-	out.Scale, out.Level = ct.Scale/float64(prime), ct.Level-1
+	tower := ev.ctx.Tower
+	tower.RescaleInto(ct.C0[:ct.Level+1], out.C0[:ct.Level])
+	tower.RescaleInto(ct.C1[:ct.Level+1], out.C1[:ct.Level])
+	out.Scale, out.Level = ct.Scale/float64(ev.ctx.Primes[ct.Level]), ct.Level-1
 	return nil
 }
 
@@ -368,15 +414,17 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) (*Ciphertext, error) {
 }
 
 // DropLevelInto reduces the ciphertext to a lower level without dividing,
-// writing into out without allocating (out may alias ct). The scale is
-// unchanged.
+// writing into out without allocating (out may alias ct). In RNS the
+// reduction mod a divisor of the modulus is just dropping limbs. The scale
+// is unchanged.
 func (ev *Evaluator) DropLevelInto(ct *Ciphertext, level int, out *Ciphertext) error {
 	if level < 0 || level > ct.Level {
 		return fmt.Errorf("ckks: cannot drop from level %d to %d", ct.Level, level)
 	}
-	mod := ev.ctx.Moduli[level]
-	mod.ReduceInto(ct.C0, out.C0)
-	mod.ReduceInto(ct.C1, out.C1)
+	for i := 0; i <= level; i++ {
+		copy(out.C0[i], ct.C0[i])
+		copy(out.C1[i], ct.C1[i])
+	}
 	out.Scale, out.Level = ct.Scale, level
 	return nil
 }
@@ -395,21 +443,6 @@ func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) (*Ciphertext, error) {
 		return nil, err
 	}
 	return out, nil
-}
-
-// rescalePolyInto computes round(centered(p)/prime) mod q_{ℓ−1} into out.
-func rescalePolyInto(top, bot *ring.Modulus, p ring.Poly, prime uint64, out ring.Poly) {
-	half := int64(prime) / 2
-	for i, v := range p {
-		c := top.CenteredInt64(v)
-		var r int64
-		if c >= 0 {
-			r = (c + half) / int64(prime)
-		} else {
-			r = -((-c + half) / int64(prime))
-		}
-		out[i] = bot.FromInt64(r)
-	}
 }
 
 func (ev *Evaluator) matchLevels(a, b *Ciphertext) error {

@@ -6,37 +6,47 @@ import (
 	"quhe/internal/he/ring"
 )
 
-// Key material is stored in the NTT domain and Montgomery form: evaluator
-// hot paths (Encrypt, Decrypt, MulRelin key switching) then consume keys
-// with a single fused Montgomery multiply-accumulate per coefficient and
-// never transform key polynomials per operation. Both endpoints of the edge
-// protocol run this package, so the wire (gob) representation changes with
-// it transparently.
+// Key material is stored per limb in the NTT domain and Montgomery form:
+// evaluator hot paths (Encrypt, Decrypt, MulRelin key switching) then
+// consume keys with a single fused Montgomery multiply-accumulate per
+// coefficient and never transform key polynomials per operation. Both
+// endpoints of the edge protocol run this package, so the wire (gob)
+// representation changes with it transparently.
+//
+// Secrets and errors are sampled as small integers once per coefficient
+// and reduced into every limb, so one RNS key is one RLWE sample over the
+// composite modulus (the limbs are CRT views of the same integers, not
+// independent samples). Uniform polynomials are the exception: sampling
+// each limb independently IS the uniform distribution over the composite
+// modulus, by CRT.
 
-// SecretKey is the RLWE secret: one ternary polynomial, stored reduced at
-// every level of the modulus chain (S[ℓ] is the secret mod q_ℓ, NTT
-// domain, Montgomery form).
+// SecretKey is the RLWE secret: one ternary polynomial over the extended
+// basis QP (chain limbs 0..Depth, then the special limb last), NTT
+// domain, Montgomery form.
 type SecretKey struct {
-	S []ring.Poly
+	S ring.RNSPoly
 }
 
-// PublicKey is the RLWE encryption key (p0, p1) = (−a·s + e, a), stored per
-// level (reductions of the top-level key, which stay valid because
-// q_ℓ | q_top), NTT domain, Montgomery form.
+// PublicKey is the RLWE encryption key (p0, p1) = (−a·s + e, a) over the
+// chain limbs, NTT domain, Montgomery form. Level-ℓ encryption uses limbs
+// 0..ℓ, which stay valid truncations of the top-level key.
 type PublicKey struct {
-	P0, P1 []ring.Poly
+	P0, P1 ring.RNSPoly
 }
 
-// RelinKey relinearizes degree-2 ciphertexts. Part i encrypts T^i·s² under
-// s for gadget base T = 2^LogBase:
+// RelinKey relinearizes degree-2 ciphertexts by hybrid key switching.
+// Part j is an RLWE sample over the extended basis QP carrying the j-th
+// RNS gadget of P·s²:
 //
-//	rlk_i = (−a_i·s + e_i + T^i·s², a_i),
+//	rlk_j = (−a_j·s + e_j + P·u_j·s², a_j),  u_j ≡ δ_ij (mod q_i), u_j ≡ 0 (mod P),
 //
-// stored per level like the public key (NTT domain, Montgomery form).
+// so folding the digits D_j = [d2]_{q_j} through the parts accumulates
+// P·d2·s² (+ small noise) over QP, and dividing by P (ModDown) returns it
+// to the chain with the noise scaled away. Parts[j][c][t]: digit j,
+// component c ∈ {0,1}, limb t (chain limbs then the special limb), NTT
+// domain, Montgomery form.
 type RelinKey struct {
-	// Parts[i][j][ℓ]: digit i, component j ∈ {0,1}, level ℓ.
-	Parts   [][2][]ring.Poly
-	LogBase int
+	Parts [][2]ring.RNSPoly
 }
 
 // KeyGenerator derives CKKS keys from a seeded RNG. Not safe for
@@ -55,107 +65,163 @@ func NewKeyGenerator(ctx *Context, seed int64) *KeyGenerator {
 	return &KeyGenerator{ctx: ctx, rng: rand.New(rand.NewSource(seed))}
 }
 
-// perLevel reduces a top-level coefficient-domain polynomial to every
-// level and stores each reduction in the NTT domain and Montgomery form.
-// For large rings the per-level transforms run in parallel (no RNG here).
-func (kg *KeyGenerator) perLevel(top ring.Poly) []ring.Poly {
-	out := make([]ring.Poly, len(kg.ctx.Moduli))
-	level := func(ell int) func() {
+// qpMod returns the modulus of extended-basis limb t: chain limb t, or
+// the special prime for t == len(Primes).
+func (kg *KeyGenerator) qpMod(t int) *ring.Modulus {
+	if t < len(kg.ctx.Primes) {
+		return kg.ctx.Tower.Qi[t]
+	}
+	return kg.ctx.Tower.P
+}
+
+// ternaryInts fills out with coefficients from {−1, 0, 1}, matching the
+// draw order of ring.TernaryPolyInto.
+func (kg *KeyGenerator) ternaryInts(out []int64) {
+	for i := range out {
+		switch kg.rng.Intn(3) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = 1
+		default:
+			out[i] = -1
+		}
+	}
+}
+
+// gaussianInts fills out with rounded-Gaussian error coefficients.
+func (kg *KeyGenerator) gaussianInts(out []int64) {
+	for i := range out {
+		out[i] = int64(kg.rng.NormFloat64()*kg.ctx.Params.Sigma + 0.5)
+	}
+}
+
+// GenSecretKey samples a ternary secret and spreads it over QP.
+func (kg *KeyGenerator) GenSecretKey() *SecretKey {
+	n := kg.ctx.Params.N()
+	qp := len(kg.ctx.Primes) + 1
+	vals := make([]int64, n)
+	kg.ternaryInts(vals)
+	s := make(ring.RNSPoly, qp)
+	limb := func(t int) func() {
 		return func() {
-			mod := kg.ctx.Mod(ell)
-			p := make(ring.Poly, len(top))
-			mod.ReduceInto(top, p)
+			mod := kg.qpMod(t)
+			p := make(ring.Poly, n)
+			for j, v := range vals {
+				p[j] = mod.FromInt64(v)
+			}
 			mod.NTT(p)
 			mod.MForm(p, p)
-			out[ell] = p
+			s[t] = p
 		}
 	}
-	tasks := make([]func(), len(out))
-	for ell := range out {
-		tasks[ell] = level(ell)
+	tasks := make([]func(), qp)
+	for t := range tasks {
+		tasks[t] = limb(t)
 	}
-	ring.ParallelIf(kg.ctx.Params.N(), tasks...)
-	return out
+	ring.ParallelIf(n, tasks...)
+	return &SecretKey{S: s}
 }
 
-// GenSecretKey samples a ternary secret.
-func (kg *KeyGenerator) GenSecretKey() *SecretKey {
-	top := kg.ctx.Mod(kg.ctx.MaxLevel()).TernaryPoly(kg.rng)
-	return &SecretKey{S: kg.perLevel(top)}
-}
-
-// mulSecret returns a·s in the coefficient domain at the top level, for
-// coefficient-domain a and the NTT/Montgomery-form secret sHatM.
-func (kg *KeyGenerator) mulSecret(a, sHatM ring.Poly) ring.Poly {
-	top := kg.ctx.Mod(kg.ctx.MaxLevel())
-	p := a.Copy()
-	top.NTT(p)
-	top.MulCoeffwiseMontgomery(p, sHatM, p)
-	top.INTT(p)
-	return p
-}
-
-// GenPublicKey builds (−a·s + e, a) at the top level and reduces down.
+// GenPublicKey builds (−a·s + e, a) over the chain limbs. All randomness
+// is drawn before the per-limb fan-out so the RNG stream order is fixed.
 func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
-	top := kg.ctx.Mod(kg.ctx.MaxLevel())
-	a := top.UniformPoly(kg.rng)
-	e := top.GaussianPoly(kg.rng, kg.ctx.Params.Sigma)
-	p0 := kg.mulSecret(a, sk.S[kg.ctx.MaxLevel()])
-	top.Neg(p0, p0)
-	top.Add(p0, e, p0)
-	return &PublicKey{P0: kg.perLevel(p0), P1: kg.perLevel(a)}
+	n := kg.ctx.Params.N()
+	limbs := len(kg.ctx.Primes)
+	a := make(ring.RNSPoly, limbs)
+	for t := 0; t < limbs; t++ {
+		a[t] = kg.ctx.Tower.Qi[t].UniformPoly(kg.rng)
+	}
+	e := make([]int64, n)
+	kg.gaussianInts(e)
+	pk := &PublicKey{P0: make(ring.RNSPoly, limbs), P1: make(ring.RNSPoly, limbs)}
+	limb := func(t int) func() {
+		return func() {
+			mod := kg.ctx.Tower.Qi[t]
+			mod.NTT(a[t]) // â, plain NTT
+			p1 := make(ring.Poly, n)
+			mod.MForm(a[t], p1)
+			p0 := make(ring.Poly, n)
+			mod.MulCoeffwiseMontgomery(a[t], sk.S[t], p0) // â·ŝ, plain NTT
+			mod.Neg(p0, p0)
+			eh := make(ring.Poly, n)
+			for j, v := range e {
+				eh[j] = mod.FromInt64(v)
+			}
+			mod.NTT(eh)
+			mod.Add(p0, eh, p0)
+			mod.MForm(p0, p0)
+			pk.P0[t], pk.P1[t] = p0, p1
+		}
+	}
+	tasks := make([]func(), limbs)
+	for t := range tasks {
+		tasks[t] = limb(t)
+	}
+	ring.ParallelIf(n, tasks...)
+	return pk
 }
 
-// GenRelinKey builds the gadget-decomposed key for s². All randomness is
-// drawn up front (digit order, a before e — the same stream order as the
-// serial construction); for large rings the per-digit arithmetic and
-// transforms then fan out across goroutines deterministically.
+// GenRelinKey builds the hybrid key-switch key: one part per chain limb,
+// each an RLWE zero-sample over QP with (P mod q_j)·s² added into limb j
+// only. Randomness is drawn up front (per digit: a over every QP limb,
+// then e), so the per-digit arithmetic fans out deterministically.
 func (kg *KeyGenerator) GenRelinKey(sk *SecretKey) *RelinKey {
 	ctx := kg.ctx
-	top := ctx.Mod(ctx.MaxLevel())
-	logBase := ctx.Params.RelinLogBase
-	digits := 0
-	for shift := 0; shift < 64 && (top.Q>>uint(shift)) > 0; shift += logBase {
-		digits++
-	}
-	sHatM := sk.S[ctx.MaxLevel()]
-	// s² in the coefficient domain: square pointwise in the NTT domain
-	// (Montgomery-form · Montgomery-form keeps Montgomery form), strip the
-	// form, and transform back.
-	s2 := top.NewPoly()
-	top.MulCoeffwiseMontgomery(sHatM, sHatM, s2)
-	top.InvMForm(s2, s2)
-	top.INTT(s2)
+	n := ctx.Params.N()
+	limbs := len(ctx.Primes)
+	qp := limbs + 1
+	digits := limbs
 
-	as := make([]ring.Poly, digits)
-	es := make([]ring.Poly, digits)
-	for i := 0; i < digits; i++ {
-		as[i] = top.UniformPoly(kg.rng)
-		es[i] = top.GaussianPoly(kg.rng, kg.ctx.Params.Sigma)
+	as := make([]ring.RNSPoly, digits)
+	es := make([][]int64, digits)
+	for j := 0; j < digits; j++ {
+		as[j] = make(ring.RNSPoly, qp)
+		for t := 0; t < qp; t++ {
+			as[j][t] = kg.qpMod(t).UniformPoly(kg.rng)
+		}
+		es[j] = make([]int64, n)
+		kg.gaussianInts(es[j])
 	}
 
-	rlk := &RelinKey{Parts: make([][2][]ring.Poly, digits), LogBase: logBase}
-	powers := make([]uint64, digits)
-	power := uint64(1)
-	for i := range powers {
-		powers[i] = power
-		power = ring.MulMod(power, uint64(1)<<uint(logBase), top.Q)
+	rlk := &RelinKey{Parts: make([][2]ring.RNSPoly, digits)}
+	for j := range rlk.Parts {
+		rlk.Parts[j] = [2]ring.RNSPoly{make(ring.RNSPoly, qp), make(ring.RNSPoly, qp)}
 	}
-	digit := func(i int) func() {
+	cell := func(j, t int) func() {
 		return func() {
-			b := kg.mulSecret(as[i], sHatM)
-			top.Neg(b, b)
-			top.Add(b, es[i], b)
-			scaled := top.NewPoly()
-			top.MulScalar(s2, powers[i], scaled)
-			top.Add(b, scaled, b)
-			rlk.Parts[i] = [2][]ring.Poly{kg.perLevel(b), kg.perLevel(as[i])}
+			mod := kg.qpMod(t)
+			a := as[j][t]
+			mod.NTT(a) // â, plain NTT
+			p1 := make(ring.Poly, n)
+			mod.MForm(a, p1)
+			b := make(ring.Poly, n)
+			mod.MulCoeffwiseMontgomery(a, sk.S[t], b) // â·ŝ
+			mod.Neg(b, b)
+			eh := make(ring.Poly, n)
+			for k, v := range es[j] {
+				eh[k] = mod.FromInt64(v)
+			}
+			mod.NTT(eh)
+			mod.Add(b, eh, b)
+			if t == j {
+				// Gadget term: (P mod q_j)·s² on limb j only.
+				s2 := make(ring.Poly, n)
+				mod.MulCoeffwiseMontgomery(sk.S[t], sk.S[t], s2) // ŝ², Montgomery form
+				mod.InvMForm(s2, s2)                             // plain NTT
+				mod.MulScalar(s2, ctx.Special%ctx.Primes[j], s2)
+				mod.Add(b, s2, b)
+			}
+			mod.MForm(b, b)
+			rlk.Parts[j][0][t], rlk.Parts[j][1][t] = b, p1
 		}
 	}
-	tasks := make([]func(), digits)
-	for i := range tasks {
-		tasks[i] = digit(i)
+	tasks := make([]func(), 0, digits*qp)
+	for j := 0; j < digits; j++ {
+		for t := 0; t < qp; t++ {
+			tasks = append(tasks, cell(j, t))
+		}
 	}
-	ring.ParallelIf(ctx.Params.N(), tasks...)
+	ring.ParallelIf(n, tasks...)
 	return rlk
 }

@@ -1,25 +1,3 @@
-// Package ckks implements a compact but genuine CKKS approximate
-// homomorphic encryption scheme over a true modulus chain: canonical-
-// embedding encoding, RLWE key generation (secret, public and
-// relinearization keys), encryption, decryption, homomorphic add /
-// multiply / rescale, and level management. It is the server-side
-// computation substrate of the QuHE system (§III-A.2/4): encrypted
-// inference runs on CKKS slots.
-//
-// The ciphertext modulus is a product q_0·q_1·…·q_L of NTT-friendly primes
-// held in a single uint64 (≤ 2^62 total); rescaling divides by the current
-// level's prime and switches the ciphertext down one level — the textbook
-// (non-RNS) CKKS construction. Versus production CKKS (SEAL / Lattigo /
-// OpenFHE) there are no Galois rotations and no bootstrapping; those
-// simplifications keep the package small while preserving the behaviour the
-// paper's cost model (Eqs. 29/31) abstracts: slot-wise encrypted arithmetic
-// whose cost grows with the polynomial degree λ = N.
-//
-// Performance conventions: key material lives in the NTT domain and
-// Montgomery form (see keys.go), the evaluator keeps per-instance scratch
-// buffers and offers allocation-free Into variants of every hot operation,
-// and independent transforms fan out across goroutines for ring degrees
-// ≥ ring.ParallelMinN.
 package ckks
 
 import (
@@ -42,16 +20,18 @@ type Params struct {
 	Depth int
 	// Sigma is the error standard deviation (3.2 by convention).
 	Sigma float64
-	// RelinLogBase is log2 of the gadget base used by relinearization
-	// keys; smaller bases mean more key parts but less noise.
-	RelinLogBase int
+	// SpecialBits is the size of the special prime P that hybrid key
+	// switching extends the basis with; P must dominate every chain prime
+	// (SpecialBits ≥ BaseBits) so the key-switch noise divides away.
+	SpecialBits int
 }
 
-// NewParams assembles a parameter set, applying σ=3.2 and relin base 2^8.
+// NewParams assembles a parameter set, applying σ=3.2 and a 61-bit special
+// prime.
 func NewParams(logN, baseBits, scaleBits, depth int) (Params, error) {
 	p := Params{
 		LogN: logN, BaseBits: baseBits, ScaleBits: scaleBits, Depth: depth,
-		Sigma: 3.2, RelinLogBase: 8,
+		Sigma: 3.2, SpecialBits: 61,
 	}
 	return p, p.Validate()
 }
@@ -83,104 +63,88 @@ func (p Params) Validate() error {
 	if p.LogN < 3 || p.LogN > 15 {
 		return fmt.Errorf("ckks: logN = %d outside [3, 15]", p.LogN)
 	}
-	if p.BaseBits < 20 || p.BaseBits > 61 {
-		return fmt.Errorf("ckks: baseBits = %d outside [20, 61]", p.BaseBits)
+	if p.BaseBits < 20 || p.BaseBits > 60 {
+		return fmt.Errorf("ckks: baseBits = %d outside [20, 60]", p.BaseBits)
 	}
-	if p.Depth < 0 || p.Depth > 3 {
-		return fmt.Errorf("ckks: depth = %d outside [0, 3]", p.Depth)
+	if p.Depth < 0 || p.Depth > 8 {
+		return fmt.Errorf("ckks: depth = %d outside [0, 8]", p.Depth)
 	}
-	if p.Depth > 0 && (p.ScaleBits < 15 || p.ScaleBits > 40) {
-		return fmt.Errorf("ckks: scaleBits = %d outside [15, 40]", p.ScaleBits)
-	}
-	if total := p.BaseBits + p.Depth*p.ScaleBits; total > 61 {
-		return fmt.Errorf("ckks: modulus chain needs %d bits > 61", total)
+	if p.Depth > 0 && (p.ScaleBits < 15 || p.ScaleBits > p.BaseBits) {
+		return fmt.Errorf("ckks: scaleBits = %d outside [15, baseBits=%d]", p.ScaleBits, p.BaseBits)
 	}
 	if p.Sigma <= 0 {
 		return fmt.Errorf("ckks: sigma %g must be positive", p.Sigma)
 	}
-	if p.RelinLogBase < 1 || p.RelinLogBase > 30 {
-		return fmt.Errorf("ckks: relin base 2^%d outside range", p.RelinLogBase)
+	if p.SpecialBits < p.BaseBits || p.SpecialBits > 61 {
+		return fmt.Errorf("ckks: specialBits = %d outside [baseBits=%d, 61]", p.SpecialBits, p.BaseBits)
 	}
 	return nil
 }
 
-// Context holds the realized modulus chain: Primes[0] is the base prime,
-// Primes[1..Depth] the rescaling primes; Moduli[ℓ] is the NTT context for
-// q_ℓ = Π_{i≤ℓ} Primes[i]. Contexts are immutable and safe to share.
+// Context holds the realized residue tower: Primes[0] is the base prime,
+// Primes[1..Depth] the rescaling primes, Special the hybrid key-switch
+// prime P, and Tower the per-limb NTT contexts plus the exact-division
+// tables. A level-ℓ object carries limbs 0..ℓ. Contexts are immutable and
+// safe to share.
 type Context struct {
-	Params Params
-	Primes []uint64
-	Moduli []*ring.Modulus
+	Params  Params
+	Primes  []uint64
+	Special uint64
+	Tower   *ring.Tower
 }
 
-// NewContext searches the primes and builds per-level NTT tables.
+// NewContext searches the chain and special primes and builds the tower.
 func NewContext(p Params) (*Context, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	n := p.N()
-	base, err := ring.FindNTTPrime(p.BaseBits, n)
+	bitLens := make([]int, 0, p.Depth+2)
+	bitLens = append(bitLens, p.BaseBits)
+	for i := 0; i < p.Depth; i++ {
+		bitLens = append(bitLens, p.ScaleBits)
+	}
+	bitLens = append(bitLens, p.SpecialBits)
+	primes, err := ring.FindNTTPrimesDistinct(bitLens, n)
 	if err != nil {
-		return nil, fmt.Errorf("ckks: base prime: %w", err)
+		return nil, fmt.Errorf("ckks: prime chain: %w", err)
 	}
-	primes := []uint64{base}
-	if p.Depth > 0 {
-		scalePrimes, err := ring.FindNTTPrimes(p.ScaleBits, n, p.Depth)
-		if err != nil {
-			return nil, fmt.Errorf("ckks: scale primes: %w", err)
-		}
-		primes = append(primes, scalePrimes...)
+	chain, special := primes[:p.Depth+1], primes[p.Depth+1]
+	tower, err := ring.NewTower(n, chain, special)
+	if err != nil {
+		return nil, fmt.Errorf("ckks: tower: %w", err)
 	}
-	ctx := &Context{Params: p, Primes: primes, Moduli: make([]*ring.Modulus, len(primes))}
-
-	// Level ℓ modulus is the product of primes[0..ℓ] with a CRT-combined
-	// primitive 2N-th root.
-	q := uint64(1)
-	var psi uint64
-	for ell, prime := range primes {
-		root, err := ring.PrimitiveRoot2N(prime, n)
-		if err != nil {
-			return nil, fmt.Errorf("ckks: root mod %d: %w", prime, err)
-		}
-		if ell == 0 {
-			q, psi = prime, root
-		} else {
-			psi = ring.CRTPair(psi, q, root, prime)
-			q *= prime
-		}
-		mod, err := ring.NewModulusWithRoot(q, n, psi)
-		if err != nil {
-			return nil, fmt.Errorf("ckks: level %d modulus: %w", ell, err)
-		}
-		ctx.Moduli[ell] = mod
-	}
-	return ctx, nil
+	return &Context{Params: p, Primes: chain, Special: special, Tower: tower}, nil
 }
 
-// Mod returns the NTT context at the given level.
-func (c *Context) Mod(level int) *ring.Modulus { return c.Moduli[level] }
+// Limb returns the NTT context of chain prime q_i.
+func (c *Context) Limb(i int) *ring.Modulus { return c.Tower.Qi[i] }
 
 // MaxLevel is the top level index.
-func (c *Context) MaxLevel() int { return len(c.Moduli) - 1 }
+func (c *Context) MaxLevel() int { return len(c.Primes) - 1 }
 
 // NewCiphertext allocates a zero ciphertext at the given level (scale 0;
 // callers set it).
 func (c *Context) NewCiphertext(level int) *Ciphertext {
-	n := c.Params.N()
-	return &Ciphertext{C0: make(ring.Poly, n), C1: make(ring.Poly, n), Level: level}
+	return &Ciphertext{
+		C0:    c.Tower.NewPoly(level + 1),
+		C1:    c.Tower.NewPoly(level + 1),
+		Level: level,
+	}
 }
 
-// Plaintext is an encoded message: a ring polynomial at a scale and level.
+// Plaintext is an encoded message: limbs 0..Level of a ring polynomial at
+// a scale.
 type Plaintext struct {
-	Value ring.Poly
+	Value ring.RNSPoly
 	Scale float64
 	Level int
 }
 
 // Ciphertext is a degree-1 RLWE ciphertext (c0, c1) at a scale and level,
-// decrypting to c0 + c1·s mod q_Level.
+// decrypting to c0 + c1·s on limbs 0..Level.
 type Ciphertext struct {
-	C0, C1 ring.Poly
+	C0, C1 ring.RNSPoly
 	Scale  float64
 	Level  int
 }

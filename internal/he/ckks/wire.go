@@ -1,10 +1,10 @@
 package ckks
 
 // Wire codecs for CKKS objects: hand-rolled, length-prefixed binary
-// layouts built on ring.Poly's raw little-endian coefficient runs. They
-// exist for the edge protocol's framed v3 path, where gob's reflective,
-// per-coefficient varint encoding was the serving hot path's dominant
-// cost. Conventions:
+// layouts built on ring.Poly's raw little-endian coefficient runs, one
+// run per RNS limb. They exist for the edge protocol's framed v3 path,
+// where gob's reflective, per-coefficient varint encoding was the serving
+// hot path's dominant cost. Conventions:
 //
 //   - AppendBinary appends the value's encoding to a caller-provided
 //     buffer and returns the extended slice. With a buffer of sufficient
@@ -12,7 +12,7 @@ package ckks
 //     allocations.
 //   - DecodeFrom consumes one value from the front of a buffer and
 //     returns the byte count consumed. Ciphertext and Plaintext decode
-//     into their receiver, reusing existing coefficient storage when its
+//     into their receiver, reusing existing limb storage when its
 //     capacity suffices — a decode loop over a pre-sized receiver is
 //     allocation-free in steady state.
 //   - Ownership: everything DecodeFrom produces is copied out of the
@@ -25,6 +25,14 @@ package ckks
 //     structurally invalid data (absurd degrees, level out of range).
 //     Decoders never panic on hostile input and never allocate
 //     attacker-chosen sizes beyond the structural caps below.
+//
+// Layouts: a ciphertext is the poly header (level | scale | degree)
+// followed by C0's limbs 0..level then C1's limbs, each limb an 8·N-byte
+// raw run — at level 0 this is bit-identical to the pre-RNS format. Keys
+// carry their limb count explicitly since relin keys span the extended
+// basis QP. The residue-tower limb layout is a wire format change for
+// level ≥ 1 payloads and multi-limb keys; the edge protocol negotiates it
+// via a hello flag (see internal/edge).
 //
 // All integers are little-endian; float64s travel as IEEE 754 bits, so
 // round-trips are bit-exact and match the gob path bit-for-bit.
@@ -45,15 +53,18 @@ var (
 )
 
 // Structural caps on decoded sizes: Params.Validate bounds LogN to 15 and
-// Depth to 3; the relin key's digit count is bounded by 64 bits / LogBase.
+// Depth to 8, so ciphertexts carry at most 9 limbs, keys over QP at most
+// 10, and relin keys one digit per chain limb.
 const (
 	maxWireN      = 1 << 15
-	maxWireLevels = 8
-	maxWireDigits = 64
+	maxWireLevels = 9
+	maxWireLimbs  = 10
+	maxWireDigits = 9
 )
 
 // polyHeader is the fixed prefix shared by Ciphertext and Plaintext:
-// level (u8) | scale bits (u64) | degree (u32).
+// level (u8) | scale bits (u64) | degree (u32). The limb count is
+// level + 1.
 const polyHeaderLen = 1 + 8 + 4
 
 func appendPolyHeader(b []byte, level int, scale float64, n int) []byte {
@@ -84,34 +95,76 @@ func reusePoly(p ring.Poly, n int) ring.Poly {
 	return make(ring.Poly, n)
 }
 
+// reuseRNS returns p resized to the given limb count and degree, reusing
+// the outer slice and every limb whose capacity suffices.
+func reuseRNS(p ring.RNSPoly, limbs, n int) ring.RNSPoly {
+	if cap(p) >= limbs {
+		p = p[:limbs]
+	} else {
+		np := make(ring.RNSPoly, limbs)
+		copy(np, p[:cap(p)])
+		p = np
+	}
+	for i := range p {
+		p[i] = reusePoly(p[i], n)
+	}
+	return p
+}
+
+// appendLimbs appends each limb's raw coefficient run.
+func appendLimbs(b []byte, p ring.RNSPoly) []byte {
+	for _, limb := range p {
+		b = limb.AppendBinary(b)
+	}
+	return b
+}
+
+// decodeLimbs decodes the limbs of a pre-sized RNS polynomial in place.
+func decodeLimbs(b []byte, p ring.RNSPoly) (int, error) {
+	off := 0
+	for i := range p {
+		k, err := p[i].DecodeFrom(b[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += k
+	}
+	return off, nil
+}
+
 // AppendBinary appends ct's wire encoding to b: the poly header followed
-// by the raw c0 and c1 coefficient runs (16·N bytes of payload).
+// by the raw limb runs of c0 then c1 (16·N·(level+1) bytes of payload).
 func (ct *Ciphertext) AppendBinary(b []byte) []byte {
-	b = appendPolyHeader(b, ct.Level, ct.Scale, len(ct.C0))
-	b = ct.C0.AppendBinary(b)
-	return ct.C1.AppendBinary(b)
+	n := 0
+	if len(ct.C0) > 0 {
+		n = len(ct.C0[0])
+	}
+	b = appendPolyHeader(b, ct.Level, ct.Scale, n)
+	b = appendLimbs(b, ct.C0)
+	return appendLimbs(b, ct.C1)
 }
 
 // DecodeFrom decodes one ciphertext from the front of b into ct, reusing
-// ct's coefficient storage when possible, and returns the bytes consumed.
-// See the package wire conventions for ownership of the decoded value.
+// ct's limb storage when possible, and returns the bytes consumed. See
+// the package wire conventions for ownership of the decoded value.
 func (ct *Ciphertext) DecodeFrom(b []byte) (int, error) {
 	level, scale, n, err := decodePolyHeader(b)
 	if err != nil {
 		return 0, err
 	}
+	limbs := level + 1
 	off := polyHeaderLen
-	if len(b)-off < 16*n {
+	if len(b)-off < 16*n*limbs {
 		return 0, ErrShortBuffer
 	}
-	ct.C0 = reusePoly(ct.C0, n)
-	ct.C1 = reusePoly(ct.C1, n)
-	k, err := ct.C0.DecodeFrom(b[off:])
+	ct.C0 = reuseRNS(ct.C0, limbs, n)
+	ct.C1 = reuseRNS(ct.C1, limbs, n)
+	k, err := decodeLimbs(b[off:], ct.C0)
 	if err != nil {
 		return 0, err
 	}
 	off += k
-	k, err = ct.C1.DecodeFrom(b[off:])
+	k, err = decodeLimbs(b[off:], ct.C1)
 	if err != nil {
 		return 0, err
 	}
@@ -119,26 +172,31 @@ func (ct *Ciphertext) DecodeFrom(b []byte) (int, error) {
 	return off + k, nil
 }
 
-// AppendBinary appends pt's wire encoding to b (poly header + one
-// coefficient run).
+// AppendBinary appends pt's wire encoding to b (poly header + the limb
+// runs).
 func (pt *Plaintext) AppendBinary(b []byte) []byte {
-	b = appendPolyHeader(b, pt.Level, pt.Scale, len(pt.Value))
-	return pt.Value.AppendBinary(b)
+	n := 0
+	if len(pt.Value) > 0 {
+		n = len(pt.Value[0])
+	}
+	b = appendPolyHeader(b, pt.Level, pt.Scale, n)
+	return appendLimbs(b, pt.Value)
 }
 
 // DecodeFrom decodes one plaintext from the front of b into pt, reusing
-// pt's coefficient storage when possible, and returns the bytes consumed.
+// pt's limb storage when possible, and returns the bytes consumed.
 func (pt *Plaintext) DecodeFrom(b []byte) (int, error) {
 	level, scale, n, err := decodePolyHeader(b)
 	if err != nil {
 		return 0, err
 	}
+	limbs := level + 1
 	off := polyHeaderLen
-	if len(b)-off < 8*n {
+	if len(b)-off < 8*n*limbs {
 		return 0, ErrShortBuffer
 	}
-	pt.Value = reusePoly(pt.Value, n)
-	k, err := pt.Value.DecodeFrom(b[off:])
+	pt.Value = reuseRNS(pt.Value, limbs, n)
+	k, err := decodeLimbs(b[off:], pt.Value)
 	if err != nil {
 		return 0, err
 	}
@@ -146,23 +204,14 @@ func (pt *Plaintext) DecodeFrom(b []byte) (int, error) {
 	return off + k, nil
 }
 
-// appendPolyVec appends a per-level polynomial vector (degrees already
-// encoded by the container header).
-func appendPolyVec(b []byte, ps []ring.Poly) []byte {
-	for _, p := range ps {
-		b = p.AppendBinary(b)
-	}
-	return b
-}
-
-// decodePolyVec decodes levels polynomials of degree n, allocating fresh
-// storage: key material is retained for a session's lifetime, so it never
-// aliases a transient decode buffer.
-func decodePolyVec(b []byte, levels, n int) ([]ring.Poly, int, error) {
-	if len(b) < levels*8*n {
+// decodeRNSFresh decodes limbs runs of degree n into fresh storage: key
+// material is retained for a session's lifetime, so it never aliases a
+// transient decode buffer.
+func decodeRNSFresh(b []byte, limbs, n int) (ring.RNSPoly, int, error) {
+	if len(b) < limbs*8*n {
 		return nil, 0, ErrShortBuffer
 	}
-	out := make([]ring.Poly, levels)
+	out := make(ring.RNSPoly, limbs)
 	off := 0
 	for i := range out {
 		out[i] = make(ring.Poly, n)
@@ -175,33 +224,37 @@ func decodePolyVec(b []byte, levels, n int) ([]ring.Poly, int, error) {
 	return out, off, nil
 }
 
-// AppendBinary appends pk's wire encoding: levels (u8) | degree (u32) |
-// P0 polys | P1 polys.
+// AppendBinary appends pk's wire encoding: limbs (u8) | degree (u32) |
+// P0 limbs | P1 limbs.
 func (pk *PublicKey) AppendBinary(b []byte) []byte {
+	n := 0
+	if len(pk.P0) > 0 {
+		n = len(pk.P0[0])
+	}
 	b = append(b, byte(len(pk.P0)))
-	b = binary.LittleEndian.AppendUint32(b, uint32(polyDegree(pk.P0)))
-	b = appendPolyVec(b, pk.P0)
-	return appendPolyVec(b, pk.P1)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = appendLimbs(b, pk.P0)
+	return appendLimbs(b, pk.P1)
 }
 
 // DecodeFrom decodes a public key from the front of b into pk (fresh
-// storage; see decodePolyVec) and returns the bytes consumed.
+// storage; see decodeRNSFresh) and returns the bytes consumed.
 func (pk *PublicKey) DecodeFrom(b []byte) (int, error) {
 	if len(b) < 5 {
 		return 0, ErrShortBuffer
 	}
-	levels := int(b[0])
+	limbs := int(b[0])
 	n := int(binary.LittleEndian.Uint32(b[1:5]))
-	if levels == 0 || levels > maxWireLevels || n == 0 || n > maxWireN || n&(n-1) != 0 {
+	if limbs == 0 || limbs > maxWireLimbs || n == 0 || n > maxWireN || n&(n-1) != 0 {
 		return 0, ErrMalformed
 	}
 	off := 5
-	p0, k, err := decodePolyVec(b[off:], levels, n)
+	p0, k, err := decodeRNSFresh(b[off:], limbs, n)
 	if err != nil {
 		return 0, err
 	}
 	off += k
-	p1, k, err := decodePolyVec(b[off:], levels, n)
+	p1, k, err := decodeRNSFresh(b[off:], limbs, n)
 	if err != nil {
 		return 0, err
 	}
@@ -209,23 +262,21 @@ func (pk *PublicKey) DecodeFrom(b []byte) (int, error) {
 	return off + k, nil
 }
 
-// AppendBinary appends rlk's wire encoding: log base (u8) | digits (u8) |
-// levels (u8) | degree (u32) | per digit, the component-0 then
-// component-1 per-level polys.
+// AppendBinary appends rlk's wire encoding: digits (u8) | limbs (u8) |
+// degree (u32) | per digit, the component-0 then component-1 limb runs.
 func (rlk *RelinKey) AppendBinary(b []byte) []byte {
-	levels := 0
+	limbs, n := 0, 0
 	if len(rlk.Parts) > 0 {
-		levels = len(rlk.Parts[0][0])
+		limbs = len(rlk.Parts[0][0])
+		if limbs > 0 {
+			n = len(rlk.Parts[0][0][0])
+		}
 	}
-	n := 0
-	if levels > 0 {
-		n = polyDegree(rlk.Parts[0][0])
-	}
-	b = append(b, byte(rlk.LogBase), byte(len(rlk.Parts)), byte(levels))
+	b = append(b, byte(len(rlk.Parts)), byte(limbs))
 	b = binary.LittleEndian.AppendUint32(b, uint32(n))
 	for _, part := range rlk.Parts {
-		b = appendPolyVec(b, part[0])
-		b = appendPolyVec(b, part[1])
+		b = appendLimbs(b, part[0])
+		b = appendLimbs(b, part[1])
 	}
 	return b
 }
@@ -233,20 +284,20 @@ func (rlk *RelinKey) AppendBinary(b []byte) []byte {
 // DecodeFrom decodes a relinearization key from the front of b into rlk
 // (fresh storage) and returns the bytes consumed.
 func (rlk *RelinKey) DecodeFrom(b []byte) (int, error) {
-	if len(b) < 7 {
+	if len(b) < 6 {
 		return 0, ErrShortBuffer
 	}
-	logBase, digits, levels := int(b[0]), int(b[1]), int(b[2])
-	n := int(binary.LittleEndian.Uint32(b[3:7]))
-	if logBase < 1 || logBase > 30 || digits == 0 || digits > maxWireDigits ||
-		levels == 0 || levels > maxWireLevels || n == 0 || n > maxWireN || n&(n-1) != 0 {
+	digits, limbs := int(b[0]), int(b[1])
+	n := int(binary.LittleEndian.Uint32(b[2:6]))
+	if digits == 0 || digits > maxWireDigits ||
+		limbs == 0 || limbs > maxWireLimbs || n == 0 || n > maxWireN || n&(n-1) != 0 {
 		return 0, ErrMalformed
 	}
-	off := 7
-	parts := make([][2][]ring.Poly, digits)
+	off := 6
+	parts := make([][2]ring.RNSPoly, digits)
 	for i := range parts {
 		for j := 0; j < 2; j++ {
-			ps, k, err := decodePolyVec(b[off:], levels, n)
+			ps, k, err := decodeRNSFresh(b[off:], limbs, n)
 			if err != nil {
 				return 0, err
 			}
@@ -254,13 +305,6 @@ func (rlk *RelinKey) DecodeFrom(b []byte) (int, error) {
 			off += k
 		}
 	}
-	rlk.Parts, rlk.LogBase = parts, logBase
+	rlk.Parts = parts
 	return off, nil
-}
-
-func polyDegree(ps []ring.Poly) int {
-	if len(ps) == 0 {
-		return 0
-	}
-	return len(ps[0])
 }

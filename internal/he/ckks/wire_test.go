@@ -26,10 +26,11 @@ func wireTestContext(t testing.TB) *Context {
 
 func randomCiphertext(ctx *Context, seed int64, level int) *Ciphertext {
 	kg := NewKeyGenerator(ctx, seed)
-	mod := ctx.Mod(level)
 	ct := ctx.NewCiphertext(level)
-	mod.UniformPolyInto(kg.rng, ct.C0)
-	mod.UniformPolyInto(kg.rng, ct.C1)
+	for i := 0; i <= level; i++ {
+		ctx.Limb(i).UniformPolyInto(kg.rng, ct.C0[i])
+		ctx.Limb(i).UniformPolyInto(kg.rng, ct.C1[i])
+	}
 	ct.Scale = ctx.Params.Scale()
 	return ct
 }
@@ -40,8 +41,13 @@ func ciphertextsEqual(a, b *Ciphertext) bool {
 		return false
 	}
 	for i := range a.C0 {
-		if a.C0[i] != b.C0[i] || a.C1[i] != b.C1[i] {
+		if len(a.C0[i]) != len(b.C0[i]) || len(a.C1[i]) != len(b.C1[i]) {
 			return false
+		}
+		for j := range a.C0[i] {
+			if a.C0[i][j] != b.C0[i][j] || a.C1[i][j] != b.C1[i][j] {
+				return false
+			}
 		}
 	}
 	return true
@@ -121,9 +127,12 @@ func TestPlaintextWireRoundTrip(t *testing.T) {
 	ctx := wireTestContext(t)
 	kg := NewKeyGenerator(ctx, 17)
 	pt := &Plaintext{
-		Value: ctx.Mod(1).UniformPoly(kg.rng),
+		Value: ctx.Tower.NewPoly(2),
 		Scale: ctx.Params.Scale(),
 		Level: 1,
+	}
+	for i := range pt.Value {
+		ctx.Limb(i).UniformPolyInto(kg.rng, pt.Value[i])
 	}
 	got := new(Plaintext)
 	enc := pt.AppendBinary(nil)
@@ -135,8 +144,10 @@ func TestPlaintextWireRoundTrip(t *testing.T) {
 		t.Fatalf("header mismatch: n=%d level=%d scale=%v", n, got.Level, got.Scale)
 	}
 	for i := range pt.Value {
-		if got.Value[i] != pt.Value[i] {
-			t.Fatalf("coefficient %d differs", i)
+		for j := range pt.Value[i] {
+			if got.Value[i][j] != pt.Value[i][j] {
+				t.Fatalf("limb %d coefficient %d differs", i, j)
+			}
 		}
 	}
 }
@@ -156,7 +167,7 @@ func TestKeyWireRoundTrip(t *testing.T) {
 	for ell := range pk.P0 {
 		for i := range pk.P0[ell] {
 			if gotPK.P0[ell][i] != pk.P0[ell][i] || gotPK.P1[ell][i] != pk.P1[ell][i] {
-				t.Fatalf("public key level %d coefficient %d differs", ell, i)
+				t.Fatalf("public key limb %d coefficient %d differs", ell, i)
 			}
 		}
 	}
@@ -166,8 +177,8 @@ func TestKeyWireRoundTrip(t *testing.T) {
 	if n, err := gotRLK.DecodeFrom(encRLK); err != nil || n != len(encRLK) {
 		t.Fatalf("relin key decode: n=%d err=%v", n, err)
 	}
-	if gotRLK.LogBase != rlk.LogBase || len(gotRLK.Parts) != len(rlk.Parts) {
-		t.Fatalf("relin key shape: logBase=%d digits=%d", gotRLK.LogBase, len(gotRLK.Parts))
+	if len(gotRLK.Parts) != len(rlk.Parts) {
+		t.Fatalf("relin key shape: digits=%d, want %d", len(gotRLK.Parts), len(rlk.Parts))
 	}
 	for d := range rlk.Parts {
 		for j := 0; j < 2; j++ {
@@ -240,7 +251,7 @@ func TestWireDecodeMalformed(t *testing.T) {
 // bytes returns typed errors and never panics; (2) a ciphertext built from
 // the fuzz input encodes and decodes back bit-identically.
 func FuzzCiphertextRoundTrip(f *testing.F) {
-	ctx, err := NewContext(Params{LogN: 6, BaseBits: 25, ScaleBits: 16, Depth: 1, Sigma: 3.2, RelinLogBase: 8})
+	ctx, err := NewContext(Params{LogN: 6, BaseBits: 25, ScaleBits: 16, Depth: 1, Sigma: 3.2, SpecialBits: 26})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -257,14 +268,20 @@ func FuzzCiphertextRoundTrip(f *testing.F) {
 			}
 		}
 		// Constructive round trip: coefficients derived from the input.
-		src := &Ciphertext{C0: make(ring.Poly, 64), C1: make(ring.Poly, 64), Level: 1, Scale: 1 << 16}
-		for i := range src.C0 {
-			var v uint64
-			for j := 0; j < 8; j++ {
-				v = v<<8 | uint64(byteAt(data, 8*i+j))
+		src := &Ciphertext{
+			C0:    ring.RNSPoly{make(ring.Poly, 64), make(ring.Poly, 64)},
+			C1:    ring.RNSPoly{make(ring.Poly, 64), make(ring.Poly, 64)},
+			Level: 1, Scale: 1 << 16,
+		}
+		for l := range src.C0 {
+			for i := range src.C0[l] {
+				var v uint64
+				for j := 0; j < 8; j++ {
+					v = v<<8 | uint64(byteAt(data, 8*(64*l+i)+j))
+				}
+				src.C0[l][i] = v
+				src.C1[l][i] = v ^ 0x5555555555555555
 			}
-			src.C0[i] = v
-			src.C1[i] = v ^ 0x5555555555555555
 		}
 		enc := src.AppendBinary(nil)
 		got := new(Ciphertext)

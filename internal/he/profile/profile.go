@@ -9,19 +9,24 @@
 // fitted cost curves of Eqs. 29–31 are evaluated at) with a scaled-down
 // ckks.Params the repository can actually run (LogN 10–12 instead of
 // 15–17, preserving the relative ordering of security level and compute
-// cost). Contexts are built lazily and cached per profile — prime search
-// and NTT-table construction happen once per process, and every server,
-// client and worker pool over the same profile shares one immutable
-// context.
+// cost). Every profile carries an honest multi-limb residue tower — a
+// 60-bit base prime, four 50-bit rescaling primes and a 61-bit special
+// prime for hybrid key switching — so the λ choice actuates real RNS
+// chains, not single-modulus stand-ins. Contexts are built lazily and
+// cached per profile — prime search and NTT-table construction happen
+// once per process, and every server, client and worker pool over the
+// same profile shares one immutable context.
 //
 // Cost coefficients come in two flavors. ModeledCyclesPerBlock is an
-// a·N·log2(N) model of the dominant transciphering work (NTT-bound), with
-// the constant fitted to the repository's own evaluator; Calibrate
-// replaces it with a measured value by running the real
-// transcipher-and-infer operation on the profile's parameters. The
-// controller's per-route λ choice consumes CyclesPerBlock — measured when
-// calibrated, modeled otherwise — and experiments.ProfileMix verifies the
-// coefficients against live per-op latency.
+// a·L·N·log2(N) model of the dominant transciphering work (per-limb
+// NTT-bound, L the limb count), with the constant fitted to the
+// repository's own evaluator; Calibrate replaces it with a measured value
+// by running the real transcipher-and-infer operation on the profile's
+// parameters. The controller's per-route λ choice consumes CyclesPerBlock
+// — measured when calibrated, modeled otherwise — and
+// experiments.ProfileMix verifies the coefficients against live per-op
+// latency. Servers can opt into startup calibration with
+// edge.ServerConfig.CalibrateProfiles.
 package profile
 
 import (
@@ -36,9 +41,9 @@ import (
 )
 
 // Built-in profile IDs, ordered by ascending security level. IDDefault is
-// the profile every pre-profile peer is pinned to: its parameters are
-// exactly the edge runtime's historical fixed parameter set, so a gob
-// (v1/v2) client and a profile-aware server interoperate bit-for-bit.
+// the profile every peer that skips profile negotiation is pinned to;
+// both endpoints derive identical parameters from it, so key material and
+// ciphertexts line up without carrying parameters on the wire.
 const (
 	IDLambda32k  = "lambda-32k"
 	IDLambda64k  = "lambda-64k"
@@ -47,21 +52,28 @@ const (
 	IDDefault = IDLambda32k
 )
 
-// modeledCyclesPerNLogN is the fitted constant of the a·N·log2(N) per-block
-// cost model, in CPU cycles at the reference 3.3 GHz clock of the paper's
-// cost model. Fitted against this repository's transcipher-and-infer
-// operation (8 plaintext muls, one ciphertext mul-relin, one rescale) at
-// LogN 10–12; Calibrate supersedes it with a live measurement.
-const modeledCyclesPerNLogN = 1100.0
+// modeledCyclesPerLimbNLogN is the fitted constant a of the a·L·N·log2(N)
+// per-block cost model, in CPU cycles at the reference 3.3 GHz clock of
+// the paper's cost model. L = Depth+1 is the residue-tower limb count:
+// every hot operation (NTT, coefficient-wise product, rescale) applies
+// once per limb, so per-block cost is linear in the chain length at fixed
+// N. Fitted against this repository's transcipher-and-infer operation
+// (8 plaintext muls, one ciphertext mul-relin, one rescale) on the
+// depth-4 built-in chains at LogN 10–12; Calibrate supersedes it with a
+// live measurement.
+const modeledCyclesPerLimbNLogN = 910.0
 
 // RefHz is the reference server clock the cost coefficients are expressed
 // against (the paper's 3.3 GHz, matching costmodel and the edge server
 // default).
 const RefHz = 3.3e9
 
-// depth2 is the rescaling depth every built-in profile runs at: one level
-// for the transcipher's linear keystream layer, one for the quadratic.
-const depth2 = 2
+// chainDepth is the rescaling depth every built-in profile runs at. The
+// transcipher itself consumes two levels (linear + quadratic keystream
+// layers); the remaining levels are headroom for encrypted inference on
+// top of the transciphered block, giving every profile an honest
+// multi-limb residue tower (L = chainDepth+1 limbs).
+const chainDepth = 4
 
 // Profile binds one of the paper's λ security levels to a runnable CKKS
 // parameter set. Profiles are immutable after registration except for the
@@ -100,12 +112,13 @@ func (p *Profile) Context() (*ckks.Context, error) {
 	return p.ctx, p.ctxErr
 }
 
-// ModeledCyclesPerBlock returns the uncalibrated a·N·log2(N) cost model
+// ModeledCyclesPerBlock returns the uncalibrated a·L·N·log2(N) cost model
 // for one transcipher-and-infer block on this profile's parameters, in
-// cycles at RefHz.
+// cycles at RefHz, with L the profile's residue-tower limb count.
 func (p *Profile) ModeledCyclesPerBlock() float64 {
 	n := float64(p.Params.N())
-	return modeledCyclesPerNLogN * n * math.Log2(n)
+	l := float64(p.Params.Depth + 1)
+	return modeledCyclesPerLimbNLogN * l * n * math.Log2(n)
 }
 
 // CyclesPerBlock returns the per-block cost coefficient the control plane
@@ -233,6 +246,19 @@ func (r *Registry) ForLambda(lambda float64) *Profile {
 	return best
 }
 
+// logNFor maps a built-in profile ID to its scaled-down ring degree
+// (LogN 10–12 standing in for the paper's 15–17).
+func logNFor(id string) int {
+	switch id {
+	case IDLambda64k:
+		return 11
+	case IDLambda128k:
+		return 12
+	default:
+		return 10
+	}
+}
+
 var (
 	defaultOnce sync.Once
 	defaultReg  *Registry
@@ -240,29 +266,28 @@ var (
 
 // Default returns the process-wide built-in registry: the paper's three λ
 // levels scaled to runnable ring degrees, sharing one cached context per
-// profile across every caller. The default member (IDDefault) carries the
-// edge runtime's historical parameter set, keeping legacy peers
-// bit-compatible.
+// profile across every caller. The default member (IDDefault) is what
+// every peer that skips profile negotiation runs on.
 func Default() *Registry {
 	defaultOnce.Do(func() {
-		mk := func(id string, lambda float64, logN, baseBits, scaleBits int) *Profile {
-			// Depth 2 for transciphering (linear + quadratic keystream
-			// layers); every chain stays within the 61-bit modulus bound.
-			params, err := ckks.NewParams(logN, baseBits, scaleBits, depth2)
+		mk := func(id string, lambda float64) *Profile {
+			// Every profile runs a full-width residue tower: 60-bit base
+			// prime, four 50-bit scale primes (chainDepth rescales) and the
+			// 61-bit special prime for hybrid key switching. Only the ring
+			// degree varies with λ — the chain shape is what production
+			// RNS-CKKS parameter sets look like, and the wide scale keeps
+			// serving accuracy far beyond the inference tolerance at every
+			// degree.
+			params, err := ckks.NewParams(logNFor(id), 60, 50, chainDepth)
 			if err != nil {
 				panic("profile: invalid built-in params for " + id + ": " + err.Error())
 			}
 			return &Profile{ID: id, Lambda: lambda, Params: params}
 		}
 		reg, err := NewRegistry(IDDefault,
-			// The default keeps the pre-registry runtime's exact set so
-			// legacy peers stay bit-compatible; the larger degrees take a
-			// 20-bit scale (base shrunk to fit the chain) because CKKS
-			// noise grows with N and an 18-bit scale no longer clears the
-			// serving-accuracy bar at LogN ≥ 11.
-			mk(IDLambda32k, 32768, 10, 25, 18),
-			mk(IDLambda64k, 65536, 11, 21, 20),
-			mk(IDLambda128k, 131072, 12, 21, 20),
+			mk(IDLambda32k, 32768),
+			mk(IDLambda64k, 65536),
+			mk(IDLambda128k, 131072),
 		)
 		if err != nil {
 			panic("profile: built-in registry: " + err.Error())

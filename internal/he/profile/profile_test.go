@@ -22,12 +22,17 @@ func TestDefaultRegistryShape(t *testing.T) {
 	if reg.DefaultID() != profile.IDDefault {
 		t.Errorf("default = %q, want %q", reg.DefaultID(), profile.IDDefault)
 	}
-	// The default profile must carry the edge runtime's historical
-	// parameter set so legacy (gob, pre-profile) peers stay compatible.
+	// Every profile must carry an honest multi-limb chain (depth ≥ 4) so
+	// the control plane's λ choice actuates a real residue tower.
 	def := reg.Default()
-	if def.Params.LogN != 10 || def.Params.Depth != 2 {
-		t.Errorf("default params LogN=%d Depth=%d, want 10/2 (legacy-compatible)",
+	if def.Params.LogN != 10 || def.Params.Depth < 4 {
+		t.Errorf("default params LogN=%d Depth=%d, want 10/≥4",
 			def.Params.LogN, def.Params.Depth)
+	}
+	for _, p := range reg.Profiles() {
+		if p.Params.Depth < 4 {
+			t.Errorf("%s: depth %d, want ≥ 4", p.ID, p.Params.Depth)
+		}
 	}
 	// λ, MSL and cost coefficients are strictly increasing in the order.
 	profs := reg.Profiles()

@@ -1,0 +1,85 @@
+// Package ring implements negacyclic polynomial arithmetic in
+// R_q = Z_q[X]/(X^N + 1): single-modulus building blocks (division-free
+// Montgomery/Barrett reduction, the lazy negacyclic NTT, schoolbook
+// multiplication as the testing oracle, and the uniform/ternary/Gaussian
+// samplers CKKS needs) plus the residue-number-system tower that composes
+// them into a multi-prime modulus chain.
+//
+// # Residue-tower layout
+//
+// An RNSPoly is a [][]uint64: one limb per chain prime q_i, limb i holding
+// the polynomial's coefficients reduced mod q_i. The represented value is
+// the CRT combination of the limbs — Q = Πq_i can exceed 64 bits without
+// any coefficient ever leaving uint64. A Tower owns the per-prime NTT
+// contexts (Qi for the chain, P for the optional special prime hybrid key
+// switching uses) and the precomputed cross-limb constants of the exact
+// division steps.
+//
+// Limb ownership rules: limb i belongs to modulus Qi[i] and is only ever
+// touched with that modulus's methods; cross-limb data flow happens in
+// exactly three places — RescaleInto and ModDownInto (which read one
+// donor limb and fold its centered remainder into every other limb) and
+// CenteredFloat (which CRT-combines the first two limbs for decoding).
+// Because limbs are otherwise independent, per-limb work fans out through
+// the bounded Parallel pool (ForEachLimb); tasks must not share mutable
+// state across limbs.
+//
+// # Montgomery domain invariants
+//
+// Each limb is, independently, either in the coefficient domain or the NTT
+// domain, and either in plain or Montgomery form (·2⁶⁴ mod q). The
+// conventions the CKKS layer relies on:
+//
+//   - Key material is stored NTT + Montgomery, so a fused
+//     MulCoeffwiseMontgomery of a plain-NTT operand with a key limb yields
+//     a plain-NTT product with one MRed per coefficient.
+//   - MRed of two Montgomery-form operands stays in Montgomery form
+//     (used to square the secret for relinearization keys).
+//   - All limbs of one RNSPoly are kept in the same domain at all times;
+//     there is no per-limb domain tracking.
+//
+// # Rescale semantics
+//
+// RescaleInto implements the exact RNS rescale: dropping the last limb
+// q_ℓ computes (x − [x]_{q_ℓ})/q_ℓ on the remaining limbs, where [·] is
+// the centered remainder, i.e. round(x/q_ℓ) with only 64-bit residue
+// arithmetic (a Barrett reduction of the donor limb, a conditional
+// correction by q_ℓ mod q_i, and a Montgomery multiply by q_ℓ⁻¹ mod q_i
+// per coefficient). ModDownInto is the same operation with the special
+// prime P as donor, scaling hybrid key-switch accumulators from the
+// extended basis QP back to Q. Both are exact integer identities — the
+// property tests check them coefficient-for-coefficient against a big.Int
+// CRT reference.
+//
+// # Single-modulus substrate
+//
+// N must be a power of two and q ≡ 1 (mod 2N) so a primitive 2N-th root of
+// unity exists; FindNTTPrime/FindNTTPrimes/FindNTTPrimesDistinct search
+// for such primes. q < 2⁶² (enforced at construction) leaves the 4q < 2⁶⁴
+// headroom the lazy NTT needs.
+//
+// A Modulus precomputes three constant sets at construction:
+//
+//   - qInv = q⁻¹ mod 2⁶⁴ — Montgomery constant, used by MRed/MRedLazy for
+//     products where one operand is stored in Montgomery form (·2⁶⁴ mod q):
+//     the ψ/ψ⁻¹ twiddle tables, scalar multipliers, and CKKS key material.
+//   - brc = ⌊2¹²⁸/q⌋ — Barrett constant, used by BRed for plain-domain
+//     products (MulCoeffwise) and BRedAdd for single-word reductions.
+//   - Twiddle tables psiMont/psiInvMont in bit-reversed order and
+//     Montgomery form, plus N⁻¹ (and N⁻¹·ψ⁻¹ for the folded last INTT
+//     stage) in Montgomery form.
+//
+// Hot loops therefore never execute a hardware division; bits.Rem64 remains
+// only in the stateless helpers (MulMod, PowMod) used at construction time
+// and as the property-test oracle.
+//
+// # Zero-allocation conventions
+//
+// Methods suffixed Into write into caller-provided (or internally pooled)
+// buffers and perform no allocation in steady state: MulPolyInto draws its
+// single scratch buffer from a per-Modulus sync.Pool. NTT-domain fused ops
+// (MulCoeffwiseMontgomery, MulCoeffwiseMontgomeryThenAdd) let callers keep
+// ciphertext material in the transform domain across an operation chain and
+// reduce transform counts. The allocating variants (MulPoly, UniformPoly,
+// ...) remain as convenience wrappers.
+package ring

@@ -1,40 +1,3 @@
-// Package ring implements negacyclic polynomial arithmetic in
-// R_q = Z_q[X]/(X^N + 1) for a single NTT-friendly modulus q: division-free
-// modular helpers (Montgomery and Barrett reduction, see reduction.go), the
-// negacyclic number-theoretic transform with lazy reduction (see ntt.go),
-// schoolbook multiplication (the testing oracle), and the
-// uniform/ternary/Gaussian samplers CKKS needs.
-//
-// N must be a power of two and q ≡ 1 (mod 2N) so a primitive 2N-th root of
-// unity exists; FindNTTPrime searches for such primes. q < 2⁶² (enforced at
-// construction) leaves the 4q < 2⁶⁴ headroom the lazy NTT needs.
-//
-// # Reduction design
-//
-// A Modulus precomputes three constant sets at construction:
-//
-//   - qInv = q⁻¹ mod 2⁶⁴ — Montgomery constant, used by MRed/MRedLazy for
-//     products where one operand is stored in Montgomery form (·2⁶⁴ mod q):
-//     the ψ/ψ⁻¹ twiddle tables, scalar multipliers, and CKKS key material.
-//   - brc = ⌊2¹²⁸/q⌋ — Barrett constant, used by BRed for plain-domain
-//     products (MulCoeffwise) and BRedAdd for single-word reductions.
-//   - Twiddle tables psiMont/psiInvMont in bit-reversed order and
-//     Montgomery form, plus N⁻¹ (and N⁻¹·ψ⁻¹ for the folded last INTT
-//     stage) in Montgomery form.
-//
-// Hot loops therefore never execute a hardware division; bits.Rem64 remains
-// only in the stateless helpers (MulMod, PowMod) used at construction time
-// and as the property-test oracle.
-//
-// # Zero-allocation conventions
-//
-// Methods suffixed Into write into caller-provided (or internally pooled)
-// buffers and perform no allocation in steady state: MulPolyInto draws its
-// single scratch buffer from a per-Modulus sync.Pool. NTT-domain fused ops
-// (MulCoeffwiseMontgomery, MulCoeffwiseMontgomeryThenAdd) let callers keep
-// ciphertext material in the transform domain across an operation chain and
-// reduce transform counts. The allocating variants (MulPoly, UniformPoly,
-// ...) remain as convenience wrappers.
 package ring
 
 import (

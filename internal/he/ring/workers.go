@@ -1,17 +1,83 @@
 package ring
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // ParallelMinN is the ring degree at or above which fanning independent
 // transforms out across goroutines pays for the scheduling overhead.
 // Callers gate on it explicitly so small-ring paths stay allocation-free
-// (spawning goroutines heap-allocates the closures).
+// (submitting to the pool heap-allocates the closures).
 const ParallelMinN = 4096
 
-// Parallel runs the given independent tasks concurrently and waits for all
-// of them, executing the first on the calling goroutine. Tasks must not
-// share mutable state (in particular, no RNG use — keep sampling outside
-// parallel sections so results stay deterministic).
+// The package-level worker pool bounds fan-out concurrency: Parallel hands
+// tasks to a fixed set of workers over an unbuffered channel and runs
+// whatever no worker can take immediately inline on the caller's
+// goroutine. That makes nested Parallel calls (evaluator component fan-out
+// × per-limb fan-out) safe by construction — the total goroutine count is
+// pinned at the pool size no matter how deep the nesting, and a saturated
+// pool degrades to inline execution instead of spawning.
+//
+// parTasks is created once and never reassigned, so task submission is a
+// lock-free channel send; resizing swaps the generation stop channel,
+// which retires old workers once they finish their current task.
+var (
+	parTasks = make(chan func())
+
+	parMu   sync.Mutex
+	parStop chan struct{}
+	parSize int
+)
+
+func init() {
+	SetParallelism(runtime.GOMAXPROCS(0))
+}
+
+// SetParallelism resizes the worker pool to n (clamped to ≥ 1): n−1 pool
+// workers plus the submitting goroutine itself. n = 1 means every Parallel
+// call runs fully inline. Benchmarks sweep this together with GOMAXPROCS;
+// resizing is safe at any time but not meant for hot paths.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parMu.Lock()
+	defer parMu.Unlock()
+	if parStop != nil {
+		close(parStop)
+	}
+	parStop = make(chan struct{})
+	parSize = n
+	for i := 0; i < n-1; i++ {
+		go parWorker(parStop)
+	}
+}
+
+// Parallelism reports the current pool size (workers + caller).
+func Parallelism() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parSize
+}
+
+func parWorker(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case f := <-parTasks:
+			f()
+		}
+	}
+}
+
+// Parallel runs the given independent tasks on the bounded pool and waits
+// for all of them, executing the first on the calling goroutine. Tasks no
+// free worker can pick up immediately also run on the caller, so Parallel
+// never blocks waiting for capacity and nested calls cannot deadlock.
+// Tasks must not share mutable state (in particular, no RNG use — keep
+// sampling outside parallel sections so results stay deterministic).
 func Parallel(tasks ...func()) {
 	if len(tasks) == 0 {
 		return
@@ -21,12 +87,18 @@ func Parallel(tasks ...func()) {
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(len(tasks) - 1)
 	for _, task := range tasks[1:] {
-		go func(f func()) {
+		f := task
+		wg.Add(1)
+		wrapped := func() {
 			defer wg.Done()
 			f()
-		}(task)
+		}
+		select {
+		case parTasks <- wrapped:
+		default:
+			wrapped()
+		}
 	}
 	tasks[0]()
 	wg.Wait()

@@ -47,6 +47,11 @@ const (
 	// refuses. Distinct from CodeParamMismatch: the parameters may be
 	// perfectly valid, the policy just does not allow them here.
 	CodeProfileDenied
+	// CodeWireFormat rejects a peer that did not negotiate the current
+	// ciphertext wire format (the residue-tower limb layout) at the
+	// protocol handshake: decoding its payloads would misparse, so the
+	// mismatch is surfaced typed at Setup instead.
+	CodeWireFormat
 )
 
 // Sentinel errors, one per failure code. Server components return these
@@ -65,6 +70,7 @@ var (
 	ErrConnClosed       = errors.New("serve: connection closed")
 	ErrAdmissionDenied  = errors.New("serve: admission denied")
 	ErrProfileDenied    = errors.New("serve: security profile denied")
+	ErrWireFormat       = errors.New("serve: ciphertext wire format not negotiated")
 )
 
 var codeToErr = map[Code]error{
@@ -79,6 +85,7 @@ var codeToErr = map[Code]error{
 	CodeConnClosed:       ErrConnClosed,
 	CodeAdmissionDenied:  ErrAdmissionDenied,
 	CodeProfileDenied:    ErrProfileDenied,
+	CodeWireFormat:       ErrWireFormat,
 }
 
 // Err returns the sentinel error for the code, or nil for CodeOK.
@@ -134,6 +141,8 @@ func (c Code) String() string {
 		return "admission-denied"
 	case CodeProfileDenied:
 		return "profile-denied"
+	case CodeWireFormat:
+		return "wire-format"
 	}
 	return "unknown"
 }

@@ -354,8 +354,10 @@ func TestScratchReuseMatchesAllocating(t *testing.T) {
 			t.Fatalf("block %d: level/scale mismatch", block)
 		}
 		for i := range want.C0 {
-			if got.C0[i] != want.C0[i] || got.C1[i] != want.C1[i] {
-				t.Fatalf("block %d: ciphertext differs at coeff %d", block, i)
+			for j := range want.C0[i] {
+				if got.C0[i][j] != want.C0[i][j] || got.C1[i][j] != want.C1[i][j] {
+					t.Fatalf("block %d: ciphertext differs at limb %d coeff %d", block, i, j)
+				}
 			}
 		}
 		_ = enc
