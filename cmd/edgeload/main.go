@@ -15,13 +15,15 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
+	"net/http"
 	"os"
 	"runtime"
-	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,24 +31,26 @@ import (
 	"quhe/internal/control"
 	"quhe/internal/edge"
 	"quhe/internal/he/profile"
+	"quhe/internal/obs"
 	"quhe/internal/qkd"
 	"quhe/internal/qnet"
 	"quhe/internal/serve"
 )
 
 type config struct {
-	Addr       string        `json:"addr"`
-	Clients    int           `json:"clients"`
-	Rate       float64       `json:"rate_rps"`
-	Duration   time.Duration `json:"-"`
-	Slots      int           `json:"slots_per_block"`
-	Workers    int           `json:"workers"`
-	QueueDepth int           `json:"queue_depth"`
-	RekeyBytes int64         `json:"rekey_bytes"`
-	Proto      string        `json:"proto"`
-	Profile    string        `json:"profile"`
-	Control    bool          `json:"control"`
-	StockBytes int           `json:"stock_bytes"`
+	Addr        string        `json:"addr"`
+	Clients     int           `json:"clients"`
+	Rate        float64       `json:"rate_rps"`
+	Duration    time.Duration `json:"-"`
+	Slots       int           `json:"slots_per_block"`
+	Workers     int           `json:"workers"`
+	QueueDepth  int           `json:"queue_depth"`
+	RekeyBytes  int64         `json:"rekey_bytes"`
+	Proto       string        `json:"proto"`
+	Profile     string        `json:"profile"`
+	Control     bool          `json:"control"`
+	StockBytes  int           `json:"stock_bytes"`
+	MetricsAddr string        `json:"metrics_addr,omitempty"`
 }
 
 // planInfo echoes the controller's final plan in the JSON summary.
@@ -85,16 +89,19 @@ type summary struct {
 	P99Ms      float64          `json:"latency_ms_p99"`
 	MaxMs      float64          `json:"latency_ms_max"`
 	Histogram  []bucket         `json:"latency_histogram"`
+	// ServerMetrics is the final /metrics scrape of the in-process
+	// server's debug plane (non-histogram samples only), present when
+	// -metrics-addr was set.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
 }
 
 type recorder struct {
-	mu        sync.Mutex
-	latencies []float64 // milliseconds, served requests only
-	served    atomic.Int64
-	servedBy  []atomic.Int64 // per-client, for the per-profile rollup
-	shed      atomic.Int64
-	denied    atomic.Int64
-	errs      atomic.Int64
+	lat      obs.Histogram // client-observed latency, seconds
+	served   atomic.Int64
+	servedBy []atomic.Int64 // per-client, for the per-profile rollup
+	shed     atomic.Int64
+	denied   atomic.Int64
+	errs     atomic.Int64
 }
 
 func (r *recorder) record(ci int, lat time.Duration, err error) {
@@ -102,10 +109,7 @@ func (r *recorder) record(ci int, lat time.Duration, err error) {
 	case err == nil:
 		r.served.Add(1)
 		r.servedBy[ci].Add(1)
-		ms := float64(lat) / float64(time.Millisecond)
-		r.mu.Lock()
-		r.latencies = append(r.latencies, ms)
-		r.mu.Unlock()
+		r.lat.Observe(lat.Seconds())
 	case isOverloaded(err):
 		r.shed.Add(1)
 	case isDenied(err):
@@ -126,40 +130,57 @@ func isDenied(err error) bool {
 	return err != nil && serve.CodeOf(err) == serve.CodeAdmissionDenied
 }
 
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
-
-// histogram buckets latencies into powers of two of a millisecond.
-func histogram(latencies []float64) []bucket {
-	if len(latencies) == 0 {
-		return nil
-	}
+// histogram renders a latency snapshot (seconds) as the summary's
+// millisecond buckets: one entry per nonzero bucket at the shared obs
+// boundaries, counts per bucket (not cumulative). The overflow bucket,
+// should anything land there, is pinned to the observed max.
+func histogram(s obs.HistSnapshot) []bucket {
 	var out []bucket
-	le := 0.5
-	rest := int64(len(latencies))
-	for rest > 0 && len(out) < 24 {
-		var n int64
-		for _, l := range latencies {
-			if l <= le && (len(out) == 0 || l > out[len(out)-1].LeMs) {
-				n++
-			}
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
 		}
-		out = append(out, bucket{LeMs: le, Count: n})
-		rest -= n
-		le *= 2
+		le := obs.BucketUpper(i) * 1e3
+		if i == len(s.Counts)-1 {
+			le = s.Max * 1e3
+		}
+		out = append(out, bucket{LeMs: le, Count: c})
 	}
 	return out
+}
+
+// scrapeServerMetrics pulls the debug plane's /metrics page into flat
+// name{labels} → value samples, skipping comment and histogram-bucket
+// lines (bucket series would bloat the JSON without adding anything the
+// _sum/_count pairs don't already say).
+func scrapeServerMetrics(addr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %d", addr, resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "_bucket{") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
 }
 
 // starNetwork builds one QKD route per client — a star rooted at the key
@@ -231,6 +252,7 @@ func main() {
 	flag.StringVar(&cfg.Profile, "profile", "", "security profile for every client: a registry ID, \"mix\" (spread clients across the registry), or empty (server/plan steering)")
 	flag.BoolVar(&cfg.Control, "control", false, "attach the closed-loop control plane (in-process server only): online admission, U_msl-derived rekey budgets, QKD provisioning from the live allocation")
 	flag.IntVar(&cfg.StockBytes, "stock", 0, "finite per-client QKD key stock in bytes (0: replenish generously); with -control, exhaustion sheds typed admission denials")
+	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "bind the in-process server's debug plane (/metrics, /debug/pprof) on this address and fold a final scrape into the JSON summary")
 	jsonOut := flag.String("json", "-", "write the JSON summary to this file (\"-\": stdout, \"\": suppress)")
 	flag.Parse()
 
@@ -281,6 +303,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgeload: -control drives the in-process server only (drop -addr)")
 		os.Exit(2)
 	}
+	if cfg.MetricsAddr != "" && cfg.Addr != "" {
+		fmt.Fprintln(os.Stderr, "edgeload: -metrics-addr binds the in-process server's debug plane (drop -addr)")
+		os.Exit(2)
+	}
 
 	// QKD plane: one key centre feeds every client session (and, with
 	// -control, the controller's provisioning actuator). Pools are funded
@@ -302,11 +328,17 @@ func main() {
 	var srv *edge.Server
 	var ctl *control.Controller
 	if addr == "" {
+		// One registry carries both the server's and (with -control) the
+		// controller's series, so a single /metrics page shows the whole
+		// loop.
+		obsReg := obs.NewRegistry()
 		scfg := edge.ServerConfig{
 			Model:      edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
 			Workers:    cfg.Workers,
 			QueueDepth: cfg.QueueDepth,
 			RekeyBytes: cfg.RekeyBytes,
+			Obs:        obsReg,
+			DebugAddr:  cfg.MetricsAddr,
 		}
 		if cfg.Control {
 			network, err := starNetwork(cfg.Clients)
@@ -321,6 +353,7 @@ func main() {
 				RouteOf:        routeOf(cfg.Clients),
 				BaseRekeyBytes: cfg.RekeyBytes,
 				Interval:       250 * time.Millisecond,
+				Metrics:        obsReg,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "edgeload: control: %v\n", err)
@@ -438,10 +471,7 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rec.mu.Lock()
-	lat := append([]float64(nil), rec.latencies...)
-	rec.mu.Unlock()
-	sort.Float64s(lat)
+	lat := rec.lat.Snapshot()
 
 	var rekeys int64
 	if srv != nil {
@@ -471,13 +501,20 @@ func main() {
 		Errors:     rec.errs.Load(),
 		Rekeys:     rekeys,
 		Throughput: float64(rec.served.Load()) / elapsed.Seconds(),
-		P50Ms:      quantile(lat, 0.50),
-		P90Ms:      quantile(lat, 0.90),
-		P99Ms:      quantile(lat, 0.99),
+		P50Ms:      lat.Quantile(0.50) * 1e3,
+		P90Ms:      lat.Quantile(0.90) * 1e3,
+		P99Ms:      lat.Quantile(0.99) * 1e3,
 		Histogram:  histogram(lat),
 	}
-	if len(lat) > 0 {
-		sum.MaxMs = lat[len(lat)-1]
+	if lat.Count > 0 {
+		sum.MaxMs = lat.Max * 1e3
+	}
+	if srv != nil && srv.DebugAddr() != "" {
+		if m, err := scrapeServerMetrics(srv.DebugAddr()); err == nil {
+			sum.ServerMetrics = m
+		} else {
+			fmt.Fprintf(os.Stderr, "edgeload: metrics scrape: %v\n", err)
+		}
 	}
 	if ctl != nil {
 		p := ctl.Plan()

@@ -11,6 +11,7 @@ import (
 
 	"quhe/internal/costmodel"
 	"quhe/internal/he/profile"
+	"quhe/internal/obs"
 	"quhe/internal/optimize"
 	"quhe/internal/qkd"
 	"quhe/internal/qnet"
@@ -66,6 +67,10 @@ type Config struct {
 	PhiMin float64
 	// Interval is the replanning period of Start. Default 1s.
 	Interval time.Duration
+	// Metrics, when set, receives the control plane's instrumentation:
+	// replan durations and counts, plan-delta counters, and key-centre
+	// stock/flow series. Nil disables control-plane metrics.
+	Metrics *obs.Registry
 	// Logf sinks diagnostics; nil discards them.
 	Logf func(format string, args ...interface{})
 }
@@ -127,6 +132,7 @@ func (c Config) withDefaults() Config {
 type Controller struct {
 	cfg Config
 	tel *Telemetry
+	met *controlObs // nil when Config.Metrics is unset
 
 	plan   atomic.Pointer[Plan]
 	seq    atomic.Uint64
@@ -163,10 +169,88 @@ func New(cfg Config) (*Controller, error) {
 			len(cfg.SecurityWeights), cfg.Network.NumRoutes())
 	}
 	c := &Controller{cfg: cfg, tel: NewTelemetry(), stop: make(chan struct{})}
+	if cfg.Metrics != nil {
+		c.met = newControlObs(cfg.Metrics, cfg.KeyCenter)
+	}
 	if _, err := c.Replan(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// controlObs is the control plane's instrument set on the shared obs
+// registry: replan timing, plan-delta counters and key-centre series.
+type controlObs struct {
+	replanSeconds  *obs.Histogram
+	replans        *obs.Counter
+	lambdaShifts   *obs.Counter
+	capacityShifts *obs.Counter
+	budgetShifts   *obs.Counter
+	routeShifts    *obs.Counter
+}
+
+func newControlObs(reg *obs.Registry, kc *qkd.KeyCenter) *controlObs {
+	m := &controlObs{
+		replanSeconds:  reg.Histogram("quhe_control_replan_seconds", "control-loop replan duration"),
+		replans:        reg.Counter("quhe_control_replans_total", "completed replans"),
+		lambdaShifts:   reg.Counter("quhe_control_plan_changes_total", "plan deltas by changed field", "field", "lambda"),
+		capacityShifts: reg.Counter("quhe_control_plan_changes_total", "", "field", "admit_capacity"),
+		budgetShifts:   reg.Counter("quhe_control_plan_changes_total", "", "field", "rekey_budget"),
+		routeShifts:    reg.Counter("quhe_control_plan_changes_total", "", "field", "route_profile"),
+	}
+	if kc != nil {
+		reg.GaugeFunc("quhe_qkd_stock_bytes", "buffered key material across client pools", func() float64 {
+			var bytes int
+			for _, p := range kc.PoolStats() {
+				bytes += p.AvailableBytes
+			}
+			return float64(bytes)
+		})
+		reg.CounterFunc("quhe_qkd_deposits_total", "key-material deposits", func() float64 {
+			return float64(kc.Counters().Deposits)
+		})
+		reg.CounterFunc("quhe_qkd_deposited_bytes_total", "key bytes deposited", func() float64 {
+			return float64(kc.Counters().DepositedBytes)
+		})
+		reg.CounterFunc("quhe_qkd_withdrawals_total", "successful key withdrawals", func() float64 {
+			return float64(kc.Counters().Withdrawals)
+		})
+		reg.CounterFunc("quhe_qkd_withdrawn_bytes_total", "key bytes withdrawn", func() float64 {
+			return float64(kc.Counters().WithdrawnBytes)
+		})
+		reg.CounterFunc("quhe_qkd_failed_withdrawals_total", "withdrawals refused (unknown client or dry pool)", func() float64 {
+			return float64(kc.Counters().FailedWithdrawals)
+		})
+	}
+	return m
+}
+
+// observePlanDelta counts which plan fields moved between consecutive
+// replans — a flapping λ or admission capacity shows up as a rate here
+// long before it shows up as client-visible churn.
+func (m *controlObs) observePlanDelta(prev, next *Plan) {
+	if m == nil || prev == nil || next == nil {
+		return
+	}
+	if prev.Lambda != next.Lambda {
+		m.lambdaShifts.Inc()
+	}
+	if prev.AdmitCapacity != next.AdmitCapacity {
+		m.capacityShifts.Inc()
+	}
+	if prev.DefaultRekeyBudget != next.DefaultRekeyBudget {
+		m.budgetShifts.Inc()
+	}
+	if len(prev.RouteProfile) != len(next.RouteProfile) {
+		m.routeShifts.Inc()
+	} else {
+		for i := range next.RouteProfile {
+			if prev.RouteProfile[i] != next.RouteProfile[i] {
+				m.routeShifts.Inc()
+				break
+			}
+		}
+	}
 }
 
 // Telemetry returns the registry the serving plane publishes into.
@@ -174,6 +258,11 @@ func (c *Controller) Telemetry() *Telemetry { return c.tel }
 
 // Plan returns the current plan (never nil after New).
 func (c *Controller) Plan() *Plan { return c.plan.Load() }
+
+// PlanJSON returns the current plan as a JSON-marshalable value — the
+// hook the edge server's /debug/plan endpoint type-asserts for, kept off
+// the Controller interface so test fakes stay small.
+func (c *Controller) PlanJSON() any { return c.plan.Load() }
 
 // Start launches the periodic replanning loop. Idempotent.
 func (c *Controller) Start() {
@@ -212,6 +301,7 @@ func (c *Controller) Stop() {
 func (c *Controller) Replan() (*Plan, error) {
 	c.planMu.Lock()
 	defer c.planMu.Unlock()
+	replanStart := time.Now()
 
 	snap := c.tel.Snapshot()
 
@@ -276,7 +366,13 @@ func (c *Controller) Replan() (*Plan, error) {
 		}
 	}
 
+	prev := c.plan.Load()
 	c.plan.Store(plan)
+	if c.met != nil {
+		c.met.replans.Inc()
+		c.met.replanSeconds.Observe(time.Since(replanStart).Seconds())
+		c.met.observePlanDelta(prev, plan)
+	}
 	c.cfg.Logf("control: plan %d: λ=%g msl=%.1f lnU=%.3f budget=%d capacity=%d demand=%.0fB/s sessions=%d routes=%v",
 		plan.Seq, plan.Lambda, plan.MSL, plan.LogUtility, plan.DefaultRekeyBudget,
 		plan.AdmitCapacity, plan.DemandBytesPerSec, len(snap.Sessions), plan.RouteProfile)
@@ -377,13 +473,40 @@ func (c *Controller) chooseLambda(snap Snapshot) float64 {
 	best := c.cfg.LambdaSet[0]
 	bestScore := math.Inf(-1)
 	for _, lambda := range c.cfg.LambdaSet {
-		score := c.cfg.AlphaMSL*weight*costmodel.MinSecurityLevel(lambda) -
-			c.cfg.AlphaT*costmodel.ComputeDelay(lambda, demandTokens, c.cfg.TokensPerSample, c.cfg.ServerHz)
+		delay := costmodel.ComputeDelay(lambda, demandTokens, c.cfg.TokensPerSample, c.cfg.ServerHz)
+		// Hold the model against the measured tail: when the candidate λ
+		// resolves to a profile with served blocks, the delay term is at
+		// least the demand-rate-scaled p99 of those blocks, so a
+		// degraded server (contention, thermal, noisy neighbours) pulls λ
+		// down even where the cycle model says it should not.
+		if p, ok := c.cfg.Profiles.ByLambda(lambda); ok {
+			delay = maxDelay(delay, measuredDelaySec(snap.Profiles[p.ID], p, snap.DemandBytesPerSec))
+		}
+		score := c.cfg.AlphaMSL*weight*costmodel.MinSecurityLevel(lambda) - c.cfg.AlphaT*delay
 		if score > bestScore {
 			best, bestScore = lambda, score
 		}
 	}
 	return best
+}
+
+// measuredDelaySec converts a profile's measured p99 block latency into
+// the rate-scaled delay form ComputeDelaySec uses (blocks/s × seconds
+// per block), so the two are comparable term for term. Zero when the
+// profile has no served blocks yet — the model stands alone cold.
+func measuredDelaySec(ps ProfileSnapshot, p *profile.Profile, demandBytesPerSec float64) float64 {
+	if ps.Blocks <= 0 || ps.LatencyP99Ms <= 0 {
+		return 0
+	}
+	blocksPerSec := demandBytesPerSec / (8 * float64(p.Slots()))
+	return blocksPerSec * ps.LatencyP99Ms / 1e3
+}
+
+func maxDelay(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
 }
 
 // routeCandidates returns the profiles the per-route λ choice may
@@ -429,8 +552,10 @@ func (c *Controller) chooseRouteProfiles(snap Snapshot) (lambdas []float64, prof
 		best := cands[0]
 		bestScore := math.Inf(-1)
 		for _, p := range cands {
-			score := c.cfg.AlphaMSL*weight*p.MSL() -
-				c.cfg.AlphaT*p.ComputeDelaySec(demand[r], c.cfg.ServerHz)
+			delay := maxDelay(
+				p.ComputeDelaySec(demand[r], c.cfg.ServerHz),
+				measuredDelaySec(snap.Profiles[p.ID], p, demand[r]))
+			score := c.cfg.AlphaMSL*weight*p.MSL() - c.cfg.AlphaT*delay
 			if score > bestScore {
 				best, bestScore = p, score
 			}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"quhe/internal/obs"
 	"quhe/internal/serve"
 )
 
@@ -60,6 +61,11 @@ type SessionTelemetry struct {
 	lastSeen  atomic.Int64 // unix nanos
 	latMs     ewma         // per-block serving latency, milliseconds
 	blkBytes  ewma         // per-block masked payload bytes
+	// lat is the per-block latency histogram (seconds). Its snapshots
+	// merge across a profile's sessions into the tail-latency quantiles
+	// the replanner consumes — the EWMA sees the middle of the
+	// distribution, the histogram sees its tail.
+	lat obs.Histogram
 	// profile is the session's security profile (set once at
 	// registration; atomic.Value of string).
 	profile atomic.Value
@@ -87,6 +93,9 @@ type SessionSnapshot struct {
 	ShedBytes int64
 	// LatencyEWMAMs is the smoothed per-block serving latency.
 	LatencyEWMAMs float64
+	// LatencyP50Ms and LatencyP99Ms are exact-rank quantiles of the
+	// session's per-block latency histogram (0 before the first block).
+	LatencyP50Ms, LatencyP99Ms float64
 	// BlockBytesEWMA is the smoothed masked-payload size per block.
 	BlockBytesEWMA float64
 	// BytesPerSec is the session's demand rate: an EWMA of the per-window
@@ -106,8 +115,15 @@ type ProfileSnapshot struct {
 	BytesPerSec float64
 	// Blocks and Bytes total the served work.
 	Blocks, Bytes int64
-	// LatencyEWMAMs averages the member sessions' latency EWMAs.
+	// LatencyEWMAMs averages the member sessions' latency EWMAs, weighted
+	// by each session's served block count (a session serving a thousand
+	// blocks moves the profile's latency a thousand times as much as a
+	// one-block session).
 	LatencyEWMAMs float64
+	// LatencyP50Ms and LatencyP99Ms are quantiles of the merged per-block
+	// latency histograms of the profile's sessions — the measured tail
+	// the replanner holds against its modeled delay.
+	LatencyP50Ms, LatencyP99Ms float64
 	// PoolSize / PoolInUse mirror the profile's evaluator-pool gauges
 	// (zero when the pool was never built).
 	PoolSize, PoolInUse int
@@ -133,6 +149,9 @@ type Snapshot struct {
 	PoolSize   int
 	// Admitted / Denied count the admission controller's decisions.
 	Admitted, Denied int64
+	// LatencyP50Ms / LatencyP99Ms are quantiles of every session's merged
+	// latency histogram.
+	LatencyP50Ms, LatencyP99Ms float64
 }
 
 // sessionTTL prunes telemetry for sessions with no traffic (evicted or
@@ -201,6 +220,7 @@ func (t *Telemetry) ObserveCompute(sessionID string, bytes int64, latency time.D
 	st.blocks.Add(1)
 	st.bytes.Add(bytes)
 	st.latMs.Observe(float64(latency) / float64(time.Millisecond))
+	st.lat.Observe(latency.Seconds())
 	st.blkBytes.Observe(float64(bytes))
 }
 
@@ -267,12 +287,20 @@ func (t *Telemetry) Snapshot() Snapshot {
 	if sched != nil {
 		snap.QueueDepth, snap.QueueSheds = sched.QueueDepth(), sched.Sheds()
 	}
+	// Per-profile latency accumulators, finalized after the Range: the
+	// weighted-mean numerator/denominator (block counts as weights) and
+	// the merged latency histograms.
+	profLatSum := make(map[string]float64)
+	profLatW := make(map[string]float64)
+	profLat := make(map[string]obs.HistSnapshot)
+	var allLat obs.HistSnapshot
 	t.sessions.Range(func(k, v any) bool {
 		id, st := k.(string), v.(*SessionTelemetry)
 		if last := st.lastSeen.Load(); last != 0 && now.Sub(time.Unix(0, last)) > sessionTTL {
 			t.sessions.Delete(k)
 			return true
 		}
+		hs := st.lat.Snapshot()
 		s := SessionSnapshot{
 			ID:             id,
 			Bytes:          st.bytes.Load(),
@@ -280,6 +308,8 @@ func (t *Telemetry) Snapshot() Snapshot {
 			Failures:       st.failures.Load(),
 			ShedBytes:      st.shedBytes.Load(),
 			LatencyEWMAMs:  st.latMs.Load(),
+			LatencyP50Ms:   hs.Quantile(0.5) * 1e3,
+			LatencyP99Ms:   hs.Quantile(0.99) * 1e3,
 			BlockBytesEWMA: st.blkBytes.Load(),
 		}
 		if p, ok := st.profile.Load().(string); ok {
@@ -295,18 +325,35 @@ func (t *Telemetry) Snapshot() Snapshot {
 		st.prevDemand, st.prevAt = demand, now
 		snap.Sessions = append(snap.Sessions, s)
 		snap.DemandBytesPerSec += s.BytesPerSec
+		allLat = allLat.Merge(hs)
 		if s.Profile != "" {
 			ps := snap.Profiles[s.Profile]
 			ps.Sessions++
 			ps.BytesPerSec += s.BytesPerSec
 			ps.Blocks += s.Blocks
 			ps.Bytes += s.Bytes
-			// Incremental mean over the member sessions seen so far.
-			ps.LatencyEWMAMs += (s.LatencyEWMAMs - ps.LatencyEWMAMs) / float64(ps.Sessions)
 			snap.Profiles[s.Profile] = ps
+			// Mean weighted by served blocks: a session that served a
+			// thousand blocks carries a thousand times the weight of a
+			// one-block straggler, so the profile's latency tracks the
+			// traffic it actually served rather than the session roster.
+			profLatSum[s.Profile] += s.LatencyEWMAMs * float64(s.Blocks)
+			profLatW[s.Profile] += float64(s.Blocks)
+			profLat[s.Profile] = profLat[s.Profile].Merge(hs)
 		}
 		return true
 	})
+	for id, ps := range snap.Profiles {
+		if w := profLatW[id]; w > 0 {
+			ps.LatencyEWMAMs = profLatSum[id] / w
+		}
+		hs := profLat[id]
+		ps.LatencyP50Ms = hs.Quantile(0.5) * 1e3
+		ps.LatencyP99Ms = hs.Quantile(0.99) * 1e3
+		snap.Profiles[id] = ps
+	}
+	snap.LatencyP50Ms = allLat.Quantile(0.5) * 1e3
+	snap.LatencyP99Ms = allLat.Quantile(0.99) * 1e3
 	sortSessions(snap.Sessions)
 	return snap
 }

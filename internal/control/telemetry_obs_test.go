@@ -1,0 +1,97 @@
+package control_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"quhe/internal/control"
+	"quhe/internal/he/profile"
+	"quhe/internal/obs"
+	"quhe/internal/qnet"
+	"quhe/internal/serve"
+)
+
+// TestProfileLatencyWeightedByBlocks pins the aggregation fix: the
+// per-profile latency mean weights each session by its served block
+// count. A session serving 99 blocks at 10ms and a one-block straggler
+// at 1000ms must aggregate near 10ms·0.99 + 1000ms·0.01 ≈ 19.9ms, not
+// the unweighted (10+1000)/2 = 505ms the old running mean produced.
+func TestProfileLatencyWeightedByBlocks(t *testing.T) {
+	tel := control.NewTelemetry()
+	tel.ObserveSession("busy", profile.IDLambda32k)
+	tel.ObserveSession("straggler", profile.IDLambda32k)
+	for i := 0; i < 99; i++ {
+		tel.ObserveCompute("busy", 100, 10*time.Millisecond, serve.CodeOK)
+	}
+	tel.ObserveCompute("straggler", 100, time.Second, serve.CodeOK)
+	snap := tel.Snapshot()
+	ps := snap.Profiles[profile.IDLambda32k]
+	// Each session's EWMA converges to its constant latency; the
+	// blocks-weighted mean is then (99·10 + 1·1000)/100 = 19.9ms.
+	if ps.LatencyEWMAMs < 10 || ps.LatencyEWMAMs > 60 {
+		t.Fatalf("profile latency %gms: not blocks-weighted (want ≈19.9, unweighted bug gives ≈505)",
+			ps.LatencyEWMAMs)
+	}
+}
+
+// TestSnapshotLatencyQuantiles pins the histogram-quantile telemetry the
+// replanner consumes: p50/p99 at session, profile and global scope.
+func TestSnapshotLatencyQuantiles(t *testing.T) {
+	tel := control.NewTelemetry()
+	tel.ObserveSession("s", profile.IDLambda32k)
+	for i := 0; i < 90; i++ {
+		tel.ObserveCompute("s", 100, 10*time.Millisecond, serve.CodeOK)
+	}
+	for i := 0; i < 10; i++ {
+		tel.ObserveCompute("s", 100, time.Second, serve.CodeOK)
+	}
+	snap := tel.Snapshot()
+	if len(snap.Sessions) != 1 {
+		t.Fatalf("want 1 session, got %d", len(snap.Sessions))
+	}
+	s := snap.Sessions[0]
+	// p50 sits at the 10ms mode (bucket resolution ≤12.5% above); p99's
+	// rank 99 of 100 lands in the 1s tail the EWMA smooths away.
+	if s.LatencyP50Ms < 10 || s.LatencyP50Ms > 12 {
+		t.Errorf("session p50 = %gms, want ≈10", s.LatencyP50Ms)
+	}
+	if s.LatencyP99Ms < 900 {
+		t.Errorf("session p99 = %gms, must see the 1s tail", s.LatencyP99Ms)
+	}
+	ps := snap.Profiles[profile.IDLambda32k]
+	if ps.LatencyP99Ms < 900 {
+		t.Errorf("profile p99 = %gms, must see the 1s tail", ps.LatencyP99Ms)
+	}
+	if snap.LatencyP99Ms < 900 || snap.LatencyP50Ms > 12 {
+		t.Errorf("global p50/p99 = %g/%gms", snap.LatencyP50Ms, snap.LatencyP99Ms)
+	}
+}
+
+// TestControllerMetrics pins the control plane's instrumentation on the
+// shared registry: replan counters/durations and key-centre series show
+// up in the Prometheus exposition, and PlanJSON exposes the live plan.
+func TestControllerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctl, err := control.New(control.Config{Network: qnet.SURFnet(), Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "quhe_control_replans_total 2") {
+		t.Errorf("replan counter missing or wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "quhe_control_replan_seconds_count 2") {
+		t.Errorf("replan duration histogram missing:\n%s", text)
+	}
+	if ctl.PlanJSON() == nil {
+		t.Error("PlanJSON must expose the live plan")
+	}
+}

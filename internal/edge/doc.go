@@ -147,4 +147,29 @@
 // Transmission and computation delays are modeled (reported in replies
 // using the paper's cost formulas) rather than slept, so tests and
 // examples run fast.
+//
+// # Observability and the debug plane
+//
+// The server instruments its full serving path against internal/obs: a
+// lock-cheap metrics registry (wire frame/byte counters per direction,
+// per-stage latency histograms quhe_stage_seconds{stage=decode|
+// queue_wait|eval|encode|write}, per-profile eval latency and pool
+// gauges, compute outcomes by code, scheduler queue depth/sheds, session
+// and rekey counters, NTT inline-degradation and QKD flow counters via
+// the control plane) plus a per-block tracer on the v3 compute path —
+// every block's stage spans, ring-buffered per session, dumpable as
+// chrome://tracing JSON. Instrumentation is on by default and costs
+// under ~2% of the hot path (BenchmarkObsOverhead pins this in
+// BENCH_obs.json); ServerConfig.DisableObs turns the substrate off
+// entirely, and ServerConfig.Obs shares one registry between the server
+// and a control plane so a single scrape shows the whole loop.
+//
+// The metrics become reachable only when ServerConfig.DebugAddr binds
+// the HTTP debug plane (obs.ServeDebug): /metrics in the Prometheus
+// text format, /debug/pprof/*, /debug/trace, and /debug/plan rendering
+// the controller's live plan when the attached Controller implements
+// PlanJSON. Security posture: the plane is off unless configured, and it
+// serves operational internals — latency profiles, session counts, live
+// pprof — without authentication, so bind it to loopback (or a trusted
+// scrape network) and never to the serving address.
 package edge

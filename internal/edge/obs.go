@@ -1,0 +1,186 @@
+package edge
+
+import (
+	"sync"
+	"time"
+
+	"quhe/internal/he/ring"
+	"quhe/internal/obs"
+	"quhe/internal/serve"
+)
+
+// Serving-path stage names: the label domain of quhe_stage_seconds and
+// the span names of per-block traces. Fixed at build time per the obs
+// cardinality rules.
+const (
+	stageDecode    = "decode"
+	stageQueueWait = "queue_wait"
+	stageEval      = "eval"
+	stageEncode    = "encode"
+	stageWrite     = "write"
+)
+
+// serverObs is the edge server's instrument set: every counter, gauge
+// and histogram the serving path touches, resolved once at construction
+// so hot-path updates are pure atomics on held pointers. A nil
+// *serverObs (ServerConfig.DisableObs) turns every instrumentation site
+// into a nil-check and branch.
+type serverObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	framesIn, framesOut *obs.Counter
+	bytesIn, bytesOut   *obs.Counter
+	checksumFails       *obs.Counter
+	connsV3, connsGob   *obs.Gauge
+	rekeys              *obs.Counter
+	shedQueueFull       *obs.Counter
+
+	queueWait *obs.Histogram
+	stages    [5]*obs.Histogram // indexed by stage constants below
+
+	// codeCounters maps serve.Code → its prebuilt counter; evalHists maps
+	// profile ID → its latency histogram. Both domains are small and
+	// bounded (codes at build time, profiles by the registry), per the
+	// obs label-cardinality rules.
+	codeMu       sync.Mutex
+	codeCounters map[serve.Code]*obs.Counter
+	evalMu       sync.Mutex
+	evalHists    map[string]*obs.Histogram
+}
+
+const (
+	stageIdxDecode = iota
+	stageIdxQueueWait
+	stageIdxEval
+	stageIdxEncode
+	stageIdxWrite
+)
+
+func newServerObs(reg *obs.Registry, s *Server) *serverObs {
+	m := &serverObs{
+		reg:           reg,
+		tracer:        obs.NewTracer(0, 0),
+		framesIn:      reg.Counter("quhe_wire_frames_total", "v3 frames by direction", "dir", "in"),
+		framesOut:     reg.Counter("quhe_wire_frames_total", "", "dir", "out"),
+		bytesIn:       reg.Counter("quhe_wire_bytes_total", "v3 wire bytes by direction", "dir", "in"),
+		bytesOut:      reg.Counter("quhe_wire_bytes_total", "", "dir", "out"),
+		checksumFails: reg.Counter("quhe_wire_checksum_failures_total", "frames rejected by CRC32C trailer mismatch"),
+		connsV3:       reg.Gauge("quhe_edge_conns", "live connections by protocol generation", "proto", "v3"),
+		connsGob:      reg.Gauge("quhe_edge_conns", "", "proto", "gob"),
+		rekeys:        reg.Counter("quhe_edge_rekeys_total", "successful session rekeys"),
+		shedQueueFull: reg.Counter("quhe_serve_shed_total", "requests shed by reason", "reason", "queue_full"),
+		queueWait:     reg.Histogram("quhe_serve_queue_wait_seconds", "scheduler queue wait per job"),
+		codeCounters:  make(map[serve.Code]*obs.Counter),
+		evalHists:     make(map[string]*obs.Histogram),
+	}
+	for i, stage := range []string{stageDecode, stageQueueWait, stageEval, stageEncode, stageWrite} {
+		m.stages[i] = reg.Histogram("quhe_stage_seconds", "per-stage serving latency", "stage", stage)
+	}
+	reg.GaugeFunc("quhe_edge_sessions", "resident sessions", func() float64 {
+		return float64(s.store.Len())
+	})
+	reg.CounterFunc("quhe_edge_evictions_total", "sessions displaced by the session cap", func() float64 {
+		return float64(s.store.Evictions())
+	})
+	reg.GaugeFunc("quhe_serve_queue_depth", "jobs waiting in the scheduler queue", func() float64 {
+		return float64(s.sched.QueueDepth())
+	})
+	reg.GaugeFunc("quhe_serve_queue_capacity", "live scheduler depth bound", func() float64 {
+		return float64(s.sched.Capacity())
+	})
+	reg.CounterFunc("quhe_serve_scheduler_sheds_total", "submissions rejected by the scheduler", func() float64 {
+		return float64(s.sched.Sheds())
+	})
+	reg.CounterFunc("quhe_ring_inline_degradations_total", "NTT fan-out tasks run inline on a saturated worker pool", func() float64 {
+		return float64(ring.InlineDegradations())
+	})
+	reg.CounterFunc("quhe_trace_dropped_total", "block traces dropped by the tracer session cap", func() float64 {
+		return float64(m.tracer.Dropped())
+	})
+	s.sched.OnQueueWait(func(d time.Duration) { m.queueWait.Observe(d.Seconds()) })
+	return m
+}
+
+// registerPoolGauges publishes one profile pool's size/utilization the
+// moment the PoolSet factory builds it — profiles without traffic cost
+// no series, matching the lazy pool build.
+func (m *serverObs) registerPoolGauges(profileID string, p *serve.EvalPool) {
+	m.reg.GaugeFunc("quhe_eval_pool_size", "evaluator pool capacity per profile",
+		func() float64 { return float64(p.Size()) }, "profile", profileID)
+	m.reg.GaugeFunc("quhe_eval_pool_in_use", "evaluators checked out per profile",
+		func() float64 { return float64(p.InUse()) }, "profile", profileID)
+	m.reg.GaugeFunc("quhe_eval_pool_built", "evaluators materialized per profile",
+		func() float64 { return float64(p.Built()) }, "profile", profileID)
+}
+
+// codeCounter returns the prebuilt counter for a compute outcome code.
+func (m *serverObs) codeCounter(code serve.Code) *obs.Counter {
+	m.codeMu.Lock()
+	c := m.codeCounters[code]
+	if c == nil {
+		c = m.reg.Counter("quhe_serve_compute_total", "compute outcomes by code", "code", code.String())
+		m.codeCounters[code] = c
+	}
+	m.codeMu.Unlock()
+	return c
+}
+
+// evalHist returns the per-profile eval latency histogram.
+func (m *serverObs) evalHist(profileID string) *obs.Histogram {
+	m.evalMu.Lock()
+	h := m.evalHists[profileID]
+	if h == nil {
+		h = m.reg.Histogram("quhe_eval_seconds", "transcipher-and-infer latency per profile", "profile", profileID)
+		m.evalHists[profileID] = h
+	}
+	m.evalMu.Unlock()
+	return h
+}
+
+// observeSpan feeds one stage span into its latency histogram.
+func (m *serverObs) observeSpan(idx int, d time.Duration) {
+	m.stages[idx].Observe(d.Seconds())
+}
+
+// blockTrace is the in-flight trace of one v3 compute request, built
+// stage by stage across the decode loop, the eval worker and the frame
+// writer, then recorded once the reply frame reached the socket. Spans
+// also feed the quhe_stage_seconds histograms, so the aggregate and the
+// per-request views cannot drift apart.
+type blockTrace struct {
+	met *serverObs
+	bt  obs.BlockTrace
+}
+
+// newBlockTrace starts a trace at the decode timestamp (the earliest
+// point the server saw the request). Returns nil when tracing is off —
+// every method below is nil-safe.
+func (m *serverObs) newBlockTrace(session string, block uint32, reqID uint64, start time.Time) *blockTrace {
+	if m == nil {
+		return nil
+	}
+	return &blockTrace{met: m, bt: obs.BlockTrace{
+		Session: session, Block: block, ReqID: reqID, Start: start,
+		Spans: make([]obs.Span, 0, 5),
+	}}
+}
+
+// span appends one stage span and feeds the matching histogram.
+func (t *blockTrace) span(idx int, stage string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.bt.Spans = append(t.bt.Spans, obs.Span{Stage: stage, Start: start, Dur: d})
+	t.met.observeSpan(idx, d)
+}
+
+// finish stamps the end-to-end total and hands the trace to the tracer
+// (which takes ownership of the spans slice).
+func (t *blockTrace) finish() {
+	if t == nil {
+		return
+	}
+	t.bt.Total = time.Since(t.bt.Start)
+	t.met.tracer.Record(t.bt)
+}

@@ -15,6 +15,7 @@ import (
 	"quhe/internal/costmodel"
 	"quhe/internal/he/ckks"
 	"quhe/internal/he/profile"
+	"quhe/internal/obs"
 	"quhe/internal/serve"
 	"quhe/internal/transcipher"
 )
@@ -95,6 +96,22 @@ type ServerConfig struct {
 	// Clients that do not ask — including every pre-checksum client —
 	// are served without trailers, so enabling this is always safe.
 	FrameChecksums bool
+	// DebugAddr, when non-empty, binds the observability debug plane
+	// (obs.ServeDebug) on that address: /metrics in the Prometheus text
+	// format, /debug/pprof/*, /debug/plan (the controller's live plan)
+	// and /debug/trace (chrome://tracing span dump). Off by default; bind
+	// loopback ("127.0.0.1:0") unless the scrape network is trusted — the
+	// plane serves operational internals without authentication.
+	DebugAddr string
+	// Obs is the metrics registry the server publishes into. Nil creates
+	// a private registry; pass a shared one to combine server and
+	// control-plane series on a single /metrics page.
+	Obs *obs.Registry
+	// DisableObs turns the observability substrate off entirely — no
+	// registry, no tracer, no per-stage instrumentation. Exists so the
+	// overhead benchmark can compare the instrumented hot path against
+	// the bare one; leave false in production.
+	DisableObs bool
 }
 
 // profileRuntime is one security profile's serving substrate: the shared
@@ -127,6 +144,11 @@ type Server struct {
 	store *serve.Store
 	pools *serve.PoolSet
 	sched *serve.Scheduler
+
+	// met is the observability instrument set (nil when DisableObs);
+	// debug the opt-in HTTP debug plane (nil unless DebugAddr set).
+	met   *serverObs
+	debug *obs.DebugServer
 
 	mu     sync.Mutex
 	wg     sync.WaitGroup
@@ -188,13 +210,27 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		return serve.NewEvalPool(rt.ctx, cfg.Workers, 1, func(int) any { return rt.cipher.NewScratch() }), nil
+		p := serve.NewEvalPool(rt.ctx, cfg.Workers, 1, func(int) any { return rt.cipher.NewScratch() })
+		if s.met != nil {
+			s.met.registerPoolGauges(profileID, p)
+		}
+		return p, nil
 	})
 	defPool, err := s.pools.Get(s.reg.DefaultID())
 	if err != nil {
 		return nil, fmt.Errorf("edge: default pool: %w", err)
 	}
 	s.sched = serve.NewScheduler(defPool, cfg.QueueDepth)
+	if !cfg.DisableObs {
+		reg := cfg.Obs
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		s.met = newServerObs(reg, s)
+		// The default pool was built before met existed; backfill its
+		// gauges so the first /metrics scrape already shows it.
+		s.met.registerPoolGauges(s.reg.DefaultID(), defPool)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		s.sched.Close()
@@ -204,6 +240,21 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	s.conns = make(map[net.Conn]struct{})
 	if cfg.Control != nil {
 		cfg.Control.BindServe(s.pools, s.sched, s.store)
+	}
+	if cfg.DebugAddr != "" && s.met != nil {
+		dcfg := obs.DebugConfig{Registry: s.met.reg, Tracer: s.met.tracer}
+		// The Controller interface stays minimal; controllers that can
+		// render their plan opt into /debug/plan by implementing PlanJSON.
+		if pj, ok := cfg.Control.(interface{ PlanJSON() any }); ok {
+			dcfg.Plan = pj.PlanJSON
+		}
+		ds, err := obs.ServeDebug(cfg.DebugAddr, dcfg)
+		if err != nil {
+			ln.Close()
+			s.sched.Close()
+			return nil, fmt.Errorf("edge: debug plane: %w", err)
+		}
+		s.debug = ds
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -267,6 +318,32 @@ func (s *Server) sessionRuntime(sess *serve.Session) (*profileRuntime, *serve.Ev
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
+// ObsRegistry returns the server's metrics registry (the configured
+// shared one or the private default), nil when DisableObs.
+func (s *Server) ObsRegistry() *obs.Registry {
+	if s.met == nil {
+		return nil
+	}
+	return s.met.reg
+}
+
+// Tracer returns the server's block tracer, nil when DisableObs.
+func (s *Server) Tracer() *obs.Tracer {
+	if s.met == nil {
+		return nil
+	}
+	return s.met.tracer
+}
+
+// DebugAddr returns the debug plane's bound address, "" when the plane
+// was not configured.
+func (s *Server) DebugAddr() string {
+	if s.debug == nil {
+		return ""
+	}
+	return s.debug.Addr()
+}
+
 // Close stops accepting, tears down live connections (so a stalled peer
 // cannot pin shutdown), waits for in-flight handlers to finish and drains
 // the scheduler.
@@ -282,6 +359,9 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	if s.debug != nil {
+		s.debug.Close()
+	}
 	err := s.listener.Close()
 	for _, c := range conns {
 		c.Close()
@@ -373,22 +453,28 @@ func (s *Server) acceptLoop() {
 // with a connection error instead of hanging on replies that will never
 // arrive.
 type connWriter struct {
-	mu       sync.Mutex
-	enc      *gob.Encoder
-	failed   bool
+	mu  sync.Mutex
+	enc *gob.Encoder
+	// failed latches the first encode error. Atomic for the same reason
+	// as frameWriter.failed: mu is held across socket writes, so dead()
+	// must not take it.
+	failed   atomic.Bool
 	teardown func()
 	logf     func(string, ...interface{})
 }
 
+// dead reports whether the connection's write side has already failed.
+func (w *connWriter) dead() bool { return w.failed.Load() }
+
 func (w *connWriter) send(reply *replyEnvelope) {
 	w.mu.Lock()
-	if w.failed {
+	if w.failed.Load() {
 		w.mu.Unlock()
 		return
 	}
 	err := w.enc.Encode(reply)
 	if err != nil {
-		w.failed = true
+		w.failed.Store(true)
 	}
 	w.mu.Unlock()
 	if err != nil {
@@ -426,6 +512,10 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
+	if m := s.met; m != nil {
+		m.connsGob.Add(1)
+		defer m.connsGob.Add(-1)
+	}
 	dec := gob.NewDecoder(br)
 	cw := &connWriter{enc: gob.NewEncoder(conn), teardown: teardown, logf: s.cfg.Logf}
 	for {
@@ -457,6 +547,10 @@ func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
 // dispatching request frames. Replies go through one frameWriter per
 // connection; batch items stream back as soon as each worker finishes.
 func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
+	if m := s.met; m != nil {
+		m.connsV3.Add(1)
+		defer m.connsV3.Add(-1)
+	}
 	buf := getFrameBuf()
 	defer putFrameBuf(buf)
 	ftype, _, payload, err := readFrame(br, buf)
@@ -481,19 +575,36 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 		ack = func(b []byte) []byte { return append(b, flags) }
 	}
 	fw := newFrameWriter(conn, teardown, s.cfg.Logf)
+	if m := s.met; m != nil {
+		fw.countSend = func(n int) {
+			m.framesOut.Inc()
+			m.bytesOut.Add(int64(n))
+		}
+	}
 	if fw.sendFrame(frameHello, 0, ack) != nil {
 		return
 	}
 	fw.crc = crc
+	trailer := 0
+	if crc {
+		trailer = crcTrailerLen
+	}
 	for {
 		ftype, id, payload, err := readFrameCRC(br, buf, crc)
 		if err != nil {
+			if errors.Is(err, ErrFrameChecksum) && s.met != nil {
+				s.met.checksumFails.Inc()
+			}
 			// EOF is a normal goodbye; net.ErrClosed is our own Close
 			// tearing the connection down.
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.cfg.Logf("edge: v3 decode: %v", err)
 			}
 			return
+		}
+		if m := s.met; m != nil {
+			m.framesIn.Inc()
+			m.bytesIn.Add(int64(frameHeaderLen + len(payload) + trailer))
 		}
 		if err := s.dispatchV3(fw, ftype, id, payload, rnsWire); err != nil {
 			// A payload that fails to decode is a protocol violation, not
@@ -537,11 +648,17 @@ func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []by
 		rep := s.handleRekey(req)
 		fw.sendFrame(frameRekeyReply, id, func(b []byte) []byte { return appendRekeyReply(b, rep) })
 	case frameCompute:
+		// The decode timestamp anchors the block's trace: the earliest
+		// point the server saw this request's bytes as a compute.
+		var decodeStart time.Time
+		if s.met != nil {
+			decodeStart = time.Now()
+		}
 		req, err := decodeComputeRequest(payload)
 		if err != nil {
 			return err
 		}
-		s.handleComputeV3(fw, id, req)
+		s.handleComputeV3(fw, id, req, decodeStart)
 	case frameBatch:
 		req, err := decodeBatchRequest(payload)
 		if err != nil {
@@ -587,16 +704,44 @@ func (s *Server) sendComputeReplyV3(fw *frameWriter, id uint64, rep *ComputeRepl
 
 // handleComputeV3 mirrors handleCompute on the framed path: requests go
 // through the bounded scheduler — onto the session profile's evaluator
-// pool — and may be shed with CodeOverloaded.
-func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest) {
+// pool — and may be shed with CodeOverloaded. With observability on,
+// the block's life is traced stage by stage (decode → queue_wait → eval
+// → encode → write) and recorded once the reply frame reached the
+// socket; spans also feed the quhe_stage_seconds histograms.
+func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest, decodeStart time.Time) {
+	bt := s.met.newBlockTrace(req.SessionID, req.Block, id, decodeStart)
+	bt.span(stageIdxDecode, stageDecode, decodeStart, time.Since(decodeStart))
 	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
 	if code != serve.CodeOK {
 		s.sendComputeReplyV3(fw, id, &ComputeReply{Code: code, Err: detail})
 		return
 	}
+	var submitAt time.Time
+	if bt != nil {
+		submitAt = time.Now()
+	}
 	if err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
-		s.sendComputeReplyV3(fw, id, s.compute(rt, w, sess, req))
+		if bt == nil {
+			s.sendComputeReplyV3(fw, id, s.compute(rt, w, sess, req))
+			return
+		}
+		waitEnd := time.Now()
+		bt.span(stageIdxQueueWait, stageQueueWait, submitAt, waitEnd.Sub(submitAt))
+		rep := s.compute(rt, w, sess, req)
+		bt.span(stageIdxEval, stageEval, waitEnd, time.Since(waitEnd))
+		encStart := time.Now()
+		enc, wr, err := fw.sendFrameTimed(frameComputeReply, id, func(b []byte) []byte {
+			return appendComputeReply(b, rep)
+		})
+		if err == nil {
+			bt.span(stageIdxEncode, stageEncode, encStart, enc)
+			bt.span(stageIdxWrite, stageWrite, encStart.Add(enc), wr)
+		}
+		bt.finish()
 	}); err != nil {
+		if m := s.met; m != nil {
+			m.shedQueueFull.Inc()
+		}
 		s.sendComputeReplyV3(fw, id, &ComputeReply{
 			Code: serve.CodeOf(err),
 			Err:  fmt.Sprintf("queue full (depth %d)", s.sched.Capacity()),
@@ -699,6 +844,9 @@ func (s *Server) handleRekey(req *RekeyRequest) *RekeyReply {
 		return &RekeyReply{Code: serve.CodeBadRequest, Err: "incomplete rekey"}
 	}
 	epoch := sess.Rekey(req.EncKey, req.Nonce)
+	if m := s.met; m != nil {
+		m.rekeys.Inc()
+	}
 	s.cfg.Logf("edge: session %q rekeyed to epoch %d", req.SessionID, epoch)
 	return &RekeyReply{OK: true, Epoch: epoch}
 }
@@ -767,8 +915,13 @@ func (s *Server) rekeyBudget(sess *serve.Session) int64 {
 
 // computeBlock transciphers one block on an exclusively held worker of
 // the session profile's pool, enforcing slot bounds, the key epoch,
-// control-plane admission and the rekey byte budget.
-func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (*ckks.Ciphertext, serve.Code, string) {
+// control-plane admission and the rekey byte budget. Every outcome —
+// success or typed failure — lands in the per-code counter; eval
+// latency lands in the session profile's histogram.
+func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (result *ckks.Ciphertext, code serve.Code, detail string) {
+	if m := s.met; m != nil {
+		defer func() { m.codeCounter(code).Inc() }()
+	}
 	if len(masked) > rt.cipher.Slots() {
 		return nil, serve.CodeOversized,
 			fmt.Sprintf("block of %d slots exceeds %d", len(masked), rt.cipher.Slots())
@@ -794,7 +947,7 @@ func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.S
 			fmt.Sprintf("key byte budget exhausted (%d of %d)", used, budget)
 	}
 	var start time.Time
-	if ctl != nil {
+	if ctl != nil || s.met != nil {
 		start = time.Now()
 	}
 	scratch, _ := w.Scratch.(*transcipher.Scratch)
@@ -802,14 +955,26 @@ func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.S
 		scratch, w.Ev, sess.RLK, encKey, nonce, block, masked,
 		s.cfg.Model.Weights, s.cfg.Model.Bias)
 	if err != nil {
-		if ctl != nil {
-			ctl.ObserveCompute(sess.ID, pending, time.Since(start), serve.CodeInternal)
+		if ctl != nil || s.met != nil {
+			d := time.Since(start)
+			if ctl != nil {
+				ctl.ObserveCompute(sess.ID, pending, d, serve.CodeInternal)
+			}
+			if m := s.met; m != nil {
+				m.evalHist(rt.prof.ID).Observe(d.Seconds())
+			}
 		}
 		return nil, serve.CodeInternal, "transcipher: " + err.Error()
 	}
 	sess.RecordBlock(pending)
-	if ctl != nil {
-		ctl.ObserveCompute(sess.ID, pending, time.Since(start), serve.CodeOK)
+	if ctl != nil || s.met != nil {
+		d := time.Since(start)
+		if ctl != nil {
+			ctl.ObserveCompute(sess.ID, pending, d, serve.CodeOK)
+		}
+		if m := s.met; m != nil {
+			m.evalHist(rt.prof.ID).Observe(d.Seconds())
+		}
 	}
 	return result, serve.CodeOK, ""
 }
@@ -866,6 +1031,12 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 			wg.Add(1)
 			err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
 				defer func() { <-window; wg.Done() }()
+				if cw.dead() {
+					// The connection is gone: the reply can never be
+					// delivered, so don't spend the worker computing it.
+					items[i] = BatchItem{Code: serve.CodeConnClosed, Err: "connection closed"}
+					return
+				}
 				result, code, detail := s.computeBlock(rt, w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
 				items[i] = BatchItem{Result: result, Code: code, Err: detail}
 			})
@@ -970,6 +1141,16 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 			wg.Add(1)
 			err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
 				defer wg.Done()
+				if fw.dead() {
+					// The connection is gone (peer hung up, or the server
+					// is tearing it down at Close): every remaining item
+					// frame will fail, so skip the compute instead of
+					// burning eval workers — and pinning shutdown — on
+					// results nobody can receive. The emit/token plumbing
+					// still runs so the batch drains normally.
+					emit <- emitItem{idx: i, item: BatchItem{Code: serve.CodeConnClosed, Err: "connection closed"}}
+					return
+				}
 				result, code, detail := s.computeBlock(rt, w, sess, req.Epoch, req.Blocks[i], req.Masked[i])
 				if code == serve.CodeOK {
 					served.Add(1)

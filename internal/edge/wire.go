@@ -28,6 +28,8 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"quhe/internal/he/ckks"
 	"quhe/internal/serve"
@@ -224,15 +226,24 @@ func readFrameCRC(br *bufio.Reader, buf *[]byte, withCRC bool) (ftype byte, id u
 // and drops every later frame — the peer's pending requests then fail
 // with a typed connection error instead of hanging.
 type frameWriter struct {
-	mu       sync.Mutex
-	bw       *bufio.Writer
-	failed   bool
+	mu sync.Mutex
+	bw *bufio.Writer
+	// failed latches the first write error. Atomic rather than guarded
+	// by mu so dead() stays non-blocking: mu is held across a socket
+	// flush, which on a stalled peer blocks until teardown — exactly the
+	// state dead() exists to observe.
+	failed   atomic.Bool
 	teardown func()
 	logf     func(string, ...interface{})
 	// crc appends a CRC32C trailer to every frame. It is flipped at most
 	// once, during the hello handshake, strictly before any concurrent
 	// senders exist on the connection.
 	crc bool
+	// countSend, when non-nil, observes every frame that reached the
+	// socket with its full wire size (header + payload + any trailer).
+	// Set once right after construction, before concurrent senders exist;
+	// must be safe for concurrent calls (the server feeds atomics).
+	countSend func(wireBytes int)
 }
 
 func newFrameWriter(conn net.Conn, teardown func(), logf func(string, ...interface{})) *frameWriter {
@@ -245,7 +256,7 @@ func newFrameWriter(conn net.Conn, teardown func(), logf func(string, ...interfa
 // send writes one complete frame (header already finished) and flushes.
 func (w *frameWriter) send(frame []byte) error {
 	w.mu.Lock()
-	if w.failed {
+	if w.failed.Load() {
 		w.mu.Unlock()
 		return serve.ErrConnClosed
 	}
@@ -254,7 +265,7 @@ func (w *frameWriter) send(frame []byte) error {
 		err = w.bw.Flush()
 	}
 	if err != nil {
-		w.failed = true
+		w.failed.Store(true)
 	}
 	w.mu.Unlock()
 	if err != nil {
@@ -262,8 +273,16 @@ func (w *frameWriter) send(frame []byte) error {
 		w.teardown()
 		return fmt.Errorf("%w: %v", serve.ErrConnClosed, err)
 	}
+	if w.countSend != nil {
+		w.countSend(len(frame))
+	}
 	return nil
 }
+
+// dead reports whether the connection's write side has already failed.
+// Non-blocking by construction (see the failed field): safe to poll from
+// eval workers deciding whether a result is still worth computing.
+func (w *frameWriter) dead() bool { return w.failed.Load() }
 
 // sendFrame builds a frame from a payload-appending closure in a pooled
 // buffer and sends it. build may be nil for empty payloads.
@@ -285,6 +304,35 @@ func (w *frameWriter) sendFrame(ftype byte, id uint64, build func(b []byte) []by
 	}
 	putFrameBuf(pb)
 	return err
+}
+
+// sendFrameTimed is sendFrame split into its two stages for the tracing
+// path: encode covers the payload build (plus any CRC trailer), write
+// covers the socket write under the frameWriter mutex — so a trace can
+// tell serialization cost from a slow or contended connection. Kept
+// separate from sendFrame so untraced frames pay no clock reads.
+func (w *frameWriter) sendFrameTimed(ftype byte, id uint64, build func(b []byte) []byte) (encode, write time.Duration, err error) {
+	pb := getFrameBuf()
+	t0 := time.Now()
+	b := beginFrame((*pb)[:0], ftype, id)
+	if build != nil {
+		b = build(b)
+	}
+	b, err = finishFrame(b, 0)
+	if err == nil {
+		if w.crc {
+			b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+		}
+		*pb = b
+		t1 := time.Now()
+		encode = t1.Sub(t0)
+		err = w.send(b)
+		write = time.Since(t1)
+	} else {
+		w.logf("edge: v3 frame build: %v", err)
+	}
+	putFrameBuf(pb)
+	return encode, write, err
 }
 
 // --- payload primitives -----------------------------------------------------

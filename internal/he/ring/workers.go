@@ -3,6 +3,7 @@ package ring
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ParallelMinN is the ring degree at or above which fanning independent
@@ -28,7 +29,17 @@ var (
 	parMu   sync.Mutex
 	parStop chan struct{}
 	parSize int
+
+	// parInline counts tasks that degraded to inline execution because no
+	// pool worker could take them immediately — the saturation signal the
+	// observability layer surfaces as quhe_ring_inline_degradations_total.
+	parInline atomic.Int64
 )
+
+// InlineDegradations reports how many Parallel tasks ran inline on the
+// caller because the worker pool was saturated. Monotonic; a rising rate
+// means fan-out is losing parallelism to pool contention.
+func InlineDegradations() int64 { return parInline.Load() }
 
 func init() {
 	SetParallelism(runtime.GOMAXPROCS(0))
@@ -97,6 +108,7 @@ func Parallel(tasks ...func()) {
 		select {
 		case parTasks <- wrapped:
 		default:
+			parInline.Add(1)
 			wrapped()
 		}
 	}

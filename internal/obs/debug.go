@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugConfig wires the debug plane's handlers. Every field is optional:
+// a nil Registry serves an empty /metrics, a nil Tracer 404s
+// /debug/trace, a nil Plan 404s /debug/plan.
+type DebugConfig struct {
+	// Registry backs /metrics (Prometheus text exposition format).
+	Registry *Registry
+	// Tracer backs /debug/trace (chrome://tracing JSON).
+	Tracer *Tracer
+	// Plan, when set, is marshaled to JSON at /debug/plan — the hook the
+	// edge server points at its controller's current Plan.
+	Plan func() any
+}
+
+// DebugServer is the opt-in HTTP debug plane: /metrics, /debug/pprof/*,
+// /debug/plan and /debug/trace on one listener. It exists only when
+// explicitly configured (edge.ServerConfig.DebugAddr); bind it to
+// loopback unless the scrape network is trusted — it serves operational
+// internals (latency profiles, session counts, pprof) with no
+// authentication.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr and serves the debug plane until Close.
+func ServeDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if cfg.Registry != nil {
+			_ = cfg.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/plan", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Plan == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Plan())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Tracer == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Tracer.WriteChrome(w)
+	})
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the debug plane.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,76 @@
+// Package obs is the stdlib-only observability substrate of the QuHE
+// serving stack: a lock-cheap metrics registry (atomic counters, gauges
+// and log-linear histograms with mergeable snapshots and exact-rank
+// quantiles), per-request span tracing with chrome://tracing export, and
+// the opt-in HTTP debug plane serving /metrics, /debug/pprof/* and
+// /debug/plan. Every layer publishes into it — the serve scheduler,
+// per-profile evaluator pools, the edge wire path, the QKD key centre,
+// the ring worker pool and the control plane's replanner — and the
+// control loop reads its histogram quantiles back as planning inputs, so
+// the paper's utility-cost optimization runs on measured tail latency
+// rather than modeled means alone.
+//
+// # Metric naming conventions
+//
+// Every metric is prefixed `quhe_` and named `quhe_<subsystem>_<what>`
+// with base units in the name: `_seconds` for durations, `_bytes` for
+// sizes, `_total` for counters. Gauges carry no suffix. Subsystems in
+// use: `serve` (scheduler/store), `eval` (per-profile evaluation),
+// `stage` (per-stage serving latency), `wire` (frames and bytes on the
+// socket), `qkd` (key-centre stock and flow), `control` (replanning),
+// `ring` (NTT worker pool). Examples:
+//
+//	quhe_serve_queue_depth                 gauge
+//	quhe_serve_queue_wait_seconds          histogram
+//	quhe_serve_shed_total{reason="..."}    counter
+//	quhe_eval_seconds{profile="..."}       histogram
+//	quhe_stage_seconds{stage="eval"}       histogram
+//	quhe_wire_bytes_total{dir="in"}        counter
+//	quhe_qkd_stock_bytes                   gauge
+//	quhe_control_replan_seconds            histogram
+//
+// # Label cardinality rules
+//
+// Labels multiply series; every label value set must be small and
+// bounded at build time. Allowed label domains: security profile IDs
+// (the registry's fixed set), pipeline stage names, wire direction
+// (in/out), protocol generation (v3/gob), shed reason, and serve.Code
+// strings. Session IDs, request IDs, block numbers and anything else
+// client-controlled are forbidden as label values — per-session data
+// belongs in the control plane's telemetry registry or in traces, not in
+// metric labels. The registry keeps series forever (Prometheus semantics:
+// a counter that disappears looks like a reset), which is only sound
+// under this rule.
+//
+// # Histograms
+//
+// All histograms share one fixed log-linear bucket layout (8 linear
+// sub-buckets per power-of-two octave, see NumBuckets), which makes
+// snapshots mergeable by bucket-wise addition — per-session histograms
+// roll up into per-profile and global views, and merging is associative
+// and commutative (property-tested). Quantiles are exact-rank: the rank
+// ceil(q·n) is exact and the returned value is the containing bucket's
+// upper bound (capped at the observed max), at most 12.5% above the true
+// order statistic. Observe is wait-free: one atomic increment and two
+// CAS adds, no locks, no allocation.
+//
+// # Span lifecycle and buffer ownership
+//
+// A BlockTrace is built by the serving path while the block is in
+// flight (stage timestamps stamped inline), then handed to
+// Tracer.Record exactly once, after the reply frame reached the socket.
+// Record takes ownership of the Spans slice: the caller must not reuse
+// or mutate it afterwards. Traces land in fixed-capacity per-session
+// ring buffers (newest wins); Dump and WriteChrome copy the ring
+// contents out but share the recorded Spans slices, so dumped traces
+// are read-only. The session ring count is capped; traces beyond the
+// cap are dropped and counted, never buffered unboundedly.
+//
+// # Debug plane security posture
+//
+// The debug plane is off unless explicitly configured
+// (edge.ServerConfig.DebugAddr) and should bind loopback
+// ("127.0.0.1:...") unless the scrape network is trusted: it exposes
+// operational internals — latency distributions, session counts, the
+// controller's live plan, pprof profiling — without authentication.
+package obs

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named stage of a block's serving path with its start time
+// and duration.
+type Span struct {
+	Stage string
+	Start time.Time
+	Dur   time.Duration
+}
+
+// BlockTrace is the full per-request trace of one served block: the
+// per-stage spans plus the measured end-to-end total, so the spans'
+// coverage of the real latency is checkable (the acceptance bar: span
+// sum within 10% of Total).
+type BlockTrace struct {
+	Session string
+	Block   uint32
+	ReqID   uint64
+	Start   time.Time
+	Total   time.Duration
+	Spans   []Span
+}
+
+// SpanSum returns the summed duration of the trace's spans.
+func (bt *BlockTrace) SpanSum() time.Duration {
+	var sum time.Duration
+	for _, sp := range bt.Spans {
+		sum += sp.Dur
+	}
+	return sum
+}
+
+// spanRing is one session's fixed-capacity trace buffer: the newest
+// perSession traces survive, older ones are overwritten in place.
+type spanRing struct {
+	mu   sync.Mutex
+	buf  []BlockTrace
+	next int
+	full bool
+}
+
+func (rg *spanRing) record(bt BlockTrace) {
+	rg.mu.Lock()
+	if rg.next == len(rg.buf) {
+		rg.next, rg.full = 0, true
+	}
+	rg.buf[rg.next] = bt
+	rg.next++
+	rg.mu.Unlock()
+}
+
+func (rg *spanRing) snapshot() []BlockTrace {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	n := rg.next
+	if rg.full {
+		n = len(rg.buf)
+	}
+	out := make([]BlockTrace, n)
+	if rg.full {
+		copy(out, rg.buf[rg.next:])
+		copy(out[len(rg.buf)-rg.next:], rg.buf[:rg.next])
+	} else {
+		copy(out, rg.buf[:n])
+	}
+	return out
+}
+
+// Tracer collects BlockTraces into per-session ring buffers. Recording
+// takes one short per-session mutex (never shared across sessions on the
+// hot path) and no allocation beyond the caller-built trace; dumps copy
+// everything out, so a dump never blocks recording for long. The session
+// ring count is capped: traces for sessions beyond the cap are counted
+// as dropped rather than growing the tracer without bound.
+//
+// Buffer ownership: Record takes ownership of the trace's Spans slice —
+// the caller must not reuse or mutate it afterwards (build a fresh slice
+// per block; they are small). Dump and WriteChrome return copies that
+// share those Spans; treat dumped traces as read-only.
+type Tracer struct {
+	perSession  int
+	maxSessions int
+
+	mu    sync.Mutex
+	rings map[string]*spanRing
+
+	dropped atomic.Int64
+}
+
+// NewTracer builds a tracer keeping the last perSession traces (≤ 0:
+// 256) for up to maxSessions sessions (≤ 0: 1024).
+func NewTracer(perSession, maxSessions int) *Tracer {
+	if perSession <= 0 {
+		perSession = 256
+	}
+	if maxSessions <= 0 {
+		maxSessions = 1024
+	}
+	return &Tracer{
+		perSession:  perSession,
+		maxSessions: maxSessions,
+		rings:       make(map[string]*spanRing),
+	}
+}
+
+// Record stores one block trace, taking ownership of bt.Spans. Traces
+// for new sessions past the session cap are dropped (and counted).
+func (t *Tracer) Record(bt BlockTrace) {
+	t.mu.Lock()
+	rg := t.rings[bt.Session]
+	if rg == nil {
+		if len(t.rings) >= t.maxSessions {
+			t.mu.Unlock()
+			t.dropped.Add(1)
+			return
+		}
+		rg = &spanRing{buf: make([]BlockTrace, t.perSession)}
+		t.rings[bt.Session] = rg
+	}
+	t.mu.Unlock()
+	rg.record(bt)
+}
+
+// Dropped counts traces discarded by the session cap.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// Dump returns every buffered trace, ordered by start time.
+func (t *Tracer) Dump() []BlockTrace {
+	t.mu.Lock()
+	rings := make([]*spanRing, 0, len(t.rings))
+	for _, rg := range t.rings {
+		rings = append(rings, rg)
+	}
+	t.mu.Unlock()
+	var out []BlockTrace
+	for _, rg := range rings {
+		out = append(out, rg.snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// chromeEvent is one entry of the chrome://tracing "trace event" JSON
+// format (the JSON-array flavor wrapped in {"traceEvents": [...]}).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the buffered traces as chrome://tracing-compatible
+// JSON: one complete ("X") event per span, one per-block envelope event,
+// and metadata events naming each session's thread lane. Timestamps are
+// microseconds relative to the earliest buffered trace, so the viewer
+// opens at t=0.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	traces := t.Dump()
+	var events []chromeEvent
+	tids := make(map[string]int)
+	var epoch time.Time
+	if len(traces) > 0 {
+		epoch = traces[0].Start
+	}
+	us := func(at time.Time) float64 { return float64(at.Sub(epoch)) / float64(time.Microsecond) }
+	for _, bt := range traces {
+		tid, ok := tids[bt.Session]
+		if !ok {
+			tid = len(tids) + 1
+			tids[bt.Session] = tid
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": "session " + bt.Session},
+			})
+		}
+		events = append(events, chromeEvent{
+			Name: "block", Ph: "X", Ts: us(bt.Start),
+			Dur: float64(bt.Total) / float64(time.Microsecond),
+			Pid: 1, Tid: tid,
+			Args: map[string]any{"session": bt.Session, "block": bt.Block, "req_id": bt.ReqID},
+		})
+		for _, sp := range bt.Spans {
+			events = append(events, chromeEvent{
+				Name: sp.Stage, Ph: "X", Ts: us(sp.Start),
+				Dur: float64(sp.Dur) / float64(time.Microsecond),
+				Pid: 1, Tid: tid,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}

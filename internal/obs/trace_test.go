@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkTrace(session string, block uint32, at time.Time) BlockTrace {
+	return BlockTrace{
+		Session: session,
+		Block:   block,
+		ReqID:   uint64(block),
+		Start:   at,
+		Total:   3 * time.Millisecond,
+		Spans: []Span{
+			{Stage: "decode", Start: at, Dur: time.Millisecond},
+			{Stage: "eval", Start: at.Add(time.Millisecond), Dur: 2 * time.Millisecond},
+		},
+	}
+}
+
+func TestSpanSum(t *testing.T) {
+	bt := mkTrace("s", 1, time.Now())
+	if bt.SpanSum() != 3*time.Millisecond {
+		t.Fatalf("SpanSum = %v, want 3ms", bt.SpanSum())
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4, 0)
+	base := time.Unix(0, 0)
+	for i := uint32(0); i < 10; i++ {
+		tr.Record(mkTrace("s", i, base.Add(time.Duration(i)*time.Second)))
+	}
+	got := tr.Dump()
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d traces, want 4", len(got))
+	}
+	for i, bt := range got {
+		if want := uint32(6 + i); bt.Block != want {
+			t.Errorf("trace %d: block %d, want %d (newest must win)", i, bt.Block, want)
+		}
+	}
+}
+
+func TestSessionCapDrops(t *testing.T) {
+	tr := NewTracer(2, 3)
+	base := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		tr.Record(mkTrace(fmt.Sprintf("s%d", i), 0, base.Add(time.Duration(i)*time.Second)))
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	if got := len(tr.Dump()); got != 3 {
+		t.Fatalf("Dump kept %d traces, want 3", got)
+	}
+	// Existing sessions keep recording past the cap.
+	tr.Record(mkTrace("s0", 1, base.Add(10*time.Second)))
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("recording into an existing session must not drop (Dropped=%d)", got)
+	}
+}
+
+func TestDumpOrderedByStart(t *testing.T) {
+	tr := NewTracer(8, 0)
+	base := time.Unix(100, 0)
+	tr.Record(mkTrace("b", 2, base.Add(2*time.Second)))
+	tr.Record(mkTrace("a", 1, base.Add(1*time.Second)))
+	tr.Record(mkTrace("c", 3, base.Add(3*time.Second)))
+	got := tr.Dump()
+	for i := 1; i < len(got); i++ {
+		if got[i].Start.Before(got[i-1].Start) {
+			t.Fatalf("Dump not sorted by start time at %d", i)
+		}
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTracer(8, 0)
+	base := time.Unix(50, 0)
+	tr.Record(mkTrace("sess-a", 7, base))
+	tr.Record(mkTrace("sess-b", 9, base.Add(time.Second)))
+	var b strings.Builder
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("WriteChrome output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var meta, blocks, spans int
+	tidsSeen := make(map[int]bool)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event name %q", ev.Name)
+			}
+		case "X":
+			if ev.Ts < 0 {
+				t.Errorf("event %q has negative ts %g (timestamps must be relative to earliest)", ev.Name, ev.Ts)
+			}
+			tidsSeen[ev.Tid] = true
+			if ev.Name == "block" {
+				blocks++
+				if ev.Dur != 3000 {
+					t.Errorf("block dur = %g µs, want 3000", ev.Dur)
+				}
+				if _, ok := ev.Args["session"]; !ok {
+					t.Error("block event missing session arg")
+				}
+			} else {
+				spans++
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || blocks != 2 || spans != 4 {
+		t.Fatalf("meta/blocks/spans = %d/%d/%d, want 2/2/4", meta, blocks, spans)
+	}
+	if len(tidsSeen) != 2 {
+		t.Fatalf("sessions must land on distinct tid lanes, saw %d", len(tidsSeen))
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := NewTracer(0, 0).WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Fatal("empty tracer must still emit valid JSON")
+	}
+}

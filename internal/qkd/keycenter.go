@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"quhe/internal/qnet"
 )
@@ -21,6 +22,15 @@ var ErrInsufficientKey = errors.New("qkd: insufficient key material")
 type KeyCenter struct {
 	mu    sync.Mutex
 	pools map[string]*keyPool
+
+	// Flow counters, atomically maintained outside the pool mutex's
+	// critical paths so observability scrapes never contend with
+	// withdrawals. Exposed through Counters.
+	deposits          atomic.Int64
+	depositedBytes    atomic.Int64
+	withdrawals       atomic.Int64
+	withdrawnBytes    atomic.Int64
+	failedWithdrawals atomic.Int64
 }
 
 type keyPool struct {
@@ -75,6 +85,8 @@ func (kc *KeyCenter) Deposit(clientID string, key []byte) error {
 		return fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
 	p.buf = append(p.buf, key...)
+	kc.deposits.Add(1)
+	kc.depositedBytes.Add(int64(len(key)))
 	return nil
 }
 
@@ -99,15 +111,40 @@ func (kc *KeyCenter) Withdraw(clientID string, n int) ([]byte, error) {
 	defer kc.mu.Unlock()
 	p, ok := kc.pools[clientID]
 	if !ok {
+		kc.failedWithdrawals.Add(1)
 		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
 	if len(p.buf) < n {
+		kc.failedWithdrawals.Add(1)
 		return nil, fmt.Errorf("%w: want %d bytes, have %d", ErrInsufficientKey, n, len(p.buf))
 	}
 	out := make([]byte, n)
 	copy(out, p.buf[:n])
 	p.buf = p.buf[n:]
+	kc.withdrawals.Add(1)
+	kc.withdrawnBytes.Add(int64(n))
 	return out, nil
+}
+
+// FlowCounters is the key centre's cumulative deposit/withdrawal flow —
+// the counter-shaped complement to PoolStats' point-in-time stock.
+type FlowCounters struct {
+	Deposits          int64
+	DepositedBytes    int64
+	Withdrawals       int64
+	WithdrawnBytes    int64
+	FailedWithdrawals int64
+}
+
+// Counters snapshots the cumulative flow counters.
+func (kc *KeyCenter) Counters() FlowCounters {
+	return FlowCounters{
+		Deposits:          kc.deposits.Load(),
+		DepositedBytes:    kc.depositedBytes.Load(),
+		Withdrawals:       kc.withdrawals.Load(),
+		WithdrawnBytes:    kc.withdrawnBytes.Load(),
+		FailedWithdrawals: kc.failedWithdrawals.Load(),
+	}
 }
 
 // PoolStat is a point-in-time snapshot of one client's key pool.

@@ -3,6 +3,7 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job is one unit of homomorphic work. The scheduler hands it an
@@ -31,6 +32,8 @@ type Scheduler struct {
 	depth atomic.Int64
 	sheds atomic.Int64
 
+	waitObs atomic.Pointer[func(time.Duration)]
+
 	mu     sync.RWMutex
 	closed bool
 	wg     sync.WaitGroup
@@ -39,6 +42,7 @@ type Scheduler struct {
 type poolJob struct {
 	pool *EvalPool
 	job  Job
+	at   time.Time
 }
 
 // NewScheduler starts one drain goroutine per pool worker over a queue of
@@ -61,6 +65,9 @@ func (s *Scheduler) drain() {
 	defer s.wg.Done()
 	for pj := range s.queue {
 		s.depth.Add(-1)
+		if obs := s.waitObs.Load(); obs != nil {
+			(*obs)(time.Since(pj.at))
+		}
 		w := pj.pool.Get()
 		pj.job(w)
 		pj.pool.Put(w)
@@ -98,8 +105,21 @@ func (s *Scheduler) SubmitTo(pool *EvalPool, job Job) error {
 			break
 		}
 	}
-	s.queue <- poolJob{pool: pool, job: job}
+	s.queue <- poolJob{pool: pool, job: job, at: time.Now()}
 	return nil
+}
+
+// OnQueueWait installs an observer called with each job's queue wait —
+// the time between a successful submit and a drain goroutine picking it
+// up. The scheduler stays free of any metrics dependency; the serving
+// layer points this at its queue-wait histogram. A nil fn removes the
+// observer. Safe to call concurrently with Submit.
+func (s *Scheduler) OnQueueWait(fn func(time.Duration)) {
+	if fn == nil {
+		s.waitObs.Store(nil)
+		return
+	}
+	s.waitObs.Store(&fn)
 }
 
 // QueueDepth reports the jobs currently waiting (not yet picked up).
