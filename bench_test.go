@@ -21,8 +21,10 @@ import (
 	"quhe/internal/core"
 	"quhe/internal/edge"
 	"quhe/internal/experiments"
+	"quhe/internal/faultnet"
 	"quhe/internal/he/ckks"
 	"quhe/internal/he/ring"
+	"quhe/internal/qkd"
 	"quhe/internal/serve"
 	"quhe/internal/transcipher"
 )
@@ -1034,6 +1036,172 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 		if err := os.WriteFile("BENCH_obs.json", append(blob, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "obs-overhead: %v\n", err)
+		}
+	})
+}
+
+// --- Fault tolerance: resilience overhead and the cost of a resume ----------
+
+type faultToleranceReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	Blocks     int `json:"blocks_per_side"`
+	// P50 of the client-observed per-block latency over the v3 serve path
+	// with the fault-tolerance machinery off (plain dial) and on
+	// (reconnect armed, resume negotiated, request deadlines) — both runs
+	// fault-free, so the delta is the bookkeeping the resilience layer
+	// adds to the hot path.
+	P50PlainMs     float64 `json:"p50_ms_plain"`
+	P50ResilientMs float64 `json:"p50_ms_resilient"`
+	OverheadPct    float64 `json:"overhead_pct_p50"`
+	// Target documents the acceptance bound: fault-free overhead must stay
+	// within ~2% at p50. Logged, not failed — run-to-run noise on a shared
+	// runner can exceed the bound without the machinery being at fault.
+	Target string `json:"target"`
+	// Resume cycle: a killed connection re-attached by the resume
+	// handshake must cost zero HE key generations and zero QKD
+	// withdrawals; ResumeMs is the client-observed latency of the compute
+	// that rode through the kill (reconnect + resume + replay included).
+	ResumeKeygens     int64   `json:"resume_keygens"`
+	ResumeWithdrawals int64   `json:"resume_withdrawals"`
+	ResumeMs          float64 `json:"resume_ms"`
+	Reconnects        int64   `json:"reconnects"`
+	Replays           int64   `json:"replays"`
+}
+
+// BenchmarkFaultTolerance measures what the PR 8 fault-tolerance layer
+// costs when nothing fails — the same v3 compute stream with and without
+// reconnect/resume armed — and what one kill-and-resume cycle costs in key
+// material (must be zero keygens, zero withdrawals) and latency. The
+// report lands in BENCH_faults.json.
+func BenchmarkFaultTolerance(b *testing.B) {
+	const (
+		warmup = 4
+		blocks = 32
+	)
+	serverCfg := func() edge.ServerConfig {
+		return edge.ServerConfig{
+			Model:        edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
+			ResumeWindow: 10 * time.Second,
+		}
+	}
+	run := func(dcfg edge.DialConfig) []float64 {
+		srv, err := edge.NewServer("127.0.0.1:0", serverCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		client, err := edge.DialWith(srv.Addr(), "fault-bench", []byte("bench-material"), 5, dcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		data := make([]float64, 16)
+		for i := range data {
+			data[i] = 0.25
+		}
+		lats := make([]float64, 0, blocks)
+		for i := 0; i < warmup+blocks; i++ {
+			t0 := time.Now()
+			if _, err := client.Compute(uint32(i), data); err != nil {
+				b.Fatal(err)
+			}
+			if i >= warmup {
+				lats = append(lats, float64(time.Since(t0))/float64(time.Millisecond))
+			}
+		}
+		sort.Float64s(lats)
+		return lats
+	}
+	resumeCycle := func() (keygens, withdrawals, reconnects, replays int64, resumeMs float64) {
+		srv, err := edge.NewServer("127.0.0.1:0", serverCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		kc := qkd.NewKeyCenter()
+		if err := kc.Provision("fault-bench", 1000); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kc.RunExchange("fault-bench", 0.97, 8192, 5); err != nil {
+			b.Fatal(err)
+		}
+		inj := faultnet.New(faultnet.Config{Seed: 7}) // zero faults: pure kill switch
+		client, err := edge.DialQKDWith(srv.Addr(), "fault-bench", kc, 9, edge.DialConfig{
+			Protocol:       edge.ProtoV3,
+			Dialer:         inj.Dialer(2 * time.Second),
+			Reconnect:      true,
+			RequestTimeout: 15 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer client.Close()
+		data := []float64{0.25}
+		for i := 0; i < warmup; i++ {
+			if _, err := client.Compute(uint32(i), data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		kBefore := client.Stats().Keygens
+		wBefore := kc.Counters().Withdrawals
+		if inj.CloseAll() == 0 {
+			b.Fatal("no live connection to kill")
+		}
+		t0 := time.Now()
+		if _, err := client.Compute(uint32(warmup), data); err != nil {
+			b.Fatal(err)
+		}
+		resumeMs = float64(time.Since(t0)) / float64(time.Millisecond)
+		st := client.Stats()
+		return st.Keygens - kBefore, kc.Counters().Withdrawals - wBefore,
+			st.Reconnects, st.Replays, resumeMs
+	}
+	report := faultToleranceReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Blocks:     blocks,
+		Target:     "fault-free p50 overhead ≤ 2%; resume costs 0 keygens, 0 QKD withdrawals",
+	}
+	for i := 0; i < b.N; i++ {
+		plain := run(edge.DialConfig{Protocol: edge.ProtoV3})
+		resilient := run(edge.DialConfig{
+			Protocol:       edge.ProtoV3,
+			Reconnect:      true,
+			RequestTimeout: 30 * time.Second,
+		})
+		report.P50PlainMs = plain[len(plain)/2]
+		report.P50ResilientMs = resilient[len(resilient)/2]
+		report.OverheadPct = (report.P50ResilientMs - report.P50PlainMs) / report.P50PlainMs * 100
+		report.ResumeKeygens, report.ResumeWithdrawals,
+			report.Reconnects, report.Replays, report.ResumeMs = resumeCycle()
+	}
+	b.ReportMetric(report.P50PlainMs, "p50ms-plain")
+	b.ReportMetric(report.P50ResilientMs, "p50ms-resilient")
+	b.ReportMetric(report.OverheadPct, "overhead-%")
+	b.ReportMetric(report.ResumeMs, "resume-ms")
+	if report.OverheadPct > 2 {
+		b.Logf("fault-tolerance overhead %.2f%% at p50 exceeds the 2%% target "+
+			"(plain %.2fms, resilient %.2fms) — logged, not failed; rerun on a quiet machine before acting",
+			report.OverheadPct, report.P50PlainMs, report.P50ResilientMs)
+	}
+	if report.ResumeKeygens != 0 || report.ResumeWithdrawals != 0 {
+		b.Fatalf("resume cost key material: %d keygens, %d QKD withdrawals (want 0, 0)",
+			report.ResumeKeygens, report.ResumeWithdrawals)
+	}
+	printOnce("fault-tolerance", func() {
+		fmt.Printf("\nFault tolerance (%d blocks/side):\n", blocks)
+		fmt.Printf("  plain:     p50 %6.2fms\n  resilient: p50 %6.2fms  (%+.2f%%)\n",
+			report.P50PlainMs, report.P50ResilientMs, report.OverheadPct)
+		fmt.Printf("  resume:    %6.2fms, %d keygens, %d QKD withdrawals, %d reconnects, %d replays\n",
+			report.ResumeMs, report.ResumeKeygens, report.ResumeWithdrawals, report.Reconnects, report.Replays)
+		blob, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault-tolerance: %v\n", err)
+			return
+		}
+		if err := os.WriteFile("BENCH_faults.json", append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fault-tolerance: %v\n", err)
 		}
 	})
 }

@@ -30,6 +30,7 @@ import (
 
 	"quhe/internal/control"
 	"quhe/internal/edge"
+	"quhe/internal/faultnet"
 	"quhe/internal/he/profile"
 	"quhe/internal/obs"
 	"quhe/internal/qkd"
@@ -51,6 +52,12 @@ type config struct {
 	Control     bool          `json:"control"`
 	StockBytes  int           `json:"stock_bytes"`
 	MetricsAddr string        `json:"metrics_addr,omitempty"`
+	// Chaos knobs: when any probability is nonzero every client dials
+	// through a seeded faultnet injector and runs with reconnect + resume
+	// enabled, so the summary proves sessions survive transport faults.
+	FaultSeed  int64   `json:"fault_seed,omitempty"`
+	FaultDrop  float64 `json:"fault_drop,omitempty"`
+	FaultDelay float64 `json:"fault_delay,omitempty"`
 }
 
 // planInfo echoes the controller's final plan in the JSON summary.
@@ -75,20 +82,26 @@ type summary struct {
 	Protocol   string  `json:"protocol"`
 	// Profiles maps each negotiated security profile to the blocks its
 	// clients served — the mixed-λ view under -profile mix.
-	Profiles   map[string]int64 `json:"profiles,omitempty"`
-	Requests   int64            `json:"requests"`
-	Served     int64            `json:"served"`
-	Shed       int64            `json:"shed_overloaded"`
-	Denied     int64            `json:"shed_admission"`
-	Errors     int64            `json:"errors"`
-	Rekeys     int64            `json:"rekeys"`
-	Plan       *planInfo        `json:"control_plan,omitempty"`
-	Throughput float64          `json:"throughput_blocks_per_s"`
-	P50Ms      float64          `json:"latency_ms_p50"`
-	P90Ms      float64          `json:"latency_ms_p90"`
-	P99Ms      float64          `json:"latency_ms_p99"`
-	MaxMs      float64          `json:"latency_ms_max"`
-	Histogram  []bucket         `json:"latency_histogram"`
+	Profiles map[string]int64 `json:"profiles,omitempty"`
+	Requests int64            `json:"requests"`
+	Served   int64            `json:"served"`
+	Shed     int64            `json:"shed_overloaded"`
+	Denied   int64            `json:"shed_admission"`
+	ShedKey  int64            `json:"shed_key_exhausted"`
+	Errors   int64            `json:"errors"`
+	Rekeys   int64            `json:"rekeys"`
+	// Fault-tolerance rollup (sum of every client's Stats): transport
+	// reconnects, session resumes riding them, and Compute replays.
+	Reconnects int64     `json:"reconnects"`
+	Resumes    int64     `json:"resumes"`
+	Replays    int64     `json:"replays,omitempty"`
+	Plan       *planInfo `json:"control_plan,omitempty"`
+	Throughput float64   `json:"throughput_blocks_per_s"`
+	P50Ms      float64   `json:"latency_ms_p50"`
+	P90Ms      float64   `json:"latency_ms_p90"`
+	P99Ms      float64   `json:"latency_ms_p99"`
+	MaxMs      float64   `json:"latency_ms_max"`
+	Histogram  []bucket  `json:"latency_histogram"`
 	// ServerMetrics is the final /metrics scrape of the in-process
 	// server's debug plane (non-histogram samples only), present when
 	// -metrics-addr was set.
@@ -101,6 +114,7 @@ type recorder struct {
 	servedBy []atomic.Int64 // per-client, for the per-profile rollup
 	shed     atomic.Int64
 	denied   atomic.Int64
+	shedKey  atomic.Int64
 	errs     atomic.Int64
 }
 
@@ -116,6 +130,11 @@ func (r *recorder) record(ci int, lat time.Duration, err error) {
 		// The control plane shed this request by policy (projected key
 		// consumption or queue occupancy over plan): typed, not an error.
 		r.denied.Add(1)
+	case isKeyExhausted(err):
+		// QKD key starvation is degradation, not failure: the server told
+		// the client when to come back (serve.RetryAfter), so it counts as
+		// a typed shed alongside admission denials.
+		r.shedKey.Add(1)
 	default:
 		r.errs.Add(1)
 		fmt.Fprintf(os.Stderr, "edgeload: %v\n", err)
@@ -128,6 +147,10 @@ func isOverloaded(err error) bool {
 
 func isDenied(err error) bool {
 	return err != nil && serve.CodeOf(err) == serve.CodeAdmissionDenied
+}
+
+func isKeyExhausted(err error) bool {
+	return err != nil && serve.CodeOf(err) == serve.CodeKeyExhausted
 }
 
 // histogram renders a latency snapshot (seconds) as the summary's
@@ -251,8 +274,11 @@ func main() {
 	flag.StringVar(&cfg.Proto, "proto", "auto", "wire protocol: auto (v3 with gob fallback), v3 (required), gob (forced legacy)")
 	flag.StringVar(&cfg.Profile, "profile", "", "security profile for every client: a registry ID, \"mix\" (spread clients across the registry), or empty (server/plan steering)")
 	flag.BoolVar(&cfg.Control, "control", false, "attach the closed-loop control plane (in-process server only): online admission, U_msl-derived rekey budgets, QKD provisioning from the live allocation")
-	flag.IntVar(&cfg.StockBytes, "stock", 0, "finite per-client QKD key stock in bytes (0: replenish generously); with -control, exhaustion sheds typed admission denials")
+	flag.IntVar(&cfg.StockBytes, "stock", 0, "finite per-client QKD key stock in bytes (0: replenish generously); with -control, exhaustion degrades to typed key-exhausted sheds with a retry-after hint")
 	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "bind the in-process server's debug plane (/metrics, /debug/pprof) on this address and fold a final scrape into the JSON summary")
+	flag.Int64Var(&cfg.FaultSeed, "fault-seed", 1, "seed for the deterministic fault injector (with -fault-drop/-fault-delay)")
+	flag.Float64Var(&cfg.FaultDrop, "fault-drop", 0, "per-I/O probability of a mid-frame connection drop; nonzero enables reconnect + resume on every client")
+	flag.Float64Var(&cfg.FaultDelay, "fault-delay", 0, "per-I/O probability of a short injected delay (0.2–2ms)")
 	jsonOut := flag.String("json", "-", "write the JSON summary to this file (\"-\": stdout, \"\": suppress)")
 	flag.Parse()
 
@@ -307,6 +333,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgeload: -metrics-addr binds the in-process server's debug plane (drop -addr)")
 		os.Exit(2)
 	}
+	if cfg.FaultDrop < 0 || cfg.FaultDrop >= 1 || cfg.FaultDelay < 0 || cfg.FaultDelay >= 1 {
+		fmt.Fprintln(os.Stderr, "edgeload: -fault-drop and -fault-delay are probabilities in [0, 1)")
+		os.Exit(2)
+	}
+	chaos := cfg.FaultDrop > 0 || cfg.FaultDelay > 0
+	if chaos && cfg.Proto == "gob" {
+		fmt.Fprintln(os.Stderr, "edgeload: fault injection needs v3 reconnect/resume; drop -proto gob")
+		os.Exit(2)
+	}
+	var inj *faultnet.Injector
+	if chaos {
+		spec := faultnet.Spec{
+			DelayProb: cfg.FaultDelay,
+			DelayMin:  200 * time.Microsecond,
+			DelayMax:  2 * time.Millisecond,
+			DropProb:  cfg.FaultDrop,
+		}
+		inj = faultnet.New(faultnet.Config{Seed: cfg.FaultSeed, Read: spec, Write: spec})
+	}
 
 	// QKD plane: one key centre feeds every client session (and, with
 	// -control, the controller's provisioning actuator). Pools are funded
@@ -327,11 +372,12 @@ func main() {
 	addr := cfg.Addr
 	var srv *edge.Server
 	var ctl *control.Controller
+	var obsReg *obs.Registry
 	if addr == "" {
 		// One registry carries both the server's and (with -control) the
 		// controller's series, so a single /metrics page shows the whole
 		// loop.
-		obsReg := obs.NewRegistry()
+		obsReg = obs.NewRegistry()
 		scfg := edge.ServerConfig{
 			Model:      edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
 			Workers:    cfg.Workers,
@@ -376,14 +422,55 @@ func main() {
 	clients := make([]*edge.Client, cfg.Clients)
 	for i := range clients {
 		id := clientID(i)
-		c, err := edge.DialQKDWith(addr, id, kc, int64(7+i),
-			edge.DialConfig{Protocol: proto, Profile: profileFor(i)})
+		dc := edge.DialConfig{Protocol: proto, Profile: profileFor(i)}
+		if inj != nil {
+			// Chaos mode: every byte crosses the injector, the client runs
+			// the full resilience stack (CRC trailers, reconnect + resume,
+			// replay), and a per-request deadline bounds the worst case.
+			dc.Dialer = inj.Dialer(5 * time.Second)
+			dc.Checksum = true
+			dc.Reconnect = true
+			dc.RequestTimeout = 30 * time.Second
+		}
+		var c *edge.Client
+		var err error
+		// The injector can kill a connection mid-Setup; the initial dial
+		// retries a few times so the run measures steady-state fault
+		// handling, not dial luck.
+		for attempt := 0; ; attempt++ {
+			c, err = edge.DialQKDWith(addr, id, kc, int64(7+i), dc)
+			if err == nil || inj == nil || attempt >= 4 {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "edgeload: dial %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		defer c.Close()
 		clients[i] = c
+	}
+	clientStats := func() (s edge.ClientStats) {
+		for _, c := range clients {
+			st := c.Stats()
+			s.Reconnects += st.Reconnects
+			s.Resumes += st.Resumes
+			s.Retries += st.Retries
+			s.Replays += st.Replays
+			s.Keygens += st.Keygens
+		}
+		return s
+	}
+	if obsReg != nil {
+		// Client-side fault-tolerance series on the same /metrics page the
+		// CI chaos smoke scrapes (the server registers quhe_resumes_total).
+		obsReg.CounterFunc("quhe_reconnects_total", "client transport reconnects across the load fleet", func() float64 {
+			return float64(clientStats().Reconnects)
+		})
+		obsReg.CounterFunc("quhe_client_replays_total", "in-flight Computes replayed after a resume", func() float64 {
+			return float64(clientStats().Replays)
+		})
 	}
 
 	rec := &recorder{servedBy: make([]atomic.Int64, cfg.Clients)}
@@ -486,6 +573,7 @@ func main() {
 	for i, c := range clients {
 		profiles[c.Profile()] += rec.servedBy[i].Load()
 	}
+	stats := clientStats()
 
 	sum := summary{
 		Config:     cfg,
@@ -498,8 +586,12 @@ func main() {
 		Served:     rec.served.Load(),
 		Shed:       rec.shed.Load(),
 		Denied:     rec.denied.Load(),
+		ShedKey:    rec.shedKey.Load(),
 		Errors:     rec.errs.Load(),
 		Rekeys:     rekeys,
+		Reconnects: stats.Reconnects,
+		Resumes:    stats.Resumes,
+		Replays:    stats.Replays,
 		Throughput: float64(rec.served.Load()) / elapsed.Seconds(),
 		P50Ms:      lat.Quantile(0.50) * 1e3,
 		P90Ms:      lat.Quantile(0.90) * 1e3,

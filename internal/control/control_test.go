@@ -148,8 +148,15 @@ func TestAdmitSessionCapacityAndStock(t *testing.T) {
 	if err := ctl.AdmitSession("funded", 0); err != nil {
 		t.Errorf("funded session denied: %v", err)
 	}
-	if err := ctl.AdmitSession("starved", 0); !errors.Is(err, serve.ErrAdmissionDenied) {
-		t.Errorf("starved session err = %v, want ErrAdmissionDenied", err)
+	if err := ctl.AdmitSession("starved", 0); !errors.Is(err, serve.ErrKeyExhausted) {
+		t.Errorf("starved session err = %v, want ErrKeyExhausted", err)
+	}
+	// A provisioned rate turns the shortfall into a concrete retry hint.
+	if err := kc.Provision("starved", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := serve.RetryAfter(ctl.AdmitSession("starved", 0)); !ok || d <= 0 {
+		t.Errorf("retry-after = (%v, %v), want a positive hint", d, ok)
 	}
 	// Over plan capacity every Setup is shed regardless of stock.
 	if err := ctl.AdmitSession("funded", plan.AdmitCapacity); !errors.Is(err, serve.ErrAdmissionDenied) {
@@ -179,8 +186,8 @@ func TestAdmitComputeShedsUnfundableRekey(t *testing.T) {
 	// The block would cross the budget and the pool cannot fund the
 	// rotation: shed with the typed denial instead of stranding the
 	// client on CodeRekeyRequired.
-	if err := ctl.AdmitCompute("dry", 900, 200); !errors.Is(err, serve.ErrAdmissionDenied) {
-		t.Errorf("unfundable-rekey compute err = %v, want ErrAdmissionDenied", err)
+	if err := ctl.AdmitCompute("dry", 900, 200); !errors.Is(err, serve.ErrKeyExhausted) {
+		t.Errorf("unfundable-rekey compute err = %v, want ErrKeyExhausted", err)
 	}
 	// Same position with a funded pool: admitted (the normal
 	// rekey-required flow takes over).

@@ -669,8 +669,10 @@ func (c *Controller) ObserveSession(sessionID, profileID string) {
 }
 
 // AdmitSession decides whether a new session may register. resident is the
-// server's current session count. Denials are typed
-// serve.ErrAdmissionDenied so they cross the wire as CodeAdmissionDenied.
+// server's current session count. Capacity denials are typed
+// serve.ErrAdmissionDenied (CodeAdmissionDenied on the wire); key-pool
+// shortfalls are typed serve.ErrKeyExhausted with a retry-after hint
+// (CodeKeyExhausted) because they clear on their own as the pool refills.
 func (c *Controller) AdmitSession(sessionID string, resident int) error {
 	p := c.plan.Load()
 	if p == nil {
@@ -683,11 +685,15 @@ func (c *Controller) AdmitSession(sessionID string, resident int) error {
 	}
 	if kc := c.cfg.KeyCenter; kc != nil {
 		// Projected key consumption: an admitted session must be able to
-		// fund its next rotation from its own pool.
+		// fund its next rotation from its own pool. This denial is typed
+		// key exhaustion (not a plain admission denial): it clears on its
+		// own as the pool refills, and the retry-after hint derived from
+		// the provisioning rate tells the client when.
 		if avail, err := kc.Available(sessionID); err == nil && avail < c.cfg.WithdrawBytes {
 			c.tel.ObserveAdmission(false)
-			return fmt.Errorf("%w: key pool for %q holds %d of %d bytes the next rekey needs",
-				serve.ErrAdmissionDenied, sessionID, avail, c.cfg.WithdrawBytes)
+			return serve.NewKeyExhausted(c.keyRetryAfter(sessionID, c.cfg.WithdrawBytes-avail),
+				fmt.Sprintf("key pool for %q holds %d of %d bytes the next rekey needs",
+					sessionID, avail, c.cfg.WithdrawBytes))
 		}
 	}
 	c.tel.ObserveAdmission(true)
@@ -721,14 +727,33 @@ func (c *Controller) AdmitCompute(sessionID string, usedBytes, pendingBytes int6
 				// Denied bytes still count as demand: a fully shed session
 				// must keep registering load with the predictor, or its
 				// budget collapses to the idle default and it can never
-				// recover.
+				// recover. Typed key exhaustion with a provisioning-rate
+				// retry hint, so the client backs off instead of spinning
+				// between CodeRekeyRequired and failed withdrawals.
 				c.tel.ObserveShed(sessionID, pendingBytes)
-				return fmt.Errorf("%w: key budget exhausted and pool for %q holds %d of %d bytes a rekey needs",
-					serve.ErrAdmissionDenied, sessionID, avail, c.cfg.WithdrawBytes)
+				return serve.NewKeyExhausted(c.keyRetryAfter(sessionID, c.cfg.WithdrawBytes-avail),
+					fmt.Sprintf("key budget exhausted and pool for %q holds %d of %d bytes a rekey needs",
+						sessionID, avail, c.cfg.WithdrawBytes))
 			}
 		}
 	}
 	return nil
+}
+
+// keyRetryAfter converts a key-pool shortfall into a wait estimate from
+// the session's provisioned secret-key rate (bits/s): the time the QKD
+// plane needs to manufacture the missing bytes. 0 = unknown rate, retry
+// at the caller's discretion.
+func (c *Controller) keyRetryAfter(sessionID string, deficitBytes int) time.Duration {
+	kc := c.cfg.KeyCenter
+	if kc == nil || deficitBytes <= 0 {
+		return 0
+	}
+	rate, err := kc.Rate(sessionID)
+	if err != nil || rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(deficitBytes*8) / rate * float64(time.Second))
 }
 
 // RekeyBudget returns the plan's per-key byte budget for a session

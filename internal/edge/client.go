@@ -2,13 +2,16 @@ package edge
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
+	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,7 +64,51 @@ type DialConfig struct {
 	// Profiles overrides the profile registry (nil = profile.Default()).
 	// It must agree with the server's registry for non-default profiles.
 	Profiles *profile.Registry
+	// Dialer overrides how the transport connection is established (fault
+	// injection, proxies, custom networks). nil dials plain TCP bounded by
+	// DialTimeout.
+	Dialer func(network, addr string) (net.Conn, error)
+	// DialTimeout bounds the default TCP dial (0 = 5s). Ignored when
+	// Dialer is set.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each Compute/ComputeBatch/Rekey round trip.
+	// Expiry abandons the request (a late reply is dropped) and fails the
+	// call with an error wrapping serve.ErrDeadline. 0 = no deadline.
+	RequestTimeout time.Duration
+	// Reconnect enables automatic recovery from connection loss: jittered
+	// capped-exponential-backoff redials, session resume against servers
+	// that negotiate it (no re-keygen, no new QKD withdrawal), and replay
+	// of in-flight Compute requests on the resumed transport. In-flight
+	// Setup/Rekey/Batch requests fail typed instead of replaying — a
+	// replayed rekey could double-bump the key epoch. Pair with
+	// RequestTimeout so a request lost in the reconnect window cannot
+	// block its caller forever.
+	Reconnect bool
+	// ReconnectAttempts caps redials per outage (0 = 5).
+	ReconnectAttempts int
+	// ReconnectBackoff is the first redial backoff (0 = 50ms); it doubles
+	// per attempt with ±50% jitter, capped at ReconnectBackoffMax (0 = 2s).
+	ReconnectBackoff    time.Duration
+	ReconnectBackoffMax time.Duration
+	// RetryBudget caps the transparent request retries of the unified
+	// retry policy — mid-batch key rotations and server-demanded rekeys —
+	// before the typed error surfaces to the caller (0 = 3).
+	RetryBudget int
 }
+
+// Client-side fault-tolerance defaults (see DialConfig).
+const (
+	defaultDialTimeout         = 5 * time.Second
+	defaultReconnectAttempts   = 5
+	defaultReconnectBackoff    = 50 * time.Millisecond
+	defaultReconnectBackoffMax = 2 * time.Second
+	defaultRetryBudget         = 3
+	// The unified retry policy's jitter window for in-place request
+	// retries (much tighter than reconnect backoff: the connection is
+	// healthy, we only yield to let a rotation settle).
+	retryBackoffBase = 5 * time.Millisecond
+	retryBackoffMax  = 250 * time.Millisecond
+)
 
 // negotiateTimeout bounds the wait for the server's v3 hello ack. Legacy
 // servers close the connection as soon as the hello fails to gob-decode,
@@ -77,26 +124,51 @@ const negotiateTimeout = 5 * time.Second
 // concurrent use.
 type Client struct {
 	sessionID string
-	conn      net.Conn
+	addr      string
+	dcfg      DialConfig
 
 	// proto is "v3" or "gob" once negotiated.
 	proto string
-	// crc reports that per-frame CRC32C trailers were negotiated.
-	crc bool
 	// prof is the security profile the session runs on; wireProfile is
 	// the profile ID carried in Setup ("" on legacy paths, where the
 	// server pins the session to its default).
 	prof        *profile.Profile
 	wireProfile string
+
+	// connMu guards the live transport (conn/fw/br/crc), which a
+	// reconnect swaps wholesale; gen bumps on every swap so a sender that
+	// failed mid-swap can tell a dead connection from a replaced one.
+	connMu sync.Mutex
+	gen    uint64
+	conn   net.Conn
 	// v3 transport: framed writes through fw, framed reads off br.
 	fw *frameWriter
 	br *bufio.Reader
-	// gob transport: writeMu serializes enc.
+	// crc reports that per-frame CRC32C trailers were negotiated.
+	crc bool
+
+	// gob transport: writeMu serializes enc (gob never reconnects).
 	writeMu sync.Mutex
 	enc     *gob.Encoder
 
+	// resume reports the server negotiated session resume at the hello.
+	resume bool
+
+	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
+
+	// rng drives backoff jitter; seeded, so a chaos run's retry timing is
+	// reproducible per client.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Fault-tolerance event counters (see Stats).
+	reconnects atomic.Int64
+	resumes    atomic.Int64
+	retries    atomic.Int64
+	replays    atomic.Int64
+	keygens    atomic.Int64
 
 	ctx     *ckks.Context
 	cipher  *transcipher.Cipher
@@ -113,14 +185,17 @@ type Client struct {
 	kc      *qkd.KeyCenter
 	rekeyMu sync.Mutex
 
-	keyMu sync.Mutex
-	key   []float64
-	nonce []byte
-	epoch uint64
+	// keyMu also guards resumeAuth: the resume credential is derived from
+	// the QKD material and rotates atomically with the key.
+	keyMu      sync.Mutex
+	key        []float64
+	nonce      []byte
+	epoch      uint64
+	resumeAuth []byte
 
 	nextID  atomic.Uint64
 	pendMu  sync.Mutex
-	pending map[uint64]chan *replyEnvelope
+	pending map[uint64]*call
 	// batchAsm assembles streamed v3 batch items by request ID until the
 	// batch trailer arrives.
 	batchAsm map[uint64]*BatchReply
@@ -139,6 +214,42 @@ type Client struct {
 	// read with no request in flight.
 	LastTxDelay  float64
 	LastCmpDelay float64
+}
+
+// call is one in-flight request: its reply channel, the envelope (kept so
+// a reconnect can replay Compute requests), and an optional per-call
+// terminal error set before the channel is closed.
+type call struct {
+	ch  chan *replyEnvelope
+	env *envelope
+	err error
+}
+
+// ClientStats counts the client's fault-tolerance events since Dial.
+type ClientStats struct {
+	// Reconnects and Resumes count successful transport re-establishments
+	// and the session resumes that rode them (equal today; split so a
+	// future non-resume reconnect path stays observable).
+	Reconnects int64
+	Resumes    int64
+	// Retries counts transparent request retries under the unified retry
+	// policy; Replays counts in-flight Computes re-sent after a resume.
+	Retries int64
+	Replays int64
+	// Keygens counts HE key generations (1 at Dial; a resume performs
+	// none — that is the point of the resume handshake).
+	Keygens int64
+}
+
+// Stats snapshots the fault-tolerance counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Reconnects: c.reconnects.Load(),
+		Resumes:    c.resumes.Load(),
+		Retries:    c.retries.Load(),
+		Replays:    c.replays.Load(),
+		Keygens:    c.keygens.Load(),
+	}
 }
 
 // Dial connects to an edge server, generates the client's HE keys, derives
@@ -195,11 +306,12 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		}
 	}
 
-	conn, br, proto, crc, profiles, rnsWire, err := negotiate(addr, dcfg.Protocol, dcfg.Checksum)
+	neg, err := negotiate(addr, dcfg)
 	if err != nil {
 		return nil, err
 	}
-	if proto == "v3" && !rnsWire {
+	conn, br, proto, crc, profiles := neg.conn, neg.br, neg.proto, neg.crc, neg.profiles
+	if proto == "v3" && !neg.rnsWire {
 		// A v3 server that does not ack the residue-tower wire format
 		// predates the limb layout: its frames would misparse ours and vice
 		// versa, so fail typed instead of exchanging garbage.
@@ -257,13 +369,22 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		return nil, fmt.Errorf("edge: encrypt key: %w", err)
 	}
 
+	resume := proto == "v3" && neg.resume
+	var resumeAuth []byte
+	if resume {
+		resumeAuth = deriveResumeAuth(qkdKey)
+	}
 	c := &Client{
 		sessionID:   sessionID,
+		addr:        addr,
+		dcfg:        dcfg,
 		conn:        conn,
 		proto:       proto,
 		crc:         crc,
 		prof:        prof,
 		wireProfile: wireProfile,
+		resume:      resume,
+		rng:         rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
 		ctx:         ctx,
 		cipher:      cipher,
 		encoder:     ckks.NewEncoder(ctx),
@@ -274,10 +395,11 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		key:         key,
 		nonce:       nonceFor(sessionID, 1),
 		epoch:       1,
-		pending:     make(map[uint64]chan *replyEnvelope),
+		pending:     make(map[uint64]*call),
 	}
+	c.keygens.Store(1)
 	if proto == "v3" {
-		c.fw = newFrameWriter(conn, c.teardown, nil)
+		c.fw = newFrameWriter(conn, func() { conn.Close() }, nil)
 		c.fw.crc = crc
 		c.br = br
 		c.batchAsm = make(map[uint64]*BatchReply)
@@ -287,14 +409,15 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 	go c.readLoop()
 
 	reply, err := c.roundTrip(&envelope{Setup: &SetupRequest{
-		SessionID: sessionID,
-		LogN:      ctx.Params.LogN,
-		Depth:     ctx.Params.Depth,
-		PK:        pk,
-		RLK:       rlk,
-		EncKey:    encKey,
-		Nonce:     c.nonce,
-		Profile:   wireProfile,
+		SessionID:  sessionID,
+		LogN:       ctx.Params.LogN,
+		Depth:      ctx.Params.Depth,
+		PK:         pk,
+		RLK:        rlk,
+		EncKey:     encKey,
+		Nonce:      c.nonce,
+		Profile:    wireProfile,
+		ResumeAuth: resumeAuth,
 	}})
 	if err != nil {
 		c.teardown()
@@ -320,6 +443,14 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		c.teardown()
 		return nil, fmt.Errorf("edge: %w: registered on %q, granted %q",
 			serve.ErrProfileDenied, reply.Setup.Profile, wireProfile)
+	}
+	// Arm the reconnect machinery only once the credential is registered
+	// server-side — a connection lost before this point has nothing to
+	// resume into.
+	if resume {
+		c.keyMu.Lock()
+		c.resumeAuth = resumeAuth
+		c.keyMu.Unlock()
 	}
 	return c, nil
 }
@@ -364,65 +495,95 @@ func queryProfile(conn net.Conn, br *bufio.Reader, crc bool, sessionID, requeste
 	return rep.Granted, nil
 }
 
+// negotiated is the transport negotiate establishes: the connection, the
+// protocol generation, and the v3 feature flags the server acked.
+type negotiated struct {
+	conn     net.Conn
+	br       *bufio.Reader
+	proto    string
+	crc      bool
+	profiles bool
+	rnsWire  bool
+	resume   bool
+}
+
+// dialFunc resolves the configured dialer (DialConfig.Dialer, or plain
+// TCP bounded by DialTimeout).
+func dialFunc(dcfg DialConfig) func(network, addr string) (net.Conn, error) {
+	if dcfg.Dialer != nil {
+		return dcfg.Dialer
+	}
+	to := dcfg.DialTimeout
+	if to <= 0 {
+		to = defaultDialTimeout
+	}
+	return func(network, addr string) (net.Conn, error) {
+		return net.DialTimeout(network, addr, to)
+	}
+}
+
 // negotiate establishes the transport for the requested protocol. For v3
 // it performs the hello handshake: a server that acks speaks v3; one that
 // kills the connection (a gob-era server choking on the frame magic)
 // triggers a redial on the gob path under ProtoAuto, or
-// ErrProtocolMismatch under ProtoV3. wantCRC requests per-frame CRC32C
-// trailers in the hello flags; crc reports whether the server granted
-// them (pre-checksum servers ack with an empty payload, read as "no").
-// profiles and rnsWire report whether the server advertised
-// security-profile negotiation and the residue-tower ciphertext wire
-// format in its ack flags.
-func negotiate(addr string, p Protocol, wantCRC bool) (conn net.Conn, br *bufio.Reader, proto string, crc, profiles, rnsWire bool, err error) {
-	dialGob := func() (net.Conn, *bufio.Reader, string, bool, bool, bool, error) {
-		conn, err := net.Dial("tcp", addr)
+// ErrProtocolMismatch under ProtoV3. DialConfig.Checksum requests
+// per-frame CRC32C trailers in the hello flags; negotiated.crc reports
+// whether the server granted them (pre-checksum servers ack with an empty
+// payload, read as "no"). profiles, rnsWire and resume report whether the
+// server advertised security-profile negotiation, the residue-tower
+// ciphertext wire format, and session resume in its ack flags.
+func negotiate(addr string, dcfg DialConfig) (negotiated, error) {
+	dialer := dialFunc(dcfg)
+	dialGob := func() (negotiated, error) {
+		conn, err := dialer("tcp", addr)
 		if err != nil {
-			return nil, nil, "", false, false, false, fmt.Errorf("edge: dial: %w", err)
+			return negotiated{}, fmt.Errorf("edge: dial: %w", err)
 		}
-		return conn, nil, "gob", false, false, false, nil
+		return negotiated{conn: conn, proto: "gob"}, nil
 	}
-	if p == ProtoGob {
+	if dcfg.Protocol == ProtoGob {
 		return dialGob()
 	}
-	conn, err = net.Dial("tcp", addr)
+	conn, err := dialer("tcp", addr)
 	if err != nil {
-		return nil, nil, "", false, false, false, fmt.Errorf("edge: dial: %w", err)
+		return negotiated{}, fmt.Errorf("edge: dial: %w", err)
 	}
-	// The hello always carries a flags byte: profile support and the
-	// residue-tower wire format are advertised unconditionally (servers
-	// that predate them ignore unknown bits and ack without the flags),
-	// CRC only on request.
-	flags := byte(helloFlagProfiles | helloFlagRNSWire)
-	if wantCRC {
+	// The hello always carries a flags byte: profile support, the
+	// residue-tower wire format and session resume are advertised
+	// unconditionally (servers that predate them ignore unknown bits and
+	// ack without the flags), CRC only on request.
+	flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume)
+	if dcfg.Checksum {
 		flags |= helloFlagCRC
 	}
 	hello := beginFrame(nil, frameHello, 0)
 	hello = append(hello, flags)
 	hello, _ = finishFrame(hello, 0)
 	var ftype byte
-	var ackPayload []byte
-	_, werr := conn.Write(hello)
-	err = werr
-	br = bufio.NewReaderSize(conn, wireBufSize)
+	var n negotiated
+	_, err = conn.Write(hello)
+	br := bufio.NewReaderSize(conn, wireBufSize)
 	if err == nil {
 		conn.SetReadDeadline(time.Now().Add(negotiateTimeout))
 		buf := getFrameBuf()
+		var ackPayload []byte
 		ftype, _, ackPayload, err = readFrame(br, buf)
 		if err == nil && len(ackPayload) >= 1 {
-			crc = wantCRC && ackPayload[0]&helloFlagCRC != 0
-			profiles = ackPayload[0]&helloFlagProfiles != 0
-			rnsWire = ackPayload[0]&helloFlagRNSWire != 0
+			n.crc = dcfg.Checksum && ackPayload[0]&helloFlagCRC != 0
+			n.profiles = ackPayload[0]&helloFlagProfiles != 0
+			n.rnsWire = ackPayload[0]&helloFlagRNSWire != 0
+			n.resume = ackPayload[0]&helloFlagResume != 0
 		}
 		putFrameBuf(buf)
 		conn.SetReadDeadline(time.Time{})
 	}
 	if err == nil && ftype == frameHello {
-		return conn, br, "v3", crc, profiles, rnsWire, nil
+		n.conn, n.br, n.proto = conn, br, "v3"
+		return n, nil
 	}
 	conn.Close()
-	if p == ProtoV3 {
-		return nil, nil, "", false, false, false, fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
+	if dcfg.Protocol == ProtoV3 {
+		return negotiated{}, fmt.Errorf("%w (hello failed: %v)", ErrProtocolMismatch, err)
 	}
 	return dialGob()
 }
@@ -440,8 +601,14 @@ func nonceFor(sessionID string, epoch uint64) []byte {
 }
 
 // replyError reconstructs a typed error from a wire code and detail, so
-// callers can branch with errors.Is against the serve sentinels.
+// callers can branch with errors.Is against the serve sentinels. Key
+// exhaustion carries its retry-after hint across the wire in the detail
+// string; rebuild the structured form so serve.RetryAfter works
+// client-side.
 func replyError(code serve.Code, detail string) error {
+	if code == serve.CodeKeyExhausted {
+		return fmt.Errorf("edge: server: %w", serve.ParseKeyExhausted(detail))
+	}
 	sentinel := code.Err()
 	if sentinel == nil {
 		if detail == "" {
@@ -455,11 +622,17 @@ func replyError(code serve.Code, detail string) error {
 	return fmt.Errorf("edge: server: %w: %s", sentinel, detail)
 }
 
-// teardown closes the connection exactly once; the writer's failure path,
-// the read loop and Close all funnel through it, so there is no
-// double-close race between them.
+// teardown marks the client closed and closes the transport exactly once;
+// the read loop's terminal path and Close both funnel through it, so there
+// is no double-close race between them.
 func (c *Client) teardown() {
-	c.closeOnce.Do(func() { c.closeErr = c.conn.Close() })
+	c.closed.Store(true)
+	c.closeOnce.Do(func() {
+		c.connMu.Lock()
+		conn := c.conn
+		c.connMu.Unlock()
+		c.closeErr = conn.Close()
+	})
 }
 
 // failPending fails every in-flight request with err (the first failure
@@ -469,9 +642,9 @@ func (c *Client) failPending(err error) {
 	if c.readErr == nil {
 		c.readErr = err
 	}
-	for id, ch := range c.pending {
+	for id, cl := range c.pending {
 		delete(c.pending, id)
-		close(ch)
+		close(cl.ch)
 	}
 	for id := range c.batchAsm {
 		delete(c.batchAsm, id)
@@ -482,46 +655,290 @@ func (c *Client) failPending(err error) {
 // deliver hands a reply to the request waiting on its ID.
 func (c *Client) deliver(reply *replyEnvelope) {
 	c.pendMu.Lock()
-	ch := c.pending[reply.ID]
+	cl := c.pending[reply.ID]
 	delete(c.pending, reply.ID)
 	c.pendMu.Unlock()
-	if ch != nil {
-		ch <- reply
+	if cl != nil {
+		cl.ch <- reply
 	}
 }
 
 // readLoop dispatches replies to their waiting requests by ID. On
-// connection error it fails every pending request with an error wrapping
+// connection error it either recovers the session (reconnect + resume,
+// when enabled) or fails every pending request with an error wrapping
 // serve.ErrConnClosed, so callers can branch on the failure class.
 func (c *Client) readLoop() {
-	if c.proto == "v3" {
-		c.readLoopV3()
-		return
+	if c.proto != "v3" {
+		dec := gob.NewDecoder(c.conn)
+		for {
+			reply := new(replyEnvelope)
+			if err := dec.Decode(reply); err != nil {
+				c.failPending(fmt.Errorf("edge: recv: %w: %v", serve.ErrConnClosed, err))
+				c.teardown()
+				return
+			}
+			c.deliver(reply)
+		}
 	}
-	dec := gob.NewDecoder(c.conn)
 	for {
-		reply := new(replyEnvelope)
-		if err := dec.Decode(reply); err != nil {
-			c.failPending(fmt.Errorf("edge: recv: %w: %v", serve.ErrConnClosed, err))
+		err := c.readConnV3()
+		if rerr := c.tryRecover(err); rerr != nil {
+			c.failPending(rerr)
 			c.teardown()
 			return
 		}
-		c.deliver(reply)
 	}
 }
 
-func (c *Client) readLoopV3() {
+// readConnV3 drains one transport generation, returning the first
+// connection error.
+func (c *Client) readConnV3() error {
+	c.connMu.Lock()
+	br, crc := c.br, c.crc
+	c.connMu.Unlock()
 	buf := getFrameBuf()
 	defer putFrameBuf(buf)
 	for {
-		ftype, id, payload, err := readFrameCRC(c.br, buf, c.crc)
+		ftype, id, payload, err := readFrameCRC(br, buf, crc)
 		if err == nil {
 			err = c.handleFrameV3(ftype, id, payload)
 		}
 		if err != nil {
-			c.failPending(fmt.Errorf("edge: recv: %w: %v", serve.ErrConnClosed, err))
-			c.teardown()
-			return
+			return err
+		}
+	}
+}
+
+// canRecover reports whether the automatic reconnect machinery is armed:
+// enabled, a v3 transport whose server negotiated resume, a registered
+// credential, and the client not closed.
+func (c *Client) canRecover() bool {
+	if c.closed.Load() || !c.dcfg.Reconnect || c.proto != "v3" || !c.resume {
+		return false
+	}
+	c.keyMu.Lock()
+	armed := len(c.resumeAuth) > 0
+	c.keyMu.Unlock()
+	return armed
+}
+
+// tryRecover attempts reconnect + session resume after a transport
+// failure. It returns nil when the session was re-attached (the read loop
+// continues on the new transport) and the terminal error otherwise.
+func (c *Client) tryRecover(cause error) error {
+	terminal := fmt.Errorf("edge: recv: %w: %v", serve.ErrConnClosed, cause)
+	if !c.canRecover() {
+		return terminal
+	}
+	// Setup/Rekey/Batch requests caught mid-flight cannot be safely
+	// replayed (a replayed rekey would double-bump the epoch, a batch
+	// would double-count its admission); fail them typed now. Compute
+	// requests stay registered for replay on the resumed transport.
+	c.shedNonReplayable(cause)
+	attempts := c.dcfg.ReconnectAttempts
+	if attempts <= 0 {
+		attempts = defaultReconnectAttempts
+	}
+	base, max := c.dcfg.ReconnectBackoff, c.dcfg.ReconnectBackoffMax
+	if base <= 0 {
+		base = defaultReconnectBackoff
+	}
+	if max <= 0 {
+		max = defaultReconnectBackoffMax
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		time.Sleep(c.jitter(attempt, base, max))
+		if c.closed.Load() {
+			return terminal
+		}
+		err := c.reconnectOnce()
+		if err == nil {
+			c.replayPending()
+			return nil
+		}
+		lastErr = err
+		// A typed denial will not improve with retries: the session is
+		// gone (resume window expired), the state drifted, or the server
+		// is draining — surface it.
+		if errors.Is(err, serve.ErrResumeRejected) || errors.Is(err, serve.ErrUnknownSession) ||
+			errors.Is(err, serve.ErrDraining) {
+			return err
+		}
+	}
+	return fmt.Errorf("edge: reconnect failed after %d attempts: %w (last: %v)",
+		attempts, serve.ErrConnClosed, lastErr)
+}
+
+// shedNonReplayable fails every in-flight request except Computes with a
+// typed per-call error.
+func (c *Client) shedNonReplayable(cause error) {
+	c.pendMu.Lock()
+	for id, cl := range c.pending {
+		if cl.env != nil && cl.env.Compute != nil {
+			continue
+		}
+		delete(c.pending, id)
+		delete(c.batchAsm, id)
+		cl.err = fmt.Errorf("edge: %w: connection lost mid-request (not replayed): %v",
+			serve.ErrConnClosed, cause)
+		close(cl.ch)
+	}
+	c.pendMu.Unlock()
+}
+
+// jitter computes a capped exponential backoff with ±50% jitter from the
+// client's seeded RNG.
+func (c *Client) jitter(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	c.rngMu.Lock()
+	j := c.rng.Int63n(half + 1)
+	c.rngMu.Unlock()
+	return time.Duration(half + j)
+}
+
+// reconnectOnce redials, renegotiates and runs the resume handshake; on
+// success the new transport is installed and the counters bumped.
+func (c *Client) reconnectOnce() error {
+	dcfg := c.dcfg
+	dcfg.Protocol = ProtoV3 // the session state is v3; never fall back to gob
+	neg, err := negotiate(c.addr, dcfg)
+	if err != nil {
+		return err
+	}
+	if !neg.resume || !neg.rnsWire {
+		neg.conn.Close()
+		return fmt.Errorf("edge: %w: peer no longer negotiates resume", serve.ErrResumeRejected)
+	}
+	c.keyMu.Lock()
+	auth, epoch := c.resumeAuth, c.epoch
+	c.keyMu.Unlock()
+	if err := resumeHandshake(neg.conn, neg.br, neg.crc, c.sessionID, epoch, c.wireProfile, auth); err != nil {
+		neg.conn.Close()
+		return err
+	}
+	conn := neg.conn
+	fw := newFrameWriter(conn, func() { conn.Close() }, nil)
+	fw.crc = neg.crc
+	c.connMu.Lock()
+	c.conn, c.br, c.fw, c.crc = conn, neg.br, fw, neg.crc
+	c.gen++
+	c.connMu.Unlock()
+	c.reconnects.Add(1)
+	c.resumes.Add(1)
+	return nil
+}
+
+// resumeHandshake proves key possession on a fresh connection and
+// re-attaches the session: Resume → Challenge → Proof → Reply, run
+// synchronously like the hello ack (no read loop is consuming this
+// connection yet).
+func resumeHandshake(conn net.Conn, br *bufio.Reader, crc bool, sessionID string, epoch uint64, profileID string, auth []byte) error {
+	send := func(ftype byte, enc func([]byte) []byte) error {
+		f := beginFrame(nil, ftype, 0)
+		f = enc(f)
+		f, err := finishFrame(f, 0)
+		if err != nil {
+			return err
+		}
+		if crc {
+			f = binary.LittleEndian.AppendUint32(f, crc32.Checksum(f, crcTable))
+		}
+		_, err = conn.Write(f)
+		return err
+	}
+	recv := func() (byte, []byte, func(), error) {
+		conn.SetReadDeadline(time.Now().Add(negotiateTimeout))
+		buf := getFrameBuf()
+		ftype, _, payload, err := readFrameCRC(br, buf, crc)
+		conn.SetReadDeadline(time.Time{})
+		release := func() { putFrameBuf(buf) }
+		if err != nil {
+			release()
+			return 0, nil, nil, err
+		}
+		return ftype, payload, release, nil
+	}
+	if err := send(frameResume, func(b []byte) []byte {
+		return appendResumeRequest(b, &ResumeRequest{SessionID: sessionID, Epoch: epoch, Profile: profileID})
+	}); err != nil {
+		return fmt.Errorf("edge: resume: %w", err)
+	}
+	ftype, payload, release, err := recv()
+	if err != nil {
+		return fmt.Errorf("edge: resume: %w", err)
+	}
+	if ftype == frameResumeReply {
+		// Denied before the challenge (unknown session, drift, draining).
+		rep, derr := decodeResumeReply(payload)
+		release()
+		if derr != nil {
+			return derr
+		}
+		return fmt.Errorf("edge: resume rejected: %w", replyError(rep.Code, rep.Err))
+	}
+	if ftype != frameResumeChallenge {
+		release()
+		return fmt.Errorf("%w: unexpected frame type %d in resume handshake", ErrBadFrame, ftype)
+	}
+	ch, err := decodeResumeChallenge(payload)
+	release()
+	if err != nil {
+		return err
+	}
+	if err := send(frameResumeProof, func(b []byte) []byte {
+		return appendResumeProof(b, &ResumeProof{MAC: resumeMAC(auth, ch.Challenge, sessionID, epoch)})
+	}); err != nil {
+		return fmt.Errorf("edge: resume: %w", err)
+	}
+	ftype, payload, release, err = recv()
+	if err != nil {
+		return fmt.Errorf("edge: resume: %w", err)
+	}
+	defer release()
+	if ftype != frameResumeReply {
+		return fmt.Errorf("%w: unexpected frame type %d in resume handshake", ErrBadFrame, ftype)
+	}
+	rep, err := decodeResumeReply(payload)
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("edge: resume rejected: %w", replyError(rep.Code, rep.Err))
+	}
+	return nil
+}
+
+// replayPending re-sends the Compute requests that were in flight when
+// the connection died, in request-ID order, on the fresh transport.
+func (c *Client) replayPending() {
+	type replayItem struct {
+		id  uint64
+		env *envelope
+	}
+	c.pendMu.Lock()
+	items := make([]replayItem, 0, len(c.pending))
+	for id, cl := range c.pending {
+		if cl.env != nil && cl.env.Compute != nil {
+			items = append(items, replayItem{id, cl.env})
+		}
+	}
+	c.pendMu.Unlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].id < items[j].id })
+	for _, it := range items {
+		c.replays.Add(1)
+		if err := c.write(it.env); err != nil {
+			return // the new connection died too; the next recovery round replays
 		}
 	}
 }
@@ -576,76 +993,150 @@ func (c *Client) handleFrameV3(ftype byte, id uint64, payload []byte) error {
 }
 
 // send registers a fresh request ID, stamps and encodes the envelope, and
-// returns the channel its reply will arrive on.
-func (c *Client) send(env *envelope) (chan *replyEnvelope, error) {
+// returns the call its reply will arrive on.
+func (c *Client) send(env *envelope) (*call, error) {
 	id := c.nextID.Add(1)
 	env.ID = id
-	ch := make(chan *replyEnvelope, 1)
+	cl := &call{ch: make(chan *replyEnvelope, 1), env: env}
 	c.pendMu.Lock()
 	if c.readErr != nil {
 		err := c.readErr
 		c.pendMu.Unlock()
 		return nil, err
 	}
-	c.pending[id] = ch
+	c.pending[id] = cl
 	if c.proto == "v3" && env.Batch != nil {
 		// Pre-size the assembly buffer so streamed items have a slot.
 		c.batchAsm[id] = &BatchReply{Items: make([]BatchItem, len(env.Batch.Blocks))}
 	}
 	c.pendMu.Unlock()
 
-	var err error
-	if c.proto == "v3" {
-		err = c.sendV3(id, env)
-	} else {
-		c.writeMu.Lock()
-		err = c.enc.Encode(env)
-		c.writeMu.Unlock()
-	}
-	if err != nil {
+	if err := c.write(env); err != nil {
+		// With reconnect armed, a Compute whose write hit the dying
+		// connection stays registered: the recovery pass replays it on
+		// the resumed transport, or fails it typed when recovery gives up.
+		if env.Compute != nil && c.canRecover() {
+			return cl, nil
+		}
 		c.pendMu.Lock()
 		delete(c.pending, id)
 		delete(c.batchAsm, id)
 		c.pendMu.Unlock()
-		return nil, fmt.Errorf("edge: send: %w", err)
+		// A failed transport write means the connection is done; type it so
+		// callers branch on the failure class, not the raw socket error.
+		return nil, fmt.Errorf("edge: send: %w: %v", serve.ErrConnClosed, err)
 	}
-	return ch, nil
+	return cl, nil
 }
 
-func (c *Client) sendV3(id uint64, env *envelope) error {
+// write encodes and sends env on the current transport. A write that
+// failed because the transport was swapped mid-call (a racing reconnect)
+// retries on the new generation; one that failed on the live generation
+// returns the error.
+func (c *Client) write(env *envelope) error {
+	if c.proto != "v3" {
+		c.writeMu.Lock()
+		err := c.enc.Encode(env)
+		c.writeMu.Unlock()
+		return err
+	}
+	for {
+		c.connMu.Lock()
+		fw, gen := c.fw, c.gen
+		c.connMu.Unlock()
+		err := sendV3(fw, env.ID, env)
+		if err == nil {
+			return nil
+		}
+		c.connMu.Lock()
+		cur := c.gen
+		c.connMu.Unlock()
+		if cur == gen {
+			return err
+		}
+	}
+}
+
+func sendV3(fw *frameWriter, id uint64, env *envelope) error {
 	switch {
 	case env.Setup != nil:
-		return c.fw.sendFrame(frameSetup, id, func(b []byte) []byte { return appendSetupRequest(b, env.Setup) })
+		return fw.sendFrame(frameSetup, id, func(b []byte) []byte { return appendSetupRequest(b, env.Setup) })
 	case env.Compute != nil:
-		return c.fw.sendFrame(frameCompute, id, func(b []byte) []byte { return appendComputeRequest(b, env.Compute) })
+		return fw.sendFrame(frameCompute, id, func(b []byte) []byte { return appendComputeRequest(b, env.Compute) })
 	case env.Batch != nil:
-		return c.fw.sendFrame(frameBatch, id, func(b []byte) []byte { return appendBatchRequest(b, env.Batch) })
+		return fw.sendFrame(frameBatch, id, func(b []byte) []byte { return appendBatchRequest(b, env.Batch) })
 	case env.Rekey != nil:
-		return c.fw.sendFrame(frameRekey, id, func(b []byte) []byte { return appendRekeyRequest(b, env.Rekey) })
+		return fw.sendFrame(frameRekey, id, func(b []byte) []byte { return appendRekeyRequest(b, env.Rekey) })
 	}
 	return errors.New("edge: empty envelope")
 }
 
-func (c *Client) wait(ch chan *replyEnvelope) (*replyEnvelope, error) {
-	reply, ok := <-ch
-	if !ok {
-		c.pendMu.Lock()
-		err := c.readErr
-		c.pendMu.Unlock()
-		if err == nil {
-			err = errors.New("edge: connection closed")
-		}
-		return nil, err
+func (c *Client) wait(cl *call) (*replyEnvelope, error) {
+	return c.waitCtx(context.Background(), cl)
+}
+
+// waitCtx blocks for the reply subject to ctx and the configured
+// RequestTimeout; expiry abandons the request (a late reply is dropped)
+// and fails with an error wrapping serve.ErrDeadline.
+func (c *Client) waitCtx(ctx context.Context, cl *call) (*replyEnvelope, error) {
+	var timeout <-chan time.Time
+	if d := c.dcfg.RequestTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
 	}
-	return reply, nil
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case reply, ok := <-cl.ch:
+		if !ok {
+			return nil, c.callErr(cl)
+		}
+		return reply, nil
+	case <-timeout:
+		c.abandon(cl)
+		return nil, fmt.Errorf("edge: %w: no reply within %v", serve.ErrDeadline, c.dcfg.RequestTimeout)
+	case <-done:
+		c.abandon(cl)
+		return nil, fmt.Errorf("edge: %w: %v", serve.ErrDeadline, ctx.Err())
+	}
+}
+
+// callErr resolves the terminal error of a failed call: its per-call
+// error if one was set, else the connection's.
+func (c *Client) callErr(cl *call) error {
+	if cl.err != nil {
+		return cl.err
+	}
+	c.pendMu.Lock()
+	err := c.readErr
+	c.pendMu.Unlock()
+	if err == nil {
+		err = errors.New("edge: connection closed")
+	}
+	return err
+}
+
+// abandon deregisters a call whose waiter gave up.
+func (c *Client) abandon(cl *call) {
+	c.pendMu.Lock()
+	delete(c.pending, cl.env.ID)
+	delete(c.batchAsm, cl.env.ID)
+	c.pendMu.Unlock()
 }
 
 func (c *Client) roundTrip(env *envelope) (*replyEnvelope, error) {
-	ch, err := c.send(env)
+	return c.roundTripCtx(context.Background(), env)
+}
+
+func (c *Client) roundTripCtx(ctx context.Context, env *envelope) (*replyEnvelope, error) {
+	cl, err := c.send(env)
 	if err != nil {
 		return nil, err
 	}
-	return c.wait(ch)
+	return c.waitCtx(ctx, cl)
 }
 
 // Close tears down the connection; pending requests fail with an error
@@ -659,7 +1150,11 @@ func (c *Client) Close() error {
 func (c *Client) Protocol() string { return c.proto }
 
 // Checksums reports whether per-frame CRC32C trailers were negotiated.
-func (c *Client) Checksums() bool { return c.crc }
+func (c *Client) Checksums() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.crc
+}
 
 // Profile reports the security profile the session runs on. On legacy
 // paths (gob, pre-profile servers) this is the registry default the
@@ -723,7 +1218,7 @@ func (c *Client) RekeyAdvised() bool {
 // Pending is one in-flight Compute request.
 type Pending struct {
 	c     *Client
-	ch    chan *replyEnvelope
+	cl    *call
 	n     int
 	block uint32
 	epoch uint64
@@ -745,20 +1240,26 @@ func (c *Client) ComputeAsync(block uint32, data []float64) (*Pending, error) {
 	if err != nil {
 		return nil, err
 	}
-	ch, err := c.send(&envelope{Compute: &ComputeRequest{
+	cl, err := c.send(&envelope{Compute: &ComputeRequest{
 		SessionID: c.sessionID, Block: block, Masked: masked, Epoch: epoch,
 	}})
 	if err != nil {
 		return nil, err
 	}
-	return &Pending{c: c, ch: ch, n: len(data), block: block, epoch: epoch}, nil
+	return &Pending{c: c, cl: cl, n: len(data), block: block, epoch: epoch}, nil
 }
 
 // Wait blocks for the reply and decrypts the result. Server-side
 // failures carry typed codes: errors.Is against serve.ErrOverloaded,
 // serve.ErrRekeyRequired, serve.ErrUnknownSession, ... selects the class.
 func (p *Pending) Wait() ([]float64, error) {
-	reply, err := p.c.wait(p.ch)
+	return p.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait bounded by ctx (in addition to the configured
+// RequestTimeout); expiry fails with an error wrapping serve.ErrDeadline.
+func (p *Pending) WaitCtx(ctx context.Context) ([]float64, error) {
+	reply, err := p.c.waitCtx(ctx, p.cl)
 	if err != nil {
 		return nil, err
 	}
@@ -777,22 +1278,44 @@ func (p *Pending) Wait() ([]float64, error) {
 	return out[:p.n], nil
 }
 
+// retryBudget resolves the unified retry policy's attempt cap.
+func (c *Client) retryBudget() int {
+	if c.dcfg.RetryBudget > 0 {
+		return c.dcfg.RetryBudget
+	}
+	return defaultRetryBudget
+}
+
+// retrySleep applies the unified retry policy's jittered backoff and
+// counts the retry.
+func (c *Client) retrySleep(attempt int) {
+	c.retries.Add(1)
+	time.Sleep(c.jitter(attempt, retryBackoffBase, retryBackoffMax))
+}
+
 // Compute runs one full pipeline round: mask data under the symmetric key,
 // upload, let the server transcipher + infer, then decrypt the encrypted
 // result locally. block must be unique per call within a session and key
 // epoch. With a key centre attached (DialQKD), Compute rekeys
 // transparently: proactively when the server advises the byte budget is
-// nearly spent, and with one retry when the server demands it.
+// nearly spent, and under the retry budget when the server demands it.
 func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
+	return c.ComputeCtx(context.Background(), block, data)
+}
+
+// ComputeCtx is Compute bounded by ctx (in addition to the configured
+// RequestTimeout); expiry fails with an error wrapping serve.ErrDeadline.
+func (c *Client) ComputeCtx(ctx context.Context, block uint32, data []float64) ([]float64, error) {
 	for attempt := 0; ; attempt++ {
 		p, err := c.ComputeAsync(block, data)
 		if err != nil {
 			return nil, err
 		}
-		out, err := p.Wait()
+		out, err := p.WaitCtx(ctx)
 		if err != nil {
-			if errors.Is(err, serve.ErrRekeyRequired) && attempt == 0 && c.kc != nil {
+			if errors.Is(err, serve.ErrRekeyRequired) && attempt < c.retryBudget() && c.kc != nil {
 				if rkErr := c.RekeyIfEpoch(p.Epoch()); rkErr == nil {
+					c.retrySleep(attempt)
 					continue
 				}
 			}
@@ -807,6 +1330,10 @@ func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
 	}
 }
 
+// errEpochRotated signals that a batch's mask pass straddled a concurrent
+// key rotation; the unified retry policy re-masks under the new epoch.
+var errEpochRotated = errors.New("edge: key rotated mid-batch")
+
 // ComputeBatch masks blocks start..start+len(data)-1 and uploads them as
 // one BatchRequest the server fans out across its pool. On the v3
 // protocol the per-item results stream back as each worker finishes (the
@@ -814,48 +1341,78 @@ func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
 // arrives as one buffered message. Results are in input order; items can
 // fail independently (e.g. shed with serve.ErrOverloaded), in which case
 // their slots are nil and the first failure is returned as a typed error
-// alongside the partial results.
+// alongside the partial results. A mask pass straddling a concurrent key
+// rotation, or a server-demanded rekey (key centre attached), retries
+// transparently under the retry budget.
 func (c *Client) ComputeBatch(start uint32, data [][]float64) ([][]float64, error) {
+	return c.ComputeBatchCtx(context.Background(), start, data)
+}
+
+// ComputeBatchCtx is ComputeBatch bounded by ctx (in addition to the
+// configured RequestTimeout); expiry fails with an error wrapping
+// serve.ErrDeadline.
+func (c *Client) ComputeBatchCtx(ctx context.Context, start uint32, data [][]float64) ([][]float64, error) {
+	for attempt := 0; ; attempt++ {
+		out, epoch, err := c.computeBatchOnce(ctx, start, data)
+		switch {
+		case err == nil:
+			return out, nil
+		case errors.Is(err, errEpochRotated) && attempt < c.retryBudget():
+			// Another goroutine rotated the key while this batch was
+			// masking: re-mask everything under the new epoch.
+			c.retrySleep(attempt)
+		case errors.Is(err, serve.ErrRekeyRequired) && c.kc != nil && attempt < c.retryBudget():
+			if rkErr := c.RekeyIfEpoch(epoch); rkErr != nil {
+				return out, err
+			}
+			c.retrySleep(attempt)
+		default:
+			return out, err
+		}
+	}
+}
+
+func (c *Client) computeBatchOnce(ctx context.Context, start uint32, data [][]float64) ([][]float64, uint64, error) {
 	n := len(data)
 	if n == 0 {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if n > MaxBatch {
-		return nil, fmt.Errorf("edge: batch of %d blocks exceeds %d", n, MaxBatch)
+		return nil, 0, fmt.Errorf("edge: batch of %d blocks exceeds %d", n, MaxBatch)
 	}
 	blocks := make([]uint32, n)
 	masked := make([][]float64, n)
 	var epoch uint64
 	for i, d := range data {
 		if len(d) > c.Slots() {
-			return nil, fmt.Errorf("edge: %d values exceed %d slots", len(d), c.Slots())
+			return nil, 0, fmt.Errorf("edge: %d values exceed %d slots", len(d), c.Slots())
 		}
 		m, e, err := c.mask(start+uint32(i), d)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if i == 0 {
 			epoch = e
 		} else if e != epoch {
-			return nil, errors.New("edge: key rotated mid-batch; retry")
+			return nil, epoch, errEpochRotated
 		}
 		blocks[i], masked[i] = start+uint32(i), m
 	}
-	reply, err := c.roundTrip(&envelope{Batch: &BatchRequest{
+	reply, err := c.roundTripCtx(ctx, &envelope{Batch: &BatchRequest{
 		SessionID: c.sessionID, Epoch: epoch, Blocks: blocks, Masked: masked,
 	}})
 	if err != nil {
-		return nil, err
+		return nil, epoch, err
 	}
 	rep := reply.Batch
 	if rep == nil {
-		return nil, errors.New("edge: malformed reply")
+		return nil, epoch, errors.New("edge: malformed reply")
 	}
 	if rep.Code != serve.CodeOK {
-		return nil, replyError(rep.Code, rep.Err)
+		return nil, epoch, replyError(rep.Code, rep.Err)
 	}
 	if len(rep.Items) != n {
-		return nil, fmt.Errorf("edge: batch reply with %d items, want %d", len(rep.Items), n)
+		return nil, epoch, fmt.Errorf("edge: batch reply with %d items, want %d", len(rep.Items), n)
 	}
 	c.noteReply(rep.ModeledTxDelay, rep.ModeledCmpDelay, rep.RekeyNeeded, epoch)
 	out := make([][]float64, n)
@@ -875,15 +1432,24 @@ func (c *Client) ComputeBatch(start uint32, data [][]float64) ([][]float64, erro
 		vals := c.decrypt(item.Result)
 		out[i] = vals[:len(data[i])]
 	}
-	return out, firstErr
+	return out, epoch, firstErr
 }
 
 // Rekey withdraws fresh QKD material from the attached key centre and
-// rotates the session's transciphering key. Requires DialQKD.
+// rotates the session's transciphering key. Requires DialQKD. A depleted
+// pool fails with a *serve.KeyExhaustedError (wrapping
+// serve.ErrKeyExhausted) whose RetryAfter estimates when the pool's
+// provisioning rate will have covered the shortfall.
 func (c *Client) Rekey() error {
+	return c.RekeyCtx(context.Background())
+}
+
+// RekeyCtx is Rekey bounded by ctx (in addition to the configured
+// RequestTimeout); expiry fails with an error wrapping serve.ErrDeadline.
+func (c *Client) RekeyCtx(ctx context.Context) error {
 	c.rekeyMu.Lock()
 	defer c.rekeyMu.Unlock()
-	return c.rekeyLocked()
+	return c.rekeyLocked(ctx)
 }
 
 // RekeyIfEpoch rotates the key only if the client is still at the given
@@ -897,19 +1463,41 @@ func (c *Client) RekeyIfEpoch(epoch uint64) error {
 	if c.Epoch() != epoch {
 		return nil // another request already rotated past this epoch
 	}
-	return c.rekeyLocked()
+	return c.rekeyLocked(context.Background())
 }
 
 // rekeyLocked draws fresh material and rotates; callers hold rekeyMu.
-func (c *Client) rekeyLocked() error {
+func (c *Client) rekeyLocked(ctx context.Context) error {
 	if c.kc == nil {
 		return errors.New("edge: rekey: no key centre attached (use DialQKD)")
 	}
 	material, err := c.kc.Withdraw(c.sessionID, RekeyWithdrawBytes)
 	if err != nil {
+		if errors.Is(err, qkd.ErrInsufficientKey) {
+			return fmt.Errorf("edge: rekey withdraw: %w",
+				serve.NewKeyExhausted(c.keyRetryAfter(), err.Error()))
+		}
 		return fmt.Errorf("edge: rekey withdraw: %w", err)
 	}
-	return c.rekeyWith(material)
+	return c.rekeyWith(ctx, material)
+}
+
+// keyRetryAfter estimates how long the key centre needs to provision the
+// shortfall for the next withdrawal, from its secret-key rate (bits/s).
+func (c *Client) keyRetryAfter() time.Duration {
+	avail, err := c.kc.Available(c.sessionID)
+	if err != nil {
+		avail = 0
+	}
+	deficit := RekeyWithdrawBytes - avail
+	if deficit <= 0 {
+		return 0
+	}
+	rate, err := c.kc.Rate(c.sessionID)
+	if err != nil || rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(deficit*8) / rate * float64(time.Second))
 }
 
 // RekeyWith rotates the session's transciphering key using explicit fresh
@@ -920,10 +1508,10 @@ func (c *Client) rekeyLocked() error {
 func (c *Client) RekeyWith(qkdKey []byte) error {
 	c.rekeyMu.Lock()
 	defer c.rekeyMu.Unlock()
-	return c.rekeyWith(qkdKey)
+	return c.rekeyWith(context.Background(), qkdKey)
 }
 
-func (c *Client) rekeyWith(qkdKey []byte) error {
+func (c *Client) rekeyWith(ctx context.Context, qkdKey []byte) error {
 	key, err := c.cipher.DeriveKey(qkdKey)
 	if err != nil {
 		return fmt.Errorf("edge: rekey derive: %w", err)
@@ -938,8 +1526,14 @@ func (c *Client) rekeyWith(qkdKey []byte) error {
 	if err != nil {
 		return fmt.Errorf("edge: rekey encrypt: %w", err)
 	}
-	reply, err := c.roundTrip(&envelope{Rekey: &RekeyRequest{
-		SessionID: c.sessionID, EncKey: encKey, Nonce: nonce,
+	// The resume credential is derived from the QKD material, so it
+	// rotates with the key.
+	var auth []byte
+	if c.resume {
+		auth = deriveResumeAuth(qkdKey)
+	}
+	reply, err := c.roundTripCtx(ctx, &envelope{Rekey: &RekeyRequest{
+		SessionID: c.sessionID, EncKey: encKey, Nonce: nonce, ResumeAuth: auth,
 	}})
 	if err != nil {
 		return err
@@ -953,6 +1547,9 @@ func (c *Client) rekeyWith(qkdKey []byte) error {
 	}
 	c.keyMu.Lock()
 	c.key, c.nonce, c.epoch = key, nonce, rep.Epoch
+	if c.resume {
+		c.resumeAuth = auth
+	}
 	c.keyMu.Unlock()
 	c.statMu.Lock()
 	c.rekeyAdvisedEpoch = 0

@@ -172,4 +172,62 @@
 // serves operational internals — latency profiles, session counts, live
 // pprof — without authentication, so bind it to loopback (or a trusted
 // scrape network) and never to the serving address.
+//
+// # Failure handling
+//
+// Every failure a caller can see is typed (serve.Code on the wire,
+// errors.Is-able sentinels in Go), and each code carries a contract: is a
+// retry worth anything, and what should the client do. The matrix — the
+// client's automatic behavior is what Client does on its own when
+// DialConfig.Reconnect and the unified retry policy are armed:
+//
+//	code (serve.*)        retryable?             client action
+//	--------------------  ---------------------  ------------------------------------------
+//	CodeOverloaded        yes, immediately       back off briefly and resend; the queue was
+//	                                             full at that instant (load, not state)
+//	CodeRekeyRequired     yes, after rekey       RekeyIfEpoch(epoch) then resend — automatic
+//	                                             inside Compute/ComputeBatch, budget-capped
+//	                                             (DialConfig.RetryBudget), jittered
+//	CodeKeyExhausted      yes, after retry-after serve.RetryAfter(err) gives the wait the
+//	                                             server derived from the QKD provisioning
+//	                                             rate; degradation, not failure — edgeload
+//	                                             counts these as shed_key_exhausted
+//	CodeAdmissionDenied   no (until replan)      the control plane's standing decision;
+//	                                             resending sooner than the next plan is noise
+//	CodeProfileDenied     no                     renegotiate the profile (redial); never run
+//	                                             at a different λ than granted
+//	CodeDraining          no (this server)       dial another server; resume attempts are
+//	                                             also turned away while draining
+//	CodeResumeRejected    no                     the detached session is gone (window
+//	                                             expired, epoch/profile drift, bad proof);
+//	                                             full redial — new Setup, new key ceremony
+//	CodeUnknownSession    no                     session evicted or never registered: redial
+//	CodeConnClosed        via reconnect          with Reconnect armed the client redials
+//	                                             (capped exponential backoff + jitter),
+//	                                             resumes the session (zero keygens, zero QKD
+//	                                             withdrawals) and replays in-flight Computes;
+//	                                             in-flight Setup/Rekey/Batch fail typed —
+//	                                             replaying a rekey could double-bump the
+//	                                             epoch
+//	CodeDeadline          caller's choice        the request was abandoned after
+//	                                             DialConfig.RequestTimeout or ctx expiry; a
+//	                                             late reply is dropped, so a resend is safe
+//	                                             but the block may have been served
+//	CodeBadRequest,       no                     fix the request; these are programming or
+//	CodeParamMismatch,                           negotiation errors, not transients
+//	CodeOversized,
+//	CodeWireFormat
+//	CodeInternal          maybe once             server-side evaluation failure; one resend
+//	                                             distinguishes a transient from a real bug
+//
+// Server-side hardening: ServerConfig.IdleTimeout bounds how long a
+// connection may sit idle (a client waiting on its own in-flight replies is
+// not idle), ServerConfig.ResumeWindow lets a session outlive its
+// connection for resume (guarded by a challenge–MAC possession proof over
+// the QKD-derived resume credential, which rotates on rekey), and
+// Server.Drain winds down gracefully — new work turned away typed, in-
+// flight blocks finished, connections closed as they go quiet. The chaos
+// suite (chaos_test.go + internal/faultnet) pins the whole contract under
+// seeded byte-level faults: typed errors, no hangs, no wrong plaintexts,
+// and resumes that cost zero key material (BENCH_faults.json).
 package edge

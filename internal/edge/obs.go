@@ -36,6 +36,14 @@ type serverObs struct {
 	rekeys              *obs.Counter
 	shedQueueFull       *obs.Counter
 
+	// Fault-tolerance instruments (PR 8): session resume grants/denials,
+	// resume-window expiries, idle-deadline reclaims and drain invocations.
+	resumes       *obs.Counter
+	resumeRejects *obs.Counter
+	resumeExpired *obs.Counter
+	idleTimeouts  *obs.Counter
+	drains        *obs.Counter
+
 	queueWait *obs.Histogram
 	stages    [5]*obs.Histogram // indexed by stage constants below
 
@@ -70,6 +78,11 @@ func newServerObs(reg *obs.Registry, s *Server) *serverObs {
 		connsGob:      reg.Gauge("quhe_edge_conns", "", "proto", "gob"),
 		rekeys:        reg.Counter("quhe_edge_rekeys_total", "successful session rekeys"),
 		shedQueueFull: reg.Counter("quhe_serve_shed_total", "requests shed by reason", "reason", "queue_full"),
+		resumes:       reg.Counter("quhe_resumes_total", "sessions re-attached by the resume handshake"),
+		resumeRejects: reg.Counter("quhe_edge_resume_rejects_total", "resume attempts denied (bad proof, epoch/profile drift, unknown session)"),
+		resumeExpired: reg.Counter("quhe_edge_resume_window_expired_total", "detached sessions reaped after the resume window"),
+		idleTimeouts:  reg.Counter("quhe_edge_idle_timeouts_total", "connections reclaimed by the idle read deadline"),
+		drains:        reg.Counter("quhe_edge_drains_total", "graceful drains initiated"),
 		queueWait:     reg.Histogram("quhe_serve_queue_wait_seconds", "scheduler queue wait per job"),
 		codeCounters:  make(map[serve.Code]*obs.Counter),
 		evalHists:     make(map[string]*obs.Histogram),
@@ -79,6 +92,9 @@ func newServerObs(reg *obs.Registry, s *Server) *serverObs {
 	}
 	reg.GaugeFunc("quhe_edge_sessions", "resident sessions", func() float64 {
 		return float64(s.store.Len())
+	})
+	reg.GaugeFunc("quhe_resume_window_sessions", "sessions detached inside the resume window", func() float64 {
+		return float64(s.store.Detached())
 	})
 	reg.CounterFunc("quhe_edge_evictions_total", "sessions displaced by the session cap", func() float64 {
 		return float64(s.store.Evictions())

@@ -140,7 +140,7 @@ func TestSetupEnforcesPlanProfile(t *testing.T) {
 		RLK:       &ckks.RelinKey{},
 		EncKey:    make([]*ckks.Ciphertext, KeyLen),
 		Profile:   profile.IDLambda128k,
-	})
+	}, nil)
 	if rep.OK || rep.Code != serve.CodeProfileDenied {
 		t.Fatalf("bypass setup reply = %+v, want CodeProfileDenied", rep)
 	}

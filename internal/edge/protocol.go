@@ -46,6 +46,12 @@ type SetupRequest struct {
 	// v3 wire this travels as an optional trailing field, so pre-profile
 	// frames decode unchanged.
 	Profile string
+	// ResumeAuth registers the session's resume credential: a secret the
+	// client derives from the current QKD key material, against which a
+	// reconnect proves key possession (challenge HMAC) to re-attach
+	// without a re-keygen. Sent only after the hello handshake negotiated
+	// resume (v3); empty disables resume for the session.
+	ResumeAuth []byte
 }
 
 // SetupReply acknowledges session registration.
@@ -145,6 +151,11 @@ type RekeyRequest struct {
 	SessionID string
 	EncKey    []*ckks.Ciphertext
 	Nonce     []byte
+	// ResumeAuth rotates the session's resume credential alongside the
+	// key material (it is derived from the QKD key, so a new key means a
+	// new credential). Optional trailing field on the v3 wire; see
+	// SetupRequest.ResumeAuth.
+	ResumeAuth []byte
 }
 
 // RekeyReply acknowledges a rekey with the session's new epoch.
@@ -152,6 +163,43 @@ type RekeyReply struct {
 	OK    bool
 	Err   string
 	Code  serve.Code
+	Epoch uint64
+}
+
+// ResumeRequest re-attaches a reconnecting client to its server-side
+// session (v3 only, gated by the hello handshake's resume flag). The
+// client names the session and proves it is the same principal by
+// answering the server's challenge with an HMAC under the resume
+// credential registered at Setup/Rekey — no key generation, no new QKD
+// withdrawal. Epoch and Profile must match the server's view exactly; a
+// divergence means the client missed a rotation and must re-dial.
+type ResumeRequest struct {
+	SessionID string
+	Epoch     uint64
+	Profile   string
+}
+
+// ResumeChallenge carries the server's random challenge for the resume
+// possession proof.
+type ResumeChallenge struct {
+	Challenge []byte
+}
+
+// ResumeProof answers a ResumeChallenge:
+// HMAC-SHA256(resumeAuth, challenge || sessionID || epoch).
+type ResumeProof struct {
+	MAC []byte
+}
+
+// ResumeReply grants or denies the resume. On a grant the connection is
+// attached to the session and serves computes immediately; a denial is
+// typed (serve.CodeResumeRejected and friends) and the client falls back
+// to a full re-dial.
+type ResumeReply struct {
+	OK   bool
+	Err  string
+	Code serve.Code
+	// Epoch echoes the session's current key epoch on a grant.
 	Epoch uint64
 }
 

@@ -2,6 +2,9 @@ package edge
 
 import (
 	"bufio"
+	"context"
+	"crypto/hmac"
+	"crypto/rand"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -112,6 +115,21 @@ type ServerConfig struct {
 	// overhead benchmark can compare the instrumented hot path against
 	// the bare one; leave false in production.
 	DisableObs bool
+	// IdleTimeout bounds how long a connection may sit with no inbound
+	// frames and no in-flight work before the server closes it: half-dead
+	// peers release their sessions back to resumable state instead of
+	// pinning them. A connection waiting on its own replies (queued
+	// computes, streaming batches) is not idle. The timeout also bounds a
+	// single frame's read, so it must comfortably exceed the worst-case
+	// frame transfer time (Setup frames run to megabytes). 0 disables.
+	IdleTimeout time.Duration
+	// ResumeWindow bounds how long a session outlives its last connection
+	// before being reclaimed: within the window a reconnecting client can
+	// resume (session ID + epoch + possession proof) with no re-keygen
+	// and no new QKD withdrawal; past it the session is swept and a
+	// resume fails typed. 0 keeps the pre-window behavior — sessions
+	// survive disconnects until LRU eviction.
+	ResumeWindow time.Duration
 }
 
 // profileRuntime is one security profile's serving substrate: the shared
@@ -155,8 +173,54 @@ type Server struct {
 	closed bool
 	// conns tracks live connections so Close can tear them down: without
 	// it, a peer that stalls mid-read (batch writer blocked on its
-	// socket) would pin Close in wg.Wait forever.
-	conns map[net.Conn]struct{}
+	// socket) would pin Close in wg.Wait forever. Each connection's state
+	// carries its in-flight work count (Drain's idleness signal) and its
+	// attached sessions (detached into the resume window on teardown).
+	conns map[net.Conn]*connState
+
+	// draining rejects new sessions, resumes and computes while Drain
+	// winds live connections down; lnOnce makes the listener close safe
+	// to reach from both Drain and Close.
+	draining atomic.Bool
+	lnOnce   sync.Once
+	lnErr    error
+	// reapStop ends the resume-window reaper (nil when ResumeWindow is 0).
+	reapStop chan struct{}
+}
+
+// connState is the server's per-connection bookkeeping. active counts
+// dispatched requests whose replies have not reached the socket yet —
+// Drain closes a connection only when it reads zero. attached holds the
+// sessions bound to the connection (by Setup or a granted resume); on
+// teardown each is detached into the resume window.
+type connState struct {
+	active atomic.Int64
+
+	mu       sync.Mutex
+	attached map[string]*serve.Session
+}
+
+// attach binds a session to the connection (idempotent per session).
+func (cs *connState) attach(sess *serve.Session) {
+	cs.mu.Lock()
+	if _, ok := cs.attached[sess.ID]; !ok {
+		if cs.attached == nil {
+			cs.attached = make(map[string]*serve.Session, 1)
+		}
+		cs.attached[sess.ID] = sess
+		sess.Attach()
+	}
+	cs.mu.Unlock()
+}
+
+// detachAll releases every attached session into the resume window.
+func (cs *connState) detachAll(nowUnixNano int64) {
+	cs.mu.Lock()
+	for _, sess := range cs.attached {
+		sess.Detach(nowUnixNano)
+	}
+	cs.attached = nil
+	cs.mu.Unlock()
 }
 
 // NewServer builds a server over the profile registry and starts
@@ -237,7 +301,7 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("edge: listen: %w", err)
 	}
 	s.listener = ln
-	s.conns = make(map[net.Conn]struct{})
+	s.conns = make(map[net.Conn]*connState)
 	if cfg.Control != nil {
 		cfg.Control.BindServe(s.pools, s.sched, s.store)
 	}
@@ -256,9 +320,40 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		}
 		s.debug = ds
 	}
+	if cfg.ResumeWindow > 0 {
+		s.reapStop = make(chan struct{})
+		s.wg.Add(1)
+		go s.reapLoop()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// reapLoop sweeps sessions whose resume window has expired: detached
+// longer than ResumeWindow ago, reclaimed ahead of normal LRU pressure.
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	tick := s.cfg.ResumeWindow / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-t.C:
+			cutoff := time.Now().Add(-s.cfg.ResumeWindow).UnixNano()
+			if n := s.store.SweepExpired(cutoff); n > 0 {
+				if m := s.met; m != nil {
+					m.resumeExpired.Add(int64(n))
+				}
+				s.cfg.Logf("edge: resume window expired for %d sessions", n)
+			}
+		}
+	}
 }
 
 // runtime returns the profile's serving substrate, building and caching
@@ -344,6 +439,13 @@ func (s *Server) DebugAddr() string {
 	return s.debug.Addr()
 }
 
+// closeListener closes the listener exactly once (Drain and Close both
+// reach it) and remembers the first close's error.
+func (s *Server) closeListener() error {
+	s.lnOnce.Do(func() { s.lnErr = s.listener.Close() })
+	return s.lnErr
+}
+
 // Close stops accepting, tears down live connections (so a stalled peer
 // cannot pin shutdown), waits for in-flight handlers to finish and drains
 // the scheduler.
@@ -362,33 +464,97 @@ func (s *Server) Close() error {
 	if s.debug != nil {
 		s.debug.Close()
 	}
-	err := s.listener.Close()
+	err := s.closeListener()
 	for _, c := range conns {
 		c.Close()
+	}
+	if s.reapStop != nil {
+		close(s.reapStop)
 	}
 	s.wg.Wait()
 	s.sched.Close()
 	return err
 }
 
+// Drain gracefully winds the server down for a restart: stop accepting,
+// turn new sessions, resumes and computes away with serve.CodeDraining,
+// let in-flight blocks finish, and close each connection the moment it
+// has no work left — nudging idle clients off to reconnect elsewhere.
+// Returns nil once every connection is gone, or ctx's error after
+// force-closing whatever remained when the context expired. Call Close
+// afterwards to release the remaining resources (scheduler, debug
+// plane); Drain leaves them running so in-flight work can finish.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.Swap(true) {
+		if m := s.met; m != nil {
+			m.drains.Inc()
+		}
+		s.cfg.Logf("edge: draining")
+	}
+	s.closeListener()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		s.mu.Lock()
+		busy := 0
+		idle := make([]net.Conn, 0, len(s.conns))
+		for conn, cs := range s.conns {
+			if cs.active.Load() == 0 {
+				idle = append(idle, conn)
+			} else {
+				busy++
+			}
+		}
+		s.mu.Unlock()
+		for _, c := range idle {
+			c.Close()
+		}
+		if busy == 0 && len(idle) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			conns := make([]net.Conn, 0, len(s.conns))
+			for c := range s.conns {
+				conns = append(conns, c)
+			}
+			s.mu.Unlock()
+			for _, c := range conns {
+				c.Close()
+			}
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Draining reports whether the server is turning new work away.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // trackConn registers a live connection for Close-time teardown; it
-// reports false (and closes the connection) when the server is already
+// reports nil (and closes the connection) when the server is already
 // closing.
-func (s *Server) trackConn(conn net.Conn) bool {
+func (s *Server) trackConn(conn net.Conn) *connState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		conn.Close()
-		return false
+		return nil
 	}
-	s.conns[conn] = struct{}{}
-	return true
+	cs := &connState{}
+	s.conns[conn] = cs
+	return cs
 }
 
 func (s *Server) forgetConn(conn net.Conn) {
 	s.mu.Lock()
+	cs := s.conns[conn]
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	if cs != nil {
+		cs.detachAll(time.Now().UnixNano())
+	}
 }
 
 // Blocks returns the number of blocks processed for a session. Read-only:
@@ -489,7 +655,8 @@ func (w *connWriter) send(reply *replyEnvelope) {
 // one close-once teardown so a writer-side failure and the read loop's
 // exit cannot double-close the connection.
 func (s *Server) serveConn(conn net.Conn) {
-	if !s.trackConn(conn) {
+	cs := s.trackConn(conn)
+	if cs == nil {
 		return
 	}
 	var once sync.Once
@@ -504,14 +671,48 @@ func (s *Server) serveConn(conn net.Conn) {
 	if !s.cfg.LegacyGobOnly {
 		if first, err := br.Peek(2); err == nil &&
 			first[0] == frameMagic0 && first[1] == frameMagic1 {
-			s.serveV3(conn, br, teardown)
+			s.serveV3(conn, br, teardown, cs)
 			return
 		}
 	}
-	s.serveGob(br, conn, teardown)
+	s.serveGob(br, conn, teardown, cs)
 }
 
-func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
+// awaitFrame enforces the idle deadline before a blocking read: it peeks
+// for the next byte under a read deadline of IdleTimeout, extending the
+// wait while the connection has in-flight work (a client waiting on its
+// own replies is not idle). A true idle expiry closes the connection —
+// the session detaches into the resume window. With IdleTimeout unset it
+// is a no-op and the subsequent read blocks indefinitely, matching the
+// pre-timeout behavior. Returns false when the connection should be torn
+// down (the caller's read would fail anyway).
+func (s *Server) awaitFrame(conn net.Conn, br *bufio.Reader, cs *connState) bool {
+	idle := s.cfg.IdleTimeout
+	if idle <= 0 {
+		return true
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(idle))
+		if _, err := br.Peek(1); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if cs.active.Load() > 0 {
+					continue // replies in flight; not idle
+				}
+				if m := s.met; m != nil {
+					m.idleTimeouts.Inc()
+				}
+				s.cfg.Logf("edge: idle timeout (%s) — releasing connection", idle)
+			}
+			return false
+		}
+		// Bytes are arriving: give the whole frame a fresh budget.
+		conn.SetReadDeadline(time.Now().Add(idle))
+		return true
+	}
+}
+
+func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func(), cs *connState) {
 	if m := s.met; m != nil {
 		m.connsGob.Add(1)
 		defer m.connsGob.Add(-1)
@@ -519,6 +720,9 @@ func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
 	dec := gob.NewDecoder(br)
 	cw := &connWriter{enc: gob.NewEncoder(conn), teardown: teardown, logf: s.cfg.Logf}
 	for {
+		if !s.awaitFrame(conn, br, cs) {
+			return
+		}
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -526,19 +730,21 @@ func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
 			}
 			return
 		}
+		cs.active.Add(1)
 		switch {
 		case env.Setup != nil:
-			cw.send(&replyEnvelope{ID: env.ID, Setup: s.handleSetup(env.Setup)})
+			cw.send(&replyEnvelope{ID: env.ID, Setup: s.handleSetup(env.Setup, cs)})
 		case env.Rekey != nil:
 			cw.send(&replyEnvelope{ID: env.ID, Rekey: s.handleRekey(env.Rekey)})
 		case env.Compute != nil:
-			s.handleCompute(cw, env.ID, env.Compute)
+			s.handleCompute(cw, env.ID, env.Compute, cs)
 		case env.Batch != nil:
-			s.handleBatch(cw, env.ID, env.Batch)
+			s.handleBatch(cw, env.ID, env.Batch, cs)
 		default:
 			cw.send(&replyEnvelope{ID: env.ID,
 				Setup: &SetupReply{Err: "empty request", Code: serve.CodeBadRequest}})
 		}
+		cs.active.Add(-1)
 	}
 }
 
@@ -546,7 +752,7 @@ func (s *Server) serveGob(br *bufio.Reader, conn net.Conn, teardown func()) {
 // negotiation plus the profile-support advertisement), then a decode loop
 // dispatching request frames. Replies go through one frameWriter per
 // connection; batch items stream back as soon as each worker finishes.
-func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
+func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func(), cs *connState) {
 	if m := s.met; m != nil {
 		m.connsV3.Add(1)
 		defer m.connsV3.Add(-1)
@@ -560,15 +766,16 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 	}
 	// Feature negotiation: a client that wants CRC32C trailers sets the
 	// flag in its hello payload; the ack echoes what the server accepts
-	// and always advertises profile negotiation. Pre-checksum clients
-	// send empty hellos and get the empty ack they expect. The hello pair
-	// itself is always un-trailed; crc flips before the loop, while this
-	// goroutine is still the only sender.
+	// and always advertises profile negotiation, the RNS wire format and
+	// session resume. Pre-checksum clients send empty hellos and get the
+	// empty ack they expect. The hello pair itself is always un-trailed;
+	// crc flips before the loop, while this goroutine is still the only
+	// sender.
 	crc := s.cfg.FrameChecksums && len(payload) >= 1 && payload[0]&helloFlagCRC != 0
 	rnsWire := len(payload) >= 1 && payload[0]&helloFlagRNSWire != 0
 	var ack func(b []byte) []byte
 	if len(payload) >= 1 {
-		flags := byte(helloFlagProfiles | helloFlagRNSWire)
+		flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume)
 		if crc {
 			flags |= helloFlagCRC
 		}
@@ -590,6 +797,9 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 		trailer = crcTrailerLen
 	}
 	for {
+		if !s.awaitFrame(conn, br, cs) {
+			return
+		}
 		ftype, id, payload, err := readFrameCRC(br, buf, crc)
 		if err != nil {
 			if errors.Is(err, ErrFrameChecksum) && s.met != nil {
@@ -606,7 +816,10 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 			m.framesIn.Inc()
 			m.bytesIn.Add(int64(frameHeaderLen + len(payload) + trailer))
 		}
-		if err := s.dispatchV3(fw, ftype, id, payload, rnsWire); err != nil {
+		cs.active.Add(1)
+		err = s.dispatchV3(fw, ftype, id, payload, rnsWire, v3conn{conn: conn, br: br, buf: buf, crc: crc, cs: cs})
+		cs.active.Add(-1)
+		if err != nil {
 			// A payload that fails to decode is a protocol violation, not
 			// a request we can answer: kill the connection.
 			s.cfg.Logf("edge: v3 payload (type %d): %v", ftype, err)
@@ -615,7 +828,17 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func()) {
 	}
 }
 
-func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []byte, rnsWire bool) error {
+// v3conn bundles the read side of a v3 connection for handlers that run
+// a sub-dialog inside the decode loop (the resume handshake).
+type v3conn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	buf  *[]byte
+	crc  bool
+	cs   *connState
+}
+
+func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []byte, rnsWire bool, vc v3conn) error {
 	switch ftype {
 	case frameProfile:
 		req, err := decodeProfileRequest(payload)
@@ -638,8 +861,14 @@ func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []by
 		if err != nil {
 			return err
 		}
-		rep := s.handleSetup(req)
+		rep := s.handleSetup(req, vc.cs)
 		fw.sendFrame(frameSetupReply, id, func(b []byte) []byte { return appendSetupReply(b, rep) })
+	case frameResume:
+		req, err := decodeResumeRequest(payload)
+		if err != nil {
+			return err
+		}
+		return s.handleResume(fw, vc, id, req)
 	case frameRekey:
 		req, err := decodeRekeyRequest(payload)
 		if err != nil {
@@ -658,13 +887,13 @@ func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []by
 		if err != nil {
 			return err
 		}
-		s.handleComputeV3(fw, id, req, decodeStart)
+		s.handleComputeV3(fw, id, req, decodeStart, vc.cs)
 	case frameBatch:
 		req, err := decodeBatchRequest(payload)
 		if err != nil {
 			return err
 		}
-		s.handleBatchV3(fw, id, req)
+		s.handleBatchV3(fw, id, req, vc.cs)
 	default:
 		return fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, ftype)
 	}
@@ -698,6 +927,91 @@ func (s *Server) handleProfile(req *ProfileRequest) *ProfileReply {
 	return &ProfileReply{Granted: granted}
 }
 
+// handleResume runs the session-resume sub-dialog inside the decode
+// loop: verify the session/epoch/profile claim, challenge the client,
+// check the possession proof (HMAC under the resume credential the
+// session registered at Setup/Rekey), and on success attach the
+// connection to the session — no key generation, no QKD withdrawal.
+// Denials are typed replies; only protocol violations (a non-proof frame
+// mid-dialog, undecodable payloads) return an error and kill the
+// connection.
+func (s *Server) handleResume(fw *frameWriter, vc v3conn, id uint64, req *ResumeRequest) error {
+	deny := func(code serve.Code, detail string) error {
+		if m := s.met; m != nil {
+			m.resumeRejects.Inc()
+		}
+		s.cfg.Logf("edge: resume of %q denied: %s (%s)", req.SessionID, code, detail)
+		rep := &ResumeReply{Code: code, Err: detail}
+		fw.sendFrame(frameResumeReply, id, func(b []byte) []byte { return appendResumeReply(b, rep) })
+		return nil
+	}
+	if s.draining.Load() {
+		return deny(serve.CodeDraining, "server draining; re-dial elsewhere")
+	}
+	// Peek, not Get: the session earns its LRU refresh only after the
+	// possession proof, so an unauthenticated probe cannot keep a session
+	// alive.
+	sess, ok := s.store.Peek(req.SessionID)
+	if !ok {
+		return deny(serve.CodeUnknownSession,
+			fmt.Sprintf("no session %q to resume (expired or evicted)", req.SessionID))
+	}
+	sessProf := sess.Profile
+	if sessProf == "" {
+		sessProf = s.reg.DefaultID()
+	}
+	reqProf := req.Profile
+	if reqProf == "" {
+		reqProf = s.reg.DefaultID()
+	}
+	if reqProf != sessProf {
+		return deny(serve.CodeResumeRejected,
+			fmt.Sprintf("profile mismatch: session on %q, resume claims %q", sessProf, reqProf))
+	}
+	if epoch := sess.Epoch(); epoch != req.Epoch {
+		return deny(serve.CodeResumeRejected,
+			fmt.Sprintf("epoch mismatch: session at %d, resume claims %d — re-dial", epoch, req.Epoch))
+	}
+	auth := sess.ResumeAuth()
+	if len(auth) == 0 {
+		return deny(serve.CodeResumeRejected, "session registered without a resume credential")
+	}
+	var challenge [16]byte
+	if _, err := rand.Read(challenge[:]); err != nil {
+		return deny(serve.CodeInternal, "challenge generation failed")
+	}
+	ch := &ResumeChallenge{Challenge: challenge[:]}
+	if fw.sendFrame(frameResumeChallenge, id, func(b []byte) []byte { return appendResumeChallenge(b, ch) }) != nil {
+		return nil // connection already torn down
+	}
+	if idle := s.cfg.IdleTimeout; idle > 0 {
+		vc.conn.SetReadDeadline(time.Now().Add(idle))
+	}
+	ftype, pid, payload, err := readFrameCRC(vc.br, vc.buf, vc.crc)
+	if err != nil {
+		return fmt.Errorf("resume proof read: %w", err)
+	}
+	if ftype != frameResumeProof || pid != id {
+		return fmt.Errorf("%w: expected resume proof, got frame type %d", ErrBadFrame, ftype)
+	}
+	proof, err := decodeResumeProof(payload)
+	if err != nil {
+		return err
+	}
+	if !hmac.Equal(proof.MAC, resumeMAC(auth, challenge[:], sess.ID, req.Epoch)) {
+		return deny(serve.CodeResumeRejected, "possession proof failed")
+	}
+	s.store.Get(sess.ID) // authenticated: refresh LRU position
+	vc.cs.attach(sess)
+	if m := s.met; m != nil {
+		m.resumes.Inc()
+	}
+	s.cfg.Logf("edge: session %q resumed at epoch %d", sess.ID, req.Epoch)
+	rep := &ResumeReply{OK: true, Epoch: req.Epoch}
+	fw.sendFrame(frameResumeReply, id, func(b []byte) []byte { return appendResumeReply(b, rep) })
+	return nil
+}
+
 func (s *Server) sendComputeReplyV3(fw *frameWriter, id uint64, rep *ComputeReply) {
 	fw.sendFrame(frameComputeReply, id, func(b []byte) []byte { return appendComputeReply(b, rep) })
 }
@@ -708,7 +1022,7 @@ func (s *Server) sendComputeReplyV3(fw *frameWriter, id uint64, rep *ComputeRepl
 // the block's life is traced stage by stage (decode → queue_wait → eval
 // → encode → write) and recorded once the reply frame reached the
 // socket; spans also feed the quhe_stage_seconds histograms.
-func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest, decodeStart time.Time) {
+func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest, decodeStart time.Time, cs *connState) {
 	bt := s.met.newBlockTrace(req.SessionID, req.Block, id, decodeStart)
 	bt.span(stageIdxDecode, stageDecode, decodeStart, time.Since(decodeStart))
 	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
@@ -720,7 +1034,12 @@ func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest
 	if bt != nil {
 		submitAt = time.Now()
 	}
+	// The reply outlives this dispatch: hold an in-flight count until the
+	// reply frame reached the socket, so Drain never closes the
+	// connection under a queued compute.
+	cs.active.Add(1)
 	if err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
+		defer cs.active.Add(-1)
 		if bt == nil {
 			s.sendComputeReplyV3(fw, id, s.compute(rt, w, sess, req))
 			return
@@ -739,6 +1058,7 @@ func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest
 		}
 		bt.finish()
 	}); err != nil {
+		cs.active.Add(-1)
 		if m := s.met; m != nil {
 			m.shedQueueFull.Inc()
 		}
@@ -753,6 +1073,9 @@ func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest
 // runtime before the job is queued, so the scheduler can route it to the
 // right per-profile pool.
 func (s *Server) lookupCompute(sessionID string) (*serve.Session, *profileRuntime, *serve.EvalPool, serve.Code, string) {
+	if s.draining.Load() {
+		return nil, nil, nil, serve.CodeDraining, "server draining; reconnect elsewhere"
+	}
 	sess, ok := s.store.Get(sessionID)
 	if !ok {
 		return nil, nil, nil, serve.CodeUnknownSession, fmt.Sprintf("unknown session %q", sessionID)
@@ -764,7 +1087,10 @@ func (s *Server) lookupCompute(sessionID string) (*serve.Session, *profileRuntim
 	return sess, rt, pool, serve.CodeOK, ""
 }
 
-func (s *Server) handleSetup(req *SetupRequest) *SetupReply {
+func (s *Server) handleSetup(req *SetupRequest, cs *connState) *SetupReply {
+	if s.draining.Load() {
+		return &SetupReply{Code: serve.CodeDraining, Err: "server draining; re-dial elsewhere"}
+	}
 	profID := req.Profile
 	if profID == "" {
 		// Gob peers and pre-profile v3 clients are pinned to the default
@@ -815,11 +1141,17 @@ func (s *Server) handleSetup(req *SetupRequest) *SetupReply {
 		return &SetupReply{Code: serve.CodeInternal, Err: "profile runtime: " + err.Error()}
 	}
 	sess := serve.NewSession(req.SessionID, profID, req.PK, req.RLK, req.EncKey, req.Nonce)
+	if len(req.ResumeAuth) > 0 {
+		sess.SetResumeAuth(req.ResumeAuth)
+	}
 	if err := s.store.Register(sess); err != nil {
 		return &SetupReply{
 			Code: serve.CodeOf(err),
 			Err:  fmt.Sprintf("session %q already registered (rekey instead of re-registering)", req.SessionID),
 		}
+	}
+	if cs != nil {
+		cs.attach(sess)
 	}
 	if ctl != nil {
 		ctl.ObserveSession(req.SessionID, profID)
@@ -844,6 +1176,10 @@ func (s *Server) handleRekey(req *RekeyRequest) *RekeyReply {
 		return &RekeyReply{Code: serve.CodeBadRequest, Err: "incomplete rekey"}
 	}
 	epoch := sess.Rekey(req.EncKey, req.Nonce)
+	// The resume credential is derived from the QKD key material, so it
+	// rotates with it; a rekey without one (an older client) clears the
+	// credential rather than leaving a stale epoch's secret valid.
+	sess.SetResumeAuth(req.ResumeAuth)
 	if m := s.met; m != nil {
 		m.rekeys.Inc()
 	}
@@ -855,7 +1191,7 @@ func (s *Server) handleRekey(req *RekeyRequest) *RekeyReply {
 // session profile's pool — blocking checkout, never shed — preserving the
 // v1 in-order contract. Nonzero IDs go through the bounded scheduler and
 // may be shed with CodeOverloaded.
-func (s *Server) handleCompute(cw *connWriter, id uint64, req *ComputeRequest) {
+func (s *Server) handleCompute(cw *connWriter, id uint64, req *ComputeRequest, cs *connState) {
 	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
 	if code != serve.CodeOK {
 		rep := &ComputeReply{Code: code, Err: detail}
@@ -875,9 +1211,12 @@ func (s *Server) handleCompute(cw *connWriter, id uint64, req *ComputeRequest) {
 		cw.send(&replyEnvelope{Compute: rep})
 		return
 	}
+	cs.active.Add(1)
 	if err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
+		defer cs.active.Add(-1)
 		cw.send(&replyEnvelope{ID: id, Compute: s.compute(rt, w, sess, req)})
 	}); err != nil {
+		cs.active.Add(-1)
 		cw.send(&replyEnvelope{ID: id, Compute: &ComputeReply{
 			Code: serve.CodeOf(err),
 			Err:  fmt.Sprintf("queue full (depth %d)", s.sched.Capacity()),
@@ -989,7 +1328,7 @@ func (s *Server) rekeyNeeded(sess *serve.Session) bool {
 // onto the session profile's pool, replying once every admitted item
 // finishes. Items shed by a full queue fail individually with
 // CodeOverloaded.
-func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
+func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest, cs *connState) {
 	fail := func(code serve.Code, detail string) {
 		cw.send(&replyEnvelope{ID: id, Batch: &BatchReply{Code: code, Err: detail}})
 	}
@@ -1012,9 +1351,11 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 		return
 	}
 	items := make([]BatchItem, n)
+	cs.active.Add(1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer cs.active.Add(-1)
 		// The batch bounds its own in-flight items to the live queue
 		// depth (which a control plane may have resized below the built
 		// QueueDepth): earlier items finish before later ones are
@@ -1073,7 +1414,7 @@ func (s *Server) handleBatch(cw *connWriter, id uint64, req *BatchRequest) {
 // The frameWriter's per-connection mutex interleaves item frames with
 // other replies at frame granularity, so one giant batch cannot starve
 // pipelined requests on the same connection of the socket.
-func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
+func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest, cs *connState) {
 	fail := func(code serve.Code, detail string) {
 		fw.sendFrame(frameBatchDone, id, func(b []byte) []byte {
 			return appendBatchDone(b, &BatchReply{Code: code, Err: detail})
@@ -1097,9 +1438,11 @@ func (s *Server) handleBatchV3(fw *frameWriter, id uint64, req *BatchRequest) {
 		fail(code, detail)
 		return
 	}
+	cs.active.Add(1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer cs.active.Add(-1)
 		// Same admission contract as the buffered path — the batch bounds
 		// its own in-flight items, so an idle server never sheds a batch
 		// merely for being larger than the queue — but here a window

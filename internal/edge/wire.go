@@ -20,6 +20,8 @@ package edge
 
 import (
 	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -78,6 +80,15 @@ const (
 	// limbs. The gob paths are unaffected: gob is self-describing.
 	helloFlagRNSWire = 0x04
 
+	// helloFlagResume advertises session resume: a server that sets it in
+	// its hello ack accepts frameResume handshakes and the optional
+	// ResumeAuth trailing field on Setup/Rekey. Clients request it
+	// unconditionally; against a server that acks without the flag they
+	// simply never send resume frames or credentials, and a reconnect
+	// falls back to a full re-dial with a typed serve.ErrResumeRejected
+	// explaining why.
+	helloFlagResume = 0x08
+
 	// crcTrailerLen is the CRC32C (Castagnoli) trailer size. The trailer
 	// covers header and payload and is excluded from the header's length
 	// field, so a checksumming reader and a length-driven frame skipper
@@ -103,6 +114,10 @@ const (
 	frameRekeyReply
 	frameProfile
 	frameProfileReply
+	frameResume
+	frameResumeChallenge
+	frameResumeProof
+	frameResumeReply
 )
 
 // Typed frame errors: fuzzing and tests assert corrupt input maps to
@@ -184,7 +199,7 @@ func readFrameCRC(br *bufio.Reader, buf *[]byte, withCRC bool) (ftype byte, id u
 		return 0, 0, nil, ErrBadFrame
 	}
 	ftype = hdr[3]
-	if ftype < frameHello || ftype > frameProfileReply {
+	if ftype < frameHello || ftype > frameResumeReply {
 		return 0, 0, nil, ErrBadFrame
 	}
 	id = binary.LittleEndian.Uint64(hdr[4:12])
@@ -510,10 +525,16 @@ func appendSetupRequest(b []byte, req *SetupRequest) []byte {
 	b = req.RLK.AppendBinary(b)
 	b = appendCiphertexts(b, req.EncKey)
 	b = appendBytes(b, req.Nonce)
-	// The profile travels as an optional trailing field: omitted when
-	// empty, so pre-profile peers see (and send) exactly the old layout.
-	if req.Profile != "" {
+	// Profile and ResumeAuth travel as optional trailing fields, so
+	// pre-profile/pre-resume peers see (and send) exactly the old layout.
+	// A ResumeAuth forces the Profile field out (possibly empty) to keep
+	// the trailing positions unambiguous; clients only attach a credential
+	// after the hello handshake negotiated resume.
+	if req.Profile != "" || len(req.ResumeAuth) > 0 {
 		b = appendString(b, req.Profile)
+	}
+	if len(req.ResumeAuth) > 0 {
+		b = appendBytes(b, req.ResumeAuth)
 	}
 	return b
 }
@@ -545,6 +566,9 @@ func decodeSetupRequest(p []byte) (*SetupRequest, error) {
 	req.Nonce = r.bytes()
 	if r.err == nil && len(r.b) > 0 {
 		req.Profile = r.str()
+	}
+	if r.err == nil && len(r.b) > 0 {
+		req.ResumeAuth = r.bytes()
 	}
 	if err := r.finish(); err != nil {
 		return nil, err
@@ -749,7 +773,13 @@ func decodeBatchDone(p []byte) (*BatchReply, error) {
 func appendRekeyRequest(b []byte, req *RekeyRequest) []byte {
 	b = appendString(b, req.SessionID)
 	b = appendCiphertexts(b, req.EncKey)
-	return appendBytes(b, req.Nonce)
+	b = appendBytes(b, req.Nonce)
+	// Optional trailing field (see appendSetupRequest): the rotated
+	// resume credential, only sent on resume-negotiated connections.
+	if len(req.ResumeAuth) > 0 {
+		b = appendBytes(b, req.ResumeAuth)
+	}
+	return b
 }
 
 func decodeRekeyRequest(p []byte) (*RekeyRequest, error) {
@@ -758,6 +788,9 @@ func decodeRekeyRequest(p []byte) (*RekeyRequest, error) {
 		SessionID: r.str(),
 		EncKey:    r.ciphertexts(maxWireEncKey),
 		Nonce:     r.bytes(),
+	}
+	if r.err == nil && len(r.b) > 0 {
+		req.ResumeAuth = r.bytes()
 	}
 	if err := r.finish(); err != nil {
 		return nil, err
@@ -779,4 +812,96 @@ func decodeRekeyReply(p []byte) (*RekeyReply, error) {
 		return nil, err
 	}
 	return rep, nil
+}
+
+// maxResumeField bounds the variable-length resume handshake fields
+// (challenge, MAC): both are fixed-size in practice (16 and 32 bytes)
+// but the decoder tolerates growth without allowing unbounded allocation.
+const maxResumeField = 64
+
+func appendResumeRequest(b []byte, req *ResumeRequest) []byte {
+	b = appendString(b, req.SessionID)
+	b = binary.LittleEndian.AppendUint64(b, req.Epoch)
+	return appendString(b, req.Profile)
+}
+
+func decodeResumeRequest(p []byte) (*ResumeRequest, error) {
+	r := &wireReader{b: p}
+	req := &ResumeRequest{SessionID: r.str(), Epoch: r.u64(), Profile: r.str()}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func appendResumeChallenge(b []byte, ch *ResumeChallenge) []byte {
+	return appendBytes(b, ch.Challenge)
+}
+
+func decodeResumeChallenge(p []byte) (*ResumeChallenge, error) {
+	r := &wireReader{b: p}
+	ch := &ResumeChallenge{Challenge: r.bytes()}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	if len(ch.Challenge) == 0 || len(ch.Challenge) > maxResumeField {
+		return nil, ErrBadFrame
+	}
+	return ch, nil
+}
+
+func appendResumeProof(b []byte, pr *ResumeProof) []byte {
+	return appendBytes(b, pr.MAC)
+}
+
+func decodeResumeProof(p []byte) (*ResumeProof, error) {
+	r := &wireReader{b: p}
+	pr := &ResumeProof{MAC: r.bytes()}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	if len(pr.MAC) == 0 || len(pr.MAC) > maxResumeField {
+		return nil, ErrBadFrame
+	}
+	return pr, nil
+}
+
+func appendResumeReply(b []byte, rep *ResumeReply) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
+	b = appendString(b, rep.Err)
+	return binary.LittleEndian.AppendUint64(b, rep.Epoch)
+}
+
+func decodeResumeReply(p []byte) (*ResumeReply, error) {
+	r := &wireReader{b: p}
+	rep := &ResumeReply{Code: serve.Code(r.u32()), Err: r.str(), Epoch: r.u64()}
+	rep.OK = rep.Code == serve.CodeOK && rep.Err == ""
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// resumeMAC computes the resume possession proof:
+// HMAC-SHA256(auth, challenge || sessionID || epoch_le64). Shared by the
+// client (proving) and server (verifying) sides.
+func resumeMAC(auth, challenge []byte, sessionID string, epoch uint64) []byte {
+	mac := hmac.New(sha256.New, auth)
+	mac.Write(challenge)
+	mac.Write([]byte(sessionID))
+	var e [8]byte
+	binary.LittleEndian.PutUint64(e[:], epoch)
+	mac.Write(e[:])
+	return mac.Sum(nil)
+}
+
+// deriveResumeAuth derives the session resume credential from raw QKD key
+// material, domain-separated from every other use of the key. The
+// credential is registered with the server at Setup/Rekey and never
+// reused across epochs (the material changes every rotation).
+func deriveResumeAuth(qkdMaterial []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("quhe/resume/v1"))
+	h.Write(qkdMaterial)
+	return h.Sum(nil)
 }

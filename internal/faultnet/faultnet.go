@@ -1,0 +1,330 @@
+// Package faultnet injects deterministic, seeded transport faults into
+// any net.Conn: delays, mid-frame connection drops, partial writes, long
+// stalls and bit corruption, with independent per-direction probabilities.
+// It exists so the serving stack's failure handling — deadlines,
+// reconnect, session resume, checksum rejection — can be exercised by
+// tests and load generators with failures that are byte-level realistic
+// yet exactly reproducible from a seed.
+//
+// An Injector wraps connections (Wrap, Dialer, Listener); each wrapped
+// connection draws its fault schedule from its own PRNG, derived from the
+// injector seed and the connection's admission index, so a fixed seed
+// replays the same fault sequence per connection regardless of scheduling
+// between connections. Faults are decided per Read/Write call:
+//
+//   - delay: sleep a uniform duration in [DelayMin, DelayMax] first
+//   - stall: sleep Stall first (model a half-dead peer; pair with the
+//     server's IdleTimeout to exercise idle reclaim)
+//   - corrupt: flip one random bit of the transferred bytes
+//   - partial (writes only): transfer a random strict prefix, report the
+//     short count (net.Conn writers treat short writes as errors)
+//   - drop: transfer a random strict prefix of the buffer, then close the
+//     connection and fail the call — a mid-frame connection loss
+//
+// All counters are atomic; Counters() exposes how many of each fault
+// fired, so harnesses can assert the schedule actually exercised the
+// paths under test.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedDrop is the error returned by a Read/Write the injector
+// chose to kill; the underlying connection is closed as a side effect.
+var ErrInjectedDrop = errors.New("faultnet: injected connection drop")
+
+// Spec gives the fault probabilities for one transfer direction. All
+// probabilities are per Read/Write call, evaluated independently in the
+// order delay, stall, partial, corrupt, drop; zero values inject nothing.
+type Spec struct {
+	// DelayProb delays the call by a uniform duration in
+	// [DelayMin, DelayMax].
+	DelayProb float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+	// StallProb sleeps Stall before the transfer — long enough to trip a
+	// peer's idle deadline, unlike the jittery DelayProb.
+	StallProb float64
+	Stall     time.Duration
+	// PartialProb truncates a write to a strict prefix (no-op on reads
+	// and on 1-byte transfers).
+	PartialProb float64
+	// CorruptProb flips one random bit of the transferred bytes.
+	CorruptProb float64
+	// DropProb transfers a strict prefix and then closes the connection.
+	DropProb float64
+}
+
+func (s Spec) zero() bool {
+	return s.DelayProb == 0 && s.StallProb == 0 && s.PartialProb == 0 &&
+		s.CorruptProb == 0 && s.DropProb == 0
+}
+
+// Config seeds an Injector. The same seed over the same per-connection
+// call sequence reproduces the same faults.
+type Config struct {
+	Seed  int64
+	Read  Spec
+	Write Spec
+}
+
+// Counters reports how many faults of each kind an injector has fired.
+type Counters struct {
+	Delays     int64
+	Stalls     int64
+	Partials   int64
+	Corruption int64
+	Drops      int64
+}
+
+// Injector wraps connections with a seeded fault schedule.
+type Injector struct {
+	cfg      Config
+	connSeq  atomic.Int64
+	delays   atomic.Int64
+	stalls   atomic.Int64
+	partials atomic.Int64
+	corrupts atomic.Int64
+	drops    atomic.Int64
+
+	mu   sync.Mutex
+	live map[*Conn]struct{}
+}
+
+// New builds an injector from the config.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, live: make(map[*Conn]struct{})}
+}
+
+// Wrap returns conn with the injector's fault schedule applied. Each
+// wrapped connection gets an independent deterministic PRNG derived from
+// the injector seed and the wrap order.
+func (inj *Injector) Wrap(conn net.Conn) *Conn {
+	seq := inj.connSeq.Add(1)
+	// splitmix64-style scramble so consecutive connection seeds are
+	// decorrelated.
+	s := uint64(inj.cfg.Seed) + uint64(seq)*0x9E3779B97F4A7C15
+	s ^= s >> 30
+	s *= 0xBF58476D1CE4E5B9
+	s ^= s >> 27
+	c := &Conn{
+		Conn: conn,
+		inj:  inj,
+		rngR: rand.New(rand.NewSource(int64(s))),
+		rngW: rand.New(rand.NewSource(int64(s ^ 0xD1B54A32D192ED03))),
+	}
+	inj.mu.Lock()
+	inj.live[c] = struct{}{}
+	inj.mu.Unlock()
+	return c
+}
+
+// Dialer returns a dial function (as accepted by edge.DialConfig.Dialer)
+// that dials TCP with the given timeout and wraps the result.
+func (inj *Injector) Dialer(timeout time.Duration) func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		conn, err := net.DialTimeout(network, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Wrap(conn), nil
+	}
+}
+
+// Listener wraps a listener so every accepted connection is injected.
+func (inj *Injector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, inj: inj}
+}
+
+// CloseAll force-closes every live wrapped connection — the chaos
+// "pull the plug" switch for kill-and-reconnect tests.
+func (inj *Injector) CloseAll() int {
+	inj.mu.Lock()
+	conns := make([]*Conn, 0, len(inj.live))
+	for c := range inj.live {
+		conns = append(conns, c)
+	}
+	inj.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return len(conns)
+}
+
+// Counters snapshots the fault counts fired so far.
+func (inj *Injector) Counters() Counters {
+	return Counters{
+		Delays:     inj.delays.Load(),
+		Stalls:     inj.stalls.Load(),
+		Partials:   inj.partials.Load(),
+		Corruption: inj.corrupts.Load(),
+		Drops:      inj.drops.Load(),
+	}
+}
+
+func (inj *Injector) forget(c *Conn) {
+	inj.mu.Lock()
+	delete(inj.live, c)
+	inj.mu.Unlock()
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Wrap(conn), nil
+}
+
+// Conn is a net.Conn with an attached fault schedule.
+type Conn struct {
+	net.Conn
+	inj *Injector
+
+	// Reads and writes run on independent goroutines, so each direction
+	// draws from its own PRNG under its own lock: a direction's fault
+	// schedule depends only on that direction's call sequence, never on
+	// goroutine interleaving.
+	muR  sync.Mutex
+	rngR *rand.Rand
+	muW  sync.Mutex
+	rngW *rand.Rand
+
+	closed atomic.Bool
+}
+
+// plan is one call's fault decision, drawn under mu so concurrent
+// readers/writers still consume the PRNG in a serialized order.
+type plan struct {
+	delay   time.Duration
+	stall   time.Duration
+	partial int // >0: truncate transfer to this many bytes
+	corrupt int // >=0: flip this bit offset (mod len), -1: none
+	drop    int // >=0: transfer this prefix then kill the conn, -1: none
+}
+
+func (c *Conn) draw(spec Spec, n int, write bool) plan {
+	p := plan{corrupt: -1, drop: -1}
+	if spec.zero() || n == 0 {
+		return p
+	}
+	mu, rng := &c.muR, c.rngR
+	if write {
+		mu, rng = &c.muW, c.rngW
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if spec.DelayProb > 0 && rng.Float64() < spec.DelayProb {
+		span := spec.DelayMax - spec.DelayMin
+		p.delay = spec.DelayMin
+		if span > 0 {
+			p.delay += time.Duration(rng.Int63n(int64(span)))
+		}
+	}
+	if spec.StallProb > 0 && rng.Float64() < spec.StallProb {
+		p.stall = spec.Stall
+	}
+	if write && spec.PartialProb > 0 && n > 1 && rng.Float64() < spec.PartialProb {
+		p.partial = 1 + rng.Intn(n-1)
+	}
+	if spec.CorruptProb > 0 && rng.Float64() < spec.CorruptProb {
+		p.corrupt = rng.Intn(n * 8)
+	}
+	if spec.DropProb > 0 && rng.Float64() < spec.DropProb {
+		p.drop = rng.Intn(n)
+	}
+	return p
+}
+
+// Read applies the read-direction schedule: optional delay/stall first,
+// then a normal read whose result may have one bit flipped, or — on a
+// drop — a truncated result followed by connection close and
+// ErrInjectedDrop.
+func (c *Conn) Read(b []byte) (int, error) {
+	p := c.draw(c.inj.cfg.Read, len(b), false)
+	c.sleep(p)
+	n, err := c.Conn.Read(b)
+	if n > 0 && p.corrupt >= 0 {
+		bit := p.corrupt % (n * 8)
+		b[bit/8] ^= 1 << (bit % 8)
+		c.inj.corrupts.Add(1)
+	}
+	if err == nil && p.drop >= 0 {
+		c.inj.drops.Add(1)
+		c.Close()
+		if p.drop < n {
+			n = p.drop
+		}
+		if n > 0 {
+			return n, nil // deliver the prefix; the next read fails
+		}
+		return 0, ErrInjectedDrop
+	}
+	return n, err
+}
+
+// Write applies the write-direction schedule: optional delay/stall, then
+// the (possibly corrupted) bytes — all of them, a partial prefix with a
+// short-write count, or a drop prefix followed by close.
+func (c *Conn) Write(b []byte) (int, error) {
+	p := c.draw(c.inj.cfg.Write, len(b), true)
+	c.sleep(p)
+	out := b
+	if p.corrupt >= 0 && len(b) > 0 {
+		out = append([]byte(nil), b...)
+		out[p.corrupt/8] ^= 1 << (p.corrupt % 8)
+		c.inj.corrupts.Add(1)
+	}
+	if p.drop >= 0 {
+		c.inj.drops.Add(1)
+		if p.drop > 0 {
+			c.Conn.Write(out[:p.drop])
+		}
+		c.Close()
+		return p.drop, ErrInjectedDrop
+	}
+	if p.partial > 0 && p.partial < len(out) {
+		c.inj.partials.Add(1)
+		n, err := c.Conn.Write(out[:p.partial])
+		if err != nil {
+			return n, err
+		}
+		// Short write with no error: bufio/io.Writer callers surface
+		// io.ErrShortWrite, exercising their short-write handling.
+		return n, nil
+	}
+	n, err := c.Conn.Write(out)
+	return n, err
+}
+
+func (c *Conn) sleep(p plan) {
+	if p.delay > 0 {
+		c.inj.delays.Add(1)
+		time.Sleep(p.delay)
+	}
+	if p.stall > 0 {
+		c.inj.stalls.Add(1)
+		time.Sleep(p.stall)
+	}
+}
+
+// Close closes the underlying connection and drops it from the
+// injector's live set.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.inj.forget(c)
+	return c.Conn.Close()
+}

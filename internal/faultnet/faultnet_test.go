@@ -1,0 +1,181 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of an in-memory connection.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// schedule replays a fixed per-direction call sequence against a wrapped
+// conn and records which faults fired at which call index.
+func schedule(t *testing.T, seed int64, spec Spec, calls int) []plan {
+	t.Helper()
+	inj := New(Config{Seed: seed, Write: spec})
+	a, b := pipePair(t)
+	go io.Copy(io.Discard, b)
+	c := inj.Wrap(a)
+	plans := make([]plan, 0, calls)
+	for i := 0; i < calls; i++ {
+		plans = append(plans, c.draw(spec, 64, true))
+	}
+	return plans
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	spec := Spec{
+		DelayProb:   0.3,
+		DelayMin:    time.Microsecond,
+		DelayMax:    5 * time.Microsecond,
+		PartialProb: 0.2,
+		CorruptProb: 0.1,
+		DropProb:    0.05,
+	}
+	first := schedule(t, 42, spec, 200)
+	second := schedule(t, 42, spec, 200)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("call %d: schedule diverged: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	other := schedule(t, 43, spec, 200)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestZeroSpecIsTransparent(t *testing.T) {
+	inj := New(Config{Seed: 1})
+	a, b := pipePair(t)
+	c := inj.Wrap(a)
+	payload := []byte("through the wire untouched")
+	go func() {
+		c.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload altered: %q", got)
+	}
+	if cnt := inj.Counters(); cnt != (Counters{}) {
+		t.Fatalf("zero spec fired faults: %+v", cnt)
+	}
+}
+
+func TestDropClosesConn(t *testing.T) {
+	inj := New(Config{Seed: 7, Write: Spec{DropProb: 1}})
+	a, b := pipePair(t)
+	go io.Copy(io.Discard, b)
+	c := inj.Wrap(a)
+	_, err := c.Write(make([]byte, 128))
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("want ErrInjectedDrop, got %v", err)
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write on dropped conn succeeded")
+	}
+	if inj.Counters().Drops == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	inj := New(Config{Seed: 3, Write: Spec{CorruptProb: 1}})
+	a, b := pipePair(t)
+	c := inj.Wrap(a)
+	payload := make([]byte, 64)
+	go c.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	flipped := 0
+	for i := range got {
+		d := got[i] ^ payload[i]
+		for ; d != 0; d &= d - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d", flipped)
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	inj := New(Config{Seed: 9})
+	a1, _ := pipePair(t)
+	a2, _ := pipePair(t)
+	c1, c2 := inj.Wrap(a1), inj.Wrap(a2)
+	if n := inj.CloseAll(); n != 2 {
+		t.Fatalf("CloseAll closed %d conns, want 2", n)
+	}
+	if _, err := c1.Write([]byte("x")); err == nil {
+		t.Fatal("conn 1 survived CloseAll")
+	}
+	if _, err := c2.Write([]byte("x")); err == nil {
+		t.Fatal("conn 2 survived CloseAll")
+	}
+	if n := inj.CloseAll(); n != 0 {
+		t.Fatalf("second CloseAll found %d conns, want 0", n)
+	}
+}
+
+func TestListenerWraps(t *testing.T) {
+	inj := New(Config{Seed: 11, Read: Spec{CorruptProb: 1}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	fln := inj.Listener(ln)
+	done := make(chan []byte, 1)
+	go func() {
+		conn, err := fln.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 8)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			done <- nil
+			return
+		}
+		done <- buf
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer client.Close()
+	sent := []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := client.Write(sent); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := <-done
+	if got == nil {
+		t.Fatal("server read failed")
+	}
+	if bytes.Equal(got, sent) {
+		t.Fatal("read-side corruption did not fire through the listener")
+	}
+}

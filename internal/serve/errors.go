@@ -1,6 +1,12 @@
 package serve
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
 
 // Code identifies a serving-plane failure class. Codes travel on the wire
 // (protocol replies carry the Code next to a human-readable detail string)
@@ -52,6 +58,28 @@ const (
 	// protocol handshake: decoding its payloads would misparse, so the
 	// mismatch is surfaced typed at Setup instead.
 	CodeWireFormat
+	// CodeDeadline reports a request that exceeded its deadline (a
+	// per-request timeout or a canceled context). Surfaced locally by
+	// protocol clients — the reply may still be in flight, but the caller
+	// has stopped waiting for it.
+	CodeDeadline
+	// CodeKeyExhausted reports that the QKD key pool backing the session
+	// cannot fund the operation right now. Unlike CodeAdmissionDenied (a
+	// policy decision) this is a transient resource condition: the pool
+	// refills at the provisioning rate, so the error carries a
+	// retry-after hint (see KeyExhaustedError) and clients should retry
+	// after the hinted delay rather than tearing the session down.
+	CodeKeyExhausted
+	// CodeDraining rejects new work on a server that is gracefully
+	// draining for restart: existing in-flight blocks finish, but new
+	// sessions, resumes and computes are turned away so connections wind
+	// down. Clients should reconnect elsewhere (or later).
+	CodeDraining
+	// CodeResumeRejected rejects a session-resume attempt: the session is
+	// gone (expired past the resume window, evicted, or never existed),
+	// the presented epoch or profile does not match, or the possession
+	// proof failed. The client must fall back to a full re-dial.
+	CodeResumeRejected
 )
 
 // Sentinel errors, one per failure code. Server components return these
@@ -71,6 +99,10 @@ var (
 	ErrAdmissionDenied  = errors.New("serve: admission denied")
 	ErrProfileDenied    = errors.New("serve: security profile denied")
 	ErrWireFormat       = errors.New("serve: ciphertext wire format not negotiated")
+	ErrDeadline         = errors.New("serve: deadline exceeded")
+	ErrKeyExhausted     = errors.New("serve: qkd key exhausted")
+	ErrDraining         = errors.New("serve: server draining")
+	ErrResumeRejected   = errors.New("serve: session resume rejected")
 )
 
 var codeToErr = map[Code]error{
@@ -86,6 +118,10 @@ var codeToErr = map[Code]error{
 	CodeAdmissionDenied:  ErrAdmissionDenied,
 	CodeProfileDenied:    ErrProfileDenied,
 	CodeWireFormat:       ErrWireFormat,
+	CodeDeadline:         ErrDeadline,
+	CodeKeyExhausted:     ErrKeyExhausted,
+	CodeDraining:         ErrDraining,
+	CodeResumeRejected:   ErrResumeRejected,
 }
 
 // Err returns the sentinel error for the code, or nil for CodeOK.
@@ -143,6 +179,81 @@ func (c Code) String() string {
 		return "profile-denied"
 	case CodeWireFormat:
 		return "wire-format"
+	case CodeDeadline:
+		return "deadline"
+	case CodeKeyExhausted:
+		return "key-exhausted"
+	case CodeDraining:
+		return "draining"
+	case CodeResumeRejected:
+		return "resume-rejected"
 	}
 	return "unknown"
+}
+
+// KeyExhaustedError is the carrier for CodeKeyExhausted: it wraps
+// ErrKeyExhausted (errors.Is works) and adds the retry-after hint derived
+// from the key pool's provisioning rate — how long until the pool has
+// refilled enough to fund the rejected operation. The hint survives the
+// wire round trip: Error() renders it in a parseable "retry_after_ms=N"
+// form and ParseKeyExhausted reconstructs the typed error from a reply's
+// detail string.
+type KeyExhaustedError struct {
+	// RetryAfter estimates when the pool will have refilled enough to
+	// retry (0 = unknown rate, retry at the caller's discretion).
+	RetryAfter time.Duration
+	// Detail is the human-readable context (pool deficit, session).
+	Detail string
+}
+
+// NewKeyExhausted builds a typed key-exhaustion error with a retry hint.
+func NewKeyExhausted(retryAfter time.Duration, detail string) *KeyExhaustedError {
+	return &KeyExhaustedError{RetryAfter: retryAfter, Detail: detail}
+}
+
+func (e *KeyExhaustedError) Error() string {
+	msg := fmt.Sprintf("%s: retry_after_ms=%d", ErrKeyExhausted.Error(), e.RetryAfter.Milliseconds())
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrKeyExhausted) hold.
+func (e *KeyExhaustedError) Unwrap() error { return ErrKeyExhausted }
+
+// ParseKeyExhausted rebuilds a KeyExhaustedError from a wire detail
+// string as produced by Error(). Absent or malformed hints parse as a
+// zero RetryAfter.
+func ParseKeyExhausted(detail string) *KeyExhaustedError {
+	e := &KeyExhaustedError{Detail: detail}
+	const marker = "retry_after_ms="
+	i := strings.Index(detail, marker)
+	if i < 0 {
+		return e
+	}
+	rest := detail[i+len(marker):]
+	j := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		j++
+	}
+	if ms, err := strconv.ParseInt(rest[:j], 10, 64); err == nil {
+		e.RetryAfter = time.Duration(ms) * time.Millisecond
+		if j < len(rest) && strings.HasPrefix(rest[j:], ": ") {
+			e.Detail = rest[j+2:]
+		} else {
+			e.Detail = ""
+		}
+	}
+	return e
+}
+
+// RetryAfter extracts the retry hint from an error chain carrying a
+// KeyExhaustedError, reporting ok=false when none is present.
+func RetryAfter(err error) (time.Duration, bool) {
+	var ke *KeyExhaustedError
+	if errors.As(err, &ke) {
+		return ke.RetryAfter, true
+	}
+	return 0, false
 }

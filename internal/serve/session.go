@@ -30,11 +30,25 @@ type Session struct {
 	encKey []*ckks.Ciphertext
 	nonce  []byte
 	epoch  uint64
+	// resumeAuth is the session's resume credential: a secret derived by
+	// the client from the current QKD key material and registered at
+	// Setup/Rekey, against which a reconnecting client proves key
+	// possession (challenge HMAC) to re-attach without a re-keygen. Nil
+	// for peers that never negotiated resume.
+	resumeAuth []byte
 
 	blocks          atomic.Int64
 	bytes           atomic.Int64
 	bytesSinceRekey atomic.Int64
 	rekeys          atomic.Int64
+
+	// conns counts transport connections currently attached to the
+	// session; detachedAt records (unix nanos) when the last one went
+	// away. Together they drive the resume window: a session with
+	// conns == 0 survives until detachedAt + ResumeWindow, then is
+	// reclaimed by Store.SweepExpired.
+	conns      atomic.Int64
+	detachedAt atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a session's usage counters.
@@ -84,6 +98,47 @@ func (s *Session) Rekey(encKey []*ckks.Ciphertext, nonce []byte) uint64 {
 	s.bytesSinceRekey.Store(0)
 	s.rekeys.Add(1)
 	return epoch
+}
+
+// SetResumeAuth installs (or rotates, on rekey) the session's resume
+// credential. A nil or empty value disables resume for the session.
+func (s *Session) SetResumeAuth(auth []byte) {
+	s.mu.Lock()
+	s.resumeAuth = append([]byte(nil), auth...)
+	s.mu.Unlock()
+}
+
+// ResumeAuth returns the current resume credential (nil when the session
+// never registered one). The returned slice must not be mutated.
+func (s *Session) ResumeAuth() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.resumeAuth
+}
+
+// Attach records a transport connection binding to the session, clearing
+// any pending resume-window deadline.
+func (s *Session) Attach() {
+	s.conns.Add(1)
+	s.detachedAt.Store(0)
+}
+
+// Detach records a transport connection going away at the given time
+// (unix nanos). When the last connection detaches the session enters the
+// resume window.
+func (s *Session) Detach(nowUnixNano int64) {
+	if s.conns.Add(-1) <= 0 {
+		s.detachedAt.Store(nowUnixNano)
+	}
+}
+
+// Detached reports whether the session has no attached connections, and
+// if so since when (unix nanos; 0 also means "never attached").
+func (s *Session) Detached() (since int64, detached bool) {
+	if s.conns.Load() > 0 {
+		return 0, false
+	}
+	return s.detachedAt.Load(), true
 }
 
 // RecordBlock accounts one processed block of the given byte size and

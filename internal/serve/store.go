@@ -161,6 +161,48 @@ func (s *Store) Remove(id string) bool {
 	return true
 }
 
+// SweepExpired removes sessions whose resume window has expired: no
+// attached connections and detached since before the cutoff (unix nanos).
+// Sessions that never attached a connection (detach time 0) are left
+// alone — they belong to direct store users, not the resume machinery.
+// Returns the number of sessions reclaimed.
+func (s *Store) SweepExpired(cutoffUnixNano int64) int {
+	reclaimed := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			sess := el.Value.(*Session)
+			if since, detached := sess.Detached(); detached && since != 0 && since < cutoffUnixNano {
+				sh.lru.Remove(el)
+				delete(sh.byID, sess.ID)
+				reclaimed++
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
+	return reclaimed
+}
+
+// Detached counts resident sessions with no attached connection — the
+// population currently inside the resume window.
+func (s *Store) Detached() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			if since, detached := el.Value.(*Session).Detached(); detached && since != 0 {
+				total++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return total
+}
+
 // Len counts resident sessions across all shards.
 func (s *Store) Len() int {
 	total := 0
