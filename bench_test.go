@@ -24,6 +24,7 @@ import (
 	"quhe/internal/faultnet"
 	"quhe/internal/he/ckks"
 	"quhe/internal/he/ring"
+	"quhe/internal/obs"
 	"quhe/internal/qkd"
 	"quhe/internal/serve"
 	"quhe/internal/transcipher"
@@ -966,7 +967,9 @@ type obsOverheadReport struct {
 // BenchmarkObsOverhead measures what full observability costs on the
 // serve hot path: the same v3 compute stream against a server with
 // DisableObs and against the default instrumented one (per-stage
-// histograms, per-profile eval latency, wire counters, block tracer).
+// histograms, per-profile eval latency, wire counters, block tracer,
+// SLO trackers, plus a client-side tracer sampling computes at 1% —
+// the deployment posture the ≤2% budget is defined against).
 // The report lands in BENCH_obs.json.
 func BenchmarkObsOverhead(b *testing.B) {
 	const (
@@ -982,7 +985,12 @@ func BenchmarkObsOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer srv.Close()
-		client, err := edge.Dial(srv.Addr(), "obs-bench", []byte("bench-material"), 5)
+		var cfg edge.DialConfig
+		if !disable {
+			cfg.Tracer = obs.NewTracer(0, 0)
+			cfg.TraceSample = 0.01
+		}
+		client, err := edge.DialWith(srv.Addr(), "obs-bench", []byte("bench-material"), 5, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -58,7 +58,24 @@ type config struct {
 	FaultSeed  int64   `json:"fault_seed,omitempty"`
 	FaultDrop  float64 `json:"fault_drop,omitempty"`
 	FaultDelay float64 `json:"fault_delay,omitempty"`
+	// Tracing knobs: sample rate for client-side distributed traces and
+	// the optional merged client+server chrome://tracing dump.
+	TraceSample float64 `json:"trace_sample,omitempty"`
+	TraceOut    string  `json:"-"`
 }
+
+// sloInfo reports the load run's client-observed SLO attainment: the
+// fraction of requests that completed without error, and the fraction of
+// served requests under the latency target.
+type sloInfo struct {
+	Availability float64 `json:"availability"`
+	Latency      float64 `json:"latency"`
+	TargetMs     float64 `json:"latency_target_ms"`
+}
+
+// sloLatencyTarget mirrors the server's per-eval latency objective
+// threshold, applied client-side to end-to-end request latency.
+const sloLatencyTarget = 250 * time.Millisecond
 
 // planInfo echoes the controller's final plan in the JSON summary.
 type planInfo struct {
@@ -96,6 +113,7 @@ type summary struct {
 	Resumes    int64     `json:"resumes"`
 	Replays    int64     `json:"replays,omitempty"`
 	Plan       *planInfo `json:"control_plan,omitempty"`
+	SLO        *sloInfo  `json:"slo,omitempty"`
 	Throughput float64   `json:"throughput_blocks_per_s"`
 	P50Ms      float64   `json:"latency_ms_p50"`
 	P90Ms      float64   `json:"latency_ms_p90"`
@@ -116,14 +134,20 @@ type recorder struct {
 	denied   atomic.Int64
 	shedKey  atomic.Int64
 	errs     atomic.Int64
+	// Client-observed SLOs: availability over every outcome, latency
+	// over served requests against the end-to-end target.
+	availSLO *obs.SLOTracker
+	latSLO   *obs.SLOTracker
 }
 
 func (r *recorder) record(ci int, lat time.Duration, err error) {
+	r.availSLO.Observe(err == nil)
 	switch {
 	case err == nil:
 		r.served.Add(1)
 		r.servedBy[ci].Add(1)
 		r.lat.Observe(lat.Seconds())
+		r.latSLO.Observe(lat <= sloLatencyTarget)
 	case isOverloaded(err):
 		r.shed.Add(1)
 	case isDenied(err):
@@ -279,6 +303,8 @@ func main() {
 	flag.Int64Var(&cfg.FaultSeed, "fault-seed", 1, "seed for the deterministic fault injector (with -fault-drop/-fault-delay)")
 	flag.Float64Var(&cfg.FaultDrop, "fault-drop", 0, "per-I/O probability of a mid-frame connection drop; nonzero enables reconnect + resume on every client")
 	flag.Float64Var(&cfg.FaultDelay, "fault-delay", 0, "per-I/O probability of a short injected delay (0.2–2ms)")
+	flag.Float64Var(&cfg.TraceSample, "trace-sample", 0, "client-side distributed-trace sampling fraction in (0, 1]; sampled blocks carry their trace context to the server")
+	flag.StringVar(&cfg.TraceOut, "trace-out", "", "write a merged client+server chrome://tracing dump to this file (enables tracing even at -trace-sample 0)")
 	jsonOut := flag.String("json", "-", "write the JSON summary to this file (\"-\": stdout, \"\": suppress)")
 	flag.Parse()
 
@@ -337,6 +363,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "edgeload: -fault-drop and -fault-delay are probabilities in [0, 1)")
 		os.Exit(2)
 	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		fmt.Fprintln(os.Stderr, "edgeload: -trace-sample is a fraction in [0, 1]")
+		os.Exit(2)
+	}
+	var clientTracer *obs.Tracer
+	if cfg.TraceSample > 0 || cfg.TraceOut != "" {
+		clientTracer = obs.NewTracer(0, 0)
+		if cfg.TraceSample == 0 {
+			cfg.TraceSample = 1
+		}
+	}
 	chaos := cfg.FaultDrop > 0 || cfg.FaultDelay > 0
 	if chaos && cfg.Proto == "gob" {
 		fmt.Fprintln(os.Stderr, "edgeload: fault injection needs v3 reconnect/resume; drop -proto gob")
@@ -358,6 +395,10 @@ func main() {
 	// before the controller exists so its very first plan — the one
 	// Setup admissions are judged against — sees the real key stock.
 	kc := qkd.NewKeyCenter()
+	// The key-flow ledger attributes every withdrawal to its cause; its
+	// snapshot backs /debug/keyledger and the quhe_keyledger_* series.
+	ledger := qkd.NewLedger()
+	kc.AttachLedger(ledger)
 	for i := 0; i < cfg.Clients; i++ {
 		// Initial key + rekey headroom (or the exact -stock). Headroom is
 		// sized for a fast closed loop: a 2 s run on a quick core can burn
@@ -379,12 +420,13 @@ func main() {
 		// loop.
 		obsReg = obs.NewRegistry()
 		scfg := edge.ServerConfig{
-			Model:      edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
-			Workers:    cfg.Workers,
-			QueueDepth: cfg.QueueDepth,
-			RekeyBytes: cfg.RekeyBytes,
-			Obs:        obsReg,
-			DebugAddr:  cfg.MetricsAddr,
+			Model:         edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
+			Workers:       cfg.Workers,
+			QueueDepth:    cfg.QueueDepth,
+			RekeyBytes:    cfg.RekeyBytes,
+			Obs:           obsReg,
+			DebugAddr:     cfg.MetricsAddr,
+			KeyLedgerJSON: func() any { return ledger.Snapshot() },
 		}
 		if cfg.Control {
 			network, err := starNetwork(cfg.Clients)
@@ -422,7 +464,13 @@ func main() {
 	clients := make([]*edge.Client, cfg.Clients)
 	for i := range clients {
 		id := clientID(i)
-		dc := edge.DialConfig{Protocol: proto, Profile: profileFor(i)}
+		dc := edge.DialConfig{
+			Protocol:    proto,
+			Profile:     profileFor(i),
+			Route:       fmt.Sprintf("route-%d", i+1),
+			Tracer:      clientTracer,
+			TraceSample: cfg.TraceSample,
+		}
 		if inj != nil {
 			// Chaos mode: every byte crosses the injector, the client runs
 			// the full resilience stack (CRC trailers, reconnect + resume,
@@ -471,9 +519,24 @@ func main() {
 		obsReg.CounterFunc("quhe_client_replays_total", "in-flight Computes replayed after a resume", func() float64 {
 			return float64(clientStats().Replays)
 		})
+		// Key-flow ledger series by cause (the control plane registers the
+		// same series when attached; the registry makes this idempotent).
+		for _, cause := range qkd.Causes() {
+			cause := cause
+			obsReg.CounterFunc("quhe_keyledger_withdrawals_total", "ledgered QKD withdrawals by cause", func() float64 {
+				return float64(ledger.CauseWithdrawals(cause))
+			}, "cause", cause)
+			obsReg.CounterFunc("quhe_keyledger_bytes_total", "ledgered QKD key bytes by cause", func() float64 {
+				return float64(ledger.CauseBytes(cause))
+			}, "cause", cause)
+		}
 	}
 
-	rec := &recorder{servedBy: make([]atomic.Int64, cfg.Clients)}
+	rec := &recorder{
+		servedBy: make([]atomic.Int64, cfg.Clients),
+		availSLO: obs.NewSLOTracker("availability", 0.99),
+		latSLO:   obs.NewSLOTracker("latency", 0.99),
+	}
 	var requests atomic.Int64
 	blockCounters := make([]atomic.Uint32, cfg.Clients)
 	var wg sync.WaitGroup
@@ -606,6 +669,29 @@ func main() {
 			sum.ServerMetrics = m
 		} else {
 			fmt.Fprintf(os.Stderr, "edgeload: metrics scrape: %v\n", err)
+		}
+	}
+	sum.SLO = &sloInfo{
+		Availability: rec.availSLO.Attainment(),
+		Latency:      rec.latSLO.Attainment(),
+		TargetMs:     float64(sloLatencyTarget) / float64(time.Millisecond),
+	}
+	if cfg.TraceOut != "" {
+		traces := clientTracer.Dump()
+		if srv != nil {
+			if tr := srv.Tracer(); tr != nil {
+				traces = append(traces, tr.Dump()...)
+			}
+		}
+		f, err := os.Create(cfg.TraceOut)
+		if err == nil {
+			err = obs.WriteChromeTraces(f, traces)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "edgeload: trace dump: %v\n", err)
 		}
 	}
 	if ctl != nil {

@@ -221,6 +221,25 @@ func newControlObs(reg *obs.Registry, kc *qkd.KeyCenter) *controlObs {
 		reg.CounterFunc("quhe_qkd_failed_withdrawals_total", "withdrawals refused (unknown client or dry pool)", func() float64 {
 			return float64(kc.Counters().FailedWithdrawals)
 		})
+		// Key-flow ledger series, by withdrawal cause. The ledger may be
+		// attached after the controller is built, so each scrape looks it
+		// up; with none attached every series reads 0. The cause domain is
+		// fixed at build time, per the obs cardinality rules.
+		for _, cause := range qkd.Causes() {
+			cause := cause
+			reg.CounterFunc("quhe_keyledger_withdrawals_total", "ledgered QKD withdrawals by cause", func() float64 {
+				if l := kc.KeyLedger(); l != nil {
+					return float64(l.CauseWithdrawals(cause))
+				}
+				return 0
+			}, "cause", cause)
+			reg.CounterFunc("quhe_keyledger_bytes_total", "ledgered QKD key bytes by cause", func() float64 {
+				if l := kc.KeyLedger(); l != nil {
+					return float64(l.CauseBytes(cause))
+				}
+				return 0
+			}, "cause", cause)
+		}
 	}
 	return m
 }

@@ -18,6 +18,7 @@ import (
 
 	"quhe/internal/he/ckks"
 	"quhe/internal/he/profile"
+	"quhe/internal/obs"
 	"quhe/internal/qkd"
 	"quhe/internal/serve"
 	"quhe/internal/transcipher"
@@ -94,6 +95,21 @@ type DialConfig struct {
 	// retry policy — mid-batch key rotations and server-demanded rekeys —
 	// before the typed error surfaces to the caller (0 = 3).
 	RetryBudget int
+	// Tracer, when set, collects client-side spans (dial, handshake,
+	// keygen, setup, mask/submit/wait per sampled compute, reconnect,
+	// resume, replay, rekey, retry backoff) into the shared internal/obs
+	// trace model. Against a v3 server that acks helloFlagTrace, sampled
+	// computes also carry their 16-byte trace context on the wire, so
+	// the server's stage spans land in the same trace. nil = untraced.
+	Tracer *obs.Tracer
+	// TraceSample is the fraction of Compute requests sampled into full
+	// traces when Tracer is set (≤ 0 or > 1 = 1.0, i.e. every block).
+	// Lifecycle spans are always recorded — they are rare and each one
+	// explains a latency cliff.
+	TraceSample float64
+	// Route labels the session's QKD route in the key-flow ledger
+	// attached to the key centre (attribution only; empty is fine).
+	Route string
 }
 
 // Client-side fault-tolerance defaults (see DialConfig).
@@ -153,6 +169,16 @@ type Client struct {
 
 	// resume reports the server negotiated session resume at the hello.
 	resume bool
+	// traceWire reports the current transport negotiated trace-context
+	// propagation (helloFlagTrace); atomic because a reconnect may swap
+	// it under senders.
+	traceWire atomic.Bool
+	// tracer emits client-side spans (nil = untraced).
+	tracer *clientTracer
+	// resumedSinceRekey marks that the session resumed on a fresh
+	// transport and the resume credential has not rotated since; the
+	// next ledgered rekey is attributed to resume-rotation.
+	resumedSinceRekey atomic.Bool
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -278,7 +304,9 @@ func DialQKDWith(addr, sessionID string, kc *qkd.KeyCenter, seed int64, cfg Dial
 	if kc == nil {
 		return nil, errors.New("edge: nil key centre")
 	}
-	material, err := kc.Withdraw(sessionID, RekeyWithdrawBytes)
+	material, err := kc.WithdrawAttributed(sessionID, RekeyWithdrawBytes, qkd.Attribution{
+		Route: cfg.Route, Profile: cfg.Profile, Cause: qkd.CauseSetup,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("edge: qkd withdraw: %w", err)
 	}
@@ -306,10 +334,12 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		}
 	}
 
+	dialStart := time.Now()
 	neg, err := negotiate(addr, dcfg)
 	if err != nil {
 		return nil, err
 	}
+	dialDur := time.Since(dialStart)
 	conn, br, proto, crc, profiles := neg.conn, neg.br, neg.proto, neg.crc, neg.profiles
 	if proto == "v3" && !neg.rnsWire {
 		// A v3 server that does not ack the residue-tower wire format
@@ -324,6 +354,7 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 	// non-default request against them is a hard typed failure.
 	prof := reg.Default()
 	wireProfile := ""
+	handshakeStart := time.Now()
 	if proto == "v3" && profiles {
 		granted, err := queryProfile(conn, br, crc, sessionID, dcfg.Profile)
 		if err != nil {
@@ -342,6 +373,9 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 			serve.ErrProfileDenied, dcfg.Profile)
 	}
 
+	handshakeDur := time.Since(handshakeStart)
+
+	keygenStart := time.Now()
 	ctx, err := prof.Context()
 	if err != nil {
 		conn.Close()
@@ -368,6 +402,8 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		conn.Close()
 		return nil, fmt.Errorf("edge: encrypt key: %w", err)
 	}
+
+	keygenDur := time.Since(keygenStart)
 
 	resume := proto == "v3" && neg.resume
 	var resumeAuth []byte
@@ -398,6 +434,13 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		pending:     make(map[uint64]*call),
 	}
 	c.keygens.Store(1)
+	c.traceWire.Store(proto == "v3" && neg.trace)
+	c.tracer = newClientTracer(dcfg.Tracer, sessionID, dcfg.TraceSample, func() uint64 {
+		c.rngMu.Lock()
+		v := c.rng.Uint64()
+		c.rngMu.Unlock()
+		return v
+	})
 	if proto == "v3" {
 		c.fw = newFrameWriter(conn, func() { conn.Close() }, nil)
 		c.fw.crc = crc
@@ -408,6 +451,7 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 	}
 	go c.readLoop()
 
+	setupStart := time.Now()
 	reply, err := c.roundTrip(&envelope{Setup: &SetupRequest{
 		SessionID:  sessionID,
 		LogN:       ctx.Params.LogN,
@@ -451,6 +495,15 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		c.keyMu.Lock()
 		c.resumeAuth = resumeAuth
 		c.keyMu.Unlock()
+	}
+	// The dial trace: one client-lane record covering the whole session
+	// establishment, split into its expensive stages.
+	if cs := c.tracer.begin(obs.TraceContext{}, 0, 0, dialStart); cs != nil {
+		cs.spanDur(cstageDial, dialStart, dialDur)
+		cs.spanDur(cstageHandshake, handshakeStart, handshakeDur)
+		cs.spanDur(cstageKeygen, keygenStart, keygenDur)
+		cs.span(cstageSetup, setupStart)
+		cs.finish()
 	}
 	return c, nil
 }
@@ -505,6 +558,7 @@ type negotiated struct {
 	profiles bool
 	rnsWire  bool
 	resume   bool
+	trace    bool
 }
 
 // dialFunc resolves the configured dialer (DialConfig.Dialer, or plain
@@ -549,10 +603,10 @@ func negotiate(addr string, dcfg DialConfig) (negotiated, error) {
 		return negotiated{}, fmt.Errorf("edge: dial: %w", err)
 	}
 	// The hello always carries a flags byte: profile support, the
-	// residue-tower wire format and session resume are advertised
-	// unconditionally (servers that predate them ignore unknown bits and
-	// ack without the flags), CRC only on request.
-	flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume)
+	// residue-tower wire format, session resume and trace propagation
+	// are advertised unconditionally (servers that predate them ignore
+	// unknown bits and ack without the flags), CRC only on request.
+	flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume | helloFlagTrace)
 	if dcfg.Checksum {
 		flags |= helloFlagCRC
 	}
@@ -573,6 +627,7 @@ func negotiate(addr string, dcfg DialConfig) (negotiated, error) {
 			n.profiles = ackPayload[0]&helloFlagProfiles != 0
 			n.rnsWire = ackPayload[0]&helloFlagRNSWire != 0
 			n.resume = ackPayload[0]&helloFlagResume != 0
+			n.trace = ackPayload[0]&helloFlagTrace != 0
 		}
 		putFrameBuf(buf)
 		conn.SetReadDeadline(time.Time{})
@@ -735,6 +790,11 @@ func (c *Client) tryRecover(cause error) error {
 	// would double-count its admission); fail them typed now. Compute
 	// requests stay registered for replay on the resumed transport.
 	c.shedNonReplayable(cause)
+	// The recovery trace adopts the trace identity of the oldest
+	// in-flight compute, so the outage's backoff/reconnect/resume/replay
+	// spans land inside the trace of the block they delayed.
+	rec := c.tracer.beginLinked(c.oldestPendingTrace(), time.Now())
+	defer rec.finish()
 	attempts := c.dcfg.ReconnectAttempts
 	if attempts <= 0 {
 		attempts = defaultReconnectAttempts
@@ -748,13 +808,17 @@ func (c *Client) tryRecover(cause error) error {
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
+		backoffStart := time.Now()
 		time.Sleep(c.jitter(attempt, base, max))
+		rec.span(cstageBackoff, backoffStart)
 		if c.closed.Load() {
 			return terminal
 		}
-		err := c.reconnectOnce()
+		err := c.reconnectOnce(rec)
 		if err == nil {
+			replayStart := time.Now()
 			c.replayPending()
+			rec.span(cstageReplay, replayStart)
 			return nil
 		}
 		lastErr = err
@@ -768,6 +832,25 @@ func (c *Client) tryRecover(cause error) error {
 	}
 	return fmt.Errorf("edge: reconnect failed after %d attempts: %w (last: %v)",
 		attempts, serve.ErrConnClosed, lastErr)
+}
+
+// oldestPendingTrace returns the wire trace context of the lowest-ID
+// in-flight Compute carrying one (zero context when none does) — the
+// causal anchor for the recovery trace.
+func (c *Client) oldestPendingTrace() obs.TraceContext {
+	var tc obs.TraceContext
+	var best uint64
+	c.pendMu.Lock()
+	for id, cl := range c.pending {
+		if cl.env == nil || cl.env.Compute == nil || !cl.env.Compute.Trace.Valid() {
+			continue
+		}
+		if tc.TraceID == 0 || id < best {
+			tc, best = cl.env.Compute.Trace, id
+		}
+	}
+	c.pendMu.Unlock()
+	return tc
 }
 
 // shedNonReplayable fails every in-flight request except Computes with a
@@ -808,14 +891,17 @@ func (c *Client) jitter(attempt int, base, max time.Duration) time.Duration {
 }
 
 // reconnectOnce redials, renegotiates and runs the resume handshake; on
-// success the new transport is installed and the counters bumped.
-func (c *Client) reconnectOnce() error {
+// success the new transport is installed and the counters bumped. rec,
+// when non-nil, receives the reconnect and resume spans.
+func (c *Client) reconnectOnce(rec *clientSpans) error {
 	dcfg := c.dcfg
 	dcfg.Protocol = ProtoV3 // the session state is v3; never fall back to gob
+	reconnectStart := time.Now()
 	neg, err := negotiate(c.addr, dcfg)
 	if err != nil {
 		return err
 	}
+	rec.span(cstageReconnect, reconnectStart)
 	if !neg.resume || !neg.rnsWire {
 		neg.conn.Close()
 		return fmt.Errorf("edge: %w: peer no longer negotiates resume", serve.ErrResumeRejected)
@@ -823,10 +909,12 @@ func (c *Client) reconnectOnce() error {
 	c.keyMu.Lock()
 	auth, epoch := c.resumeAuth, c.epoch
 	c.keyMu.Unlock()
+	resumeStart := time.Now()
 	if err := resumeHandshake(neg.conn, neg.br, neg.crc, c.sessionID, epoch, c.wireProfile, auth); err != nil {
 		neg.conn.Close()
 		return err
 	}
+	rec.span(cstageResume, resumeStart)
 	conn := neg.conn
 	fw := newFrameWriter(conn, func() { conn.Close() }, nil)
 	fw.crc = neg.crc
@@ -834,6 +922,8 @@ func (c *Client) reconnectOnce() error {
 	c.conn, c.br, c.fw, c.crc = conn, neg.br, fw, neg.crc
 	c.gen++
 	c.connMu.Unlock()
+	c.traceWire.Store(neg.trace)
+	c.resumedSinceRekey.Store(true)
 	c.reconnects.Add(1)
 	c.resumes.Add(1)
 	return nil
@@ -935,7 +1025,14 @@ func (c *Client) replayPending() {
 	}
 	c.pendMu.Unlock()
 	sort.Slice(items, func(i, j int) bool { return items[i].id < items[j].id })
+	traceWire := c.traceWire.Load()
 	for _, it := range items {
+		if !traceWire {
+			// The resumed transport did not negotiate trace propagation
+			// (e.g. failover to a pre-trace server): strip the context so
+			// the replayed frame stays decodable there.
+			it.env.Compute.Trace = obs.TraceContext{}
+		}
 		c.replays.Add(1)
 		if err := c.write(it.env); err != nil {
 			return // the new connection died too; the next recovery round replays
@@ -1222,6 +1319,10 @@ type Pending struct {
 	n     int
 	block uint32
 	epoch uint64
+	// spans is the block's client-side trace (nil when unsampled);
+	// sendDone anchors the wait span.
+	spans    *clientSpans
+	sendDone time.Time
 }
 
 // Epoch returns the key epoch the request's block was masked under — pass
@@ -1236,17 +1337,36 @@ func (c *Client) ComputeAsync(block uint32, data []float64) (*Pending, error) {
 	if len(data) > c.Slots() {
 		return nil, fmt.Errorf("edge: %d values exceed %d slots", len(data), c.Slots())
 	}
+	start := time.Now()
+	tc := c.tracer.sampleTrace()
+	var spans *clientSpans
+	if tc.Valid() {
+		spans = c.tracer.begin(tc, block, 0, start)
+	}
 	masked, epoch, err := c.mask(block, data)
 	if err != nil {
 		return nil, err
 	}
-	cl, err := c.send(&envelope{Compute: &ComputeRequest{
+	spans.span(cstageMask, start)
+	req := &ComputeRequest{
 		SessionID: c.sessionID, Block: block, Masked: masked, Epoch: epoch,
-	}})
+	}
+	if c.traceWire.Load() {
+		req.Trace = tc
+	}
+	submitStart := time.Now()
+	cl, err := c.send(&envelope{Compute: req})
 	if err != nil {
 		return nil, err
 	}
-	return &Pending{c: c, cl: cl, n: len(data), block: block, epoch: epoch}, nil
+	spans.span(cstageSubmit, submitStart)
+	if spans != nil {
+		spans.bt.ReqID = cl.env.ID
+	}
+	return &Pending{
+		c: c, cl: cl, n: len(data), block: block, epoch: epoch,
+		spans: spans, sendDone: time.Now(),
+	}, nil
 }
 
 // Wait blocks for the reply and decrypts the result. Server-side
@@ -1260,6 +1380,11 @@ func (p *Pending) Wait() ([]float64, error) {
 // RequestTimeout); expiry fails with an error wrapping serve.ErrDeadline.
 func (p *Pending) WaitCtx(ctx context.Context) ([]float64, error) {
 	reply, err := p.c.waitCtx(ctx, p.cl)
+	if p.spans != nil {
+		p.spans.span(cstageWait, p.sendDone)
+		p.spans.finish()
+		p.spans = nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -1290,7 +1415,9 @@ func (c *Client) retryBudget() int {
 // counts the retry.
 func (c *Client) retrySleep(attempt int) {
 	c.retries.Add(1)
+	start := time.Now()
 	time.Sleep(c.jitter(attempt, retryBackoffBase, retryBackoffMax))
+	c.tracer.event(cstageRetry, start)
 }
 
 // Compute runs one full pipeline round: mask data under the symmetric key,
@@ -1449,7 +1576,7 @@ func (c *Client) Rekey() error {
 func (c *Client) RekeyCtx(ctx context.Context) error {
 	c.rekeyMu.Lock()
 	defer c.rekeyMu.Unlock()
-	return c.rekeyLocked(ctx)
+	return c.rekeyLocked(ctx, qkd.CauseReplan)
 }
 
 // RekeyIfEpoch rotates the key only if the client is still at the given
@@ -1463,15 +1590,24 @@ func (c *Client) RekeyIfEpoch(epoch uint64) error {
 	if c.Epoch() != epoch {
 		return nil // another request already rotated past this epoch
 	}
-	return c.rekeyLocked(context.Background())
+	return c.rekeyLocked(context.Background(), qkd.CauseBudgetRekey)
 }
 
 // rekeyLocked draws fresh material and rotates; callers hold rekeyMu.
-func (c *Client) rekeyLocked(ctx context.Context) error {
+// The withdrawal is attributed in the key-flow ledger under cause —
+// except that the first rotation after a successful resume is recorded
+// as resume-rotation regardless of what triggered it, so ledger readers
+// can separate hygiene rotations from budget- and plan-driven ones.
+func (c *Client) rekeyLocked(ctx context.Context, cause string) error {
 	if c.kc == nil {
 		return errors.New("edge: rekey: no key centre attached (use DialQKD)")
 	}
-	material, err := c.kc.Withdraw(c.sessionID, RekeyWithdrawBytes)
+	if c.resumedSinceRekey.Load() {
+		cause = qkd.CauseResumeRotation
+	}
+	material, err := c.kc.WithdrawAttributed(c.sessionID, RekeyWithdrawBytes, qkd.Attribution{
+		Route: c.dcfg.Route, Profile: c.prof.ID, Cause: cause,
+	})
 	if err != nil {
 		if errors.Is(err, qkd.ErrInsufficientKey) {
 			return fmt.Errorf("edge: rekey withdraw: %w",
@@ -1512,6 +1648,7 @@ func (c *Client) RekeyWith(qkdKey []byte) error {
 }
 
 func (c *Client) rekeyWith(ctx context.Context, qkdKey []byte) error {
+	rekeyStart := time.Now()
 	key, err := c.cipher.DeriveKey(qkdKey)
 	if err != nil {
 		return fmt.Errorf("edge: rekey derive: %w", err)
@@ -1554,5 +1691,7 @@ func (c *Client) rekeyWith(ctx context.Context, qkdKey []byte) error {
 	c.statMu.Lock()
 	c.rekeyAdvisedEpoch = 0
 	c.statMu.Unlock()
+	c.resumedSinceRekey.Store(false)
+	c.tracer.event(cstageRekey, rekeyStart)
 	return nil
 }

@@ -164,61 +164,88 @@
 // entirely, and ServerConfig.Obs shares one registry between the server
 // and a control plane so a single scrape shows the whole loop.
 //
+// Tracing is distributed and causal. A client armed with
+// DialConfig.Tracer mints a per-block trace context (trace ID, root
+// span, sampled bit — obs.TraceContext), records its own spans
+// (dial/handshake/keygen/setup on dial; mask/submit/wait per sampled
+// compute; backoff/reconnect/resume/replay on recovery; rekey and
+// retry_backoff as standalone events) under Proc "client", and — when
+// the v3 hello negotiated the trace flag — sends the 16-byte context in
+// the compute frame. The server re-parents its stage spans under that
+// context, so the two halves merge into one trace ID in a combined
+// chrome dump. DialConfig.TraceSample bounds the per-block cost:
+// lifecycle spans are always recorded (rare, each explains a latency
+// cliff), per-compute spans and wire contexts follow the seeded
+// sampling decision. A recovery pass adopts the trace identity of the
+// oldest in-flight compute, so an outage's reconnect/resume/replay
+// spans land inside the trace of the block they delayed — the
+// continuity the chaos suite pins across a mid-flight transport kill.
+// Eval-pool workers additionally run under a quhe_profile pprof label,
+// splitting CPU profiles by security profile.
+//
 // The metrics become reachable only when ServerConfig.DebugAddr binds
 // the HTTP debug plane (obs.ServeDebug): /metrics in the Prometheus
-// text format, /debug/pprof/*, /debug/trace, and /debug/plan rendering
-// the controller's live plan when the attached Controller implements
-// PlanJSON. Security posture: the plane is off unless configured, and it
-// serves operational internals — latency profiles, session counts, live
-// pprof — without authentication, so bind it to loopback (or a trusted
-// scrape network) and never to the serving address.
+// text format, /debug/pprof/*, /debug/trace (filterable by ?session=
+// and ?limit=, 400 on malformed parameters), /debug/slo (availability
+// and per-profile latency attainment with multi-window burn rates),
+// /debug/keyledger (per-cause QKD withdrawal attribution when the
+// deployment wires ServerConfig.KeyLedgerJSON), and /debug/plan
+// rendering the controller's live plan when the attached Controller
+// implements PlanJSON. Security posture: the plane is off unless
+// configured, and it serves operational internals — latency profiles,
+// session counts, live pprof — without authentication, so bind it to
+// loopback (or a trusted scrape network) and never to the serving
+// address.
 //
 // # Failure handling
 //
 // Every failure a caller can see is typed (serve.Code on the wire,
 // errors.Is-able sentinels in Go), and each code carries a contract: is a
-// retry worth anything, and what should the client do. The matrix — the
-// client's automatic behavior is what Client does on its own when
-// DialConfig.Reconnect and the unified retry policy are armed:
+// retry worth anything, what should the client do, and what the failure
+// looks like in a client trace dump (the "traced as" column; a sampled
+// block's wait span always closes with the outcome, so untraced-as rows
+// just end there). The matrix — the client's automatic behavior is what
+// Client does on its own when DialConfig.Reconnect and the unified retry
+// policy are armed:
 //
-//	code (serve.*)        retryable?             client action
-//	--------------------  ---------------------  ------------------------------------------
-//	CodeOverloaded        yes, immediately       back off briefly and resend; the queue was
-//	                                             full at that instant (load, not state)
-//	CodeRekeyRequired     yes, after rekey       RekeyIfEpoch(epoch) then resend — automatic
-//	                                             inside Compute/ComputeBatch, budget-capped
-//	                                             (DialConfig.RetryBudget), jittered
-//	CodeKeyExhausted      yes, after retry-after serve.RetryAfter(err) gives the wait the
-//	                                             server derived from the QKD provisioning
-//	                                             rate; degradation, not failure — edgeload
-//	                                             counts these as shed_key_exhausted
-//	CodeAdmissionDenied   no (until replan)      the control plane's standing decision;
-//	                                             resending sooner than the next plan is noise
-//	CodeProfileDenied     no                     renegotiate the profile (redial); never run
-//	                                             at a different λ than granted
-//	CodeDraining          no (this server)       dial another server; resume attempts are
-//	                                             also turned away while draining
-//	CodeResumeRejected    no                     the detached session is gone (window
-//	                                             expired, epoch/profile drift, bad proof);
-//	                                             full redial — new Setup, new key ceremony
-//	CodeUnknownSession    no                     session evicted or never registered: redial
-//	CodeConnClosed        via reconnect          with Reconnect armed the client redials
-//	                                             (capped exponential backoff + jitter),
-//	                                             resumes the session (zero keygens, zero QKD
-//	                                             withdrawals) and replays in-flight Computes;
-//	                                             in-flight Setup/Rekey/Batch fail typed —
-//	                                             replaying a rekey could double-bump the
-//	                                             epoch
-//	CodeDeadline          caller's choice        the request was abandoned after
-//	                                             DialConfig.RequestTimeout or ctx expiry; a
-//	                                             late reply is dropped, so a resend is safe
-//	                                             but the block may have been served
-//	CodeBadRequest,       no                     fix the request; these are programming or
-//	CodeParamMismatch,                           negotiation errors, not transients
+//	code (serve.*)        retryable?             traced as               client action
+//	--------------------  ---------------------  ----------------------  ------------------------------------------
+//	CodeOverloaded        yes, immediately       retry_backoff event     back off briefly and resend; the queue was
+//	                                                                     full at that instant (load, not state)
+//	CodeRekeyRequired     yes, after rekey       rekey event +           RekeyIfEpoch(epoch) then resend — automatic
+//	                                             retry_backoff event     inside Compute/ComputeBatch, budget-capped
+//	                                                                     (DialConfig.RetryBudget), jittered
+//	CodeKeyExhausted      yes, after retry-after retry_backoff event     serve.RetryAfter(err) gives the wait the
+//	                                                                     server derived from the QKD provisioning
+//	                                                                     rate; degradation, not failure — edgeload
+//	                                                                     counts these as shed_key_exhausted
+//	CodeAdmissionDenied   no (until replan)      wait span closes        the control plane's standing decision;
+//	                                                                     resending sooner than the next plan is noise
+//	CodeProfileDenied     no                     wait span closes        renegotiate the profile (redial); never run
+//	                                                                     at a different λ than granted
+//	CodeDraining          no (this server)       wait span closes        dial another server; resume attempts are
+//	                                                                     also turned away while draining
+//	CodeResumeRejected    no                     recovery trace ends     the detached session is gone (window
+//	                                             (reconnect, failed      expired, epoch/profile drift, bad proof);
+//	                                             resume)                 full redial — new Setup, new key ceremony
+//	CodeUnknownSession    no                     wait span closes        session evicted or never registered: redial
+//	CodeConnClosed        via reconnect          recovery trace —        with Reconnect armed the client redials
+//	                                             backoff/reconnect/      (capped exponential backoff + jitter),
+//	                                             resume/replay spans     resumes the session (zero keygens, zero QKD
+//	                                             under the stalled       withdrawals) and replays in-flight Computes;
+//	                                             block's trace ID        in-flight Setup/Rekey/Batch fail typed —
+//	                                                                     replaying a rekey could double-bump the
+//	                                                                     epoch
+//	CodeDeadline          caller's choice        wait span closes at     the request was abandoned after
+//	                                             the timeout             DialConfig.RequestTimeout or ctx expiry; a
+//	                                                                     late reply is dropped, so a resend is safe
+//	                                                                     but the block may have been served
+//	CodeBadRequest,       no                     wait span closes        fix the request; these are programming or
+//	CodeParamMismatch,                                                   negotiation errors, not transients
 //	CodeOversized,
 //	CodeWireFormat
-//	CodeInternal          maybe once             server-side evaluation failure; one resend
-//	                                             distinguishes a transient from a real bug
+//	CodeInternal          maybe once             wait span closes        server-side evaluation failure; one resend
+//	                                                                     distinguishes a transient from a real bug
 //
 // Server-side hardening: ServerConfig.IdleTimeout bounds how long a
 // connection may sit idle (a client waiting on its own in-flight replies is

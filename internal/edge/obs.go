@@ -55,7 +55,26 @@ type serverObs struct {
 	codeCounters map[serve.Code]*obs.Counter
 	evalMu       sync.Mutex
 	evalHists    map[string]*obs.Histogram
+
+	// SLO plane: availability is fed one event per computed block (good =
+	// CodeOK), per-profile latency one event per eval (good = under the
+	// target). Trackers register their quhe_slo_* series on first use;
+	// the profile domain is bounded by the registry, so the slo label
+	// stays within the obs cardinality rules.
+	slos        *obs.SLOSet
+	availSLO    *obs.SLOTracker
+	latencySLOs map[string]*obs.SLOTracker // guarded by evalMu
 }
+
+// sloObjective is the default objective for the built-in server SLOs
+// (99% of blocks served OK; 99% of evals under the latency target).
+const sloObjective = 0.99
+
+// sloLatencyTarget is the per-eval latency threshold the latency SLOs
+// count against. CKKS evals at the default profile run well under this
+// on commodity hardware; sustained breaches mean queueing or an
+// oversized profile, which is exactly what the burn rate should show.
+const sloLatencyTarget = 250 * time.Millisecond
 
 const (
 	stageIdxDecode = iota
@@ -86,7 +105,10 @@ func newServerObs(reg *obs.Registry, s *Server) *serverObs {
 		queueWait:     reg.Histogram("quhe_serve_queue_wait_seconds", "scheduler queue wait per job"),
 		codeCounters:  make(map[serve.Code]*obs.Counter),
 		evalHists:     make(map[string]*obs.Histogram),
+		latencySLOs:   make(map[string]*obs.SLOTracker),
 	}
+	m.slos = obs.NewSLOSet(reg)
+	m.availSLO = m.slos.Add("availability", sloObjective)
 	for i, stage := range []string{stageDecode, stageQueueWait, stageEval, stageEncode, stageWrite} {
 		m.stages[i] = reg.Histogram("quhe_stage_seconds", "per-stage serving latency", "stage", stage)
 	}
@@ -154,6 +176,29 @@ func (m *serverObs) evalHist(profileID string) *obs.Histogram {
 	return h
 }
 
+// observeOutcome feeds one computed block's outcome into the
+// availability SLO.
+func (m *serverObs) observeOutcome(code serve.Code) {
+	m.availSLO.Observe(code == serve.CodeOK)
+}
+
+// observeEval feeds one eval's latency into the profile's histogram and
+// its latency SLO (lazily created, like the histogram).
+func (m *serverObs) observeEval(profileID string, d time.Duration) {
+	m.evalHist(profileID).Observe(d.Seconds())
+	m.evalMu.Lock()
+	t := m.latencySLOs[profileID]
+	if t == nil {
+		t = m.slos.Add("latency-"+profileID, sloObjective)
+		m.latencySLOs[profileID] = t
+	}
+	m.evalMu.Unlock()
+	t.Observe(d <= sloLatencyTarget)
+}
+
+// sloSnapshot renders the SLO plane for /debug/slo.
+func (m *serverObs) sloSnapshot() any { return m.slos.Snapshot() }
+
 // observeSpan feeds one stage span into its latency histogram.
 func (m *serverObs) observeSpan(idx int, d time.Duration) {
 	m.stages[idx].Observe(d.Seconds())
@@ -180,6 +225,17 @@ func (m *serverObs) newBlockTrace(session string, block uint32, reqID uint64, st
 		Session: session, Block: block, ReqID: reqID, Start: start,
 		Spans: make([]obs.Span, 0, 5),
 	}}
+}
+
+// adopt re-parents the trace under a client-supplied wire context: same
+// trace ID, the server's block span parented to the client's submit
+// span. An invalid or unsampled context leaves the trace standalone,
+// exactly as pre-trace peers see it.
+func (t *blockTrace) adopt(tc obs.TraceContext) {
+	if t == nil || !tc.Valid() || !tc.Sampled {
+		return
+	}
+	t.bt.TraceID, t.bt.Parent = tc.TraceID, tc.Parent
 }
 
 // span appends one stage span and feeds the matching histogram.

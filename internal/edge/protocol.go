@@ -8,6 +8,7 @@ package edge
 import (
 	"quhe/internal/he/ckks"
 	"quhe/internal/he/profile"
+	"quhe/internal/obs"
 	"quhe/internal/serve"
 )
 
@@ -95,6 +96,12 @@ type ComputeRequest struct {
 	// rejected with serve.CodeRekeyRequired rather than transciphered
 	// into garbage.
 	Epoch uint64
+	// Trace is the distributed-trace context the server re-parents its
+	// stage spans under. On the v3 wire it travels as an optional
+	// trailing 16-byte field, sent only after helloFlagTrace was acked;
+	// a zero (invalid) context is omitted entirely, which also keeps the
+	// gob paths untraced (gob drops zero-valued fields).
+	Trace obs.TraceContext
 }
 
 // ComputeReply returns the encrypted inference result plus the modeled
@@ -121,6 +128,9 @@ type BatchRequest struct {
 	Epoch     uint64
 	Blocks    []uint32
 	Masked    [][]float64
+	// Trace mirrors ComputeRequest.Trace: an optional trailing v3 field
+	// linking the batch to the client's trace (zero = untraced).
+	Trace obs.TraceContext
 }
 
 // BatchItem is one block's result within a BatchReply. Items fail

@@ -101,8 +101,10 @@ type ServerConfig struct {
 	FrameChecksums bool
 	// DebugAddr, when non-empty, binds the observability debug plane
 	// (obs.ServeDebug) on that address: /metrics in the Prometheus text
-	// format, /debug/pprof/*, /debug/plan (the controller's live plan)
-	// and /debug/trace (chrome://tracing span dump). Off by default; bind
+	// format, /debug/pprof/*, /debug/plan (the controller's live plan),
+	// /debug/trace (chrome://tracing span dump), /debug/slo (objectives,
+	// attainment and burn rates) and /debug/keyledger (the QKD key-flow
+	// ledger, when KeyLedgerJSON is wired). Off by default; bind
 	// loopback ("127.0.0.1:0") unless the scrape network is trusted — the
 	// plane serves operational internals without authentication.
 	DebugAddr string
@@ -130,6 +132,11 @@ type ServerConfig struct {
 	// resume fails typed. 0 keeps the pre-window behavior — sessions
 	// survive disconnects until LRU eviction.
 	ResumeWindow time.Duration
+	// KeyLedgerJSON, when set, is rendered at /debug/keyledger on the
+	// debug plane. The server never sees QKD withdrawals itself (clients
+	// talk to the key centre directly), so the deployment wires in the
+	// ledger snapshot — typically qkd.(*Ledger).Snapshot via closure.
+	KeyLedgerJSON func() any
 }
 
 // profileRuntime is one security profile's serving substrate: the shared
@@ -275,6 +282,7 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 		p := serve.NewEvalPool(rt.ctx, cfg.Workers, 1, func(int) any { return rt.cipher.NewScratch() })
+		p.SetProfileLabel(profileID)
 		if s.met != nil {
 			s.met.registerPoolGauges(profileID, p)
 		}
@@ -306,7 +314,12 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		cfg.Control.BindServe(s.pools, s.sched, s.store)
 	}
 	if cfg.DebugAddr != "" && s.met != nil {
-		dcfg := obs.DebugConfig{Registry: s.met.reg, Tracer: s.met.tracer}
+		dcfg := obs.DebugConfig{
+			Registry:  s.met.reg,
+			Tracer:    s.met.tracer,
+			SLO:       s.met.sloSnapshot,
+			KeyLedger: cfg.KeyLedgerJSON,
+		}
 		// The Controller interface stays minimal; controllers that can
 		// render their plan opt into /debug/plan by implementing PlanJSON.
 		if pj, ok := cfg.Control.(interface{ PlanJSON() any }); ok {
@@ -775,7 +788,7 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func(), cs *c
 	rnsWire := len(payload) >= 1 && payload[0]&helloFlagRNSWire != 0
 	var ack func(b []byte) []byte
 	if len(payload) >= 1 {
-		flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume)
+		flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume | helloFlagTrace)
 		if crc {
 			flags |= helloFlagCRC
 		}
@@ -1024,6 +1037,7 @@ func (s *Server) sendComputeReplyV3(fw *frameWriter, id uint64, rep *ComputeRepl
 // socket; spans also feed the quhe_stage_seconds histograms.
 func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest, decodeStart time.Time, cs *connState) {
 	bt := s.met.newBlockTrace(req.SessionID, req.Block, id, decodeStart)
+	bt.adopt(req.Trace)
 	bt.span(stageIdxDecode, stageDecode, decodeStart, time.Since(decodeStart))
 	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
 	if code != serve.CodeOK {
@@ -1259,7 +1273,10 @@ func (s *Server) rekeyBudget(sess *serve.Session) int64 {
 // latency lands in the session profile's histogram.
 func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (result *ckks.Ciphertext, code serve.Code, detail string) {
 	if m := s.met; m != nil {
-		defer func() { m.codeCounter(code).Inc() }()
+		defer func() {
+			m.codeCounter(code).Inc()
+			m.observeOutcome(code)
+		}()
 	}
 	if len(masked) > rt.cipher.Slots() {
 		return nil, serve.CodeOversized,
@@ -1300,7 +1317,7 @@ func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.S
 				ctl.ObserveCompute(sess.ID, pending, d, serve.CodeInternal)
 			}
 			if m := s.met; m != nil {
-				m.evalHist(rt.prof.ID).Observe(d.Seconds())
+				m.observeEval(rt.prof.ID, d)
 			}
 		}
 		return nil, serve.CodeInternal, "transcipher: " + err.Error()
@@ -1312,7 +1329,7 @@ func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.S
 			ctl.ObserveCompute(sess.ID, pending, d, serve.CodeOK)
 		}
 		if m := s.met; m != nil {
-			m.evalHist(rt.prof.ID).Observe(d.Seconds())
+			m.observeEval(rt.prof.ID, d)
 		}
 	}
 	return result, serve.CodeOK, ""

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"quhe/internal/he/ckks"
+	"quhe/internal/obs"
 	"quhe/internal/serve"
 )
 
@@ -88,6 +89,15 @@ const (
 	// falls back to a full re-dial with a typed serve.ErrResumeRejected
 	// explaining why.
 	helloFlagResume = 0x08
+
+	// helloFlagTrace advertises distributed-trace propagation: a server
+	// that sets it in its hello ack decodes the optional 16-byte trace
+	// context (trace ID, parent span, sampling bit — obs.TraceContext)
+	// trailing Compute and Batch payloads and re-parents its stage spans
+	// under the client's trace. Clients request it unconditionally but
+	// only append the field once the ack confirms, so pre-trace peers
+	// exchange bit-identical frames. The gob paths are untraced.
+	helloFlagTrace = 0x10
 
 	// crcTrailerLen is the CRC32C (Castagnoli) trailer size. The trailer
 	// covers header and payload and is excluded from the header's length
@@ -477,6 +487,27 @@ func (r *wireReader) ciphertext() *ckks.Ciphertext {
 
 // finish returns the latched error, or ErrBadFrame when payload bytes
 // remain unconsumed (a frame carries exactly one message).
+// traceContext consumes an optional trailing 16-byte trace context: a
+// zero context when the payload is already exhausted (pre-trace peer),
+// a decode failure when trailing bytes are present but not a whole
+// context.
+func (r *wireReader) traceContext() obs.TraceContext {
+	if r.err != nil || len(r.b) == 0 {
+		return obs.TraceContext{}
+	}
+	if len(r.b) < obs.TraceContextLen {
+		r.fail()
+		return obs.TraceContext{}
+	}
+	tc, err := obs.DecodeTraceContext(r.b[:obs.TraceContextLen])
+	if err != nil {
+		r.fail()
+		return obs.TraceContext{}
+	}
+	r.b = r.b[obs.TraceContextLen:]
+	return tc
+}
+
 func (r *wireReader) finish() error {
 	if r.err == nil && len(r.b) != 0 {
 		r.fail()
@@ -631,7 +662,14 @@ func appendComputeRequest(b []byte, req *ComputeRequest) []byte {
 	b = appendString(b, req.SessionID)
 	b = binary.LittleEndian.AppendUint32(b, req.Block)
 	b = binary.LittleEndian.AppendUint64(b, req.Epoch)
-	return appendFloat64s(b, req.Masked)
+	b = appendFloat64s(b, req.Masked)
+	// Trace context travels as an optional trailing field (like Profile
+	// and ResumeAuth on Setup): pre-trace decoders finish before it and
+	// senders only append it once helloFlagTrace was acked.
+	if req.Trace.Valid() {
+		b = req.Trace.AppendBinary(b)
+	}
+	return b
 }
 
 func decodeComputeRequest(p []byte) (*ComputeRequest, error) {
@@ -642,6 +680,7 @@ func decodeComputeRequest(p []byte) (*ComputeRequest, error) {
 		Epoch:     r.u64(),
 		Masked:    r.float64s(),
 	}
+	req.Trace = r.traceContext()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}
@@ -690,6 +729,9 @@ func appendBatchRequest(b []byte, req *BatchRequest) []byte {
 	for _, m := range req.Masked {
 		b = appendFloat64s(b, m)
 	}
+	if req.Trace.Valid() {
+		b = req.Trace.AppendBinary(b)
+	}
 	return b
 }
 
@@ -712,6 +754,7 @@ func decodeBatchRequest(p []byte) (*BatchRequest, error) {
 	for i := range req.Masked {
 		req.Masked[i] = r.float64s()
 	}
+	req.Trace = r.traceContext()
 	if err := r.finish(); err != nil {
 		return nil, err
 	}

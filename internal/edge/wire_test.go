@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"quhe/internal/obs"
 	"quhe/internal/serve"
 )
 
@@ -153,6 +154,57 @@ func TestPayloadCodecsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceContextWireField pins the optional trailing trace-context
+// field on Compute and Batch payloads: carried when valid, omitted when
+// zero (pre-trace frames stay bit-identical), and malformed trailing
+// bytes rejected typed.
+func TestTraceContextWireField(t *testing.T) {
+	tc := obs.TraceContext{TraceID: 0xfeed, Parent: 0xbeef, Sampled: true}
+
+	req := &ComputeRequest{SessionID: "s", Block: 1, Epoch: 2, Masked: []float64{1}, Trace: tc}
+	got, err := decodeComputeRequest(appendComputeRequest(nil, req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != tc {
+		t.Errorf("compute trace round trip: %+v, want %+v", got.Trace, tc)
+	}
+
+	// A zero context adds no bytes: the encoding matches a pre-trace frame.
+	bare := &ComputeRequest{SessionID: "s", Block: 1, Epoch: 2, Masked: []float64{1}}
+	with := appendComputeRequest(nil, bare)
+	without := appendComputeRequest(nil, &ComputeRequest{SessionID: "s", Block: 1, Epoch: 2, Masked: []float64{1}})
+	if !bytes.Equal(with, without) {
+		t.Error("zero trace context changed the encoding")
+	}
+	gotBare, err := decodeComputeRequest(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBare.Trace.Valid() {
+		t.Errorf("pre-trace frame decoded a context: %+v", gotBare.Trace)
+	}
+
+	batch := &BatchRequest{SessionID: "b", Epoch: 1, Blocks: []uint32{1}, Masked: [][]float64{{1}}, Trace: tc}
+	gotBatch, err := decodeBatchRequest(appendBatchRequest(nil, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBatch.Trace != tc {
+		t.Errorf("batch trace round trip: %+v, want %+v", gotBatch.Trace, tc)
+	}
+
+	// A trailing field shorter than 16 bytes is a protocol error, and so
+	// is trailing garbage after a full context.
+	enc := appendComputeRequest(nil, req)
+	if _, err := decodeComputeRequest(enc[:len(enc)-1]); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated trace context: err = %v, want ErrBadFrame", err)
+	}
+	if _, err := decodeComputeRequest(append(enc, 0x01)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized trace context: err = %v, want ErrBadFrame", err)
+	}
+}
+
 // countingConn is a net.Conn stub whose writes fail after failAfter
 // successful calls and whose Close calls are counted — the double-close
 // detector for the teardown regression test.
@@ -256,6 +308,15 @@ func FuzzFrameDecode(f *testing.F) {
 	itemFrame = appendBatchItem(itemFrame, 0, &BatchItem{Code: serve.CodeOK})
 	itemFrame, _ = finishFrame(itemFrame, 0)
 	f.Add(itemFrame)
+	// A compute frame carrying the trailing 16-byte trace context, so the
+	// fuzzer mutates around the optional-field boundary.
+	traced := beginFrame(nil, frameCompute, 11)
+	traced = appendComputeRequest(traced, &ComputeRequest{
+		SessionID: "s", Block: 2, Epoch: 1, Masked: []float64{0.25},
+		Trace: obs.TraceContext{TraceID: 0xabcdef, Parent: 0x123456, Sampled: true},
+	})
+	traced, _ = finishFrame(traced, 0)
+	f.Add(traced)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var buf []byte

@@ -6,12 +6,14 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 )
 
 // DebugConfig wires the debug plane's handlers. Every field is optional:
 // a nil Registry serves an empty /metrics, a nil Tracer 404s
-// /debug/trace, a nil Plan 404s /debug/plan.
+// /debug/trace, a nil Plan 404s /debug/plan, and likewise for the
+// KeyLedger and SLO hooks.
 type DebugConfig struct {
 	// Registry backs /metrics (Prometheus text exposition format).
 	Registry *Registry
@@ -20,6 +22,55 @@ type DebugConfig struct {
 	// Plan, when set, is marshaled to JSON at /debug/plan — the hook the
 	// edge server points at its controller's current Plan.
 	Plan func() any
+	// KeyLedger, when set, is marshaled to JSON at /debug/keyledger —
+	// the QKD key-flow ledger's attributed-withdrawal snapshot.
+	KeyLedger func() any
+	// SLO, when set, is marshaled to JSON at /debug/slo — the SLO
+	// tracker's objectives, attainment and burn rates.
+	SLO func() any
+}
+
+// traceDumpMaxLimit bounds the limit= query parameter on /debug/trace.
+const traceDumpMaxLimit = 100000
+
+// traceDumpParams validates the /debug/trace query parameters. session=
+// selects one session's ring (at most 256 visible bytes, matching wire
+// session IDs); limit= truncates to the newest N traces (1..100000).
+func traceDumpParams(r *http.Request) (session string, limit int, err error) {
+	q := r.URL.Query()
+	session = q.Get("session")
+	if len(session) > 256 {
+		return "", 0, fmt.Errorf("session: longer than 256 bytes")
+	}
+	for _, c := range session {
+		if c < 0x20 || c == 0x7f {
+			return "", 0, fmt.Errorf("session: control character %q", c)
+		}
+	}
+	if raw := q.Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil {
+			return "", 0, fmt.Errorf("limit: %q is not an integer", raw)
+		}
+		if limit < 1 || limit > traceDumpMaxLimit {
+			return "", 0, fmt.Errorf("limit: %d outside [1, %d]", limit, traceDumpMaxLimit)
+		}
+	}
+	return session, limit, nil
+}
+
+// jsonHandler renders fn's value as indented JSON, 404ing when fn is nil.
+func jsonHandler(fn func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if fn == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fn())
+	}
 }
 
 // DebugServer is the opt-in HTTP debug plane: /metrics, /debug/pprof/*,
@@ -51,23 +102,21 @@ func ServeDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/debug/plan", func(w http.ResponseWriter, _ *http.Request) {
-		if cfg.Plan == nil {
-			http.NotFound(w, nil)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(cfg.Plan())
-	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/plan", jsonHandler(cfg.Plan))
+	mux.HandleFunc("/debug/keyledger", jsonHandler(cfg.KeyLedger))
+	mux.HandleFunc("/debug/slo", jsonHandler(cfg.SLO))
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		if cfg.Tracer == nil {
 			http.NotFound(w, nil)
 			return
 		}
+		session, limit, err := traceDumpParams(r)
+		if err != nil {
+			http.Error(w, "bad query parameter: "+err.Error(), http.StatusBadRequest)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = cfg.Tracer.WriteChrome(w)
+		_ = WriteChromeTraces(w, cfg.Tracer.DumpFiltered(session, limit))
 	})
 	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = ds.srv.Serve(ln) }()

@@ -68,6 +68,59 @@ func TestDebugPlane(t *testing.T) {
 	}
 }
 
+func TestDebugTraceParams(t *testing.T) {
+	tr := NewTracer(4, 0)
+	tr.Record(mkTrace("alpha", 1, time.Unix(10, 0)))
+	tr.Record(mkTrace("beta", 2, time.Unix(11, 0)))
+	ds, err := ServeDebug("127.0.0.1:0", DebugConfig{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	// Valid filters narrow the dump.
+	code, _, body := get(t, base+"/debug/trace?session=alpha&limit=10")
+	if code != 200 {
+		t.Fatalf("filtered dump status %d", code)
+	}
+	if !strings.Contains(body, "alpha") || strings.Contains(body, "beta") {
+		t.Errorf("session filter not applied: %s", body)
+	}
+
+	// Malformed parameters are rejected with 400, not served or ignored.
+	for _, q := range []string{
+		"?limit=0", "?limit=-1", "?limit=abc", "?limit=100001",
+		"?session=" + strings.Repeat("x", 257),
+		"?session=a%00b",
+	} {
+		if code, _, _ := get(t, base+"/debug/trace"+q); code != 400 {
+			t.Errorf("%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+func TestDebugKeyLedgerAndSLO(t *testing.T) {
+	ds, err := ServeDebug("127.0.0.1:0", DebugConfig{
+		KeyLedger: func() any { return map[string]int{"withdrawals": 7} },
+		SLO:       func() any { return []string{"availability"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	code, ctype, body := get(t, base+"/debug/keyledger")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") || !strings.Contains(body, "7") {
+		t.Errorf("/debug/keyledger = %d %q %q", code, ctype, body)
+	}
+	code, ctype, body = get(t, base+"/debug/slo")
+	if code != 200 || !strings.HasPrefix(ctype, "application/json") || !strings.Contains(body, "availability") {
+		t.Errorf("/debug/slo = %d %q %q", code, ctype, body)
+	}
+}
+
 func TestDebugPlaneNilHooks(t *testing.T) {
 	ds, err := ServeDebug("127.0.0.1:0", DebugConfig{})
 	if err != nil {
@@ -80,6 +133,12 @@ func TestDebugPlaneNilHooks(t *testing.T) {
 	}
 	if code, _, _ := get(t, base+"/debug/trace"); code != 404 {
 		t.Errorf("/debug/trace without Tracer: status %d, want 404", code)
+	}
+	if code, _, _ := get(t, base+"/debug/keyledger"); code != 404 {
+		t.Errorf("/debug/keyledger without hook: status %d, want 404", code)
+	}
+	if code, _, _ := get(t, base+"/debug/slo"); code != 404 {
+		t.Errorf("/debug/slo without hook: status %d, want 404", code)
 	}
 	if code, _, body := get(t, base+"/metrics"); code != 200 || body != "" {
 		t.Errorf("/metrics without Registry: status %d body %q, want empty 200", code, body)

@@ -1,9 +1,13 @@
 // Package obs is the stdlib-only observability substrate of the QuHE
 // serving stack: a lock-cheap metrics registry (atomic counters, gauges
 // and log-linear histograms with mergeable snapshots and exact-rank
-// quantiles), per-request span tracing with chrome://tracing export, and
-// the opt-in HTTP debug plane serving /metrics, /debug/pprof/* and
-// /debug/plan. Every layer publishes into it — the serve scheduler,
+// quantiles), distributed per-request span tracing (a 16-byte wire
+// TraceContext plus chrome://tracing export that merges client and
+// server process lanes into single causal traces), SLO trackers
+// (attainment and multi-window burn rates), and the opt-in HTTP debug
+// plane serving /metrics, /debug/pprof/*, /debug/trace, /debug/slo,
+// /debug/keyledger and /debug/plan. Every layer publishes into it — the
+// serve scheduler,
 // per-profile evaluator pools, the edge wire path, the QKD key centre,
 // the ring worker pool and the control plane's replanner — and the
 // control loop reads its histogram quantiles back as planning inputs, so
@@ -17,7 +21,8 @@
 // sizes, `_total` for counters. Gauges carry no suffix. Subsystems in
 // use: `serve` (scheduler/store), `eval` (per-profile evaluation),
 // `stage` (per-stage serving latency), `wire` (frames and bytes on the
-// socket), `qkd` (key-centre stock and flow), `control` (replanning),
+// socket), `qkd` (key-centre stock and flow), `keyledger` (per-cause
+// withdrawal attribution), `slo` (objectives), `control` (replanning),
 // `ring` (NTT worker pool). Examples:
 //
 //	quhe_serve_queue_depth                 gauge
@@ -27,6 +32,9 @@
 //	quhe_stage_seconds{stage="eval"}       histogram
 //	quhe_wire_bytes_total{dir="in"}        counter
 //	quhe_qkd_stock_bytes                   gauge
+//	quhe_keyledger_bytes_total{cause="…"}  counter (cause ∈ qkd.Causes())
+//	quhe_slo_attainment{slo="..."}         gauge
+//	quhe_slo_burn_rate{slo,window}         gauge
 //	quhe_control_replan_seconds            histogram
 //
 // # Label cardinality rules
@@ -34,8 +42,11 @@
 // Labels multiply series; every label value set must be small and
 // bounded at build time. Allowed label domains: security profile IDs
 // (the registry's fixed set), pipeline stage names, wire direction
-// (in/out), protocol generation (v3/gob), shed reason, and serve.Code
-// strings. Session IDs, request IDs, block numbers and anything else
+// (in/out), protocol generation (v3/gob), shed reason, serve.Code
+// strings, withdrawal causes (qkd.Causes(), five values), SLO names
+// (availability plus latency-<profile>) and SLO window labels (the
+// fixed DefaultSLOWindows set). Session IDs, request IDs, block
+// numbers, routes and anything else
 // client-controlled are forbidden as label values — per-session data
 // belongs in the control plane's telemetry registry or in traces, not in
 // metric labels. The registry keeps series forever (Prometheus semantics:

@@ -111,6 +111,9 @@ func TestWriteChrome(t *testing.T) {
 	for _, ev := range doc.TraceEvents {
 		switch ev.Ph {
 		case "M":
+			if ev.Name == "process_name" {
+				continue
+			}
 			meta++
 			if ev.Name != "thread_name" {
 				t.Errorf("metadata event name %q", ev.Name)

@@ -31,6 +31,11 @@ type KeyCenter struct {
 	withdrawals       atomic.Int64
 	withdrawnBytes    atomic.Int64
 	failedWithdrawals atomic.Int64
+
+	// ledger, when attached, receives every successful withdrawal with
+	// its attribution (CauseUnattributed for plain Withdraw), so ledger
+	// totals reconcile with the flow counters exactly.
+	ledger atomic.Pointer[Ledger]
 }
 
 type keyPool struct {
@@ -102,29 +107,52 @@ func (kc *KeyCenter) Available(clientID string) (int, error) {
 }
 
 // Withdraw removes and returns n key bytes for a client, failing without
-// side effects when the pool is short (keys are never reused).
+// side effects when the pool is short (keys are never reused). With a
+// ledger attached the spend is recorded as CauseUnattributed; callers
+// that know why they are spending should use WithdrawAttributed.
 func (kc *KeyCenter) Withdraw(clientID string, n int) ([]byte, error) {
+	return kc.WithdrawAttributed(clientID, n, Attribution{})
+}
+
+// WithdrawAttributed is Withdraw plus attribution: the spend lands in
+// the attached ledger under the given session/route/profile/cause.
+// Failed withdrawals are never ledgered (no key material moved).
+func (kc *KeyCenter) WithdrawAttributed(clientID string, n int, attr Attribution) ([]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("qkd: withdrawal of %d bytes", n)
 	}
 	kc.mu.Lock()
-	defer kc.mu.Unlock()
 	p, ok := kc.pools[clientID]
 	if !ok {
+		kc.mu.Unlock()
 		kc.failedWithdrawals.Add(1)
 		return nil, fmt.Errorf("%w: %q", ErrUnknownClient, clientID)
 	}
 	if len(p.buf) < n {
+		have := len(p.buf)
+		kc.mu.Unlock()
 		kc.failedWithdrawals.Add(1)
-		return nil, fmt.Errorf("%w: want %d bytes, have %d", ErrInsufficientKey, n, len(p.buf))
+		return nil, fmt.Errorf("%w: want %d bytes, have %d", ErrInsufficientKey, n, have)
 	}
 	out := make([]byte, n)
 	copy(out, p.buf[:n])
 	p.buf = p.buf[n:]
+	kc.mu.Unlock()
 	kc.withdrawals.Add(1)
 	kc.withdrawnBytes.Add(int64(n))
+	if l := kc.ledger.Load(); l != nil {
+		l.Record(clientID, n, attr)
+	}
 	return out, nil
 }
+
+// AttachLedger points the key centre's withdrawal flow at a key-flow
+// ledger; every subsequent successful withdrawal is recorded there. A
+// nil ledger detaches.
+func (kc *KeyCenter) AttachLedger(l *Ledger) { kc.ledger.Store(l) }
+
+// KeyLedger returns the attached ledger, or nil.
+func (kc *KeyCenter) KeyLedger() *Ledger { return kc.ledger.Load() }
 
 // FlowCounters is the key centre's cumulative deposit/withdrawal flow —
 // the counter-shaped complement to PoolStats' point-in-time stock.

@@ -1,0 +1,157 @@
+package qkd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestLedgerRecordAndSnapshot(t *testing.T) {
+	l := NewLedger()
+	l.Record("s1", 32, Attribution{Route: "r1", Profile: "default", Cause: CauseSetup})
+	l.Record("s1", 32, Attribution{Route: "r1", Profile: "default", Cause: CauseBudgetRekey})
+	l.Record("s2", 16, Attribution{Route: "r2", Profile: "high", Cause: CauseReplan})
+	l.Record("s2", 8, Attribution{}) // empty cause → unattributed
+
+	w, b := l.Totals()
+	if w != 4 || b != 88 {
+		t.Fatalf("totals = %d withdrawals / %d bytes, want 4/88", w, b)
+	}
+	if got := l.CauseBytes(CauseSetup); got != 32 {
+		t.Errorf("setup bytes = %d, want 32", got)
+	}
+	if got := l.CauseWithdrawals(CauseUnattributed); got != 1 {
+		t.Errorf("unattributed withdrawals = %d, want 1", got)
+	}
+
+	snap := l.Snapshot()
+	if snap.Withdrawals != 4 || snap.Bytes != 88 {
+		t.Errorf("snapshot totals %d/%d", snap.Withdrawals, snap.Bytes)
+	}
+	if len(snap.Sessions) != 2 {
+		t.Errorf("snapshot sessions = %d, want 2", len(snap.Sessions))
+	}
+	if len(snap.Recent) != 4 {
+		t.Errorf("snapshot recent = %d, want 4", len(snap.Recent))
+	}
+	// Recent entries are oldest-first with monotonic sequence numbers.
+	for i := 1; i < len(snap.Recent); i++ {
+		if snap.Recent[i].Seq <= snap.Recent[i-1].Seq {
+			t.Fatalf("recent not seq-ordered at %d", i)
+		}
+	}
+	var byCause int64
+	for _, c := range snap.ByCause {
+		byCause += c.Bytes
+	}
+	if byCause != snap.Bytes {
+		t.Errorf("per-cause bytes %d do not cover total %d", byCause, snap.Bytes)
+	}
+}
+
+// TestLedgerReconciliation is the reconciliation property: under a
+// seeded random mix of attributed withdrawals, plain withdrawals and
+// failures across concurrent sessions, the ledger's totals must equal
+// the key centre's flow counters exactly — every successful withdrawal
+// ledgered once, failures never.
+func TestLedgerReconciliation(t *testing.T) {
+	kc := NewKeyCenter()
+	l := NewLedger()
+	kc.AttachLedger(l)
+
+	const sessions = 8
+	for i := 0; i < sessions; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if err := kc.Provision(id, 1000); err != nil {
+			t.Fatal(err)
+		}
+		// Underfund deliberately so some withdrawals fail.
+		if err := kc.Deposit(id, make([]byte, 500+i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	causes := Causes()
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			id := fmt.Sprintf("s%d", g)
+			for op := 0; op < 200; op++ {
+				n := 1 + rng.Intn(64)
+				switch rng.Intn(3) {
+				case 0:
+					_, _ = kc.Withdraw(id, n)
+				case 1:
+					_, _ = kc.WithdrawAttributed(id, n, Attribution{
+						Route:   fmt.Sprintf("r%d", g),
+						Profile: "default",
+						Cause:   causes[rng.Intn(len(causes))],
+					})
+				case 2:
+					_, _ = kc.WithdrawAttributed("unknown", n, Attribution{Cause: CauseSetup})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	fc := kc.Counters()
+	w, b := l.Totals()
+	if w != fc.Withdrawals || b != fc.WithdrawnBytes {
+		t.Fatalf("ledger %d withdrawals / %d bytes, key centre %d/%d — must reconcile exactly",
+			w, b, fc.Withdrawals, fc.WithdrawnBytes)
+	}
+	if fc.FailedWithdrawals == 0 {
+		t.Fatal("test never exercised failed withdrawals; weaken funding")
+	}
+
+	// Per-cause totals cover the grand total with no residue.
+	var causeW, causeB int64
+	for _, c := range Causes() {
+		causeW += l.CauseWithdrawals(c)
+		causeB += l.CauseBytes(c)
+	}
+	if causeW != w || causeB != b {
+		t.Fatalf("cause totals %d/%d do not cover ledger totals %d/%d", causeW, causeB, w, b)
+	}
+}
+
+func TestLedgerBounded(t *testing.T) {
+	l := NewLedger()
+	for i := 0; i < ledgerMaxSessions+100; i++ {
+		l.Record(fmt.Sprintf("s%d", i), 1, Attribution{Cause: CauseSetup})
+	}
+	snap := l.Snapshot()
+	if len(snap.Sessions) > ledgerMaxSessions {
+		t.Errorf("session map grew to %d, cap is %d", len(snap.Sessions), ledgerMaxSessions)
+	}
+	if len(snap.Recent) != ledgerRecent {
+		t.Errorf("recent ring holds %d, want %d", len(snap.Recent), ledgerRecent)
+	}
+	// Totals still count everything, even past the bounded views.
+	if snap.Withdrawals != int64(ledgerMaxSessions+100) {
+		t.Errorf("totals dropped entries: %d", snap.Withdrawals)
+	}
+}
+
+func TestWithdrawUnattributedDefault(t *testing.T) {
+	kc := NewKeyCenter()
+	l := NewLedger()
+	kc.AttachLedger(l)
+	if err := kc.Provision("c", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := kc.Deposit("c", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kc.Withdraw("c", 32); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.CauseWithdrawals(CauseUnattributed); got != 1 {
+		t.Errorf("plain Withdraw ledgered as %d unattributed, want 1", got)
+	}
+}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -36,6 +38,10 @@ type EvalPool struct {
 	build func(i int) *Worker
 	next  atomic.Int32
 	size  int32
+	// label, when non-empty, is the quhe_profile pprof label value Run
+	// and Do execute jobs under (set once at construction time, before
+	// the pool is published).
+	label string
 }
 
 // NewEvalPool builds a pool of size workers over ctx. Each worker's
@@ -94,11 +100,33 @@ func (p *EvalPool) Get() *Worker {
 // Put returns a worker obtained from Get.
 func (p *EvalPool) Put(w *Worker) { p.ch <- w }
 
-// Do runs f with an exclusively held worker, blocking for checkout.
-func (p *EvalPool) Do(f func(*Worker) error) error {
+// SetProfileLabel attaches a pprof label value (the security profile ID)
+// to jobs executed through Run/Do, so CPU and goroutine profiles split
+// eval time by profile. Call before the pool is shared; not synchronized.
+func (p *EvalPool) SetProfileLabel(id string) { p.label = id }
+
+// Run executes job with an exclusively held worker, blocking for
+// checkout. When a profile label is set, the job runs under the
+// quhe_profile pprof label so profiles attribute eval samples per
+// security profile.
+func (p *EvalPool) Run(job func(*Worker)) {
 	w := p.Get()
 	defer p.Put(w)
-	return f(w)
+	if p.label == "" {
+		job(w)
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("quhe_profile", p.label), func(context.Context) {
+		job(w)
+	})
+}
+
+// Do runs f with an exclusively held worker, blocking for checkout
+// (under the pool's pprof label, like Run).
+func (p *EvalPool) Do(f func(*Worker) error) error {
+	var err error
+	p.Run(func(w *Worker) { err = f(w) })
+	return err
 }
 
 // PoolSet is a lazily populated registry of EvalPools keyed on security

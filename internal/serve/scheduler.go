@@ -68,9 +68,7 @@ func (s *Scheduler) drain() {
 		if obs := s.waitObs.Load(); obs != nil {
 			(*obs)(time.Since(pj.at))
 		}
-		w := pj.pool.Get()
-		pj.job(w)
-		pj.pool.Put(w)
+		pj.pool.Run(pj.job)
 	}
 }
 
