@@ -49,6 +49,7 @@ type config struct {
 	RekeyBytes  int64         `json:"rekey_bytes"`
 	Proto       string        `json:"proto"`
 	Profile     string        `json:"profile"`
+	Workload    string        `json:"workload"`
 	Control     bool          `json:"control"`
 	StockBytes  int           `json:"stock_bytes"`
 	MetricsAddr string        `json:"metrics_addr,omitempty"`
@@ -86,6 +87,15 @@ type planInfo struct {
 	AdmitCapacity int     `json:"admit_capacity"`
 }
 
+// workloadInfo is one request kind's slice of the summary: how many
+// blocks it served and its own latency quantiles, so an affine/matvec
+// mix shows the two operations' costs side by side instead of blended.
+type workloadInfo struct {
+	Served int64   `json:"served"`
+	P50Ms  float64 `json:"latency_ms_p50"`
+	P99Ms  float64 `json:"latency_ms_p99"`
+}
+
 type bucket struct {
 	LeMs  float64 `json:"le_ms"`
 	Count int64   `json:"count"`
@@ -100,13 +110,17 @@ type summary struct {
 	// Profiles maps each negotiated security profile to the blocks its
 	// clients served — the mixed-λ view under -profile mix.
 	Profiles map[string]int64 `json:"profiles,omitempty"`
-	Requests int64            `json:"requests"`
-	Served   int64            `json:"served"`
-	Shed     int64            `json:"shed_overloaded"`
-	Denied   int64            `json:"shed_admission"`
-	ShedKey  int64            `json:"shed_key_exhausted"`
-	Errors   int64            `json:"errors"`
-	Rekeys   int64            `json:"rekeys"`
+	// Workloads splits served counts and latency per request kind
+	// (affine, matvec) — populated for every run so gates can assert on
+	// the kinds they expect.
+	Workloads map[string]workloadInfo `json:"workloads,omitempty"`
+	Requests  int64                   `json:"requests"`
+	Served    int64                   `json:"served"`
+	Shed      int64                   `json:"shed_overloaded"`
+	Denied    int64                   `json:"shed_admission"`
+	ShedKey   int64                   `json:"shed_key_exhausted"`
+	Errors    int64                   `json:"errors"`
+	Rekeys    int64                   `json:"rekeys"`
 	// Fault-tolerance rollup (sum of every client's Stats): transport
 	// reconnects, session resumes riding them, and Compute replays.
 	Reconnects int64     `json:"reconnects"`
@@ -126,8 +140,24 @@ type summary struct {
 	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
 }
 
+// Workload indices for the per-kind latency split.
+const (
+	wlAffine = iota
+	wlMatVec
+	numWorkloads
+)
+
+func workloadName(wl int) string {
+	if wl == wlMatVec {
+		return "matvec"
+	}
+	return "affine"
+}
+
 type recorder struct {
 	lat      obs.Histogram // client-observed latency, seconds
+	wlLat    [numWorkloads]obs.Histogram
+	wlServed [numWorkloads]atomic.Int64
 	served   atomic.Int64
 	servedBy []atomic.Int64 // per-client, for the per-profile rollup
 	shed     atomic.Int64
@@ -140,13 +170,15 @@ type recorder struct {
 	latSLO   *obs.SLOTracker
 }
 
-func (r *recorder) record(ci int, lat time.Duration, err error) {
+func (r *recorder) record(ci, wl int, lat time.Duration, err error) {
 	r.availSLO.Observe(err == nil)
 	switch {
 	case err == nil:
 		r.served.Add(1)
 		r.servedBy[ci].Add(1)
+		r.wlServed[wl].Add(1)
 		r.lat.Observe(lat.Seconds())
+		r.wlLat[wl].Observe(lat.Seconds())
 		r.latSLO.Observe(lat <= sloLatencyTarget)
 	case isOverloaded(err):
 		r.shed.Add(1)
@@ -245,6 +277,32 @@ func starNetwork(clients int) (*qnet.Network, error) {
 
 func clientID(i int) string { return fmt.Sprintf("load-%d", i) }
 
+// loadMatrix builds the in-process server's n×n dense layer for the
+// matvec workloads: a diagonally dominant mixing matrix, so results stay
+// O(1) regardless of n.
+func loadMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i == j {
+				m[i][j] = 0.5
+			} else {
+				m[i][j] = 0.25 / float64(n)
+			}
+		}
+	}
+	return m
+}
+
+func loadBias(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 0.01 * float64(i%4)
+	}
+	return b
+}
+
 // routeOf maps session IDs back to their star route ("load-3" → 3).
 func routeOf(clients int) func(sessionID string) int {
 	return func(sessionID string) int {
@@ -297,6 +355,7 @@ func main() {
 	flag.Int64Var(&cfg.RekeyBytes, "rekey-bytes", 0, "per-key byte budget (in-process server only; 0: no rekeying; with -control: the controller's base budget at λ_ref)")
 	flag.StringVar(&cfg.Proto, "proto", "auto", "wire protocol: auto (v3 with gob fallback), v3 (required), gob (forced legacy)")
 	flag.StringVar(&cfg.Profile, "profile", "", "security profile for every client: a registry ID, \"mix\" (spread clients across the registry), or empty (server/plan steering)")
+	flag.StringVar(&cfg.Workload, "workload", "affine", "request kind: affine (transcipher-affine blocks), matvec (BSGS packed matrix–vector blocks), mix (alternate per request)")
 	flag.BoolVar(&cfg.Control, "control", false, "attach the closed-loop control plane (in-process server only): online admission, U_msl-derived rekey budgets, QKD provisioning from the live allocation")
 	flag.IntVar(&cfg.StockBytes, "stock", 0, "finite per-client QKD key stock in bytes (0: replenish generously); with -control, exhaustion degrades to typed key-exhausted sheds with a retry-after hint")
 	flag.StringVar(&cfg.MetricsAddr, "metrics-addr", "", "bind the in-process server's debug plane (/metrics, /debug/pprof) on this address and fold a final scrape into the JSON summary")
@@ -345,6 +404,19 @@ func main() {
 			}
 		}
 	}
+
+	switch cfg.Workload {
+	case "affine":
+	case "matvec", "mix":
+		if cfg.Proto == "gob" {
+			fmt.Fprintln(os.Stderr, "edgeload: -workload matvec rides the v3 protocol; drop -proto gob")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "edgeload: unknown -workload %q (want affine, matvec or mix)\n", cfg.Workload)
+		os.Exit(2)
+	}
+	wantMatVec := cfg.Workload != "affine"
 
 	if cfg.StockBytes > 0 && cfg.StockBytes < edge.RekeyWithdrawBytes {
 		fmt.Fprintf(os.Stderr, "edgeload: -stock %d is below the %d-byte initial withdrawal\n",
@@ -420,7 +492,7 @@ func main() {
 		// loop.
 		obsReg = obs.NewRegistry()
 		scfg := edge.ServerConfig{
-			Model:         edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}},
+			Model:         edge.Model{Weights: []float64{0.5}, Bias: []float64{0.1}, Matrix: loadMatrix(8), MatrixBias: loadBias(8)},
 			Workers:       cfg.Workers,
 			QueueDepth:    cfg.QueueDepth,
 			RekeyBytes:    cfg.RekeyBytes,
@@ -497,6 +569,18 @@ func main() {
 			os.Exit(1)
 		}
 		defer c.Close()
+		if wantMatVec {
+			// One rotation-key upload per session, before the clock starts,
+			// so the measured window is pure matvec serving.
+			if c.MatVecDim() == 0 {
+				fmt.Fprintf(os.Stderr, "edgeload: server did not negotiate matvec for %s (no dense model, or pre-v3 wire)\n", id)
+				os.Exit(1)
+			}
+			if err := c.EnableMatVec(); err != nil {
+				fmt.Fprintf(os.Stderr, "edgeload: rotation keys %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
 		clients[i] = c
 	}
 	clientStats := func() (s edge.ClientStats) {
@@ -543,23 +627,38 @@ func main() {
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 
-	payload := func() []float64 {
-		v := make([]float64, cfg.Slots)
+	payload := func(n int) []float64 {
+		v := make([]float64, n)
 		for i := range v {
 			v[i] = 0.25
 		}
 		return v
 	}
-	vec := payload()
+	vec := payload(cfg.Slots)
+	var mvVec []float64
+	if wantMatVec {
+		mvVec = payload(clients[0].MatVecDim())
+	}
 
 	fire := func(ci int) {
 		defer wg.Done()
 		block := blockCounters[ci].Add(1)
+		wl := wlAffine
+		switch {
+		case cfg.Workload == "matvec":
+			wl = wlMatVec
+		case cfg.Workload == "mix" && block%2 == 0:
+			wl = wlMatVec
+		}
 		t0 := time.Now()
 		var err error
 		for attempt := 0; attempt < 2; attempt++ {
 			var p *edge.Pending
-			p, err = clients[ci].ComputeAsync(block, vec)
+			if wl == wlMatVec {
+				p, err = clients[ci].MatVecAsync(block, mvVec)
+			} else {
+				p, err = clients[ci].ComputeAsync(block, vec)
+			}
 			if err != nil {
 				break
 			}
@@ -573,7 +672,7 @@ func main() {
 			}
 			break
 		}
-		rec.record(ci, time.Since(t0), err)
+		rec.record(ci, wl, time.Since(t0), err)
 	}
 
 	if cfg.Rate > 0 {
@@ -636,6 +735,19 @@ func main() {
 	for i, c := range clients {
 		profiles[c.Profile()] += rec.servedBy[i].Load()
 	}
+	workloads := make(map[string]workloadInfo)
+	for wl := 0; wl < numWorkloads; wl++ {
+		served := rec.wlServed[wl].Load()
+		if served == 0 {
+			continue
+		}
+		ws := rec.wlLat[wl].Snapshot()
+		workloads[workloadName(wl)] = workloadInfo{
+			Served: served,
+			P50Ms:  ws.Quantile(0.50) * 1e3,
+			P99Ms:  ws.Quantile(0.99) * 1e3,
+		}
+	}
 	stats := clientStats()
 
 	sum := summary{
@@ -645,6 +757,7 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Protocol:   clients[0].Protocol(),
 		Profiles:   profiles,
+		Workloads:  workloads,
 		Requests:   requests.Load(),
 		Served:     rec.served.Load(),
 		Shed:       rec.shed.Load(),

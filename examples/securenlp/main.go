@@ -3,6 +3,11 @@
 // token features, TCP upload, server-side transciphering into CKKS, fused
 // encrypted inference, and client-side decryption of the result.
 //
+// Two encrypted stages run over the same session: the slot-wise affine
+// scorer (Compute) and a packed dense layer served by the hoisted-BSGS
+// matrix–vector kernel (MatVec) under one-time-uploaded Galois rotation
+// keys.
+//
 // The server never sees plaintext features or results; the client never
 // performs heavyweight HE evaluation (only one-time key encryption).
 //
@@ -23,6 +28,19 @@ func main() {
 	model := edge.Model{
 		Weights: []float64{0.8, -0.6, 0.4, -0.2, 0.9, -0.5, 0.3, 0.7},
 		Bias:    []float64{0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05},
+		// Dense attention-pooling layer: an 8×8 mixing matrix applied to
+		// the embedding under encryption by the BSGS matvec kernel.
+		Matrix: [][]float64{
+			{0.30, 0.10, -0.05, 0.00, 0.15, -0.10, 0.05, 0.20},
+			{0.10, 0.40, 0.05, -0.15, 0.00, 0.10, -0.05, 0.00},
+			{-0.05, 0.05, 0.35, 0.10, -0.10, 0.00, 0.15, -0.05},
+			{0.00, -0.15, 0.10, 0.45, 0.05, -0.05, 0.00, 0.10},
+			{0.15, 0.00, -0.10, 0.05, 0.50, 0.10, -0.15, 0.05},
+			{-0.10, 0.10, 0.00, -0.05, 0.10, 0.40, 0.05, -0.10},
+			{0.05, -0.05, 0.15, 0.00, -0.15, 0.05, 0.55, 0.00},
+			{0.20, 0.00, -0.05, 0.10, 0.05, -0.10, 0.00, 0.35},
+		},
+		MatrixBias: []float64{0.02, -0.01, 0.00, 0.01, 0.02, -0.02, 0.01, 0.00},
 	}
 	server, err := edge.NewServer("127.0.0.1:0", edge.ServerConfig{
 		Model: model,
@@ -80,6 +98,33 @@ func main() {
 			fmt.Printf("  %7.3f   %15.4f   %15.4f   %7.4f\n", x, scores[i], want, diff)
 		}
 	}
+	// Dense layer through the serve path: upload the Galois rotation keys
+	// once (they are public evaluation material, kept on the session),
+	// then score embeddings through the packed matrix.
+	if dim := client.MatVecDim(); dim > 0 {
+		if err := client.EnableMatVec(); err != nil {
+			log.Fatalf("enable matvec: %v", err)
+		}
+		embedding := []float64{0.92, 0.15, -0.33, 0.48, 0.77, -0.61, 0.20, 0.05}
+		pooled, err := client.MatVec(uint32(len(batches)), embedding)
+		if err != nil {
+			log.Fatalf("matvec: %v", err)
+		}
+		fmt.Printf("\ndense layer (dim %d, hoisted BSGS under encryption):\n", dim)
+		fmt.Println("  out-slot   encrypted-score   plaintext-check   |error|")
+		for i := 0; i < dim; i++ {
+			want := model.MatrixBias[i]
+			for j, x := range embedding {
+				want += model.Matrix[i][j] * x
+			}
+			diff := pooled[i] - want
+			if diff < 0 {
+				diff = -diff
+			}
+			fmt.Printf("  %8d   %15.4f   %15.4f   %7.4f\n", i, pooled[i], want, diff)
+		}
+	}
+
 	fmt.Printf("\nserver processed %d blocks without ever seeing a plaintext\n",
 		server.Blocks("nlp-client"))
 }

@@ -489,6 +489,7 @@ func (c *Controller) chooseLambda(snap Snapshot) float64 {
 	}
 	// Demand in tokens/s: one float64 slot per token.
 	demandTokens := snap.DemandBytesPerSec / 8
+	rotPerBlock := rotationsPerBlock(snap.Sessions)
 	best := c.cfg.LambdaSet[0]
 	bestScore := math.Inf(-1)
 	for _, lambda := range c.cfg.LambdaSet {
@@ -497,8 +498,15 @@ func (c *Controller) chooseLambda(snap Snapshot) float64 {
 		// resolves to a profile with served blocks, the delay term is at
 		// least the demand-rate-scaled p99 of those blocks, so a
 		// degraded server (contention, thermal, noisy neighbours) pulls λ
-		// down even where the cycle model says it should not.
+		// down even where the cycle model says it should not. The
+		// rotation term prices the BSGS matvec kernel's key-switch work on
+		// top of the affine cycle model, scaled by the observed per-block
+		// rotation intensity.
 		if p, ok := c.cfg.Profiles.ByLambda(lambda); ok {
+			if rotPerBlock > 0 {
+				blocksPerSec := snap.DemandBytesPerSec / (8 * float64(p.Slots()))
+				delay += blocksPerSec * rotPerBlock * p.CyclesPerRotation() / c.cfg.ServerHz
+			}
 			delay = maxDelay(delay, measuredDelaySec(snap.Profiles[p.ID], p, snap.DemandBytesPerSec))
 		}
 		score := c.cfg.AlphaMSL*weight*costmodel.MinSecurityLevel(lambda) - c.cfg.AlphaT*delay
@@ -507,6 +515,21 @@ func (c *Controller) chooseLambda(snap Snapshot) float64 {
 		}
 	}
 	return best
+}
+
+// rotationsPerBlock aggregates the observed rotation intensity of a
+// session set: total hoisted rotations over total served blocks (0 for
+// affine-only traffic or before the first block).
+func rotationsPerBlock(sessions []SessionSnapshot) float64 {
+	var rots, blocks int64
+	for _, s := range sessions {
+		rots += s.Rotations
+		blocks += s.Blocks
+	}
+	if blocks <= 0 || rots <= 0 {
+		return 0
+	}
+	return float64(rots) / float64(blocks)
 }
 
 // measuredDelaySec converts a profile's measured p99 block latency into
@@ -556,9 +579,13 @@ func (c *Controller) chooseRouteProfiles(snap Snapshot) (lambdas []float64, prof
 	n := c.cfg.Network.NumRoutes()
 	cands := c.routeCandidates()
 	demand := make([]float64, n)
+	routeRots := make([]int64, n)
+	routeBlocks := make([]int64, n)
 	for _, s := range snap.Sessions {
 		if route := c.cfg.RouteOf(s.ID); route >= 0 && route < n {
 			demand[route] += s.BytesPerSec
+			routeRots[route] += s.Rotations
+			routeBlocks[route] += s.Blocks
 		}
 	}
 	lambdas = make([]float64, n)
@@ -568,11 +595,19 @@ func (c *Controller) chooseRouteProfiles(snap Snapshot) (lambdas []float64, prof
 		if r < len(c.cfg.SecurityWeights) {
 			weight = c.cfg.SecurityWeights[r]
 		}
+		// The route's observed rotation intensity scales the per-block
+		// cost: a matvec-heavy route pays its hoisted key-switch work in
+		// the delay term and is stepped down earlier than an affine route
+		// at the same byte rate.
+		rotPerBlock := 0.0
+		if routeBlocks[r] > 0 && routeRots[r] > 0 {
+			rotPerBlock = float64(routeRots[r]) / float64(routeBlocks[r])
+		}
 		best := cands[0]
 		bestScore := math.Inf(-1)
 		for _, p := range cands {
 			delay := maxDelay(
-				p.ComputeDelaySec(demand[r], c.cfg.ServerHz),
+				p.ServeDelaySec(demand[r], rotPerBlock, c.cfg.ServerHz),
 				measuredDelaySec(snap.Profiles[p.ID], p, demand[r]))
 			score := c.cfg.AlphaMSL*weight*p.MSL() - c.cfg.AlphaT*delay
 			if score > bestScore {
@@ -788,4 +823,13 @@ func (c *Controller) RekeyBudget(sessionID string) int64 {
 // ObserveCompute publishes one served block into the telemetry registry.
 func (c *Controller) ObserveCompute(sessionID string, bytes int64, latency time.Duration, code serve.Code) {
 	c.tel.ObserveCompute(sessionID, bytes, latency, code)
+}
+
+// ObserveRotations records the hoisted Galois rotations a served matvec
+// block carried (the edge server calls this through its optional
+// RotationObserver hook). The rotation intensity feeds the λ choice: a
+// rotation-heavy route pays its key-switch work in the planner's delay
+// term.
+func (c *Controller) ObserveRotations(sessionID string, n int) {
+	c.tel.ObserveRotations(sessionID, n)
 }

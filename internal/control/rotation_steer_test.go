@@ -1,0 +1,85 @@
+package control_test
+
+import (
+	"testing"
+	"time"
+
+	"quhe/internal/control"
+	"quhe/internal/he/profile"
+	"quhe/internal/qnet"
+	"quhe/internal/serve"
+)
+
+// lambdaOf resolves a planned profile ID to its λ so tests can compare
+// security levels ordinally.
+func lambdaOf(t *testing.T, id string) float64 {
+	t.Helper()
+	p, ok := profile.Default().Get(id)
+	if !ok {
+		t.Fatalf("plan references unknown profile %q", id)
+	}
+	return p.Lambda
+}
+
+// TestRotationHeavyRouteSteersLambda is the rotation-aware control
+// acceptance test: two routes report identical byte demand, but one
+// serves BSGS matvec traffic whose per-block rotation fan-out is fed
+// through ObserveRotations. The planner must price the hoisted
+// key-switch work and step the matvec route's λ below the affine
+// route's — same bytes, different cost.
+func TestRotationHeavyRouteSteersLambda(t *testing.T) {
+	net := qnet.SURFnet()
+	ctl, err := control.New(control.Config{
+		Network: net,
+		RouteOf: routeByPrefix(net.NumRoutes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tel := ctl.Telemetry()
+	// Two observation rounds so the second snapshot sees a byte delta
+	// over a measurable dt. Route 1 is affine-only; route 2 carries the
+	// same bytes but every block fans out into hoisted rotations.
+	const blockBytes = 1 << 14
+	const rotations = 1 << 12
+	report := func() {
+		tel.ObserveCompute("r1-affine", blockBytes, time.Millisecond, serve.CodeOK)
+		tel.ObserveCompute("r2-matvec", blockBytes, time.Millisecond, serve.CodeOK)
+		tel.ObserveRotations("r2-matvec", rotations)
+	}
+	report()
+	if _, err := ctl.Replan(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	report()
+	plan, err := ctl.Replan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	affine := lambdaOf(t, plan.RouteProfile[1])
+	matvec := lambdaOf(t, plan.RouteProfile[2])
+	if matvec >= affine {
+		t.Fatalf("rotation-heavy route planned λ=%.0f (%q), affine route λ=%.0f (%q); "+
+			"want rotation cost to steer the matvec route below the affine route at equal bytes (RouteLambda=%v)",
+			matvec, plan.RouteProfile[2], affine, plan.RouteProfile[1], plan.RouteLambda)
+	}
+	// The affine route's demand is deliberately modest: bytes alone must
+	// not move it off the highest security level, so the matvec route's
+	// step-down is attributable to the rotation term only.
+	if plan.RouteProfile[1] != profile.IDLambda128k {
+		t.Errorf("affine route moved to %q on bytes alone; rotation steering is untestable at this demand", plan.RouteProfile[1])
+	}
+	// Telemetry carries the rotation counts that drove the decision.
+	snap := tel.Snapshot()
+	for _, s := range snap.Sessions {
+		if s.ID == "r2-matvec" && s.Rotations != 2*rotations {
+			t.Errorf("session rotations = %d, want %d", s.Rotations, 2*rotations)
+		}
+		if s.ID == "r1-affine" && s.Rotations != 0 {
+			t.Errorf("affine session recorded %d rotations", s.Rotations)
+		}
+	}
+}

@@ -58,6 +58,11 @@ type SessionTelemetry struct {
 	// budget does not collapse to the idle default.
 	demand    atomic.Int64
 	shedBytes atomic.Int64
+	// rotations counts the hoisted Galois rotations served for the
+	// session (the BSGS matvec kernel's per-block rotation fan-out);
+	// affine-only sessions stay at zero. The planner divides by served
+	// blocks to recover the session's rotation intensity.
+	rotations atomic.Int64
 	lastSeen  atomic.Int64 // unix nanos
 	latMs     ewma         // per-block serving latency, milliseconds
 	blkBytes  ewma         // per-block masked payload bytes
@@ -91,6 +96,11 @@ type SessionSnapshot struct {
 	Profile string
 	// ShedBytes counts traffic denied by admission since registration.
 	ShedBytes int64
+	// Rotations counts the hoisted Galois rotations served for the
+	// session (0 for affine-only traffic). Rotations/Blocks is the
+	// session's rotation intensity the rotation-aware λ choice plans
+	// with.
+	Rotations int64
 	// LatencyEWMAMs is the smoothed per-block serving latency.
 	LatencyEWMAMs float64
 	// LatencyP50Ms and LatencyP99Ms are exact-rank quantiles of the
@@ -113,8 +123,10 @@ type ProfileSnapshot struct {
 	Sessions int
 	// BytesPerSec is the aggregate demand rate of those sessions.
 	BytesPerSec float64
-	// Blocks and Bytes total the served work.
+	// Blocks and Bytes total the served work; Rotations totals the hoisted
+	// Galois rotations those blocks carried.
 	Blocks, Bytes int64
+	Rotations     int64
 	// LatencyEWMAMs averages the member sessions' latency EWMAs, weighted
 	// by each session's served block count (a session serving a thousand
 	// blocks moves the profile's latency a thousand times as much as a
@@ -224,6 +236,20 @@ func (t *Telemetry) ObserveCompute(sessionID string, bytes int64, latency time.D
 	st.blkBytes.Observe(float64(bytes))
 }
 
+// ObserveRotations records n hoisted Galois rotations served for a
+// session (published by the edge server's matvec path alongside the
+// block's ObserveCompute). The planner folds the per-block rotation
+// intensity into its delay models, so rotation-heavy routes price their
+// key-switch work instead of looking like cheap affine traffic.
+func (t *Telemetry) ObserveRotations(sessionID string, n int) {
+	if n <= 0 {
+		return
+	}
+	st := t.session(sessionID)
+	st.lastSeen.Store(time.Now().UnixNano())
+	st.rotations.Add(int64(n))
+}
+
 // ObserveShed records traffic the admission controller refused for a
 // session: the bytes feed the demand signal (a fully shed session must
 // not look idle to the planner) without counting as served work.
@@ -307,6 +333,7 @@ func (t *Telemetry) Snapshot() Snapshot {
 			Blocks:         st.blocks.Load(),
 			Failures:       st.failures.Load(),
 			ShedBytes:      st.shedBytes.Load(),
+			Rotations:      st.rotations.Load(),
 			LatencyEWMAMs:  st.latMs.Load(),
 			LatencyP50Ms:   hs.Quantile(0.5) * 1e3,
 			LatencyP99Ms:   hs.Quantile(0.99) * 1e3,
@@ -332,6 +359,7 @@ func (t *Telemetry) Snapshot() Snapshot {
 			ps.BytesPerSec += s.BytesPerSec
 			ps.Blocks += s.Blocks
 			ps.Bytes += s.Bytes
+			ps.Rotations += s.Rotations
 			snap.Profiles[s.Profile] = ps
 			// Mean weighted by served blocks: a session that served a
 			// thousand blocks carries a thousand times the weight of a

@@ -169,6 +169,18 @@ type Client struct {
 
 	// resume reports the server negotiated session resume at the hello.
 	resume bool
+	// mvDim is the server's packed model matrix dimension, learned from
+	// the SetupReply after the hello negotiated matvec (0 = encrypted
+	// matvec unavailable on this connection). seed is kept so the
+	// rotation-key generation in EnableMatVec derives from the same
+	// deterministic stream as the dial-time keygen.
+	mvDim int
+	seed  int64
+	// rotMu guards rotInstalled: EnableMatVec uploads the Galois keys at
+	// most once per client (they live on the server-side session and
+	// survive reconnect-and-resume).
+	rotMu        sync.Mutex
+	rotInstalled bool
 	// traceWire reports the current transport negotiated trace-context
 	// propagation (helloFlagTrace); atomic because a reconnect may swap
 	// it under senders.
@@ -420,6 +432,7 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		prof:        prof,
 		wireProfile: wireProfile,
 		resume:      resume,
+		seed:        seed,
 		rng:         rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
 		ctx:         ctx,
 		cipher:      cipher,
@@ -487,6 +500,12 @@ func dialAttempt(addr, sessionID string, qkdKey []byte, kc *qkd.KeyCenter, seed 
 		c.teardown()
 		return nil, fmt.Errorf("edge: %w: registered on %q, granted %q",
 			serve.ErrProfileDenied, reply.Setup.Profile, wireProfile)
+	}
+	// The server only advertises a matrix dimension when both sides set
+	// helloFlagMatVec; a zero here means encrypted matvec is unavailable
+	// on this connection (old peer, not negotiated, or no matrix).
+	if neg.matvec {
+		c.mvDim = reply.Setup.MatVecDim
 	}
 	// Arm the reconnect machinery only once the credential is registered
 	// server-side — a connection lost before this point has nothing to
@@ -559,6 +578,7 @@ type negotiated struct {
 	rnsWire  bool
 	resume   bool
 	trace    bool
+	matvec   bool
 }
 
 // dialFunc resolves the configured dialer (DialConfig.Dialer, or plain
@@ -603,10 +623,10 @@ func negotiate(addr string, dcfg DialConfig) (negotiated, error) {
 		return negotiated{}, fmt.Errorf("edge: dial: %w", err)
 	}
 	// The hello always carries a flags byte: profile support, the
-	// residue-tower wire format, session resume and trace propagation
-	// are advertised unconditionally (servers that predate them ignore
-	// unknown bits and ack without the flags), CRC only on request.
-	flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume | helloFlagTrace)
+	// residue-tower wire format, session resume, trace propagation and
+	// matvec are advertised unconditionally (servers that predate them
+	// ignore unknown bits and ack without the flags), CRC only on request.
+	flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume | helloFlagTrace | helloFlagMatVec)
 	if dcfg.Checksum {
 		flags |= helloFlagCRC
 	}
@@ -628,6 +648,7 @@ func negotiate(addr string, dcfg DialConfig) (negotiated, error) {
 			n.rnsWire = ackPayload[0]&helloFlagRNSWire != 0
 			n.resume = ackPayload[0]&helloFlagResume != 0
 			n.trace = ackPayload[0]&helloFlagTrace != 0
+			n.matvec = ackPayload[0]&helloFlagMatVec != 0
 		}
 		putFrameBuf(buf)
 		conn.SetReadDeadline(time.Time{})
@@ -1060,6 +1081,18 @@ func (c *Client) handleFrameV3(ftype byte, id uint64, payload []byte) error {
 			return err
 		}
 		c.deliver(&replyEnvelope{ID: id, Rekey: rep})
+	case frameRotKeysReply:
+		rep, err := decodeRotKeysReply(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(&replyEnvelope{ID: id, RotKeys: rep})
+	case frameMatVecReply:
+		rep, err := decodeComputeReply(payload)
+		if err != nil {
+			return err
+		}
+		c.deliver(&replyEnvelope{ID: id, MatVec: rep})
 	case frameBatchItem:
 		idx, item, err := decodeBatchItem(payload)
 		if err != nil {
@@ -1164,6 +1197,11 @@ func sendV3(fw *frameWriter, id uint64, env *envelope) error {
 		return fw.sendFrame(frameBatch, id, func(b []byte) []byte { return appendBatchRequest(b, env.Batch) })
 	case env.Rekey != nil:
 		return fw.sendFrame(frameRekey, id, func(b []byte) []byte { return appendRekeyRequest(b, env.Rekey) })
+	case env.RotKeys != nil:
+		return fw.sendFrame(frameRotKeys, id, func(b []byte) []byte { return appendRotKeysRequest(b, env.RotKeys) })
+	case env.MatVec != nil:
+		// MatVec reuses the Compute codec; the frame type selects the path.
+		return fw.sendFrame(frameMatVec, id, func(b []byte) []byte { return appendComputeRequest(b, env.MatVec) })
 	}
 	return errors.New("edge: empty envelope")
 }
@@ -1390,6 +1428,9 @@ func (p *Pending) WaitCtx(ctx context.Context) ([]float64, error) {
 	}
 	rep := reply.Compute
 	if rep == nil {
+		rep = reply.MatVec // matvec replies share the Compute layout
+	}
+	if rep == nil {
 		return nil, errors.New("edge: malformed reply")
 	}
 	p.c.noteReply(rep.ModeledTxDelay, rep.ModeledCmpDelay, rep.RekeyNeeded, p.epoch)
@@ -1433,8 +1474,15 @@ func (c *Client) Compute(block uint32, data []float64) ([]float64, error) {
 // ComputeCtx is Compute bounded by ctx (in addition to the configured
 // RequestTimeout); expiry fails with an error wrapping serve.ErrDeadline.
 func (c *Client) ComputeCtx(ctx context.Context, block uint32, data []float64) ([]float64, error) {
+	return c.retryLoop(ctx, func() (*Pending, error) { return c.ComputeAsync(block, data) })
+}
+
+// retryLoop is the unified retry policy shared by the synchronous
+// single-block entry points (Compute, MatVec): submit, wait, and rekey
+// transparently when the server demands it and a key centre is attached.
+func (c *Client) retryLoop(ctx context.Context, submit func() (*Pending, error)) ([]float64, error) {
 	for attempt := 0; ; attempt++ {
-		p, err := c.ComputeAsync(block, data)
+		p, err := submit()
 		if err != nil {
 			return nil, err
 		}
@@ -1455,6 +1503,128 @@ func (c *Client) ComputeCtx(ctx context.Context, block uint32, data []float64) (
 		}
 		return out, nil
 	}
+}
+
+// MatVecDim reports the dimension of the server's packed model matrix:
+// the vector length MatVec accepts and the rotation set EnableMatVec
+// generates keys for. Zero means encrypted matvec is unavailable on this
+// connection — the peer predates it, the hello did not negotiate it, or
+// the server holds no matrix.
+func (c *Client) MatVecDim() int { return c.mvDim }
+
+// EnableMatVec generates the Galois rotation keys the server's hoisted
+// BSGS matrix–vector kernel needs (ckks.BSGSRotations of the advertised
+// dimension) and installs them on the server-side session. Call once
+// after Dial, before the first MatVec; repeated calls are no-ops. The
+// keys are public evaluation material: they live on the session, so they
+// survive rekeys and reconnect-and-resume without a re-upload. Fails
+// with an error wrapping serve.ErrMatVecUnavailable when the connection
+// did not negotiate matvec.
+func (c *Client) EnableMatVec() error {
+	return c.EnableMatVecCtx(context.Background())
+}
+
+// EnableMatVecCtx is EnableMatVec bounded by ctx (in addition to the
+// configured RequestTimeout).
+func (c *Client) EnableMatVecCtx(ctx context.Context) error {
+	if c.mvDim == 0 {
+		return fmt.Errorf("edge: %w: connection did not negotiate matvec", serve.ErrMatVecUnavailable)
+	}
+	c.rotMu.Lock()
+	defer c.rotMu.Unlock()
+	if c.rotInstalled {
+		return nil
+	}
+	// Rotation-key generation is pure public-material derivation from the
+	// secret key (read-only after dial); the offset keeps the generator's
+	// stream disjoint from the dial-time keygen and evaluator streams.
+	kg := ckks.NewKeyGenerator(c.ctx, c.seed+2)
+	gks := kg.GenGaloisKeys(c.sk, ckks.BSGSRotations(c.mvDim))
+	reply, err := c.roundTripCtx(ctx, &envelope{RotKeys: &RotKeysRequest{
+		SessionID: c.sessionID, Keys: gks,
+	}})
+	if err != nil {
+		return fmt.Errorf("edge: rotation keys: %w", err)
+	}
+	rep := reply.RotKeys
+	if rep == nil {
+		return errors.New("edge: malformed reply")
+	}
+	if !rep.OK {
+		return fmt.Errorf("edge: rotation keys rejected: %w", replyError(rep.Code, rep.Err))
+	}
+	c.rotInstalled = true
+	return nil
+}
+
+// MatVec runs one encrypted matrix–vector round: mask the input vector
+// under the symmetric key, upload, let the server transcipher and apply
+// its packed model matrix with the hoisted BSGS kernel under the
+// session's rotation keys, then decrypt the product locally. data holds
+// up to MatVecDim values (shorter vectors are zero-padded); the result
+// always has MatVecDim values. block must be unique per call within a
+// session and key epoch, sharing the Compute block space. Requires
+// EnableMatVec first; rekeys transparently like Compute.
+func (c *Client) MatVec(block uint32, data []float64) ([]float64, error) {
+	return c.MatVecCtx(context.Background(), block, data)
+}
+
+// MatVecCtx is MatVec bounded by ctx (in addition to the configured
+// RequestTimeout); expiry fails with an error wrapping serve.ErrDeadline.
+func (c *Client) MatVecCtx(ctx context.Context, block uint32, data []float64) ([]float64, error) {
+	return c.retryLoop(ctx, func() (*Pending, error) { return c.MatVecAsync(block, data) })
+}
+
+// MatVecAsync masks one input vector and sends it without waiting,
+// mirroring ComputeAsync. The vector is replicated across the slot space
+// (slot j carries v[j mod dim]) because the BSGS kernel's giant-step
+// windows read the full vector at every offset. On reconnect, in-flight
+// matvec requests are failed typed rather than replayed — the rotation
+// keys survive server-side, so the caller just resubmits.
+func (c *Client) MatVecAsync(block uint32, data []float64) (*Pending, error) {
+	dim := c.mvDim
+	if dim == 0 {
+		return nil, fmt.Errorf("edge: %w: connection did not negotiate matvec", serve.ErrMatVecUnavailable)
+	}
+	if len(data) > dim {
+		return nil, fmt.Errorf("edge: %d values exceed matrix dimension %d", len(data), dim)
+	}
+	start := time.Now()
+	tc := c.tracer.sampleTrace()
+	var spans *clientSpans
+	if tc.Valid() {
+		spans = c.tracer.begin(tc, block, 0, start)
+	}
+	full := make([]float64, c.Slots())
+	for j := range full {
+		if k := j % dim; k < len(data) {
+			full[j] = data[k]
+		}
+	}
+	masked, epoch, err := c.mask(block, full)
+	if err != nil {
+		return nil, err
+	}
+	spans.span(cstageMask, start)
+	req := &ComputeRequest{
+		SessionID: c.sessionID, Block: block, Masked: masked, Epoch: epoch,
+	}
+	if c.traceWire.Load() {
+		req.Trace = tc
+	}
+	submitStart := time.Now()
+	cl, err := c.send(&envelope{MatVec: req})
+	if err != nil {
+		return nil, err
+	}
+	spans.span(cstageSubmit, submitStart)
+	if spans != nil {
+		spans.bt.ReqID = cl.env.ID
+	}
+	return &Pending{
+		c: c, cl: cl, n: dim, block: block, epoch: epoch,
+		spans: spans, sendDone: time.Now(),
+	}, nil
 }
 
 // errEpochRotated signals that a batch's mask pass straddled a concurrent

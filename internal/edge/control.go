@@ -51,6 +51,15 @@ type Controller interface {
 	ObserveCompute(sessionID string, bytes int64, latency time.Duration, code serve.Code)
 }
 
+// RotationObserver is an optional Controller extension: control planes
+// that implement it receive the hoisted Galois rotation count of every
+// served matvec block (alongside the block's ObserveCompute), so the
+// rotation intensity can feed the planner's delay models. Controllers
+// without it simply see matvec traffic as bytes.
+type RotationObserver interface {
+	ObserveRotations(sessionID string, n int)
+}
+
 // controlDetail extracts the human-readable detail of a typed control
 // error for the wire's Err field, dropping the sentinel prefix the Code
 // already carries (clients rebuild the sentinel from the code).

@@ -16,6 +16,7 @@ const (
 	stageDecode    = "decode"
 	stageQueueWait = "queue_wait"
 	stageEval      = "eval"
+	stageMatVec    = "matvec"
 	stageEncode    = "encode"
 	stageWrite     = "write"
 )
@@ -45,7 +46,7 @@ type serverObs struct {
 	drains        *obs.Counter
 
 	queueWait *obs.Histogram
-	stages    [5]*obs.Histogram // indexed by stage constants below
+	stages    [6]*obs.Histogram // indexed by stage constants below
 
 	// codeCounters maps serve.Code → its prebuilt counter; evalHists maps
 	// profile ID → its latency histogram. Both domains are small and
@@ -80,6 +81,7 @@ const (
 	stageIdxDecode = iota
 	stageIdxQueueWait
 	stageIdxEval
+	stageIdxMatVec
 	stageIdxEncode
 	stageIdxWrite
 )
@@ -109,7 +111,7 @@ func newServerObs(reg *obs.Registry, s *Server) *serverObs {
 	}
 	m.slos = obs.NewSLOSet(reg)
 	m.availSLO = m.slos.Add("availability", sloObjective)
-	for i, stage := range []string{stageDecode, stageQueueWait, stageEval, stageEncode, stageWrite} {
+	for i, stage := range []string{stageDecode, stageQueueWait, stageEval, stageMatVec, stageEncode, stageWrite} {
 		m.stages[i] = reg.Histogram("quhe_stage_seconds", "per-stage serving latency", "stage", stage)
 	}
 	reg.GaugeFunc("quhe_edge_sessions", "resident sessions", func() float64 {

@@ -65,6 +65,12 @@ type SetupReply struct {
 	// when the request carried one (pre-profile peers get the reply
 	// layout they expect).
 	Profile string
+	// MatVecDim is the dimension of the server's packed model matrix,
+	// telling the client which rotation keys the BSGS kernel needs
+	// (ckks.BSGSRotations(MatVecDim)). Zero when the connection did not
+	// negotiate matvec or the server holds no matrix. Optional trailing
+	// field on the v3 wire; never sent on gob paths.
+	MatVecDim int
 }
 
 // ProfileRequest asks the server which security profile a new session
@@ -176,6 +182,34 @@ type RekeyReply struct {
 	Epoch uint64
 }
 
+// RotKeysRequest installs the client's Galois rotation keys on its
+// server-side session (v3 only, gated by the hello handshake's matvec
+// flag). The set must cover every rotation of the server's BSGS plan
+// (ckks.BSGSRotations of the advertised MatVecDim) and match the
+// session's relinearization key in ring shape; an incomplete or
+// mismatched upload is rejected typed at installation time instead of
+// failing mid-evaluation. Keys live on the session, so they survive
+// reconnect-and-resume without a re-upload.
+type RotKeysRequest struct {
+	SessionID string
+	Keys      *ckks.GaloisKeySet
+}
+
+// RotKeysReply acknowledges a rotation-key installation.
+type RotKeysReply struct {
+	OK   bool
+	Err  string
+	Code serve.Code
+}
+
+// MatVec requests reuse ComputeRequest and replies reuse ComputeReply:
+// the payloads are identical (a masked block in, a result ciphertext
+// out) and only the evaluation semantics differ — the server
+// transciphers the block, then applies its packed model matrix with the
+// hoisted BSGS kernel under the session's rotation keys. The frame type
+// (frameMatVec vs frameCompute) selects the path; there is no gob
+// equivalent.
+
 // ResumeRequest re-attaches a reconnecting client to its server-side
 // session (v3 only, gated by the hello handshake's resume flag). The
 // client names the session and proves it is the same principal by
@@ -222,6 +256,10 @@ type envelope struct {
 	Compute *ComputeRequest
 	Batch   *BatchRequest
 	Rekey   *RekeyRequest
+	// RotKeys and MatVec are v3-only: the gob encoder never sees them
+	// (clients only send them after the hello negotiated matvec).
+	RotKeys *RotKeysRequest
+	MatVec  *ComputeRequest
 }
 
 // replyEnvelope mirrors envelope for responses.
@@ -231,4 +269,6 @@ type replyEnvelope struct {
 	Compute *ComputeReply
 	Batch   *BatchReply
 	Rekey   *RekeyReply
+	RotKeys *RotKeysReply
+	MatVec  *ComputeReply
 }

@@ -1,0 +1,220 @@
+package edge
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"quhe/internal/serve"
+)
+
+// testMatrix is a small well-conditioned 4×4 model matrix (dim divides
+// every power-of-two slot count) plus a bias for the matvec tests.
+var testMatrix = [][]float64{
+	{0.5, -0.25, 0.1, 0},
+	{0.2, 0.4, -0.1, 0.3},
+	{-0.3, 0.1, 0.6, -0.2},
+	{0, 0.25, -0.4, 0.5},
+}
+
+var testMatrixBias = []float64{0.1, -0.05, 0, 0.2}
+
+func plainMatVec(m [][]float64, bias, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		s := 0.0
+		for j, w := range row {
+			if j < len(v) {
+				s += w * v[j]
+			}
+		}
+		if i < len(bias) {
+			s += bias[i]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestMatVecEndToEnd drives the complete encrypted matrix–vector path
+// over real TCP: hello negotiation (helloFlagMatVec), SetupReply
+// dimension advertisement, rotation-key upload, then a masked vector
+// transciphered and multiplied by the server's packed matrix with the
+// hoisted BSGS kernel — decrypted client-side and checked against the
+// plaintext product.
+func TestMatVecEndToEnd(t *testing.T) {
+	srv := startServer(t, Model{Matrix: testMatrix, MatrixBias: testMatrixBias})
+	client, err := Dial(srv.Addr(), "mv-client", []byte("qkd-material"), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if client.Protocol() != "v3" {
+		t.Fatalf("protocol = %q, want v3", client.Protocol())
+	}
+	if got := client.MatVecDim(); got != 4 {
+		t.Fatalf("MatVecDim = %d, want 4", got)
+	}
+	if err := client.EnableMatVec(); err != nil {
+		t.Fatalf("EnableMatVec: %v", err)
+	}
+	// Idempotent: the second call must not re-upload or fail.
+	if err := client.EnableMatVec(); err != nil {
+		t.Fatalf("EnableMatVec (repeat): %v", err)
+	}
+
+	v := []float64{0.8, -0.4, 0.6, 0.2}
+	got, err := client.MatVec(0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plainMatVec(testMatrix, testMatrixBias, v)
+	if len(got) != 4 {
+		t.Fatalf("result has %d values, want 4", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Errorf("slot %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// A short vector is zero-padded to the matrix dimension.
+	short := []float64{1, -1}
+	got, err = client.MatVec(1, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = plainMatVec(testMatrix, testMatrixBias, short)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Errorf("short vector slot %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMatVecAndComputeShareSession runs affine Compute and MatVec rounds
+// interleaved on one session: the paths share the block space and key
+// epochs but must not disturb each other.
+func TestMatVecAndComputeShareSession(t *testing.T) {
+	model := Model{
+		Weights: []float64{1, 1, 1, 1},
+		Matrix:  testMatrix, MatrixBias: testMatrixBias,
+	}
+	srv := startServer(t, model)
+	client, err := Dial(srv.Addr(), "mixed", []byte("k"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.EnableMatVec(); err != nil {
+		t.Fatal(err)
+	}
+
+	v := []float64{0.3, 0.1, -0.2, 0.5}
+	affine, err := client.Compute(0, v)
+	if err != nil {
+		t.Fatalf("compute: %v", err)
+	}
+	for i, want := range v {
+		if math.Abs(affine[i]-want) > 0.05 {
+			t.Errorf("affine slot %d = %v, want %v", i, affine[i], want)
+		}
+	}
+	mv, err := client.MatVec(1, v)
+	if err != nil {
+		t.Fatalf("matvec: %v", err)
+	}
+	want := plainMatVec(testMatrix, testMatrixBias, v)
+	for i := range want {
+		if math.Abs(mv[i]-want[i]) > 0.05 {
+			t.Errorf("matvec slot %d = %v, want %v", i, mv[i], want[i])
+		}
+	}
+	if srv.Blocks("mixed") != 2 {
+		t.Errorf("server processed %d blocks, want 2", srv.Blocks("mixed"))
+	}
+}
+
+// TestMatVecWithoutRotationKeys asserts the typed rejection when the
+// session never uploaded its Galois keys: the server must fail the
+// request at admission, not crash mid-kernel.
+func TestMatVecWithoutRotationKeys(t *testing.T) {
+	srv := startServer(t, Model{Matrix: testMatrix})
+	client, err := Dial(srv.Addr(), "no-keys", []byte("k"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.MatVec(0, []float64{1, 0, 0, 0}); !errors.Is(err, serve.ErrMatVecUnavailable) {
+		t.Errorf("matvec without rotation keys err = %v, want ErrMatVecUnavailable", err)
+	}
+}
+
+// TestMatVecNotConfigured asserts the capability is absent end to end
+// when the server holds no matrix: the hello does not advertise it, the
+// SetupReply carries no dimension, and the client fails locally typed.
+func TestMatVecNotConfigured(t *testing.T) {
+	srv := startServer(t, Model{Weights: []float64{1}})
+	client, err := Dial(srv.Addr(), "plain", []byte("k"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if got := client.MatVecDim(); got != 0 {
+		t.Errorf("MatVecDim = %d, want 0", got)
+	}
+	if err := client.EnableMatVec(); !errors.Is(err, serve.ErrMatVecUnavailable) {
+		t.Errorf("EnableMatVec err = %v, want ErrMatVecUnavailable", err)
+	}
+	if _, err := client.MatVec(0, []float64{1}); !errors.Is(err, serve.ErrMatVecUnavailable) {
+		t.Errorf("MatVec err = %v, want ErrMatVecUnavailable", err)
+	}
+}
+
+// TestMatVecGobUnavailable pins that the capability is v3-only: a gob
+// client against a matrix-serving server sees no matvec.
+func TestMatVecGobUnavailable(t *testing.T) {
+	srv := startServer(t, Model{Matrix: testMatrix})
+	client, err := DialWith(srv.Addr(), "gob-client", []byte("k"), 9, DialConfig{Protocol: ProtoGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if got := client.MatVecDim(); got != 0 {
+		t.Errorf("MatVecDim over gob = %d, want 0", got)
+	}
+	if err := client.EnableMatVec(); !errors.Is(err, serve.ErrMatVecUnavailable) {
+		t.Errorf("EnableMatVec over gob err = %v, want ErrMatVecUnavailable", err)
+	}
+}
+
+// TestMatVecSurvivesRekey pins that rotation keys are key-epoch
+// independent: they are public evaluation material bound to the HE
+// secret key, not the symmetric transciphering key, so a rekey must not
+// invalidate them.
+func TestMatVecSurvivesRekey(t *testing.T) {
+	srv := startServer(t, Model{Matrix: testMatrix, MatrixBias: testMatrixBias})
+	client, err := Dial(srv.Addr(), "rekeyed", []byte("first-material"), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.EnableMatVec(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.RekeyWith([]byte("second-material")); err != nil {
+		t.Fatalf("rekey: %v", err)
+	}
+	v := []float64{-0.5, 0.25, 0.75, -0.1}
+	got, err := client.MatVec(0, v)
+	if err != nil {
+		t.Fatalf("matvec after rekey: %v", err)
+	}
+	want := plainMatVec(testMatrix, testMatrixBias, v)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Errorf("slot %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

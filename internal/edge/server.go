@@ -23,12 +23,21 @@ import (
 	"quhe/internal/transcipher"
 )
 
-// Model is the slot-wise affine inference the server evaluates on
-// encrypted data: out[i] = Weights[i]·x[i] + Bias[i]. Weights are quantized
-// to multiples of 1/WeightScale when applied.
+// Model is the inference the server evaluates on encrypted data. The
+// slot-wise affine layer out[i] = Weights[i]·x[i] + Bias[i] (Weights
+// quantized to multiples of 1/WeightScale when applied) serves every
+// Compute; an optional square Matrix additionally enables the encrypted
+// matrix–vector path out = Matrix·x + MatrixBias, evaluated with the
+// hoisted BSGS rotation kernel on MatVec requests.
 type Model struct {
 	Weights []float64
 	Bias    []float64
+	// Matrix is the packed model matrix for MatVec requests: square, with
+	// a dimension dividing every served profile's slot count. Empty
+	// disables the matvec capability (the hello ack never advertises it).
+	Matrix [][]float64
+	// MatrixBias is added slot-wise to the matvec output; nil for none.
+	MatrixBias []float64
 }
 
 // ServerConfig parameterizes the edge server.
@@ -147,6 +156,15 @@ type profileRuntime struct {
 	prof   *profile.Profile
 	ctx    *ckks.Context
 	cipher *transcipher.Cipher
+
+	// The matvec plan — the model matrix's diagonals encoded at the
+	// transcipher output level and scale — is built once per profile on
+	// first use and shared by every worker (plans are read-only during
+	// evaluation). mvErr latches a build failure so each request fails
+	// typed instead of retrying the doomed encode.
+	mvOnce sync.Once
+	mvPlan *ckks.MatVecPlan
+	mvErr  error
 }
 
 // Server is the QuHE edge server: it accepts client sessions — each on a
@@ -421,6 +439,37 @@ func (s *Server) sessionRuntime(sess *serve.Session) (*profileRuntime, *serve.Ev
 		return nil, nil, err
 	}
 	return rt, pool, nil
+}
+
+// matvecPlan returns the profile's BSGS matrix–vector plan, building it
+// on first use. The plan targets the transcipher output contract — level
+// top−2 at scale Δ²/p (Δ the top prime, p the one below) — so a MatVec
+// request transciphers its block and feeds the result straight into the
+// kernel with no level or scale adjustment. Built with a throwaway
+// evaluator; the plan itself is immutable and shared across workers.
+func (s *Server) matvecPlan(rt *profileRuntime) (*ckks.MatVecPlan, error) {
+	rt.mvOnce.Do(func() {
+		if len(s.cfg.Model.Matrix) == 0 {
+			rt.mvErr = fmt.Errorf("%w: no model matrix configured", serve.ErrMatVecUnavailable)
+			return
+		}
+		top := rt.ctx.MaxLevel()
+		if top < 3 {
+			rt.mvErr = fmt.Errorf("%w: profile %s too shallow (depth %d; matvec needs the transcipher's two levels plus one)",
+				serve.ErrMatVecUnavailable, rt.prof.ID, top)
+			return
+		}
+		delta := float64(rt.ctx.Primes[top])
+		scale := delta * delta / float64(rt.ctx.Primes[top-1])
+		ev := ckks.NewEvaluator(rt.ctx, 1)
+		plan, err := ev.NewMatVecPlan(s.cfg.Model.Matrix, s.cfg.Model.MatrixBias, top-2, scale)
+		if err != nil {
+			rt.mvErr = fmt.Errorf("%w: plan for profile %s: %v", serve.ErrMatVecUnavailable, rt.prof.ID, err)
+			return
+		}
+		rt.mvPlan = plan
+	})
+	return rt.mvPlan, rt.mvErr
 }
 
 // Addr returns the bound listen address.
@@ -786,11 +835,20 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func(), cs *c
 	// sender.
 	crc := s.cfg.FrameChecksums && len(payload) >= 1 && payload[0]&helloFlagCRC != 0
 	rnsWire := len(payload) >= 1 && payload[0]&helloFlagRNSWire != 0
+	// Matvec is negotiated per connection: the server advertises only when
+	// it actually holds a matrix, and the path opens only when the client
+	// asked too — so matvec frames from an un-negotiated peer are rejected
+	// typed instead of evaluated against a missing plan.
+	mvCap := len(s.cfg.Model.Matrix) > 0
+	mv := mvCap && len(payload) >= 1 && payload[0]&helloFlagMatVec != 0
 	var ack func(b []byte) []byte
 	if len(payload) >= 1 {
 		flags := byte(helloFlagProfiles | helloFlagRNSWire | helloFlagResume | helloFlagTrace)
 		if crc {
 			flags |= helloFlagCRC
+		}
+		if mvCap {
+			flags |= helloFlagMatVec
 		}
 		ack = func(b []byte) []byte { return append(b, flags) }
 	}
@@ -830,7 +888,7 @@ func (s *Server) serveV3(conn net.Conn, br *bufio.Reader, teardown func(), cs *c
 			m.bytesIn.Add(int64(frameHeaderLen + len(payload) + trailer))
 		}
 		cs.active.Add(1)
-		err = s.dispatchV3(fw, ftype, id, payload, rnsWire, v3conn{conn: conn, br: br, buf: buf, crc: crc, cs: cs})
+		err = s.dispatchV3(fw, ftype, id, payload, rnsWire, v3conn{conn: conn, br: br, buf: buf, crc: crc, cs: cs, mv: mv})
 		cs.active.Add(-1)
 		if err != nil {
 			// A payload that fails to decode is a protocol violation, not
@@ -849,6 +907,9 @@ type v3conn struct {
 	buf  *[]byte
 	crc  bool
 	cs   *connState
+	// mv records whether the hello handshake negotiated the encrypted
+	// matvec path (server holds a matrix AND the client asked).
+	mv bool
 }
 
 func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []byte, rnsWire bool, vc v3conn) error {
@@ -875,6 +936,11 @@ func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []by
 			return err
 		}
 		rep := s.handleSetup(req, vc.cs)
+		if vc.mv && rep.OK {
+			// Tell the matvec-negotiated client which rotation keys the
+			// kernel needs (ckks.BSGSRotations of this dimension).
+			rep.MatVecDim = len(s.cfg.Model.Matrix)
+		}
 		fw.sendFrame(frameSetupReply, id, func(b []byte) []byte { return appendSetupReply(b, rep) })
 	case frameResume:
 		req, err := decodeResumeRequest(payload)
@@ -907,6 +973,23 @@ func (s *Server) dispatchV3(fw *frameWriter, ftype byte, id uint64, payload []by
 			return err
 		}
 		s.handleBatchV3(fw, id, req, vc.cs)
+	case frameRotKeys:
+		req, err := decodeRotKeysRequest(payload)
+		if err != nil {
+			return err
+		}
+		rep := s.handleRotKeys(req, vc)
+		fw.sendFrame(frameRotKeysReply, id, func(b []byte) []byte { return appendRotKeysReply(b, rep) })
+	case frameMatVec:
+		var decodeStart time.Time
+		if s.met != nil {
+			decodeStart = time.Now()
+		}
+		req, err := decodeComputeRequest(payload)
+		if err != nil {
+			return err
+		}
+		s.handleMatVecV3(fw, id, req, decodeStart, vc)
 	default:
 		return fmt.Errorf("%w: unexpected frame type %d", ErrBadFrame, ftype)
 	}
@@ -1077,6 +1160,109 @@ func (s *Server) handleComputeV3(fw *frameWriter, id uint64, req *ComputeRequest
 			m.shedQueueFull.Inc()
 		}
 		s.sendComputeReplyV3(fw, id, &ComputeReply{
+			Code: serve.CodeOf(err),
+			Err:  fmt.Sprintf("queue full (depth %d)", s.sched.Capacity()),
+		})
+	}
+}
+
+// handleRotKeys installs a session's Galois rotation keys for the matvec
+// kernel, validating the upload at installation time: the connection must
+// have negotiated matvec, the set's ring shape must match the session
+// profile's context, and it must cover every rotation of the BSGS plan —
+// so an incomplete set fails here, typed, instead of mid-evaluation.
+func (s *Server) handleRotKeys(req *RotKeysRequest, vc v3conn) *RotKeysReply {
+	if !vc.mv {
+		return &RotKeysReply{Code: serve.CodeMatVecUnavailable,
+			Err: "matvec not negotiated at hello"}
+	}
+	if req.Keys == nil || len(req.Keys.Keys) == 0 {
+		return &RotKeysReply{Code: serve.CodeBadRequest, Err: "empty rotation key set"}
+	}
+	sess, rt, _, code, detail := s.lookupCompute(req.SessionID)
+	if code != serve.CodeOK {
+		return &RotKeysReply{Code: code, Err: detail}
+	}
+	plan, err := s.matvecPlan(rt)
+	if err != nil {
+		return &RotKeysReply{Code: serve.CodeOf(err), Err: err.Error()}
+	}
+	n := rt.ctx.Params.N()
+	digits := len(rt.ctx.Primes)
+	qp := digits + 1
+	for el, gk := range req.Keys.Keys {
+		if len(gk.Parts) != digits || len(gk.Parts[0][0]) != qp || len(gk.Parts[0][0][0]) != n {
+			return &RotKeysReply{Code: serve.CodeParamMismatch,
+				Err: fmt.Sprintf("rotation key for element %d does not match profile %s's ring", el, rt.prof.ID)}
+		}
+	}
+	if err := req.Keys.Covers(n, plan.Rotations()); err != nil {
+		return &RotKeysReply{Code: serve.CodeBadRequest, Err: "rotation keys: " + err.Error()}
+	}
+	sess.SetRotKeys(req.Keys)
+	s.cfg.Logf("edge: session %q installed %d rotation keys (matvec dim %d)",
+		sess.ID, len(req.Keys.Keys), plan.Dim())
+	return &RotKeysReply{OK: true}
+}
+
+// handleMatVecV3 serves one encrypted matrix–vector request: transcipher
+// the block, then apply the model matrix with the hoisted BSGS kernel
+// under the session's rotation keys. Mirrors handleComputeV3 (bounded
+// scheduler, per-profile pool, sheddable) with one extra traced stage —
+// matvec — separating kernel time from transcipher time.
+func (s *Server) handleMatVecV3(fw *frameWriter, id uint64, req *ComputeRequest, decodeStart time.Time, vc v3conn) {
+	reply := func(rep *ComputeReply) {
+		fw.sendFrame(frameMatVecReply, id, func(b []byte) []byte { return appendComputeReply(b, rep) })
+	}
+	if !vc.mv {
+		reply(&ComputeReply{Code: serve.CodeMatVecUnavailable,
+			Err: "matvec not negotiated at hello"})
+		return
+	}
+	bt := s.met.newBlockTrace(req.SessionID, req.Block, id, decodeStart)
+	bt.adopt(req.Trace)
+	bt.span(stageIdxDecode, stageDecode, decodeStart, time.Since(decodeStart))
+	sess, rt, pool, code, detail := s.lookupCompute(req.SessionID)
+	if code != serve.CodeOK {
+		reply(&ComputeReply{Code: code, Err: detail})
+		return
+	}
+	var submitAt time.Time
+	if bt != nil {
+		submitAt = time.Now()
+	}
+	cs := vc.cs
+	cs.active.Add(1)
+	if err := s.sched.SubmitTo(pool, func(w *serve.Worker) {
+		defer cs.active.Add(-1)
+		if bt == nil {
+			rep, _ := s.computeMatVec(rt, w, sess, req)
+			reply(rep)
+			return
+		}
+		waitEnd := time.Now()
+		bt.span(stageIdxQueueWait, stageQueueWait, submitAt, waitEnd.Sub(submitAt))
+		rep, mvDur := s.computeMatVec(rt, w, sess, req)
+		total := time.Since(waitEnd)
+		// The kernel runs at the tail of the eval: split the worker's time
+		// into the transcipher span and the matvec span.
+		bt.span(stageIdxEval, stageEval, waitEnd, total-mvDur)
+		bt.span(stageIdxMatVec, stageMatVec, waitEnd.Add(total-mvDur), mvDur)
+		encStart := time.Now()
+		enc, wr, err := fw.sendFrameTimed(frameMatVecReply, id, func(b []byte) []byte {
+			return appendComputeReply(b, rep)
+		})
+		if err == nil {
+			bt.span(stageIdxEncode, stageEncode, encStart, enc)
+			bt.span(stageIdxWrite, stageWrite, encStart.Add(enc), wr)
+		}
+		bt.finish()
+	}); err != nil {
+		cs.active.Add(-1)
+		if m := s.met; m != nil {
+			m.shedQueueFull.Inc()
+		}
+		reply(&ComputeReply{
 			Code: serve.CodeOf(err),
 			Err:  fmt.Sprintf("queue full (depth %d)", s.sched.Capacity()),
 		})
@@ -1333,6 +1519,116 @@ func (s *Server) computeBlock(rt *profileRuntime, w *serve.Worker, sess *serve.S
 		}
 	}
 	return result, serve.CodeOK, ""
+}
+
+// computeMatVec wraps matvecBlock into a ComputeReply with the modeled
+// delay decomposition, mirroring compute. Returns the kernel's own
+// duration alongside so the caller can emit the matvec trace span.
+func (s *Server) computeMatVec(rt *profileRuntime, w *serve.Worker, sess *serve.Session, req *ComputeRequest) (*ComputeReply, time.Duration) {
+	result, mvDur, code, detail := s.matvecBlock(rt, w, sess, req.Epoch, req.Block, req.Masked)
+	if code != serve.CodeOK {
+		return &ComputeReply{Code: code, Err: detail, RekeyNeeded: s.rekeyNeeded(sess)}, mvDur
+	}
+	bits := float64(len(req.Masked) * 64)
+	lambda := rt.prof.Lambda
+	return &ComputeReply{
+		Result:          result,
+		RekeyNeeded:     s.rekeyNeeded(sess),
+		ModeledTxDelay:  bits / s.cfg.UplinkRateBps,
+		ModeledCmpDelay: (costmodel.EvalCycles(lambda) + costmodel.CmpCycles(lambda)) / s.cfg.ServerHz,
+	}, mvDur
+}
+
+// matvecBlock is computeBlock's matrix–vector sibling: same admission
+// pipeline (slot bounds, key epoch, control-plane admission, rekey byte
+// budget), but the transcipher runs plain (no slot-wise affine) and the
+// result feeds the hoisted BSGS kernel under the session's rotation keys.
+// The transcipher output contract (level top−2, scale Δ²/p) matches the
+// plan by construction, so the kernel consumes it directly. Returns the
+// kernel's duration for the matvec trace span.
+func (s *Server) matvecBlock(rt *profileRuntime, w *serve.Worker, sess *serve.Session, reqEpoch uint64, block uint32, masked []float64) (result *ckks.Ciphertext, mvDur time.Duration, code serve.Code, detail string) {
+	if m := s.met; m != nil {
+		defer func() {
+			m.codeCounter(code).Inc()
+			m.observeOutcome(code)
+		}()
+	}
+	plan, err := s.matvecPlan(rt)
+	if err != nil {
+		return nil, 0, serve.CodeOf(err), err.Error()
+	}
+	gks := sess.RotKeys()
+	if gks == nil {
+		return nil, 0, serve.CodeMatVecUnavailable,
+			"no rotation keys installed for session (upload them after setup)"
+	}
+	if len(masked) > rt.cipher.Slots() {
+		return nil, 0, serve.CodeOversized,
+			fmt.Sprintf("block of %d slots exceeds %d", len(masked), rt.cipher.Slots())
+	}
+	encKey, nonce, epoch := sess.Keys()
+	if reqEpoch != 0 && reqEpoch != epoch {
+		return nil, 0, serve.CodeRekeyRequired,
+			fmt.Sprintf("block masked under key epoch %d, session at %d", reqEpoch, epoch)
+	}
+	pending := int64(8 * len(masked))
+	used := sess.BytesSinceRekey()
+	ctl := s.cfg.Control
+	if ctl != nil {
+		if err := ctl.AdmitCompute(sess.ID, used, pending); err != nil {
+			return nil, 0, serve.CodeOf(err), controlDetail(err)
+		}
+	}
+	if budget := s.rekeyBudget(sess); budget > 0 && used >= budget {
+		return nil, 0, serve.CodeRekeyRequired,
+			fmt.Sprintf("key byte budget exhausted (%d of %d)", used, budget)
+	}
+	var start time.Time
+	if ctl != nil || s.met != nil {
+		start = time.Now()
+	}
+	observe := func(code serve.Code) {
+		if ctl == nil && s.met == nil {
+			return
+		}
+		d := time.Since(start)
+		if ctl != nil {
+			ctl.ObserveCompute(sess.ID, pending, d, code)
+		}
+		if m := s.met; m != nil {
+			m.observeEval(rt.prof.ID, d)
+		}
+	}
+	scratch, _ := w.Scratch.(*transcipher.Scratch)
+	// Plain transcipher: nil weights apply the identity, leaving the
+	// decrypted block for the matrix kernel.
+	ct, err := rt.cipher.TranscipherAffineWith(
+		scratch, w.Ev, sess.RLK, encKey, nonce, block, masked, nil, nil)
+	if err != nil {
+		observe(serve.CodeInternal)
+		return nil, 0, serve.CodeInternal, "transcipher: " + err.Error()
+	}
+	out := rt.ctx.NewCiphertext(plan.Level() - 1)
+	mvStart := time.Now()
+	if err := w.Ev.MatVecInto(plan, ct, gks, out); err != nil {
+		mvDur = time.Since(mvStart)
+		code = serve.CodeInternal
+		if errors.Is(err, ckks.ErrNoGaloisKey) {
+			code = serve.CodeMatVecUnavailable
+		}
+		observe(code)
+		return nil, mvDur, code, "matvec: " + err.Error()
+	}
+	mvDur = time.Since(mvStart)
+	sess.RecordBlock(pending)
+	observe(serve.CodeOK)
+	// Control planes that track rotation intensity get the block's
+	// hoisted-rotation fan-out, so rotation-heavy traffic prices its
+	// key-switch work in the planner's delay term.
+	if ro, ok := ctl.(RotationObserver); ok {
+		ro.ObserveRotations(sess.ID, len(plan.Rotations()))
+	}
+	return out, mvDur, serve.CodeOK, ""
 }
 
 // rekeyNeeded advises clients once ≥ 3/4 of the key byte budget is spent.

@@ -99,6 +99,16 @@ const (
 	// exchange bit-identical frames. The gob paths are untraced.
 	helloFlagTrace = 0x10
 
+	// helloFlagMatVec advertises encrypted matrix–vector evaluation: a
+	// server that sets it in its hello ack holds a packed model matrix and
+	// accepts frameRotKeys uploads and frameMatVec requests, and its Setup
+	// reply carries the matrix dimension as an optional trailing field.
+	// Clients request it unconditionally; against a server that acks
+	// without the flag they never send matvec frames, and a MatVec call
+	// fails locally with the typed serve.ErrMatVecUnavailable instead of
+	// killing the connection on an unknown frame type.
+	helloFlagMatVec = 0x20
+
 	// crcTrailerLen is the CRC32C (Castagnoli) trailer size. The trailer
 	// covers header and payload and is excluded from the header's length
 	// field, so a checksumming reader and a length-driven frame skipper
@@ -128,6 +138,10 @@ const (
 	frameResumeChallenge
 	frameResumeProof
 	frameResumeReply
+	frameRotKeys
+	frameRotKeysReply
+	frameMatVec
+	frameMatVecReply
 )
 
 // Typed frame errors: fuzzing and tests assert corrupt input maps to
@@ -209,7 +223,7 @@ func readFrameCRC(br *bufio.Reader, buf *[]byte, withCRC bool) (ftype byte, id u
 		return 0, 0, nil, ErrBadFrame
 	}
 	ftype = hdr[3]
-	if ftype < frameHello || ftype > frameResumeReply {
+	if ftype < frameHello || ftype > frameMatVecReply {
 		return 0, 0, nil, ErrBadFrame
 	}
 	id = binary.LittleEndian.Uint64(hdr[4:12])
@@ -610,8 +624,16 @@ func decodeSetupRequest(p []byte) (*SetupRequest, error) {
 func appendSetupReply(b []byte, rep *SetupReply) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
 	b = appendString(b, rep.Err)
-	if rep.Profile != "" {
+	// Profile and MatVecDim travel as optional trailing fields (same
+	// convention as the Setup request): a MatVecDim forces the Profile
+	// field out (possibly empty) so the trailing positions stay
+	// unambiguous. Servers only append MatVecDim on matvec-negotiated
+	// connections, so pre-matvec clients never see it.
+	if rep.Profile != "" || rep.MatVecDim > 0 {
 		b = appendString(b, rep.Profile)
+	}
+	if rep.MatVecDim > 0 {
+		b = binary.LittleEndian.AppendUint32(b, uint32(rep.MatVecDim))
 	}
 	return b
 }
@@ -621,6 +643,9 @@ func decodeSetupReply(p []byte) (*SetupReply, error) {
 	rep := &SetupReply{Code: serve.Code(r.u32()), Err: r.str()}
 	if r.err == nil && len(r.b) > 0 {
 		rep.Profile = r.str()
+	}
+	if r.err == nil && len(r.b) > 0 {
+		rep.MatVecDim = int(r.u32())
 	}
 	rep.OK = rep.Code == serve.CodeOK && rep.Err == ""
 	if err := r.finish(); err != nil {
@@ -924,6 +949,46 @@ func decodeResumeReply(p []byte) (*ResumeReply, error) {
 	}
 	return rep, nil
 }
+
+func appendRotKeysRequest(b []byte, req *RotKeysRequest) []byte {
+	b = appendString(b, req.SessionID)
+	return req.Keys.AppendBinary(b)
+}
+
+func decodeRotKeysRequest(p []byte) (*RotKeysRequest, error) {
+	r := &wireReader{b: p}
+	req := &RotKeysRequest{SessionID: r.str(), Keys: new(ckks.GaloisKeySet)}
+	if r.err == nil {
+		if n, err := req.Keys.DecodeFrom(r.b); err != nil {
+			r.fail()
+		} else {
+			r.b = r.b[n:]
+		}
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func appendRotKeysReply(b []byte, rep *RotKeysReply) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(rep.Code))
+	return appendString(b, rep.Err)
+}
+
+func decodeRotKeysReply(p []byte) (*RotKeysReply, error) {
+	r := &wireReader{b: p}
+	rep := &RotKeysReply{Code: serve.Code(r.u32()), Err: r.str()}
+	rep.OK = rep.Code == serve.CodeOK && rep.Err == ""
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// MatVec requests and replies reuse the Compute codecs verbatim — the
+// payloads are field-identical (masked block in, ciphertext out); the
+// frame type alone selects the affine or matrix–vector semantics.
 
 // resumeMAC computes the resume possession proof:
 // HMAC-SHA256(auth, challenge || sessionID || epoch_le64). Shared by the

@@ -707,7 +707,7 @@ func BenchmarkKeySwitch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev.keySwitch(d2, rlk, level)
+		ev.keySwitch(d2, rlk.Parts, level)
 	}
 }
 

@@ -30,12 +30,26 @@
 // into its RNS digits D_j = [d2]_{q_j}, folds each digit through part j
 // on every target limb (O(L²) per-limb NTTs, parallel over targets), and
 // divides the accumulated product by P (ring.Tower.ModDownInto), which
-// scales the key-switch noise down by P ≈ 2⁶¹. Versus production CKKS
-// (SEAL / Lattigo / OpenFHE) there are no Galois rotations and no
-// bootstrapping; those simplifications keep the package small while
-// preserving the behaviour the paper's cost model (Eqs. 29/31) abstracts:
-// slot-wise encrypted arithmetic whose cost grows with the limb count L,
-// the polynomial degree λ = N, and log₂N.
+// scales the key-switch noise down by P ≈ 2⁶¹.
+//
+// # Galois rotations and hoisting
+//
+// Slot rotations use the same hybrid construction: a GaloisKey per
+// rotation step key-switches the automorphism X → X^k of the secret back
+// under s (galois.go). Because the expensive half of a rotation — the RNS
+// digit decomposition of c1 over the extended basis QP — depends only on
+// the ciphertext, Hoisted computes it once and every subsequent rotation
+// of the same ciphertext reuses it, paying only the per-key inner
+// products and one ModDown. The BSGS packed matrix–vector kernel
+// (linalg.go) builds on that: √n baby rotations from one hoisted
+// decomposition, diagonals stored NTT+Montgomery at plan build so each
+// multiply-accumulate is a pointwise pass, and √n giant rotations of the
+// partial sums — O(√n) key-switches instead of the naive n−1. Versus
+// production CKKS (SEAL / Lattigo / OpenFHE) there is still no
+// bootstrapping; the package otherwise preserves the behaviour the
+// paper's cost model (Eqs. 29/31) abstracts: slot-wise encrypted
+// arithmetic whose cost grows with the limb count L, the polynomial
+// degree λ = N, and log₂N.
 //
 // # Performance conventions
 //

@@ -8,15 +8,31 @@ import (
 
 // Encoder maps complex slot vectors to ring plaintexts through the
 // canonical embedding: a message z ∈ C^{N/2} is interpolated at the
-// primitive 2N-th roots of unity ζ^{2j+1} (with conjugate symmetry so
-// coefficients come out real), scaled by Δ and rounded. Encoders are
-// immutable and safe for concurrent use.
+// primitive 2N-th roots of unity (with conjugate symmetry so coefficients
+// come out real), scaled by Δ and rounded.
+//
+// Slots follow the Galois orbit ordering: slot j sits at the root
+// ζ^(5^j mod 2N), not ζ^(2j+1). Since 5 generates the rotation subgroup
+// of the Galois group (order N/2 mod 2N), the automorphism σ_{5^r}: X →
+// X^(5^r) maps the root of slot j+r onto the root of slot j — i.e. a
+// single automorphism plus key switch rotates the slot vector cyclically
+// left by r (Evaluator.RotateInto). With the natural 2j+1 ordering the
+// same automorphism scatters slots in index-arithmetic order, and packed
+// linear algebra would be impossible. Slot-wise operations (add, mul,
+// transciphering) are ordering-agnostic; the ordering is internal and
+// both endpoints derive it identically.
+//
+// Encoders are immutable and safe for concurrent use.
 type Encoder struct {
 	ctx *Context
 	// twiddles for the length-N complex FFT.
 	wFwd, wInv []complex128
 	// zetaFwd[k] = ζ^k, zetaInv[k] = ζ^{−k} with ζ = exp(iπ/N).
 	zetaFwd, zetaInv []complex128
+	// pos[j] = ((5^j mod 2N) − 1)/2: the natural-order index of slot j's
+	// root, the scatter/gather layer that turns σ_5-orbit rotations into
+	// cyclic slot shifts.
+	pos []int
 }
 
 // NewEncoder builds an encoder for the context.
@@ -28,6 +44,7 @@ func NewEncoder(ctx *Context) *Encoder {
 		wInv:    make([]complex128, n/2),
 		zetaFwd: make([]complex128, n),
 		zetaInv: make([]complex128, n),
+		pos:     make([]int, n/2),
 	}
 	for i := 0; i < n/2; i++ {
 		ang := 2 * math.Pi * float64(i) / float64(n)
@@ -38,6 +55,12 @@ func NewEncoder(ctx *Context) *Encoder {
 		ang := math.Pi * float64(k) / float64(n)
 		e.zetaFwd[k] = cmplx.Exp(complex(0, ang))
 		e.zetaInv[k] = cmplx.Exp(complex(0, -ang))
+	}
+	pow5 := uint64(1)
+	mask := uint64(2*n - 1)
+	for j := 0; j < n/2; j++ {
+		e.pos[j] = int((pow5 - 1) >> 1)
+		pow5 = (pow5 * 5) & mask
 	}
 	return e
 }
@@ -61,11 +84,14 @@ func (e *Encoder) EncodeAtLevel(values []complex128, scale float64, level int) (
 	if scale <= 0 {
 		scale = e.ctx.Params.Scale()
 	}
-	// Conjugate-symmetric extension: u_j = z_j, u_{N−1−j} = conj(z_j).
+	// Conjugate-symmetric extension in orbit order: slot j's value lands
+	// at natural index pos[j] (root ζ^(5^j)), its conjugate at the
+	// mirrored index N−1−pos[j] (root ζ^(2N−5^j)).
 	u := make([]complex128, n)
 	for j, z := range values {
-		u[j] = z
-		u[n-1-j] = cmplx.Conj(z)
+		k := e.pos[j]
+		u[k] = z
+		u[n-1-k] = cmplx.Conj(z)
 	}
 	// c_k = Δ · ζ^{−k} · IDFT(u)_k (real by symmetry), rounded to integers
 	// once and spread across the level's limbs.
@@ -95,7 +121,7 @@ func (e *Encoder) Decode(pt *Plaintext) []complex128 {
 	out := make([]complex128, e.ctx.Params.Slots())
 	inv := complex(1/pt.Scale, 0)
 	for j := range out {
-		out[j] = u[j] * inv
+		out[j] = u[e.pos[j]] * inv
 	}
 	return out
 }

@@ -29,6 +29,9 @@ type Evaluator struct {
 	acc0, acc1, dig            ring.RNSPoly
 	// Integer sampling buffers (one draw per coefficient, spread to limbs).
 	iu, ie0, ie1 []int64
+	// Matvec working set (hoisting + rotated babies), allocated on first
+	// MatVecInto and reused; see linalg.go.
+	mv *matvecScratch
 }
 
 // NewEvaluator builds an evaluator. seed=0 selects a fixed default.
@@ -309,19 +312,8 @@ func (ev *Evaluator) MulRelinInto(a, b *Ciphertext, rlk *RelinKey, out *Cipherte
 	// Hybrid key switch of d2 into acc0/acc1 (NTT domain, limbs 0..ℓ plus
 	// the special limb at index ℓ+1), then back to the coefficient domain
 	// and down from QP to Q.
-	ev.keySwitch(ev.s6, rlk, a.Level)
-	inttTasks := make([]func(), 0, 2*(limbs+1))
-	for t := 0; t <= limbs; t++ {
-		mod := tower.P
-		if t < limbs {
-			mod = tower.Qi[t]
-		}
-		m, a0, a1 := mod, ev.acc0[t], ev.acc1[t]
-		inttTasks = append(inttTasks, func() { m.INTT(a0) }, func() { m.INTT(a1) })
-	}
-	ring.ParallelIf(n, inttTasks...)
-	tower.ModDownInto(ev.acc0[:limbs], ev.acc0[limbs], ev.acc0[:limbs])
-	tower.ModDownInto(ev.acc1[:limbs], ev.acc1[limbs], ev.acc1[:limbs])
+	ev.keySwitch(ev.s6, rlk.Parts, a.Level)
+	ev.keySwitchDown(a.Level)
 
 	// out = (INTT(d̂0) + acc0, INTT(d̂1) + acc1).
 	tower.ForEachLimb(limbs, func(i int) {
@@ -353,13 +345,14 @@ func (ev *Evaluator) MulRelin(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, err
 }
 
 // keySwitch folds the RNS digits of d2 (coefficient domain, limbs
-// 0..level; not modified) through the relin key parts into ev.acc0/ev.acc1
-// over the extended basis: chain limbs 0..level plus the special limb at
-// index level+1, all in the NTT domain. The fan-out is over target limbs —
-// each target reduces every digit into its modulus, transforms it, and
-// runs two fused multiply-accumulates against the key's limb; targets are
-// independent, so the O(L²) digit transforms parallelize across limbs.
-func (ev *Evaluator) keySwitch(d2 ring.RNSPoly, rlk *RelinKey, level int) {
+// 0..level; not modified) through hybrid key-switch parts (a RelinKey's or
+// GaloisKey's gadget) into ev.acc0/ev.acc1 over the extended basis: chain
+// limbs 0..level plus the special limb at index level+1, all in the NTT
+// domain. The fan-out is over target limbs — each target reduces every
+// digit into its modulus, transforms it, and runs two fused
+// multiply-accumulates against the key's limb; targets are independent, so
+// the O(L²) digit transforms parallelize across limbs.
+func (ev *Evaluator) keySwitch(d2 ring.RNSPoly, parts [][2]ring.RNSPoly, level int) {
 	tower := ev.ctx.Tower
 	limbs := level + 1
 	spIdx := tower.Limbs() // index of the special limb inside key parts
@@ -379,10 +372,32 @@ func (ev *Evaluator) keySwitch(d2 ring.RNSPoly, rlk *RelinKey, level int) {
 				mod.ReduceInto(d2[j], dig)
 			}
 			mod.NTT(dig)
-			mod.MulCoeffwiseMontgomeryThenAdd(dig, rlk.Parts[j][0][partIdx], acc0)
-			mod.MulCoeffwiseMontgomeryThenAdd(dig, rlk.Parts[j][1][partIdx], acc1)
+			mod.MulCoeffwiseMontgomeryThenAdd(dig, parts[j][0][partIdx], acc0)
+			mod.MulCoeffwiseMontgomeryThenAdd(dig, parts[j][1][partIdx], acc1)
 		}
 	})
+}
+
+// keySwitchDown finishes a key switch: the NTT-domain accumulators in
+// ev.acc0/ev.acc1 (limbs 0..level plus the special limb) return to the
+// coefficient domain and drop from QP to Q via the tower's exact ModDown,
+// leaving the switched pair in ev.acc0[:level+1]/ev.acc1[:level+1].
+func (ev *Evaluator) keySwitchDown(level int) {
+	tower := ev.ctx.Tower
+	limbs := level + 1
+	n := ev.ctx.Params.N()
+	inttTasks := make([]func(), 0, 2*(limbs+1))
+	for t := 0; t <= limbs; t++ {
+		mod := tower.P
+		if t < limbs {
+			mod = tower.Qi[t]
+		}
+		m, a0, a1 := mod, ev.acc0[t], ev.acc1[t]
+		inttTasks = append(inttTasks, func() { m.INTT(a0) }, func() { m.INTT(a1) })
+	}
+	ring.ParallelIf(n, inttTasks...)
+	tower.ModDownInto(ev.acc0[:limbs], ev.acc0[limbs], ev.acc0[:limbs])
+	tower.ModDownInto(ev.acc1[:limbs], ev.acc1[limbs], ev.acc1[:limbs])
 }
 
 // RescaleInto divides the ciphertext by its level's prime and switches it

@@ -1,0 +1,352 @@
+package ckks
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"quhe/internal/he/ring"
+)
+
+// ErrNoGaloisKey reports a rotation whose Galois key is absent from the
+// supplied key set. The serving layer maps it to a typed wire code so a
+// client that uploaded the wrong rotation set gets a diagnosable failure
+// instead of garbage slots.
+var ErrNoGaloisKey = errors.New("ckks: missing galois key for rotation")
+
+// GaloisKey switches a ciphertext from the rotated secret σ_g(s) back to
+// s, enabling homomorphic slot rotation: part j is an RLWE zero-sample
+// over the extended basis QP with the gadget (P mod q_j)·σ_g(s) added
+// into limb j only — exactly the RelinKey construction with σ_g(s) in
+// place of s². Layout matches RelinKey (Parts[digit][component][limb],
+// NTT domain, Montgomery form) so the hybrid key-switch core is shared.
+type GaloisKey struct {
+	// Rot is the slot rotation this key implements (left by Rot); El is
+	// its Galois group element 5^Rot mod 2N.
+	Rot int
+	El  uint64
+	// Parts is the hybrid key-switch gadget; see RelinKey.Parts.
+	Parts [][2]ring.RNSPoly
+}
+
+// GaloisKeySet holds the rotation keys of one session, keyed by Galois
+// element. Immutable after construction; safe for concurrent readers.
+type GaloisKeySet struct {
+	Keys map[uint64]*GaloisKey
+}
+
+// Key returns the key for Galois element el, or nil.
+func (s *GaloisKeySet) Key(el uint64) *GaloisKey {
+	if s == nil {
+		return nil
+	}
+	return s.Keys[el]
+}
+
+// Covers verifies the set holds a key for every rotation in rots on a
+// ring of degree n, so a server can reject an incomplete upload at
+// installation time instead of failing mid-evaluation. Identity rotations
+// (element 1) need no key. The error wraps ErrNoGaloisKey and names the
+// first missing rotation.
+func (s *GaloisKeySet) Covers(n int, rots []int) error {
+	for _, rot := range rots {
+		el := ring.GaloisElement(rot, n)
+		if el == 1 {
+			continue
+		}
+		if s.Key(el) == nil {
+			return fmt.Errorf("%w: rotation %d (element %d)", ErrNoGaloisKey, rot, el)
+		}
+	}
+	return nil
+}
+
+// Rotations lists the slot rotations the set covers, ascending.
+func (s *GaloisKeySet) Rotations() []int {
+	if s == nil {
+		return nil
+	}
+	rots := make([]int, 0, len(s.Keys))
+	for _, gk := range s.Keys {
+		rots = append(rots, gk.Rot)
+	}
+	sort.Ints(rots)
+	return rots
+}
+
+// GenGaloisKey builds the key switching σ_g(s) → s for a left rotation by
+// rot slots. Randomness is drawn up front like GenRelinKey, so the
+// per-cell arithmetic fans out deterministically over the worker pool.
+func (kg *KeyGenerator) GenGaloisKey(sk *SecretKey, rot int) *GaloisKey {
+	ctx := kg.ctx
+	n := ctx.Params.N()
+	limbs := len(ctx.Primes)
+	qp := limbs + 1
+	digits := limbs
+	el := ring.GaloisElement(rot, n)
+	tab := ring.AutomorphismNTTTable(el, n)
+
+	as := make([]ring.RNSPoly, digits)
+	es := make([][]int64, digits)
+	for j := 0; j < digits; j++ {
+		as[j] = make(ring.RNSPoly, qp)
+		for t := 0; t < qp; t++ {
+			as[j][t] = kg.qpMod(t).UniformPoly(kg.rng)
+		}
+		es[j] = make([]int64, n)
+		kg.gaussianInts(es[j])
+	}
+
+	gk := &GaloisKey{Rot: rot, El: el, Parts: make([][2]ring.RNSPoly, digits)}
+	for j := range gk.Parts {
+		gk.Parts[j] = [2]ring.RNSPoly{make(ring.RNSPoly, qp), make(ring.RNSPoly, qp)}
+	}
+	cell := func(j, t int) func() {
+		return func() {
+			mod := kg.qpMod(t)
+			a := as[j][t]
+			mod.NTT(a) // â, plain NTT
+			p1 := make(ring.Poly, n)
+			mod.MForm(a, p1)
+			b := make(ring.Poly, n)
+			mod.MulCoeffwiseMontgomery(a, sk.S[t], b) // â·ŝ
+			mod.Neg(b, b)
+			eh := make(ring.Poly, n)
+			for k, v := range es[j] {
+				eh[k] = mod.FromInt64(v)
+			}
+			mod.NTT(eh)
+			mod.Add(b, eh, b)
+			if t == j {
+				// Gadget term: (P mod q_j)·σ_g(s) on limb j only. The NTT-
+				// domain automorphism is a pure gather, and Montgomery form
+				// commutes with it.
+				sg := make(ring.Poly, n)
+				ring.ApplyAutomorphismNTT(sk.S[t], tab, sg) // σ_g(ŝ), Montgomery
+				mod.InvMForm(sg, sg)                        // plain NTT
+				mod.MulScalar(sg, ctx.Special%ctx.Primes[j], sg)
+				mod.Add(b, sg, b)
+			}
+			mod.MForm(b, b)
+			gk.Parts[j][0][t], gk.Parts[j][1][t] = b, p1
+		}
+	}
+	tasks := make([]func(), 0, digits*qp)
+	for j := 0; j < digits; j++ {
+		for t := 0; t < qp; t++ {
+			tasks = append(tasks, cell(j, t))
+		}
+	}
+	ring.ParallelIf(n, tasks...)
+	return gk
+}
+
+// GenGaloisKeys builds the key set for an explicit rotation list
+// (duplicates and rotations ≡ 0 mod slots are skipped).
+func (kg *KeyGenerator) GenGaloisKeys(sk *SecretKey, rots []int) *GaloisKeySet {
+	set := &GaloisKeySet{Keys: make(map[uint64]*GaloisKey, len(rots))}
+	n := kg.ctx.Params.N()
+	for _, rot := range rots {
+		el := ring.GaloisElement(rot, n)
+		if el == 1 {
+			continue
+		}
+		if _, ok := set.Keys[el]; ok {
+			continue
+		}
+		set.Keys[el] = kg.GenGaloisKey(sk, rot)
+	}
+	return set
+}
+
+// GenRotationKeysPow2 builds the standard power-of-two key set (±1, ±2,
+// ±4, … up to slots/2): any rotation decomposes into at most log₂(slots)
+// applications.
+func (kg *KeyGenerator) GenRotationKeysPow2(sk *SecretKey) *GaloisKeySet {
+	slots := kg.ctx.Params.Slots()
+	var rots []int
+	for r := 1; r < slots; r <<= 1 {
+		rots = append(rots, r, -r)
+	}
+	return kg.GenGaloisKeys(sk, rots)
+}
+
+// reduceRot normalizes a rotation to [0, slots).
+func (ev *Evaluator) reduceRot(rot int) int {
+	slots := ev.ctx.Params.Slots()
+	r := rot % slots
+	if r < 0 {
+		r += slots
+	}
+	return r
+}
+
+// RotateInto rotates the slot vector left by rot (negative = right),
+// writing into out without allocating; out may alias ct. One coefficient-
+// domain automorphism of both components plus one hybrid key switch of
+// σ(c1) — the O(L²) decompose/ModUp path. For many rotations of the same
+// ciphertext, hoist instead (HoistInto + RotateHoistedInto).
+func (ev *Evaluator) RotateInto(ct *Ciphertext, rot int, gks *GaloisKeySet, out *Ciphertext) error {
+	if ev.reduceRot(rot) == 0 {
+		if out != ct {
+			return ev.DropLevelInto(ct, ct.Level, out)
+		}
+		return nil
+	}
+	el := ring.GaloisElement(rot, ev.ctx.Params.N())
+	gk := gks.Key(el)
+	if gk == nil {
+		return fmt.Errorf("%w: rotation %d (element %d)", ErrNoGaloisKey, rot, el)
+	}
+	tower := ev.ctx.Tower
+	limbs := ct.Level + 1
+	// σ(c1) in the coefficient domain, then key-switch it from σ(s) to s.
+	tower.ForEachLimb(limbs, func(i int) {
+		tower.Qi[i].AutomorphismCoeffs(ct.C1[i], el, ev.s6[i])
+	})
+	ev.keySwitch(ev.s6, gk.Parts, ct.Level)
+	ev.keySwitchDown(ct.Level)
+	// out = (σ(c0) + acc0, acc1).
+	tower.ForEachLimb(limbs, func(i int) {
+		mod := tower.Qi[i]
+		mod.AutomorphismCoeffs(ct.C0[i], el, ev.s0[i])
+		mod.Add(ev.s0[i], ev.acc0[i], out.C0[i])
+		copy(out.C1[i], ev.acc1[i])
+	})
+	out.Scale, out.Level = ct.Scale, ct.Level
+	return nil
+}
+
+// Rotate returns the slot vector rotated left by rot; see RotateInto.
+func (ev *Evaluator) Rotate(ct *Ciphertext, rot int, gks *GaloisKeySet) (*Ciphertext, error) {
+	out := ev.ctx.NewCiphertext(ct.Level)
+	if err := ev.RotateInto(ct, rot, gks, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Hoisted carries a ciphertext decomposed for rotation reuse: the RNS
+// digits of c1 lifted to every extended-basis limb in the NTT domain (the
+// O(L²) ModUp done once), plus coefficient-domain copies of both
+// components for the per-rotation c0 path and the identity case. One
+// Hoisted is reused across blocks (HoistInto resizes in place); pair it
+// with one evaluator like any scratch.
+type Hoisted struct {
+	level int
+	scale float64
+	c0    ring.RNSPoly
+	c1    ring.RNSPoly
+	// dig[j][t]: digit j of c1 reduced into extended-basis limb t, NTT
+	// domain — ready for the per-rotation fused gather-MAC.
+	dig []ring.RNSPoly
+}
+
+// NewHoisted allocates hoisting buffers sized for the context's maximum
+// level.
+func (ev *Evaluator) NewHoisted() *Hoisted {
+	n := ev.ctx.Params.N()
+	limbs := len(ev.ctx.Primes)
+	qp := limbs + 1
+	h := &Hoisted{
+		c0:  make(ring.RNSPoly, limbs),
+		c1:  make(ring.RNSPoly, limbs),
+		dig: make([]ring.RNSPoly, limbs),
+	}
+	for i := 0; i < limbs; i++ {
+		h.c0[i] = make(ring.Poly, n)
+		h.c1[i] = make(ring.Poly, n)
+		h.dig[i] = make(ring.RNSPoly, qp)
+		for t := 0; t < qp; t++ {
+			h.dig[i][t] = make(ring.Poly, n)
+		}
+	}
+	return h
+}
+
+// HoistInto decomposes ct for rotation reuse: every digit of c1 is
+// reduced into every extended-basis limb and transformed — O(L²) NTTs,
+// fanned out over the worker pool — so each subsequent RotateHoistedInto
+// costs only gather-MACs, the inverse transforms and one ModDown. k
+// rotations cost ~1 decompose instead of k.
+func (ev *Evaluator) HoistInto(h *Hoisted, ct *Ciphertext) {
+	tower := ev.ctx.Tower
+	limbs := ct.Level + 1
+	n := ev.ctx.Params.N()
+	h.level, h.scale = ct.Level, ct.Scale
+	for i := 0; i < limbs; i++ {
+		copy(h.c0[i], ct.C0[i])
+		copy(h.c1[i], ct.C1[i])
+	}
+	spIdx := tower.Limbs()
+	tasks := make([]func(), 0, limbs*(limbs+1))
+	for j := 0; j < limbs; j++ {
+		for t := 0; t <= limbs; t++ {
+			mod, partIdx := tower.P, spIdx
+			if t < limbs {
+				mod, partIdx = tower.Qi[t], t
+			}
+			m, src, dst, pi, dj := mod, ct.C1[j], h.dig[j][t], partIdx, j
+			tasks = append(tasks, func() {
+				if pi == dj {
+					copy(dst, src)
+				} else {
+					m.ReduceInto(src, dst)
+				}
+				m.NTT(dst)
+			})
+		}
+	}
+	ring.ParallelIf(n, tasks...)
+}
+
+// RotateHoistedInto rotates a hoisted ciphertext left by rot into out
+// without allocating. The σ_g automorphism is applied to the decomposed
+// digits as an NTT-domain gather fused into the key MAC — digit
+// decomposition commutes with the automorphism (the permuted digits are a
+// valid signed-representative decomposition of σ(c1)), so no per-rotation
+// ModUp is needed.
+func (ev *Evaluator) RotateHoistedInto(h *Hoisted, rot int, gks *GaloisKeySet, out *Ciphertext) error {
+	tower := ev.ctx.Tower
+	limbs := h.level + 1
+	if ev.reduceRot(rot) == 0 {
+		for i := 0; i < limbs; i++ {
+			copy(out.C0[i], h.c0[i])
+			copy(out.C1[i], h.c1[i])
+		}
+		out.Scale, out.Level = h.scale, h.level
+		return nil
+	}
+	n := ev.ctx.Params.N()
+	el := ring.GaloisElement(rot, n)
+	gk := gks.Key(el)
+	if gk == nil {
+		return fmt.Errorf("%w: rotation %d (element %d)", ErrNoGaloisKey, rot, el)
+	}
+	tab := ring.AutomorphismNTTTable(el, n)
+	spIdx := tower.Limbs()
+	tower.ForEachLimb(limbs+1, func(t int) {
+		mod, partIdx := tower.P, spIdx
+		if t < limbs {
+			mod, partIdx = tower.Qi[t], t
+		}
+		acc0, acc1 := ev.acc0[t], ev.acc1[t]
+		for j := range acc0 {
+			acc0[j], acc1[j] = 0, 0
+		}
+		for j := 0; j < limbs; j++ {
+			dig := h.dig[j][t]
+			mod.AutomorphismNTTMulMontgomeryThenAdd(dig, tab, gk.Parts[j][0][partIdx], acc0)
+			mod.AutomorphismNTTMulMontgomeryThenAdd(dig, tab, gk.Parts[j][1][partIdx], acc1)
+		}
+	})
+	ev.keySwitchDown(h.level)
+	tower.ForEachLimb(limbs, func(i int) {
+		mod := tower.Qi[i]
+		mod.AutomorphismCoeffs(h.c0[i], el, ev.s0[i])
+		mod.Add(ev.s0[i], ev.acc0[i], out.C0[i])
+		copy(out.C1[i], ev.acc1[i])
+	})
+	out.Scale, out.Level = h.scale, h.level
+	return nil
+}

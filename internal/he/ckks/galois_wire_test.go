@@ -1,0 +1,176 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"quhe/internal/he/ring"
+)
+
+func galoisKeysEqual(a, b *GaloisKey) bool {
+	if a.Rot != b.Rot || a.El != b.El || len(a.Parts) != len(b.Parts) {
+		return false
+	}
+	for d := range a.Parts {
+		for j := 0; j < 2; j++ {
+			if len(a.Parts[d][j]) != len(b.Parts[d][j]) {
+				return false
+			}
+			for ell := range a.Parts[d][j] {
+				for i := range a.Parts[d][j][ell] {
+					if a.Parts[d][j][ell][i] != b.Parts[d][j][ell][i] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestGaloisKeyWireRoundTrip(t *testing.T) {
+	ctx := wireTestContext(t)
+	kg := NewKeyGenerator(ctx, 29)
+	sk := kg.GenSecretKey()
+	gks := kg.GenGaloisKeys(sk, []int{1, 2, -1, 8})
+
+	// Single key round trip, bit-exact.
+	var one *GaloisKey
+	for _, gk := range gks.Keys {
+		one = gk
+		break
+	}
+	enc := one.AppendBinary(nil)
+	got := new(GaloisKey)
+	if n, err := got.DecodeFrom(enc); err != nil || n != len(enc) {
+		t.Fatalf("galois key decode: n=%d err=%v", n, err)
+	}
+	if !galoisKeysEqual(one, got) {
+		t.Fatal("galois key round trip differs")
+	}
+
+	// Set round trip preserves every key; re-encoding is deterministic.
+	encSet := gks.AppendBinary(nil)
+	gotSet := new(GaloisKeySet)
+	if n, err := gotSet.DecodeFrom(encSet); err != nil || n != len(encSet) {
+		t.Fatalf("galois key set decode: n=%d err=%v", n, err)
+	}
+	if len(gotSet.Keys) != len(gks.Keys) {
+		t.Fatalf("set size %d, want %d", len(gotSet.Keys), len(gks.Keys))
+	}
+	for el, gk := range gks.Keys {
+		if !galoisKeysEqual(gk, gotSet.Keys[el]) {
+			t.Fatalf("key for element %d differs after round trip", el)
+		}
+	}
+	reenc := gotSet.AppendBinary(nil)
+	if string(reenc) != string(encSet) {
+		t.Fatal("set re-encoding not deterministic")
+	}
+
+	// Truncation: every strict prefix fails typed.
+	for _, cut := range []int{0, 1, 4, 11, 12, 17, len(enc) / 2, len(enc) - 1} {
+		if _, err := new(GaloisKey).DecodeFrom(enc[:cut]); err == nil {
+			t.Fatalf("prefix %d accepted", cut)
+		} else if !errors.Is(err, ErrShortBuffer) && !errors.Is(err, ErrMalformed) && !errors.Is(err, ring.ErrShortBuffer) {
+			t.Fatalf("prefix %d: untyped error %v", cut, err)
+		}
+	}
+
+	// A rotation/element mismatch is rejected — a tampered key cannot be
+	// installed under the wrong automorphism.
+	bad := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(bad[0:4], uint32(int32(one.Rot+1)))
+	if _, err := new(GaloisKey).DecodeFrom(bad); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("mismatched rot/element: err = %v, want ErrMalformed", err)
+	}
+
+	// Duplicate elements in a set are rejected.
+	dup := binary.LittleEndian.AppendUint16(nil, 2)
+	dup = one.AppendBinary(dup)
+	dup = one.AppendBinary(dup)
+	if _, err := new(GaloisKeySet).DecodeFrom(dup); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("duplicate element: err = %v, want ErrMalformed", err)
+	}
+
+	// Absurd set count is rejected before any allocation.
+	huge := binary.LittleEndian.AppendUint16(nil, maxWireGaloisKeys+1)
+	if _, err := new(GaloisKeySet).DecodeFrom(huge); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized count: err = %v, want ErrMalformed", err)
+	}
+}
+
+// TestGaloisKeyCodecZeroAlloc pins the encode path's steady-state
+// allocation count at zero given a sufficient buffer.
+func TestGaloisKeyCodecZeroAlloc(t *testing.T) {
+	ctx := wireTestContext(t)
+	kg := NewKeyGenerator(ctx, 31)
+	sk := kg.GenSecretKey()
+	gk := kg.GenGaloisKey(sk, 1)
+	buf := gk.AppendBinary(nil)
+	allocs := testing.AllocsPerRun(32, func() {
+		buf = gk.AppendBinary(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("galois key encode allocates %v per op, want 0", allocs)
+	}
+}
+
+// FuzzGaloisKeyRoundTrip asserts (1) hostile decodes fail typed and never
+// panic, and (2) a structurally valid key built from the fuzz input
+// round-trips bit-identically.
+func FuzzGaloisKeyRoundTrip(f *testing.F) {
+	ctx, err := NewContext(Params{LogN: 6, BaseBits: 25, ScaleBits: 16, Depth: 1, Sigma: 3.2, SpecialBits: 26})
+	if err != nil {
+		f.Fatal(err)
+	}
+	kg := NewKeyGenerator(ctx, 33)
+	seed := kg.GenGaloisKey(kg.GenSecretKey(), 3).AppendBinary(nil)
+	f.Add(seed)
+	f.Add(seed[:20])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gk := new(GaloisKey)
+		if _, err := gk.DecodeFrom(data); err != nil {
+			if !errors.Is(err, ErrShortBuffer) && !errors.Is(err, ErrMalformed) && !errors.Is(err, ring.ErrShortBuffer) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+		}
+		set := new(GaloisKeySet)
+		if _, err := set.DecodeFrom(data); err != nil {
+			if !errors.Is(err, ErrShortBuffer) && !errors.Is(err, ErrMalformed) && !errors.Is(err, ring.ErrShortBuffer) {
+				t.Fatalf("untyped set decode error: %v", err)
+			}
+		}
+		// Constructive round trip: a well-formed key whose coefficients
+		// derive from the input.
+		const n, digits, limbs = 64, 2, 3
+		rot := int(byteAt(data, 0)) % (n / 2)
+		src := &GaloisKey{Rot: rot, El: ring.GaloisElement(rot, n), Parts: make([][2]ring.RNSPoly, digits)}
+		for d := 0; d < digits; d++ {
+			for j := 0; j < 2; j++ {
+				src.Parts[d][j] = make(ring.RNSPoly, limbs)
+				for ell := 0; ell < limbs; ell++ {
+					p := make(ring.Poly, n)
+					for i := range p {
+						var v uint64
+						for by := 0; by < 8; by++ {
+							v = v<<8 | uint64(byteAt(data, 8*(n*(limbs*(2*d+j)+ell)+i)+by))
+						}
+						p[i] = v
+					}
+					src.Parts[d][j][ell] = p
+				}
+			}
+		}
+		enc := src.AppendBinary(nil)
+		got := new(GaloisKey)
+		if k, err := got.DecodeFrom(enc); err != nil || k != len(enc) {
+			t.Fatalf("round trip decode: k=%d err=%v", k, err)
+		}
+		if !galoisKeysEqual(src, got) {
+			t.Fatal("round trip not bit-identical")
+		}
+	})
+}

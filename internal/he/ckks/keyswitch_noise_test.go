@@ -38,7 +38,7 @@ func TestKeySwitchNoiseBoundVsBigInt(t *testing.T) {
 		tower.Qi[i].UniformPolyInto(rng, d2[i])
 	}
 
-	ev.keySwitch(d2, rlk, level)
+	ev.keySwitch(d2, rlk.Parts, level)
 	for idx := 0; idx <= limbs; idx++ {
 		mod := tower.P
 		if idx < limbs {

@@ -1,0 +1,231 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// matvecContext needs depth ≥ 2: transcipher-style inputs arrive below
+// top level and the kernel spends one level on the diagonal products.
+func matvecContext(t testing.TB) *Context {
+	t.Helper()
+	p, err := NewParams(9, 45, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func randomMatrix(rng *rand.Rand, n int) ([][]float64, []float64) {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	bias := make([]float64, n)
+	for i := range bias {
+		bias[i] = rng.Float64()*2 - 1
+	}
+	return m, bias
+}
+
+func plainMatVec(m [][]float64, v, bias []float64) []float64 {
+	n := len(m)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += m[i][j] * v[j]
+		}
+		if bias != nil {
+			s += bias[i]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// encryptReplicated packs v replicated across all slots and encrypts at
+// the given level.
+func encryptReplicated(t *testing.T, ev *Evaluator, pk *PublicKey, v []float64, level int) *Ciphertext {
+	t.Helper()
+	enc := NewEncoder(ev.Context())
+	full := ev.replicate(v)
+	pt, err := enc.EncodeRealAtLevel(full, 0, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev.Encrypt(pk, pt)
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestMatVecAgainstPlaintext runs the BSGS kernel against a float64
+// reference at several dimensions (square and non-square n1·n2 splits),
+// with and without bias, checking the replicated output layout too.
+func TestMatVecAgainstPlaintext(t *testing.T) {
+	ctx := matvecContext(t)
+	kg := NewKeyGenerator(ctx, 71)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 72)
+	enc := NewEncoder(ctx)
+	rng := rand.New(rand.NewSource(73))
+	level := ctx.MaxLevel()
+
+	for _, n := range []int{4, 8, 16, 64} {
+		for _, withBias := range []bool{false, true} {
+			m, bias := randomMatrix(rng, n)
+			if !withBias {
+				bias = nil
+			}
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.Float64()*2 - 1
+			}
+			plan, err := ev.NewMatVecPlan(m, bias, level, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gks := kg.GenGaloisKeys(sk, plan.Rotations())
+			ct := encryptReplicated(t, ev, pk, v, level)
+			out := ctx.NewCiphertext(level - 1)
+			if err := ev.MatVecInto(plan, ct, gks, out); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if out.Level != level-1 {
+				t.Fatalf("n=%d: output level %d, want %d", n, out.Level, level-1)
+			}
+			if err := matchScales(out.Scale, ct.Scale); err != nil {
+				t.Fatalf("n=%d: output scale drifted: %v", n, err)
+			}
+			got := enc.DecodeReal(ev.Decrypt(sk, out))
+			want := plainMatVec(m, v, bias)
+			if e := maxAbsDiff(want, got[:n]); e > 1e-2 {
+				t.Errorf("n=%d bias=%v: error %v vs plaintext", n, withBias, e)
+			}
+			// Replication must survive: the second copy matches the first.
+			if e := maxAbsDiff(got[:n], got[n:2*n]); e > 1e-3 {
+				t.Errorf("n=%d: output not replicated, copy error %v", n, e)
+			}
+		}
+	}
+}
+
+// TestMatVecNaiveMatchesBSGS pins the two evaluation orders against each
+// other — same matrix, same input, results must agree to kernel noise.
+func TestMatVecNaiveMatchesBSGS(t *testing.T) {
+	ctx := matvecContext(t)
+	kg := NewKeyGenerator(ctx, 81)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	ev := NewEvaluator(ctx, 82)
+	enc := NewEncoder(ctx)
+	rng := rand.New(rand.NewSource(83))
+	level := ctx.MaxLevel()
+
+	const n = 16
+	m, bias := randomMatrix(rng, n)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*2 - 1
+	}
+	bsgs, err := ev.NewMatVecPlan(m, bias, level, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := ev.NewMatVecNaivePlan(m, bias, level, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive path rotates by every diagonal index.
+	allRots := make([]int, 0, n-1+len(bsgs.Rotations()))
+	for d := 1; d < n; d++ {
+		allRots = append(allRots, d)
+	}
+	allRots = append(allRots, bsgs.Rotations()...)
+	gks := kg.GenGaloisKeys(sk, allRots)
+
+	ct := encryptReplicated(t, ev, pk, v, level)
+	outB := ctx.NewCiphertext(level - 1)
+	outN := ctx.NewCiphertext(level - 1)
+	if err := ev.MatVecInto(bsgs, ct, gks, outB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.MatVecNaiveInto(naive, ct, gks, outN); err != nil {
+		t.Fatal(err)
+	}
+	gb := enc.DecodeReal(ev.Decrypt(sk, outB))
+	gn := enc.DecodeReal(ev.Decrypt(sk, outN))
+	if e := maxAbsDiff(gb[:n], gn[:n]); e > 1e-3 {
+		t.Errorf("BSGS vs naive error %v", e)
+	}
+	// Style guards: each Into rejects the other's plan.
+	if err := ev.MatVecInto(naive, ct, gks, outB); err == nil {
+		t.Error("BSGS eval accepted a naive plan")
+	}
+	if err := ev.MatVecNaiveInto(bsgs, ct, gks, outN); err == nil {
+		t.Error("naive eval accepted a BSGS plan")
+	}
+}
+
+// TestMatVecPlanValidation exercises the shape checks.
+func TestMatVecPlanValidation(t *testing.T) {
+	ctx := matvecContext(t)
+	ev := NewEvaluator(ctx, 91)
+	level := ctx.MaxLevel()
+	square := [][]float64{{1, 0}, {0, 1}}
+	if _, err := ev.NewMatVecPlan([][]float64{{1, 2, 3}}, nil, level, 0); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := ev.NewMatVecPlan(square, []float64{1}, level, 0); err == nil {
+		t.Error("short bias accepted")
+	}
+	if _, err := ev.NewMatVecPlan(square, nil, 0, 0); err == nil {
+		t.Error("level 0 accepted (no room to rescale)")
+	}
+	n := 3 // does not divide a power-of-two slot count
+	bad := make([][]float64, n)
+	for i := range bad {
+		bad[i] = make([]float64, n)
+	}
+	if _, err := ev.NewMatVecPlan(bad, nil, level, 0); err == nil {
+		t.Error("non-divisor dimension accepted")
+	}
+	plan, err := ev.NewMatVecPlan(square, nil, level, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Dim() != 2 || plan.Level() != level {
+		t.Error("plan metadata wrong")
+	}
+}
+
+// TestBSGSRotations pins the shared shape rule both endpoints derive.
+func TestBSGSRotations(t *testing.T) {
+	got := BSGSRotations(64) // n1 = n2 = 8
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 16, 24, 32, 40, 48, 56}
+	if len(got) != len(want) {
+		t.Fatalf("rotations %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotations %v, want %v", got, want)
+		}
+	}
+}

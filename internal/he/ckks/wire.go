@@ -41,6 +41,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"math"
+	"sort"
 
 	"quhe/internal/he/ring"
 )
@@ -279,6 +280,89 @@ func (rlk *RelinKey) AppendBinary(b []byte) []byte {
 		b = appendLimbs(b, part[1])
 	}
 	return b
+}
+
+// maxWireGaloisKeys caps a decoded key set: the BSGS rotation set needs
+// ~2·√slots keys (≤ 256 at the LogN 15 cap) and the power-of-two set
+// ~2·log₂(slots); 1024 leaves headroom without letting hostile input
+// drive unbounded allocation.
+const maxWireGaloisKeys = 1024
+
+// AppendBinary appends gk's wire encoding: rot (i32) | element (u64) |
+// then the gadget in the RelinKey part layout (digits | limbs | degree |
+// per-digit component runs).
+func (gk *GaloisKey) AppendBinary(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(gk.Rot)))
+	b = binary.LittleEndian.AppendUint64(b, gk.El)
+	rk := RelinKey{Parts: gk.Parts}
+	return rk.AppendBinary(b)
+}
+
+// DecodeFrom decodes a Galois key from the front of b into gk (fresh
+// storage; key material is retained) and returns the bytes consumed. The
+// rotation/element pair is validated against the decoded ring degree so a
+// key can never be installed under the wrong automorphism.
+func (gk *GaloisKey) DecodeFrom(b []byte) (int, error) {
+	if len(b) < 12 {
+		return 0, ErrShortBuffer
+	}
+	rot := int(int32(binary.LittleEndian.Uint32(b[0:4])))
+	el := binary.LittleEndian.Uint64(b[4:12])
+	var rk RelinKey
+	k, err := rk.DecodeFrom(b[12:])
+	if err != nil {
+		return 0, err
+	}
+	n := len(rk.Parts[0][0][0])
+	if n < 4 || el != ring.GaloisElement(rot, n) {
+		return 0, ErrMalformed
+	}
+	gk.Rot, gk.El, gk.Parts = rot, el, rk.Parts
+	return 12 + k, nil
+}
+
+// AppendBinary appends the key set: count (u16) | keys in ascending
+// element order (deterministic bytes for identical sets).
+func (s *GaloisKeySet) AppendBinary(b []byte) []byte {
+	els := make([]uint64, 0, len(s.Keys))
+	for el := range s.Keys {
+		els = append(els, el)
+	}
+	sort.Slice(els, func(i, j int) bool { return els[i] < els[j] })
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(els)))
+	for _, el := range els {
+		b = s.Keys[el].AppendBinary(b)
+	}
+	return b
+}
+
+// DecodeFrom decodes a Galois key set from the front of b into s (fresh
+// storage) and returns the bytes consumed. Duplicate elements are
+// rejected.
+func (s *GaloisKeySet) DecodeFrom(b []byte) (int, error) {
+	if len(b) < 2 {
+		return 0, ErrShortBuffer
+	}
+	count := int(binary.LittleEndian.Uint16(b))
+	if count > maxWireGaloisKeys {
+		return 0, ErrMalformed
+	}
+	off := 2
+	keys := make(map[uint64]*GaloisKey, count)
+	for i := 0; i < count; i++ {
+		gk := new(GaloisKey)
+		k, err := gk.DecodeFrom(b[off:])
+		if err != nil {
+			return 0, err
+		}
+		if _, dup := keys[gk.El]; dup {
+			return 0, ErrMalformed
+		}
+		keys[gk.El] = gk
+		off += k
+	}
+	s.Keys = keys
+	return off, nil
 }
 
 // DecodeFrom decodes a relinearization key from the front of b into rlk

@@ -68,6 +68,17 @@ const modeledCyclesPerLimbNLogN = 910.0
 // default).
 const RefHz = 3.3e9
 
+// modeledRotCyclesPerLimbNLogN is the fitted constant of the per-rotation
+// a·L·N·log2(N) cost model: one hoisted Galois rotation is one
+// key-switch (digit products against the rotation key plus the inverse
+// NTTs of the hoisted decomposition's recombination), so it scales like
+// the transcipher's per-limb NTT work but with a much smaller constant —
+// the hoisted decomposition is shared across the rotation set, leaving
+// only the per-rotation inner products. Fitted against this repository's
+// RotateHoistedInto on the built-in chains; CalibrateRotations supersedes
+// it with a live measurement.
+const modeledRotCyclesPerLimbNLogN = 95.0
+
 // chainDepth is the rescaling depth every built-in profile runs at. The
 // transcipher itself consumes two levels (linear + quadratic keystream
 // layers); the remaining levels are headroom for encrypted inference on
@@ -92,8 +103,10 @@ type Profile struct {
 	ctxErr  error
 
 	// measuredCycles holds the calibrated per-block cost in cycles at
-	// RefHz as float64 bits (0 = not calibrated).
-	measuredCycles atomic.Uint64
+	// RefHz as float64 bits (0 = not calibrated). measuredRotCycles is
+	// the same for one hoisted Galois rotation.
+	measuredCycles    atomic.Uint64
+	measuredRotCycles atomic.Uint64
 }
 
 // MSL returns f_msl(Lambda), the profile's security level in bits (Eq. 30).
@@ -142,15 +155,59 @@ func (p *Profile) SetMeasuredCyclesPerBlock(cycles float64) {
 	}
 }
 
+// ModeledCyclesPerRotation returns the uncalibrated a·L·N·log2(N) cost
+// model for one hoisted Galois rotation on this profile's parameters, in
+// cycles at RefHz.
+func (p *Profile) ModeledCyclesPerRotation() float64 {
+	n := float64(p.Params.N())
+	l := float64(p.Params.Depth + 1)
+	return modeledRotCyclesPerLimbNLogN * l * n * math.Log2(n)
+}
+
+// CyclesPerRotation returns the per-rotation cost coefficient the control
+// plane should plan with: the calibrated measurement when one exists, the
+// modeled value otherwise.
+func (p *Profile) CyclesPerRotation() float64 {
+	if bits := p.measuredRotCycles.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return p.ModeledCyclesPerRotation()
+}
+
+// RotationsCalibrated reports whether a measured per-rotation coefficient
+// has been installed.
+func (p *Profile) RotationsCalibrated() bool { return p.measuredRotCycles.Load() != 0 }
+
+// SetMeasuredCyclesPerRotation installs a calibrated per-rotation cost
+// (cycles at RefHz); non-positive values are ignored.
+func (p *Profile) SetMeasuredCyclesPerRotation(cycles float64) {
+	if cycles > 0 {
+		p.measuredRotCycles.Store(math.Float64bits(cycles))
+	}
+}
+
 // ComputeDelaySec models the serving delay of demandBytesPerSec of masked
 // traffic on this profile: blocks are demand/(8·slots) per second, each
 // costing CyclesPerBlock at serverHz.
 func (p *Profile) ComputeDelaySec(demandBytesPerSec, serverHz float64) float64 {
+	return p.ServeDelaySec(demandBytesPerSec, 0, serverHz)
+}
+
+// ServeDelaySec generalizes ComputeDelaySec to rotation-bearing traffic:
+// each block costs CyclesPerBlock for the transcipher-and-infer base plus
+// rotationsPerBlock hoisted Galois rotations (the BSGS matvec kernel's
+// per-block rotation count) at CyclesPerRotation. rotationsPerBlock 0
+// reduces to the affine serving model.
+func (p *Profile) ServeDelaySec(demandBytesPerSec, rotationsPerBlock, serverHz float64) float64 {
 	if serverHz <= 0 {
 		return math.Inf(1)
 	}
 	blocksPerSec := demandBytesPerSec / (8 * float64(p.Slots()))
-	return blocksPerSec * p.CyclesPerBlock() / serverHz
+	perBlock := p.CyclesPerBlock()
+	if rotationsPerBlock > 0 {
+		perBlock += rotationsPerBlock * p.CyclesPerRotation()
+	}
+	return blocksPerSec * perBlock / serverHz
 }
 
 // Registry is an ordered, immutable set of profiles keyed by ID. The

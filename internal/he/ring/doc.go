@@ -51,6 +51,18 @@
 // property tests check them coefficient-for-coefficient against a big.Int
 // CRT reference.
 //
+// # Galois automorphisms
+//
+// The maps X → X^g (g odd) permute the negacyclic ring and are the
+// substrate of CKKS slot rotations (galois.go): ApplyAutomorphismNTT
+// applies σ_g directly on NTT-domain limbs as a gather through a
+// precomputed index table (AutomorphismNTTTable), so a rotation costs one
+// pass over the coefficients — the sign fixups of the coefficient-domain
+// map (AutomorphismCoeffs) fold into the table. GaloisElement maps a slot
+// rotation count to its generator power 5^k mod 2N, and the fused
+// AutomorphismNTTMulMontgomeryThenAdd gathers straight into a key-switch
+// multiply-accumulate.
+//
 // # Single-modulus substrate
 //
 // N must be a power of two and q ≡ 1 (mod 2N) so a primitive 2N-th root of

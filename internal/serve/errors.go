@@ -80,6 +80,12 @@ const (
 	// the presented epoch or profile does not match, or the possession
 	// proof failed. The client must fall back to a full re-dial.
 	CodeResumeRejected
+	// CodeMatVecUnavailable rejects an encrypted matrix–vector request the
+	// server cannot serve: the capability was never negotiated at the
+	// hello, the server has no matrix configured, or the session has not
+	// uploaded the rotation keys the kernel needs. The detail string says
+	// which; clients should negotiate/upload rather than retry blindly.
+	CodeMatVecUnavailable
 )
 
 // Sentinel errors, one per failure code. Server components return these
@@ -87,41 +93,43 @@ const (
 // errors.Is(err, serve.ErrOverloaded) works on both sides of the
 // connection.
 var (
-	ErrBadRequest       = errors.New("serve: bad request")
-	ErrParamMismatch    = errors.New("serve: parameter mismatch")
-	ErrUnknownSession   = errors.New("serve: unknown session")
-	ErrDuplicateSession = errors.New("serve: duplicate session")
-	ErrOversized        = errors.New("serve: block exceeds slot capacity")
-	ErrOverloaded       = errors.New("serve: overloaded")
-	ErrRekeyRequired    = errors.New("serve: rekey required")
-	ErrInternal         = errors.New("serve: internal error")
-	ErrConnClosed       = errors.New("serve: connection closed")
-	ErrAdmissionDenied  = errors.New("serve: admission denied")
-	ErrProfileDenied    = errors.New("serve: security profile denied")
-	ErrWireFormat       = errors.New("serve: ciphertext wire format not negotiated")
-	ErrDeadline         = errors.New("serve: deadline exceeded")
-	ErrKeyExhausted     = errors.New("serve: qkd key exhausted")
-	ErrDraining         = errors.New("serve: server draining")
-	ErrResumeRejected   = errors.New("serve: session resume rejected")
+	ErrBadRequest        = errors.New("serve: bad request")
+	ErrParamMismatch     = errors.New("serve: parameter mismatch")
+	ErrUnknownSession    = errors.New("serve: unknown session")
+	ErrDuplicateSession  = errors.New("serve: duplicate session")
+	ErrOversized         = errors.New("serve: block exceeds slot capacity")
+	ErrOverloaded        = errors.New("serve: overloaded")
+	ErrRekeyRequired     = errors.New("serve: rekey required")
+	ErrInternal          = errors.New("serve: internal error")
+	ErrConnClosed        = errors.New("serve: connection closed")
+	ErrAdmissionDenied   = errors.New("serve: admission denied")
+	ErrProfileDenied     = errors.New("serve: security profile denied")
+	ErrWireFormat        = errors.New("serve: ciphertext wire format not negotiated")
+	ErrDeadline          = errors.New("serve: deadline exceeded")
+	ErrKeyExhausted      = errors.New("serve: qkd key exhausted")
+	ErrDraining          = errors.New("serve: server draining")
+	ErrResumeRejected    = errors.New("serve: session resume rejected")
+	ErrMatVecUnavailable = errors.New("serve: encrypted matvec unavailable")
 )
 
 var codeToErr = map[Code]error{
-	CodeBadRequest:       ErrBadRequest,
-	CodeParamMismatch:    ErrParamMismatch,
-	CodeUnknownSession:   ErrUnknownSession,
-	CodeDuplicateSession: ErrDuplicateSession,
-	CodeOversized:        ErrOversized,
-	CodeOverloaded:       ErrOverloaded,
-	CodeRekeyRequired:    ErrRekeyRequired,
-	CodeInternal:         ErrInternal,
-	CodeConnClosed:       ErrConnClosed,
-	CodeAdmissionDenied:  ErrAdmissionDenied,
-	CodeProfileDenied:    ErrProfileDenied,
-	CodeWireFormat:       ErrWireFormat,
-	CodeDeadline:         ErrDeadline,
-	CodeKeyExhausted:     ErrKeyExhausted,
-	CodeDraining:         ErrDraining,
-	CodeResumeRejected:   ErrResumeRejected,
+	CodeBadRequest:        ErrBadRequest,
+	CodeParamMismatch:     ErrParamMismatch,
+	CodeUnknownSession:    ErrUnknownSession,
+	CodeDuplicateSession:  ErrDuplicateSession,
+	CodeOversized:         ErrOversized,
+	CodeOverloaded:        ErrOverloaded,
+	CodeRekeyRequired:     ErrRekeyRequired,
+	CodeInternal:          ErrInternal,
+	CodeConnClosed:        ErrConnClosed,
+	CodeAdmissionDenied:   ErrAdmissionDenied,
+	CodeProfileDenied:     ErrProfileDenied,
+	CodeWireFormat:        ErrWireFormat,
+	CodeDeadline:          ErrDeadline,
+	CodeKeyExhausted:      ErrKeyExhausted,
+	CodeDraining:          ErrDraining,
+	CodeResumeRejected:    ErrResumeRejected,
+	CodeMatVecUnavailable: ErrMatVecUnavailable,
 }
 
 // Err returns the sentinel error for the code, or nil for CodeOK.
@@ -187,6 +195,8 @@ func (c Code) String() string {
 		return "draining"
 	case CodeResumeRejected:
 		return "resume-rejected"
+	case CodeMatVecUnavailable:
+		return "matvec-unavailable"
 	}
 	return "unknown"
 }

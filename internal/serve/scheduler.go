@@ -11,38 +11,63 @@ import (
 // captures the connection writer).
 type Job func(*Worker)
 
-// Scheduler fans jobs out across evaluator pools through a bounded
-// queue: one drain goroutine per default-pool worker picks jobs off the
-// queue and checks a worker out of the job's pool — by default the pool
+// Scheduler fans jobs out across evaluator pools through bounded
+// per-pool queues. Each distinct pool submitted to — by default the pool
 // the scheduler was built over, or a per-profile pool passed to SubmitTo —
-// so pools are shared fairly with synchronous callers. When the queue is
-// full, Submit fails fast with ErrOverloaded — the explicit backpressure
+// gets its own queue class with its own drain goroutines (one per pool
+// worker), so a class blocked on its pool's workers never wedges another
+// class's dispatch: a flood of heavy-profile blocks cannot park every
+// drain goroutine behind the heavy pool and starve light-profile
+// latency.
+//
+// Queue space is divided into weighted shares: class c may hold at most
+// limit·w_c/Σw queued jobs (minimum one), where the weights default to 1
+// per registered class and are tunable with SetShare. With a single
+// class the share is the whole limit — the pre-share behavior exactly —
+// and when a second profile's traffic (or an explicit SetShare
+// registration) appears, each class keeps a guaranteed reservation of
+// the queue that the other cannot flood away. A submission beyond its
+// class share fails fast with ErrOverloaded — the explicit backpressure
 // signal the protocol layer forwards to clients instead of buffering
 // requests without limit.
 //
-// The queue's live depth is resizable within the capacity it was built
-// with (Resize): the control plane applies its plan's queue high-water to
-// the live boundary instead of only recording it, so a shrinking plan
-// turns into real CodeOverloaded backpressure, not just advisory
-// admission sheds.
+// The live depth bound is resizable within the capacity the scheduler
+// was built with (Resize): the control plane applies its plan's queue
+// high-water to the live boundary instead of only recording it, so a
+// shrinking plan turns into real CodeOverloaded backpressure, not just
+// advisory admission sheds. Shares scale with the live bound.
 type Scheduler struct {
-	pool  *EvalPool
-	queue chan poolJob
-	limit atomic.Int64 // live depth bound, ≤ cap(queue)
-	depth atomic.Int64
+	pool     *EvalPool
+	maxDepth int
+
+	limit atomic.Int64 // live depth bound, ≤ maxDepth
+	depth atomic.Int64 // queued across all classes (not yet picked up)
 	sheds atomic.Int64
 
 	waitObs atomic.Pointer[func(time.Duration)]
 
-	mu     sync.RWMutex
-	closed bool
-	wg     sync.WaitGroup
+	mu          sync.Mutex
+	classes     map[*EvalPool]*classQueue
+	totalWeight int
+	closed      bool
+	wg          sync.WaitGroup
 }
 
 type poolJob struct {
-	pool *EvalPool
-	job  Job
-	at   time.Time
+	job Job
+	at  time.Time
+}
+
+// classQueue is one pool's slice of the scheduler: a bounded queue plus
+// its share weight. Its channel is built at the scheduler's full
+// capacity so share boundaries can move (Resize, new classes) without
+// reallocating; admission control happens against depth, never against
+// channel occupancy, so the send in SubmitTo never blocks.
+type classQueue struct {
+	pool   *EvalPool
+	weight int
+	depth  atomic.Int64
+	ch     chan poolJob
 }
 
 // NewScheduler starts one drain goroutine per pool worker over a queue of
@@ -52,59 +77,130 @@ func NewScheduler(pool *EvalPool, queueDepth int) *Scheduler {
 	if queueDepth <= 0 {
 		queueDepth = 4 * pool.Size()
 	}
-	s := &Scheduler{pool: pool, queue: make(chan poolJob, queueDepth)}
-	s.limit.Store(int64(queueDepth))
-	for i := 0; i < pool.Size(); i++ {
-		s.wg.Add(1)
-		go s.drain()
+	s := &Scheduler{
+		pool:     pool,
+		maxDepth: queueDepth,
+		classes:  make(map[*EvalPool]*classQueue),
 	}
+	s.limit.Store(int64(queueDepth))
+	s.mu.Lock()
+	s.classLocked(pool)
+	s.mu.Unlock()
 	return s
 }
 
-func (s *Scheduler) drain() {
+// classLocked returns the pool's queue class, creating it — and starting
+// its drain goroutines, one per pool worker — on first use. Callers hold
+// s.mu.
+func (s *Scheduler) classLocked(pool *EvalPool) *classQueue {
+	if c := s.classes[pool]; c != nil {
+		return c
+	}
+	c := &classQueue{pool: pool, weight: 1, ch: make(chan poolJob, s.maxDepth)}
+	s.classes[pool] = c
+	s.totalWeight += c.weight
+	for i := 0; i < pool.Size(); i++ {
+		s.wg.Add(1)
+		go s.drain(c)
+	}
+	return c
+}
+
+// shareLocked computes the class's queue share under the live limit:
+// limit·w_c/Σw, at least one slot. Callers hold s.mu.
+func (s *Scheduler) shareLocked(c *classQueue, limit int) int {
+	share := limit
+	if s.totalWeight > c.weight {
+		share = limit * c.weight / s.totalWeight
+		if share < 1 {
+			share = 1
+		}
+	}
+	return share
+}
+
+func (s *Scheduler) drain(c *classQueue) {
 	defer s.wg.Done()
-	for pj := range s.queue {
+	for pj := range c.ch {
+		c.depth.Add(-1)
 		s.depth.Add(-1)
 		if obs := s.waitObs.Load(); obs != nil {
 			(*obs)(time.Since(pj.at))
 		}
-		pj.pool.Run(pj.job)
+		c.pool.Run(pj.job)
 	}
 }
 
 // Submit enqueues a job for the scheduler's default pool. It returns
-// ErrOverloaded when the queue is at its live depth bound (or the
-// scheduler is closed); the job then never runs.
+// ErrOverloaded when the pool's queue share is full (or the scheduler is
+// closed); the job then never runs.
 func (s *Scheduler) Submit(job Job) error { return s.SubmitTo(nil, job) }
 
 // SubmitTo enqueues a job to run on a worker of the given pool (nil
 // selects the default pool) without blocking. It returns ErrOverloaded
-// when the queue is at its live depth bound or the scheduler is closed.
+// when the pool's weighted queue share is full or the scheduler is
+// closed.
 func (s *Scheduler) SubmitTo(pool *EvalPool, job Job) error {
 	if pool == nil {
 		pool = s.pool
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		s.sheds.Add(1)
 		return ErrOverloaded
 	}
-	// Reserve a depth slot under the live limit before touching the
-	// channel: at most limit ≤ cap(queue) reservations exist at once, so
-	// the send below never blocks.
-	for {
-		d := s.depth.Load()
-		if d >= s.limit.Load() {
-			s.sheds.Add(1)
-			return ErrOverloaded
-		}
-		if s.depth.CompareAndSwap(d, d+1) {
-			break
-		}
+	c := s.classLocked(pool)
+	if int(c.depth.Load()) >= s.shareLocked(c, int(s.limit.Load())) {
+		s.mu.Unlock()
+		s.sheds.Add(1)
+		return ErrOverloaded
 	}
-	s.queue <- poolJob{pool: pool, job: job, at: time.Now()}
+	c.depth.Add(1)
+	s.depth.Add(1)
+	// Send under the lock: the channel holds maxDepth ≥ share slots so
+	// this never blocks, and Close (which also takes the lock) can never
+	// close the channel under the send.
+	c.ch <- poolJob{job: job, at: time.Now()}
+	s.mu.Unlock()
 	return nil
+}
+
+// SetShare sets the weight of a pool's queue class (nil selects the
+// default pool; weights below 1 clamp to 1). Registering a class —
+// implicitly here or by its first submission — reserves its share of the
+// queue from every other class, so a server that wants a light profile
+// protected before its first block arrives can register it up front.
+func (s *Scheduler) SetShare(pool *EvalPool, weight int) {
+	if pool == nil {
+		pool = s.pool
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	c := s.classLocked(pool)
+	s.totalWeight += weight - c.weight
+	c.weight = weight
+}
+
+// Share reports the pool's current queue share in slots (nil selects the
+// default pool) — the admission bound SubmitTo enforces for it.
+func (s *Scheduler) Share(pool *EvalPool) int {
+	if pool == nil {
+		pool = s.pool
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.classes[pool]
+	if c == nil {
+		return 0
+	}
+	return s.shareLocked(c, int(s.limit.Load()))
 }
 
 // OnQueueWait installs an observer called with each job's queue wait —
@@ -120,7 +216,8 @@ func (s *Scheduler) OnQueueWait(fn func(time.Duration)) {
 	s.waitObs.Store(&fn)
 }
 
-// QueueDepth reports the jobs currently waiting (not yet picked up).
+// QueueDepth reports the jobs currently waiting (not yet picked up)
+// across all classes.
 func (s *Scheduler) QueueDepth() int { return int(s.depth.Load()) }
 
 // Capacity reports the live queue depth bound (Resize moves it).
@@ -128,18 +225,19 @@ func (s *Scheduler) Capacity() int { return int(s.limit.Load()) }
 
 // MaxCapacity reports the depth the scheduler was built with — the
 // ceiling Resize clamps to.
-func (s *Scheduler) MaxCapacity() int { return cap(s.queue) }
+func (s *Scheduler) MaxCapacity() int { return s.maxDepth }
 
 // Resize moves the live queue depth bound, clamped to [1, MaxCapacity].
-// Shrinking never drops queued jobs: entries beyond the new bound drain
-// normally while new submissions shed until occupancy falls below it.
-// Safe to call concurrently with Submit.
+// Class shares scale with it. Shrinking never drops queued jobs: entries
+// beyond the new bound drain normally while new submissions shed until
+// occupancy falls below their class share. Safe to call concurrently
+// with Submit.
 func (s *Scheduler) Resize(depth int) {
 	if depth < 1 {
 		depth = 1
 	}
-	if max := cap(s.queue); depth > max {
-		depth = max
+	if depth > s.maxDepth {
+		depth = s.maxDepth
 	}
 	s.limit.Store(int64(depth))
 }
@@ -157,7 +255,9 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	close(s.queue)
+	for _, c := range s.classes {
+		close(c.ch)
+	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }

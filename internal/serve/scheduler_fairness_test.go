@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fairnessPool builds a one-worker pool whose workers carry no evaluator —
+// scheduler fairness is about queue mechanics, not HE.
+func fairnessPool() *EvalPool {
+	return NewEvalPoolFunc(1, func(int) *Worker { return &Worker{} })
+}
+
+// TestSchedulerSharesProtectLightProfile is the starvation regression
+// test: a heavy-profile flood that saturates its own queue share — with
+// its single evaluator worker wedged — must neither shed nor delay a
+// light profile's block. Before per-class drains, the heavy flood parked
+// every drain goroutine behind the heavy pool and the light job waited
+// behind the whole backlog.
+func TestSchedulerSharesProtectLightProfile(t *testing.T) {
+	heavy := fairnessPool()
+	light := fairnessPool()
+	sched := NewScheduler(heavy, 8)
+	defer sched.Close()
+	// Register the light class up front: its share is reserved before its
+	// first block arrives.
+	sched.SetShare(light, 1)
+	if hs, ls := sched.Share(heavy), sched.Share(light); hs != 4 || ls != 4 {
+		t.Fatalf("shares %d/%d, want 4/4 (limit 8, equal weights)", hs, ls)
+	}
+
+	// Wedge the heavy worker, then flood the heavy class until it sheds.
+	release := make(chan struct{})
+	running := make(chan struct{})
+	if err := sched.SubmitTo(heavy, func(*Worker) { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	admitted := 0
+	for ; admitted < 100; admitted++ {
+		if err := sched.SubmitTo(heavy, func(*Worker) {}); err != nil {
+			if !errors.Is(err, ErrOverloaded) {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			break
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("heavy flood admitted %d queued jobs, want its share of 4", admitted)
+	}
+
+	// The light profile's block admits into its reserved share and
+	// completes promptly — its own drain goroutines are not behind the
+	// heavy backlog.
+	done := make(chan struct{})
+	if err := sched.SubmitTo(light, func(*Worker) { close(done) }); err != nil {
+		t.Fatalf("light profile shed behind heavy flood: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("light-profile job starved behind heavy flood")
+	}
+	close(release)
+}
+
+// TestSchedulerWeightedShares pins the share arithmetic: weights divide
+// the live limit proportionally, shares track Resize, and a class is
+// never squeezed below one slot.
+func TestSchedulerWeightedShares(t *testing.T) {
+	heavy := fairnessPool()
+	light := fairnessPool()
+	sched := NewScheduler(heavy, 8)
+	defer sched.Close()
+	if got := sched.Share(heavy); got != 8 {
+		t.Errorf("single-class share %d, want the whole limit 8", got)
+	}
+	sched.SetShare(heavy, 3)
+	sched.SetShare(light, 1)
+	if hs, ls := sched.Share(heavy), sched.Share(light); hs != 6 || ls != 2 {
+		t.Errorf("weighted shares %d/%d, want 6/2", hs, ls)
+	}
+	sched.Resize(4)
+	if hs, ls := sched.Share(heavy), sched.Share(light); hs != 3 || ls != 1 {
+		t.Errorf("resized shares %d/%d, want 3/1", hs, ls)
+	}
+	sched.Resize(1)
+	if ls := sched.Share(light); ls != 1 {
+		t.Errorf("floor share %d, want minimum 1", ls)
+	}
+	if got := sched.Share(fairnessPool()); got != 0 {
+		t.Errorf("unregistered pool share %d, want 0", got)
+	}
+}
+
+// TestSchedulerShareAdmitsLateClass: a class created by its very first
+// submission — while another class holds the entire queue — still
+// admits, because shares are recomputed against the registered class
+// set at every submit.
+func TestSchedulerShareAdmitsLateClass(t *testing.T) {
+	heavy := fairnessPool()
+	light := fairnessPool()
+	sched := NewScheduler(heavy, 4)
+	defer sched.Close()
+
+	release := make(chan struct{})
+	running := make(chan struct{})
+	if err := sched.SubmitTo(heavy, func(*Worker) { close(running); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// Heavy owns the whole queue while it is the only class.
+	for i := 0; i < 4; i++ {
+		if err := sched.SubmitTo(heavy, func(*Worker) {}); err != nil {
+			t.Fatalf("heavy fill %d: %v", i, err)
+		}
+	}
+	if err := sched.SubmitTo(heavy, func(*Worker) {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("heavy overfill error = %v, want ErrOverloaded", err)
+	}
+	// The light class's first-ever submission registers it and lands in
+	// its fresh share even though the queue total is at the limit.
+	done := make(chan struct{})
+	if err := sched.SubmitTo(light, func(*Worker) { close(done) }); err != nil {
+		t.Fatalf("late class shed on arrival: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("late class job never ran")
+	}
+	close(release)
+}

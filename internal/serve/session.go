@@ -36,6 +36,11 @@ type Session struct {
 	// possession (challenge HMAC) to re-attach without a re-keygen. Nil
 	// for peers that never negotiated resume.
 	resumeAuth []byte
+	// rotKeys holds the client's Galois rotation keys for the packed
+	// matrix–vector kernel. Uploaded once after Setup and kept on the
+	// session (not the connection) so a resumed client never re-uploads
+	// them. Nil until the client installs a set.
+	rotKeys *ckks.GaloisKeySet
 
 	blocks          atomic.Int64
 	bytes           atomic.Int64
@@ -114,6 +119,24 @@ func (s *Session) ResumeAuth() []byte {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.resumeAuth
+}
+
+// SetRotKeys installs the session's Galois rotation-key set for the
+// encrypted matrix–vector kernel, replacing any previous set. Rotation
+// keys are public evaluation material derived from the secret key; they
+// survive rekeys (which rotate only the transciphering key) and resumes.
+func (s *Session) SetRotKeys(gks *ckks.GaloisKeySet) {
+	s.mu.Lock()
+	s.rotKeys = gks
+	s.mu.Unlock()
+}
+
+// RotKeys returns the installed rotation-key set, or nil when the client
+// never uploaded one. The returned set must not be mutated.
+func (s *Session) RotKeys() *ckks.GaloisKeySet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rotKeys
 }
 
 // Attach records a transport connection binding to the session, clearing
